@@ -1,0 +1,488 @@
+package dataspread
+
+// One benchmark per reproduced experiment (see DESIGN.md §4 and
+// EXPERIMENTS.md). The cmd/dsbench harness runs the same workloads as
+// parameter sweeps and prints the series the paper's demonstration implies;
+// these testing.B benchmarks regenerate each headline comparison in a form
+// that `go test -bench=.` can run end to end.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/baseline"
+	"github.com/dataspread/dataspread/internal/core"
+	"github.com/dataspread/dataspread/internal/datagen"
+	"github.com/dataspread/dataspread/internal/index/positional"
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/sqlexec"
+	"github.com/dataspread/dataspread/internal/storage/cellstore"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+	"github.com/dataspread/dataspread/internal/storage/tablestore"
+)
+
+// loadMovies populates the Figure 2a dataset.
+func loadMovies(b *testing.B, ds *core.DataSpread, movies int) {
+	b.Helper()
+	data := datagen.MoviesDataset(movies, 5, 1)
+	if _, err := ds.QueryScript(`
+		CREATE TABLE movies (movieid INT PRIMARY KEY, title TEXT, year INT);
+		CREATE TABLE actors (actorid INT PRIMARY KEY, name TEXT);
+		CREATE TABLE movies2actors (movieid INT, actorid INT);
+	`); err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range data.Movies {
+		if _, err := ds.DB().Insert("movies", row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range data.Actors {
+		if _, err := ds.DB().Insert("actors", row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range data.Movies2Actors {
+		if _, err := ds.DB().Insert("movies2actors", row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF2aDBSQLQuery measures Figure 2a: a DBSQL formula joining three
+// tables with RANGEVALUE parameters, spilled into the sheet as a single
+// set-at-a-time pass.
+func BenchmarkF2aDBSQLQuery(b *testing.B) {
+	ds := core.New(core.Options{})
+	loadMovies(b, ds, 5000)
+	w, _ := ds.SetCell("Sheet1", "B1", "3")
+	w()
+	w, _ = ds.SetCell("Sheet1", "B2", "1950")
+	w()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wait, err := ds.SetCell("Sheet1", "B3",
+			`=DBSQL("SELECT title, year FROM movies NATURAL JOIN movies2actors NATURAL JOIN actors WHERE actorid = RANGEVALUE(B1) AND year > RANGEVALUE(B2) ORDER BY year")`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait()
+	}
+}
+
+// BenchmarkF2bExportImport measures Figure 2b: exporting a sheet range as a
+// relational table (schema inference + load + DBTABLE binding).
+func BenchmarkF2bExportImport(b *testing.B) {
+	grades := datagen.Gradebook(2000, 5, 1)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ds := core.New(core.Options{})
+		sh, _ := ds.Book().Sheet("Sheet1")
+		sh.SetValues(sheet.Addr(0, 0), grades)
+		b.StartTimer()
+		if _, err := ds.CreateTableFromRange("Sheet1", fmt.Sprintf("A1:G%d", len(grades)), "grades", core.ExportOptions{PrimaryKey: []string{"student"}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF2cTwoWaySync measures Figure 2c: one front-end edit on a bound
+// cell propagating to the database and back into a dependent DBSQL summary.
+func BenchmarkF2cTwoWaySync(b *testing.B) {
+	ds := core.New(core.Options{})
+	if _, err := ds.Query("CREATE TABLE inv (sku INT PRIMARY KEY, qty NUMERIC)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := ds.DB().Insert("inv", []sheet.Value{sheet.Number(float64(i)), sheet.Number(100)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := ds.ImportTable("Sheet1", "A1", "inv"); err != nil {
+		b.Fatal(err)
+	}
+	w, err := ds.SetCell("Sheet1", "E1", `=DBSQL("SELECT SUM(qty) FROM inv")`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wait, err := ds.SetCell("Sheet1", "B3", fmt.Sprintf("%d", 100+i%50))
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait()
+	}
+}
+
+// M1: interaction latency at scale — panning a window over a large bound
+// table (DataSpread) vs fetching a window from a naive flat spreadsheet.
+func benchmarkM1DataSpread(b *testing.B, rows int) {
+	ds := core.New(core.Options{WindowRows: 50, WindowCols: 10, MaterializeAllLimit: 1000})
+	if _, err := ds.Query("CREATE TABLE big (id INT PRIMARY KEY, v1 NUMERIC, v2 NUMERIC, v3 NUMERIC)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := ds.DB().Insert("big", []sheet.Value{
+			sheet.Number(float64(i)), sheet.Number(float64(i % 97)), sheet.Number(float64(i % 31)), sheet.Number(float64(i % 11)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := ds.ImportTable("Sheet1", "A1", "big"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target := sheet.Addr((i*977)%(rows-60), 0)
+		if err := ds.ScrollTo("Sheet1", target.String()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ds.VisibleValues("Sheet1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkM1Baseline(b *testing.B, rows int) {
+	s := baseline.New()
+	s.RecalcOnEdit = false
+	grid := datagen.NumericGrid(rows, 4, 1)
+	for r, row := range grid {
+		for c, v := range row {
+			s.SetValue(sheet.Addr(r, c), v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (i * 977) % (rows - 60)
+		_ = s.Window(sheet.RangeOf(start, 0, start+49, 9))
+	}
+}
+
+// BenchmarkM1ScaleDataSpread / BenchmarkM1ScaleBaseline sweep sheet size.
+func BenchmarkM1ScaleDataSpread(b *testing.B) {
+	for _, rows := range []int{10_000, 50_000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) { benchmarkM1DataSpread(b, rows) })
+	}
+}
+
+func BenchmarkM1ScaleBaseline(b *testing.B) {
+	for _, rows := range []int{10_000, 50_000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) { benchmarkM1Baseline(b, rows) })
+	}
+}
+
+// M2: the paper's first motivating operation — select students with a score
+// above 90 in any assignment — via SQL vs a manual cell scan.
+func BenchmarkM2FilterSQL(b *testing.B) {
+	ds := core.New(core.Options{})
+	sh, _ := ds.Book().Sheet("Sheet1")
+	sh.SetValues(sheet.Addr(0, 0), datagen.Gradebook(5000, 5, 1))
+	rng := fmt.Sprintf("A1:G%d", 5001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ds.Query(fmt.Sprintf("SELECT student FROM RANGETABLE(%s) WHERE a1 > 90 OR a2 > 90 OR a3 > 90 OR a4 > 90 OR a5 > 90", rng))
+		if err != nil || len(res.Rows) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkM2FilterBaseline(b *testing.B) {
+	s := baseline.New()
+	s.RecalcOnEdit = false
+	grades := datagen.Gradebook(5000, 5, 1)
+	for r, row := range grades {
+		for c, v := range row {
+			s.SetValue(sheet.Addr(r, c), v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := s.FilterRows(5001, []int{1, 2, 3, 4, 5}, func(v sheet.Value) bool {
+			f, ok := v.AsNumber()
+			return ok && f > 90
+		})
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// M3: the paper's second motivating operation — average grade per demographic
+// group — as a SQL join+GROUP BY vs per-row lookups.
+func BenchmarkM3JoinSQL(b *testing.B) {
+	ds := core.New(core.Options{})
+	n := 5000
+	sh, _ := ds.Book().Sheet("Sheet1")
+	sh.SetValues(sheet.Addr(0, 0), datagen.Gradebook(n, 5, 1))
+	ds.AddSheet("Demo")
+	dsh, _ := ds.Book().Sheet("Demo")
+	dsh.SetValues(sheet.Addr(0, 0), datagen.Demographics(n, 2))
+	q := fmt.Sprintf("SELECT grp, AVG(grade) FROM RANGETABLE(A1:G%d) NATURAL JOIN RANGETABLE(Demo!A1:C%d) GROUP BY grp", n+1, n+1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ds.Query(q)
+		if err != nil || len(res.Rows) != 3 {
+			b.Fatalf("%v %v", res, err)
+		}
+	}
+}
+
+func BenchmarkM3JoinBaseline(b *testing.B) {
+	n := 5000
+	s := baseline.New()
+	s.RecalcOnEdit = false
+	grades := datagen.Gradebook(n, 5, 1)
+	for r, row := range grades {
+		for c, v := range row {
+			s.SetValue(sheet.Addr(r, c), v)
+		}
+	}
+	demo := datagen.Demographics(n, 2)
+	lookup := make(map[string]string, n)
+	for _, row := range demo[1:] {
+		lookup[row[0].Str] = row[1].Str
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		avg := s.GroupAverage(n+1, 0, 6, lookup)
+		if len(avg) != 3 {
+			b.Fatal("bad groups")
+		}
+	}
+}
+
+// M4: continuously appended external data — appending a batch of rows to a
+// bound table and keeping the window in sync.
+func BenchmarkM4Append(b *testing.B) {
+	ds := core.New(core.Options{WindowRows: 50, WindowCols: 5, MaterializeAllLimit: 1000})
+	if _, err := ds.Query("CREATE TABLE feed (id INT PRIMARY KEY, v NUMERIC)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		if _, err := ds.DB().Insert("feed", []sheet.Value{sheet.Number(float64(i)), sheet.Number(float64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := ds.ImportTable("Sheet1", "A1", "feed"); err != nil {
+		b.Fatal(err)
+	}
+	next := 20_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.DB().Insert("feed", []sheet.Value{sheet.Number(float64(next)), sheet.Number(float64(next))}); err != nil {
+			b.Fatal(err)
+		}
+		next++
+	}
+}
+
+// A1: blocks written by ALTER TABLE ADD COLUMN across storage layouts.
+func benchmarkA1SchemaChange(b *testing.B, layout sqlexec.Layout) {
+	rows := datagen.WideRows(20_000, 10, 1)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ps := pager.NewStore()
+		pool := pager.NewBufferPool(ps, 0)
+		var store tablestore.Store
+		switch layout {
+		case sqlexec.LayoutRow:
+			store = tablestore.NewRowStore(pool, 10)
+		case sqlexec.LayoutColumn:
+			store = tablestore.NewColStore(pool, 10)
+		default:
+			store = tablestore.NewHybridStore(pool, 10, tablestore.WithGroupSize(4))
+		}
+		for _, r := range rows {
+			if _, err := store.Insert(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ps.ResetStats()
+		b.StartTimer()
+		if err := store.AddColumn(sheet.Number(0)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ps.Stats().Writes), "blocks/op")
+		b.StartTimer()
+	}
+}
+
+func BenchmarkA1SchemaChangeRow(b *testing.B)    { benchmarkA1SchemaChange(b, sqlexec.LayoutRow) }
+func BenchmarkA1SchemaChangeColumn(b *testing.B) { benchmarkA1SchemaChange(b, sqlexec.LayoutColumn) }
+func BenchmarkA1SchemaChangeHybrid(b *testing.B) { benchmarkA1SchemaChange(b, sqlexec.LayoutHybrid) }
+
+// A2: window fetch and middle insertion through the positional index vs a
+// dense renumbered slice.
+func BenchmarkA2PositionalIndex(b *testing.B) {
+	ix := positional.New()
+	const n = 500_000
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i + 1)
+	}
+	if err := ix.BulkLoad(ids); err != nil {
+		b.Fatal(err)
+	}
+	next := uint64(n + 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := (i * 7919) % n
+		// Fetch a 50-row window, then insert a row in the middle.
+		count := 0
+		ix.Scan(pos, 50, func(int, uint64) bool { count++; return true })
+		if err := ix.InsertAt(pos, next); err != nil {
+			b.Fatal(err)
+		}
+		next++
+	}
+}
+
+func BenchmarkA2DenseRenumber(b *testing.B) {
+	const n = 500_000
+	rows := make([]uint64, n)
+	for i := range rows {
+		rows[i] = uint64(i + 1)
+	}
+	next := uint64(n + 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := (i * 7919) % len(rows)
+		end := pos + 50
+		if end > len(rows) {
+			end = len(rows)
+		}
+		sum := uint64(0)
+		for _, v := range rows[pos:end] {
+			sum += v
+		}
+		// Insert in the middle of a dense array: shift everything after it.
+		rows = append(rows, 0)
+		copy(rows[pos+1:], rows[pos:])
+		rows[pos] = next
+		next++
+		_ = sum
+	}
+}
+
+// A3: window fetch over ad-hoc interface data — proximity-blocked store vs
+// insertion-ordered flat store (block reads per window).
+func benchmarkA3Window(b *testing.B, blocked bool) {
+	ps := pager.NewStore()
+	pool := pager.NewBufferPool(ps, 0)
+	var store sheet.CellStore
+	if blocked {
+		store = cellstore.NewBlockedStore(pool, cellstore.WithTileCache(4))
+	} else {
+		store = cellstore.NewFlatStore(pool)
+	}
+	// 200k cells laid out densely over 20k rows x 10 cols, inserted in
+	// column-major order so insertion order differs from window order.
+	for c := 0; c < 10; c++ {
+		for r := 0; r < 20_000; r++ {
+			store.Set(sheet.Addr(r, c), sheet.Cell{Value: sheet.Number(float64(r*10 + c))})
+		}
+	}
+	if bs, ok := store.(*cellstore.BlockedStore); ok {
+		if err := bs.DropCache(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ps.ResetStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (i * 613) % (20_000 - 50)
+		n := 0
+		store.GetRange(sheet.RangeOf(start, 0, start+49, 9), func(sheet.Address, sheet.Cell) { n++ })
+		if n == 0 {
+			b.Fatal("empty window")
+		}
+	}
+	b.ReportMetric(float64(ps.Stats().Reads)/float64(b.N), "blockreads/op")
+}
+
+func BenchmarkA3InterfaceStorageBlocked(b *testing.B) { benchmarkA3Window(b, true) }
+func BenchmarkA3InterfaceStorageFlat(b *testing.B)    { benchmarkA3Window(b, false) }
+
+// A4: visible-first prioritisation — time until the visible window is
+// consistent after an edit, with and without a window provider.
+func benchmarkA4(b *testing.B, prioritised bool) {
+	ds := core.New(core.Options{WindowRows: 25, WindowCols: 4})
+	const formulas = 3000
+	w, _ := ds.SetCell("Sheet1", "A1", "1")
+	w()
+	for i := 0; i < formulas; i++ {
+		wf, err := ds.SetCell("Sheet1", sheet.Addr(i, 1).String(), "=A1*2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		wf()
+	}
+	ds.Wait()
+	if !prioritised {
+		ds.Engine().SetVisibleProvider(nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Only the time to return (visible cells consistent) is measured;
+		// the background pass is drained outside the timer.
+		wait, err := ds.SetCell("Sheet1", "A1", fmt.Sprintf("%d", i+2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		wait()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkA4PrioritizationVisibleFirst(b *testing.B) { benchmarkA4(b, true) }
+func BenchmarkA4PrioritizationFullRecalc(b *testing.B)   { benchmarkA4(b, false) }
+
+// A5: shared computation — one DBSQL range formula vs one VLOOKUP-style
+// formula per cell producing the same column.
+func BenchmarkA5SharedComputationDBSQL(b *testing.B) {
+	ds := core.New(core.Options{})
+	if _, err := ds.Query("CREATE TABLE vals (id INT PRIMARY KEY, v NUMERIC)"); err != nil {
+		b.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := ds.DB().Insert("vals", []sheet.Value{sheet.Number(float64(i)), sheet.Number(float64(i * 3))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wait, err := ds.SetCell("Sheet1", "A1", `=DBSQL("SELECT v FROM vals ORDER BY id")`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait()
+	}
+}
+
+func BenchmarkA5SharedComputationPerCell(b *testing.B) {
+	// The per-cell equivalent: the lookup table lives on the sheet and each
+	// output cell runs its own VLOOKUP — one evaluation per cell.
+	s := baseline.New()
+	s.RecalcOnEdit = false
+	const n = 2000
+	for i := 0; i < n; i++ {
+		s.SetValue(sheet.Addr(i, 0), sheet.Number(float64(i)))
+		s.SetValue(sheet.Addr(i, 1), sheet.Number(float64(i*3)))
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Set(sheet.Addr(i, 3), fmt.Sprintf("=VLOOKUP(%d, A1:B%d, 2)", i, n)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RecalcAll()
+	}
+}

@@ -1,0 +1,163 @@
+// Command dataspread is an interactive shell over a DataSpread workbook: a
+// spreadsheet you type cell edits and formulas into, backed by the embedded
+// relational engine, with DBSQL/DBTABLE, SQL, import/export and window
+// panning available from the prompt.
+//
+// Commands:
+//
+//	set <addr> <input>      enter a literal or =formula (incl. DBSQL/DBTABLE)
+//	get <addr>              print one cell
+//	show [range]            print the visible window (or a range)
+//	sql <statement>         run SQL (RANGEVALUE/RANGETABLE allowed)
+//	export <range> <table>  create a table from a range (Figure 2b)
+//	import <addr> <table>   bind a table at a cell (DBTABLE)
+//	scroll <addr>           move the window (fetch-on-demand panning)
+//	sheet <name>            switch/create a sheet
+//	tables                  list tables
+//	help, quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/core"
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+func main() {
+	ds := core.New(core.Options{})
+	current := "Sheet1"
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1024*1024), 1024*1024)
+	fmt.Println("DataSpread shell — type 'help' for commands")
+	prompt := func() { fmt.Printf("%s> ", current) }
+	prompt()
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			prompt()
+			continue
+		}
+		cmd, rest := splitCommand(line)
+		switch strings.ToLower(cmd) {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("set <addr> <input> | get <addr> | show [range] | sql <stmt> | export <range> <table> | import <addr> <table> | scroll <addr> | sheet <name> | tables | quit")
+		case "set":
+			addr, input := splitCommand(rest)
+			wait, err := ds.SetCell(current, addr, input)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				wait()
+				fmt.Println("ok")
+			}
+		case "get":
+			v, err := ds.Get(current, rest)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println(v.String())
+			}
+		case "show":
+			var vals [][]sheet.Value
+			var err error
+			if rest == "" {
+				vals, err = ds.VisibleValues(current)
+			} else {
+				vals, err = ds.GetRange(current, rest)
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			printGrid(vals)
+		case "sql":
+			res, err := ds.Query(rest)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			if len(res.Columns) > 0 {
+				fmt.Println(strings.Join(res.Columns, "\t"))
+				for _, row := range res.Rows {
+					parts := make([]string, len(row))
+					for i, v := range row {
+						parts[i] = v.String()
+					}
+					fmt.Println(strings.Join(parts, "\t"))
+				}
+			} else {
+				fmt.Printf("ok (%d rows affected)\n", res.Affected)
+			}
+		case "export":
+			rng, table := splitCommand(rest)
+			if _, err := ds.CreateTableFromRange(current, rng, table, core.ExportOptions{}); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("created table %s from %s\n", table, rng)
+			}
+		case "import":
+			addr, table := splitCommand(rest)
+			if _, err := ds.ImportTable(current, addr, table); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("bound table %s at %s\n", table, addr)
+			}
+		case "scroll":
+			if err := ds.ScrollTo(current, rest); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "sheet":
+			if rest == "" {
+				fmt.Println(strings.Join(ds.Book().SheetNames(), ", "))
+				break
+			}
+			ds.AddSheet(rest)
+			current = rest
+		case "tables":
+			for _, t := range ds.DB().Tables() {
+				cols := make([]string, len(t.Columns))
+				for i, c := range t.Columns {
+					cols[i] = fmt.Sprintf("%s %s", c.Name, c.Type)
+				}
+				fmt.Printf("%s(%s)\n", t.Name, strings.Join(cols, ", "))
+			}
+		default:
+			fmt.Println("unknown command; type 'help'")
+		}
+		prompt()
+	}
+}
+
+func splitCommand(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i:])
+}
+
+func printGrid(vals [][]sheet.Value) {
+	for _, row := range vals {
+		empty := true
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+			if !v.IsEmpty() {
+				empty = false
+			}
+		}
+		if empty {
+			continue
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+}

@@ -1,0 +1,467 @@
+// Command dsbench is the experiment harness: it regenerates, as printed
+// series, every demonstration scenario and quantitative claim of the paper
+// (see DESIGN.md §4 and EXPERIMENTS.md). Each experiment prints the same
+// rows/series the paper's demonstration implies: who wins, by roughly what
+// factor, and where the crossover lies.
+//
+// Usage:
+//
+//	dsbench [-scale n] [experiment ...]
+//
+// Experiments: f2a f2b f2c m1 m2 m3 m4 a1 a2 a3 a4 a5 (default: all).
+// -scale multiplies the base workload sizes (1 = quick, 10 = thorough).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/dataspread/dataspread/internal/baseline"
+	"github.com/dataspread/dataspread/internal/core"
+	"github.com/dataspread/dataspread/internal/datagen"
+	"github.com/dataspread/dataspread/internal/index/positional"
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/cellstore"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+	"github.com/dataspread/dataspread/internal/storage/tablestore"
+)
+
+var scale = flag.Int("scale", 1, "workload scale multiplier")
+
+func main() {
+	flag.Parse()
+	experiments := flag.Args()
+	if len(experiments) == 0 {
+		experiments = []string{"f2a", "f2b", "f2c", "m1", "m2", "m3", "m4", "a1", "a2", "a3", "a4", "a5"}
+	}
+	runners := map[string]func(){
+		"f2a": f2a, "f2b": f2b, "f2c": f2c,
+		"m1": m1, "m2": m2, "m3": m3, "m4": m4,
+		"a1": a1, "a2": a2, "a3": a3, "a4": a4, "a5": a5,
+	}
+	for _, name := range experiments {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		run()
+		fmt.Println()
+	}
+}
+
+func header(id, title string) {
+	fmt.Printf("=== %s: %s (scale %d) ===\n", id, title, *scale)
+}
+
+func timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+func mustDS(opts core.Options) *core.DataSpread { return core.New(opts) }
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func setCell(ds *core.DataSpread, sheetName, addr, input string) {
+	wait, err := ds.SetCell(sheetName, addr, input)
+	check(err)
+	wait()
+}
+
+// --- Figure 2 demonstration scenarios ---
+
+func f2a() {
+	header("F2a", "DBSQL querying with RANGEVALUE/RANGETABLE (Figure 2a)")
+	fmt.Printf("%-10s %-14s %-14s\n", "movies", "dbsql_spill", "reparam_time")
+	for _, movies := range []int{1000 * *scale, 5000 * *scale, 20000 * *scale} {
+		ds := mustDS(core.Options{})
+		data := datagen.MoviesDataset(movies, 5, 1)
+		_, err := ds.QueryScript(`
+			CREATE TABLE movies (movieid INT PRIMARY KEY, title TEXT, year INT);
+			CREATE TABLE actors (actorid INT PRIMARY KEY, name TEXT);
+			CREATE TABLE movies2actors (movieid INT, actorid INT);`)
+		check(err)
+		for _, r := range data.Movies {
+			_, err = ds.DB().Insert("movies", r)
+			check(err)
+		}
+		for _, r := range data.Actors {
+			_, err = ds.DB().Insert("actors", r)
+			check(err)
+		}
+		for _, r := range data.Movies2Actors {
+			_, err = ds.DB().Insert("movies2actors", r)
+			check(err)
+		}
+		setCell(ds, "Sheet1", "B1", "3")
+		setCell(ds, "Sheet1", "B2", "1950")
+		first := timed(func() {
+			setCell(ds, "Sheet1", "B3", `=DBSQL("SELECT title, year FROM movies NATURAL JOIN movies2actors NATURAL JOIN actors WHERE actorid = RANGEVALUE(B1) AND year > RANGEVALUE(B2) ORDER BY year")`)
+		})
+		reparam := timed(func() {
+			setCell(ds, "Sheet1", "B1", "5")
+			ds.Wait()
+		})
+		fmt.Printf("%-10d %-14v %-14v\n", movies, first, reparam)
+	}
+}
+
+func f2b() {
+	header("F2b", "Import/export: range -> table with inferred schema (Figure 2b)")
+	fmt.Printf("%-10s %-14s %-14s\n", "rows", "export_time", "import_time")
+	for _, rows := range []int{500 * *scale, 2000 * *scale, 10000 * *scale} {
+		ds := mustDS(core.Options{})
+		sh, _ := ds.Book().Sheet("Sheet1")
+		sh.SetValues(sheet.Addr(0, 0), datagen.Gradebook(rows, 5, 1))
+		export := timed(func() {
+			_, err := ds.CreateTableFromRange("Sheet1", fmt.Sprintf("A1:G%d", rows+1), "grades", core.ExportOptions{PrimaryKey: []string{"student"}})
+			check(err)
+		})
+		imp := timed(func() {
+			_, err := ds.ImportTable("Sheet1", "J1", "grades")
+			check(err)
+		})
+		fmt.Printf("%-10d %-14v %-14v\n", rows, export, imp)
+	}
+}
+
+func f2c() {
+	header("F2c", "Two-way sync: sheet edit -> DB -> dependent DBSQL (Figure 2c)")
+	fmt.Printf("%-10s %-16s %-16s\n", "rows", "sheet_edit_sync", "sql_update_sync")
+	for _, rows := range []int{1000 * *scale, 5000 * *scale} {
+		ds := mustDS(core.Options{})
+		_, err := ds.Query("CREATE TABLE inv (sku INT PRIMARY KEY, qty NUMERIC)")
+		check(err)
+		for i := 0; i < rows; i++ {
+			_, err := ds.DB().Insert("inv", []sheet.Value{sheet.Number(float64(i)), sheet.Number(100)})
+			check(err)
+		}
+		_, err = ds.ImportTable("Sheet1", "A1", "inv")
+		check(err)
+		setCell(ds, "Sheet1", "E1", `=DBSQL("SELECT SUM(qty) FROM inv")`)
+		edit := timed(func() { setCell(ds, "Sheet1", "B3", "150"); ds.Wait() })
+		sqlUpd := timed(func() {
+			_, err := ds.Query("UPDATE inv SET qty = 175 WHERE sku = 10")
+			check(err)
+			ds.Wait()
+		})
+		fmt.Printf("%-10d %-16v %-16v\n", rows, edit, sqlUpd)
+	}
+}
+
+// --- Motivating claims ---
+
+func m1() {
+	header("M1", "Interaction latency vs sheet size: naive spreadsheet vs DataSpread window")
+	fmt.Printf("%-10s %-18s %-18s\n", "rows", "baseline_window", "dataspread_window")
+	for _, rows := range []int{10000 * *scale, 50000 * *scale, 200000 * *scale} {
+		// Naive baseline: flat cell map, window probe.
+		s := baseline.New()
+		s.RecalcOnEdit = false
+		for r := 0; r < rows; r++ {
+			for c := 0; c < 4; c++ {
+				s.SetValue(sheet.Addr(r, c), sheet.Number(float64(r*4+c)))
+			}
+		}
+		baseTime := timed(func() {
+			for i := 0; i < 20; i++ {
+				start := (i * 7919) % (rows - 60)
+				_ = s.Window(sheet.RangeOf(start, 0, start+49, 9))
+			}
+		}) / 20
+
+		// DataSpread: bound table, window fetched through the positional
+		// index on demand.
+		ds := mustDS(core.Options{WindowRows: 50, WindowCols: 10, MaterializeAllLimit: 1000})
+		_, err := ds.Query("CREATE TABLE big (id INT PRIMARY KEY, v1 NUMERIC, v2 NUMERIC, v3 NUMERIC)")
+		check(err)
+		for i := 0; i < rows; i++ {
+			_, err := ds.DB().Insert("big", []sheet.Value{sheet.Number(float64(i)), sheet.Number(1), sheet.Number(2), sheet.Number(3)})
+			check(err)
+		}
+		_, err = ds.ImportTable("Sheet1", "A1", "big")
+		check(err)
+		dsTime := timed(func() {
+			for i := 0; i < 20; i++ {
+				start := (i * 7919) % (rows - 60)
+				check(ds.ScrollTo("Sheet1", sheet.Addr(start, 0).String()))
+				_, err := ds.VisibleValues("Sheet1")
+				check(err)
+			}
+		}) / 20
+		fmt.Printf("%-10d %-18v %-18v\n", rows, baseTime, dsTime)
+	}
+}
+
+func m2() {
+	header("M2", "Sub-select rows (score > 90 in any assignment): manual scan vs DBSQL")
+	fmt.Printf("%-10s %-14s %-14s\n", "students", "baseline", "dataspread")
+	for _, n := range []int{1000 * *scale, 5000 * *scale, 20000 * *scale} {
+		s := baseline.New()
+		s.RecalcOnEdit = false
+		grades := datagen.Gradebook(n, 5, 1)
+		for r, row := range grades {
+			for c, v := range row {
+				s.SetValue(sheet.Addr(r, c), v)
+			}
+		}
+		baseTime := timed(func() {
+			_ = s.FilterRows(n+1, []int{1, 2, 3, 4, 5}, func(v sheet.Value) bool {
+				f, ok := v.AsNumber()
+				return ok && f > 90
+			})
+		})
+		ds := mustDS(core.Options{})
+		sh, _ := ds.Book().Sheet("Sheet1")
+		sh.SetValues(sheet.Addr(0, 0), grades)
+		dsTime := timed(func() {
+			_, err := ds.Query(fmt.Sprintf("SELECT student FROM RANGETABLE(A1:G%d) WHERE a1 > 90 OR a2 > 90 OR a3 > 90 OR a4 > 90 OR a5 > 90", n+1))
+			check(err)
+		})
+		fmt.Printf("%-10d %-14v %-14v\n", n, baseTime, dsTime)
+	}
+}
+
+func m3() {
+	header("M3", "Join grades with demographics + average per group: per-row lookup vs DBSQL join")
+	fmt.Printf("%-10s %-14s %-14s\n", "students", "baseline", "dataspread")
+	for _, n := range []int{1000 * *scale, 5000 * *scale, 20000 * *scale} {
+		grades := datagen.Gradebook(n, 5, 1)
+		demo := datagen.Demographics(n, 2)
+		s := baseline.New()
+		s.RecalcOnEdit = false
+		for r, row := range grades {
+			for c, v := range row {
+				s.SetValue(sheet.Addr(r, c), v)
+			}
+		}
+		lookup := make(map[string]string, n)
+		for _, row := range demo[1:] {
+			lookup[row[0].Str] = row[1].Str
+		}
+		baseTime := timed(func() { _ = s.GroupAverage(n+1, 0, 6, lookup) })
+
+		ds := mustDS(core.Options{})
+		sh, _ := ds.Book().Sheet("Sheet1")
+		sh.SetValues(sheet.Addr(0, 0), grades)
+		ds.AddSheet("Demo")
+		dsh, _ := ds.Book().Sheet("Demo")
+		dsh.SetValues(sheet.Addr(0, 0), demo)
+		dsTime := timed(func() {
+			_, err := ds.Query(fmt.Sprintf("SELECT grp, AVG(grade) FROM RANGETABLE(A1:G%d) NATURAL JOIN RANGETABLE(Demo!A1:C%d) GROUP BY grp", n+1, n+1))
+			check(err)
+		})
+		fmt.Printf("%-10d %-14v %-14v\n", n, baseTime, dsTime)
+	}
+}
+
+func m4() {
+	header("M4", "Continuously appended external data: per-append sync cost")
+	fmt.Printf("%-10s %-12s %-18s\n", "existing", "appends", "time_per_append")
+	for _, existing := range []int{10000 * *scale, 50000 * *scale} {
+		ds := mustDS(core.Options{WindowRows: 50, WindowCols: 5, MaterializeAllLimit: 1000})
+		_, err := ds.Query("CREATE TABLE feed (id INT PRIMARY KEY, v NUMERIC)")
+		check(err)
+		for i := 0; i < existing; i++ {
+			_, err := ds.DB().Insert("feed", []sheet.Value{sheet.Number(float64(i)), sheet.Number(float64(i))})
+			check(err)
+		}
+		_, err = ds.ImportTable("Sheet1", "A1", "feed")
+		check(err)
+		const appends = 500
+		total := timed(func() {
+			for i := 0; i < appends; i++ {
+				_, err := ds.DB().Insert("feed", []sheet.Value{sheet.Number(float64(existing + i)), sheet.Number(1)})
+				check(err)
+			}
+		})
+		fmt.Printf("%-10d %-12d %-18v\n", existing, appends, total/appends)
+	}
+}
+
+// --- Architecture ablations ---
+
+func a1() {
+	header("A1", "Schema change vs tuple update: blocks touched per layout")
+	fmt.Printf("%-10s %-8s %-22s %-22s\n", "rows", "layout", "addcol_blocks_written", "rowupdate_blocks")
+	for _, rows := range []int{20000 * *scale, 100000 * *scale} {
+		data := datagen.WideRows(rows, 12, 1)
+		for _, layout := range []string{"row", "column", "hybrid"} {
+			ps := pager.NewStore()
+			pool := pager.NewBufferPool(ps, 0)
+			var store tablestore.Store
+			switch layout {
+			case "row":
+				store = tablestore.NewRowStore(pool, 12)
+			case "column":
+				store = tablestore.NewColStore(pool, 12)
+			default:
+				store = tablestore.NewHybridStore(pool, 12, tablestore.WithGroupSize(4))
+			}
+			for _, r := range data {
+				_, err := store.Insert(r)
+				check(err)
+			}
+			ps.ResetStats()
+			check(store.AddColumn(sheet.Number(0)))
+			addBlocks := ps.Stats().Writes
+			ps.ResetStats()
+			wide := make([]sheet.Value, 13)
+			for i := range wide {
+				wide[i] = sheet.Number(9)
+			}
+			check(store.Update(tablestore.RowID(rows/2), wide))
+			updBlocks := ps.Stats().BlocksTouched()
+			fmt.Printf("%-10d %-8s %-22d %-22d\n", rows, layout, addBlocks, updBlocks)
+		}
+	}
+}
+
+func a2() {
+	header("A2", "Positional index: window fetch + middle insert vs dense renumbering")
+	fmt.Printf("%-10s %-18s %-18s\n", "rows", "positional_index", "dense_renumber")
+	for _, n := range []int{100000 * *scale, 500000 * *scale} {
+		ix := positional.New()
+		ids := make([]uint64, n)
+		for i := range ids {
+			ids[i] = uint64(i + 1)
+		}
+		check(ix.BulkLoad(ids))
+		next := uint64(n + 1)
+		const ops = 200
+		ixTime := timed(func() {
+			for i := 0; i < ops; i++ {
+				pos := (i * 7919) % n
+				ix.Scan(pos, 50, func(int, uint64) bool { return true })
+				check(ix.InsertAt(pos, next))
+				next++
+			}
+		}) / ops
+
+		dense := make([]uint64, n)
+		for i := range dense {
+			dense[i] = uint64(i + 1)
+		}
+		denseTime := timed(func() {
+			for i := 0; i < ops; i++ {
+				pos := (i * 7919) % len(dense)
+				end := pos + 50
+				if end > len(dense) {
+					end = len(dense)
+				}
+				_ = dense[pos:end]
+				dense = append(dense, 0)
+				copy(dense[pos+1:], dense[pos:])
+				dense[pos] = next
+				next++
+			}
+		}) / ops
+		fmt.Printf("%-10d %-18v %-18v\n", n, ixTime, denseTime)
+	}
+}
+
+func a3() {
+	header("A3", "Interface storage: window block reads, proximity-blocked vs flat")
+	fmt.Printf("%-10s %-12s %-20s %-14s\n", "cells", "layout", "blockreads_per_window", "time_per_window")
+	for _, rows := range []int{20000 * *scale} {
+		for _, mode := range []string{"blocked", "flat"} {
+			ps := pager.NewStore()
+			pool := pager.NewBufferPool(ps, 0)
+			var store sheet.CellStore
+			if mode == "blocked" {
+				store = cellstore.NewBlockedStore(pool, cellstore.WithTileCache(4))
+			} else {
+				store = cellstore.NewFlatStore(pool)
+			}
+			for c := 0; c < 10; c++ {
+				for r := 0; r < rows; r++ {
+					store.Set(sheet.Addr(r, c), sheet.Cell{Value: sheet.Number(float64(r))})
+				}
+			}
+			if bs, ok := store.(*cellstore.BlockedStore); ok {
+				check(bs.DropCache())
+			}
+			ps.ResetStats()
+			const windows = 100
+			t := timed(func() {
+				for i := 0; i < windows; i++ {
+					start := (i * 613) % (rows - 50)
+					store.GetRange(sheet.RangeOf(start, 0, start+49, 9), func(sheet.Address, sheet.Cell) {})
+				}
+			}) / windows
+			fmt.Printf("%-10d %-12s %-20.1f %-14v\n", rows*10, mode, float64(ps.Stats().Reads)/windows, t)
+		}
+	}
+}
+
+func a4() {
+	header("A4", "Visible-first computation: time-to-visible vs full recompute")
+	fmt.Printf("%-10s %-20s %-20s\n", "formulas", "visible_first", "full_recalc")
+	for _, formulas := range []int{2000 * *scale, 10000 * *scale} {
+		times := map[bool]time.Duration{}
+		for _, prioritised := range []bool{true, false} {
+			ds := mustDS(core.Options{WindowRows: 25, WindowCols: 4})
+			setCell(ds, "Sheet1", "A1", "1")
+			for i := 0; i < formulas; i++ {
+				wait, err := ds.SetCell("Sheet1", sheet.Addr(i, 1).String(), "=A1*2")
+				check(err)
+				wait()
+			}
+			ds.Wait()
+			if !prioritised {
+				ds.Engine().SetVisibleProvider(nil)
+			}
+			const edits = 5
+			var total time.Duration
+			for i := 0; i < edits; i++ {
+				start := time.Now()
+				wait, err := ds.SetCell("Sheet1", "A1", fmt.Sprintf("%d", i+2))
+				check(err)
+				total += time.Since(start) // time until visible cells are consistent
+				wait()
+			}
+			times[prioritised] = total / edits
+		}
+		fmt.Printf("%-10d %-20v %-20v\n", formulas, times[true], times[false])
+	}
+}
+
+func a5() {
+	header("A5", "Shared computation: one DBSQL range formula vs one formula per cell")
+	fmt.Printf("%-10s %-16s %-16s\n", "rows", "dbsql_single", "per_cell_lookup")
+	for _, n := range []int{500 * *scale, 2000 * *scale} {
+		ds := mustDS(core.Options{})
+		_, err := ds.Query("CREATE TABLE vals (id INT PRIMARY KEY, v NUMERIC)")
+		check(err)
+		for i := 0; i < n; i++ {
+			_, err := ds.DB().Insert("vals", []sheet.Value{sheet.Number(float64(i)), sheet.Number(float64(i * 3))})
+			check(err)
+		}
+		dbsqlTime := timed(func() {
+			setCell(ds, "Sheet1", "A1", `=DBSQL("SELECT v FROM vals ORDER BY id")`)
+		})
+
+		s := baseline.New()
+		s.RecalcOnEdit = false
+		for i := 0; i < n; i++ {
+			s.SetValue(sheet.Addr(i, 0), sheet.Number(float64(i)))
+			s.SetValue(sheet.Addr(i, 1), sheet.Number(float64(i*3)))
+		}
+		perCellTime := timed(func() {
+			for i := 0; i < n; i++ {
+				check(s.Set(sheet.Addr(i, 3), fmt.Sprintf("=VLOOKUP(%d, A1:B%d, 2)", i, n)))
+			}
+			s.RecalcAll()
+		})
+		fmt.Printf("%-10d %-16v %-16v\n", n, dbsqlTime, perCellTime)
+	}
+}

@@ -1,0 +1,9 @@
+// Package dataspread is the repository root of a from-scratch Go
+// reproduction of "DataSpread: Unifying Databases and Spreadsheets"
+// (Bendre et al., PVLDB 8(12), VLDB 2015 demo).
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); runnable examples are under examples/, the experiment harness is
+// cmd/dsbench, and bench_test.go in this package holds one benchmark per
+// reproduced figure/claim (see EXPERIMENTS.md).
+package dataspread

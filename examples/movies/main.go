@@ -1,0 +1,80 @@
+// Command movies reproduces the paper's Figure 2a demonstration: a DBSQL
+// spreadsheet formula whose SQL joins three relational tables (MOVIES,
+// MOVIES2ACTORS, ACTORS) and filters them by parameters held in spreadsheet
+// cells through RANGEVALUE. The result spills into a range of cells, and
+// editing the parameter cells re-runs the query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dataspread/dataspread/internal/core"
+	"github.com/dataspread/dataspread/internal/datagen"
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+func main() {
+	ds := core.New(core.Options{})
+
+	// Load a synthetic IMDB-style dataset into the database.
+	movies := datagen.MoviesDataset(2000, 5, 42)
+	if _, err := ds.QueryScript(`
+		CREATE TABLE movies (movieid INT PRIMARY KEY, title TEXT, year INT);
+		CREATE TABLE actors (actorid INT PRIMARY KEY, name TEXT);
+		CREATE TABLE movies2actors (movieid INT, actorid INT);
+	`); err != nil {
+		log.Fatal(err)
+	}
+	bulkInsert(ds, "movies", movies.Movies)
+	bulkInsert(ds, "actors", movies.Actors)
+	bulkInsert(ds, "movies2actors", movies.Movies2Actors)
+	fmt.Printf("loaded %d movies, %d actors, %d credits\n",
+		len(movies.Movies), len(movies.Actors), len(movies.Movies2Actors))
+
+	// The user keeps the query parameters in B1 (actor id) and B2 (year).
+	must(ds.SetCell("Sheet1", "A1", "actor id:"))
+	must(ds.SetCell("Sheet1", "B1", "7"))
+	must(ds.SetCell("Sheet1", "A2", "after year:"))
+	must(ds.SetCell("Sheet1", "B2", "1980"))
+
+	// The DBSQL formula in B3 — its output spans B3:C… (header + rows),
+	// computed collectively in a single pass.
+	must(ds.SetCell("Sheet1", "B3", `=DBSQL("SELECT title, year FROM movies NATURAL JOIN movies2actors NATURAL JOIN actors WHERE actorid = RANGEVALUE(B1) AND year > RANGEVALUE(B2) ORDER BY year LIMIT 8")`))
+	printResult(ds, "filmography of actor 7 after 1980")
+
+	// Changing the referenced cells re-runs the query and refreshes the
+	// spilled range — positional addressing in action.
+	must(ds.SetCell("Sheet1", "B1", "11"))
+	must(ds.SetCell("Sheet1", "B2", "1960"))
+	ds.Wait()
+	printResult(ds, "after editing B1/B2 (actor 11, year > 1960)")
+}
+
+func printResult(ds *core.DataSpread, label string) {
+	fmt.Println("\n" + label + ":")
+	vals, _ := ds.GetRange("Sheet1", "B3:C12")
+	for _, row := range vals {
+		if row[0].IsEmpty() {
+			continue
+		}
+		fmt.Printf("  %-16v %v\n", row[0], row[1])
+	}
+}
+
+func bulkInsert(ds *core.DataSpread, table string, rows [][]sheet.Value) {
+	for _, row := range rows {
+		if _, err := ds.DB().Insert(table, row); err != nil {
+			log.Fatalf("insert into %s: %v", table, err)
+		}
+	}
+}
+
+func must(wait func(), err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	if wait != nil {
+		wait()
+	}
+}

@@ -1,0 +1,75 @@
+// Command quickstart is the smallest end-to-end tour of DataSpread: create a
+// workbook, enter values and formulas, run SQL over sheet data, export a
+// range as a relational table, and watch two-way sync keep everything
+// consistent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/dataspread/dataspread/internal/core"
+)
+
+func main() {
+	ds := core.New(core.Options{})
+
+	// 1. Ordinary spreadsheet editing: literals and formulas.
+	must(ds.SetCell("Sheet1", "A1", "10"))
+	must(ds.SetCell("Sheet1", "A2", "32"))
+	must(ds.SetCell("Sheet1", "A3", "=A1+A2"))
+	v, _ := ds.Get("Sheet1", "A3")
+	fmt.Println("A3 = A1+A2 =", v)
+
+	// 2. Lay out a small table on the sheet and export it to the database
+	//    (paper Figure 2b): the schema is inferred from the header row.
+	data := [][]string{
+		{"id", "item", "qty"},
+		{"1", "bolt", "100"},
+		{"2", "nut", "200"},
+		{"3", "washer", "50"},
+	}
+	for r, row := range data {
+		for c, cell := range row {
+			must(ds.SetCell("Sheet1", fmt.Sprintf("%c%d", 'C'+c, r+1), cell))
+		}
+	}
+	if _, err := ds.CreateTableFromRange("Sheet1", "C1:E4", "inventory", core.ExportOptions{PrimaryKey: []string{"id"}}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exported C1:E4 as table `inventory`")
+
+	// 3. Arbitrary SQL over the database and the sheet together.
+	res, err := ds.Query("SELECT item, qty FROM inventory WHERE qty >= RANGEVALUE(A1) * 5 ORDER BY qty DESC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("items with qty >= 5*A1:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-8s %v\n", row[0], row[1])
+	}
+
+	// 4. A DBSQL formula spills a live query result into the sheet.
+	must(ds.SetCell("Sheet1", "G1", `=DBSQL("SELECT SUM(qty) AS total FROM inventory")`))
+	total, _ := ds.Get("Sheet1", "G2")
+	fmt.Println("DBSQL total =", total)
+
+	// 5. Two-way sync (paper Figure 2c): editing the bound region updates
+	//    the database, and the DBSQL summary refreshes.
+	must(ds.SetCell("Sheet1", "E2", "150")) // bolt qty: 100 -> 150
+	ds.Wait()
+	total, _ = ds.Get("Sheet1", "G2")
+	fmt.Println("after editing the bound cell, total =", total)
+
+	res, _ = ds.Query("SELECT qty FROM inventory WHERE id = 1")
+	fmt.Println("database sees qty =", res.Rows[0][0])
+}
+
+func must(wait func(), err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	if wait != nil {
+		wait()
+	}
+}

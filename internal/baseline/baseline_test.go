@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+func TestSetGetAndFormulas(t *testing.T) {
+	s := New()
+	if err := s.Set(sheet.Addr(0, 0), "10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(sheet.Addr(1, 0), "32"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(sheet.Addr(0, 1), "=A1+A2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get(sheet.Addr(0, 1)); got.Num != 42 {
+		t.Errorf("B1 = %v", got)
+	}
+	// Full recompute on every edit keeps dependents current.
+	if err := s.Set(sheet.Addr(0, 0), "100"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get(sheet.Addr(0, 1)); got.Num != 132 {
+		t.Errorf("B1 after edit = %v", got)
+	}
+	// Two-pass recalc settles a simple chain.
+	_ = s.Set(sheet.Addr(0, 2), "=B1*2")
+	if got := s.Get(sheet.Addr(0, 2)); got.Num != 264 {
+		t.Errorf("C1 = %v", got)
+	}
+	// Clearing and invalid formulas.
+	_ = s.Set(sheet.Addr(1, 0), "")
+	if s.CellCount() != 3 {
+		t.Errorf("CellCount = %d", s.CellCount())
+	}
+	if err := s.Set(sheet.Addr(5, 5), "=1+"); err == nil {
+		t.Error("invalid formula should fail")
+	}
+	if s.Evaluations() == 0 {
+		t.Error("evaluations should be counted")
+	}
+	// SetValue path.
+	s.SetValue(sheet.Addr(9, 0), sheet.Number(7))
+	if s.Get(sheet.Addr(9, 0)).Num != 7 {
+		t.Error("SetValue failed")
+	}
+}
+
+func TestWindowFetch(t *testing.T) {
+	s := New()
+	s.RecalcOnEdit = false
+	for r := 0; r < 100; r++ {
+		for c := 0; c < 5; c++ {
+			s.SetValue(sheet.Addr(r, c), sheet.Number(float64(r*10+c)))
+		}
+	}
+	w := s.Window(sheet.RangeOf(50, 1, 59, 3))
+	if len(w) != 10 || len(w[0]) != 3 {
+		t.Fatalf("window shape = %dx%d", len(w), len(w[0]))
+	}
+	if w[0][0].Num != 501 || w[9][2].Num != 593 {
+		t.Errorf("window content = %v ... %v", w[0][0], w[9][2])
+	}
+	// Huge window takes the scan path.
+	big := s.Window(sheet.RangeOf(0, 0, 10000, 100))
+	if big[99][4].Num != 994 {
+		t.Error("scan-path window content wrong")
+	}
+}
+
+func TestFilterRowsAndGroupAverage(t *testing.T) {
+	s := New()
+	s.RecalcOnEdit = false
+	// 10 rows, col 0 = key, col 1..2 = scores.
+	for r := 0; r < 10; r++ {
+		s.SetValue(sheet.Addr(r, 0), sheet.String_(string(rune('a'+r))))
+		s.SetValue(sheet.Addr(r, 1), sheet.Number(float64(r*10)))
+		s.SetValue(sheet.Addr(r, 2), sheet.Number(float64(100-r*10)))
+	}
+	rows := s.FilterRows(10, []int{1, 2}, func(v sheet.Value) bool {
+		f, ok := v.AsNumber()
+		return ok && f > 80
+	})
+	if len(rows) != 3 { // rows 0,1 (col2 = 100, 90) and row 9 (col1 = 90)
+		t.Errorf("FilterRows = %v", rows)
+	}
+	lookup := map[string]string{}
+	for r := 0; r < 10; r++ {
+		grp := "even"
+		if r%2 == 1 {
+			grp = "odd"
+		}
+		lookup[string(rune('a'+r))] = grp
+	}
+	avg := s.GroupAverage(10, 0, 1, lookup)
+	if avg["even"] != 40 || avg["odd"] != 50 {
+		t.Errorf("GroupAverage = %v", avg)
+	}
+}

@@ -1,0 +1,367 @@
+// Package catalog maintains the relational schema: tables, their columns and
+// types, and schema evolution. DataSpread's catalog differs from a classic
+// schema-first catalog in two ways required by the paper's unification
+// semantics:
+//
+//   - Dynamic schema: adding or dropping an attribute is an ordinary,
+//     cheap catalog operation (paired with the hybrid storage manager it is
+//     "almost as efficient as changes to tuples"), and it is allowed inside
+//     transactions.
+//   - Inferred typing: column types can be inferred from observed
+//     spreadsheet values when a sheet range is exported as a table
+//     (paper §2.2 "Data typing").
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// Type is a relational column type. DataSpread columns are dynamically typed
+// at the storage layer; the catalog records the inferred or declared type for
+// validation and display.
+type Type int
+
+const (
+	// TypeAny accepts values of any kind.
+	TypeAny Type = iota
+	// TypeNumber is a double-precision numeric column.
+	TypeNumber
+	// TypeText is a text column.
+	TypeText
+	// TypeBool is a boolean column.
+	TypeBool
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNumber:
+		return "NUMERIC"
+	case TypeText:
+		return "TEXT"
+	case TypeBool:
+		return "BOOLEAN"
+	default:
+		return "ANY"
+	}
+}
+
+// ParseType converts a SQL type name to a Type. Unknown names map to
+// TypeAny so imported schemas never fail on exotic type spellings.
+func ParseType(s string) Type {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "NUMERIC", "DECIMAL", "REAL", "FLOAT", "DOUBLE", "DOUBLE PRECISION", "NUMBER":
+		return TypeNumber
+	case "TEXT", "VARCHAR", "CHAR", "CHARACTER VARYING", "STRING":
+		return TypeText
+	case "BOOL", "BOOLEAN":
+		return TypeBool
+	default:
+		return TypeAny
+	}
+}
+
+// InferType returns the column type implied by a single value.
+func InferType(v sheet.Value) Type {
+	switch v.Kind {
+	case sheet.KindNumber:
+		return TypeNumber
+	case sheet.KindString:
+		return TypeText
+	case sheet.KindBool:
+		return TypeBool
+	default:
+		return TypeAny
+	}
+}
+
+// UnifyTypes combines the types of two observed values in the same column.
+// Identical types unify to themselves; anything else widens to TypeAny
+// (except that TypeAny, which empty cells produce, defers to the other type).
+func UnifyTypes(a, b Type) Type {
+	if a == b {
+		return a
+	}
+	if a == TypeAny {
+		return b
+	}
+	if b == TypeAny {
+		return a
+	}
+	return TypeAny
+}
+
+// Accepts reports whether a value is admissible in a column of this type.
+// Empty values are always admissible (they are the relational NULL).
+func (t Type) Accepts(v sheet.Value) bool {
+	if v.IsEmpty() {
+		return true
+	}
+	switch t {
+	case TypeNumber:
+		return v.Kind == sheet.KindNumber
+	case TypeText:
+		return v.Kind == sheet.KindString
+	case TypeBool:
+		return v.Kind == sheet.KindBool
+	default:
+		return true
+	}
+}
+
+// Coerce attempts to convert a value to the column type, returning the
+// converted value and whether the conversion succeeded. It is used when sheet
+// edits flow into typed columns during two-way sync.
+func (t Type) Coerce(v sheet.Value) (sheet.Value, bool) {
+	if v.IsEmpty() || t == TypeAny {
+		return v, true
+	}
+	switch t {
+	case TypeNumber:
+		if f, ok := v.AsNumber(); ok {
+			return sheet.Number(f), true
+		}
+	case TypeText:
+		if !v.IsError() {
+			return sheet.String_(v.AsString()), true
+		}
+	case TypeBool:
+		if b, ok := v.AsBool(); ok {
+			return sheet.Bool_(b), true
+		}
+	}
+	return v, false
+}
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name       string
+	Type       Type
+	NotNull    bool
+	PrimaryKey bool
+	Default    sheet.Value
+}
+
+// Table describes a relational table. Version increments on every schema
+// change so dependent objects (bindings, prepared plans) can detect
+// staleness.
+type Table struct {
+	ID      int64
+	Name    string
+	Columns []Column
+	Version int
+}
+
+// ColumnIndex returns the position of the named column (case-insensitive).
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ColumnNames returns the column names in order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// PrimaryKey returns the indexes of the primary key columns in declaration
+// order (empty when the table has no declared key).
+func (t *Table) PrimaryKey() []int {
+	var out []int
+	for i, c := range t.Columns {
+		if c.PrimaryKey {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table definition.
+func (t *Table) Clone() *Table {
+	cp := *t
+	cp.Columns = append([]Column(nil), t.Columns...)
+	return &cp
+}
+
+// Catalog is the set of table definitions. It is safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	nextID int64
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table), nextID: 1}
+}
+
+func key(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// ErrNoTable wraps "table does not exist" errors.
+type ErrNoTable struct{ Name string }
+
+func (e ErrNoTable) Error() string { return fmt.Sprintf("catalog: table %q does not exist", e.Name) }
+
+// Create registers a new table. Column names must be unique
+// (case-insensitive) and non-empty.
+func (c *Catalog) Create(name string, cols []Column) (*Table, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, fmt.Errorf("catalog: empty table name")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: table %q must have at least one column", name)
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, col := range cols {
+		k := key(col.Name)
+		if k == "" {
+			return nil, fmt.Errorf("catalog: table %q has a column with an empty name", name)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("catalog: table %q has duplicate column %q", name, col.Name)
+		}
+		seen[k] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[key(name)]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := &Table{ID: c.nextID, Name: name, Columns: append([]Column(nil), cols...), Version: 1}
+	c.nextID++
+	c.tables[key(name)] = t
+	return t.Clone(), nil
+}
+
+// Get returns a copy of the named table definition.
+func (c *Catalog) Get(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		return nil, false
+	}
+	return t.Clone(), true
+}
+
+// MustGet returns the table or an ErrNoTable error.
+func (c *Catalog) MustGet(name string) (*Table, error) {
+	t, ok := c.Get(name)
+	if !ok {
+		return nil, ErrNoTable{Name: name}
+	}
+	return t, nil
+}
+
+// Drop removes a table definition.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[key(name)]; !ok {
+		return ErrNoTable{Name: name}
+	}
+	delete(c.tables, key(name))
+	return nil
+}
+
+// List returns all table definitions sorted by name.
+func (c *Catalog) List() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return key(out[i].Name) < key(out[j].Name) })
+	return out
+}
+
+// AddColumn appends a column to the table's schema and bumps its version.
+func (c *Catalog) AddColumn(table string, col Column) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[key(table)]
+	if !ok {
+		return ErrNoTable{Name: table}
+	}
+	if _, exists := t.columnIndexLocked(col.Name); exists {
+		return fmt.Errorf("catalog: column %q already exists in table %q", col.Name, table)
+	}
+	t.Columns = append(t.Columns, col)
+	t.Version++
+	return nil
+}
+
+// DropColumn removes the named column and returns its former index.
+func (c *Catalog) DropColumn(table, column string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[key(table)]
+	if !ok {
+		return 0, ErrNoTable{Name: table}
+	}
+	idx, exists := t.columnIndexLocked(column)
+	if !exists {
+		return 0, fmt.Errorf("catalog: column %q does not exist in table %q", column, table)
+	}
+	if len(t.Columns) == 1 {
+		return 0, fmt.Errorf("catalog: cannot drop the only column of table %q", table)
+	}
+	t.Columns = append(t.Columns[:idx], t.Columns[idx+1:]...)
+	t.Version++
+	return idx, nil
+}
+
+// RenameColumn renames a column in place.
+func (c *Catalog) RenameColumn(table, oldName, newName string) error {
+	if strings.TrimSpace(newName) == "" {
+		return fmt.Errorf("catalog: empty new column name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[key(table)]
+	if !ok {
+		return ErrNoTable{Name: table}
+	}
+	if _, exists := t.columnIndexLocked(newName); exists && !strings.EqualFold(oldName, newName) {
+		return fmt.Errorf("catalog: column %q already exists in table %q", newName, table)
+	}
+	idx, exists := t.columnIndexLocked(oldName)
+	if !exists {
+		return fmt.Errorf("catalog: column %q does not exist in table %q", oldName, table)
+	}
+	t.Columns[idx].Name = newName
+	t.Version++
+	return nil
+}
+
+func (t *Table) columnIndexLocked(name string) (int, bool) {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Version returns the current schema version of a table (0 when missing).
+func (c *Catalog) Version(table string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if t, ok := c.tables[key(table)]; ok {
+		return t.Version
+	}
+	return 0
+}

@@ -1,0 +1,351 @@
+package catalog
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+func TestTypeParsingAndString(t *testing.T) {
+	cases := map[string]Type{
+		"INT": TypeNumber, "integer": TypeNumber, "NUMERIC": TypeNumber, "double": TypeNumber,
+		"TEXT": TypeText, "varchar": TypeText, "string": TypeText,
+		"BOOL": TypeBool, "Boolean": TypeBool,
+		"geography": TypeAny, "": TypeAny,
+	}
+	for in, want := range cases {
+		if got := ParseType(in); got != want {
+			t.Errorf("ParseType(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if TypeNumber.String() != "NUMERIC" || TypeText.String() != "TEXT" ||
+		TypeBool.String() != "BOOLEAN" || TypeAny.String() != "ANY" {
+		t.Error("Type.String wrong")
+	}
+}
+
+func TestInferAndUnifyTypes(t *testing.T) {
+	if InferType(sheet.Number(1)) != TypeNumber ||
+		InferType(sheet.String_("x")) != TypeText ||
+		InferType(sheet.Bool_(true)) != TypeBool ||
+		InferType(sheet.Empty()) != TypeAny {
+		t.Error("InferType wrong")
+	}
+	if UnifyTypes(TypeNumber, TypeNumber) != TypeNumber {
+		t.Error("same types should unify to themselves")
+	}
+	if UnifyTypes(TypeAny, TypeText) != TypeText || UnifyTypes(TypeBool, TypeAny) != TypeBool {
+		t.Error("Any should defer to the other type")
+	}
+	if UnifyTypes(TypeNumber, TypeText) != TypeAny {
+		t.Error("conflicting types should widen to Any")
+	}
+}
+
+func TestTypeAcceptsAndCoerce(t *testing.T) {
+	if !TypeNumber.Accepts(sheet.Number(1)) || TypeNumber.Accepts(sheet.String_("x")) {
+		t.Error("Accepts wrong for numbers")
+	}
+	if !TypeText.Accepts(sheet.Empty()) {
+		t.Error("empty (NULL) should be accepted everywhere")
+	}
+	if !TypeAny.Accepts(sheet.ErrNA) {
+		t.Error("Any accepts everything")
+	}
+	v, ok := TypeNumber.Coerce(sheet.String_("42"))
+	if !ok || v.Num != 42 {
+		t.Error("numeric coercion from string failed")
+	}
+	if _, ok := TypeNumber.Coerce(sheet.String_("abc")); ok {
+		t.Error("non-numeric string should not coerce to number")
+	}
+	v, ok = TypeText.Coerce(sheet.Number(3))
+	if !ok || v.Str != "3" {
+		t.Error("text coercion failed")
+	}
+	v, ok = TypeBool.Coerce(sheet.Number(1))
+	if !ok || !v.Bool {
+		t.Error("bool coercion failed")
+	}
+	if v, ok := TypeAny.Coerce(sheet.ErrNA); !ok || !v.IsError() {
+		t.Error("Any coercion should pass through")
+	}
+}
+
+func TestCatalogCreateGetDrop(t *testing.T) {
+	c := New()
+	cols := []Column{
+		{Name: "id", Type: TypeNumber, PrimaryKey: true},
+		{Name: "name", Type: TypeText},
+	}
+	tbl, err := c.Create("Students", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID == 0 || tbl.Version != 1 {
+		t.Errorf("table meta wrong: %+v", tbl)
+	}
+	// Lookup is case-insensitive.
+	got, ok := c.Get("sTUDENTS")
+	if !ok || got.Name != "Students" || len(got.Columns) != 2 {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	// Returned definitions are copies.
+	got.Columns[0].Name = "mutated"
+	again, _ := c.Get("students")
+	if again.Columns[0].Name != "id" {
+		t.Error("Get must return a copy")
+	}
+	// Duplicate creation fails.
+	if _, err := c.Create("STUDENTS", cols); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	// Validation.
+	if _, err := c.Create("", cols); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := c.Create("x", nil); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := c.Create("x", []Column{{Name: "a"}, {Name: "A"}}); err == nil {
+		t.Error("duplicate columns should fail")
+	}
+	if _, err := c.Create("x", []Column{{Name: ""}}); err == nil {
+		t.Error("empty column name should fail")
+	}
+	// MustGet.
+	if _, err := c.MustGet("students"); err != nil {
+		t.Error(err)
+	}
+	if _, err := c.MustGet("nope"); err == nil || !errors.As(err, &ErrNoTable{}) {
+		var e ErrNoTable
+		if !errors.As(err, &e) {
+			t.Errorf("MustGet missing = %v", err)
+		}
+	}
+	// Drop.
+	if err := c.Drop("Students"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("students"); ok {
+		t.Error("dropped table still visible")
+	}
+	if err := c.Drop("students"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestCatalogList(t *testing.T) {
+	c := New()
+	for _, n := range []string{"zeta", "Alpha", "midway"} {
+		if _, err := c.Create(n, []Column{{Name: "x"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := []string{}
+	for _, tbl := range c.List() {
+		names = append(names, tbl.Name)
+	}
+	if strings.Join(names, ",") != "Alpha,midway,zeta" {
+		t.Errorf("List order = %v", names)
+	}
+}
+
+func TestCatalogSchemaEvolution(t *testing.T) {
+	c := New()
+	_, err := c.Create("t", []Column{{Name: "a", Type: TypeNumber}, {Name: "b", Type: TypeText}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version("t") != 1 {
+		t.Error("initial version should be 1")
+	}
+	if err := c.AddColumn("t", Column{Name: "c", Type: TypeBool}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version("t") != 2 {
+		t.Error("AddColumn should bump version")
+	}
+	if err := c.AddColumn("t", Column{Name: "A"}); err == nil {
+		t.Error("duplicate column (case-insensitive) should fail")
+	}
+	if err := c.AddColumn("missing", Column{Name: "x"}); err == nil {
+		t.Error("AddColumn to missing table should fail")
+	}
+	idx, err := c.DropColumn("t", "B")
+	if err != nil || idx != 1 {
+		t.Fatalf("DropColumn = %d, %v", idx, err)
+	}
+	tbl, _ := c.Get("t")
+	if len(tbl.Columns) != 2 || tbl.Columns[1].Name != "c" {
+		t.Errorf("columns after drop = %+v", tbl.Columns)
+	}
+	if _, err := c.DropColumn("t", "nope"); err == nil {
+		t.Error("dropping unknown column should fail")
+	}
+	if _, err := c.DropColumn("missing", "x"); err == nil {
+		t.Error("dropping from missing table should fail")
+	}
+	// Cannot drop the last column.
+	_, _ = c.DropColumn("t", "a")
+	if _, err := c.DropColumn("t", "c"); err == nil {
+		t.Error("dropping the only column should fail")
+	}
+	// Rename.
+	if err := c.RenameColumn("t", "c", "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ = c.Get("t")
+	if _, ok := tbl.ColumnIndex("renamed"); !ok {
+		t.Error("rename did not stick")
+	}
+	if err := c.RenameColumn("t", "missing", "x"); err == nil {
+		t.Error("renaming missing column should fail")
+	}
+	if err := c.RenameColumn("t", "renamed", ""); err == nil {
+		t.Error("renaming to empty should fail")
+	}
+	if c.Version("missing") != 0 {
+		t.Error("Version of missing table should be 0")
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tbl := &Table{Name: "x", Columns: []Column{
+		{Name: "id", PrimaryKey: true},
+		{Name: "grp", PrimaryKey: true},
+		{Name: "val"},
+	}}
+	if idx, ok := tbl.ColumnIndex("GRP"); !ok || idx != 1 {
+		t.Error("ColumnIndex wrong")
+	}
+	if _, ok := tbl.ColumnIndex("zzz"); ok {
+		t.Error("missing column found")
+	}
+	pk := tbl.PrimaryKey()
+	if len(pk) != 2 || pk[0] != 0 || pk[1] != 1 {
+		t.Errorf("PrimaryKey = %v", pk)
+	}
+	names := tbl.ColumnNames()
+	if len(names) != 3 || names[2] != "val" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+}
+
+func TestCatalogConcurrentAccess(t *testing.T) {
+	c := New()
+	_, _ = c.Create("base", []Column{{Name: "a"}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, _ = c.Get("base")
+				_ = c.List()
+				_ = c.Version("base")
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestInferSchemaWithHeader(t *testing.T) {
+	values := [][]sheet.Value{
+		{sheet.String_("Student ID"), sheet.String_("Name"), sheet.String_("Score")},
+		{sheet.Number(1), sheet.String_("alice"), sheet.Number(91.5)},
+		{sheet.Number(2), sheet.String_("bob"), sheet.Number(85)},
+	}
+	cols, data, header := InferSchema(values)
+	if !header {
+		t.Fatal("header should be detected")
+	}
+	if len(cols) != 3 || cols[0].Name != "Student_ID" || cols[1].Name != "Name" || cols[2].Name != "Score" {
+		t.Errorf("cols = %+v", cols)
+	}
+	if cols[0].Type != TypeNumber || cols[1].Type != TypeText || cols[2].Type != TypeNumber {
+		t.Errorf("types = %v %v %v", cols[0].Type, cols[1].Type, cols[2].Type)
+	}
+	if len(data) != 2 || data[0][1].Str != "alice" {
+		t.Errorf("data = %+v", data)
+	}
+}
+
+func TestInferSchemaWithoutHeader(t *testing.T) {
+	values := [][]sheet.Value{
+		{sheet.Number(1), sheet.Number(2)},
+		{sheet.Number(3), sheet.Number(4)},
+	}
+	cols, data, header := InferSchema(values)
+	if header {
+		t.Fatal("numeric first row should not be a header")
+	}
+	if cols[0].Name != "col1" || cols[1].Name != "col2" {
+		t.Errorf("cols = %+v", cols)
+	}
+	if len(data) != 2 {
+		t.Errorf("data rows = %d", len(data))
+	}
+}
+
+func TestInferSchemaMixedTypesAndRagged(t *testing.T) {
+	values := [][]sheet.Value{
+		{sheet.String_("a"), sheet.String_("b")},
+		{sheet.Number(1), sheet.String_("x")},
+		{sheet.String_("oops")}, // ragged, mixed type in col a
+	}
+	cols, data, _ := InferSchema(values)
+	if cols[0].Type != TypeAny {
+		t.Errorf("mixed column should widen to Any, got %v", cols[0].Type)
+	}
+	if len(data) != 2 || !data[1][1].IsEmpty() {
+		t.Error("ragged rows should be padded with empty values")
+	}
+}
+
+func TestInferSchemaAllTextUsesHeaderHeuristics(t *testing.T) {
+	values := [][]sheet.Value{
+		{sheet.String_("name"), sheet.String_("city")},
+		{sheet.String_("alice"), sheet.String_("urbana")},
+		{sheet.String_("bob"), sheet.String_("champaign")},
+	}
+	cols, data, header := InferSchema(values)
+	if !header || cols[0].Name != "name" || len(data) != 2 {
+		t.Errorf("all-text header heuristic failed: header=%v cols=%+v", header, cols)
+	}
+	// Two-row all-text tables keep both rows as data (too risky to guess).
+	_, data2, header2 := InferSchema(values[:2])
+	if header2 || len(data2) != 2 {
+		t.Error("two-row all-text should not strip a header")
+	}
+}
+
+func TestInferSchemaDegenerate(t *testing.T) {
+	if cols, _, _ := InferSchema(nil); cols != nil {
+		t.Error("nil input should infer nothing")
+	}
+	if cols, _, _ := InferSchema([][]sheet.Value{{}}); cols != nil {
+		t.Error("empty rows should infer nothing")
+	}
+	// Duplicate and unsanitary headers.
+	values := [][]sheet.Value{
+		{sheet.String_("a b"), sheet.String_("a-b"), sheet.String_("123"), sheet.String_("!!!")},
+		{sheet.Number(1), sheet.Number(2), sheet.Number(3), sheet.Number(4)},
+	}
+	cols, _, header := InferSchema(values)
+	if !header {
+		t.Fatal("header expected")
+	}
+	if cols[0].Name != "a_b" || cols[1].Name != "a_b_2" {
+		t.Errorf("dedupe failed: %v, %v", cols[0].Name, cols[1].Name)
+	}
+	if cols[2].Name != "c123" {
+		t.Errorf("numeric header sanitisation = %q", cols[2].Name)
+	}
+	if cols[3].Name != "col4" {
+		t.Errorf("symbol header fallback = %q", cols[3].Name)
+	}
+}

@@ -1,0 +1,162 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// InferSchema derives a table schema from a rectangular block of spreadsheet
+// values, as done when the user selects a range and asks DataSpread to create
+// a relational table from it (paper Figure 2b: "the schema of this table is
+// automatically inferred using the column heading and the data").
+//
+// The first row is treated as the header when every non-empty cell in it is
+// text and at least one data row below differs in kind; otherwise synthetic
+// names (col1, col2, …) are generated and all rows are data. It returns the
+// inferred columns and the data rows (with header removed when detected).
+func InferSchema(values [][]sheet.Value) (cols []Column, data [][]sheet.Value, headerUsed bool) {
+	if len(values) == 0 {
+		return nil, nil, false
+	}
+	width := 0
+	for _, r := range values {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	if width == 0 {
+		return nil, nil, false
+	}
+	headerUsed = looksLikeHeader(values)
+	start := 0
+	names := make([]string, width)
+	if headerUsed {
+		for c := 0; c < width; c++ {
+			var v sheet.Value
+			if c < len(values[0]) {
+				v = values[0][c]
+			}
+			names[c] = sanitizeName(v.AsString(), c)
+		}
+		start = 1
+	} else {
+		for c := 0; c < width; c++ {
+			names[c] = fmt.Sprintf("col%d", c+1)
+		}
+	}
+	names = dedupeNames(names)
+
+	types := make([]Type, width)
+	for c := range types {
+		types[c] = TypeAny
+	}
+	data = make([][]sheet.Value, 0, len(values)-start)
+	for _, r := range values[start:] {
+		row := make([]sheet.Value, width)
+		for c := 0; c < width; c++ {
+			if c < len(r) {
+				row[c] = r[c]
+			}
+		}
+		data = append(data, row)
+		for c := 0; c < width; c++ {
+			if !row[c].IsEmpty() {
+				types[c] = UnifyTypes(types[c], InferType(row[c]))
+			}
+		}
+	}
+	cols = make([]Column, width)
+	for c := 0; c < width; c++ {
+		cols[c] = Column{Name: names[c], Type: types[c]}
+	}
+	return cols, data, headerUsed
+}
+
+// looksLikeHeader applies the heuristic described above.
+func looksLikeHeader(values [][]sheet.Value) bool {
+	if len(values) < 2 {
+		return false
+	}
+	sawText := false
+	for _, v := range values[0] {
+		switch v.Kind {
+		case sheet.KindString:
+			sawText = true
+		case sheet.KindEmpty:
+		default:
+			return false
+		}
+	}
+	if !sawText {
+		return false
+	}
+	// At least one column whose first data value is not text suggests the
+	// first row is a header rather than data.
+	for c := range values[0] {
+		for _, r := range values[1:] {
+			if c < len(r) && !r[c].IsEmpty() {
+				if r[c].Kind != sheet.KindString {
+					return true
+				}
+				break
+			}
+		}
+	}
+	// All-text table: still treat the first row as a header when it has no
+	// duplicates and the table has several rows — matching what a user
+	// expects when exporting a contact-list-style range.
+	seen := make(map[string]bool)
+	for _, v := range values[0] {
+		s := strings.ToLower(v.AsString())
+		if s == "" || seen[s] {
+			return false
+		}
+		seen[s] = true
+	}
+	return len(values) >= 3
+}
+
+// sanitizeName converts a header cell into a usable column name.
+func sanitizeName(s string, idx int) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return fmt.Sprintf("col%d", idx+1)
+	}
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('c')
+			}
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '.':
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return fmt.Sprintf("col%d", idx+1)
+	}
+	return b.String()
+}
+
+// dedupeNames appends numeric suffixes to repeated column names.
+func dedupeNames(names []string) []string {
+	seen := make(map[string]int, len(names))
+	out := make([]string, len(names))
+	for i, n := range names {
+		k := strings.ToLower(n)
+		if c, dup := seen[k]; dup {
+			seen[k] = c + 1
+			out[i] = fmt.Sprintf("%s_%d", n, c+1)
+		} else {
+			seen[k] = 1
+			out[i] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+// Package compute implements DataSpread's compute engine (paper §3): the
+// component that keeps formula results up to date as cells and database
+// tables change. It maintains a dependency graph between formula cells and
+// their precedents, recomputes dirty formulas in dependency order, and —
+// following the paper's "computation optimisation" and "lazy computation"
+// semantics — prioritises the formulas whose results are visible in the
+// current window, finishing the rest asynchronously in the background.
+package compute
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/dataspread/dataspread/internal/formula"
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// CellID identifies a cell across the workbook.
+type CellID struct {
+	Sheet string
+	Addr  sheet.Address
+}
+
+// ErrCircular is the error value written to cells participating in a
+// circular reference.
+var ErrCircular = sheet.ErrorValue("#CIRC!")
+
+// dependency-index tile geometry: precedents are indexed at tile granularity
+// so "which formulas read this cell" is answered without scanning every
+// formula.
+const (
+	depTileRows = 64
+	depTileCols = 16
+)
+
+type depTile struct {
+	sheetKey string
+	tr, tc   int
+}
+
+type formulaNode struct {
+	id   CellID
+	expr formula.Expr
+	refs []formula.Reference // sheet names resolved ("" replaced)
+}
+
+// external is a non-cell dependent (e.g. a DBSQL binding in the interface
+// manager) that wants to be notified when any cell it reads changes.
+type external struct {
+	id       string
+	refs     []formula.Reference
+	callback func()
+}
+
+// Stats counts engine activity for experiments.
+type Stats struct {
+	Evaluations     uint64 // formula evaluations performed
+	VisibleFirst    uint64 // evaluations performed in the priority pass
+	BackgroundRuns  uint64 // background passes executed
+	ExternalNotifys uint64 // external dependents notified
+}
+
+// Engine is the compute engine over one workbook. All exported methods are
+// safe for concurrent use.
+type Engine struct {
+	mu       sync.Mutex
+	book     *sheet.Book
+	formulas map[CellID]*formulaNode
+	// depIndex indexes range precedents at tile granularity; depExact
+	// indexes single-cell precedents by exact address so wide fan-out on a
+	// hot cell does not degrade dependent lookups for unrelated cells.
+	depIndex  map[depTile]map[CellID]struct{}
+	depExact  map[CellID]map[CellID]struct{}
+	externals map[string]*external
+	visible   func() map[string]sheet.Range
+	stats     Stats
+	bg        sync.WaitGroup
+}
+
+// New creates a compute engine over the workbook.
+func New(book *sheet.Book) *Engine {
+	return &Engine{
+		book:      book,
+		formulas:  make(map[CellID]*formulaNode),
+		depIndex:  make(map[depTile]map[CellID]struct{}),
+		depExact:  make(map[CellID]map[CellID]struct{}),
+		externals: make(map[string]*external),
+	}
+}
+
+// SetVisibleProvider registers the function that reports the currently
+// visible range per sheet (the window manager). A nil provider disables
+// prioritisation.
+func (e *Engine) SetVisibleProvider(fn func() map[string]sheet.Range) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.visible = fn
+}
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// FormulaCount returns the number of registered formula cells.
+func (e *Engine) FormulaCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.formulas)
+}
+
+func sheetKey(name string) string { return strings.ToLower(name) }
+
+// tilesForRange enumerates the dependency-index tiles covering a range.
+func tilesForRange(sheetName string, r sheet.Range) []depTile {
+	var out []depTile
+	for tr := r.Start.Row / depTileRows; tr <= r.End.Row/depTileRows; tr++ {
+		for tc := r.Start.Col / depTileCols; tc <= r.End.Col/depTileCols; tc++ {
+			out = append(out, depTile{sheetKey: sheetKey(sheetName), tr: tr, tc: tc})
+		}
+	}
+	return out
+}
+
+// resolveRefs fills in the owning sheet for unqualified references.
+func resolveRefs(refs []formula.Reference, ownSheet string) []formula.Reference {
+	out := make([]formula.Reference, len(refs))
+	for i, r := range refs {
+		if r.Sheet == "" {
+			r.Sheet = ownSheet
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// --- registration ---
+
+// SetValue writes a literal value into a cell and recomputes dependents,
+// visible-first. It returns a wait function for the background pass.
+func (e *Engine) SetValue(sheetName string, a sheet.Address, v sheet.Value) (wait func()) {
+	sh := e.sheetOf(sheetName)
+	if sh == nil {
+		return func() {}
+	}
+	e.mu.Lock()
+	id := CellID{Sheet: sheetKey(sheetName), Addr: a}
+	e.unregisterLocked(id)
+	e.mu.Unlock()
+	sh.SetCell(a, sheet.Cell{Value: v})
+	return e.RecalcVisibleFirst(id)
+}
+
+// SetFormula parses and registers a formula cell, evaluates it, and
+// recomputes dependents visible-first. DBSQL/DBTABLE formulas are rejected
+// here — the core engine owns those.
+func (e *Engine) SetFormula(sheetName string, a sheet.Address, src string) (wait func(), err error) {
+	if name, ok := formula.IsDBFormula(src); ok {
+		return func() {}, &DBFormulaError{Name: name}
+	}
+	expr, err := formula.Parse(src)
+	if err != nil {
+		return func() {}, err
+	}
+	sh := e.sheetOf(sheetName)
+	if sh == nil {
+		return func() {}, &UnknownSheetError{Name: sheetName}
+	}
+	id := CellID{Sheet: sheetKey(sheetName), Addr: a}
+	node := &formulaNode{
+		id:   id,
+		expr: expr,
+		refs: resolveRefs(formula.References(expr), sheetName),
+	}
+	e.mu.Lock()
+	e.unregisterLocked(id)
+	e.formulas[id] = node
+	for _, ref := range node.refs {
+		if ref.Range.Size() == 1 {
+			key := CellID{Sheet: sheetKey(ref.Sheet), Addr: ref.Range.Start}
+			set, ok := e.depExact[key]
+			if !ok {
+				set = make(map[CellID]struct{})
+				e.depExact[key] = set
+			}
+			set[id] = struct{}{}
+			continue
+		}
+		for _, t := range tilesForRange(ref.Sheet, ref.Range) {
+			set, ok := e.depIndex[t]
+			if !ok {
+				set = make(map[CellID]struct{})
+				e.depIndex[t] = set
+			}
+			set[id] = struct{}{}
+		}
+	}
+	e.mu.Unlock()
+	src = strings.TrimPrefix(strings.TrimSpace(src), "=")
+	sh.SetCell(a, sheet.Cell{Formula: src})
+	return e.RecalcVisibleFirst(id), nil
+}
+
+// ClearCell removes a cell (value or formula) and recomputes dependents.
+func (e *Engine) ClearCell(sheetName string, a sheet.Address) (wait func()) {
+	sh := e.sheetOf(sheetName)
+	if sh == nil {
+		return func() {}
+	}
+	id := CellID{Sheet: sheetKey(sheetName), Addr: a}
+	e.mu.Lock()
+	e.unregisterLocked(id)
+	e.mu.Unlock()
+	sh.Clear(a)
+	return e.RecalcVisibleFirst(id)
+}
+
+// NotifyChanged tells the engine that cells were changed externally (e.g. a
+// DBTABLE binding refreshed a region) and triggers dependent recomputation.
+func (e *Engine) NotifyChanged(ids ...CellID) (wait func()) {
+	return e.RecalcVisibleFirst(ids...)
+}
+
+// RegisterExternal registers a non-cell dependent: callback runs whenever any
+// cell within refs changes. Used by the interface manager to refresh DBSQL
+// results that reference sheet data via RANGEVALUE/RANGETABLE.
+func (e *Engine) RegisterExternal(id string, refs []formula.Reference, ownSheet string, callback func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.externals[id] = &external{id: id, refs: resolveRefs(refs, ownSheet), callback: callback}
+}
+
+// UnregisterExternal removes an external dependent.
+func (e *Engine) UnregisterExternal(id string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.externals, id)
+}
+
+// unregisterLocked removes a formula node and its dependency-index entries.
+func (e *Engine) unregisterLocked(id CellID) {
+	node, ok := e.formulas[id]
+	if !ok {
+		return
+	}
+	for _, ref := range node.refs {
+		if ref.Range.Size() == 1 {
+			key := CellID{Sheet: sheetKey(ref.Sheet), Addr: ref.Range.Start}
+			if set, ok := e.depExact[key]; ok {
+				delete(set, id)
+				if len(set) == 0 {
+					delete(e.depExact, key)
+				}
+			}
+			continue
+		}
+		for _, t := range tilesForRange(ref.Sheet, ref.Range) {
+			if set, ok := e.depIndex[t]; ok {
+				delete(set, id)
+				if len(set) == 0 {
+					delete(e.depIndex, t)
+				}
+			}
+		}
+	}
+	delete(e.formulas, id)
+}
+
+func (e *Engine) sheetOf(name string) *sheet.Sheet {
+	for _, n := range e.book.SheetNames() {
+		if strings.EqualFold(n, name) {
+			sh, _ := e.book.Sheet(n)
+			return sh
+		}
+	}
+	return nil
+}
+
+// DBFormulaError reports an attempt to register a DBSQL/DBTABLE formula with
+// the plain compute engine.
+type DBFormulaError struct{ Name string }
+
+func (e *DBFormulaError) Error() string {
+	return "compute: " + e.Name + " formulas are evaluated by the core engine, not the compute engine"
+}
+
+// UnknownSheetError reports a reference to a sheet that does not exist.
+type UnknownSheetError struct{ Name string }
+
+func (e *UnknownSheetError) Error() string { return "compute: unknown sheet " + e.Name }

@@ -1,0 +1,360 @@
+package compute
+
+import (
+	"github.com/dataspread/dataspread/internal/formula"
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// bookSource adapts the workbook to the formula evaluator's DataSource.
+type bookSource struct {
+	engine   *Engine
+	ownSheet string
+}
+
+func (b *bookSource) CellValue(sheetName string, a sheet.Address) sheet.Value {
+	if sheetName == "" {
+		sheetName = b.ownSheet
+	}
+	sh := b.engine.sheetOf(sheetName)
+	if sh == nil {
+		return sheet.ErrRef
+	}
+	return sh.Value(a)
+}
+
+func (b *bookSource) RangeValues(sheetName string, r sheet.Range) [][]sheet.Value {
+	if sheetName == "" {
+		sheetName = b.ownSheet
+	}
+	sh := b.engine.sheetOf(sheetName)
+	if sh == nil {
+		return nil
+	}
+	return sh.Values(r)
+}
+
+// dependentsOf returns the formula cells that read the given cell.
+func (e *Engine) dependentsOf(id CellID) []CellID {
+	var out []CellID
+	// Exact single-cell precedents.
+	if set, ok := e.depExact[id]; ok {
+		for fid := range set {
+			out = append(out, fid)
+		}
+	}
+	// Range precedents indexed by tile.
+	t := depTile{sheetKey: id.Sheet, tr: id.Addr.Row / depTileRows, tc: id.Addr.Col / depTileCols}
+	set, ok := e.depIndex[t]
+	if !ok {
+		return out
+	}
+	for fid := range set {
+		node := e.formulas[fid]
+		if node == nil {
+			continue
+		}
+		for _, ref := range node.refs {
+			if ref.Range.Size() == 1 {
+				continue // handled by the exact index
+			}
+			if sheetKey(ref.Sheet) == id.Sheet && ref.Range.Contains(id.Addr) {
+				out = append(out, fid)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// dirtyClosure collects every formula transitively affected by the changed
+// cells (including changed cells that are themselves formulas).
+func (e *Engine) dirtyClosure(changed []CellID) map[CellID]*formulaNode {
+	dirty := make(map[CellID]*formulaNode)
+	var queue []CellID
+	push := func(id CellID) {
+		if node, ok := e.formulas[id]; ok {
+			if _, seen := dirty[id]; !seen {
+				dirty[id] = node
+				queue = append(queue, id)
+			}
+		}
+	}
+	for _, id := range changed {
+		id.Sheet = sheetKey(id.Sheet)
+		push(id)
+		for _, dep := range e.dependentsOf(id) {
+			push(dep)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, dep := range e.dependentsOf(id) {
+			push(dep)
+		}
+	}
+	return dirty
+}
+
+// buildDeps computes, for every dirty formula, which other dirty formulas it
+// reads (its dirty precedents). Small reference ranges are probed address by
+// address so the common case stays linear in the dirty-set size; only huge
+// ranges fall back to scanning the dirty set.
+func buildDeps(dirty map[CellID]*formulaNode) map[CellID][]CellID {
+	depsOf := make(map[CellID][]CellID, len(dirty))
+	const probeLimit = 512
+	for id, node := range dirty {
+		for _, ref := range node.refs {
+			sk := sheetKey(ref.Sheet)
+			if ref.Range.Size() <= probeLimit || ref.Range.Size() <= len(dirty) {
+				for row := ref.Range.Start.Row; row <= ref.Range.End.Row; row++ {
+					for col := ref.Range.Start.Col; col <= ref.Range.End.Col; col++ {
+						other := CellID{Sheet: sk, Addr: sheet.Addr(row, col)}
+						if other == id {
+							continue
+						}
+						if _, ok := dirty[other]; ok {
+							depsOf[id] = append(depsOf[id], other)
+						}
+					}
+				}
+				continue
+			}
+			for otherID := range dirty {
+				if otherID != id && sk == otherID.Sheet && ref.Range.Contains(otherID.Addr) {
+					depsOf[id] = append(depsOf[id], otherID)
+				}
+			}
+		}
+	}
+	return depsOf
+}
+
+// topoOrder orders the dirty formulas so precedents come before dependents.
+// Cells participating in a cycle are returned separately.
+func topoOrder(dirty map[CellID]*formulaNode, depsOf map[CellID][]CellID) (order []CellID, cyclic []CellID) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[CellID]int, len(dirty))
+	inCycle := make(map[CellID]bool)
+	var visit func(id CellID)
+	visit = func(id CellID) {
+		switch color[id] {
+		case grey:
+			inCycle[id] = true
+			return
+		case black:
+			return
+		}
+		color[id] = grey
+		for _, p := range depsOf[id] {
+			visit(p)
+		}
+		color[id] = black
+		order = append(order, id)
+	}
+	for id := range dirty {
+		visit(id)
+	}
+	if len(inCycle) > 0 {
+		// Anything that (transitively) depends on a cycle member is also
+		// cyclic; mark members themselves, keep the rest of the order.
+		filtered := order[:0]
+		for _, id := range order {
+			cycle := inCycle[id]
+			for _, p := range depsOf[id] {
+				if inCycle[p] {
+					cycle = true
+				}
+			}
+			if cycle {
+				inCycle[id] = true
+				cyclic = append(cyclic, id)
+			} else {
+				filtered = append(filtered, id)
+			}
+		}
+		order = filtered
+	}
+	return order, cyclic
+}
+
+// evaluate runs one formula and stores its value.
+func (e *Engine) evaluate(node *formulaNode) {
+	sh := e.sheetOf(node.id.Sheet)
+	if sh == nil {
+		return
+	}
+	env := &formula.Env{Sheet: node.id.Sheet, At: node.id.Addr, Data: &bookSource{engine: e, ownSheet: node.id.Sheet}}
+	v := formula.Eval(node.expr, env)
+	sh.SetComputedValue(node.id.Addr, v)
+}
+
+// isVisible reports whether a cell lies in the currently visible window.
+func (e *Engine) isVisible(id CellID, visible map[string]sheet.Range) bool {
+	if visible == nil {
+		return false
+	}
+	for name, r := range visible {
+		if sheetKey(name) == id.Sheet && r.Contains(id.Addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// RecalcVisibleFirst recomputes every formula affected by the changed cells.
+// Formulas that are visible in the current window — and the dirty precedents
+// they depend on — are evaluated synchronously before this method returns;
+// the remaining dirty formulas are evaluated on a background goroutine (the
+// paper's lazy computation). The returned wait function blocks until the
+// background pass (and external notifications) complete.
+func (e *Engine) RecalcVisibleFirst(changed ...CellID) (wait func()) {
+	e.mu.Lock()
+	dirty := e.dirtyClosure(changed)
+	deps := buildDeps(dirty)
+	order, cyclic := topoOrder(dirty, deps)
+	var visible map[string]sheet.Range
+	if e.visible != nil {
+		visible = e.visible()
+	}
+	// Priority set: visible dirty formulas plus their dirty precedents.
+	priority := make(map[CellID]bool)
+	if visible != nil {
+		for id := range dirty {
+			if e.isVisible(id, visible) {
+				priority[id] = true
+			}
+		}
+		// Propagate: a precedent of a priority node is priority. Walk the
+		// topological order backwards so marks propagate transitively.
+		for i := len(order) - 1; i >= 0; i-- {
+			id := order[i]
+			if !priority[id] {
+				continue
+			}
+			for _, p := range deps[id] {
+				priority[p] = true
+			}
+		}
+	} else {
+		// No window provider: everything is priority (fully synchronous).
+		for id := range dirty {
+			priority[id] = true
+		}
+	}
+	// Mark circular cells immediately.
+	for _, id := range cyclic {
+		if sh := e.sheetOf(id.Sheet); sh != nil {
+			sh.SetComputedValue(id.Addr, ErrCircular)
+		}
+	}
+	// Evaluate the priority pass synchronously (in topo order).
+	var background []CellID
+	for _, id := range order {
+		if priority[id] {
+			e.evaluate(dirty[id])
+			e.stats.Evaluations++
+			e.stats.VisibleFirst++
+		} else {
+			background = append(background, id)
+		}
+	}
+	// Collect external dependents affected by the changed cells or by any
+	// recomputed formula.
+	notif := e.affectedExternalsLocked(changed, dirty)
+	bgNodes := make([]*formulaNode, 0, len(background))
+	for _, id := range background {
+		bgNodes = append(bgNodes, dirty[id])
+	}
+	e.mu.Unlock()
+
+	done := make(chan struct{})
+	e.bg.Add(1)
+	go func() {
+		defer e.bg.Done()
+		defer close(done)
+		for _, node := range bgNodes {
+			e.evaluate(node)
+			e.mu.Lock()
+			e.stats.Evaluations++
+			e.mu.Unlock()
+		}
+		if len(bgNodes) > 0 {
+			e.mu.Lock()
+			e.stats.BackgroundRuns++
+			e.mu.Unlock()
+		}
+		for _, ext := range notif {
+			ext.callback()
+			e.mu.Lock()
+			e.stats.ExternalNotifys++
+			e.mu.Unlock()
+		}
+	}()
+	return func() { <-done }
+}
+
+// RecalcAll synchronously recomputes every registered formula in dependency
+// order (used after bulk loads and by the naive baseline comparison).
+func (e *Engine) RecalcAll() {
+	e.mu.Lock()
+	dirty := make(map[CellID]*formulaNode, len(e.formulas))
+	for id, node := range e.formulas {
+		dirty[id] = node
+	}
+	order, cyclic := topoOrder(dirty, buildDeps(dirty))
+	e.mu.Unlock()
+	for _, id := range cyclic {
+		if sh := e.sheetOf(id.Sheet); sh != nil {
+			sh.SetComputedValue(id.Addr, ErrCircular)
+		}
+	}
+	for _, id := range order {
+		e.evaluate(dirty[id])
+		e.mu.Lock()
+		e.stats.Evaluations++
+		e.mu.Unlock()
+	}
+}
+
+// Wait blocks until all background passes started so far have completed.
+func (e *Engine) Wait() { e.bg.Wait() }
+
+// affectedExternalsLocked returns external dependents whose watched ranges
+// intersect the changed cells or any recomputed formula cell.
+func (e *Engine) affectedExternalsLocked(changed []CellID, dirty map[CellID]*formulaNode) []*external {
+	if len(e.externals) == 0 {
+		return nil
+	}
+	touched := make(map[CellID]struct{}, len(changed)+len(dirty))
+	for _, id := range changed {
+		id.Sheet = sheetKey(id.Sheet)
+		touched[id] = struct{}{}
+	}
+	for id := range dirty {
+		touched[id] = struct{}{}
+	}
+	var out []*external
+	for _, ext := range e.externals {
+		hit := false
+		for id := range touched {
+			for _, ref := range ext.refs {
+				if sheetKey(ref.Sheet) == id.Sheet && ref.Range.Contains(id.Addr) {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				break
+			}
+		}
+		if hit {
+			out = append(out, ext)
+		}
+	}
+	return out
+}

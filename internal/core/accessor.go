@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/catalog"
+	"github.com/dataspread/dataspread/internal/formula"
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// isDBFormula and dbFormulaArgs delegate to the formula package; the thin
+// wrappers keep dataspread.go readable.
+func isDBFormula(src string) (string, bool) { return formula.IsDBFormula(src) }
+
+func dbFormulaArgs(src string) (string, []string, error) { return formula.DBArgs(src) }
+
+// sheetAccessor implements sqlexec.SheetAccessor over a DataSpread workbook,
+// resolving the paper's positional constructs against live sheet data.
+type sheetAccessor struct {
+	ds *DataSpread
+}
+
+// splitRef splits "Sheet2!B2" into sheet and reference parts; an unqualified
+// reference resolves against the first sheet of the workbook.
+func (sa *sheetAccessor) splitRef(ref string) (*sheet.Sheet, string, error) {
+	sheetName := ""
+	rest := ref
+	if i := strings.Index(ref, "!"); i >= 0 {
+		sheetName = ref[:i]
+		rest = ref[i+1:]
+	}
+	if sheetName == "" {
+		names := sa.ds.book.SheetNames()
+		if len(names) == 0 {
+			return nil, "", fmt.Errorf("core: workbook has no sheets")
+		}
+		sheetName = names[0]
+	}
+	sh, _, err := sa.ds.sheetOf(sheetName)
+	if err != nil {
+		return nil, "", err
+	}
+	return sh, rest, nil
+}
+
+// RangeValue implements sqlexec.SheetAccessor.
+func (sa *sheetAccessor) RangeValue(ref string) (sheet.Value, error) {
+	sh, rest, err := sa.splitRef(ref)
+	if err != nil {
+		return sheet.Empty(), err
+	}
+	a, err := sheet.ParseAddress(rest)
+	if err != nil {
+		return sheet.Empty(), fmt.Errorf("core: RANGEVALUE: %w", err)
+	}
+	return sh.Value(a), nil
+}
+
+// RangeTable implements sqlexec.SheetAccessor: a sheet range becomes a
+// relation, with column names taken from the first row when it looks like a
+// header (same inference as exporting a range to a table).
+func (sa *sheetAccessor) RangeTable(ref string, headerRow bool) ([]string, [][]sheet.Value, error) {
+	sh, rest, err := sa.splitRef(ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := sheet.ParseRange(rest)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: RANGETABLE: %w", err)
+	}
+	values := sh.Values(r)
+	if !headerRow {
+		names := make([]string, r.Cols())
+		for i := range names {
+			names[i] = fmt.Sprintf("col%d", i+1)
+		}
+		return names, values, nil
+	}
+	cols, data, usedHeader := catalog.InferSchema(values)
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	if !usedHeader {
+		// The caller asked for a header but the first row does not look
+		// like one; fall back to positional names over all rows.
+		return names, values, nil
+	}
+	return names, data, nil
+}

@@ -1,0 +1,345 @@
+// Package core is DataSpread's unification layer: the public API that ties
+// the spreadsheet front-end (sheets, formulas, windows) to the embedded
+// relational engine (catalog, storage, SQL) through the interface manager and
+// the compute engine — the architecture of the paper's Figure 1.
+//
+// A DataSpread instance owns one workbook and one database. Users interact
+// with it exactly as the paper describes:
+//
+//   - ordinary spreadsheet editing (SetCell with literals or formulas),
+//   - DBSQL("...") cell formulas that run arbitrary SQL — possibly
+//     referencing sheet data via RANGEVALUE/RANGETABLE — and spill their
+//     result into the sheet,
+//   - DBTABLE("table") cell formulas that two-way bind a region to a
+//     relational table,
+//   - exporting a sheet range as a new relational table (Figure 2b),
+//   - direct SQL over everything (Query), and
+//   - window operations (ScrollTo) that drive fetch-on-demand and
+//     visible-first computation.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/catalog"
+	"github.com/dataspread/dataspread/internal/compute"
+	"github.com/dataspread/dataspread/internal/interfacemgr"
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/sqlexec"
+	"github.com/dataspread/dataspread/internal/storage/cellstore"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+	"github.com/dataspread/dataspread/internal/window"
+)
+
+// Options configure a DataSpread instance.
+type Options struct {
+	// Layout selects the relational storage layout (default hybrid).
+	Layout sqlexec.Layout
+	// GroupSize is the attribute-group size for hybrid tables.
+	GroupSize int
+	// WindowRows/WindowCols size the visible pane.
+	WindowRows int
+	WindowCols int
+	// UseBlockedCellStore stores ad-hoc sheet cells through the interface
+	// storage manager (proximity-blocked, 2-D indexed) instead of a plain
+	// map.
+	UseBlockedCellStore bool
+	// MaterializeAllLimit overrides the row count above which DBTABLE
+	// bindings materialise only the visible window.
+	MaterializeAllLimit int
+}
+
+// DataSpread is the unified spreadsheet–database system.
+type DataSpread struct {
+	book    *sheet.Book
+	db      *sqlexec.Database
+	engine  *compute.Engine
+	windows *window.Manager
+	iface   *interfacemgr.Manager
+	session *sqlexec.Session
+}
+
+// New creates a DataSpread instance with a single sheet named "Sheet1".
+func New(opts Options) *DataSpread {
+	var book *sheet.Book
+	if opts.UseBlockedCellStore {
+		store := pager.NewStore()
+		book = sheet.NewBookWithStore(func() sheet.CellStore {
+			return cellstore.NewBlockedStore(pager.NewBufferPool(store, 1024))
+		})
+	} else {
+		book = sheet.NewBook()
+	}
+	db := sqlexec.NewDatabase(sqlexec.Config{Layout: opts.Layout, GroupSize: opts.GroupSize})
+	engine := compute.New(book)
+	windows := window.NewManager(opts.WindowRows, opts.WindowCols)
+	engine.SetVisibleProvider(windows.Visible)
+	iface := interfacemgr.New(db, book, engine, windows)
+	if opts.MaterializeAllLimit > 0 {
+		iface.SetMaterializeAllLimit(opts.MaterializeAllLimit)
+	}
+	ds := &DataSpread{
+		book:    book,
+		db:      db,
+		engine:  engine,
+		windows: windows,
+		iface:   iface,
+	}
+	ds.session = db.NewSession(&sheetAccessor{ds: ds})
+	iface.SetQueryRunner(func(sql string) (*sqlexec.Result, error) { return ds.session.Query(sql) })
+	ds.AddSheet("Sheet1")
+	return ds
+}
+
+// Book returns the workbook.
+func (ds *DataSpread) Book() *sheet.Book { return ds.book }
+
+// DB returns the embedded relational engine.
+func (ds *DataSpread) DB() *sqlexec.Database { return ds.db }
+
+// Engine returns the compute engine.
+func (ds *DataSpread) Engine() *compute.Engine { return ds.engine }
+
+// Windows returns the window manager.
+func (ds *DataSpread) Windows() *window.Manager { return ds.windows }
+
+// Interface returns the interface manager.
+func (ds *DataSpread) Interface() *interfacemgr.Manager { return ds.iface }
+
+// AddSheet creates (or returns) a sheet with the given name.
+func (ds *DataSpread) AddSheet(name string) *sheet.Sheet { return ds.book.AddSheet(name) }
+
+// sheetOf resolves a sheet by name, case-insensitively.
+func (ds *DataSpread) sheetOf(name string) (*sheet.Sheet, string, error) {
+	for _, n := range ds.book.SheetNames() {
+		if strings.EqualFold(n, name) {
+			sh, _ := ds.book.Sheet(n)
+			return sh, n, nil
+		}
+	}
+	return nil, "", fmt.Errorf("core: unknown sheet %q", name)
+}
+
+// --- cell-level interaction ---
+
+// SetCell enters user input into a cell, exactly as typing into the grid:
+//   - input beginning with "=" is a formula; DBSQL/DBTABLE formulas create
+//     bindings through the interface manager, anything else goes to the
+//     compute engine;
+//   - other input is parsed as a literal (number, boolean, text); if the
+//     target cell is bound to a relational table the edit is pushed to the
+//     database (two-way sync), otherwise it is ordinary sheet content.
+//
+// The returned wait function blocks until asynchronous background
+// recomputation triggered by the edit has finished; callers that only care
+// about the visible window may ignore it.
+func (ds *DataSpread) SetCell(sheetName, addr, input string) (wait func(), err error) {
+	a, err := sheet.ParseAddress(addr)
+	if err != nil {
+		return nil, err
+	}
+	return ds.SetCellAt(sheetName, a, input)
+}
+
+// SetCellAt is SetCell with a parsed address.
+func (ds *DataSpread) SetCellAt(sheetName string, a sheet.Address, input string) (wait func(), err error) {
+	_, canonical, err := ds.sheetOf(sheetName)
+	if err != nil {
+		return nil, err
+	}
+	noop := func() {}
+	trimmed := strings.TrimSpace(input)
+	if strings.HasPrefix(trimmed, "=") {
+		if name, ok := formulaIsDB(trimmed); ok {
+			return noop, ds.setDBFormula(canonical, a, name, trimmed)
+		}
+		return ds.engine.SetFormula(canonical, a, trimmed)
+	}
+	v := sheet.ParseLiteral(input)
+	// Route edits on bound cells to the database (Feature 3).
+	if handled, err := ds.iface.HandleSheetEdit(canonical, a, v); handled {
+		return noop, err
+	}
+	if v.IsEmpty() {
+		return ds.engine.ClearCell(canonical, a), nil
+	}
+	return ds.engine.SetValue(canonical, a, v), nil
+}
+
+// Get returns the current value of a cell.
+func (ds *DataSpread) Get(sheetName, addr string) (sheet.Value, error) {
+	a, err := sheet.ParseAddress(addr)
+	if err != nil {
+		return sheet.Empty(), err
+	}
+	sh, _, err := ds.sheetOf(sheetName)
+	if err != nil {
+		return sheet.Empty(), err
+	}
+	return sh.Value(a), nil
+}
+
+// GetRange returns the values of a range as a dense matrix.
+func (ds *DataSpread) GetRange(sheetName, rng string) ([][]sheet.Value, error) {
+	r, err := sheet.ParseRange(rng)
+	if err != nil {
+		return nil, err
+	}
+	sh, _, err := ds.sheetOf(sheetName)
+	if err != nil {
+		return nil, err
+	}
+	return sh.Values(r), nil
+}
+
+// Wait blocks until all background recomputation has finished. Tests and
+// benchmarks use it to observe a quiescent state.
+func (ds *DataSpread) Wait() { ds.engine.Wait() }
+
+// --- SQL and window operations ---
+
+// Query executes a SQL statement with full access to sheet data through
+// RANGEVALUE/RANGETABLE.
+func (ds *DataSpread) Query(sql string) (*sqlexec.Result, error) {
+	return ds.session.Query(sql)
+}
+
+// QueryScript executes a semicolon-separated SQL script.
+func (ds *DataSpread) QueryScript(sql string) (*sqlexec.Result, error) {
+	return ds.session.QueryScript(sql)
+}
+
+// ScrollTo moves the visible window of a sheet and refreshes window-bound
+// tables (fetch-on-demand panning).
+func (ds *DataSpread) ScrollTo(sheetName, topLeft string) error {
+	a, err := sheet.ParseAddress(topLeft)
+	if err != nil {
+		return err
+	}
+	_, canonical, err := ds.sheetOf(sheetName)
+	if err != nil {
+		return err
+	}
+	ds.windows.ScrollTo(canonical, a)
+	return ds.iface.OnScroll(canonical)
+}
+
+// VisibleValues returns the values of the current window of a sheet.
+func (ds *DataSpread) VisibleValues(sheetName string) ([][]sheet.Value, error) {
+	sh, canonical, err := ds.sheetOf(sheetName)
+	if err != nil {
+		return nil, err
+	}
+	return sh.Values(ds.windows.Window(canonical)), nil
+}
+
+// --- import / export (paper Feature 2) ---
+
+// ExportOptions configure CreateTableFromRange.
+type ExportOptions struct {
+	// PrimaryKey names the column(s) to declare as the primary key.
+	PrimaryKey []string
+	// KeepRegion, when true, leaves the original cells in place instead of
+	// replacing them with a DBTABLE binding.
+	KeepRegion bool
+}
+
+// CreateTableFromRange exports a sheet range as a new relational table: the
+// schema is inferred from the header row and the data (paper Figure 2b), the
+// rows are inserted, and — unless KeepRegion is set — the region is replaced
+// by a DBTABLE binding so it stays in sync with the database from then on.
+func (ds *DataSpread) CreateTableFromRange(sheetName, rng, tableName string, opts ExportOptions) (*interfacemgr.Binding, error) {
+	r, err := sheet.ParseRange(rng)
+	if err != nil {
+		return nil, err
+	}
+	sh, canonical, err := ds.sheetOf(sheetName)
+	if err != nil {
+		return nil, err
+	}
+	values := sh.Values(r)
+	hasData := false
+	for _, row := range values {
+		for _, v := range row {
+			if !v.IsEmpty() {
+				hasData = true
+				break
+			}
+		}
+	}
+	if !hasData {
+		return nil, fmt.Errorf("core: range %s has no data to export", rng)
+	}
+	cols, data, _ := catalog.InferSchema(values)
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("core: range %s has no data to export", rng)
+	}
+	for i := range cols {
+		for _, pk := range opts.PrimaryKey {
+			if strings.EqualFold(cols[i].Name, pk) {
+				cols[i].PrimaryKey = true
+			}
+		}
+	}
+	if err := ds.db.CreateTable(tableName, cols); err != nil {
+		return nil, err
+	}
+	for _, row := range data {
+		if _, err := ds.db.Insert(tableName, row); err != nil {
+			// Leave the table in place with the rows inserted so far; the
+			// caller sees exactly which row failed.
+			return nil, fmt.Errorf("core: exporting range %s: %w", rng, err)
+		}
+	}
+	if opts.KeepRegion {
+		return nil, nil
+	}
+	// Replace the region with a DBTABLE binding anchored at its top-left.
+	sh.ClearRange(r)
+	return ds.iface.BindTable(canonical, r.Start, tableName)
+}
+
+// ImportTable binds an existing relational table at the given anchor cell
+// (DBTABLE import direction).
+func (ds *DataSpread) ImportTable(sheetName, anchor, tableName string) (*interfacemgr.Binding, error) {
+	a, err := sheet.ParseAddress(anchor)
+	if err != nil {
+		return nil, err
+	}
+	_, canonical, err := ds.sheetOf(sheetName)
+	if err != nil {
+		return nil, err
+	}
+	return ds.iface.BindTable(canonical, a, tableName)
+}
+
+// --- DBSQL / DBTABLE cell formulas ---
+
+func formulaIsDB(src string) (string, bool) {
+	name, ok := isDBFormula(src)
+	return name, ok
+}
+
+// setDBFormula creates the binding for a DBSQL/DBTABLE formula entered at a
+// cell: the formula text is stored in the cell and the result is spilled
+// into the region below/right of it.
+func (ds *DataSpread) setDBFormula(sheetName string, a sheet.Address, name, src string) error {
+	_, args, err := dbFormulaArgs(src)
+	if err != nil {
+		return err
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("core: %s requires an argument", name)
+	}
+	switch name {
+	case "DBSQL":
+		_, err := ds.iface.BindQuery(sheetName, a, args[0])
+		return err
+	case "DBTABLE":
+		_, err := ds.iface.BindTable(sheetName, a, args[0])
+		return err
+	default:
+		return fmt.Errorf("core: unknown database formula %q", name)
+	}
+}

@@ -1,0 +1,154 @@
+// Package datagen generates the synthetic workloads used by the examples and
+// the experiment harness: the course-gradebook and demographics sheets from
+// the paper's introduction, the IMDB-style movies/actors tables from the
+// demonstration (Figure 2a), and random numeric grids for scalability
+// sweeps. All generators are deterministic given a seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// Gradebook returns a (1+students) × (1+assignments+1) matrix: a header row,
+// one row per student with one score per assignment, and a final "grade"
+// column holding the average. Scores are in [40, 100].
+func Gradebook(students, assignments int, seed int64) [][]sheet.Value {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]sheet.Value, 0, students+1)
+	header := make([]sheet.Value, 0, assignments+2)
+	header = append(header, sheet.String_("student"))
+	for a := 0; a < assignments; a++ {
+		header = append(header, sheet.String_(fmt.Sprintf("a%d", a+1)))
+	}
+	header = append(header, sheet.String_("grade"))
+	rows = append(rows, header)
+	for s := 0; s < students; s++ {
+		row := make([]sheet.Value, 0, assignments+2)
+		row = append(row, sheet.String_(fmt.Sprintf("s%06d", s)))
+		total := 0.0
+		for a := 0; a < assignments; a++ {
+			score := float64(40 + rng.Intn(61))
+			total += score
+			row = append(row, sheet.Number(score))
+		}
+		row = append(row, sheet.Number(total/float64(assignments)))
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Demographics returns a (1+students) × 3 matrix: student id, demographic
+// group (ug/ms/phd with 60/25/15% skew) and an enrolment year.
+func Demographics(students int, seed int64) [][]sheet.Value {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]sheet.Value, 0, students+1)
+	rows = append(rows, []sheet.Value{sheet.String_("student"), sheet.String_("grp"), sheet.String_("year")})
+	for s := 0; s < students; s++ {
+		grp := "ug"
+		switch r := rng.Float64(); {
+		case r > 0.85:
+			grp = "phd"
+		case r > 0.60:
+			grp = "ms"
+		}
+		rows = append(rows, []sheet.Value{
+			sheet.String_(fmt.Sprintf("s%06d", s)),
+			sheet.String_(grp),
+			sheet.Number(float64(2010 + rng.Intn(6))),
+		})
+	}
+	return rows
+}
+
+// Movies describes the IMDB-style demo dataset: movies, actors, and the
+// many-to-many movies2actors relationship.
+type Movies struct {
+	Movies        [][]sheet.Value // movieid, title, year
+	Actors        [][]sheet.Value // actorid, name
+	Movies2Actors [][]sheet.Value // movieid, actorid
+}
+
+// MoviesDataset generates a movies dataset with the given number of movies;
+// the actor pool is one quarter of the movie count (at least 10) and each
+// movie credits actorsPerMovie actors.
+func MoviesDataset(movies, actorsPerMovie int, seed int64) Movies {
+	rng := rand.New(rand.NewSource(seed))
+	actorCount := movies / 4
+	if actorCount < 10 {
+		actorCount = 10
+	}
+	var out Movies
+	for a := 0; a < actorCount; a++ {
+		out.Actors = append(out.Actors, []sheet.Value{
+			sheet.Number(float64(a + 1)),
+			sheet.String_(fmt.Sprintf("actor_%05d", a+1)),
+		})
+	}
+	for m := 0; m < movies; m++ {
+		out.Movies = append(out.Movies, []sheet.Value{
+			sheet.Number(float64(m + 1)),
+			sheet.String_(fmt.Sprintf("movie_%06d", m+1)),
+			sheet.Number(float64(1940 + rng.Intn(80))),
+		})
+		seen := make(map[int]bool, actorsPerMovie)
+		for len(seen) < actorsPerMovie {
+			a := rng.Intn(actorCount) + 1
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			out.Movies2Actors = append(out.Movies2Actors, []sheet.Value{
+				sheet.Number(float64(m + 1)),
+				sheet.Number(float64(a)),
+			})
+		}
+	}
+	return out
+}
+
+// NumericGrid returns a rows × cols matrix of random numbers in [0, 1000).
+func NumericGrid(rows, cols int, seed int64) [][]sheet.Value {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]sheet.Value, rows)
+	for r := range out {
+		out[r] = make([]sheet.Value, cols)
+		for c := range out[r] {
+			out[r][c] = sheet.Number(float64(rng.Intn(1000)))
+		}
+	}
+	return out
+}
+
+// WideRows returns row tuples (no header) with the given number of numeric
+// columns, for storage-layout experiments.
+func WideRows(rows, cols int, seed int64) [][]sheet.Value {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]sheet.Value, rows)
+	for r := range out {
+		out[r] = make([]sheet.Value, cols)
+		out[r][0] = sheet.Number(float64(r + 1))
+		for c := 1; c < cols; c++ {
+			out[r][c] = sheet.Number(float64(rng.Intn(1_000_000)))
+		}
+	}
+	return out
+}
+
+// SparseCells returns n cells scattered over a tall, moderately wide sheet
+// region (rows x cols), for interface-storage experiments. Cell addresses are
+// unique.
+func SparseCells(n, rows, cols int, seed int64) map[sheet.Address]sheet.Value {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[sheet.Address]sheet.Value, n)
+	for len(out) < n {
+		a := sheet.Addr(rng.Intn(rows), rng.Intn(cols))
+		if _, dup := out[a]; dup {
+			continue
+		}
+		out[a] = sheet.Number(float64(rng.Intn(10_000)))
+	}
+	return out
+}

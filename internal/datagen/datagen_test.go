@@ -1,0 +1,100 @@
+package datagen
+
+import (
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+func TestGradebookShapeAndDeterminism(t *testing.T) {
+	g := Gradebook(100, 5, 1)
+	if len(g) != 101 {
+		t.Fatalf("rows = %d", len(g))
+	}
+	if len(g[0]) != 7 || g[0][0].Str != "student" || g[0][6].Str != "grade" {
+		t.Errorf("header = %v", g[0])
+	}
+	for _, row := range g[1:] {
+		sum := 0.0
+		for c := 1; c <= 5; c++ {
+			if row[c].Num < 40 || row[c].Num > 100 {
+				t.Fatalf("score out of range: %v", row[c])
+			}
+			sum += row[c].Num
+		}
+		if row[6].Num != sum/5 {
+			t.Fatalf("grade column is not the average")
+		}
+	}
+	// Determinism.
+	g2 := Gradebook(100, 5, 1)
+	if g[50][3].Num != g2[50][3].Num {
+		t.Error("same seed should give same data")
+	}
+	if g3 := Gradebook(100, 5, 2); g3[50][3].Num == g[50][3].Num && g3[51][3].Num == g[51][3].Num && g3[52][3].Num == g[52][3].Num {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestDemographicsSkew(t *testing.T) {
+	d := Demographics(3000, 3)
+	if len(d) != 3001 || len(d[0]) != 3 {
+		t.Fatalf("shape = %d x %d", len(d), len(d[0]))
+	}
+	counts := map[string]int{}
+	for _, row := range d[1:] {
+		counts[row[1].Str]++
+	}
+	if counts["ug"] < counts["ms"] || counts["ms"] < counts["phd"] || counts["phd"] == 0 {
+		t.Errorf("group skew wrong: %v", counts)
+	}
+}
+
+func TestMoviesDataset(t *testing.T) {
+	m := MoviesDataset(200, 5, 7)
+	if len(m.Movies) != 200 || len(m.Movies2Actors) != 1000 {
+		t.Fatalf("sizes = %d, %d", len(m.Movies), len(m.Movies2Actors))
+	}
+	if len(m.Actors) != 50 {
+		t.Errorf("actors = %d", len(m.Actors))
+	}
+	// Every credit references an existing movie and actor; no duplicate
+	// (movie, actor) pairs.
+	seen := map[[2]int]bool{}
+	for _, credit := range m.Movies2Actors {
+		mid, aid := int(credit[0].Num), int(credit[1].Num)
+		if mid < 1 || mid > 200 || aid < 1 || aid > len(m.Actors) {
+			t.Fatalf("dangling credit %v", credit)
+		}
+		k := [2]int{mid, aid}
+		if seen[k] {
+			t.Fatalf("duplicate credit %v", k)
+		}
+		seen[k] = true
+	}
+	// Tiny datasets still get an actor pool.
+	tiny := MoviesDataset(4, 2, 1)
+	if len(tiny.Actors) != 10 {
+		t.Errorf("tiny actor pool = %d", len(tiny.Actors))
+	}
+}
+
+func TestGridsAndSparseCells(t *testing.T) {
+	g := NumericGrid(20, 4, 5)
+	if len(g) != 20 || len(g[0]) != 4 || g[0][0].Kind != sheet.KindNumber {
+		t.Error("NumericGrid shape wrong")
+	}
+	w := WideRows(10, 6, 5)
+	if len(w) != 10 || w[3][0].Num != 4 {
+		t.Error("WideRows id column wrong")
+	}
+	cells := SparseCells(500, 10000, 50, 9)
+	if len(cells) != 500 {
+		t.Fatalf("SparseCells = %d", len(cells))
+	}
+	for a := range cells {
+		if a.Row < 0 || a.Row >= 10000 || a.Col < 0 || a.Col >= 50 {
+			t.Fatalf("cell out of region: %v", a)
+		}
+	}
+}

@@ -1,0 +1,626 @@
+package formula
+
+import (
+	"math"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// DataSource supplies cell contents to the evaluator. The compute engine
+// passes an implementation backed by the workbook.
+type DataSource interface {
+	// CellValue returns the current value of a cell. sheetName "" means the
+	// sheet the formula lives on.
+	CellValue(sheetName string, a sheet.Address) sheet.Value
+	// RangeValues returns the values of a range as a dense row-major
+	// matrix.
+	RangeValues(sheetName string, r sheet.Range) [][]sheet.Value
+}
+
+// Env is the evaluation environment of one formula.
+type Env struct {
+	// Sheet is the name of the sheet the formula lives on.
+	Sheet string
+	// At is the address of the cell holding the formula.
+	At sheet.Address
+	// Data resolves references.
+	Data DataSource
+}
+
+// Eval evaluates a parsed formula expression to a spreadsheet value.
+// Evaluation never returns a Go error: failures surface as spreadsheet error
+// values (#VALUE!, #DIV/0!, #NAME?, ...) exactly as a spreadsheet would show
+// them.
+func Eval(e Expr, env *Env) sheet.Value {
+	switch x := e.(type) {
+	case *NumberLit:
+		return sheet.Number(x.Value)
+	case *TextLit:
+		return sheet.String_(x.Value)
+	case *BoolLit:
+		return sheet.Bool_(x.Value)
+	case *CellRef:
+		if env.Data == nil {
+			return sheet.ErrRef
+		}
+		return env.Data.CellValue(x.Sheet, x.Ref.Address)
+	case *RangeRef:
+		// A bare range in a scalar context yields #VALUE!; ranges are only
+		// meaningful as function arguments.
+		return sheet.ErrValue
+	case *UnaryExpr:
+		v := Eval(x.X, env)
+		if v.IsError() {
+			return v
+		}
+		f, ok := v.AsNumber()
+		if !ok {
+			return sheet.ErrValue
+		}
+		if x.Op == "%" {
+			return sheet.Number(f / 100)
+		}
+		return sheet.Number(-f)
+	case *BinaryExpr:
+		return evalBinary(x, env)
+	case *Call:
+		return evalCall(x, env)
+	default:
+		return sheet.ErrValue
+	}
+}
+
+func evalBinary(x *BinaryExpr, env *Env) sheet.Value {
+	l := Eval(x.Left, env)
+	if l.IsError() {
+		return l
+	}
+	r := Eval(x.Right, env)
+	if r.IsError() {
+		return r
+	}
+	switch x.Op {
+	case "&":
+		return sheet.String_(l.AsString() + r.AsString())
+	case "=", "<>", "<", "<=", ">", ">=":
+		var res bool
+		switch x.Op {
+		case "=":
+			res = l.Equal(r)
+		case "<>":
+			res = !l.Equal(r)
+		case "<":
+			res = l.Compare(r) < 0
+		case "<=":
+			res = l.Compare(r) <= 0
+		case ">":
+			res = l.Compare(r) > 0
+		case ">=":
+			res = l.Compare(r) >= 0
+		}
+		return sheet.Bool_(res)
+	}
+	a, okA := l.AsNumber()
+	b, okB := r.AsNumber()
+	if !okA || !okB {
+		return sheet.ErrValue
+	}
+	switch x.Op {
+	case "+":
+		return sheet.Number(a + b)
+	case "-":
+		return sheet.Number(a - b)
+	case "*":
+		return sheet.Number(a * b)
+	case "/":
+		if b == 0 {
+			return sheet.ErrDiv0
+		}
+		return sheet.Number(a / b)
+	case "^":
+		return sheet.Number(math.Pow(a, b))
+	default:
+		return sheet.ErrValue
+	}
+}
+
+// argValues flattens an argument into the list of values it contributes to an
+// aggregating function: ranges expand to all their cells, scalars contribute
+// themselves.
+func argValues(e Expr, env *Env) ([]sheet.Value, sheet.Value) {
+	if rr, ok := e.(*RangeRef); ok {
+		if env.Data == nil {
+			return nil, sheet.ErrRef
+		}
+		var out []sheet.Value
+		for _, row := range env.Data.RangeValues(rr.Sheet, rr.Range()) {
+			out = append(out, row...)
+		}
+		return out, sheet.Empty()
+	}
+	v := Eval(e, env)
+	if v.IsError() {
+		return nil, v
+	}
+	return []sheet.Value{v}, sheet.Empty()
+}
+
+// rangeMatrix evaluates an argument that must be a range.
+func rangeMatrix(e Expr, env *Env) ([][]sheet.Value, bool) {
+	rr, ok := e.(*RangeRef)
+	if !ok || env.Data == nil {
+		return nil, false
+	}
+	return env.Data.RangeValues(rr.Sheet, rr.Range()), true
+}
+
+func evalCall(x *Call, env *Env) sheet.Value {
+	name := x.Name
+	switch name {
+	case "DBSQL", "DBTABLE":
+		// Evaluated by the core engine (results span a range of cells); a
+		// plain evaluator reports the construct as unknown.
+		return sheet.ErrName
+	case "IF":
+		if len(x.Args) < 2 || len(x.Args) > 3 {
+			return sheet.ErrValue
+		}
+		cond := Eval(x.Args[0], env)
+		if cond.IsError() {
+			return cond
+		}
+		b, ok := cond.AsBool()
+		if !ok {
+			return sheet.ErrValue
+		}
+		if b {
+			return Eval(x.Args[1], env)
+		}
+		if len(x.Args) == 3 {
+			return Eval(x.Args[2], env)
+		}
+		return sheet.Bool_(false)
+	case "IFERROR":
+		if len(x.Args) != 2 {
+			return sheet.ErrValue
+		}
+		v := Eval(x.Args[0], env)
+		if v.IsError() {
+			return Eval(x.Args[1], env)
+		}
+		return v
+	case "AND", "OR":
+		res := name == "AND"
+		for _, a := range x.Args {
+			vals, errv := argValues(a, env)
+			if errv.IsError() {
+				return errv
+			}
+			for _, v := range vals {
+				b, ok := v.AsBool()
+				if !ok {
+					return sheet.ErrValue
+				}
+				if name == "AND" {
+					res = res && b
+				} else {
+					res = res || b
+				}
+			}
+		}
+		return sheet.Bool_(res)
+	case "NOT":
+		if len(x.Args) != 1 {
+			return sheet.ErrValue
+		}
+		v := Eval(x.Args[0], env)
+		if v.IsError() {
+			return v
+		}
+		b, ok := v.AsBool()
+		if !ok {
+			return sheet.ErrValue
+		}
+		return sheet.Bool_(!b)
+	case "SUM", "AVERAGE", "AVG", "COUNT", "COUNTA", "MIN", "MAX", "PRODUCT":
+		return evalAggregate(name, x.Args, env)
+	case "ABS", "SQRT", "INT", "FLOOR", "CEILING", "EXP", "LN":
+		if len(x.Args) != 1 {
+			return sheet.ErrValue
+		}
+		v := Eval(x.Args[0], env)
+		if v.IsError() {
+			return v
+		}
+		f, ok := v.AsNumber()
+		if !ok {
+			return sheet.ErrValue
+		}
+		switch name {
+		case "ABS":
+			return sheet.Number(math.Abs(f))
+		case "SQRT":
+			if f < 0 {
+				return sheet.Errorf("#NUM!")
+			}
+			return sheet.Number(math.Sqrt(f))
+		case "INT", "FLOOR":
+			return sheet.Number(math.Floor(f))
+		case "CEILING":
+			return sheet.Number(math.Ceil(f))
+		case "EXP":
+			return sheet.Number(math.Exp(f))
+		case "LN":
+			if f <= 0 {
+				return sheet.Errorf("#NUM!")
+			}
+			return sheet.Number(math.Log(f))
+		}
+	case "ROUND":
+		if len(x.Args) < 1 || len(x.Args) > 2 {
+			return sheet.ErrValue
+		}
+		v := Eval(x.Args[0], env)
+		if v.IsError() {
+			return v
+		}
+		f, ok := v.AsNumber()
+		if !ok {
+			return sheet.ErrValue
+		}
+		digits := 0.0
+		if len(x.Args) == 2 {
+			d := Eval(x.Args[1], env)
+			digits, _ = d.AsNumber()
+		}
+		scale := math.Pow(10, digits)
+		return sheet.Number(math.Round(f*scale) / scale)
+	case "MOD":
+		if len(x.Args) != 2 {
+			return sheet.ErrValue
+		}
+		a := Eval(x.Args[0], env)
+		b := Eval(x.Args[1], env)
+		af, ok1 := a.AsNumber()
+		bf, ok2 := b.AsNumber()
+		if !ok1 || !ok2 {
+			return sheet.ErrValue
+		}
+		if bf == 0 {
+			return sheet.ErrDiv0
+		}
+		return sheet.Number(math.Mod(af, bf))
+	case "LEN":
+		if len(x.Args) != 1 {
+			return sheet.ErrValue
+		}
+		return sheet.Number(float64(len([]rune(Eval(x.Args[0], env).AsString()))))
+	case "UPPER", "LOWER", "TRIM":
+		if len(x.Args) != 1 {
+			return sheet.ErrValue
+		}
+		v := Eval(x.Args[0], env)
+		if v.IsError() {
+			return v
+		}
+		s := v.AsString()
+		switch name {
+		case "UPPER":
+			return sheet.String_(strings.ToUpper(s))
+		case "LOWER":
+			return sheet.String_(strings.ToLower(s))
+		default:
+			return sheet.String_(strings.TrimSpace(s))
+		}
+	case "LEFT", "RIGHT":
+		if len(x.Args) < 1 || len(x.Args) > 2 {
+			return sheet.ErrValue
+		}
+		s := []rune(Eval(x.Args[0], env).AsString())
+		n := 1.0
+		if len(x.Args) == 2 {
+			n, _ = Eval(x.Args[1], env).AsNumber()
+		}
+		k := int(n)
+		if k < 0 {
+			return sheet.ErrValue
+		}
+		if k > len(s) {
+			k = len(s)
+		}
+		if name == "LEFT" {
+			return sheet.String_(string(s[:k]))
+		}
+		return sheet.String_(string(s[len(s)-k:]))
+	case "MID":
+		if len(x.Args) != 3 {
+			return sheet.ErrValue
+		}
+		s := []rune(Eval(x.Args[0], env).AsString())
+		start, _ := Eval(x.Args[1], env).AsNumber()
+		length, _ := Eval(x.Args[2], env).AsNumber()
+		i := int(start) - 1
+		if i < 0 || length < 0 {
+			return sheet.ErrValue
+		}
+		if i > len(s) {
+			i = len(s)
+		}
+		j := i + int(length)
+		if j > len(s) {
+			j = len(s)
+		}
+		return sheet.String_(string(s[i:j]))
+	case "CONCATENATE", "CONCAT":
+		var sb strings.Builder
+		for _, a := range x.Args {
+			vals, errv := argValues(a, env)
+			if errv.IsError() {
+				return errv
+			}
+			for _, v := range vals {
+				sb.WriteString(v.AsString())
+			}
+		}
+		return sheet.String_(sb.String())
+	case "ISBLANK":
+		if len(x.Args) != 1 {
+			return sheet.ErrValue
+		}
+		return sheet.Bool_(Eval(x.Args[0], env).IsEmpty())
+	case "ISNUMBER":
+		if len(x.Args) != 1 {
+			return sheet.ErrValue
+		}
+		return sheet.Bool_(Eval(x.Args[0], env).IsNumber())
+	case "ISERROR":
+		if len(x.Args) != 1 {
+			return sheet.ErrValue
+		}
+		return sheet.Bool_(Eval(x.Args[0], env).IsError())
+	case "VLOOKUP":
+		return evalVlookup(x.Args, env)
+	case "INDEX":
+		return evalIndex(x.Args, env)
+	case "MATCH":
+		return evalMatch(x.Args, env)
+	case "SUMIF", "COUNTIF", "AVERAGEIF":
+		return evalCondAggregate(name, x.Args, env)
+	default:
+		return sheet.ErrName
+	}
+	return sheet.ErrValue
+}
+
+func evalAggregate(name string, args []Expr, env *Env) sheet.Value {
+	var nums []float64
+	countAll := 0
+	for _, a := range args {
+		vals, errv := argValues(a, env)
+		if errv.IsError() {
+			return errv
+		}
+		for _, v := range vals {
+			if v.IsError() {
+				return v
+			}
+			if !v.IsEmpty() {
+				countAll++
+			}
+			if f, ok := v.AsNumber(); ok && v.Kind == sheet.KindNumber {
+				nums = append(nums, f)
+			} else if v.Kind == sheet.KindBool || (v.Kind == sheet.KindString && false) {
+				// Spreadsheets exclude text and booleans from SUM/AVERAGE
+				// over ranges; scalars were already filtered by kind.
+				continue
+			}
+		}
+	}
+	switch name {
+	case "COUNT":
+		return sheet.Number(float64(len(nums)))
+	case "COUNTA":
+		return sheet.Number(float64(countAll))
+	case "SUM":
+		s := 0.0
+		for _, f := range nums {
+			s += f
+		}
+		return sheet.Number(s)
+	case "PRODUCT":
+		p := 1.0
+		for _, f := range nums {
+			p *= f
+		}
+		return sheet.Number(p)
+	case "AVERAGE", "AVG":
+		if len(nums) == 0 {
+			return sheet.ErrDiv0
+		}
+		s := 0.0
+		for _, f := range nums {
+			s += f
+		}
+		return sheet.Number(s / float64(len(nums)))
+	case "MIN", "MAX":
+		if len(nums) == 0 {
+			return sheet.Number(0)
+		}
+		best := nums[0]
+		for _, f := range nums[1:] {
+			if (name == "MIN" && f < best) || (name == "MAX" && f > best) {
+				best = f
+			}
+		}
+		return sheet.Number(best)
+	}
+	return sheet.ErrValue
+}
+
+// evalVlookup implements VLOOKUP(value, range, colIndex [, exact]).
+// Only exact matching is supported (the common spreadsheet usage with FALSE).
+func evalVlookup(args []Expr, env *Env) sheet.Value {
+	if len(args) < 3 || len(args) > 4 {
+		return sheet.ErrValue
+	}
+	needle := Eval(args[0], env)
+	if needle.IsError() {
+		return needle
+	}
+	matrix, ok := rangeMatrix(args[1], env)
+	if !ok {
+		return sheet.ErrValue
+	}
+	colV := Eval(args[2], env)
+	colF, ok := colV.AsNumber()
+	if !ok || int(colF) < 1 {
+		return sheet.ErrValue
+	}
+	col := int(colF) - 1
+	for _, row := range matrix {
+		if len(row) == 0 {
+			continue
+		}
+		if row[0].Equal(needle) {
+			if col < len(row) {
+				return row[col]
+			}
+			return sheet.ErrRef
+		}
+	}
+	return sheet.ErrNA
+}
+
+// evalIndex implements INDEX(range, row [, col]) with 1-based indexes.
+func evalIndex(args []Expr, env *Env) sheet.Value {
+	if len(args) < 2 || len(args) > 3 {
+		return sheet.ErrValue
+	}
+	matrix, ok := rangeMatrix(args[0], env)
+	if !ok {
+		return sheet.ErrValue
+	}
+	rF, ok := Eval(args[1], env).AsNumber()
+	if !ok {
+		return sheet.ErrValue
+	}
+	cF := 1.0
+	if len(args) == 3 {
+		if cF, ok = Eval(args[2], env).AsNumber(); !ok {
+			return sheet.ErrValue
+		}
+	}
+	r, c := int(rF)-1, int(cF)-1
+	if r < 0 || r >= len(matrix) || c < 0 || c >= len(matrix[r]) {
+		return sheet.ErrRef
+	}
+	return matrix[r][c]
+}
+
+// evalMatch implements MATCH(value, range, 0) — exact match position within a
+// single row or column.
+func evalMatch(args []Expr, env *Env) sheet.Value {
+	if len(args) < 2 || len(args) > 3 {
+		return sheet.ErrValue
+	}
+	needle := Eval(args[0], env)
+	matrix, ok := rangeMatrix(args[1], env)
+	if !ok {
+		return sheet.ErrValue
+	}
+	pos := 0
+	for _, row := range matrix {
+		for _, v := range row {
+			pos++
+			if v.Equal(needle) {
+				return sheet.Number(float64(pos))
+			}
+		}
+	}
+	return sheet.ErrNA
+}
+
+// evalCondAggregate implements SUMIF/COUNTIF/AVERAGEIF(range, criterion
+// [, sumRange]).
+func evalCondAggregate(name string, args []Expr, env *Env) sheet.Value {
+	if len(args) < 2 || len(args) > 3 {
+		return sheet.ErrValue
+	}
+	matrix, ok := rangeMatrix(args[0], env)
+	if !ok {
+		return sheet.ErrValue
+	}
+	crit := Eval(args[1], env)
+	if crit.IsError() {
+		return crit
+	}
+	var sumMatrix [][]sheet.Value
+	if len(args) == 3 {
+		if sumMatrix, ok = rangeMatrix(args[2], env); !ok {
+			return sheet.ErrValue
+		}
+	} else {
+		sumMatrix = matrix
+	}
+	match := criterionMatcher(crit)
+	count := 0
+	sum := 0.0
+	for i, row := range matrix {
+		for j, v := range row {
+			if !match(v) {
+				continue
+			}
+			count++
+			if i < len(sumMatrix) && j < len(sumMatrix[i]) {
+				if f, ok := sumMatrix[i][j].AsNumber(); ok {
+					sum += f
+				}
+			}
+		}
+	}
+	switch name {
+	case "COUNTIF":
+		return sheet.Number(float64(count))
+	case "SUMIF":
+		return sheet.Number(sum)
+	default: // AVERAGEIF
+		if count == 0 {
+			return sheet.ErrDiv0
+		}
+		return sheet.Number(sum / float64(count))
+	}
+}
+
+// criterionMatcher interprets a SUMIF/COUNTIF criterion: ">90", "<=5",
+// "<>x", or a plain value for equality.
+func criterionMatcher(crit sheet.Value) func(sheet.Value) bool {
+	if crit.Kind == sheet.KindString {
+		s := strings.TrimSpace(crit.Str)
+		for _, op := range []string{">=", "<=", "<>", ">", "<", "="} {
+			if strings.HasPrefix(s, op) {
+				operand := sheet.ParseLiteral(strings.TrimSpace(strings.TrimPrefix(s, op)))
+				return func(v sheet.Value) bool {
+					if v.IsEmpty() {
+						return false
+					}
+					switch op {
+					case ">":
+						return v.Compare(operand) > 0
+					case ">=":
+						return v.Compare(operand) >= 0
+					case "<":
+						return v.Compare(operand) < 0
+					case "<=":
+						return v.Compare(operand) <= 0
+					case "<>":
+						return !v.Equal(operand)
+					default:
+						return v.Equal(operand)
+					}
+				}
+			}
+		}
+	}
+	return func(v sheet.Value) bool { return v.Equal(crit) }
+}

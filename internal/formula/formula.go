@@ -1,0 +1,231 @@
+// Package formula implements DataSpread's spreadsheet formula language: the
+// value-at-a-time expressions users type into cells ("=SUM(A1:A10)*2"),
+// including cell and range references with absolute/relative markers and
+// cross-sheet qualifiers, the usual spreadsheet functions, and recognition of
+// the DataSpread-specific DBSQL/DBTABLE constructs (whose evaluation is
+// performed by the core engine, not here).
+package formula
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// Expr is a parsed formula expression node.
+type Expr interface{ node() }
+
+// NumberLit is a numeric literal.
+type NumberLit struct{ Value float64 }
+
+// TextLit is a string literal ("..." in formula syntax).
+type TextLit struct{ Value string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Value bool }
+
+// CellRef references a single cell, optionally on another sheet.
+type CellRef struct {
+	Sheet string // "" = formula's own sheet
+	Ref   sheet.Ref
+}
+
+// RangeRef references a rectangular range, optionally on another sheet.
+type RangeRef struct {
+	Sheet string
+	Start sheet.Ref
+	End   sheet.Ref
+}
+
+// Range returns the referenced range (normalised).
+func (r *RangeRef) Range() sheet.Range {
+	return sheet.NewRange(r.Start.Address, r.End.Address)
+}
+
+// BinaryExpr is a binary operation: + - * / ^ & = <> < <= > >=.
+type BinaryExpr struct {
+	Op    string
+	Left  Expr
+	Right Expr
+}
+
+// UnaryExpr is unary minus or percent (trailing %).
+type UnaryExpr struct {
+	Op string // "-" or "%"
+	X  Expr
+}
+
+// Call is a function invocation.
+type Call struct {
+	Name string // upper-cased
+	Args []Expr
+}
+
+func (*NumberLit) node()  {}
+func (*TextLit) node()    {}
+func (*BoolLit) node()    {}
+func (*CellRef) node()    {}
+func (*RangeRef) node()   {}
+func (*BinaryExpr) node() {}
+func (*UnaryExpr) node()  {}
+func (*Call) node()       {}
+
+// Reference describes one precedent of a formula: a range of cells on a
+// sheet that the formula reads. The compute engine uses references to build
+// the dependency graph.
+type Reference struct {
+	Sheet string // "" = formula's own sheet
+	Range sheet.Range
+}
+
+// References returns every cell/range the expression reads.
+func References(e Expr) []Reference {
+	var out []Reference
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *CellRef:
+			out = append(out, Reference{Sheet: x.Sheet, Range: sheet.Range{Start: x.Ref.Address, End: x.Ref.Address}})
+		case *RangeRef:
+			out = append(out, Reference{Sheet: x.Sheet, Range: x.Range()})
+		case *BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *UnaryExpr:
+			walk(x.X)
+		case *Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// IsDBFormula reports whether formula source text is one of the DataSpread
+// database constructs (DBSQL or DBTABLE) and returns its upper-cased name.
+// These formulas are evaluated by the core engine because their results span
+// a range of cells rather than a single value.
+func IsDBFormula(src string) (string, bool) {
+	s := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(src), "="))
+	upper := strings.ToUpper(s)
+	switch {
+	case strings.HasPrefix(upper, "DBSQL"):
+		return "DBSQL", true
+	case strings.HasPrefix(upper, "DBTABLE"):
+		return "DBTABLE", true
+	}
+	return "", false
+}
+
+// DBArgs extracts the string arguments of a DBSQL/DBTABLE formula, e.g.
+// DBSQL("SELECT ...") -> ["SELECT ..."]. Arguments may be double-quoted
+// strings or bare text separated by commas at the top level.
+func DBArgs(src string) (name string, args []string, err error) {
+	s := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(src), "="))
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(strings.TrimSpace(s), ")") {
+		return "", nil, fmt.Errorf("formula: malformed database formula %q", src)
+	}
+	name = strings.ToUpper(strings.TrimSpace(s[:open]))
+	body := strings.TrimSpace(s)
+	body = body[open+1 : len(body)-1]
+	// Split on top-level commas, honouring double-quoted strings.
+	var cur strings.Builder
+	inStr := false
+	depth := 0
+	flush := func() {
+		arg := strings.TrimSpace(cur.String())
+		if len(arg) >= 2 && arg[0] == '"' && arg[len(arg)-1] == '"' {
+			arg = strings.ReplaceAll(arg[1:len(arg)-1], `""`, `"`)
+		}
+		if arg != "" {
+			args = append(args, arg)
+		}
+		cur.Reset()
+	}
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c == '"':
+			if inStr && i+1 < len(body) && body[i+1] == '"' {
+				cur.WriteString(`""`)
+				i++
+				continue
+			}
+			inStr = !inStr
+			cur.WriteByte(c)
+		case !inStr && c == '(':
+			depth++
+			cur.WriteByte(c)
+		case !inStr && c == ')':
+			depth--
+			cur.WriteByte(c)
+		case !inStr && depth == 0 && c == ',':
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	if inStr {
+		return "", nil, fmt.Errorf("formula: unterminated string in %q", src)
+	}
+	return name, args, nil
+}
+
+// Rebase rewrites a formula's relative references as if the formula were
+// copied from one cell to another (spreadsheet copy-paste semantics).
+// Absolute references ($A$1) are preserved verbatim.
+func Rebase(src string, from, to sheet.Address) (string, error) {
+	expr, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	var render func(Expr) string
+	render = func(e Expr) string {
+		switch x := e.(type) {
+		case *NumberLit:
+			return sheet.Number(x.Value).String()
+		case *TextLit:
+			return `"` + strings.ReplaceAll(x.Value, `"`, `""`) + `"`
+		case *BoolLit:
+			if x.Value {
+				return "TRUE"
+			}
+			return "FALSE"
+		case *CellRef:
+			r := x.Ref.Rebase(from, to)
+			if x.Sheet != "" {
+				return x.Sheet + "!" + r.String()
+			}
+			return r.String()
+		case *RangeRef:
+			s := x.Start.Rebase(from, to)
+			e2 := x.End.Rebase(from, to)
+			prefix := ""
+			if x.Sheet != "" {
+				prefix = x.Sheet + "!"
+			}
+			return prefix + s.String() + ":" + e2.String()
+		case *UnaryExpr:
+			if x.Op == "%" {
+				return render(x.X) + "%"
+			}
+			return "-" + render(x.X)
+		case *BinaryExpr:
+			return "(" + render(x.Left) + x.Op + render(x.Right) + ")"
+		case *Call:
+			parts := make([]string, len(x.Args))
+			for i, a := range x.Args {
+				parts[i] = render(a)
+			}
+			return x.Name + "(" + strings.Join(parts, ",") + ")"
+		default:
+			return ""
+		}
+	}
+	return render(expr), nil
+}

@@ -1,0 +1,313 @@
+package formula
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// mapSource is a DataSource backed by sheets of plain maps.
+type mapSource struct {
+	sheets map[string]map[sheet.Address]sheet.Value
+	def    string // default sheet name
+}
+
+func newMapSource() *mapSource {
+	return &mapSource{sheets: map[string]map[sheet.Address]sheet.Value{}, def: "Sheet1"}
+}
+
+func (m *mapSource) set(sheetName, ref string, v sheet.Value) {
+	if sheetName == "" {
+		sheetName = m.def
+	}
+	if m.sheets[sheetName] == nil {
+		m.sheets[sheetName] = map[sheet.Address]sheet.Value{}
+	}
+	m.sheets[sheetName][sheet.MustParseAddress(ref)] = v
+}
+
+func (m *mapSource) CellValue(sheetName string, a sheet.Address) sheet.Value {
+	if sheetName == "" {
+		sheetName = m.def
+	}
+	return m.sheets[sheetName][a]
+}
+
+func (m *mapSource) RangeValues(sheetName string, r sheet.Range) [][]sheet.Value {
+	out := make([][]sheet.Value, r.Rows())
+	for i := range out {
+		out[i] = make([]sheet.Value, r.Cols())
+		for j := range out[i] {
+			out[i][j] = m.CellValue(sheetName, sheet.Addr(r.Start.Row+i, r.Start.Col+j))
+		}
+	}
+	return out
+}
+
+func evalStr(t *testing.T, src string, data DataSource) sheet.Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return Eval(e, &Env{Sheet: "Sheet1", Data: data})
+}
+
+func TestParseAndEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"=1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"=2^3^2", 512}, // right associative
+		{"=-3+10", 7},
+		{"=10/4", 2.5},
+		{"=50%", 0.5},
+		{"=200%*10", 20},
+		{"=ROUND(3.14159, 2)", 3.14},
+		{"=MOD(10, 3)", 1},
+		{"=ABS(-4)+SQRT(9)", 7},
+		{"=1e2+0.5", 100.5},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src, nil)
+		if got.Kind != sheet.KindNumber || got.Num != c.want {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalComparisonAndLogic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`=1 < 2`, true},
+		{`=2 <= 1`, false},
+		{`="abc" = "ABC"`, true},
+		{`="a" <> "b"`, true},
+		{`=IF(3>2, TRUE, FALSE)`, true},
+		{`=AND(TRUE, 1, "TRUE")`, true},
+		{`=AND(TRUE, FALSE)`, false},
+		{`=OR(FALSE, 0, 1)`, true},
+		{`=NOT(FALSE)`, true},
+		{`=ISBLANK("x")`, false},
+		{`=ISNUMBER(3)`, true},
+		{`=ISERROR(1/0)`, true},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src, nil)
+		b, ok := got.AsBool()
+		if !ok || b != c.want {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalStringsAndErrors(t *testing.T) {
+	if got := evalStr(t, `="Hello, " & "World"`, nil); got.Str != "Hello, World" {
+		t.Errorf("concat = %v", got)
+	}
+	if got := evalStr(t, `=UPPER("abc") & LOWER("DEF")`, nil); got.Str != "ABCdef" {
+		t.Errorf("case funcs = %v", got)
+	}
+	if got := evalStr(t, `=LEFT("dataspread", 4) & "-" & RIGHT("dataspread", 6) & MID("abcdef", 2, 3)`, nil); got.Str != "data-spreadbcd" {
+		t.Errorf("substring funcs = %v", got)
+	}
+	if got := evalStr(t, `=LEN(TRIM("  ab  "))`, nil); got.Num != 2 {
+		t.Errorf("LEN/TRIM = %v", got)
+	}
+	if got := evalStr(t, `=1/0`, nil); got.Err != "#DIV/0!" {
+		t.Errorf("div0 = %v", got)
+	}
+	if got := evalStr(t, `=NOSUCHFUNC(1)`, nil); got.Err != "#NAME?" {
+		t.Errorf("unknown func = %v", got)
+	}
+	if got := evalStr(t, `="a"+1`, nil); got.Err != "#VALUE!" {
+		t.Errorf("type error = %v", got)
+	}
+	if got := evalStr(t, `=IFERROR(1/0, 42)`, nil); got.Num != 42 {
+		t.Errorf("IFERROR = %v", got)
+	}
+	// Errors propagate through expressions.
+	if got := evalStr(t, `=1 + 1/0`, nil); !got.IsError() {
+		t.Errorf("error should propagate: %v", got)
+	}
+}
+
+func TestEvalReferencesAndAggregates(t *testing.T) {
+	src := newMapSource()
+	for i := 0; i < 10; i++ {
+		src.set("", "A"+itoa(i+1), sheet.Number(float64(i+1)))
+	}
+	src.set("", "B1", sheet.String_("label"))
+	src.set("", "C1", sheet.Number(100))
+	src.set("Sheet2", "A1", sheet.Number(77))
+
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"=A1+A2", 3},
+		{"=SUM(A1:A10)", 55},
+		{"=AVERAGE(A1:A10)", 5.5},
+		{"=MIN(A1:A10)+MAX(A1:A10)", 11},
+		{"=COUNT(A1:B10)", 10},  // only numbers
+		{"=COUNTA(A1:C10)", 12}, // non-empty
+		{"=SUM(A1:A5, C1, 3)", 118},
+		{"=SUM($A$1:$A$3)", 6},
+		{"=Sheet2!A1", 77},
+		{"=SUM(Sheet2!A1:A2)", 77},
+		{"=SUMIF(A1:A10, \">5\")", 40},
+		{"=COUNTIF(A1:A10, \"<=3\")", 3},
+		{"=AVERAGEIF(A1:A10, \">8\")", 9.5},
+		{"=PRODUCT(A1:A4)", 24},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src, src)
+		if got.Kind != sheet.KindNumber || got.Num != c.want {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+	// An unset cell is empty and counts as 0 in arithmetic.
+	if got := evalStr(t, "=Z99+5", src); got.Num != 5 {
+		t.Errorf("empty cell arithmetic = %v", got)
+	}
+	// A bare range in scalar context is an error.
+	if got := evalStr(t, "=A1:A10", src); !got.IsError() {
+		t.Errorf("bare range = %v", got)
+	}
+}
+
+func TestEvalLookupFunctions(t *testing.T) {
+	src := newMapSource()
+	// A lookup table: id in column A, name in B, score in C (rows 1..4).
+	ids := []float64{10, 20, 30, 40}
+	names := []string{"alice", "bob", "carol", "dave"}
+	scores := []float64{95, 72, 88, 61}
+	for i := range ids {
+		src.set("", "A"+itoa(i+1), sheet.Number(ids[i]))
+		src.set("", "B"+itoa(i+1), sheet.String_(names[i]))
+		src.set("", "C"+itoa(i+1), sheet.Number(scores[i]))
+	}
+	if got := evalStr(t, `=VLOOKUP(30, A1:C4, 2)`, src); got.Str != "carol" {
+		t.Errorf("VLOOKUP = %v", got)
+	}
+	if got := evalStr(t, `=VLOOKUP(99, A1:C4, 2)`, src); got.Err != "#N/A" {
+		t.Errorf("VLOOKUP miss = %v", got)
+	}
+	if got := evalStr(t, `=INDEX(A1:C4, 2, 3)`, src); got.Num != 72 {
+		t.Errorf("INDEX = %v", got)
+	}
+	if got := evalStr(t, `=INDEX(A1:C4, 9, 1)`, src); !got.IsError() {
+		t.Errorf("INDEX out of range = %v", got)
+	}
+	if got := evalStr(t, `=MATCH("bob", B1:B4, 0)`, src); got.Num != 2 {
+		t.Errorf("MATCH = %v", got)
+	}
+	if got := evalStr(t, `=MATCH("zed", B1:B4, 0)`, src); got.Err != "#N/A" {
+		t.Errorf("MATCH miss = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"=1 +",
+		"=SUM(A1:A2",
+		"=(1+2",
+		`="unterminated`,
+		"=#",
+		"=A1:",
+		"=foo",         // not a function call, not a valid reference
+		"=SUM(1, , 2)", // empty argument
+		"=1 2",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestReferences(t *testing.T) {
+	e, err := Parse(`=SUM(A1:B10) + Sheet2!C3 * VLOOKUP(D1, E1:F100, 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := References(e)
+	if len(refs) != 4 {
+		t.Fatalf("refs = %d: %+v", len(refs), refs)
+	}
+	find := func(sheetName, rng string) bool {
+		want := sheet.MustParseRange(rng)
+		for _, r := range refs {
+			if r.Sheet == sheetName && r.Range == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !find("", "A1:B10") || !find("Sheet2", "C3") || !find("", "D1") || !find("", "E1:F100") {
+		t.Errorf("missing references: %+v", refs)
+	}
+}
+
+func TestIsDBFormulaAndArgs(t *testing.T) {
+	if name, ok := IsDBFormula(`=DBSQL("SELECT * FROM t")`); !ok || name != "DBSQL" {
+		t.Error("DBSQL not detected")
+	}
+	if name, ok := IsDBFormula(" dbtable(\"movies\") "); !ok || name != "DBTABLE" {
+		t.Error("DBTABLE not detected (case-insensitive, no =)")
+	}
+	if _, ok := IsDBFormula("=SUM(A1:A2)"); ok {
+		t.Error("plain formula misdetected")
+	}
+	name, args, err := DBArgs(`=DBSQL("SELECT name FROM actors WHERE id = RANGEVALUE(B1)")`)
+	if err != nil || name != "DBSQL" || len(args) != 1 || !strings.Contains(args[0], "RANGEVALUE(B1)") {
+		t.Errorf("DBArgs = %q %v %v", name, args, err)
+	}
+	name, args, err = DBArgs(`=DBTABLE("students", A3)`)
+	if err != nil || name != "DBTABLE" || len(args) != 2 || args[0] != "students" || args[1] != "A3" {
+		t.Errorf("DBTABLE args = %q %v %v", name, args, err)
+	}
+	// Quoted commas and escaped quotes stay inside one argument.
+	_, args, err = DBArgs(`=DBSQL("SELECT 'a,b' AS x, COUNT(*) FROM t WHERE n = ""q""")`)
+	if err != nil || len(args) != 1 || !strings.Contains(args[0], `'a,b'`) || !strings.Contains(args[0], `"q"`) {
+		t.Errorf("quoted args = %v %v", args, err)
+	}
+	if _, _, err := DBArgs("=DBSQL(no close"); err == nil {
+		t.Error("malformed DB formula should fail")
+	}
+}
+
+func TestRebase(t *testing.T) {
+	// Copying =A1+$B$1 from B2 to D5 shifts the relative ref by (+3,+2).
+	out, err := Rebase("=A1+$B$1", sheet.MustParseAddress("B2"), sheet.MustParseAddress("D5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "C4") || !strings.Contains(out, "$B$1") {
+		t.Errorf("Rebase = %q", out)
+	}
+	// Ranges, sheet qualifiers, functions and literals survive.
+	out, err = Rebase(`=SUM(Sheet2!A1:A10) & " ok" & IF(C1>0, -1, 50%)`, sheet.Addr(0, 0), sheet.Addr(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Sheet2!B3:B12") || !strings.Contains(out, `" ok"`) || !strings.Contains(out, "D3") {
+		t.Errorf("Rebase complex = %q", out)
+	}
+	// The rebased formula still parses.
+	if _, err := Parse(out); err != nil {
+		t.Errorf("rebased formula does not parse: %v", err)
+	}
+	if _, err := Rebase("=1 +", sheet.Addr(0, 0), sheet.Addr(1, 1)); err == nil {
+		t.Error("Rebase of invalid formula should fail")
+	}
+}
+
+func itoa(i int) string {
+	return sheet.Number(float64(i)).String()
+}

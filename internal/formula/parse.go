@@ -1,0 +1,408 @@
+package formula
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// Parse parses formula source text (with or without a leading "=").
+func Parse(src string) (Expr, error) {
+	s := strings.TrimSpace(src)
+	s = strings.TrimPrefix(s, "=")
+	p := &fparser{src: s}
+	p.lex()
+	if p.err != nil {
+		return nil, p.err
+	}
+	e := p.parseExpr()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.pos < len(p.toks) {
+		return nil, fmt.Errorf("formula: unexpected %q after expression", p.toks[p.pos].text)
+	}
+	return e, nil
+}
+
+type ftokKind int
+
+const (
+	ftNumber ftokKind = iota
+	ftString
+	ftIdent // identifiers, cell refs, TRUE/FALSE, sheet names
+	ftOp    // + - * / ^ & % = <> < <= > >=
+	ftPunct // ( ) , : ! $
+)
+
+type ftok struct {
+	kind ftokKind
+	text string
+}
+
+type fparser struct {
+	src  string
+	toks []ftok
+	pos  int
+	err  error
+}
+
+func (p *fparser) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf("formula: "+format, args...)
+	}
+}
+
+func (p *fparser) lex() {
+	s := p.src
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9'):
+			start := i
+			for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.') {
+				i++
+			}
+			if i < len(s) && (s[i] == 'e' || s[i] == 'E') {
+				j := i + 1
+				if j < len(s) && (s[j] == '+' || s[j] == '-') {
+					j++
+				}
+				if j < len(s) && s[j] >= '0' && s[j] <= '9' {
+					i = j
+					for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+						i++
+					}
+				}
+			}
+			p.toks = append(p.toks, ftok{ftNumber, s[start:i]})
+		case c == '"':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(s) {
+				if s[i] == '"' {
+					if i+1 < len(s) && s[i+1] == '"' {
+						sb.WriteByte('"')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(s[i])
+				i++
+			}
+			if !closed {
+				p.fail("unterminated string literal")
+				return
+			}
+			p.toks = append(p.toks, ftok{ftString, sb.String()})
+		case c == '\'':
+			// Quoted sheet name: 'My Sheet'!A1
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(s) {
+				if s[i] == '\'' {
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(s[i])
+				i++
+			}
+			if !closed {
+				p.fail("unterminated sheet name")
+				return
+			}
+			p.toks = append(p.toks, ftok{ftIdent, sb.String()})
+		case isFIdentStart(rune(c)):
+			start := i
+			for i < len(s) && isFIdentPart(rune(s[i])) {
+				i++
+			}
+			p.toks = append(p.toks, ftok{ftIdent, s[start:i]})
+		case c == '<':
+			if i+1 < len(s) && (s[i+1] == '=' || s[i+1] == '>') {
+				p.toks = append(p.toks, ftok{ftOp, s[i : i+2]})
+				i += 2
+			} else {
+				p.toks = append(p.toks, ftok{ftOp, "<"})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(s) && s[i+1] == '=' {
+				p.toks = append(p.toks, ftok{ftOp, ">="})
+				i += 2
+			} else {
+				p.toks = append(p.toks, ftok{ftOp, ">"})
+				i++
+			}
+		case c == '+' || c == '-' || c == '*' || c == '/' || c == '^' || c == '&' || c == '=' || c == '%':
+			p.toks = append(p.toks, ftok{ftOp, string(c)})
+			i++
+		case c == '(' || c == ')' || c == ',' || c == ':' || c == '!' || c == '$':
+			p.toks = append(p.toks, ftok{ftPunct, string(c)})
+			i++
+		default:
+			p.fail("unexpected character %q", c)
+			return
+		}
+	}
+}
+
+func isFIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isFIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *fparser) peek() (ftok, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return ftok{}, false
+}
+
+func (p *fparser) acceptOp(op string) bool {
+	if t, ok := p.peek(); ok && t.kind == ftOp && t.text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *fparser) acceptPunct(ch string) bool {
+	if t, ok := p.peek(); ok && t.kind == ftPunct && t.text == ch {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// Grammar (precedence low to high): comparison < concat(&) < additive <
+// multiplicative < power(^) < unary < postfix % < primary.
+
+func (p *fparser) parseExpr() Expr { return p.parseComparison() }
+
+func (p *fparser) parseComparison() Expr {
+	left := p.parseConcat()
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != ftOp {
+			return left
+		}
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			right := p.parseConcat()
+			left = &BinaryExpr{Op: t.text, Left: left, Right: right}
+		default:
+			return left
+		}
+	}
+}
+
+func (p *fparser) parseConcat() Expr {
+	left := p.parseAdditive()
+	for p.acceptOp("&") {
+		right := p.parseAdditive()
+		left = &BinaryExpr{Op: "&", Left: left, Right: right}
+	}
+	return left
+}
+
+func (p *fparser) parseAdditive() Expr {
+	left := p.parseMultiplicative()
+	for {
+		switch {
+		case p.acceptOp("+"):
+			left = &BinaryExpr{Op: "+", Left: left, Right: p.parseMultiplicative()}
+		case p.acceptOp("-"):
+			left = &BinaryExpr{Op: "-", Left: left, Right: p.parseMultiplicative()}
+		default:
+			return left
+		}
+	}
+}
+
+func (p *fparser) parseMultiplicative() Expr {
+	left := p.parsePower()
+	for {
+		switch {
+		case p.acceptOp("*"):
+			left = &BinaryExpr{Op: "*", Left: left, Right: p.parsePower()}
+		case p.acceptOp("/"):
+			left = &BinaryExpr{Op: "/", Left: left, Right: p.parsePower()}
+		default:
+			return left
+		}
+	}
+}
+
+func (p *fparser) parsePower() Expr {
+	left := p.parseUnary()
+	if p.acceptOp("^") {
+		// Right-associative.
+		return &BinaryExpr{Op: "^", Left: left, Right: p.parsePower()}
+	}
+	return left
+}
+
+func (p *fparser) parseUnary() Expr {
+	if p.acceptOp("-") {
+		return &UnaryExpr{Op: "-", X: p.parseUnary()}
+	}
+	if p.acceptOp("+") {
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+func (p *fparser) parsePostfix() Expr {
+	e := p.parsePrimary()
+	for p.acceptOp("%") {
+		e = &UnaryExpr{Op: "%", X: e}
+	}
+	return e
+}
+
+func (p *fparser) parsePrimary() Expr {
+	t, ok := p.peek()
+	if !ok {
+		p.fail("unexpected end of formula")
+		return &NumberLit{}
+	}
+	switch t.kind {
+	case ftNumber:
+		p.pos++
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			p.fail("invalid number %q", t.text)
+		}
+		return &NumberLit{Value: f}
+	case ftString:
+		p.pos++
+		return &TextLit{Value: t.text}
+	case ftPunct:
+		if t.text == "(" {
+			p.pos++
+			e := p.parseExpr()
+			if !p.acceptPunct(")") {
+				p.fail("missing closing parenthesis")
+			}
+			return e
+		}
+		if t.text == "$" {
+			// Absolute reference starting with $.
+			return p.parseReference("")
+		}
+		p.fail("unexpected %q", t.text)
+		return &NumberLit{}
+	case ftIdent:
+		// Could be TRUE/FALSE, a function call, a cell reference, or a
+		// sheet-qualified reference.
+		upper := strings.ToUpper(t.text)
+		if upper == "TRUE" || upper == "FALSE" {
+			p.pos++
+			return &BoolLit{Value: upper == "TRUE"}
+		}
+		// Sheet-qualified reference: Ident '!' ref
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == ftPunct && p.toks[p.pos+1].text == "!" {
+			sheetName := t.text
+			p.pos += 2
+			return p.parseReference(sheetName)
+		}
+		// Function call: Ident '('
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == ftPunct && p.toks[p.pos+1].text == "(" {
+			p.pos += 2
+			call := &Call{Name: upper}
+			if p.acceptPunct(")") {
+				return call
+			}
+			for {
+				call.Args = append(call.Args, p.parseExpr())
+				if p.acceptPunct(",") {
+					continue
+				}
+				if p.acceptPunct(")") {
+					return call
+				}
+				p.fail("expected ',' or ')' in call to %s", call.Name)
+				return call
+			}
+		}
+		// Otherwise it must be a cell reference (possibly the start of a
+		// range).
+		return p.parseReference("")
+	default:
+		p.fail("unexpected token %q", t.text)
+		return &NumberLit{}
+	}
+}
+
+// parseReference parses "A1", "$A$1", "A1:B10" etc., given an optional sheet
+// qualifier that was already consumed.
+func (p *fparser) parseReference(sheetName string) Expr {
+	start, ok := p.parseSingleRef()
+	if !ok {
+		p.fail("invalid cell reference")
+		return &NumberLit{}
+	}
+	if p.acceptPunct(":") {
+		end, ok := p.parseSingleRef()
+		if !ok {
+			p.fail("invalid range reference")
+			return &NumberLit{}
+		}
+		return &RangeRef{Sheet: sheetName, Start: start, End: end}
+	}
+	return &CellRef{Sheet: sheetName, Ref: start}
+}
+
+// parseSingleRef consumes one cell reference, which may span multiple tokens
+// because of '$' markers (e.g. "$", "A1" or "$", "A", "$", "1").
+func (p *fparser) parseSingleRef() (sheet.Ref, bool) {
+	var sb strings.Builder
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		if t.kind == ftPunct && t.text == "$" {
+			sb.WriteString("$")
+			p.pos++
+			continue
+		}
+		if t.kind == ftIdent || t.kind == ftNumber {
+			sb.WriteString(t.text)
+			p.pos++
+			// A reference is at most: $ letters $ digits; stop after a token
+			// that ends in a digit.
+			last := t.text[len(t.text)-1]
+			if last >= '0' && last <= '9' {
+				// Check for a following "$digits" part (e.g. A$1 lexes as
+				// ident "A", punct "$", number "1").
+				if n, ok2 := p.peek(); ok2 && n.kind == ftPunct && n.text == "$" &&
+					p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == ftNumber {
+					continue
+				}
+				break
+			}
+			continue
+		}
+		break
+	}
+	ref, err := sheet.ParseRef(sb.String())
+	if err != nil {
+		return sheet.Ref{}, false
+	}
+	return ref, true
+}

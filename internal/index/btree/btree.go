@@ -1,0 +1,204 @@
+// Package btree implements an in-memory B+-tree keyed by byte strings with
+// order-preserving key encoding helpers. The relational engine uses it for
+// primary-key indexes and for the interface manager's key→position lookups
+// during two-way synchronisation.
+package btree
+
+import (
+	"bytes"
+	"sort"
+)
+
+// degree is the maximum number of keys per node. 2*degree children max.
+const degree = 64
+
+// Tree is a B+-tree mapping byte-string keys to uint64 values (typically row
+// ids). Keys are unique: inserting an existing key replaces its value.
+// The tree is not safe for concurrent mutation; callers serialise access
+// (the storage managers hold their own locks).
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     []uint64 // leaf only, parallel to keys
+	children []*node  // internal only, len = len(keys)+1
+	next     *node    // leaf chain for range scans
+}
+
+// New creates an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value for key and whether it exists.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(key)]
+	}
+	i, ok := n.find(key)
+	if !ok {
+		return 0, false
+	}
+	return n.vals[i], true
+}
+
+// Set inserts or replaces the value for key.
+func (t *Tree) Set(key []byte, val uint64) {
+	k := make([]byte, len(key))
+	copy(k, key)
+	grew := t.insert(t.root, k, val)
+	if grew != nil {
+		// Root split: grow the tree by one level.
+		newRoot := &node{
+			leaf:     false,
+			keys:     [][]byte{grew.key},
+			children: []*node{t.root, grew.right},
+		}
+		t.root = newRoot
+	}
+}
+
+// Delete removes key and reports whether it was present. Nodes are allowed
+// to underflow (no rebalancing on delete); this keeps the structure simple
+// while preserving correctness and logarithmic search, which is sufficient
+// for the workloads the engine runs.
+func (t *Tree) Delete(key []byte) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(key)]
+	}
+	i, ok := n.find(key)
+	if !ok {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size--
+	return true
+}
+
+// Scan calls fn for every key/value with lo <= key < hi in ascending key
+// order. A nil hi means "to the end"; a nil lo means "from the start".
+// Iteration stops early if fn returns false.
+func (t *Tree) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool) {
+	n := t.root
+	for !n.leaf {
+		if lo == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[n.childIndex(lo)]
+		}
+	}
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], lo) >= 0 })
+	}
+	for n != nil {
+		for i := start; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		start = 0
+	}
+}
+
+// All calls fn for every key/value in ascending order.
+func (t *Tree) All(fn func(key []byte, val uint64) bool) { t.Scan(nil, nil, fn) }
+
+// split describes a node split propagating upward: key separates the original
+// node from right.
+type split struct {
+	key   []byte
+	right *node
+}
+
+func (t *Tree) insert(n *node, key []byte, val uint64) *split {
+	if n.leaf {
+		i, ok := n.find(key)
+		if ok {
+			n.vals[i] = val
+			return nil
+		}
+		i = sort.Search(len(n.keys), func(j int) bool { return bytes.Compare(n.keys[j], key) > 0 })
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		t.size++
+		return n.maybeSplitLeaf()
+	}
+	ci := n.childIndex(key)
+	grew := t.insert(n.children[ci], key, val)
+	if grew == nil {
+		return nil
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = grew.key
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = grew.right
+	return n.maybeSplitInternal()
+}
+
+func (n *node) maybeSplitLeaf() *split {
+	if len(n.keys) <= degree {
+		return nil
+	}
+	mid := len(n.keys) / 2
+	right := &node{
+		leaf: true,
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		vals: append([]uint64(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.next = right
+	return &split{key: right.keys[0], right: right}
+}
+
+func (n *node) maybeSplitInternal() *split {
+	if len(n.keys) <= degree {
+		return nil
+	}
+	mid := len(n.keys) / 2
+	sepKey := n.keys[mid]
+	right := &node{
+		leaf:     false,
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return &split{key: sepKey, right: right}
+}
+
+// childIndex returns the index of the child subtree that may contain key.
+func (n *node) childIndex(key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
+}
+
+// find locates key within a leaf.
+func (n *node) find(key []byte) (int, bool) {
+	i := sort.Search(len(n.keys), func(j int) bool { return bytes.Compare(n.keys[j], key) >= 0 })
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return i, true
+	}
+	return i, false
+}

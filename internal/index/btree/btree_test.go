@@ -1,0 +1,297 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree should be empty")
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("Get on empty tree should miss")
+	}
+	if tr.Delete([]byte("x")) {
+		t.Fatal("Delete on empty tree should return false")
+	}
+	count := 0
+	tr.All(func([]byte, uint64) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("All on empty tree should not call fn")
+	}
+}
+
+func TestSetGetReplace(t *testing.T) {
+	tr := New()
+	tr.Set([]byte("a"), 1)
+	tr.Set([]byte("b"), 2)
+	tr.Set([]byte("a"), 10)
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (replace must not grow)", tr.Len())
+	}
+	if v, ok := tr.Get([]byte("a")); !ok || v != 10 {
+		t.Errorf("Get(a) = %d,%v", v, ok)
+	}
+	if v, ok := tr.Get([]byte("b")); !ok || v != 2 {
+		t.Errorf("Get(b) = %d,%v", v, ok)
+	}
+}
+
+func TestKeyIsolation(t *testing.T) {
+	tr := New()
+	k := []byte("key")
+	tr.Set(k, 1)
+	k[0] = 'X' // mutating the caller's slice must not corrupt the tree
+	if _, ok := tr.Get([]byte("key")); !ok {
+		t.Error("tree should have copied the key")
+	}
+}
+
+func TestLargeInsertAndScanOrder(t *testing.T) {
+	tr := New()
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Set(EncodeUint64(uint64(i)), uint64(i*2))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	// Every key retrievable.
+	for i := 0; i < n; i += 97 {
+		v, ok := tr.Get(EncodeUint64(uint64(i)))
+		if !ok || v != uint64(i*2) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	// Full scan yields sorted order.
+	prev := []byte(nil)
+	count := 0
+	tr.All(func(k []byte, v uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order at %d", count)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d, want %d", count, n)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Set(EncodeUint64(uint64(i)), uint64(i))
+	}
+	var got []uint64
+	tr.Scan(EncodeUint64(10), EncodeUint64(20), func(_ []byte, v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Errorf("Scan[10,20) = %v", got)
+	}
+	// Early stop.
+	n := 0
+	tr.Scan(nil, nil, func([]byte, uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// Open-ended lower bound.
+	got = got[:0]
+	tr.Scan(nil, EncodeUint64(3), func(_ []byte, v uint64) bool { got = append(got, v); return true })
+	if len(got) != 3 {
+		t.Errorf("Scan[nil,3) = %v", got)
+	}
+	// Open-ended upper bound.
+	got = got[:0]
+	tr.Scan(EncodeUint64(97), nil, func(_ []byte, v uint64) bool { got = append(got, v); return true })
+	if len(got) != 3 {
+		t.Errorf("Scan[97,nil) = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Set(EncodeUint64(uint64(i)), uint64(i))
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(EncodeUint64(uint64(i))) {
+			t.Fatalf("Delete(%d) returned false", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(EncodeUint64(uint64(i)))
+		if (i%2 == 0) == ok {
+			t.Fatalf("key %d presence wrong after delete", i)
+		}
+	}
+	if tr.Delete(EncodeUint64(0)) {
+		t.Error("double delete should return false")
+	}
+}
+
+func TestTreeAgainstMapProperty(t *testing.T) {
+	// Randomised operations mirrored against a Go map must always agree.
+	tr := New()
+	ref := make(map[string]uint64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		key := EncodeUint64(uint64(rng.Intn(3000)))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := uint64(rng.Intn(1e6))
+			tr.Set(key, v)
+			ref[string(key)] = v
+		case 2:
+			got := tr.Delete(key)
+			_, want := ref[string(key)]
+			if got != want {
+				t.Fatalf("Delete mismatch at op %d", i)
+			}
+			delete(ref, string(key))
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, map = %d", tr.Len(), len(ref))
+	}
+	for k, want := range ref {
+		got, ok := tr.Get([]byte(k))
+		if !ok || got != want {
+			t.Fatalf("Get(%x) = %d,%v want %d", k, got, ok, want)
+		}
+	}
+	// Scan order matches sorted map keys.
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	tr.All(func(k []byte, v uint64) bool {
+		if string(k) != keys[i] || v != ref[keys[i]] {
+			t.Fatalf("scan mismatch at %d", i)
+		}
+		i++
+		return true
+	})
+}
+
+func TestEncodeUint64Order(t *testing.T) {
+	f := func(a, b uint64) bool {
+		cmp := bytes.Compare(EncodeUint64(a), EncodeUint64(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeInt64Order(t *testing.T) {
+	f := func(a, b int64) bool {
+		cmp := bytes.Compare(EncodeInt64(a), EncodeInt64(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if DecodeInt64(EncodeInt64(-12345)) != -12345 {
+		t.Error("int64 round trip failed")
+	}
+}
+
+func TestEncodeFloat64Order(t *testing.T) {
+	vals := []float64{-1e300, -42.5, -1, -0.001, 0, 0.001, 1, 42.5, 1e300}
+	for i := 0; i < len(vals); i++ {
+		for j := 0; j < len(vals); j++ {
+			cmp := bytes.Compare(EncodeFloat64(vals[i]), EncodeFloat64(vals[j]))
+			want := 0
+			if vals[i] < vals[j] {
+				want = -1
+			} else if vals[i] > vals[j] {
+				want = 1
+			}
+			if (cmp < 0) != (want < 0) || (cmp > 0) != (want > 0) {
+				t.Errorf("order of %v vs %v wrong", vals[i], vals[j])
+			}
+		}
+	}
+	f := func(x float64) bool { return DecodeFloat64(EncodeFloat64(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeStringOrderAndRoundTrip(t *testing.T) {
+	f := func(a, b string) bool {
+		cmp := bytes.Compare(EncodeString(a), EncodeString(b))
+		want := bytes.Compare([]byte(a), []byte(b))
+		// The encoding must preserve order exactly for strings without
+		// embedded NULs; with NULs it still round-trips (checked below).
+		if !bytes.ContainsRune([]byte(a), 0) && !bytes.ContainsRune([]byte(b), 0) {
+			return (cmp < 0) == (want < 0) && (cmp > 0) == (want > 0)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	rt := func(s string) bool {
+		dec, n := DecodeString(EncodeString(s))
+		return dec == s && n == len(EncodeString(s))
+	}
+	if err := quick.Check(rt, nil); err != nil {
+		t.Error(err)
+	}
+	// Embedded NUL round trip.
+	s := "a\x00b"
+	dec, _ := DecodeString(EncodeString(s))
+	if dec != s {
+		t.Errorf("NUL round trip = %q", dec)
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	tr := New()
+	// Composite (group, seq) keys must scan grouped and ordered.
+	for g := 0; g < 5; g++ {
+		for s := 0; s < 10; s++ {
+			key := Composite(EncodeString(fmt.Sprintf("g%d", g)), EncodeUint64(uint64(s)))
+			tr.Set(key, uint64(g*100+s))
+		}
+	}
+	lo := Composite(EncodeString("g2"), EncodeUint64(0))
+	hi := Composite(EncodeString("g2"), EncodeUint64(1<<62))
+	var got []uint64
+	tr.Scan(lo, hi, func(_ []byte, v uint64) bool { got = append(got, v); return true })
+	if len(got) != 10 || got[0] != 200 || got[9] != 209 {
+		t.Errorf("composite scan = %v", got)
+	}
+}

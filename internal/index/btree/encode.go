@@ -1,0 +1,106 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Order-preserving key encodings. Keys built from these helpers compare
+// bytewise in the same order as the source values compare natively, so the
+// B+-tree can index numbers, strings and composites without knowing their
+// types.
+
+// EncodeUint64 encodes an unsigned integer as 8 big-endian bytes.
+func EncodeUint64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// DecodeUint64 reverses EncodeUint64.
+func DecodeUint64(b []byte) uint64 {
+	return binary.BigEndian.Uint64(b)
+}
+
+// EncodeInt64 encodes a signed integer such that byte order matches numeric
+// order (the sign bit is flipped).
+func EncodeInt64(v int64) []byte {
+	return EncodeUint64(uint64(v) ^ (1 << 63))
+}
+
+// DecodeInt64 reverses EncodeInt64.
+func DecodeInt64(b []byte) int64 {
+	return int64(DecodeUint64(b) ^ (1 << 63))
+}
+
+// EncodeFloat64 encodes a float such that byte order matches numeric order
+// (standard IEEE-754 total-order trick: flip all bits for negatives, flip the
+// sign bit for non-negatives).
+func EncodeFloat64(f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	return EncodeUint64(bits)
+}
+
+// DecodeFloat64 reverses EncodeFloat64.
+func DecodeFloat64(b []byte) float64 {
+	bits := DecodeUint64(b)
+	if bits&(1<<63) != 0 {
+		bits &^= 1 << 63
+	} else {
+		bits = ^bits
+	}
+	return math.Float64frombits(bits)
+}
+
+// EncodeString encodes a string with a 0x00 0x01 escape for embedded zero
+// bytes and a 0x00 0x00 terminator, preserving lexicographic order and
+// allowing strings to participate in composite keys.
+func EncodeString(s string) []byte {
+	out := make([]byte, 0, len(s)+2)
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			out = append(out, 0x00, 0x01)
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	return append(out, 0x00, 0x00)
+}
+
+// DecodeString reverses EncodeString, returning the string and the number of
+// encoded bytes consumed.
+func DecodeString(b []byte) (string, int) {
+	out := make([]byte, 0, len(b))
+	i := 0
+	for i < len(b) {
+		if b[i] == 0x00 {
+			if i+1 < len(b) && b[i+1] == 0x01 {
+				out = append(out, 0x00)
+				i += 2
+				continue
+			}
+			return string(out), i + 2
+		}
+		out = append(out, b[i])
+		i++
+	}
+	return string(out), i
+}
+
+// Composite concatenates already-encoded key parts into a composite key.
+func Composite(parts ...[]byte) []byte {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]byte, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Package grid implements the two-dimensional index used by the interface
+// storage manager. The sheet plane is partitioned into fixed-size tiles
+// (proximity groups); the index maps tile coordinates to an opaque uint64
+// handle — in practice the page id of the data block holding the tile's
+// cells — and answers rectangle queries with the set of tiles that overlap a
+// requested range.
+package grid
+
+import "sort"
+
+// TileKey identifies a tile by its coordinates in tile space.
+type TileKey struct {
+	TileRow int
+	TileCol int
+}
+
+// Index is a 2-D tile directory. It is not safe for concurrent mutation;
+// the owning cell store serialises access.
+type Index struct {
+	tileRows int
+	tileCols int
+	tiles    map[TileKey]uint64
+}
+
+// New creates an index with the given tile dimensions (rows × columns of
+// cells per tile). Dimensions are clamped to at least 1.
+func New(tileRows, tileCols int) *Index {
+	if tileRows < 1 {
+		tileRows = 1
+	}
+	if tileCols < 1 {
+		tileCols = 1
+	}
+	return &Index{tileRows: tileRows, tileCols: tileCols, tiles: make(map[TileKey]uint64)}
+}
+
+// TileRows returns the number of cell rows per tile.
+func (ix *Index) TileRows() int { return ix.tileRows }
+
+// TileCols returns the number of cell columns per tile.
+func (ix *Index) TileCols() int { return ix.tileCols }
+
+// Len returns the number of registered tiles.
+func (ix *Index) Len() int { return len(ix.tiles) }
+
+// TileFor returns the key of the tile containing the cell (row, col).
+// Negative coordinates use floor division so every cell maps to exactly one
+// tile.
+func (ix *Index) TileFor(row, col int) TileKey {
+	return TileKey{TileRow: floorDiv(row, ix.tileRows), TileCol: floorDiv(col, ix.tileCols)}
+}
+
+// CellOrigin returns the sheet coordinates of the tile's top-left cell.
+func (ix *Index) CellOrigin(k TileKey) (row, col int) {
+	return k.TileRow * ix.tileRows, k.TileCol * ix.tileCols
+}
+
+// Get returns the handle registered for a tile.
+func (ix *Index) Get(k TileKey) (uint64, bool) {
+	v, ok := ix.tiles[k]
+	return v, ok
+}
+
+// Put registers (or replaces) the handle for a tile.
+func (ix *Index) Put(k TileKey, handle uint64) { ix.tiles[k] = handle }
+
+// Delete removes a tile registration.
+func (ix *Index) Delete(k TileKey) { delete(ix.tiles, k) }
+
+// TilesInRect returns the keys of registered tiles that overlap the cell
+// rectangle [r1,c1]..[r2,c2] (inclusive), in row-major tile order. Only
+// tiles actually present in the index are returned, so sparse sheets pay for
+// populated tiles only.
+func (ix *Index) TilesInRect(r1, c1, r2, c2 int) []TileKey {
+	if r2 < r1 {
+		r1, r2 = r2, r1
+	}
+	if c2 < c1 {
+		c1, c2 = c2, c1
+	}
+	lo := ix.TileFor(r1, c1)
+	hi := ix.TileFor(r2, c2)
+	spanned := (hi.TileRow - lo.TileRow + 1) * (hi.TileCol - lo.TileCol + 1)
+	var out []TileKey
+	if spanned <= len(ix.tiles) {
+		// Probe each tile coordinate in the rectangle.
+		for tr := lo.TileRow; tr <= hi.TileRow; tr++ {
+			for tc := lo.TileCol; tc <= hi.TileCol; tc++ {
+				k := TileKey{tr, tc}
+				if _, ok := ix.tiles[k]; ok {
+					out = append(out, k)
+				}
+			}
+		}
+		return out
+	}
+	// Sparse rectangle much larger than the populated tile set: scan tiles.
+	for k := range ix.tiles {
+		if k.TileRow >= lo.TileRow && k.TileRow <= hi.TileRow &&
+			k.TileCol >= lo.TileCol && k.TileCol <= hi.TileCol {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TileRow != out[j].TileRow {
+			return out[i].TileRow < out[j].TileRow
+		}
+		return out[i].TileCol < out[j].TileCol
+	})
+	return out
+}
+
+// All returns every registered tile key in row-major order.
+func (ix *Index) All() []TileKey {
+	out := make([]TileKey, 0, len(ix.tiles))
+	for k := range ix.tiles {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TileRow != out[j].TileRow {
+			return out[i].TileRow < out[j].TileRow
+		}
+		return out[i].TileCol < out[j].TileCol
+	})
+	return out
+}
+
+// floorDiv divides rounding toward negative infinity.
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}

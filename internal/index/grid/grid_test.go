@@ -1,0 +1,168 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTileForAndOrigin(t *testing.T) {
+	ix := New(32, 8)
+	cases := []struct {
+		row, col int
+		want     TileKey
+	}{
+		{0, 0, TileKey{0, 0}},
+		{31, 7, TileKey{0, 0}},
+		{32, 8, TileKey{1, 1}},
+		{63, 15, TileKey{1, 1}},
+		{100, 3, TileKey{3, 0}},
+		{-1, -1, TileKey{-1, -1}},
+	}
+	for _, c := range cases {
+		if got := ix.TileFor(c.row, c.col); got != c.want {
+			t.Errorf("TileFor(%d,%d) = %v, want %v", c.row, c.col, got, c.want)
+		}
+	}
+	r, c := ix.CellOrigin(TileKey{2, 3})
+	if r != 64 || c != 24 {
+		t.Errorf("CellOrigin = %d,%d", r, c)
+	}
+	if ix.TileRows() != 32 || ix.TileCols() != 8 {
+		t.Error("dimensions wrong")
+	}
+}
+
+func TestClampedDimensions(t *testing.T) {
+	ix := New(0, -5)
+	if ix.TileRows() != 1 || ix.TileCols() != 1 {
+		t.Error("dimensions should clamp to 1")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	ix := New(16, 4)
+	k := TileKey{1, 2}
+	if _, ok := ix.Get(k); ok {
+		t.Fatal("missing tile should not be found")
+	}
+	ix.Put(k, 77)
+	if v, ok := ix.Get(k); !ok || v != 77 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	ix.Put(k, 78)
+	if v, _ := ix.Get(k); v != 78 {
+		t.Error("Put should replace")
+	}
+	if ix.Len() != 1 {
+		t.Error("Len wrong")
+	}
+	ix.Delete(k)
+	if _, ok := ix.Get(k); ok || ix.Len() != 0 {
+		t.Error("Delete failed")
+	}
+}
+
+func TestTilesInRect(t *testing.T) {
+	ix := New(10, 10)
+	// Register a 5x5 grid of tiles covering cells 0..49 in both axes.
+	for tr := 0; tr < 5; tr++ {
+		for tc := 0; tc < 5; tc++ {
+			ix.Put(TileKey{tr, tc}, uint64(tr*10+tc))
+		}
+	}
+	// A window covering cells rows 15..25, cols 5..15 overlaps tiles
+	// (1..2, 0..1).
+	got := ix.TilesInRect(15, 5, 25, 15)
+	if len(got) != 4 {
+		t.Fatalf("TilesInRect returned %d tiles: %v", len(got), got)
+	}
+	want := []TileKey{{1, 0}, {1, 1}, {2, 0}, {2, 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tile %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Reversed corners normalise.
+	got2 := ix.TilesInRect(25, 15, 15, 5)
+	if len(got2) != 4 {
+		t.Error("reversed rect should normalise")
+	}
+	// Rectangle outside the populated area.
+	if got := ix.TilesInRect(1000, 1000, 1010, 1010); len(got) != 0 {
+		t.Errorf("out-of-area rect returned %v", got)
+	}
+	// Huge rectangle takes the scan path and still returns everything in
+	// row-major order.
+	all := ix.TilesInRect(-1_000_000, -1_000_000, 1_000_000, 1_000_000)
+	if len(all) != 25 {
+		t.Fatalf("huge rect returned %d tiles", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		prev, cur := all[i-1], all[i]
+		if prev.TileRow > cur.TileRow || (prev.TileRow == cur.TileRow && prev.TileCol >= cur.TileCol) {
+			t.Fatal("scan path not in row-major order")
+		}
+	}
+}
+
+func TestAllOrdered(t *testing.T) {
+	ix := New(4, 4)
+	ix.Put(TileKey{2, 0}, 1)
+	ix.Put(TileKey{0, 1}, 2)
+	ix.Put(TileKey{0, 0}, 3)
+	all := ix.All()
+	want := []TileKey{{0, 0}, {0, 1}, {2, 0}}
+	if len(all) != 3 {
+		t.Fatalf("All = %v", all)
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Errorf("All[%d] = %v, want %v", i, all[i], want[i])
+		}
+	}
+}
+
+func TestEveryCellMapsToExactlyOneTileProperty(t *testing.T) {
+	ix := New(32, 8)
+	f := func(row, col int16) bool {
+		k := ix.TileFor(int(row), int(col))
+		or, oc := ix.CellOrigin(k)
+		return int(row) >= or && int(row) < or+32 && int(col) >= oc && int(col) < oc+8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTilesInRectContainsTileOfEveryCellProperty(t *testing.T) {
+	ix := New(7, 3)
+	// Populate a region of tiles.
+	for tr := -3; tr < 10; tr++ {
+		for tc := -3; tc < 10; tc++ {
+			ix.Put(TileKey{tr, tc}, 1)
+		}
+	}
+	f := func(r1, c1 int8, dr, dc uint8) bool {
+		r2 := int(r1) + int(dr)%20
+		c2 := int(c1) + int(dc)%20
+		tiles := ix.TilesInRect(int(r1), int(c1), r2, c2)
+		set := make(map[TileKey]bool, len(tiles))
+		for _, k := range tiles {
+			set[k] = true
+		}
+		// Every cell in the rect whose tile is registered must have its
+		// tile in the answer.
+		for row := int(r1); row <= r2; row++ {
+			for col := int(c1); col <= c2; col++ {
+				k := ix.TileFor(row, col)
+				if _, registered := ix.Get(k); registered && !set[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,343 @@
+// Package positional implements the paper's positional index: an
+// order-statistic balanced tree that maps spreadsheet positions (0-based row
+// offsets within a displayed table or sheet region) to stored tuples.
+//
+// Unlike a key index, a positional index must stay correct under row
+// insertion and deletion, which shift the positions of everything below the
+// edit point. A dense array or a key index on an explicit "row number"
+// attribute would need O(n) renumbering per insert; the positional index does
+// every operation — lookup by position, window scan, insert, delete, and
+// reverse lookup (position of a given tuple) — in O(log n).
+package positional
+
+import (
+	"fmt"
+)
+
+// Index is an order-statistic treap storing uint64 payloads (typically row
+// ids) in a user-controlled sequence. The zero value is not usable; call New.
+// Index is not safe for concurrent mutation; callers serialise access.
+type Index struct {
+	root    *node
+	nodes   map[uint64]*node // reverse map: payload -> node (payloads unique)
+	rngSeed uint64
+}
+
+type node struct {
+	payload  uint64
+	priority uint64
+	size     int
+	left     *node
+	right    *node
+	parent   *node
+}
+
+// New creates an empty positional index.
+func New() *Index {
+	return &Index{nodes: make(map[uint64]*node), rngSeed: 0x9E3779B97F4A7C15}
+}
+
+// Len returns the number of entries.
+func (ix *Index) Len() int { return size(ix.root) }
+
+// nextPriority produces deterministic pseudo-random priorities (splitmix64)
+// so tree shape is reproducible across runs.
+func (ix *Index) nextPriority() uint64 {
+	ix.rngSeed += 0x9E3779B97F4A7C15
+	z := ix.rngSeed
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+	if n.left != nil {
+		n.left.parent = n
+	}
+	if n.right != nil {
+		n.right.parent = n
+	}
+}
+
+// merge joins two treaps where every position in a precedes every position
+// in b.
+func merge(a, b *node) *node {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.priority > b.priority:
+		a.right = merge(a.right, b)
+		a.update()
+		return a
+	default:
+		b.left = merge(a, b.left)
+		b.update()
+		return b
+	}
+}
+
+// split divides a treap into positions [0,k) and [k,n).
+func split(n *node, k int) (*node, *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if size(n.left) >= k {
+		l, r := split(n.left, k)
+		n.left = r
+		n.update()
+		if l != nil {
+			l.parent = nil
+		}
+		return l, n
+	}
+	l, r := split(n.right, k-size(n.left)-1)
+	n.right = l
+	n.update()
+	if r != nil {
+		r.parent = nil
+	}
+	return n, r
+}
+
+// InsertAt inserts payload so that it occupies position pos, shifting later
+// entries down by one. pos is clamped to [0, Len]. Each payload may appear at
+// most once; inserting a payload already present returns an error.
+func (ix *Index) InsertAt(pos int, payload uint64) error {
+	if _, dup := ix.nodes[payload]; dup {
+		return fmt.Errorf("positional: payload %d already present", payload)
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > ix.Len() {
+		pos = ix.Len()
+	}
+	n := &node{payload: payload, priority: ix.nextPriority(), size: 1}
+	ix.nodes[payload] = n
+	l, r := split(ix.root, pos)
+	ix.root = merge(merge(l, n), r)
+	if ix.root != nil {
+		ix.root.parent = nil
+	}
+	return nil
+}
+
+// Append inserts payload at the end of the sequence.
+func (ix *Index) Append(payload uint64) error {
+	return ix.InsertAt(ix.Len(), payload)
+}
+
+// DeleteAt removes the entry at pos, shifting later entries up by one, and
+// returns the removed payload.
+func (ix *Index) DeleteAt(pos int) (uint64, bool) {
+	if pos < 0 || pos >= ix.Len() {
+		return 0, false
+	}
+	l, rest := split(ix.root, pos)
+	mid, r := split(rest, 1)
+	payload := mid.payload
+	delete(ix.nodes, payload)
+	ix.root = merge(l, r)
+	if ix.root != nil {
+		ix.root.parent = nil
+	}
+	return payload, true
+}
+
+// Get returns the payload at pos.
+func (ix *Index) Get(pos int) (uint64, bool) {
+	n := ix.root
+	if pos < 0 || pos >= size(n) {
+		return 0, false
+	}
+	for n != nil {
+		ls := size(n.left)
+		switch {
+		case pos < ls:
+			n = n.left
+		case pos == ls:
+			return n.payload, true
+		default:
+			pos -= ls + 1
+			n = n.right
+		}
+	}
+	return 0, false
+}
+
+// Replace swaps the payload stored at pos for a new one (the position of the
+// entry is unchanged). It fails if the new payload is already present under a
+// different position.
+func (ix *Index) Replace(pos int, payload uint64) error {
+	n := ix.nodeAt(pos)
+	if n == nil {
+		return fmt.Errorf("positional: position %d out of range", pos)
+	}
+	if n.payload == payload {
+		return nil
+	}
+	if _, dup := ix.nodes[payload]; dup {
+		return fmt.Errorf("positional: payload %d already present", payload)
+	}
+	delete(ix.nodes, n.payload)
+	n.payload = payload
+	ix.nodes[payload] = n
+	return nil
+}
+
+func (ix *Index) nodeAt(pos int) *node {
+	n := ix.root
+	if pos < 0 || pos >= size(n) {
+		return nil
+	}
+	for n != nil {
+		ls := size(n.left)
+		switch {
+		case pos < ls:
+			n = n.left
+		case pos == ls:
+			return n
+		default:
+			pos -= ls + 1
+			n = n.right
+		}
+	}
+	return nil
+}
+
+// PositionOf returns the current position of the given payload, the reverse
+// lookup used when a database-side change must be reflected at the right
+// place on the sheet.
+func (ix *Index) PositionOf(payload uint64) (int, bool) {
+	n, ok := ix.nodes[payload]
+	if !ok {
+		return 0, false
+	}
+	pos := size(n.left)
+	for n.parent != nil {
+		if n.parent.right == n {
+			pos += size(n.parent.left) + 1
+		}
+		n = n.parent
+	}
+	return pos, true
+}
+
+// Remove deletes the entry holding payload (wherever it is) and returns its
+// former position.
+func (ix *Index) Remove(payload uint64) (int, bool) {
+	pos, ok := ix.PositionOf(payload)
+	if !ok {
+		return 0, false
+	}
+	ix.DeleteAt(pos)
+	return pos, true
+}
+
+// Scan calls fn for count entries starting at position pos (fewer if the
+// sequence ends first), in positional order. Iteration stops early if fn
+// returns false. This is the window-fetch primitive: retrieving the visible
+// pane is a single O(log n + window) scan.
+func (ix *Index) Scan(pos, count int, fn func(pos int, payload uint64) bool) {
+	if pos < 0 {
+		count += pos
+		pos = 0
+	}
+	end := pos + count
+	if end > ix.Len() {
+		end = ix.Len()
+	}
+	i := pos
+	var walk func(n *node, offset int) bool
+	walk = func(n *node, offset int) bool {
+		if n == nil || i >= end {
+			return true
+		}
+		ls := size(n.left)
+		nodePos := offset + ls
+		if i < nodePos {
+			if !walk(n.left, offset) {
+				return false
+			}
+		}
+		if i >= end {
+			return true
+		}
+		if nodePos >= i && nodePos < end {
+			if !fn(nodePos, n.payload) {
+				return false
+			}
+			i = nodePos + 1
+		}
+		if i < end && nodePos < end {
+			return walk(n.right, nodePos+1)
+		}
+		return true
+	}
+	walk(ix.root, 0)
+}
+
+// All returns every payload in positional order. Intended for tests and
+// small sequences.
+func (ix *Index) All() []uint64 {
+	out := make([]uint64, 0, ix.Len())
+	ix.Scan(0, ix.Len(), func(_ int, p uint64) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// BulkLoad builds the index from an ordered payload slice, replacing any
+// existing contents. Payloads must be unique.
+func (ix *Index) BulkLoad(payloads []uint64) error {
+	ix.root = nil
+	ix.nodes = make(map[uint64]*node, len(payloads))
+	ix.root = ix.build(payloads)
+	if ix.root != nil {
+		ix.root.parent = nil
+	}
+	if len(ix.nodes) != len(payloads) {
+		return fmt.Errorf("positional: duplicate payloads in bulk load")
+	}
+	return nil
+}
+
+// build constructs a balanced treap from ordered payloads. Priorities are
+// still assigned so later mutations keep the tree balanced in expectation.
+func (ix *Index) build(payloads []uint64) *node {
+	if len(payloads) == 0 {
+		return nil
+	}
+	// Build by repeated merge of singleton nodes in order; to stay O(n log n)
+	// worst case we build a balanced structure directly and then fix
+	// priorities by a heapify-like pass. Simpler: recursive midpoint build,
+	// assigning each node the max priority of its subtree to preserve the
+	// heap property.
+	mid := len(payloads) / 2
+	n := &node{payload: payloads[mid], priority: ix.nextPriority(), size: 1}
+	ix.nodes[payloads[mid]] = n
+	n.left = ix.build(payloads[:mid])
+	n.right = ix.build(payloads[mid+1:])
+	// Restore the treap heap property locally: parent priority must be >=
+	// children. Taking the max is sufficient because children were built
+	// the same way.
+	if n.left != nil && n.left.priority > n.priority {
+		n.priority = n.left.priority
+	}
+	if n.right != nil && n.right.priority > n.priority {
+		n.priority = n.right.priority
+	}
+	n.update()
+	return n
+}

@@ -1,0 +1,336 @@
+package positional
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New()
+	if ix.Len() != 0 {
+		t.Fatal("new index should be empty")
+	}
+	if _, ok := ix.Get(0); ok {
+		t.Fatal("Get on empty should miss")
+	}
+	if _, ok := ix.DeleteAt(0); ok {
+		t.Fatal("DeleteAt on empty should fail")
+	}
+	if _, ok := ix.PositionOf(7); ok {
+		t.Fatal("PositionOf on empty should miss")
+	}
+	if got := ix.All(); len(got) != 0 {
+		t.Fatal("All on empty should be empty")
+	}
+}
+
+func TestAppendAndGet(t *testing.T) {
+	ix := New()
+	for i := uint64(0); i < 100; i++ {
+		if err := ix.Append(i + 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 100 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := ix.Get(i)
+		if !ok || v != uint64(i+1000) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := ix.Get(100); ok {
+		t.Error("Get past end should miss")
+	}
+	if _, ok := ix.Get(-1); ok {
+		t.Error("Get(-1) should miss")
+	}
+}
+
+func TestInsertAtShifts(t *testing.T) {
+	ix := New()
+	// 10, 20, 30
+	for _, v := range []uint64{10, 20, 30} {
+		_ = ix.Append(v)
+	}
+	// Insert 15 at position 1 -> 10, 15, 20, 30
+	if err := ix.InsertAt(1, 15); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{10, 15, 20, 30}
+	got := ix.All()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("All = %v, want %v", got, want)
+		}
+	}
+	// Positions clamp.
+	_ = ix.InsertAt(-5, 1)
+	_ = ix.InsertAt(1000, 99)
+	if v, _ := ix.Get(0); v != 1 {
+		t.Error("clamped insert at front wrong")
+	}
+	if v, _ := ix.Get(ix.Len() - 1); v != 99 {
+		t.Error("clamped insert at end wrong")
+	}
+	// Duplicate payloads rejected.
+	if err := ix.InsertAt(0, 15); err == nil {
+		t.Error("duplicate payload should be rejected")
+	}
+}
+
+func TestDeleteAtShifts(t *testing.T) {
+	ix := New()
+	for i := uint64(0); i < 10; i++ {
+		_ = ix.Append(i)
+	}
+	v, ok := ix.DeleteAt(3)
+	if !ok || v != 3 {
+		t.Fatalf("DeleteAt(3) = %d,%v", v, ok)
+	}
+	if ix.Len() != 9 {
+		t.Fatal("Len after delete wrong")
+	}
+	if got, _ := ix.Get(3); got != 4 {
+		t.Errorf("Get(3) after delete = %d, want 4", got)
+	}
+	if _, ok := ix.DeleteAt(99); ok {
+		t.Error("DeleteAt out of range should fail")
+	}
+	// The deleted payload can be re-inserted.
+	if err := ix.Append(3); err != nil {
+		t.Errorf("re-insert after delete: %v", err)
+	}
+}
+
+func TestPositionOfAndRemove(t *testing.T) {
+	ix := New()
+	for i := uint64(0); i < 1000; i++ {
+		_ = ix.Append(i * 7)
+	}
+	for i := 0; i < 1000; i += 37 {
+		pos, ok := ix.PositionOf(uint64(i * 7))
+		if !ok || pos != i {
+			t.Fatalf("PositionOf(%d) = %d,%v want %d", i*7, pos, ok, i)
+		}
+	}
+	// After inserting at the front, all positions shift by one.
+	_ = ix.InsertAt(0, 99999)
+	pos, ok := ix.PositionOf(7 * 500)
+	if !ok || pos != 501 {
+		t.Fatalf("PositionOf after front insert = %d,%v", pos, ok)
+	}
+	// Remove by payload.
+	gone, ok := ix.Remove(99999)
+	if !ok || gone != 0 {
+		t.Fatalf("Remove = %d,%v", gone, ok)
+	}
+	if _, ok := ix.Remove(99999); ok {
+		t.Error("Remove of missing payload should fail")
+	}
+	if pos, _ := ix.PositionOf(7 * 500); pos != 500 {
+		t.Error("positions should shift back after Remove")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	ix := New()
+	for i := uint64(0); i < 5; i++ {
+		_ = ix.Append(i)
+	}
+	if err := ix.Replace(2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ix.Get(2); v != 100 {
+		t.Error("Replace did not change payload")
+	}
+	if pos, ok := ix.PositionOf(100); !ok || pos != 2 {
+		t.Error("reverse map not updated by Replace")
+	}
+	if _, ok := ix.PositionOf(2); ok {
+		t.Error("old payload should be gone after Replace")
+	}
+	if err := ix.Replace(0, 100); err == nil {
+		t.Error("Replace to duplicate payload should fail")
+	}
+	if err := ix.Replace(2, 100); err != nil {
+		t.Error("Replace with same payload should be a no-op")
+	}
+	if err := ix.Replace(99, 1); err == nil {
+		t.Error("Replace out of range should fail")
+	}
+}
+
+func TestScanWindow(t *testing.T) {
+	ix := New()
+	for i := uint64(0); i < 1000; i++ {
+		_ = ix.Append(i)
+	}
+	var got []uint64
+	var positions []int
+	ix.Scan(100, 50, func(pos int, p uint64) bool {
+		positions = append(positions, pos)
+		got = append(got, p)
+		return true
+	})
+	if len(got) != 50 {
+		t.Fatalf("Scan returned %d entries", len(got))
+	}
+	for i := range got {
+		if got[i] != uint64(100+i) || positions[i] != 100+i {
+			t.Fatalf("Scan[%d] = pos %d payload %d", i, positions[i], got[i])
+		}
+	}
+	// Scan past the end truncates.
+	n := 0
+	ix.Scan(990, 50, func(int, uint64) bool { n++; return true })
+	if n != 10 {
+		t.Errorf("Scan past end visited %d, want 10", n)
+	}
+	// Negative start clamps.
+	n = 0
+	ix.Scan(-5, 10, func(int, uint64) bool { n++; return true })
+	if n != 5 {
+		t.Errorf("Scan negative start visited %d, want 5", n)
+	}
+	// Early stop.
+	n = 0
+	ix.Scan(0, 100, func(int, uint64) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	ix := New()
+	payloads := make([]uint64, 10000)
+	for i := range payloads {
+		payloads[i] = uint64(i) + 5
+	}
+	if err := ix.BulkLoad(payloads); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != len(payloads) {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	for _, i := range []int{0, 1, 5000, 9999} {
+		if v, ok := ix.Get(i); !ok || v != payloads[i] {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+		if pos, ok := ix.PositionOf(payloads[i]); !ok || pos != i {
+			t.Fatalf("PositionOf(%d) = %d,%v", payloads[i], pos, ok)
+		}
+	}
+	// Mutations after bulk load still work.
+	_ = ix.InsertAt(5000, 1<<40)
+	if v, _ := ix.Get(5000); v != 1<<40 {
+		t.Error("insert after bulk load failed")
+	}
+	if v, _ := ix.Get(5001); v != payloads[5000] {
+		t.Error("shift after bulk load failed")
+	}
+	// Duplicates rejected.
+	if err := ix.BulkLoad([]uint64{1, 2, 1}); err == nil {
+		t.Error("BulkLoad with duplicates should fail")
+	}
+	// Bulk load replaces prior contents.
+	_ = ix.BulkLoad([]uint64{42})
+	if ix.Len() != 1 {
+		t.Error("BulkLoad should replace contents")
+	}
+}
+
+// TestAgainstReferenceSlice drives the index with random operations mirrored
+// against a plain slice, the executable specification of positional
+// semantics.
+func TestAgainstReferenceSlice(t *testing.T) {
+	ix := New()
+	var ref []uint64
+	rng := rand.New(rand.NewSource(99))
+	next := uint64(1)
+	for op := 0; op < 20000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4: // insert at random position
+			pos := 0
+			if len(ref) > 0 {
+				pos = rng.Intn(len(ref) + 1)
+			}
+			payload := next
+			next++
+			if err := ix.InsertAt(pos, payload); err != nil {
+				t.Fatal(err)
+			}
+			ref = append(ref, 0)
+			copy(ref[pos+1:], ref[pos:])
+			ref[pos] = payload
+		case r < 6 && len(ref) > 0: // delete at random position
+			pos := rng.Intn(len(ref))
+			got, ok := ix.DeleteAt(pos)
+			if !ok || got != ref[pos] {
+				t.Fatalf("op %d: DeleteAt(%d) = %d,%v want %d", op, pos, got, ok, ref[pos])
+			}
+			ref = append(ref[:pos], ref[pos+1:]...)
+		case r < 8 && len(ref) > 0: // point lookup
+			pos := rng.Intn(len(ref))
+			got, ok := ix.Get(pos)
+			if !ok || got != ref[pos] {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d", op, pos, got, ok, ref[pos])
+			}
+		case len(ref) > 0: // reverse lookup
+			pos := rng.Intn(len(ref))
+			gotPos, ok := ix.PositionOf(ref[pos])
+			if !ok || gotPos != pos {
+				t.Fatalf("op %d: PositionOf(%d) = %d,%v want %d", op, ref[pos], gotPos, ok, pos)
+			}
+		}
+		if ix.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, ref = %d", op, ix.Len(), len(ref))
+		}
+	}
+	// Final full comparison.
+	got := ix.All()
+	if len(got) != len(ref) {
+		t.Fatalf("final length mismatch")
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("final content mismatch at %d", i)
+		}
+	}
+}
+
+func TestScanMatchesReferenceWindows(t *testing.T) {
+	ix := New()
+	var ref []uint64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		pos := 0
+		if len(ref) > 0 {
+			pos = rng.Intn(len(ref) + 1)
+		}
+		_ = ix.InsertAt(pos, uint64(i+1))
+		ref = append(ref, 0)
+		copy(ref[pos+1:], ref[pos:])
+		ref[pos] = uint64(i + 1)
+	}
+	for trial := 0; trial < 100; trial++ {
+		start := rng.Intn(len(ref))
+		count := rng.Intn(200)
+		var got []uint64
+		ix.Scan(start, count, func(_ int, p uint64) bool { got = append(got, p); return true })
+		end := start + count
+		if end > len(ref) {
+			end = len(ref)
+		}
+		want := ref[start:end]
+		if len(got) != len(want) {
+			t.Fatalf("window [%d,%d): got %d entries want %d", start, end, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("window [%d,%d) mismatch at %d", start, end, i)
+			}
+		}
+	}
+}

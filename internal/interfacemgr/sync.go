@@ -1,0 +1,388 @@
+package interfacemgr
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/compute"
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/sqlexec"
+	"github.com/dataspread/dataspread/internal/storage/tablestore"
+)
+
+// --- materialisation (database -> sheet) ---
+
+// materializeTable writes a table binding's visible content onto the sheet:
+// the header plus either every row (small tables) or only the rows that fall
+// inside the current window (large tables).
+func (m *Manager) materializeTable(b *Binding) error {
+	sh, ok := m.book.Sheet(b.SheetName)
+	if !ok {
+		return fmt.Errorf("interfacemgr: unknown sheet %q", b.SheetName)
+	}
+	// Determine which display positions to materialise.
+	startPos, count := 0, b.positions.Len()
+	if b.WindowOnly && m.windows != nil {
+		win := m.windows.Window(b.SheetName)
+		// Data row at display position p lives at sheet row Anchor.Row+1+p.
+		startPos = win.Start.Row - b.Anchor.Row - 1
+		if startPos < 0 {
+			startPos = 0
+		}
+		count = win.Rows() + 1 // a little slack below the window
+	}
+	// Clear the previously materialised extent.
+	if b.hasExt {
+		sh.ClearRange(b.extent)
+	}
+	var changed []compute.CellID
+	// Header row.
+	for c, name := range b.Columns {
+		a := sheet.Addr(b.Anchor.Row, b.Anchor.Col+c)
+		sh.SetCell(a, sheet.Cell{Value: sheet.String_(name), Origin: sheet.Origin{Kind: sheet.OriginTable, BindingID: b.ID}})
+		changed = append(changed, compute.CellID{Sheet: b.SheetName, Addr: a})
+		m.bumpCells(1)
+	}
+	maxRow := b.Anchor.Row
+	maxCol := b.Anchor.Col + len(b.Columns) - 1
+	// Data rows.
+	written := 0
+	b.positions.Scan(startPos, count, func(pos int, payload uint64) bool {
+		row, err := m.db.Get(b.Table, tablestore.RowID(payload))
+		if err != nil {
+			return true
+		}
+		sheetRow := b.Anchor.Row + 1 + pos
+		for c := range b.Columns {
+			var v sheet.Value
+			if c < len(row) {
+				v = row[c]
+			}
+			a := sheet.Addr(sheetRow, b.Anchor.Col+c)
+			sh.SetCell(a, sheet.Cell{Value: v, Origin: sheet.Origin{Kind: sheet.OriginTable, BindingID: b.ID}})
+			changed = append(changed, compute.CellID{Sheet: b.SheetName, Addr: a})
+		}
+		if sheetRow > maxRow {
+			maxRow = sheetRow
+		}
+		written++
+		return true
+	})
+	m.bumpCells(uint64(written * len(b.Columns)))
+	b.extent = sheet.RangeOf(b.Anchor.Row, b.Anchor.Col, maxRow, maxCol)
+	b.hasExt = true
+	m.mu.Lock()
+	m.stats.Refreshes++
+	m.mu.Unlock()
+	if m.engine != nil && len(changed) > 0 {
+		m.engine.NotifyChanged(changed...)
+	}
+	return nil
+}
+
+// refreshQuery re-executes a query binding and spills its result.
+func (m *Manager) refreshQuery(b *Binding) error {
+	m.mu.Lock()
+	runner := m.runQuery
+	m.mu.Unlock()
+	if runner == nil {
+		return fmt.Errorf("interfacemgr: no query runner configured")
+	}
+	res, err := runner(b.SQL)
+	if err != nil {
+		return err
+	}
+	sh, ok := m.book.Sheet(b.SheetName)
+	if !ok {
+		return fmt.Errorf("interfacemgr: unknown sheet %q", b.SheetName)
+	}
+	if b.hasExt {
+		sh.ClearRange(b.extent)
+	}
+	b.Columns = res.Columns
+	var changed []compute.CellID
+	// Header.
+	for c, name := range res.Columns {
+		a := sheet.Addr(b.Anchor.Row, b.Anchor.Col+c)
+		sh.SetCell(a, sheet.Cell{Value: sheet.String_(name), Origin: sheet.Origin{Kind: sheet.OriginQuery, BindingID: b.ID}})
+		changed = append(changed, compute.CellID{Sheet: b.SheetName, Addr: a})
+	}
+	// Result rows, computed collectively in a single pass (set-at-a-time)
+	// rather than one formula per cell.
+	for r, row := range res.Rows {
+		for c := range res.Columns {
+			var v sheet.Value
+			if c < len(row) {
+				v = row[c]
+			}
+			a := sheet.Addr(b.Anchor.Row+1+r, b.Anchor.Col+c)
+			sh.SetCell(a, sheet.Cell{Value: v, Origin: sheet.Origin{Kind: sheet.OriginQuery, BindingID: b.ID}})
+			changed = append(changed, compute.CellID{Sheet: b.SheetName, Addr: a})
+		}
+	}
+	m.bumpCells(uint64(len(changed)))
+	endRow := b.Anchor.Row + len(res.Rows)
+	endCol := b.Anchor.Col + maxInt(len(res.Columns)-1, 0)
+	b.extent = sheet.RangeOf(b.Anchor.Row, b.Anchor.Col, endRow, endCol)
+	b.hasExt = true
+	m.mu.Lock()
+	m.stats.Refreshes++
+	m.mu.Unlock()
+	if m.engine != nil && len(changed) > 0 {
+		m.engine.NotifyChanged(changed...)
+	}
+	return nil
+}
+
+// RefreshBinding fully rematerialises a binding.
+func (m *Manager) RefreshBinding(id int64) error {
+	m.mu.Lock()
+	b, ok := m.bindings[id]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("interfacemgr: no binding %d", id)
+	}
+	switch b.Kind {
+	case KindTable:
+		// Rebuild position index from the table (row count may have
+		// changed).
+		var ids []uint64
+		if err := m.db.Scan(b.Table, func(rid tablestore.RowID, _ []sheet.Value) bool {
+			ids = append(ids, uint64(rid))
+			return true
+		}); err != nil {
+			return err
+		}
+		if err := b.positions.BulkLoad(ids); err != nil {
+			return err
+		}
+		return m.materializeTable(b)
+	default:
+		return m.refreshQuery(b)
+	}
+}
+
+// OnScroll rematerialises window-only table bindings of the sheet after the
+// window moved (fetch-on-demand panning).
+func (m *Manager) OnScroll(sheetName string) error {
+	m.mu.Lock()
+	var targets []*Binding
+	for _, b := range m.bindings {
+		if b.Kind == KindTable && b.WindowOnly && strings.EqualFold(b.SheetName, sheetName) {
+			targets = append(targets, b)
+		}
+	}
+	m.mu.Unlock()
+	for _, b := range targets {
+		if err := m.materializeTable(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) bumpCells(n uint64) {
+	m.mu.Lock()
+	m.stats.CellsWritten += n
+	m.mu.Unlock()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- sheet -> database (front-end edits) ---
+
+// HandleSheetEdit routes a user edit at a bound cell to the database. It
+// returns handled=false when the cell does not belong to any binding, in
+// which case the caller treats it as ordinary sheet content. Edits to query
+// results and to header cells are rejected.
+func (m *Manager) HandleSheetEdit(sheetName string, a sheet.Address, v sheet.Value) (handled bool, err error) {
+	b, ok := m.BindingAt(sheetName, a)
+	if !ok {
+		return false, nil
+	}
+	if b.Kind == KindQuery {
+		return true, fmt.Errorf("interfacemgr: cells produced by DBSQL are read-only")
+	}
+	if a.Row == b.Anchor.Row {
+		return true, fmt.Errorf("interfacemgr: the header row of a DBTABLE binding is read-only")
+	}
+	pos := a.Row - b.Anchor.Row - 1
+	col := a.Col - b.Anchor.Col
+	payload, ok := b.positions.Get(pos)
+	if !ok {
+		return true, fmt.Errorf("interfacemgr: no bound row at display position %d", pos)
+	}
+	if col < 0 || col >= len(b.Columns) {
+		return true, fmt.Errorf("interfacemgr: column %d outside the bound table", col)
+	}
+	m.mu.Lock()
+	m.suppress = true
+	m.mu.Unlock()
+	err = m.db.UpdateColumn(b.Table, tablestore.RowID(payload), col, v)
+	m.mu.Lock()
+	m.suppress = false
+	m.stats.EditsPushed++
+	m.mu.Unlock()
+	if err != nil {
+		return true, err
+	}
+	// Write the (possibly coerced) stored value back onto the sheet so the
+	// display matches the database, and notify the compute engine.
+	row, gerr := m.db.Get(b.Table, tablestore.RowID(payload))
+	if gerr == nil && col < len(row) {
+		if sh, found := m.book.Sheet(b.SheetName); found {
+			sh.SetCell(a, sheet.Cell{Value: row[col], Origin: sheet.Origin{Kind: sheet.OriginTable, BindingID: b.ID}})
+		}
+		m.engine.NotifyChanged(compute.CellID{Sheet: b.SheetName, Addr: a})
+	}
+	// Other bindings over the same table refresh through onDBChange.
+	m.refreshSiblings(b)
+	return true, nil
+}
+
+// LocationOfKey maps a tuple's primary key to its current display location
+// within a table binding (paper: "the interface manager maintains a mapping
+// between a tuple's key attribute and its corresponding location").
+func (m *Manager) LocationOfKey(bindingID int64, key []sheet.Value) (sheet.Address, bool, error) {
+	b, ok := m.Binding(bindingID)
+	if !ok || b.Kind != KindTable {
+		return sheet.Address{}, false, fmt.Errorf("interfacemgr: no table binding %d", bindingID)
+	}
+	rid, found, err := m.db.FindByKey(b.Table, key)
+	if err != nil || !found {
+		return sheet.Address{}, false, err
+	}
+	pos, ok := b.positions.PositionOf(uint64(rid))
+	if !ok {
+		return sheet.Address{}, false, nil
+	}
+	return sheet.Addr(b.Anchor.Row+1+pos, b.Anchor.Col), true, nil
+}
+
+// --- database -> sheet (back-end changes) ---
+
+// onDBChange reacts to database change notifications by keeping bound
+// regions in sync. Inserts and updates are handled incrementally; deletes and
+// schema changes trigger a full refresh of affected bindings.
+func (m *Manager) onDBChange(ev sqlexec.ChangeEvent) {
+	m.mu.Lock()
+	var targets []*Binding
+	for _, b := range m.bindings {
+		if b.Kind == KindTable && strings.EqualFold(b.Table, ev.Table) {
+			targets = append(targets, b)
+		}
+		if b.Kind == KindQuery && ev.Kind != sqlexec.ChangeSchema {
+			// Query results may depend on any table; re-run them on data
+			// changes. (A more precise dependency analysis could limit
+			// this to queries that reference ev.Table.)
+			targets = append(targets, b)
+		}
+	}
+	m.mu.Unlock()
+	for _, b := range targets {
+		switch {
+		case b.Kind == KindQuery:
+			_ = m.refreshQuery(b)
+		case ev.Kind == sqlexec.ChangeInsert:
+			m.applyInsert(b, ev.RowID)
+		case ev.Kind == sqlexec.ChangeUpdate:
+			m.applyUpdate(b, ev.RowID)
+		case ev.Kind == sqlexec.ChangeDelete:
+			_ = m.RefreshBinding(b.ID)
+		case ev.Kind == sqlexec.ChangeDropTable:
+			m.Unbind(b.ID)
+		default: // schema change
+			b.Columns = nil
+			if tbl, err := m.db.Table(b.Table); err == nil {
+				b.Columns = tbl.ColumnNames()
+			}
+			_ = m.RefreshBinding(b.ID)
+		}
+	}
+}
+
+// applyInsert appends the new row at the end of the binding.
+func (m *Manager) applyInsert(b *Binding, id tablestore.RowID) {
+	if _, exists := b.positions.PositionOf(uint64(id)); exists {
+		return
+	}
+	_ = b.positions.Append(uint64(id))
+	pos := b.positions.Len() - 1
+	m.mu.Lock()
+	m.stats.IncrementalOps++
+	m.mu.Unlock()
+	if b.WindowOnly && m.windows != nil {
+		if !m.windows.Contains(b.SheetName, sheet.Addr(b.Anchor.Row+1+pos, b.Anchor.Col)) {
+			return // not visible; will be materialised when scrolled to
+		}
+	}
+	m.writeRow(b, pos, id)
+}
+
+// applyUpdate rewrites the cells of the updated row if it is materialised.
+func (m *Manager) applyUpdate(b *Binding, id tablestore.RowID) {
+	pos, ok := b.positions.PositionOf(uint64(id))
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	m.stats.IncrementalOps++
+	m.mu.Unlock()
+	if b.WindowOnly && m.windows != nil {
+		if !m.windows.Contains(b.SheetName, sheet.Addr(b.Anchor.Row+1+pos, b.Anchor.Col)) {
+			return
+		}
+	}
+	m.writeRow(b, pos, id)
+}
+
+// writeRow materialises one data row of a table binding.
+func (m *Manager) writeRow(b *Binding, pos int, id tablestore.RowID) {
+	sh, ok := m.book.Sheet(b.SheetName)
+	if !ok {
+		return
+	}
+	row, err := m.db.Get(b.Table, id)
+	if err != nil {
+		return
+	}
+	sheetRow := b.Anchor.Row + 1 + pos
+	var changed []compute.CellID
+	for c := range b.Columns {
+		var v sheet.Value
+		if c < len(row) {
+			v = row[c]
+		}
+		a := sheet.Addr(sheetRow, b.Anchor.Col+c)
+		sh.SetCell(a, sheet.Cell{Value: v, Origin: sheet.Origin{Kind: sheet.OriginTable, BindingID: b.ID}})
+		changed = append(changed, compute.CellID{Sheet: b.SheetName, Addr: a})
+	}
+	m.bumpCells(uint64(len(b.Columns)))
+	if sheetRow > b.extent.End.Row {
+		b.extent.End.Row = sheetRow
+	}
+	if m.engine != nil {
+		m.engine.NotifyChanged(changed...)
+	}
+}
+
+// refreshSiblings refreshes other table bindings bound to the same table as
+// b (after a front-end edit routed through b).
+func (m *Manager) refreshSiblings(b *Binding) {
+	m.mu.Lock()
+	var targets []*Binding
+	for _, other := range m.bindings {
+		if other.ID != b.ID && other.Kind == KindTable && strings.EqualFold(other.Table, b.Table) {
+			targets = append(targets, other)
+		}
+	}
+	m.mu.Unlock()
+	for _, other := range targets {
+		_ = m.RefreshBinding(other.ID)
+	}
+}

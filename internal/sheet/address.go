@@ -1,0 +1,318 @@
+// Package sheet implements the spreadsheet data model used by DataSpread:
+// typed cell values, A1-style addresses and ranges, and sparse sheets backed
+// by pluggable cell stores.
+//
+// Rows and columns are zero-based internally; the textual A1 notation used by
+// formulas and by the public API is one-based for rows ("A1" is row 0, col 0).
+package sheet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Address identifies a single cell position on a sheet. Row and Col are
+// zero-based.
+type Address struct {
+	Row int
+	Col int
+}
+
+// Addr is a convenience constructor for Address.
+func Addr(row, col int) Address { return Address{Row: row, Col: col} }
+
+// String renders the address in A1 notation (e.g. {0,0} -> "A1").
+func (a Address) String() string {
+	return ColName(a.Col) + strconv.Itoa(a.Row+1)
+}
+
+// Valid reports whether the address has non-negative coordinates.
+func (a Address) Valid() bool { return a.Row >= 0 && a.Col >= 0 }
+
+// Offset returns the address shifted by the given number of rows and columns.
+func (a Address) Offset(dRow, dCol int) Address {
+	return Address{Row: a.Row + dRow, Col: a.Col + dCol}
+}
+
+// Before reports whether a orders before b in row-major order.
+func (a Address) Before(b Address) bool {
+	if a.Row != b.Row {
+		return a.Row < b.Row
+	}
+	return a.Col < b.Col
+}
+
+// ColName converts a zero-based column number to its spreadsheet letters
+// (0 -> "A", 25 -> "Z", 26 -> "AA").
+func ColName(col int) string {
+	if col < 0 {
+		return "#REF"
+	}
+	var buf [8]byte
+	i := len(buf)
+	col++
+	for col > 0 {
+		i--
+		col--
+		buf[i] = byte('A' + col%26)
+		col /= 26
+	}
+	return string(buf[i:])
+}
+
+// ParseColName converts spreadsheet column letters to a zero-based column
+// number ("A" -> 0, "AA" -> 26). It returns an error for empty or
+// non-alphabetic input.
+func ParseColName(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("sheet: empty column name")
+	}
+	col := 0
+	for _, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			col = col*26 + int(r-'A') + 1
+		case r >= 'a' && r <= 'z':
+			col = col*26 + int(r-'a') + 1
+		default:
+			return 0, fmt.Errorf("sheet: invalid column name %q", s)
+		}
+	}
+	return col - 1, nil
+}
+
+// ParseAddress parses an A1-style cell reference such as "B12" or "$C$3".
+// Dollar signs (absolute markers) are accepted and ignored; use ParseRef to
+// retain them.
+func ParseAddress(s string) (Address, error) {
+	ref, err := ParseRef(s)
+	if err != nil {
+		return Address{}, err
+	}
+	return ref.Address, nil
+}
+
+// MustParseAddress is like ParseAddress but panics on error. It is intended
+// for tests and literals.
+func MustParseAddress(s string) Address {
+	a, err := ParseAddress(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Ref is a cell reference as written in a formula: an address plus
+// absolute/relative markers for each axis (the "$" prefixes in "$A$1").
+type Ref struct {
+	Address
+	AbsRow bool
+	AbsCol bool
+}
+
+// String renders the reference in A1 notation including absolute markers.
+func (r Ref) String() string {
+	var sb strings.Builder
+	if r.AbsCol {
+		sb.WriteByte('$')
+	}
+	sb.WriteString(ColName(r.Col))
+	if r.AbsRow {
+		sb.WriteByte('$')
+	}
+	sb.WriteString(strconv.Itoa(r.Row + 1))
+	return sb.String()
+}
+
+// Rebase translates a relative reference that was authored at position `from`
+// so that it refers to the analogous cell when evaluated at position `to`.
+// Absolute axes are left untouched. This is the semantics of copying a
+// formula from one cell to another.
+func (r Ref) Rebase(from, to Address) Ref {
+	out := r
+	if !r.AbsRow {
+		out.Row += to.Row - from.Row
+	}
+	if !r.AbsCol {
+		out.Col += to.Col - from.Col
+	}
+	return out
+}
+
+// ParseRef parses an A1-style reference, retaining absolute markers.
+func ParseRef(s string) (Ref, error) {
+	orig := s
+	var ref Ref
+	if s == "" {
+		return ref, fmt.Errorf("sheet: empty cell reference")
+	}
+	if s[0] == '$' {
+		ref.AbsCol = true
+		s = s[1:]
+	}
+	i := 0
+	for i < len(s) && ((s[i] >= 'A' && s[i] <= 'Z') || (s[i] >= 'a' && s[i] <= 'z')) {
+		i++
+	}
+	if i == 0 {
+		return ref, fmt.Errorf("sheet: invalid cell reference %q", orig)
+	}
+	col, err := ParseColName(s[:i])
+	if err != nil {
+		return ref, fmt.Errorf("sheet: invalid cell reference %q: %w", orig, err)
+	}
+	ref.Col = col
+	s = s[i:]
+	if s != "" && s[0] == '$' {
+		ref.AbsRow = true
+		s = s[1:]
+	}
+	if s == "" {
+		return ref, fmt.Errorf("sheet: invalid cell reference %q: missing row", orig)
+	}
+	row, err := strconv.Atoi(s)
+	if err != nil || row <= 0 {
+		return ref, fmt.Errorf("sheet: invalid cell reference %q: bad row", orig)
+	}
+	ref.Row = row - 1
+	return ref, nil
+}
+
+// Range is a rectangular region of cells, inclusive of both corners.
+type Range struct {
+	Start Address
+	End   Address
+}
+
+// NewRange builds a normalised range from any two corner addresses.
+func NewRange(a, b Address) Range {
+	r := Range{Start: a, End: b}
+	return r.Normalize()
+}
+
+// RangeOf builds a normalised range from row/column coordinates.
+func RangeOf(r1, c1, r2, c2 int) Range {
+	return NewRange(Addr(r1, c1), Addr(r2, c2))
+}
+
+// Normalize returns an equivalent range whose Start is the top-left corner
+// and End the bottom-right corner.
+func (r Range) Normalize() Range {
+	if r.Start.Row > r.End.Row {
+		r.Start.Row, r.End.Row = r.End.Row, r.Start.Row
+	}
+	if r.Start.Col > r.End.Col {
+		r.Start.Col, r.End.Col = r.End.Col, r.Start.Col
+	}
+	return r
+}
+
+// String renders the range in A1:B2 notation. Single-cell ranges render as a
+// single address.
+func (r Range) String() string {
+	if r.Start == r.End {
+		return r.Start.String()
+	}
+	return r.Start.String() + ":" + r.End.String()
+}
+
+// Rows returns the number of rows spanned by the range.
+func (r Range) Rows() int { return r.End.Row - r.Start.Row + 1 }
+
+// Cols returns the number of columns spanned by the range.
+func (r Range) Cols() int { return r.End.Col - r.Start.Col + 1 }
+
+// Size returns the number of cells in the range.
+func (r Range) Size() int { return r.Rows() * r.Cols() }
+
+// Contains reports whether the address lies within the range.
+func (r Range) Contains(a Address) bool {
+	return a.Row >= r.Start.Row && a.Row <= r.End.Row &&
+		a.Col >= r.Start.Col && a.Col <= r.End.Col
+}
+
+// Intersects reports whether two ranges share at least one cell.
+func (r Range) Intersects(o Range) bool {
+	return r.Start.Row <= o.End.Row && o.Start.Row <= r.End.Row &&
+		r.Start.Col <= o.End.Col && o.Start.Col <= r.End.Col
+}
+
+// Intersection returns the overlapping region of two ranges and whether the
+// overlap is non-empty.
+func (r Range) Intersection(o Range) (Range, bool) {
+	if !r.Intersects(o) {
+		return Range{}, false
+	}
+	out := Range{
+		Start: Addr(max(r.Start.Row, o.Start.Row), max(r.Start.Col, o.Start.Col)),
+		End:   Addr(min(r.End.Row, o.End.Row), min(r.End.Col, o.End.Col)),
+	}
+	return out, true
+}
+
+// Union returns the smallest range covering both ranges.
+func (r Range) Union(o Range) Range {
+	return Range{
+		Start: Addr(min(r.Start.Row, o.Start.Row), min(r.Start.Col, o.Start.Col)),
+		End:   Addr(max(r.End.Row, o.End.Row), max(r.End.Col, o.End.Col)),
+	}
+}
+
+// Offset returns the range shifted by the given number of rows and columns.
+func (r Range) Offset(dRow, dCol int) Range {
+	return Range{Start: r.Start.Offset(dRow, dCol), End: r.End.Offset(dRow, dCol)}
+}
+
+// Addresses returns every address in the range in row-major order. Intended
+// for small ranges; large consumers should use ForEach on a Sheet instead.
+func (r Range) Addresses() []Address {
+	out := make([]Address, 0, r.Size())
+	for row := r.Start.Row; row <= r.End.Row; row++ {
+		for col := r.Start.Col; col <= r.End.Col; col++ {
+			out = append(out, Addr(row, col))
+		}
+	}
+	return out
+}
+
+// ParseRange parses "A1:B10" or a single address "A1" into a normalised
+// range.
+func ParseRange(s string) (Range, error) {
+	parts := strings.SplitN(s, ":", 2)
+	start, err := ParseAddress(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Range{}, fmt.Errorf("sheet: invalid range %q: %w", s, err)
+	}
+	if len(parts) == 1 {
+		return Range{Start: start, End: start}, nil
+	}
+	end, err := ParseAddress(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return Range{}, fmt.Errorf("sheet: invalid range %q: %w", s, err)
+	}
+	return NewRange(start, end), nil
+}
+
+// MustParseRange is like ParseRange but panics on error.
+func MustParseRange(s string) Range {
+	r, err := ParseRange(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

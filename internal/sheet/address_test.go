@@ -1,0 +1,265 @@
+package sheet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestColName(t *testing.T) {
+	cases := []struct {
+		col  int
+		want string
+	}{
+		{0, "A"}, {1, "B"}, {25, "Z"}, {26, "AA"}, {27, "AB"},
+		{51, "AZ"}, {52, "BA"}, {701, "ZZ"}, {702, "AAA"},
+	}
+	for _, c := range cases {
+		if got := ColName(c.col); got != c.want {
+			t.Errorf("ColName(%d) = %q, want %q", c.col, got, c.want)
+		}
+	}
+}
+
+func TestColNameNegative(t *testing.T) {
+	if got := ColName(-1); got != "#REF" {
+		t.Errorf("ColName(-1) = %q, want #REF", got)
+	}
+}
+
+func TestParseColName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"A", 0}, {"a", 0}, {"Z", 25}, {"AA", 26}, {"az", 51}, {"ZZ", 701}, {"AAA", 702},
+	}
+	for _, c := range cases {
+		got, err := ParseColName(c.in)
+		if err != nil {
+			t.Fatalf("ParseColName(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseColName(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseColNameErrors(t *testing.T) {
+	for _, in := range []string{"", "1", "A1", "A-B"} {
+		if _, err := ParseColName(in); err == nil {
+			t.Errorf("ParseColName(%q): expected error", in)
+		}
+	}
+}
+
+func TestColNameRoundTripProperty(t *testing.T) {
+	f := func(col uint16) bool {
+		c := int(col)
+		got, err := ParseColName(ColName(c))
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseAddress(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Address
+	}{
+		{"A1", Addr(0, 0)},
+		{"B12", Addr(11, 1)},
+		{"$C$3", Addr(2, 2)},
+		{"aa100", Addr(99, 26)},
+		{"$D7", Addr(6, 3)},
+	}
+	for _, c := range cases {
+		got, err := ParseAddress(c.in)
+		if err != nil {
+			t.Fatalf("ParseAddress(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseAddress(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseAddressErrors(t *testing.T) {
+	for _, in := range []string{"", "1A", "A", "A0", "A-1", "$", "$1", "A1B"} {
+		if _, err := ParseAddress(in); err == nil {
+			t.Errorf("ParseAddress(%q): expected error", in)
+		}
+	}
+}
+
+func TestAddressStringRoundTrip(t *testing.T) {
+	f := func(row, col uint16) bool {
+		a := Addr(int(row), int(col))
+		back, err := ParseAddress(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefAbsoluteMarkers(t *testing.T) {
+	r, err := ParseRef("$B$7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.AbsCol || !r.AbsRow || r.Row != 6 || r.Col != 1 {
+		t.Errorf("ParseRef($B$7) = %+v", r)
+	}
+	if r.String() != "$B$7" {
+		t.Errorf("String() = %q, want $B$7", r.String())
+	}
+	r2, err := ParseRef("B7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.AbsCol || r2.AbsRow {
+		t.Errorf("ParseRef(B7) should be relative: %+v", r2)
+	}
+}
+
+func TestRefRebase(t *testing.T) {
+	// A relative reference to A1 authored at B2, evaluated at D5, should
+	// point to C4 (same offset: one left, one up).
+	r := Ref{Address: Addr(0, 0)}
+	got := r.Rebase(Addr(1, 1), Addr(4, 3))
+	if got.Address != Addr(3, 2) {
+		t.Errorf("Rebase = %v, want C4 (3,2)", got.Address)
+	}
+	// Absolute axes must not move.
+	abs := Ref{Address: Addr(0, 0), AbsRow: true, AbsCol: true}
+	got = abs.Rebase(Addr(1, 1), Addr(4, 3))
+	if got.Address != Addr(0, 0) {
+		t.Errorf("absolute Rebase moved to %v", got.Address)
+	}
+	// Mixed.
+	mixed := Ref{Address: Addr(2, 2), AbsRow: true}
+	got = mixed.Rebase(Addr(0, 0), Addr(5, 5))
+	if got.Row != 2 || got.Col != 7 {
+		t.Errorf("mixed Rebase = %v", got.Address)
+	}
+}
+
+func TestRangeParseAndString(t *testing.T) {
+	r, err := ParseRange("A1:C10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Start != Addr(0, 0) || r.End != Addr(9, 2) {
+		t.Errorf("ParseRange = %+v", r)
+	}
+	if r.String() != "A1:C10" {
+		t.Errorf("String = %q", r.String())
+	}
+	single, err := ParseRange("B2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Start != single.End || single.Start != Addr(1, 1) {
+		t.Errorf("single = %+v", single)
+	}
+	if single.String() != "B2" {
+		t.Errorf("single String = %q", single.String())
+	}
+	// Reversed corners normalise.
+	rev, err := ParseRange("C10:A1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != r {
+		t.Errorf("reversed range %+v != %+v", rev, r)
+	}
+}
+
+func TestParseRangeErrors(t *testing.T) {
+	for _, in := range []string{"", ":", "A1:", ":B2", "A:B", "A1:B2:C3"} {
+		if _, err := ParseRange(in); err == nil {
+			t.Errorf("ParseRange(%q): expected error", in)
+		}
+	}
+}
+
+func TestRangeGeometry(t *testing.T) {
+	r := RangeOf(1, 1, 3, 4) // B2:E4
+	if r.Rows() != 3 || r.Cols() != 4 || r.Size() != 12 {
+		t.Errorf("geometry: rows=%d cols=%d size=%d", r.Rows(), r.Cols(), r.Size())
+	}
+	if !r.Contains(Addr(2, 2)) || r.Contains(Addr(0, 0)) || r.Contains(Addr(4, 1)) {
+		t.Error("Contains wrong")
+	}
+	if len(r.Addresses()) != 12 {
+		t.Errorf("Addresses len = %d", len(r.Addresses()))
+	}
+}
+
+func TestRangeIntersection(t *testing.T) {
+	a := RangeOf(0, 0, 5, 5)
+	b := RangeOf(3, 3, 8, 8)
+	got, ok := a.Intersection(b)
+	if !ok || got != RangeOf(3, 3, 5, 5) {
+		t.Errorf("Intersection = %+v ok=%v", got, ok)
+	}
+	c := RangeOf(10, 10, 12, 12)
+	if _, ok := a.Intersection(c); ok {
+		t.Error("disjoint ranges should not intersect")
+	}
+	if !a.Intersects(b) || a.Intersects(c) {
+		t.Error("Intersects wrong")
+	}
+}
+
+func TestRangeUnionProperty(t *testing.T) {
+	f := func(r1, c1, r2, c2, r3, c3, r4, c4 uint8) bool {
+		a := RangeOf(int(r1), int(c1), int(r2), int(c2))
+		b := RangeOf(int(r3), int(c3), int(r4), int(c4))
+		u := a.Union(b)
+		// Union contains every corner of both ranges.
+		return u.Contains(a.Start) && u.Contains(a.End) && u.Contains(b.Start) && u.Contains(b.End)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeIntersectionSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := RangeOf(rng.Intn(50), rng.Intn(50), rng.Intn(50), rng.Intn(50))
+		b := RangeOf(rng.Intn(50), rng.Intn(50), rng.Intn(50), rng.Intn(50))
+		inter, ok := a.Intersection(b)
+		if !ok {
+			continue
+		}
+		for _, addr := range inter.Addresses() {
+			if !a.Contains(addr) || !b.Contains(addr) {
+				t.Fatalf("intersection cell %v outside inputs", addr)
+			}
+		}
+	}
+}
+
+func TestRangeOffset(t *testing.T) {
+	r := RangeOf(1, 1, 2, 2).Offset(3, 4)
+	if r != RangeOf(4, 5, 5, 6) {
+		t.Errorf("Offset = %+v", r)
+	}
+}
+
+func TestAddressBefore(t *testing.T) {
+	if !Addr(0, 5).Before(Addr(1, 0)) {
+		t.Error("row-major order wrong")
+	}
+	if !Addr(1, 0).Before(Addr(1, 1)) {
+		t.Error("col order wrong")
+	}
+	if Addr(1, 1).Before(Addr(1, 1)) {
+		t.Error("equal addresses should not be Before")
+	}
+}

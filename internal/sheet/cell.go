@@ -1,0 +1,194 @@
+package sheet
+
+// Cell is the unit of storage on a sheet. A cell holds a computed Value and,
+// when the cell was entered as a formula (input beginning with "="), the
+// formula source text. Cells bound to relational data additionally carry an
+// origin tag used by the interface manager for two-way synchronisation.
+type Cell struct {
+	// Value is the current (possibly computed) value of the cell.
+	Value Value
+	// Formula is the formula source without the leading "=". Empty for
+	// plain literal cells.
+	Formula string
+	// Origin describes where the cell's content came from. Plain user
+	// input has OriginUser; cells materialised from a DBTABLE binding or a
+	// DBSQL result carry the binding identifier so edits can be routed back
+	// to the database.
+	Origin Origin
+}
+
+// OriginKind classifies how a cell's content was produced.
+type OriginKind int
+
+const (
+	// OriginUser marks content typed directly by the user (or set via the
+	// API) with no database backing.
+	OriginUser OriginKind = iota
+	// OriginTable marks a cell materialised from a DBTABLE binding; edits
+	// are translated to UPDATEs on the bound table.
+	OriginTable
+	// OriginQuery marks a cell materialised from a DBSQL result; such
+	// cells are read-only from the sheet side.
+	OriginQuery
+)
+
+// Origin ties a cell back to the database object it was materialised from.
+type Origin struct {
+	Kind OriginKind
+	// BindingID identifies the DBTABLE or DBSQL binding in the interface
+	// manager. Zero for user cells.
+	BindingID int64
+}
+
+// IsFormula reports whether the cell was entered as a formula.
+func (c Cell) IsFormula() bool { return c.Formula != "" }
+
+// IsEmpty reports whether the cell carries no content at all.
+func (c Cell) IsEmpty() bool {
+	return c.Value.IsEmpty() && c.Formula == "" && c.Origin == Origin{}
+}
+
+// CellStore abstracts the physical storage of a sheet's cells. The default
+// implementation is an in-memory map; the interface storage manager
+// (internal/storage/cellstore) provides a proximity-blocked, 2-D indexed
+// store as described in the paper.
+type CellStore interface {
+	// Get returns the cell at the address and whether one is stored there.
+	Get(a Address) (Cell, bool)
+	// Set stores the cell at the address, replacing any previous content.
+	Set(a Address, c Cell)
+	// Delete removes any cell stored at the address.
+	Delete(a Address)
+	// GetRange returns all stored (non-empty) cells within the range,
+	// invoking fn for each. Iteration order is unspecified.
+	GetRange(r Range, fn func(Address, Cell))
+	// Len returns the number of stored cells.
+	Len() int
+	// Bounds returns the smallest range containing every stored cell and
+	// false when the store is empty.
+	Bounds() (Range, bool)
+	// InsertRows shifts all cells at or below `row` down by `count`
+	// (count may be negative to delete rows, dropping cells that fall in
+	// the deleted band).
+	InsertRows(row, count int)
+	// InsertCols shifts all cells at or right of `col` right by `count`
+	// (count may be negative to delete columns).
+	InsertCols(col, count int)
+}
+
+// MapCellStore is the simplest CellStore: a Go map keyed by address. It is
+// the baseline the paper's interface storage manager is compared against.
+type MapCellStore struct {
+	cells map[Address]Cell
+}
+
+// NewMapCellStore returns an empty map-backed cell store.
+func NewMapCellStore() *MapCellStore {
+	return &MapCellStore{cells: make(map[Address]Cell)}
+}
+
+// Get implements CellStore.
+func (m *MapCellStore) Get(a Address) (Cell, bool) {
+	c, ok := m.cells[a]
+	return c, ok
+}
+
+// Set implements CellStore.
+func (m *MapCellStore) Set(a Address, c Cell) {
+	if c.IsEmpty() {
+		delete(m.cells, a)
+		return
+	}
+	m.cells[a] = c
+}
+
+// Delete implements CellStore.
+func (m *MapCellStore) Delete(a Address) { delete(m.cells, a) }
+
+// GetRange implements CellStore. It scans every stored cell, which is what
+// makes the flat map the slow baseline for windowed access on large sheets.
+func (m *MapCellStore) GetRange(r Range, fn func(Address, Cell)) {
+	// For small ranges on large stores, probing each address directly is
+	// cheaper than scanning the whole map; pick whichever touches fewer
+	// entries. This mirrors what a reasonable non-indexed implementation
+	// would do and keeps the baseline honest.
+	if r.Size() < len(m.cells) {
+		for row := r.Start.Row; row <= r.End.Row; row++ {
+			for col := r.Start.Col; col <= r.End.Col; col++ {
+				a := Addr(row, col)
+				if c, ok := m.cells[a]; ok {
+					fn(a, c)
+				}
+			}
+		}
+		return
+	}
+	for a, c := range m.cells {
+		if r.Contains(a) {
+			fn(a, c)
+		}
+	}
+}
+
+// Len implements CellStore.
+func (m *MapCellStore) Len() int { return len(m.cells) }
+
+// Bounds implements CellStore.
+func (m *MapCellStore) Bounds() (Range, bool) {
+	if len(m.cells) == 0 {
+		return Range{}, false
+	}
+	first := true
+	var b Range
+	for a := range m.cells {
+		if first {
+			b = Range{Start: a, End: a}
+			first = false
+			continue
+		}
+		b = b.Union(Range{Start: a, End: a})
+	}
+	return b, true
+}
+
+// InsertRows implements CellStore.
+func (m *MapCellStore) InsertRows(row, count int) {
+	if count == 0 {
+		return
+	}
+	moved := make(map[Address]Cell)
+	for a, c := range m.cells {
+		if a.Row < row {
+			continue
+		}
+		delete(m.cells, a)
+		if count < 0 && a.Row < row-count {
+			continue // cell falls inside the deleted band
+		}
+		moved[Addr(a.Row+count, a.Col)] = c
+	}
+	for a, c := range moved {
+		m.cells[a] = c
+	}
+}
+
+// InsertCols implements CellStore.
+func (m *MapCellStore) InsertCols(col, count int) {
+	if count == 0 {
+		return
+	}
+	moved := make(map[Address]Cell)
+	for a, c := range m.cells {
+		if a.Col < col {
+			continue
+		}
+		delete(m.cells, a)
+		if count < 0 && a.Col < col-count {
+			continue
+		}
+		moved[Addr(a.Row, a.Col+count)] = c
+	}
+	for a, c := range moved {
+		m.cells[a] = c
+	}
+}

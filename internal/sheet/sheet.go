@@ -1,0 +1,246 @@
+package sheet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sheet is a single named grid of cells. It is safe for concurrent use; all
+// access is serialised by an internal mutex, which matches the single-writer
+// model the paper's compute engine assumes (asynchronous recomputation
+// happens on background goroutines that read and write cells).
+type Sheet struct {
+	mu    sync.RWMutex
+	name  string
+	store CellStore
+}
+
+// New creates a sheet with the given name backed by a map cell store.
+func New(name string) *Sheet {
+	return NewWithStore(name, NewMapCellStore())
+}
+
+// NewWithStore creates a sheet backed by an arbitrary CellStore, typically
+// the interface storage manager's blocked store.
+func NewWithStore(name string, store CellStore) *Sheet {
+	if store == nil {
+		store = NewMapCellStore()
+	}
+	return &Sheet{name: name, store: store}
+}
+
+// Name returns the sheet's name.
+func (s *Sheet) Name() string { return s.name }
+
+// Store exposes the underlying cell store (used by benchmarks and the
+// interface manager; normal callers use the accessor methods).
+func (s *Sheet) Store() CellStore { return s.store }
+
+// Get returns the cell stored at the address; empty cells return the zero
+// Cell.
+func (s *Sheet) Get(a Address) Cell {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, _ := s.store.Get(a)
+	return c
+}
+
+// Value returns the current value of the cell at the address.
+func (s *Sheet) Value(a Address) Value {
+	return s.Get(a).Value
+}
+
+// SetCell stores a fully specified cell.
+func (s *Sheet) SetCell(a Address, c Cell) {
+	if !a.Valid() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.Set(a, c)
+}
+
+// SetValue stores a plain value at the address, clearing any formula.
+func (s *Sheet) SetValue(a Address, v Value) {
+	s.SetCell(a, Cell{Value: v})
+}
+
+// SetComputedValue updates only the value of the cell at the address,
+// preserving its formula and origin. Used by the compute engine when a
+// formula's result changes.
+func (s *Sheet) SetComputedValue(a Address, v Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, _ := s.store.Get(a)
+	c.Value = v
+	s.store.Set(a, c)
+}
+
+// Clear removes the cell at the address.
+func (s *Sheet) Clear(a Address) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.Delete(a)
+}
+
+// ClearRange removes every cell in the range.
+func (s *Sheet) ClearRange(r Range) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var addrs []Address
+	s.store.GetRange(r, func(a Address, _ Cell) { addrs = append(addrs, a) })
+	for _, a := range addrs {
+		s.store.Delete(a)
+	}
+}
+
+// ForEachInRange invokes fn for every non-empty cell in the range.
+func (s *Sheet) ForEachInRange(r Range, fn func(Address, Cell)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.store.GetRange(r, fn)
+}
+
+// Values returns the values of a range as a dense row-major matrix, with
+// empty values where no cell is stored.
+func (s *Sheet) Values(r Range) [][]Value {
+	out := make([][]Value, r.Rows())
+	for i := range out {
+		out[i] = make([]Value, r.Cols())
+	}
+	s.ForEachInRange(r, func(a Address, c Cell) {
+		out[a.Row-r.Start.Row][a.Col-r.Start.Col] = c.Value
+	})
+	return out
+}
+
+// SetValues writes a dense matrix of values with its top-left corner at the
+// given address and returns the covered range.
+func (s *Sheet) SetValues(topLeft Address, vals [][]Value) Range {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	maxCols := 0
+	for ri, row := range vals {
+		if len(row) > maxCols {
+			maxCols = len(row)
+		}
+		for ci, v := range row {
+			a := Addr(topLeft.Row+ri, topLeft.Col+ci)
+			if v.IsEmpty() {
+				s.store.Delete(a)
+				continue
+			}
+			c, _ := s.store.Get(a)
+			c.Value = v
+			c.Formula = ""
+			s.store.Set(a, c)
+		}
+	}
+	if len(vals) == 0 || maxCols == 0 {
+		return Range{Start: topLeft, End: topLeft}
+	}
+	return Range{Start: topLeft, End: Addr(topLeft.Row+len(vals)-1, topLeft.Col+maxCols-1)}
+}
+
+// CellCount returns the number of non-empty cells on the sheet.
+func (s *Sheet) CellCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.Len()
+}
+
+// UsedRange returns the bounding range of all non-empty cells.
+func (s *Sheet) UsedRange() (Range, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.Bounds()
+}
+
+// InsertRows shifts cells at or below `row` down by count. Negative counts
+// delete rows.
+func (s *Sheet) InsertRows(row, count int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.InsertRows(row, count)
+}
+
+// InsertCols shifts cells at or right of `col` right by count. Negative
+// counts delete columns.
+func (s *Sheet) InsertCols(col, count int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.InsertCols(col, count)
+}
+
+// String summarises the sheet for debugging.
+func (s *Sheet) String() string {
+	return fmt.Sprintf("Sheet(%s, %d cells)", s.name, s.CellCount())
+}
+
+// Book is a collection of named sheets — the spreadsheet "workbook".
+type Book struct {
+	mu     sync.RWMutex
+	sheets map[string]*Sheet
+	order  []string
+	// newStore builds the cell store for each newly added sheet, allowing
+	// a workbook to be configured to use the interface storage manager.
+	newStore func() CellStore
+}
+
+// NewBook creates an empty workbook whose sheets use map cell stores.
+func NewBook() *Book {
+	return NewBookWithStore(func() CellStore { return NewMapCellStore() })
+}
+
+// NewBookWithStore creates an empty workbook whose sheets use cell stores
+// produced by the given factory.
+func NewBookWithStore(factory func() CellStore) *Book {
+	return &Book{sheets: make(map[string]*Sheet), newStore: factory}
+}
+
+// AddSheet creates and returns a new sheet with the given name. If a sheet
+// with the name already exists it is returned unchanged.
+func (b *Book) AddSheet(name string) *Sheet {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if sh, ok := b.sheets[name]; ok {
+		return sh
+	}
+	sh := NewWithStore(name, b.newStore())
+	b.sheets[name] = sh
+	b.order = append(b.order, name)
+	return sh
+}
+
+// Sheet returns the named sheet and whether it exists.
+func (b *Book) Sheet(name string) (*Sheet, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	sh, ok := b.sheets[name]
+	return sh, ok
+}
+
+// SheetNames returns the sheet names in creation order.
+func (b *Book) SheetNames() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, len(b.order))
+	copy(out, b.order)
+	return out
+}
+
+// RemoveSheet deletes the named sheet.
+func (b *Book) RemoveSheet(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.sheets[name]; !ok {
+		return
+	}
+	delete(b.sheets, name)
+	for i, n := range b.order {
+		if n == name {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,530 @@
+// Package sqlexec implements the query processor of DataSpread's embedded
+// relational engine: a materialising executor for the SQL dialect of
+// internal/sqlparser over the storage managers of internal/storage/tablestore,
+// extended with the paper's positional addressing constructs (RANGEVALUE,
+// RANGETABLE) resolved against the spreadsheet through a SheetAccessor.
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/dataspread/dataspread/internal/catalog"
+	"github.com/dataspread/dataspread/internal/index/btree"
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+	"github.com/dataspread/dataspread/internal/storage/tablestore"
+	"github.com/dataspread/dataspread/internal/txn"
+)
+
+// Layout selects the physical layout used for newly created tables.
+type Layout string
+
+// Available layouts.
+const (
+	LayoutHybrid Layout = "hybrid"
+	LayoutRow    Layout = "row"
+	LayoutColumn Layout = "column"
+)
+
+// Config configures a Database.
+type Config struct {
+	// Layout is the physical layout for new tables (default hybrid).
+	Layout Layout
+	// GroupSize is the attribute-group width for hybrid tables.
+	GroupSize int
+	// BufferPoolPages is the buffer pool capacity in pages (default 4096;
+	// 0 disables caching, which benchmarks use to expose block counts).
+	BufferPoolPages *int
+}
+
+// ChangeKind classifies a data-change notification.
+type ChangeKind int
+
+// Change kinds delivered to listeners.
+const (
+	ChangeInsert ChangeKind = iota
+	ChangeUpdate
+	ChangeDelete
+	ChangeSchema
+	ChangeDropTable
+)
+
+// ChangeEvent notifies listeners (the interface manager) that a table
+// changed, so bound spreadsheet regions can be refreshed (paper Feature 3:
+// two-way sync).
+type ChangeEvent struct {
+	Table string
+	Kind  ChangeKind
+	RowID tablestore.RowID
+}
+
+// Database is the embedded relational engine: catalog, per-table storage,
+// primary-key indexes, transactions and change notification. It is safe for
+// concurrent use; writes are serialised by an internal mutex.
+type Database struct {
+	mu        sync.RWMutex
+	cat       *catalog.Catalog
+	stores    map[string]tablestore.Store
+	pkIndex   map[string]*btree.Tree
+	pageStore *pager.Store
+	pool      *pager.BufferPool
+	txns      *txn.Manager
+	cfg       Config
+	listeners []func(ChangeEvent)
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(cfg Config) *Database {
+	if cfg.Layout == "" {
+		cfg.Layout = LayoutHybrid
+	}
+	if cfg.GroupSize <= 0 {
+		cfg.GroupSize = tablestore.DefaultGroupSize
+	}
+	poolPages := 4096
+	if cfg.BufferPoolPages != nil {
+		poolPages = *cfg.BufferPoolPages
+	}
+	ps := pager.NewStore()
+	return &Database{
+		cat:       catalog.New(),
+		stores:    make(map[string]tablestore.Store),
+		pkIndex:   make(map[string]*btree.Tree),
+		pageStore: ps,
+		pool:      pager.NewBufferPool(ps, poolPages),
+		txns:      txn.NewManager(),
+		cfg:       cfg,
+	}
+}
+
+// Catalog returns the schema catalog.
+func (db *Database) Catalog() *catalog.Catalog { return db.cat }
+
+// TxnManager returns the transaction manager.
+func (db *Database) TxnManager() *txn.Manager { return db.txns }
+
+// PagerStats returns block-level I/O statistics for the whole database.
+func (db *Database) PagerStats() pager.Stats { return db.pageStore.Stats() }
+
+// ResetPagerStats zeroes the block-level counters.
+func (db *Database) ResetPagerStats() { db.pageStore.ResetStats() }
+
+// Listen registers a change listener. Listeners are called synchronously
+// after each successful data or schema change.
+func (db *Database) Listen(fn func(ChangeEvent)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.listeners = append(db.listeners, fn)
+}
+
+func (db *Database) notify(ev ChangeEvent) {
+	db.mu.RLock()
+	ls := make([]func(ChangeEvent), len(db.listeners))
+	copy(ls, db.listeners)
+	db.mu.RUnlock()
+	for _, fn := range ls {
+		fn(ev)
+	}
+}
+
+func tkey(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// newStore builds a table store in the configured layout.
+func (db *Database) newStore(columns int) tablestore.Store {
+	switch db.cfg.Layout {
+	case LayoutRow:
+		return tablestore.NewRowStore(db.pool, columns)
+	case LayoutColumn:
+		return tablestore.NewColStore(db.pool, columns)
+	default:
+		return tablestore.NewHybridStore(db.pool, columns, tablestore.WithGroupSize(db.cfg.GroupSize))
+	}
+}
+
+// CreateTable registers a table and its storage.
+func (db *Database) CreateTable(name string, cols []catalog.Column) error {
+	if _, err := db.cat.Create(name, cols); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.stores[tkey(name)] = db.newStore(len(cols))
+	db.pkIndex[tkey(name)] = btree.New()
+	db.mu.Unlock()
+	db.notify(ChangeEvent{Table: name, Kind: ChangeSchema})
+	return nil
+}
+
+// DropTable removes a table, its storage and indexes.
+func (db *Database) DropTable(name string) error {
+	if err := db.cat.Drop(name); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	delete(db.stores, tkey(name))
+	delete(db.pkIndex, tkey(name))
+	db.mu.Unlock()
+	db.notify(ChangeEvent{Table: name, Kind: ChangeDropTable})
+	return nil
+}
+
+// Table returns the table definition.
+func (db *Database) Table(name string) (*catalog.Table, error) {
+	return db.cat.MustGet(name)
+}
+
+// Tables lists all table definitions.
+func (db *Database) Tables() []*catalog.Table { return db.cat.List() }
+
+func (db *Database) store(name string) (tablestore.Store, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.stores[tkey(name)]
+	if !ok {
+		return nil, catalog.ErrNoTable{Name: name}
+	}
+	return s, nil
+}
+
+// RowCount returns the number of live tuples in a table.
+func (db *Database) RowCount(name string) (int, error) {
+	s, err := db.store(name)
+	if err != nil {
+		return 0, err
+	}
+	return s.RowCount(), nil
+}
+
+// coerceRow validates a tuple against the table schema, coercing values to
+// column types where possible and rejecting NOT NULL violations.
+func coerceRow(tbl *catalog.Table, row []sheet.Value) ([]sheet.Value, error) {
+	if len(row) != len(tbl.Columns) {
+		return nil, fmt.Errorf("sqlexec: table %q expects %d values, got %d", tbl.Name, len(tbl.Columns), len(row))
+	}
+	out := make([]sheet.Value, len(row))
+	for i, col := range tbl.Columns {
+		v := row[i]
+		if v.IsEmpty() {
+			if col.NotNull {
+				return nil, fmt.Errorf("sqlexec: column %q of table %q is NOT NULL", col.Name, tbl.Name)
+			}
+			if !col.Default.IsEmpty() {
+				v = col.Default
+			}
+		}
+		cv, ok := col.Type.Coerce(v)
+		if !ok {
+			return nil, fmt.Errorf("sqlexec: value %q is not valid for column %q (%s)", v.String(), col.Name, col.Type)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// pkKey builds the primary-key index key for a tuple, or nil when the table
+// has no declared key.
+func pkKey(tbl *catalog.Table, row []sheet.Value) []byte {
+	pk := tbl.PrimaryKey()
+	if len(pk) == 0 {
+		return nil
+	}
+	parts := make([][]byte, 0, len(pk))
+	for _, i := range pk {
+		parts = append(parts, encodeKeyValue(row[i]))
+	}
+	return btree.Composite(parts...)
+}
+
+// encodeKeyValue encodes one value for use inside an index key.
+func encodeKeyValue(v sheet.Value) []byte {
+	switch v.Kind {
+	case sheet.KindNumber:
+		return btree.Composite([]byte{1}, btree.EncodeFloat64(v.Num))
+	case sheet.KindString:
+		return btree.Composite([]byte{2}, btree.EncodeString(v.Str))
+	case sheet.KindBool:
+		if v.Bool {
+			return []byte{3, 1}
+		}
+		return []byte{3, 0}
+	default:
+		return []byte{0}
+	}
+}
+
+// Insert validates and appends a tuple, maintaining the primary-key index,
+// and returns the new RowID. A duplicate primary key is rejected.
+func (db *Database) Insert(table string, row []sheet.Value) (tablestore.RowID, error) {
+	return db.insert(table, row, nil)
+}
+
+func (db *Database) insert(table string, row []sheet.Value, tx *txn.Txn) (tablestore.RowID, error) {
+	tbl, err := db.cat.MustGet(table)
+	if err != nil {
+		return 0, err
+	}
+	s, err := db.store(table)
+	if err != nil {
+		return 0, err
+	}
+	coerced, err := coerceRow(tbl, row)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	idx := db.pkIndex[tkey(table)]
+	key := pkKey(tbl, coerced)
+	if key != nil {
+		if _, dup := idx.Get(key); dup {
+			db.mu.Unlock()
+			return 0, fmt.Errorf("sqlexec: duplicate primary key in table %q", table)
+		}
+	}
+	id, err := s.Insert(coerced)
+	if err != nil {
+		db.mu.Unlock()
+		return 0, err
+	}
+	if key != nil {
+		idx.Set(key, uint64(id))
+	}
+	db.mu.Unlock()
+	if tx != nil {
+		_ = tx.Log(txn.Op{Kind: txn.OpInsert, Table: table, Detail: fmt.Sprintf("row %d", id)}, func() error {
+			return db.Delete(table, id)
+		})
+	}
+	db.notify(ChangeEvent{Table: table, Kind: ChangeInsert, RowID: id})
+	return id, nil
+}
+
+// Get returns a tuple by RowID.
+func (db *Database) Get(table string, id tablestore.RowID) ([]sheet.Value, error) {
+	s, err := db.store(table)
+	if err != nil {
+		return nil, err
+	}
+	return s.Get(id)
+}
+
+// Update replaces a tuple, keeping the primary-key index in sync.
+func (db *Database) Update(table string, id tablestore.RowID, row []sheet.Value) error {
+	return db.update(table, id, row, nil)
+}
+
+func (db *Database) update(table string, id tablestore.RowID, row []sheet.Value, tx *txn.Txn) error {
+	tbl, err := db.cat.MustGet(table)
+	if err != nil {
+		return err
+	}
+	s, err := db.store(table)
+	if err != nil {
+		return err
+	}
+	coerced, err := coerceRow(tbl, row)
+	if err != nil {
+		return err
+	}
+	old, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	idx := db.pkIndex[tkey(table)]
+	oldKey, newKey := pkKey(tbl, old), pkKey(tbl, coerced)
+	if newKey != nil && string(oldKey) != string(newKey) {
+		if existing, dup := idx.Get(newKey); dup && existing != uint64(id) {
+			db.mu.Unlock()
+			return fmt.Errorf("sqlexec: duplicate primary key in table %q", table)
+		}
+	}
+	if err := s.Update(id, coerced); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	if oldKey != nil && string(oldKey) != string(newKey) {
+		idx.Delete(oldKey)
+	}
+	if newKey != nil {
+		idx.Set(newKey, uint64(id))
+	}
+	db.mu.Unlock()
+	if tx != nil {
+		oldCopy := append([]sheet.Value(nil), old...)
+		_ = tx.Log(txn.Op{Kind: txn.OpUpdate, Table: table, Detail: fmt.Sprintf("row %d", id)}, func() error {
+			return db.Update(table, id, oldCopy)
+		})
+	}
+	db.notify(ChangeEvent{Table: table, Kind: ChangeUpdate, RowID: id})
+	return nil
+}
+
+// UpdateColumn updates a single attribute of a tuple.
+func (db *Database) UpdateColumn(table string, id tablestore.RowID, col int, v sheet.Value) error {
+	tbl, err := db.cat.MustGet(table)
+	if err != nil {
+		return err
+	}
+	if col < 0 || col >= len(tbl.Columns) {
+		return fmt.Errorf("sqlexec: column index %d out of range for table %q", col, table)
+	}
+	cv, ok := tbl.Columns[col].Type.Coerce(v)
+	if !ok {
+		return fmt.Errorf("sqlexec: value %q is not valid for column %q", v.String(), tbl.Columns[col].Name)
+	}
+	s, err := db.store(table)
+	if err != nil {
+		return err
+	}
+	// Primary-key columns must go through Update so the index stays valid.
+	for _, pkIdx := range tbl.PrimaryKey() {
+		if pkIdx == col {
+			row, err := s.Get(id)
+			if err != nil {
+				return err
+			}
+			row[col] = cv
+			return db.Update(table, id, row)
+		}
+	}
+	db.mu.Lock()
+	err = s.UpdateColumn(id, col, cv)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	db.notify(ChangeEvent{Table: table, Kind: ChangeUpdate, RowID: id})
+	return nil
+}
+
+// Delete removes a tuple and its index entry.
+func (db *Database) Delete(table string, id tablestore.RowID) error {
+	return db.delete(table, id, nil)
+}
+
+func (db *Database) delete(table string, id tablestore.RowID, tx *txn.Txn) error {
+	tbl, err := db.cat.MustGet(table)
+	if err != nil {
+		return err
+	}
+	s, err := db.store(table)
+	if err != nil {
+		return err
+	}
+	old, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	if err := s.Delete(id); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	if key := pkKey(tbl, old); key != nil {
+		db.pkIndex[tkey(table)].Delete(key)
+	}
+	db.mu.Unlock()
+	if tx != nil {
+		oldCopy := append([]sheet.Value(nil), old...)
+		_ = tx.Log(txn.Op{Kind: txn.OpDelete, Table: table, Detail: fmt.Sprintf("row %d", id)}, func() error {
+			_, err := db.Insert(table, oldCopy)
+			return err
+		})
+	}
+	db.notify(ChangeEvent{Table: table, Kind: ChangeDelete, RowID: id})
+	return nil
+}
+
+// Scan iterates all live tuples of a table in RowID order.
+func (db *Database) Scan(table string, fn func(id tablestore.RowID, row []sheet.Value) bool) error {
+	s, err := db.store(table)
+	if err != nil {
+		return err
+	}
+	return s.Scan(fn)
+}
+
+// FindByKey looks up a tuple by its full primary key value(s).
+func (db *Database) FindByKey(table string, key []sheet.Value) (tablestore.RowID, bool, error) {
+	tbl, err := db.cat.MustGet(table)
+	if err != nil {
+		return 0, false, err
+	}
+	pk := tbl.PrimaryKey()
+	if len(pk) == 0 {
+		return 0, false, fmt.Errorf("sqlexec: table %q has no primary key", table)
+	}
+	if len(key) != len(pk) {
+		return 0, false, fmt.Errorf("sqlexec: table %q primary key has %d columns, got %d values", table, len(pk), len(key))
+	}
+	parts := make([][]byte, len(key))
+	for i, v := range key {
+		parts[i] = encodeKeyValue(v)
+	}
+	db.mu.RLock()
+	idx := db.pkIndex[tkey(table)]
+	db.mu.RUnlock()
+	id, ok := idx.Get(btree.Composite(parts...))
+	return tablestore.RowID(id), ok, nil
+}
+
+// AddColumn evolves the schema: catalog first, then the storage backfill.
+func (db *Database) AddColumn(table string, col catalog.Column, defaultValue sheet.Value) error {
+	return db.addColumn(table, col, defaultValue, nil)
+}
+
+func (db *Database) addColumn(table string, col catalog.Column, defaultValue sheet.Value, tx *txn.Txn) error {
+	s, err := db.store(table)
+	if err != nil {
+		return err
+	}
+	if err := db.cat.AddColumn(table, col); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	err = s.AddColumn(defaultValue)
+	db.mu.Unlock()
+	if err != nil {
+		// Roll the catalog back so schema and storage stay consistent.
+		_, _ = db.cat.DropColumn(table, col.Name)
+		return err
+	}
+	if tx != nil {
+		_ = tx.Log(txn.Op{Kind: txn.OpAddColumn, Table: table, Detail: col.Name}, func() error {
+			return db.DropColumn(table, col.Name)
+		})
+	}
+	db.notify(ChangeEvent{Table: table, Kind: ChangeSchema})
+	return nil
+}
+
+// DropColumn evolves the schema, removing the column from catalog and
+// storage.
+func (db *Database) DropColumn(table, column string) error {
+	s, err := db.store(table)
+	if err != nil {
+		return err
+	}
+	idx, err := db.cat.DropColumn(table, column)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	err = s.DropColumn(idx)
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	db.notify(ChangeEvent{Table: table, Kind: ChangeSchema})
+	return nil
+}
+
+// RenameColumn renames a column (catalog only; storage is positional).
+func (db *Database) RenameColumn(table, oldName, newName string) error {
+	if err := db.cat.RenameColumn(table, oldName, newName); err != nil {
+		return err
+	}
+	db.notify(ChangeEvent{Table: table, Kind: ChangeSchema})
+	return nil
+}

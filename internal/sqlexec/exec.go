@@ -1,0 +1,407 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/catalog"
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/sqlparser"
+	"github.com/dataspread/dataspread/internal/storage/tablestore"
+	"github.com/dataspread/dataspread/internal/txn"
+)
+
+// Result is the outcome of executing a statement: a relation for queries, an
+// affected-row count for DML, and neither for DDL / transaction control.
+type Result struct {
+	Columns  []string
+	Rows     [][]sheet.Value
+	Affected int
+}
+
+// Session executes statements against a database, carrying per-caller state:
+// the spreadsheet accessor used to resolve positional constructs and the
+// current explicit transaction (if any).
+type Session struct {
+	db     *Database
+	sheets SheetAccessor
+	tx     *txn.Txn
+}
+
+// NewSession creates a session. sheets may be nil when positional constructs
+// are not needed.
+func (db *Database) NewSession(sheets SheetAccessor) *Session {
+	return &Session{db: db, sheets: sheets}
+}
+
+// Query parses and executes a single SQL statement.
+func (s *Session) Query(sql string) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.Execute(stmt)
+}
+
+// QueryScript parses and executes a semicolon-separated script, returning the
+// result of the last statement.
+func (s *Session) QueryScript(sql string) (*Result, error) {
+	stmts, err := sqlparser.ParseMulti(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, stmt := range stmts {
+		last, err = s.Execute(stmt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if last == nil {
+		last = &Result{}
+	}
+	return last, nil
+}
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.tx != nil }
+
+// Execute runs one parsed statement.
+func (s *Session) Execute(stmt sqlparser.Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		return s.db.executeSelect(st, s.sheets)
+	case *sqlparser.InsertStmt:
+		return s.executeInsert(st)
+	case *sqlparser.UpdateStmt:
+		return s.executeUpdate(st)
+	case *sqlparser.DeleteStmt:
+		return s.executeDelete(st)
+	case *sqlparser.CreateTableStmt:
+		return s.executeCreateTable(st)
+	case *sqlparser.AlterTableStmt:
+		return s.executeAlterTable(st)
+	case *sqlparser.DropTableStmt:
+		return s.executeDropTable(st)
+	case *sqlparser.BeginStmt:
+		if s.tx != nil {
+			return nil, fmt.Errorf("sqlexec: a transaction is already open")
+		}
+		s.tx = s.db.txns.Begin()
+		return &Result{}, nil
+	case *sqlparser.CommitStmt:
+		if s.tx == nil {
+			return nil, fmt.Errorf("sqlexec: no open transaction")
+		}
+		err := s.tx.Commit()
+		s.tx = nil
+		return &Result{}, err
+	case *sqlparser.RollbackStmt:
+		if s.tx == nil {
+			return nil, fmt.Errorf("sqlexec: no open transaction")
+		}
+		err := s.tx.Rollback()
+		s.tx = nil
+		return &Result{}, err
+	default:
+		return nil, fmt.Errorf("sqlexec: unsupported statement %T", stmt)
+	}
+}
+
+// evalConstExpr evaluates an expression with no row context (literals,
+// RANGEVALUE, arithmetic).
+func (s *Session) evalConstExpr(e sqlparser.Expr) (sheet.Value, error) {
+	return evalExpr(e, &evalCtx{sheets: s.sheets})
+}
+
+func (s *Session) executeInsert(st *sqlparser.InsertStmt) (*Result, error) {
+	tbl, err := s.db.cat.MustGet(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map the provided column list (or the full schema) to schema positions.
+	targets := make([]int, 0, len(tbl.Columns))
+	if len(st.Columns) == 0 {
+		for i := range tbl.Columns {
+			targets = append(targets, i)
+		}
+	} else {
+		for _, name := range st.Columns {
+			idx, ok := tbl.ColumnIndex(name)
+			if !ok {
+				return nil, fmt.Errorf("sqlexec: unknown column %q in INSERT", name)
+			}
+			targets = append(targets, idx)
+		}
+	}
+	buildRow := func(vals []sheet.Value) ([]sheet.Value, error) {
+		if len(vals) != len(targets) {
+			return nil, fmt.Errorf("sqlexec: INSERT expects %d values, got %d", len(targets), len(vals))
+		}
+		row := make([]sheet.Value, len(tbl.Columns))
+		for i, col := range tbl.Columns {
+			row[i] = col.Default
+		}
+		for i, idx := range targets {
+			row[idx] = vals[i]
+		}
+		return row, nil
+	}
+	affected := 0
+	insertOne := func(vals []sheet.Value) error {
+		row, err := buildRow(vals)
+		if err != nil {
+			return err
+		}
+		if _, err := s.db.insert(st.Table, row, s.tx); err != nil {
+			return err
+		}
+		affected++
+		return nil
+	}
+	if st.Select != nil {
+		res, err := s.db.executeSelect(st.Select, s.sheets)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			if err := insertOne(row); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Affected: affected}, nil
+	}
+	for _, exprRow := range st.Rows {
+		vals := make([]sheet.Value, len(exprRow))
+		for i, e := range exprRow {
+			v, err := s.evalConstExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		if err := insertOne(vals); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (s *Session) executeUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
+	tbl, err := s.db.cat.MustGet(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve SET target columns.
+	type setTarget struct {
+		idx  int
+		expr sqlparser.Expr
+	}
+	var sets []setTarget
+	for _, a := range st.Set {
+		idx, ok := tbl.ColumnIndex(a.Column)
+		if !ok {
+			return nil, fmt.Errorf("sqlexec: unknown column %q in UPDATE", a.Column)
+		}
+		sets = append(sets, setTarget{idx: idx, expr: a.Value})
+	}
+	rel := &relation{}
+	label := strings.ToLower(tbl.Name)
+	for _, c := range tbl.Columns {
+		rel.cols = append(rel.cols, colDesc{table: label, name: strings.ToLower(c.Name)})
+	}
+	// Collect matching rows first, then apply, so the scan does not observe
+	// its own writes.
+	type pending struct {
+		id  tablestore.RowID
+		row []sheet.Value
+	}
+	var updates []pending
+	err = s.db.Scan(st.Table, func(id tablestore.RowID, row []sheet.Value) bool {
+		ctx := &evalCtx{rel: rel, row: row, sheets: s.sheets}
+		if st.Where != nil {
+			keep, perr := evalPredicate(st.Where, ctx)
+			if perr != nil {
+				err = perr
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		newRow := append([]sheet.Value(nil), row...)
+		for _, set := range sets {
+			v, eerr := evalExpr(set.expr, ctx)
+			if eerr != nil {
+				err = eerr
+				return false
+			}
+			newRow[set.idx] = v
+		}
+		updates = append(updates, pending{id: id, row: newRow})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, u := range updates {
+		if err := s.db.update(st.Table, u.id, u.row, s.tx); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(updates)}, nil
+}
+
+func (s *Session) executeDelete(st *sqlparser.DeleteStmt) (*Result, error) {
+	tbl, err := s.db.cat.MustGet(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rel := &relation{}
+	label := strings.ToLower(tbl.Name)
+	for _, c := range tbl.Columns {
+		rel.cols = append(rel.cols, colDesc{table: label, name: strings.ToLower(c.Name)})
+	}
+	var ids []tablestore.RowID
+	err = s.db.Scan(st.Table, func(id tablestore.RowID, row []sheet.Value) bool {
+		if st.Where != nil {
+			keep, perr := evalPredicate(st.Where, &evalCtx{rel: rel, row: row, sheets: s.sheets})
+			if perr != nil {
+				err = perr
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		if err := s.db.delete(st.Table, id, s.tx); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(ids)}, nil
+}
+
+func (s *Session) executeCreateTable(st *sqlparser.CreateTableStmt) (*Result, error) {
+	if _, exists := s.db.cat.Get(st.Name); exists {
+		if st.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sqlexec: table %q already exists", st.Name)
+	}
+	if st.AsSelect != nil {
+		res, err := s.db.executeSelect(st.AsSelect, s.sheets)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]catalog.Column, len(res.Columns))
+		for i, name := range res.Columns {
+			t := catalog.TypeAny
+			for _, row := range res.Rows {
+				if i < len(row) && !row[i].IsEmpty() {
+					t = catalog.UnifyTypes(t, catalog.InferType(row[i]))
+				}
+			}
+			cols[i] = catalog.Column{Name: name, Type: t}
+		}
+		if err := s.db.CreateTable(st.Name, cols); err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			padded := make([]sheet.Value, len(cols))
+			copy(padded, row)
+			if _, err := s.db.insert(st.Name, padded, s.tx); err != nil {
+				return nil, err
+			}
+		}
+		if s.tx != nil {
+			_ = s.tx.Log(txn.Op{Kind: txn.OpCreateTable, Table: st.Name}, func() error {
+				return s.db.DropTable(st.Name)
+			})
+		}
+		return &Result{Affected: len(res.Rows)}, nil
+	}
+	cols := make([]catalog.Column, len(st.Columns))
+	for i, cd := range st.Columns {
+		col := catalog.Column{
+			Name:       cd.Name,
+			Type:       catalog.ParseType(cd.Type),
+			PrimaryKey: cd.PrimaryKey,
+			NotNull:    cd.NotNull,
+		}
+		if cd.Default != nil {
+			v, err := s.evalConstExpr(cd.Default)
+			if err != nil {
+				return nil, err
+			}
+			col.Default = v
+		}
+		cols[i] = col
+	}
+	if err := s.db.CreateTable(st.Name, cols); err != nil {
+		return nil, err
+	}
+	if s.tx != nil {
+		_ = s.tx.Log(txn.Op{Kind: txn.OpCreateTable, Table: st.Name}, func() error {
+			return s.db.DropTable(st.Name)
+		})
+	}
+	return &Result{}, nil
+}
+
+func (s *Session) executeAlterTable(st *sqlparser.AlterTableStmt) (*Result, error) {
+	switch {
+	case st.AddColumn != nil:
+		cd := st.AddColumn
+		col := catalog.Column{
+			Name:       cd.Name,
+			Type:       catalog.ParseType(cd.Type),
+			PrimaryKey: cd.PrimaryKey,
+			NotNull:    cd.NotNull,
+		}
+		def := sheet.Empty()
+		if cd.Default != nil {
+			v, err := s.evalConstExpr(cd.Default)
+			if err != nil {
+				return nil, err
+			}
+			col.Default = v
+			def = v
+		}
+		if err := s.db.addColumn(st.Table, col, def, s.tx); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case st.DropColumn != "":
+		if err := s.db.DropColumn(st.Table, st.DropColumn); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case st.RenameColumn != nil:
+		if err := s.db.RenameColumn(st.Table, st.RenameColumn[0], st.RenameColumn[1]); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	default:
+		return nil, fmt.Errorf("sqlexec: empty ALTER TABLE")
+	}
+}
+
+func (s *Session) executeDropTable(st *sqlparser.DropTableStmt) (*Result, error) {
+	if _, exists := s.db.cat.Get(st.Name); !exists {
+		if st.IfExists {
+			return &Result{}, nil
+		}
+		return nil, catalog.ErrNoTable{Name: st.Name}
+	}
+	if err := s.db.DropTable(st.Name); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}

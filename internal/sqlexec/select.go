@@ -1,0 +1,642 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/sqlparser"
+	"github.com/dataspread/dataspread/internal/storage/tablestore"
+)
+
+// executeSelect runs a SELECT statement to a materialised Result.
+func (db *Database) executeSelect(stmt *sqlparser.SelectStmt, sheets SheetAccessor) (*Result, error) {
+	// 1. FROM and JOINs.
+	rel, err := db.buildFrom(stmt, sheets)
+	if err != nil {
+		return nil, err
+	}
+	// 2. WHERE.
+	if stmt.Where != nil {
+		filtered := rel.rows[:0:0]
+		for _, row := range rel.rows {
+			keep, err := evalPredicate(stmt.Where, &evalCtx{rel: rel, row: row, sheets: sheets})
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				filtered = append(filtered, row)
+			}
+		}
+		rel = &relation{cols: rel.cols, rows: filtered}
+	}
+	// 3. Projection, grouping, ordering.
+	hasAgg := stmt.Having != nil && exprHasAggregate(stmt.Having)
+	for _, item := range stmt.Columns {
+		if !item.Star && exprHasAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+	for _, o := range stmt.OrderBy {
+		if exprHasAggregate(o.Expr) {
+			hasAgg = true
+		}
+	}
+	var out *Result
+	var sortKeys [][]sheet.Value
+	if len(stmt.GroupBy) > 0 || hasAgg {
+		out, sortKeys, err = db.projectGrouped(stmt, rel, sheets)
+	} else {
+		out, sortKeys, err = db.projectRows(stmt, rel, sheets)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// 4. DISTINCT.
+	if stmt.Distinct {
+		out, sortKeys = distinctRows(out, sortKeys)
+	}
+	// 5. ORDER BY.
+	if len(stmt.OrderBy) > 0 {
+		sortResult(stmt.OrderBy, out, sortKeys)
+	}
+	// 6. LIMIT / OFFSET.
+	applyLimit(stmt, out)
+	return out, nil
+}
+
+// evalPredicate evaluates a boolean expression; NULL counts as false.
+func evalPredicate(e sqlparser.Expr, ctx *evalCtx) (bool, error) {
+	v, err := evalExpr(e, ctx)
+	if err != nil {
+		return false, err
+	}
+	if isNull(v) {
+		return false, nil
+	}
+	b, ok := v.AsBool()
+	if !ok {
+		return false, fmt.Errorf("sqlexec: predicate did not evaluate to a boolean (got %q)", v.String())
+	}
+	return b, nil
+}
+
+// buildFrom materialises the FROM clause including all joins.
+func (db *Database) buildFrom(stmt *sqlparser.SelectStmt, sheets SheetAccessor) (*relation, error) {
+	if stmt.From == nil {
+		// Table-less SELECT: a single anonymous row.
+		return &relation{rows: [][]sheet.Value{{}}}, nil
+	}
+	left, err := db.relationFor(stmt.From, sheets)
+	if err != nil {
+		return nil, err
+	}
+	for _, join := range stmt.Joins {
+		right, err := db.relationFor(join.Table, sheets)
+		if err != nil {
+			return nil, err
+		}
+		left, err = db.joinRelations(left, right, join, sheets)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return left, nil
+}
+
+// relationFor materialises one table reference.
+func (db *Database) relationFor(ref sqlparser.TableRef, sheets SheetAccessor) (*relation, error) {
+	switch t := ref.(type) {
+	case *sqlparser.TableName:
+		tbl, err := db.cat.MustGet(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		label := strings.ToLower(t.Name)
+		if t.Alias != "" {
+			label = strings.ToLower(t.Alias)
+		}
+		rel := &relation{}
+		for _, c := range tbl.Columns {
+			rel.cols = append(rel.cols, colDesc{table: label, name: strings.ToLower(c.Name)})
+		}
+		if err := db.scanInto(t.Name, rel); err != nil {
+			return nil, err
+		}
+		return rel, nil
+	case *sqlparser.RangeTableRef:
+		if sheets == nil {
+			return nil, fmt.Errorf("sqlexec: RANGETABLE requires a spreadsheet context")
+		}
+		names, rows, err := sheets.RangeTable(t.Ref, t.HeaderRow)
+		if err != nil {
+			return nil, err
+		}
+		label := strings.ToLower(t.Alias)
+		rel := &relation{rows: rows}
+		for _, n := range names {
+			rel.cols = append(rel.cols, colDesc{table: label, name: strings.ToLower(n)})
+		}
+		return rel, nil
+	case *sqlparser.SubSelect:
+		res, err := db.executeSelect(t.Select, sheets)
+		if err != nil {
+			return nil, err
+		}
+		label := strings.ToLower(t.Alias)
+		rel := &relation{rows: res.Rows}
+		for _, n := range res.Columns {
+			rel.cols = append(rel.cols, colDesc{table: label, name: strings.ToLower(n)})
+		}
+		return rel, nil
+	default:
+		return nil, fmt.Errorf("sqlexec: unsupported table reference %T", ref)
+	}
+}
+
+// scanInto appends all live tuples of the table to the relation.
+func (db *Database) scanInto(table string, rel *relation) error {
+	s, err := db.store(table)
+	if err != nil {
+		return err
+	}
+	return s.Scan(func(_ tablestore.RowID, row []sheet.Value) bool {
+		rel.rows = append(rel.rows, row)
+		return true
+	})
+}
+
+// joinRelations combines two relations according to the join specification.
+func (db *Database) joinRelations(left, right *relation, join sqlparser.Join, sheets SheetAccessor) (*relation, error) {
+	// Determine equi-join column pairs for NATURAL / USING joins.
+	var leftKeys, rightKeys []int
+	switch {
+	case join.Natural:
+		for li, lc := range left.cols {
+			for ri, rc := range right.cols {
+				if lc.name == rc.name {
+					leftKeys = append(leftKeys, li)
+					rightKeys = append(rightKeys, ri)
+					break
+				}
+			}
+		}
+	case len(join.Using) > 0:
+		for _, name := range join.Using {
+			n := strings.ToLower(name)
+			li, err := left.columnIndex("", n)
+			if err != nil {
+				return nil, err
+			}
+			ri, err := right.columnIndex("", n)
+			if err != nil {
+				return nil, err
+			}
+			leftKeys = append(leftKeys, li)
+			rightKeys = append(rightKeys, ri)
+		}
+	}
+
+	// For NATURAL / USING joins the shared columns appear once in the
+	// output (standard SQL semantics); the right-hand copies are dropped.
+	dropRight := make(map[int]bool, len(rightKeys))
+	for _, ri := range rightKeys {
+		dropRight[ri] = true
+	}
+	projectRight := func(rrow []sheet.Value) []sheet.Value {
+		if len(dropRight) == 0 {
+			return rrow
+		}
+		out := make([]sheet.Value, 0, len(rrow)-len(dropRight))
+		for i, v := range rrow {
+			if !dropRight[i] {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	out := &relation{cols: append([]colDesc(nil), left.cols...)}
+	for i, c := range right.cols {
+		if !dropRight[i] {
+			out.cols = append(out.cols, c)
+		}
+	}
+
+	pad := make([]sheet.Value, len(right.cols)-len(dropRight))
+
+	switch {
+	case len(leftKeys) > 0:
+		// Hash join on the shared columns.
+		index := make(map[string][]int, len(right.rows))
+		for ri, row := range right.rows {
+			index[hashKey(row, rightKeys)] = append(index[hashKey(row, rightKeys)], ri)
+		}
+		for _, lrow := range left.rows {
+			matches := index[hashKey(lrow, leftKeys)]
+			if len(matches) == 0 {
+				if join.Type == sqlparser.JoinLeft {
+					out.rows = append(out.rows, concatRows(lrow, pad))
+				}
+				continue
+			}
+			for _, ri := range matches {
+				out.rows = append(out.rows, concatRows(lrow, projectRight(right.rows[ri])))
+			}
+		}
+	case join.On != nil:
+		// Try to extract equi-join keys from the ON condition for a hash
+		// join; otherwise fall back to a nested loop.
+		lk, rk := equiJoinKeys(join.On, left, right)
+		if len(lk) > 0 {
+			index := make(map[string][]int, len(right.rows))
+			for ri, row := range right.rows {
+				index[hashKey(row, rk)] = append(index[hashKey(row, rk)], ri)
+			}
+			for _, lrow := range left.rows {
+				matches := index[hashKey(lrow, lk)]
+				matched := false
+				for _, ri := range matches {
+					combined := concatRows(lrow, right.rows[ri])
+					keep, err := evalPredicate(join.On, &evalCtx{rel: out, row: combined, sheets: sheets})
+					if err != nil {
+						return nil, err
+					}
+					if keep {
+						out.rows = append(out.rows, combined)
+						matched = true
+					}
+				}
+				if !matched && join.Type == sqlparser.JoinLeft {
+					out.rows = append(out.rows, concatRows(lrow, pad))
+				}
+			}
+		} else {
+			for _, lrow := range left.rows {
+				matched := false
+				for _, rrow := range right.rows {
+					combined := concatRows(lrow, rrow)
+					keep, err := evalPredicate(join.On, &evalCtx{rel: out, row: combined, sheets: sheets})
+					if err != nil {
+						return nil, err
+					}
+					if keep {
+						out.rows = append(out.rows, combined)
+						matched = true
+					}
+				}
+				if !matched && join.Type == sqlparser.JoinLeft {
+					out.rows = append(out.rows, concatRows(lrow, pad))
+				}
+			}
+		}
+	default:
+		// Cross join (or inner join without a condition).
+		for _, lrow := range left.rows {
+			for _, rrow := range right.rows {
+				out.rows = append(out.rows, concatRows(lrow, rrow))
+			}
+		}
+	}
+	return out, nil
+}
+
+// equiJoinKeys extracts column index pairs from an ON condition that is a
+// conjunction of equality comparisons between a left column and a right
+// column. It returns empty slices when the condition has any other shape.
+func equiJoinKeys(on sqlparser.Expr, left, right *relation) (lk, rk []int) {
+	var conjuncts []sqlparser.Expr
+	var collect func(e sqlparser.Expr) bool
+	collect = func(e sqlparser.Expr) bool {
+		if b, ok := e.(*sqlparser.BinaryExpr); ok {
+			if b.Op == "AND" {
+				return collect(b.Left) && collect(b.Right)
+			}
+			if b.Op == "=" {
+				conjuncts = append(conjuncts, b)
+				return true
+			}
+		}
+		return false
+	}
+	if !collect(on) {
+		return nil, nil
+	}
+	for _, c := range conjuncts {
+		b := c.(*sqlparser.BinaryExpr)
+		lcol, lok := b.Left.(*sqlparser.ColumnRef)
+		rcol, rok := b.Right.(*sqlparser.ColumnRef)
+		if !lok || !rok {
+			return nil, nil
+		}
+		li, lerr := left.columnIndex(lcol.Table, lcol.Name)
+		ri, rerr := right.columnIndex(rcol.Table, rcol.Name)
+		if lerr == nil && rerr == nil {
+			lk = append(lk, li)
+			rk = append(rk, ri)
+			continue
+		}
+		// Maybe the columns are written in the other order.
+		li, lerr = left.columnIndex(rcol.Table, rcol.Name)
+		ri, rerr = right.columnIndex(lcol.Table, lcol.Name)
+		if lerr == nil && rerr == nil {
+			lk = append(lk, li)
+			rk = append(rk, ri)
+			continue
+		}
+		return nil, nil
+	}
+	return lk, rk
+}
+
+func concatRows(a, b []sheet.Value) []sheet.Value {
+	out := make([]sheet.Value, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func hashKey(row []sheet.Value, cols []int) string {
+	var sb strings.Builder
+	for _, c := range cols {
+		v := sheet.Empty()
+		if c < len(row) {
+			v = row[c]
+		}
+		// Normalise numerically equal values and case-insensitive strings
+		// the same way Value.Equal does.
+		if f, ok := v.AsNumber(); ok && v.Kind != sheet.KindString {
+			fmt.Fprintf(&sb, "n:%v|", f)
+			continue
+		}
+		fmt.Fprintf(&sb, "%d:%s|", v.Kind, strings.ToLower(v.String()))
+	}
+	return sb.String()
+}
+
+// --- projection ---
+
+// expandItems resolves stars into concrete select items and returns the
+// output column names.
+func expandItems(stmt *sqlparser.SelectStmt, rel *relation) ([]sqlparser.SelectItem, []string) {
+	var items []sqlparser.SelectItem
+	var names []string
+	for _, item := range stmt.Columns {
+		if item.Star {
+			for _, c := range rel.cols {
+				if item.TableStar != "" && c.table != strings.ToLower(item.TableStar) {
+					continue
+				}
+				items = append(items, sqlparser.SelectItem{Expr: &sqlparser.ColumnRef{Table: c.table, Name: c.name}})
+				names = append(names, c.name)
+			}
+			continue
+		}
+		items = append(items, item)
+		names = append(names, outputName(item, len(names)))
+	}
+	return items, names
+}
+
+func outputName(item sqlparser.SelectItem, idx int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *sqlparser.ColumnRef:
+		return strings.ToLower(e.Name)
+	case *sqlparser.FuncCall:
+		return strings.ToLower(e.Name)
+	default:
+		return fmt.Sprintf("col%d", idx+1)
+	}
+}
+
+// projectRows projects a non-aggregated SELECT and returns the result plus
+// per-row ORDER BY sort keys (evaluated against the input rows).
+func (db *Database) projectRows(stmt *sqlparser.SelectStmt, rel *relation, sheets SheetAccessor) (*Result, [][]sheet.Value, error) {
+	items, names := expandItems(stmt, rel)
+	res := &Result{Columns: names}
+	var sortKeys [][]sheet.Value
+	for _, row := range rel.rows {
+		ctx := &evalCtx{rel: rel, row: row, sheets: sheets}
+		out := make([]sheet.Value, len(items))
+		for i, item := range items {
+			v, err := evalExpr(item.Expr, ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+		if len(stmt.OrderBy) > 0 {
+			keys, err := orderKeys(stmt.OrderBy, ctx, res, out)
+			if err != nil {
+				return nil, nil, err
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+	return res, sortKeys, nil
+}
+
+// projectGrouped projects an aggregated SELECT (explicit GROUP BY or implicit
+// single-group aggregation).
+func (db *Database) projectGrouped(stmt *sqlparser.SelectStmt, rel *relation, sheets SheetAccessor) (*Result, [][]sheet.Value, error) {
+	items, names := expandItems(stmt, rel)
+	res := &Result{Columns: names}
+
+	// Partition rows into groups.
+	type groupData struct {
+		key  []sheet.Value
+		rows [][]sheet.Value
+	}
+	var groups []*groupData
+	if len(stmt.GroupBy) == 0 {
+		rows := rel.rows
+		if rows == nil {
+			// Aggregates over an empty input still produce one output row
+			// (e.g. COUNT(*) = 0), so the single group must be non-nil.
+			rows = [][]sheet.Value{}
+		}
+		groups = append(groups, &groupData{rows: rows})
+	} else {
+		byKey := make(map[string]*groupData)
+		var order []string
+		for _, row := range rel.rows {
+			ctx := &evalCtx{rel: rel, row: row, sheets: sheets}
+			keyVals := make([]sheet.Value, len(stmt.GroupBy))
+			for i, g := range stmt.GroupBy {
+				v, err := evalExpr(g, ctx)
+				if err != nil {
+					return nil, nil, err
+				}
+				keyVals[i] = v
+			}
+			k := hashKey(keyVals, allIndexes(len(keyVals)))
+			gd, ok := byKey[k]
+			if !ok {
+				gd = &groupData{key: keyVals}
+				byKey[k] = gd
+				order = append(order, k)
+			}
+			gd.rows = append(gd.rows, row)
+		}
+		for _, k := range order {
+			groups = append(groups, byKey[k])
+		}
+	}
+
+	var sortKeys [][]sheet.Value
+	for _, g := range groups {
+		// A representative row provides the values of grouping columns.
+		var rep []sheet.Value
+		if len(g.rows) > 0 {
+			rep = g.rows[0]
+		}
+		ctx := &evalCtx{rel: rel, row: rep, sheets: sheets, group: g.rows}
+		if stmt.Having != nil {
+			keep, err := evalPredicate(stmt.Having, ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		// With no GROUP BY and no input rows, aggregates still produce one
+		// output row (e.g. COUNT(*) = 0).
+		out := make([]sheet.Value, len(items))
+		for i, item := range items {
+			v, err := evalExpr(item.Expr, ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+		if len(stmt.OrderBy) > 0 {
+			keys, err := orderKeys(stmt.OrderBy, ctx, res, out)
+			if err != nil {
+				return nil, nil, err
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+	return res, sortKeys, nil
+}
+
+func allIndexes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// orderKeys evaluates ORDER BY expressions for one output row. An ORDER BY
+// term may reference an output alias, an output position (1-based integer
+// literal), or any expression over the input row.
+func orderKeys(orderBy []sqlparser.OrderItem, ctx *evalCtx, res *Result, outRow []sheet.Value) ([]sheet.Value, error) {
+	keys := make([]sheet.Value, len(orderBy))
+	for i, o := range orderBy {
+		// Positional reference: ORDER BY 2.
+		if lit, ok := o.Expr.(*sqlparser.Literal); ok && lit.Value.IsNumber() {
+			idx := int(lit.Value.Num) - 1
+			if idx >= 0 && idx < len(outRow) {
+				keys[i] = outRow[idx]
+				continue
+			}
+		}
+		// Output alias reference.
+		if cr, ok := o.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			if _, err := ctx.rel.columnIndex("", cr.Name); err != nil {
+				for j, name := range res.Columns {
+					if strings.EqualFold(name, cr.Name) && j < len(outRow) {
+						keys[i] = outRow[j]
+						break
+					}
+				}
+				if !keys[i].IsEmpty() {
+					continue
+				}
+			}
+		}
+		v, err := evalExpr(o.Expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+func distinctRows(res *Result, sortKeys [][]sheet.Value) (*Result, [][]sheet.Value) {
+	seen := make(map[string]bool, len(res.Rows))
+	outRows := res.Rows[:0:0]
+	var outKeys [][]sheet.Value
+	for i, row := range res.Rows {
+		k := hashKey(row, allIndexes(len(row)))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		outRows = append(outRows, row)
+		if sortKeys != nil {
+			outKeys = append(outKeys, sortKeys[i])
+		}
+	}
+	res.Rows = outRows
+	return res, outKeys
+}
+
+func sortResult(orderBy []sqlparser.OrderItem, res *Result, sortKeys [][]sheet.Value) {
+	if len(sortKeys) != len(res.Rows) {
+		return
+	}
+	idx := make([]int, len(res.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
+		for i, o := range orderBy {
+			c := ka[i].Compare(kb[i])
+			// NULLs sort last regardless of direction.
+			switch {
+			case ka[i].IsEmpty() && kb[i].IsEmpty():
+				c = 0
+			case ka[i].IsEmpty():
+				return false
+			case kb[i].IsEmpty():
+				return true
+			}
+			if c == 0 {
+				continue
+			}
+			if o.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	newRows := make([][]sheet.Value, len(res.Rows))
+	for i, j := range idx {
+		newRows[i] = res.Rows[j]
+	}
+	res.Rows = newRows
+}
+
+func applyLimit(stmt *sqlparser.SelectStmt, res *Result) {
+	offset := 0
+	if stmt.Offset != nil {
+		offset = *stmt.Offset
+	}
+	if offset > len(res.Rows) {
+		offset = len(res.Rows)
+	}
+	res.Rows = res.Rows[offset:]
+	if stmt.Limit != nil && *stmt.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:*stmt.Limit]
+	}
+}

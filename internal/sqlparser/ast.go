@@ -1,0 +1,270 @@
+package sqlparser
+
+import "github.com/dataspread/dataspread/internal/sheet"
+
+// Statement is implemented by every parsed SQL statement.
+type Statement interface{ stmtNode() }
+
+// Expr is implemented by every expression node.
+type Expr interface{ exprNode() }
+
+// TableRef is a relation appearing in FROM or JOIN: a named table, a
+// positional RANGETABLE reference, or a parenthesised sub-select.
+type TableRef interface{ tableRefNode() }
+
+// --- Statements ---
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Columns  []SelectItem
+	From     TableRef // nil for table-less SELECT (e.g. SELECT 1+1)
+	Joins    []Join
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int
+	Offset   *int
+}
+
+// SelectItem is one projection in the SELECT list.
+type SelectItem struct {
+	// Star is true for a bare "*"; TableStar holds the qualifier of
+	// "t.*" when present.
+	Star      bool
+	TableStar string
+	Expr      Expr
+	Alias     string
+}
+
+// JoinType enumerates supported join types.
+type JoinType int
+
+// Join types.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+	JoinCross
+)
+
+// Join is one JOIN clause.
+type Join struct {
+	Type    JoinType
+	Natural bool
+	Table   TableRef
+	On      Expr
+	Using   []string
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// InsertStmt is INSERT INTO ... VALUES ... or INSERT INTO ... SELECT ...
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Select  *SelectStmt
+}
+
+// Assignment is one "col = expr" in an UPDATE SET list.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is UPDATE ... SET ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// DeleteStmt is DELETE FROM ... [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// ColumnDef is one column in CREATE TABLE or ALTER TABLE ADD COLUMN.
+type ColumnDef struct {
+	Name       string
+	Type       string
+	PrimaryKey bool
+	NotNull    bool
+	Default    Expr
+}
+
+// CreateTableStmt is CREATE TABLE [IF NOT EXISTS] name (cols...).
+type CreateTableStmt struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+	AsSelect    *SelectStmt
+}
+
+// AlterTableStmt is ALTER TABLE name ADD COLUMN ... / DROP COLUMN ... /
+// RENAME COLUMN a TO b. Exactly one of the action fields is set.
+type AlterTableStmt struct {
+	Table        string
+	AddColumn    *ColumnDef
+	DropColumn   string
+	RenameColumn *[2]string // old, new
+}
+
+// DropTableStmt is DROP TABLE [IF EXISTS] name.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// BeginStmt, CommitStmt and RollbackStmt are transaction control statements.
+type (
+	// BeginStmt starts a transaction.
+	BeginStmt struct{}
+	// CommitStmt commits the current transaction.
+	CommitStmt struct{}
+	// RollbackStmt rolls back the current transaction.
+	RollbackStmt struct{}
+)
+
+func (*SelectStmt) stmtNode()      {}
+func (*InsertStmt) stmtNode()      {}
+func (*UpdateStmt) stmtNode()      {}
+func (*DeleteStmt) stmtNode()      {}
+func (*CreateTableStmt) stmtNode() {}
+func (*AlterTableStmt) stmtNode()  {}
+func (*DropTableStmt) stmtNode()   {}
+func (*BeginStmt) stmtNode()       {}
+func (*CommitStmt) stmtNode()      {}
+func (*RollbackStmt) stmtNode()    {}
+
+// --- Table references ---
+
+// TableName is a named table, optionally aliased.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+// RangeTableRef is the paper's RANGETABLE(range) construct: a spreadsheet
+// range used as a relation. Ref is the range text ("A1:D100"), optionally
+// with a sheet qualifier ("Sheet2!A1:D100"); HeaderRow indicates whether the
+// first row of the range carries column names.
+type RangeTableRef struct {
+	Ref       string
+	Alias     string
+	HeaderRow bool
+}
+
+// SubSelect is a parenthesised SELECT in FROM.
+type SubSelect struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+func (*TableName) tableRefNode()     {}
+func (*RangeTableRef) tableRefNode() {}
+func (*SubSelect) tableRefNode()     {}
+
+// --- Expressions ---
+
+// Literal is a constant value.
+type Literal struct {
+	Value sheet.Value
+}
+
+// NullLiteral is the SQL NULL literal (distinct from an empty string).
+type NullLiteral struct{}
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
+
+// BinaryExpr is a binary operation. Op is the upper-cased operator text
+// ("=", "<>", "<", "+", "AND", "OR", "||", ...).
+type BinaryExpr struct {
+	Op    string
+	Left  Expr
+	Right Expr
+}
+
+// UnaryExpr is a unary operation: "-" or "NOT".
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// FuncCall is a function invocation; Star marks COUNT(*).
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// RangeValueExpr is the paper's RANGEVALUE(cell) construct: a scalar read
+// from the spreadsheet at the given (possibly sheet-qualified) address.
+type RangeValueExpr struct {
+	Ref string
+}
+
+// InExpr is "x [NOT] IN (e1, e2, ...)".
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// IsNullExpr is "x IS [NOT] NULL".
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// BetweenExpr is "x [NOT] BETWEEN lo AND hi".
+type BetweenExpr struct {
+	X   Expr
+	Lo  Expr
+	Hi  Expr
+	Not bool
+}
+
+// LikeExpr is "x [NOT] LIKE pattern" with % and _ wildcards.
+type LikeExpr struct {
+	X       Expr
+	Pattern Expr
+	Not     bool
+}
+
+// CaseExpr is "CASE [operand] WHEN ... THEN ... [ELSE ...] END".
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []CaseWhen
+	Else    Expr
+}
+
+// CaseWhen is one WHEN/THEN arm of a CASE expression.
+type CaseWhen struct {
+	When Expr
+	Then Expr
+}
+
+func (*Literal) exprNode()        {}
+func (*NullLiteral) exprNode()    {}
+func (*ColumnRef) exprNode()      {}
+func (*BinaryExpr) exprNode()     {}
+func (*UnaryExpr) exprNode()      {}
+func (*FuncCall) exprNode()       {}
+func (*RangeValueExpr) exprNode() {}
+func (*InExpr) exprNode()         {}
+func (*IsNullExpr) exprNode()     {}
+func (*BetweenExpr) exprNode()    {}
+func (*LikeExpr) exprNode()       {}
+func (*CaseExpr) exprNode()       {}

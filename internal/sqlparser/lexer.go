@@ -1,0 +1,211 @@
+// Package sqlparser implements the SQL dialect DataSpread exposes through
+// the DBSQL and DBTABLE spreadsheet constructs: a practical subset of SQL
+// (SELECT with joins, grouping, ordering; INSERT/UPDATE/DELETE; CREATE/ALTER/
+// DROP TABLE) extended with the paper's positional addressing constructs
+// RANGEVALUE(cell) and RANGETABLE(range), which let a query refer to data on
+// the spreadsheet by its position.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOperator // = <> != < <= > >= + - * / % ||
+	TokPunct    // ( ) , . ;
+)
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// keywords recognised by the dialect. Identifiers matching these
+// (case-insensitively) are tokenised as TokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "AS": true, "DISTINCT": true, "ALL": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"NATURAL": true, "CROSS": true, "ON": true, "USING": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "ALTER": true, "ADD": true,
+	"COLUMN": true, "RENAME": true, "TO": true, "IF": true, "EXISTS": true,
+	"PRIMARY": true, "KEY": true, "NOT": true, "NULL": true, "DEFAULT": true,
+	"AND": true, "OR": true, "IN": true, "IS": true, "LIKE": true,
+	"BETWEEN": true, "TRUE": true, "FALSE": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true,
+	"RANGEVALUE": true, "RANGETABLE": true,
+}
+
+// Lex tokenises a SQL string. It returns an error for unterminated strings
+// or characters outside the dialect.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && input[i+1] == '*':
+			end := strings.Index(input[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sql: unterminated block comment at %d", i)
+			}
+			i += end + 4
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			start := i
+			for i < n && (isDigit(input[i]) || input[i] == '.') {
+				i++
+			}
+			// Exponent.
+			if i < n && (input[i] == 'e' || input[i] == 'E') {
+				j := i + 1
+				if j < n && (input[j] == '+' || input[j] == '-') {
+					j++
+				}
+				if j < n && isDigit(input[j]) {
+					i = j
+					for i < n && isDigit(input[i]) {
+						i++
+					}
+				}
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '"':
+			// Quoted identifier.
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '"' {
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier at %d", start)
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: sb.String(), Pos: start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == ';':
+			toks = append(toks, Token{Kind: TokPunct, Text: string(c), Pos: i})
+			i++
+		case c == '|' && i+1 < n && input[i+1] == '|':
+			toks = append(toks, Token{Kind: TokOperator, Text: "||", Pos: i})
+			i += 2
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, Token{Kind: TokOperator, Text: input[i : i+2], Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOperator, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOperator, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOperator, Text: ">", Pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOperator, Text: "!=", Pos: i})
+				i += 2
+			} else {
+				// Bare "!" appears in sheet-qualified positional references
+				// such as RANGEVALUE(Sheet2!B1).
+				toks = append(toks, Token{Kind: TokPunct, Text: "!", Pos: i})
+				i++
+			}
+		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/' || c == '%':
+			toks = append(toks, Token{Kind: TokOperator, Text: string(c), Pos: i})
+			i++
+		case c == ':':
+			// Allowed inside RANGEVALUE/RANGETABLE references like A1:B10,
+			// but those are parsed as argument tokens; expose as punct.
+			toks = append(toks, Token{Kind: TokPunct, Text: ":", Pos: i})
+			i++
+		case c == '$':
+			// Absolute-reference marker inside positional arguments.
+			toks = append(toks, Token{Kind: TokPunct, Text: "$", Pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,314 @@
+package cellstore
+
+import (
+	"container/list"
+
+	"github.com/dataspread/dataspread/internal/index/grid"
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+)
+
+// Default tile geometry: a tile spans 32 rows × 8 columns, roughly the shape
+// of data a user sees around the cursor, so one visible window touches a
+// handful of blocks.
+const (
+	DefaultTileRows = 32
+	DefaultTileCols = 8
+	// defaultTileCache is the number of decoded tiles kept in memory.
+	defaultTileCache = 64
+)
+
+// BlockedStore is the interface storage manager described in the paper:
+// cells are grouped by proximity into tiles, each tile is one data block, and
+// a 2-D index maps tile coordinates to blocks. It implements
+// sheet.CellStore.
+type BlockedStore struct {
+	pool      *pager.BufferPool
+	index     *grid.Index
+	cacheCap  int
+	cache     map[grid.TileKey]*tileEntry
+	lru       *list.List // of grid.TileKey
+	cellCount int
+}
+
+type tileEntry struct {
+	cells   map[sheet.Address]sheet.Cell
+	dirty   bool
+	lruElem *list.Element
+}
+
+// BlockedOption configures a BlockedStore.
+type BlockedOption func(*blockedConfig)
+
+type blockedConfig struct {
+	tileRows, tileCols int
+	cacheTiles         int
+}
+
+// WithTileSize sets the tile geometry (rows × cols of cells per block).
+func WithTileSize(rows, cols int) BlockedOption {
+	return func(c *blockedConfig) { c.tileRows, c.tileCols = rows, cols }
+}
+
+// WithTileCache sets how many decoded tiles are cached in memory.
+func WithTileCache(n int) BlockedOption {
+	return func(c *blockedConfig) { c.cacheTiles = n }
+}
+
+// NewBlockedStore creates a blocked cell store over the buffer pool.
+func NewBlockedStore(pool *pager.BufferPool, opts ...BlockedOption) *BlockedStore {
+	cfg := blockedConfig{tileRows: DefaultTileRows, tileCols: DefaultTileCols, cacheTiles: defaultTileCache}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.cacheTiles < 1 {
+		cfg.cacheTiles = 1
+	}
+	return &BlockedStore{
+		pool:     pool,
+		index:    grid.New(cfg.tileRows, cfg.tileCols),
+		cacheCap: cfg.cacheTiles,
+		cache:    make(map[grid.TileKey]*tileEntry),
+		lru:      list.New(),
+	}
+}
+
+// loadTile returns the decoded tile for the key, reading and decoding its
+// block on a cache miss. Returns nil if the tile has no block yet.
+func (b *BlockedStore) loadTile(k grid.TileKey) *tileEntry {
+	if e, ok := b.cache[k]; ok {
+		b.lru.MoveToFront(e.lruElem)
+		return e
+	}
+	pid, ok := b.index.Get(k)
+	if !ok {
+		return nil
+	}
+	data, err := b.pool.Get(pager.PageID(pid))
+	if err != nil {
+		return nil
+	}
+	recs, err := decodeBlock(data)
+	if err != nil {
+		return nil
+	}
+	cells := make(map[sheet.Address]sheet.Cell, len(recs))
+	for _, r := range recs {
+		cells[r.addr] = r.cell
+	}
+	e := &tileEntry{cells: cells}
+	b.installTile(k, e)
+	return e
+}
+
+// ensureTile returns the decoded tile, creating an empty one (and its block)
+// if needed.
+func (b *BlockedStore) ensureTile(k grid.TileKey) *tileEntry {
+	if e := b.loadTile(k); e != nil {
+		return e
+	}
+	if _, ok := b.index.Get(k); !ok {
+		pid := b.pool.Allocate()
+		b.index.Put(k, uint64(pid))
+	}
+	e := &tileEntry{cells: make(map[sheet.Address]sheet.Cell)}
+	b.installTile(k, e)
+	return e
+}
+
+func (b *BlockedStore) installTile(k grid.TileKey, e *tileEntry) {
+	b.evictIfFull()
+	e.lruElem = b.lru.PushFront(k)
+	b.cache[k] = e
+}
+
+func (b *BlockedStore) evictIfFull() {
+	for len(b.cache) >= b.cacheCap {
+		back := b.lru.Back()
+		if back == nil {
+			return
+		}
+		k := back.Value.(grid.TileKey)
+		b.writeBack(k, b.cache[k])
+		b.lru.Remove(back)
+		delete(b.cache, k)
+	}
+}
+
+// writeBack encodes a dirty tile into its block.
+func (b *BlockedStore) writeBack(k grid.TileKey, e *tileEntry) {
+	if e == nil || !e.dirty {
+		return
+	}
+	pid, ok := b.index.Get(k)
+	if !ok {
+		return
+	}
+	recs := make([]cellRecord, 0, len(e.cells))
+	for a, c := range e.cells {
+		recs = append(recs, cellRecord{addr: a, cell: c})
+	}
+	_ = b.pool.Put(pager.PageID(pid), encodeBlock(recs))
+	e.dirty = false
+}
+
+// Flush writes every dirty cached tile back to its block and flushes the
+// buffer pool, so all cell data is durable in the page store.
+func (b *BlockedStore) Flush() error {
+	for k, e := range b.cache {
+		b.writeBack(k, e)
+	}
+	return b.pool.FlushAll()
+}
+
+// DropCache flushes and then discards all decoded tiles, so subsequent reads
+// are served from blocks. Benchmarks use this to measure cold-window costs.
+func (b *BlockedStore) DropCache() error {
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	b.cache = make(map[grid.TileKey]*tileEntry)
+	b.lru.Init()
+	return nil
+}
+
+// TileCount returns the number of allocated tiles (data blocks).
+func (b *BlockedStore) TileCount() int { return b.index.Len() }
+
+// Get implements sheet.CellStore.
+func (b *BlockedStore) Get(a sheet.Address) (sheet.Cell, bool) {
+	e := b.loadTile(b.index.TileFor(a.Row, a.Col))
+	if e == nil {
+		return sheet.Cell{}, false
+	}
+	c, ok := e.cells[a]
+	return c, ok
+}
+
+// Set implements sheet.CellStore.
+func (b *BlockedStore) Set(a sheet.Address, c sheet.Cell) {
+	if c.IsEmpty() {
+		b.Delete(a)
+		return
+	}
+	e := b.ensureTile(b.index.TileFor(a.Row, a.Col))
+	if _, existed := e.cells[a]; !existed {
+		b.cellCount++
+	}
+	e.cells[a] = c
+	e.dirty = true
+}
+
+// Delete implements sheet.CellStore.
+func (b *BlockedStore) Delete(a sheet.Address) {
+	k := b.index.TileFor(a.Row, a.Col)
+	e := b.loadTile(k)
+	if e == nil {
+		return
+	}
+	if _, existed := e.cells[a]; existed {
+		delete(e.cells, a)
+		b.cellCount--
+		e.dirty = true
+	}
+}
+
+// GetRange implements sheet.CellStore. Only tiles overlapping the range are
+// read, which is the point of the blocked layout.
+func (b *BlockedStore) GetRange(r sheet.Range, fn func(sheet.Address, sheet.Cell)) {
+	for _, k := range b.index.TilesInRect(r.Start.Row, r.Start.Col, r.End.Row, r.End.Col) {
+		e := b.loadTile(k)
+		if e == nil {
+			continue
+		}
+		for a, c := range e.cells {
+			if r.Contains(a) {
+				fn(a, c)
+			}
+		}
+	}
+}
+
+// Len implements sheet.CellStore.
+func (b *BlockedStore) Len() int { return b.cellCount }
+
+// Bounds implements sheet.CellStore.
+func (b *BlockedStore) Bounds() (sheet.Range, bool) {
+	first := true
+	var out sheet.Range
+	for _, k := range b.index.All() {
+		e := b.loadTile(k)
+		if e == nil {
+			continue
+		}
+		for a := range e.cells {
+			r := sheet.Range{Start: a, End: a}
+			if first {
+				out = r
+				first = false
+			} else {
+				out = out.Union(r)
+			}
+		}
+	}
+	return out, !first
+}
+
+// InsertRows implements sheet.CellStore. Shifting rows moves cells across
+// tile boundaries, so the store is rebuilt; this is an interface-data
+// operation on ad-hoc cells, not the common path for large bound tables
+// (those shift through the positional index instead).
+func (b *BlockedStore) InsertRows(row, count int) {
+	b.rebuild(func(a sheet.Address) (sheet.Address, bool) {
+		if a.Row < row {
+			return a, true
+		}
+		if count < 0 && a.Row < row-count {
+			return a, false
+		}
+		return sheet.Addr(a.Row+count, a.Col), true
+	})
+}
+
+// InsertCols implements sheet.CellStore.
+func (b *BlockedStore) InsertCols(col, count int) {
+	b.rebuild(func(a sheet.Address) (sheet.Address, bool) {
+		if a.Col < col {
+			return a, true
+		}
+		if count < 0 && a.Col < col-count {
+			return a, false
+		}
+		return sheet.Addr(a.Row, a.Col+count), true
+	})
+}
+
+// rebuild re-tiles the whole store applying the address mapping; cells for
+// which keep is false are dropped.
+func (b *BlockedStore) rebuild(remap func(sheet.Address) (sheet.Address, bool)) {
+	all := make(map[sheet.Address]sheet.Cell, b.cellCount)
+	for _, k := range b.index.All() {
+		e := b.loadTile(k)
+		if e == nil {
+			continue
+		}
+		for a, c := range e.cells {
+			if na, keep := remap(a); keep {
+				all[na] = c
+			}
+		}
+	}
+	// Free old blocks.
+	for _, k := range b.index.All() {
+		if pid, ok := b.index.Get(k); ok {
+			b.pool.Free(pager.PageID(pid))
+		}
+		b.index.Delete(k)
+	}
+	b.cache = make(map[grid.TileKey]*tileEntry)
+	b.lru.Init()
+	b.cellCount = 0
+	for a, c := range all {
+		b.Set(a, c)
+	}
+}

@@ -1,0 +1,325 @@
+package cellstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+)
+
+func newBlocked(opts ...BlockedOption) *BlockedStore {
+	return NewBlockedStore(pager.NewBufferPool(pager.NewStore(), 1024), opts...)
+}
+
+func newFlat() *FlatStore {
+	return NewFlatStore(pager.NewBufferPool(pager.NewStore(), 1024))
+}
+
+// stores returns each CellStore implementation under a label so the shared
+// conformance tests run against all of them.
+func stores() map[string]sheet.CellStore {
+	return map[string]sheet.CellStore{
+		"map":     sheet.NewMapCellStore(),
+		"blocked": newBlocked(),
+		"flat":    newFlat(),
+	}
+}
+
+func TestCellRecordRoundTrip(t *testing.T) {
+	recs := []cellRecord{
+		{addr: sheet.Addr(0, 0), cell: sheet.Cell{Value: sheet.Number(3.25)}},
+		{addr: sheet.Addr(100, 5), cell: sheet.Cell{Value: sheet.String_("héllo, world")}},
+		{addr: sheet.Addr(7, 2), cell: sheet.Cell{Value: sheet.Bool_(true), Formula: "AND(A1,B1)"}},
+		{addr: sheet.Addr(9, 9), cell: sheet.Cell{Value: sheet.ErrDiv0}},
+		{addr: sheet.Addr(1, 1), cell: sheet.Cell{
+			Value:   sheet.Number(-7),
+			Formula: "SUM(A1:A10)",
+			Origin:  sheet.Origin{Kind: sheet.OriginTable, BindingID: 42},
+		}},
+		{addr: sheet.Addr(2, 3), cell: sheet.Cell{Value: sheet.Empty(), Formula: "DBSQL(\"SELECT 1\")"}},
+	}
+	buf := encodeBlock(recs)
+	got, err := decodeBlock(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].addr != recs[i].addr {
+			t.Errorf("rec %d addr = %v", i, got[i].addr)
+		}
+		if got[i].cell.Formula != recs[i].cell.Formula ||
+			got[i].cell.Origin != recs[i].cell.Origin ||
+			got[i].cell.Value.Kind != recs[i].cell.Value.Kind ||
+			got[i].cell.Value.String() != recs[i].cell.Value.String() {
+			t.Errorf("rec %d cell = %+v, want %+v", i, got[i].cell, recs[i].cell)
+		}
+	}
+}
+
+func TestDecodeBlockErrors(t *testing.T) {
+	if _, err := decodeBlock([]byte{5}); err == nil {
+		t.Error("count with no records should fail")
+	}
+	good := encodeBlock([]cellRecord{{addr: sheet.Addr(1, 1), cell: sheet.Cell{Value: sheet.Number(1)}}})
+	if _, err := decodeBlock(good[:len(good)-3]); err == nil {
+		t.Error("truncated block should fail")
+	}
+	if _, err := decodeBlock(append(good, 0xFF)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+	if recs, err := decodeBlock(nil); err != nil || len(recs) != 0 {
+		t.Error("empty block should decode to nothing")
+	}
+}
+
+func TestEncodingRoundTripProperty(t *testing.T) {
+	f := func(row, col int16, num float64, str string, isStr bool) bool {
+		var v sheet.Value
+		if isStr {
+			v = sheet.String_(str)
+		} else {
+			v = sheet.Number(num)
+		}
+		rec := cellRecord{addr: sheet.Addr(int(row), int(col)), cell: sheet.Cell{Value: v, Formula: str}}
+		got, err := decodeBlock(encodeBlock([]cellRecord{rec}))
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		return g.addr == rec.addr && g.cell.Formula == rec.cell.Formula &&
+			g.cell.Value.Kind == v.Kind && g.cell.Value.String() == v.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Conformance tests shared by every CellStore implementation.
+
+func TestStoreConformanceBasic(t *testing.T) {
+	for name, s := range stores() {
+		t.Run(name, func(t *testing.T) {
+			a := sheet.Addr(3, 4)
+			if _, ok := s.Get(a); ok {
+				t.Fatal("empty store should miss")
+			}
+			s.Set(a, sheet.Cell{Value: sheet.Number(1.5), Formula: "3/2"})
+			c, ok := s.Get(a)
+			if !ok || c.Value.Num != 1.5 || c.Formula != "3/2" {
+				t.Fatalf("Get = %+v,%v", c, ok)
+			}
+			if s.Len() != 1 {
+				t.Fatalf("Len = %d", s.Len())
+			}
+			// Overwrite.
+			s.Set(a, sheet.Cell{Value: sheet.String_("x")})
+			if c, _ := s.Get(a); c.Value.Str != "x" {
+				t.Fatal("overwrite failed")
+			}
+			if s.Len() != 1 {
+				t.Fatal("overwrite should not grow")
+			}
+			// Delete.
+			s.Delete(a)
+			if _, ok := s.Get(a); ok || s.Len() != 0 {
+				t.Fatal("delete failed")
+			}
+			s.Delete(a) // deleting a missing cell is a no-op
+			// Setting an empty cell is a delete.
+			s.Set(a, sheet.Cell{Value: sheet.Number(2)})
+			s.Set(a, sheet.Cell{})
+			if s.Len() != 0 {
+				t.Fatal("set-empty should delete")
+			}
+		})
+	}
+}
+
+func TestStoreConformanceRangeAndBounds(t *testing.T) {
+	for name, s := range stores() {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := s.Bounds(); ok {
+				t.Fatal("empty store should have no bounds")
+			}
+			for r := 0; r < 50; r++ {
+				for c := 0; c < 10; c++ {
+					s.Set(sheet.Addr(r, c), sheet.Cell{Value: sheet.Number(float64(r*100 + c))})
+				}
+			}
+			// Window fetch.
+			got := make(map[sheet.Address]float64)
+			s.GetRange(sheet.RangeOf(10, 2, 19, 5), func(a sheet.Address, c sheet.Cell) {
+				got[a] = c.Value.Num
+			})
+			if len(got) != 40 {
+				t.Fatalf("window returned %d cells, want 40", len(got))
+			}
+			if got[sheet.Addr(10, 2)] != 1002 || got[sheet.Addr(19, 5)] != 1905 {
+				t.Fatal("window content wrong")
+			}
+			b, ok := s.Bounds()
+			if !ok || b != sheet.RangeOf(0, 0, 49, 9) {
+				t.Fatalf("Bounds = %+v,%v", b, ok)
+			}
+			if s.Len() != 500 {
+				t.Fatalf("Len = %d", s.Len())
+			}
+		})
+	}
+}
+
+func TestStoreConformanceInsertRowsCols(t *testing.T) {
+	for name, s := range stores() {
+		t.Run(name, func(t *testing.T) {
+			for r := 0; r < 10; r++ {
+				s.Set(sheet.Addr(r, 0), sheet.Cell{Value: sheet.Number(float64(r))})
+			}
+			s.InsertRows(5, 2)
+			if c, ok := s.Get(sheet.Addr(4, 0)); !ok || c.Value.Num != 4 {
+				t.Error("rows above insert moved")
+			}
+			if c, ok := s.Get(sheet.Addr(7, 0)); !ok || c.Value.Num != 5 {
+				t.Error("rows below insert did not shift")
+			}
+			s.InsertRows(0, -1) // delete the first row
+			if c, ok := s.Get(sheet.Addr(0, 0)); !ok || c.Value.Num != 1 {
+				t.Error("row delete wrong")
+			}
+			s.Set(sheet.Addr(0, 5), sheet.Cell{Value: sheet.String_("right")})
+			s.InsertCols(3, 4)
+			if c, ok := s.Get(sheet.Addr(0, 9)); !ok || c.Value.Str != "right" {
+				t.Error("column insert did not shift")
+			}
+			s.InsertCols(9, -1)
+			if _, ok := s.Get(sheet.Addr(0, 9)); ok {
+				t.Error("column delete should remove the cell")
+			}
+		})
+	}
+}
+
+// TestStoresAgainstMapReference drives every store with the same random
+// operations and verifies they agree with the plain map store.
+func TestStoresAgainstMapReference(t *testing.T) {
+	impls := map[string]sheet.CellStore{
+		"blocked":       newBlocked(),
+		"blocked-small": newBlocked(WithTileSize(4, 4), WithTileCache(2)),
+		"flat":          newFlat(),
+	}
+	for name, s := range impls {
+		t.Run(name, func(t *testing.T) {
+			ref := sheet.NewMapCellStore()
+			rng := rand.New(rand.NewSource(11))
+			for op := 0; op < 5000; op++ {
+				a := sheet.Addr(rng.Intn(200), rng.Intn(40))
+				switch rng.Intn(4) {
+				case 0, 1:
+					c := sheet.Cell{Value: sheet.Number(float64(op))}
+					s.Set(a, c)
+					ref.Set(a, c)
+				case 2:
+					s.Delete(a)
+					ref.Delete(a)
+				case 3:
+					got, ok1 := s.Get(a)
+					want, ok2 := ref.Get(a)
+					if ok1 != ok2 || (ok1 && got.Value.Num != want.Value.Num) {
+						t.Fatalf("op %d: Get(%v) mismatch", op, a)
+					}
+				}
+			}
+			if s.Len() != ref.Len() {
+				t.Fatalf("Len %d != ref %d", s.Len(), ref.Len())
+			}
+			// Range fetches agree on random windows.
+			for trial := 0; trial < 20; trial++ {
+				r := sheet.RangeOf(rng.Intn(200), rng.Intn(40), rng.Intn(200), rng.Intn(40))
+				got := map[sheet.Address]float64{}
+				want := map[sheet.Address]float64{}
+				s.GetRange(r, func(a sheet.Address, c sheet.Cell) { got[a] = c.Value.Num })
+				ref.GetRange(r, func(a sheet.Address, c sheet.Cell) { want[a] = c.Value.Num })
+				if len(got) != len(want) {
+					t.Fatalf("range %v: %d cells vs ref %d", r, len(got), len(want))
+				}
+				for a, v := range want {
+					if got[a] != v {
+						t.Fatalf("range %v: cell %v mismatch", r, a)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBlockedStorePersistenceAcrossCacheDrop(t *testing.T) {
+	b := newBlocked(WithTileSize(8, 8), WithTileCache(4))
+	for r := 0; r < 100; r++ {
+		b.Set(sheet.Addr(r, r%10), sheet.Cell{Value: sheet.Number(float64(r)), Formula: "F"})
+	}
+	if err := b.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything must be readable back from blocks alone.
+	for r := 0; r < 100; r++ {
+		c, ok := b.Get(sheet.Addr(r, r%10))
+		if !ok || c.Value.Num != float64(r) || c.Formula != "F" {
+			t.Fatalf("row %d lost after cache drop: %+v %v", r, c, ok)
+		}
+	}
+	if b.TileCount() == 0 {
+		t.Error("expected allocated tiles")
+	}
+}
+
+func TestBlockedStoreWindowTouchesFewBlocks(t *testing.T) {
+	store := pager.NewStore()
+	pool := pager.NewBufferPool(store, 0) // no caching: count raw block reads
+	b := NewBlockedStore(pool, WithTileSize(32, 8), WithTileCache(1))
+	// 2000 rows x 10 cols of data.
+	for r := 0; r < 2000; r++ {
+		for c := 0; c < 10; c++ {
+			b.Set(sheet.Addr(r, c), sheet.Cell{Value: sheet.Number(float64(r))})
+		}
+	}
+	if err := b.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	store.ResetStats()
+	n := 0
+	b.GetRange(sheet.RangeOf(1000, 0, 1049, 9), func(sheet.Address, sheet.Cell) { n++ })
+	if n != 500 {
+		t.Fatalf("window returned %d cells", n)
+	}
+	reads := store.Stats().Reads
+	// A 50x10 window over 32x8 tiles overlaps at most 3x3=9 tiles (elastic
+	// bound: allow a few more for cache-eviction rereads).
+	if reads > 12 {
+		t.Errorf("window fetch read %d blocks, expected <= 12", reads)
+	}
+}
+
+func TestFlatStoreBlockGrowth(t *testing.T) {
+	f := newFlat()
+	for i := 0; i < flatCellsPerBlock*3+5; i++ {
+		f.Set(sheet.Addr(i, 0), sheet.Cell{Value: sheet.Number(float64(i))})
+	}
+	if f.BlockCount() != 4 {
+		t.Errorf("BlockCount = %d, want 4", f.BlockCount())
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Update in place must not allocate a new block.
+	f.Set(sheet.Addr(0, 0), sheet.Cell{Value: sheet.Number(999)})
+	if f.BlockCount() != 4 {
+		t.Error("in-place update should not allocate")
+	}
+	if c, _ := f.Get(sheet.Addr(0, 0)); c.Value.Num != 999 {
+		t.Error("in-place update lost")
+	}
+}

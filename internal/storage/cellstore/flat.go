@@ -1,0 +1,222 @@
+package cellstore
+
+import (
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+)
+
+// flatCellsPerBlock is how many cell records a flat block accepts before a
+// new block is started. Chosen so a block of numeric cells roughly fills one
+// page.
+const flatCellsPerBlock = 128
+
+// FlatStore is the no-spatial-grouping baseline for the interface storage
+// manager: cells are appended to data blocks strictly in insertion order and
+// located through a per-cell directory. A rectangular window fetch therefore
+// touches as many blocks as the insertion order scattered its cells across,
+// instead of the few proximity blocks the BlockedStore touches.
+// It implements sheet.CellStore.
+type FlatStore struct {
+	pool *pager.BufferPool
+	// dir maps each stored address to the block holding its record.
+	dir map[sheet.Address]pager.PageID
+	// blocks lists allocated blocks in order; the last one receives new
+	// cells until it is full.
+	blocks    []pager.PageID
+	tailCount int
+}
+
+// NewFlatStore creates a flat cell store over the buffer pool.
+func NewFlatStore(pool *pager.BufferPool) *FlatStore {
+	return &FlatStore{pool: pool, dir: make(map[sheet.Address]pager.PageID)}
+}
+
+// BlockCount returns the number of allocated data blocks.
+func (f *FlatStore) BlockCount() int { return len(f.blocks) }
+
+// Flush flushes the underlying buffer pool. (Writes in FlatStore are
+// write-through to the pool already.)
+func (f *FlatStore) Flush() error { return f.pool.FlushAll() }
+
+func (f *FlatStore) readBlock(id pager.PageID) []cellRecord {
+	data, err := f.pool.Get(id)
+	if err != nil {
+		return nil
+	}
+	recs, err := decodeBlock(data)
+	if err != nil {
+		return nil
+	}
+	return recs
+}
+
+func (f *FlatStore) writeBlock(id pager.PageID, recs []cellRecord) {
+	_ = f.pool.Put(id, encodeBlock(recs))
+}
+
+// Get implements sheet.CellStore.
+func (f *FlatStore) Get(a sheet.Address) (sheet.Cell, bool) {
+	id, ok := f.dir[a]
+	if !ok {
+		return sheet.Cell{}, false
+	}
+	for _, rec := range f.readBlock(id) {
+		if rec.addr == a {
+			return rec.cell, true
+		}
+	}
+	return sheet.Cell{}, false
+}
+
+// Set implements sheet.CellStore.
+func (f *FlatStore) Set(a sheet.Address, c sheet.Cell) {
+	if c.IsEmpty() {
+		f.Delete(a)
+		return
+	}
+	if id, ok := f.dir[a]; ok {
+		recs := f.readBlock(id)
+		for i := range recs {
+			if recs[i].addr == a {
+				recs[i].cell = c
+				f.writeBlock(id, recs)
+				return
+			}
+		}
+		// Directory said the cell was here but it is not; fall through to
+		// append (should not happen, but stay consistent).
+	}
+	// Append to the tail block, starting a new one when full.
+	if len(f.blocks) == 0 || f.tailCount >= flatCellsPerBlock {
+		f.blocks = append(f.blocks, f.pool.Allocate())
+		f.tailCount = 0
+	}
+	tail := f.blocks[len(f.blocks)-1]
+	recs := f.readBlock(tail)
+	recs = append(recs, cellRecord{addr: a, cell: c})
+	f.writeBlock(tail, recs)
+	f.dir[a] = tail
+	f.tailCount++
+}
+
+// Delete implements sheet.CellStore.
+func (f *FlatStore) Delete(a sheet.Address) {
+	id, ok := f.dir[a]
+	if !ok {
+		return
+	}
+	recs := f.readBlock(id)
+	for i := range recs {
+		if recs[i].addr == a {
+			recs = append(recs[:i], recs[i+1:]...)
+			f.writeBlock(id, recs)
+			break
+		}
+	}
+	delete(f.dir, a)
+}
+
+// GetRange implements sheet.CellStore. Every distinct block containing a cell
+// of the range must be read.
+func (f *FlatStore) GetRange(r sheet.Range, fn func(sheet.Address, sheet.Cell)) {
+	// Collect the distinct blocks that hold cells of the range.
+	needed := make(map[pager.PageID]bool)
+	if r.Size() <= len(f.dir) {
+		for row := r.Start.Row; row <= r.End.Row; row++ {
+			for col := r.Start.Col; col <= r.End.Col; col++ {
+				if id, ok := f.dir[sheet.Addr(row, col)]; ok {
+					needed[id] = true
+				}
+			}
+		}
+	} else {
+		for a, id := range f.dir {
+			if r.Contains(a) {
+				needed[id] = true
+			}
+		}
+	}
+	for id := range needed {
+		for _, rec := range f.readBlock(id) {
+			if r.Contains(rec.addr) {
+				fn(rec.addr, rec.cell)
+			}
+		}
+	}
+}
+
+// Len implements sheet.CellStore.
+func (f *FlatStore) Len() int { return len(f.dir) }
+
+// Bounds implements sheet.CellStore.
+func (f *FlatStore) Bounds() (sheet.Range, bool) {
+	first := true
+	var out sheet.Range
+	for a := range f.dir {
+		r := sheet.Range{Start: a, End: a}
+		if first {
+			out = r
+			first = false
+		} else {
+			out = out.Union(r)
+		}
+	}
+	return out, !first
+}
+
+// InsertRows implements sheet.CellStore by rebuilding the store with shifted
+// addresses.
+func (f *FlatStore) InsertRows(row, count int) {
+	f.rebuild(func(a sheet.Address) (sheet.Address, bool) {
+		if a.Row < row {
+			return a, true
+		}
+		if count < 0 && a.Row < row-count {
+			return a, false
+		}
+		return sheet.Addr(a.Row+count, a.Col), true
+	})
+}
+
+// InsertCols implements sheet.CellStore.
+func (f *FlatStore) InsertCols(col, count int) {
+	f.rebuild(func(a sheet.Address) (sheet.Address, bool) {
+		if a.Col < col {
+			return a, true
+		}
+		if count < 0 && a.Col < col-count {
+			return a, false
+		}
+		return sheet.Addr(a.Row, a.Col+count), true
+	})
+}
+
+func (f *FlatStore) rebuild(remap func(sheet.Address) (sheet.Address, bool)) {
+	type kv struct {
+		a sheet.Address
+		c sheet.Cell
+	}
+	var all []kv
+	seen := make(map[pager.PageID]bool)
+	for _, id := range f.blocks {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		for _, rec := range f.readBlock(id) {
+			if _, live := f.dir[rec.addr]; !live {
+				continue
+			}
+			if na, keep := remap(rec.addr); keep {
+				all = append(all, kv{na, rec.cell})
+			}
+		}
+		f.pool.Free(id)
+	}
+	f.blocks = nil
+	f.tailCount = 0
+	f.dir = make(map[sheet.Address]pager.PageID, len(all))
+	for _, e := range all {
+		f.Set(e.a, e.c)
+	}
+}

@@ -1,0 +1,224 @@
+package pager
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches page contents in memory with LRU replacement and
+// write-back of dirty pages. Storage managers read and write pages through a
+// pool so that repeated access to hot blocks (e.g. the visible window) does
+// not touch the "disk".
+type BufferPool struct {
+	mu       sync.Mutex
+	store    *Store
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used; stores PageID
+	stats    Stats
+}
+
+type frame struct {
+	data    []byte
+	dirty   bool
+	pins    int
+	lruElem *list.Element
+}
+
+// NewBufferPool creates a pool over the store holding at most capacity pages.
+// A capacity of zero or less disables caching entirely (every access goes to
+// the store), which is useful for isolating raw block counts in benchmarks.
+func NewBufferPool(store *Store, capacity int) *BufferPool {
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+	}
+}
+
+// Store returns the underlying page store.
+func (bp *BufferPool) Store() *Store { return bp.store }
+
+// Allocate creates a new page in the underlying store and caches an empty
+// frame for it.
+func (bp *BufferPool) Allocate() PageID {
+	id := bp.store.Allocate()
+	if bp.capacity > 0 {
+		bp.mu.Lock()
+		bp.install(id, nil)
+		bp.mu.Unlock()
+	}
+	return id
+}
+
+// Get returns the contents of a page, reading it from the store on a miss.
+// The returned slice is owned by the pool; callers must not retain it across
+// other pool calls — copy if needed (Put makes its own copy).
+func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.touch(id, f)
+		return f.data, nil
+	}
+	bp.stats.Misses++
+	data, err := bp.store.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	if bp.capacity > 0 {
+		bp.install(id, data)
+	}
+	return data, nil
+}
+
+// Put replaces the contents of a page in the pool and marks it dirty. The
+// write reaches the store when the page is evicted or flushed.
+func (bp *BufferPool) Put(id PageID, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if bp.capacity <= 0 {
+		return bp.store.Write(id, cp)
+	}
+	if !bp.store.Exists(id) {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	f, ok := bp.frames[id]
+	if !ok {
+		f = bp.install(id, cp)
+	} else {
+		f.data = cp
+		bp.touch(id, f)
+	}
+	f.dirty = true
+	return nil
+}
+
+// Free drops a page from the pool and the store.
+func (bp *BufferPool) Free(id PageID) {
+	bp.mu.Lock()
+	if f, ok := bp.frames[id]; ok {
+		bp.lru.Remove(f.lruElem)
+		delete(bp.frames, id)
+	}
+	bp.mu.Unlock()
+	bp.store.Free(id)
+}
+
+// Pin marks a page as unevictable until a matching Unpin.
+func (bp *BufferPool) Pin(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		f.pins++
+	}
+}
+
+// Unpin releases a pin taken with Pin.
+func (bp *BufferPool) Unpin(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok && f.pins > 0 {
+		f.pins--
+	}
+}
+
+// Flush writes a dirty page back to the store.
+func (bp *BufferPool) Flush(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok || !f.dirty {
+		return nil
+	}
+	if err := bp.store.Write(id, f.data); err != nil {
+		return err
+	}
+	f.dirty = false
+	return nil
+}
+
+// FlushAll writes every dirty page back to the store.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, f := range bp.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := bp.store.Write(id, f.data); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	return nil
+}
+
+// Stats returns pool-level hit/miss counters (block reads/writes are counted
+// by the underlying Store).
+func (bp *BufferPool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the pool counters.
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = Stats{}
+}
+
+// Len returns the number of cached frames.
+func (bp *BufferPool) Len() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}
+
+// install adds a frame for id (caller holds bp.mu) evicting as needed.
+func (bp *BufferPool) install(id PageID, data []byte) *frame {
+	bp.evictIfFull()
+	f := &frame{data: data}
+	f.lruElem = bp.lru.PushFront(id)
+	bp.frames[id] = f
+	return f
+}
+
+// touch moves a frame to the MRU position (caller holds bp.mu).
+func (bp *BufferPool) touch(id PageID, f *frame) {
+	_ = id
+	bp.lru.MoveToFront(f.lruElem)
+}
+
+// evictIfFull evicts the least recently used unpinned frame when at capacity
+// (caller holds bp.mu). Dirty victims are written back.
+func (bp *BufferPool) evictIfFull() {
+	for len(bp.frames) >= bp.capacity && bp.capacity > 0 {
+		var victim *list.Element
+		for e := bp.lru.Back(); e != nil; e = e.Prev() {
+			id := e.Value.(PageID)
+			if bp.frames[id].pins == 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return // everything pinned; allow temporary over-capacity
+		}
+		id := victim.Value.(PageID)
+		f := bp.frames[id]
+		if f.dirty {
+			// Best effort write-back; a missing page means it was freed
+			// underneath us and the data can be dropped.
+			_ = bp.store.Write(id, f.data)
+		}
+		bp.lru.Remove(victim)
+		delete(bp.frames, id)
+	}
+}

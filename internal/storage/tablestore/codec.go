@@ -1,0 +1,187 @@
+package tablestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// Tuple and value serialisation shared by the physical layouts. Values are
+// the unified sheet.Value dynamic type: DataSpread types relational columns
+// from observed values (paper §2.2 "Data typing"), so the storage layer keeps
+// the dynamic representation and the catalog layer enforces/infers column
+// types.
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+func appendValue(dst []byte, v sheet.Value) []byte {
+	dst = append(dst, byte(v.Kind))
+	switch v.Kind {
+	case sheet.KindNumber:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(v.Num))
+		dst = append(dst, b[:]...)
+	case sheet.KindString:
+		dst = appendUvarint(dst, uint64(len(v.Str)))
+		dst = append(dst, v.Str...)
+	case sheet.KindBool:
+		if v.Bool {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case sheet.KindError:
+		dst = appendUvarint(dst, uint64(len(v.Err)))
+		dst = append(dst, v.Err...)
+	}
+	return dst
+}
+
+type valueDecoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *valueDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("tablestore: corrupt varint at %d", d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *valueDecoder) value() (sheet.Value, error) {
+	if d.pos >= len(d.buf) {
+		return sheet.Value{}, fmt.Errorf("tablestore: truncated value at %d", d.pos)
+	}
+	kind := sheet.Kind(d.buf[d.pos])
+	d.pos++
+	v := sheet.Value{Kind: kind}
+	switch kind {
+	case sheet.KindEmpty:
+	case sheet.KindNumber:
+		if d.pos+8 > len(d.buf) {
+			return v, fmt.Errorf("tablestore: truncated number at %d", d.pos)
+		}
+		v.Num = math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.pos:]))
+		d.pos += 8
+	case sheet.KindString, sheet.KindError:
+		n, err := d.uvarint()
+		if err != nil {
+			return v, err
+		}
+		if d.pos+int(n) > len(d.buf) {
+			return v, fmt.Errorf("tablestore: truncated string at %d", d.pos)
+		}
+		s := string(d.buf[d.pos : d.pos+int(n)])
+		d.pos += int(n)
+		if kind == sheet.KindString {
+			v.Str = s
+		} else {
+			v.Err = s
+		}
+	case sheet.KindBool:
+		if d.pos >= len(d.buf) {
+			return v, fmt.Errorf("tablestore: truncated bool at %d", d.pos)
+		}
+		v.Bool = d.buf[d.pos] != 0
+		d.pos++
+	default:
+		return v, fmt.Errorf("tablestore: unknown value kind %d", kind)
+	}
+	return v, nil
+}
+
+// encodeTuples serialises a page of tuples: each entry is a RowID followed by
+// the tuple's values. All tuples in one page image have the same width.
+func encodeTuples(ids []RowID, rows [][]sheet.Value, width int) []byte {
+	out := appendUvarint(nil, uint64(len(ids)))
+	out = appendUvarint(out, uint64(width))
+	for i := range ids {
+		out = appendUvarint(out, uint64(ids[i]))
+		for c := 0; c < width; c++ {
+			if c < len(rows[i]) {
+				out = appendValue(out, rows[i][c])
+			} else {
+				out = appendValue(out, sheet.Empty())
+			}
+		}
+	}
+	return out
+}
+
+// decodeTuples reverses encodeTuples.
+func decodeTuples(buf []byte) (ids []RowID, rows [][]sheet.Value, err error) {
+	if len(buf) == 0 {
+		return nil, nil, nil
+	}
+	d := &valueDecoder{buf: buf}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	width, err := d.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	ids = make([]RowID, 0, n)
+	rows = make([][]sheet.Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := d.uvarint()
+		if err != nil {
+			return nil, nil, err
+		}
+		row := make([]sheet.Value, width)
+		for c := range row {
+			if row[c], err = d.value(); err != nil {
+				return nil, nil, err
+			}
+		}
+		ids = append(ids, RowID(id))
+		rows = append(rows, row)
+	}
+	return ids, rows, nil
+}
+
+// encodeColumn serialises a page of single-column values addressed by dense
+// slot offsets within the page.
+func encodeColumn(vals []sheet.Value) []byte {
+	out := appendUvarint(nil, uint64(len(vals)))
+	for _, v := range vals {
+		out = appendValue(out, v)
+	}
+	return out
+}
+
+// decodeColumn reverses encodeColumn.
+func decodeColumn(buf []byte) ([]sheet.Value, error) {
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	d := &valueDecoder{buf: buf}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sheet.Value, n)
+	for i := range out {
+		if out[i], err = d.value(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// cloneRow copies a tuple so callers cannot alias stored data.
+func cloneRow(row []sheet.Value) []sheet.Value {
+	out := make([]sheet.Value, len(row))
+	copy(out, row)
+	return out
+}

@@ -1,0 +1,251 @@
+package tablestore
+
+import (
+	"fmt"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+)
+
+// ColStore stores each attribute in its own chain of blocks. Schema changes
+// touch only the affected column's blocks, but tuple-granular operations
+// (insert, full-row update, point read) touch one block per column. It is the
+// other extreme the hybrid layout interpolates between.
+//
+// Rows occupy dense slots in insertion order; deletes are tombstones. RowID n
+// lives at slot n-1.
+type ColStore struct {
+	pool      *pager.BufferPool
+	cols      []colPages
+	deleted   map[RowID]bool
+	slotCount int
+	nextID    RowID
+	rowCount  int
+}
+
+type colPages struct {
+	pages []pager.PageID
+}
+
+// NewColStore creates an empty column store with the given number of columns.
+func NewColStore(pool *pager.BufferPool, columns int) *ColStore {
+	return &ColStore{
+		pool:    pool,
+		cols:    make([]colPages, columns),
+		deleted: make(map[RowID]bool),
+		nextID:  1,
+	}
+}
+
+// Layout implements Store.
+func (s *ColStore) Layout() string { return "column" }
+
+// ColumnCount implements Store.
+func (s *ColStore) ColumnCount() int { return len(s.cols) }
+
+// RowCount implements Store.
+func (s *ColStore) RowCount() int { return s.rowCount }
+
+// PageCount returns the total number of data blocks across all columns.
+func (s *ColStore) PageCount() int {
+	n := 0
+	for _, c := range s.cols {
+		n += len(c.pages)
+	}
+	return n
+}
+
+func (s *ColStore) readColPage(col, pi int) ([]sheet.Value, error) {
+	data, err := s.pool.Get(s.cols[col].pages[pi])
+	if err != nil {
+		return nil, err
+	}
+	return decodeColumn(data)
+}
+
+func (s *ColStore) writeColPage(col, pi int, vals []sheet.Value) error {
+	return s.pool.Put(s.cols[col].pages[pi], encodeColumn(vals))
+}
+
+func (s *ColStore) checkID(id RowID) error {
+	if id == 0 || id >= s.nextID || s.deleted[id] {
+		return fmt.Errorf("%w: %d", ErrRowNotFound, id)
+	}
+	return nil
+}
+
+// Insert implements Store. One block per column is touched.
+func (s *ColStore) Insert(row []sheet.Value) (RowID, error) {
+	if err := checkWidth(row, len(s.cols)); err != nil {
+		return 0, err
+	}
+	slot := s.slotCount
+	pi := slot / valuesPerPage
+	for c := range s.cols {
+		if pi == len(s.cols[c].pages) {
+			s.cols[c].pages = append(s.cols[c].pages, s.pool.Allocate())
+		}
+		vals, err := s.readColPage(c, pi)
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, row[c])
+		if err := s.writeColPage(c, pi, vals); err != nil {
+			return 0, err
+		}
+	}
+	id := s.nextID
+	s.nextID++
+	s.slotCount++
+	s.rowCount++
+	return id, nil
+}
+
+// Get implements Store.
+func (s *ColStore) Get(id RowID) ([]sheet.Value, error) {
+	if err := s.checkID(id); err != nil {
+		return nil, err
+	}
+	slot := int(id - 1)
+	pi, off := slot/valuesPerPage, slot%valuesPerPage
+	row := make([]sheet.Value, len(s.cols))
+	for c := range s.cols {
+		vals, err := s.readColPage(c, pi)
+		if err != nil {
+			return nil, err
+		}
+		if off < len(vals) {
+			row[c] = vals[off]
+		}
+	}
+	return row, nil
+}
+
+// Update implements Store. One block per column is touched.
+func (s *ColStore) Update(id RowID, row []sheet.Value) error {
+	if err := checkWidth(row, len(s.cols)); err != nil {
+		return err
+	}
+	if err := s.checkID(id); err != nil {
+		return err
+	}
+	slot := int(id - 1)
+	pi, off := slot/valuesPerPage, slot%valuesPerPage
+	for c := range s.cols {
+		vals, err := s.readColPage(c, pi)
+		if err != nil {
+			return err
+		}
+		if off >= len(vals) {
+			return fmt.Errorf("%w: %d", ErrRowNotFound, id)
+		}
+		vals[off] = row[c]
+		if err := s.writeColPage(c, pi, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpdateColumn implements Store. Only the affected column's block is touched.
+func (s *ColStore) UpdateColumn(id RowID, col int, v sheet.Value) error {
+	if col < 0 || col >= len(s.cols) {
+		return fmt.Errorf("%w: %d", ErrColumnRange, col)
+	}
+	if err := s.checkID(id); err != nil {
+		return err
+	}
+	slot := int(id - 1)
+	pi, off := slot/valuesPerPage, slot%valuesPerPage
+	vals, err := s.readColPage(col, pi)
+	if err != nil {
+		return err
+	}
+	if off >= len(vals) {
+		return fmt.Errorf("%w: %d", ErrRowNotFound, id)
+	}
+	vals[off] = v
+	return s.writeColPage(col, pi, vals)
+}
+
+// Delete implements Store (tombstone).
+func (s *ColStore) Delete(id RowID) error {
+	if err := s.checkID(id); err != nil {
+		return err
+	}
+	s.deleted[id] = true
+	s.rowCount--
+	return nil
+}
+
+// Scan implements Store. Pages are visited chunk-wise so each block is read
+// once per scan.
+func (s *ColStore) Scan(fn func(id RowID, row []sheet.Value) bool) error {
+	for base := 0; base < s.slotCount; base += valuesPerPage {
+		pi := base / valuesPerPage
+		chunk := make([][]sheet.Value, len(s.cols))
+		for c := range s.cols {
+			vals, err := s.readColPage(c, pi)
+			if err != nil {
+				return err
+			}
+			chunk[c] = vals
+		}
+		limit := s.slotCount - base
+		if limit > valuesPerPage {
+			limit = valuesPerPage
+		}
+		for off := 0; off < limit; off++ {
+			id := RowID(base + off + 1)
+			if s.deleted[id] {
+				continue
+			}
+			row := make([]sheet.Value, len(s.cols))
+			for c := range s.cols {
+				if off < len(chunk[c]) {
+					row[c] = chunk[c][off]
+				}
+			}
+			if !fn(id, row) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// AddColumn implements Store. Only the new column's blocks are written; no
+// existing block is touched.
+func (s *ColStore) AddColumn(defaultValue sheet.Value) error {
+	var cp colPages
+	for base := 0; base < s.slotCount; base += valuesPerPage {
+		limit := s.slotCount - base
+		if limit > valuesPerPage {
+			limit = valuesPerPage
+		}
+		vals := make([]sheet.Value, limit)
+		for i := range vals {
+			vals[i] = defaultValue
+		}
+		pid := s.pool.Allocate()
+		if err := s.pool.Put(pid, encodeColumn(vals)); err != nil {
+			return err
+		}
+		cp.pages = append(cp.pages, pid)
+	}
+	s.cols = append(s.cols, cp)
+	return nil
+}
+
+// DropColumn implements Store. The column's blocks are freed; nothing else is
+// touched.
+func (s *ColStore) DropColumn(col int) error {
+	if col < 0 || col >= len(s.cols) {
+		return fmt.Errorf("%w: %d", ErrColumnRange, col)
+	}
+	for _, pid := range s.cols[col].pages {
+		s.pool.Free(pid)
+	}
+	s.cols = append(s.cols[:col], s.cols[col+1:]...)
+	return nil
+}

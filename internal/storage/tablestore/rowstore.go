@@ -1,0 +1,224 @@
+package tablestore
+
+import (
+	"fmt"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+)
+
+// RowStore stores tuples in slotted pages, each page holding up to
+// rowsPerPage complete tuples. This is the conventional layout of a row
+// oriented relational engine: point operations touch a single block, but any
+// schema change must rewrite every block of the table.
+type RowStore struct {
+	pool      *pager.BufferPool
+	width     int
+	pages     []pager.PageID
+	dir       map[RowID]int // RowID -> index into pages
+	tailCount int
+	nextID    RowID
+	rowCount  int
+}
+
+// NewRowStore creates an empty row store with the given number of columns.
+func NewRowStore(pool *pager.BufferPool, columns int) *RowStore {
+	return &RowStore{pool: pool, width: columns, dir: make(map[RowID]int), nextID: 1}
+}
+
+// Layout implements Store.
+func (s *RowStore) Layout() string { return "row" }
+
+// ColumnCount implements Store.
+func (s *RowStore) ColumnCount() int { return s.width }
+
+// RowCount implements Store.
+func (s *RowStore) RowCount() int { return s.rowCount }
+
+// PageCount returns the number of data blocks used by the table.
+func (s *RowStore) PageCount() int { return len(s.pages) }
+
+func (s *RowStore) readPage(idx int) ([]RowID, [][]sheet.Value, error) {
+	data, err := s.pool.Get(s.pages[idx])
+	if err != nil {
+		return nil, nil, err
+	}
+	return decodeTuples(data)
+}
+
+func (s *RowStore) writePage(idx int, ids []RowID, rows [][]sheet.Value) error {
+	return s.pool.Put(s.pages[idx], encodeTuples(ids, rows, s.width))
+}
+
+// Insert implements Store.
+func (s *RowStore) Insert(row []sheet.Value) (RowID, error) {
+	if err := checkWidth(row, s.width); err != nil {
+		return 0, err
+	}
+	if len(s.pages) == 0 || s.tailCount >= rowsPerPage {
+		s.pages = append(s.pages, s.pool.Allocate())
+		s.tailCount = 0
+	}
+	tail := len(s.pages) - 1
+	ids, rows, err := s.readPage(tail)
+	if err != nil {
+		return 0, err
+	}
+	id := s.nextID
+	s.nextID++
+	ids = append(ids, id)
+	rows = append(rows, cloneRow(row))
+	if err := s.writePage(tail, ids, rows); err != nil {
+		return 0, err
+	}
+	s.dir[id] = tail
+	s.tailCount++
+	s.rowCount++
+	return id, nil
+}
+
+// Get implements Store.
+func (s *RowStore) Get(id RowID) ([]sheet.Value, error) {
+	pi, ok := s.dir[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrRowNotFound, id)
+	}
+	ids, rows, err := s.readPage(pi)
+	if err != nil {
+		return nil, err
+	}
+	for i, rid := range ids {
+		if rid == id {
+			return cloneRow(rows[i]), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %d", ErrRowNotFound, id)
+}
+
+// Update implements Store.
+func (s *RowStore) Update(id RowID, row []sheet.Value) error {
+	if err := checkWidth(row, s.width); err != nil {
+		return err
+	}
+	pi, ok := s.dir[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrRowNotFound, id)
+	}
+	ids, rows, err := s.readPage(pi)
+	if err != nil {
+		return err
+	}
+	for i, rid := range ids {
+		if rid == id {
+			rows[i] = cloneRow(row)
+			return s.writePage(pi, ids, rows)
+		}
+	}
+	return fmt.Errorf("%w: %d", ErrRowNotFound, id)
+}
+
+// UpdateColumn implements Store.
+func (s *RowStore) UpdateColumn(id RowID, col int, v sheet.Value) error {
+	if col < 0 || col >= s.width {
+		return fmt.Errorf("%w: %d", ErrColumnRange, col)
+	}
+	pi, ok := s.dir[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrRowNotFound, id)
+	}
+	ids, rows, err := s.readPage(pi)
+	if err != nil {
+		return err
+	}
+	for i, rid := range ids {
+		if rid == id {
+			rows[i][col] = v
+			return s.writePage(pi, ids, rows)
+		}
+	}
+	return fmt.Errorf("%w: %d", ErrRowNotFound, id)
+}
+
+// Delete implements Store.
+func (s *RowStore) Delete(id RowID) error {
+	pi, ok := s.dir[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrRowNotFound, id)
+	}
+	ids, rows, err := s.readPage(pi)
+	if err != nil {
+		return err
+	}
+	for i, rid := range ids {
+		if rid == id {
+			ids = append(ids[:i], ids[i+1:]...)
+			rows = append(rows[:i], rows[i+1:]...)
+			if err := s.writePage(pi, ids, rows); err != nil {
+				return err
+			}
+			delete(s.dir, id)
+			s.rowCount--
+			if pi == len(s.pages)-1 && s.tailCount > 0 {
+				s.tailCount--
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d", ErrRowNotFound, id)
+}
+
+// Scan implements Store.
+func (s *RowStore) Scan(fn func(id RowID, row []sheet.Value) bool) error {
+	for pi := range s.pages {
+		ids, rows, err := s.readPage(pi)
+		if err != nil {
+			return err
+		}
+		for i, id := range ids {
+			if !fn(id, cloneRow(rows[i])) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// AddColumn implements Store. Every page of the table is rewritten — the
+// cost the hybrid layout avoids.
+func (s *RowStore) AddColumn(defaultValue sheet.Value) error {
+	s.width++
+	for pi := range s.pages {
+		ids, rows, err := s.readPage(pi)
+		if err != nil {
+			return err
+		}
+		for i := range rows {
+			rows[i] = append(rows[i], defaultValue)
+		}
+		if err := s.writePage(pi, ids, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropColumn implements Store. Every page of the table is rewritten.
+func (s *RowStore) DropColumn(col int) error {
+	if col < 0 || col >= s.width {
+		return fmt.Errorf("%w: %d", ErrColumnRange, col)
+	}
+	s.width--
+	for pi := range s.pages {
+		ids, rows, err := s.readPage(pi)
+		if err != nil {
+			return err
+		}
+		for i := range rows {
+			rows[i] = append(rows[i][:col], rows[i][col+1:]...)
+		}
+		if err := s.writePage(pi, ids, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Package window implements the paper's "current window" notion: the portion
+// of each sheet the user is currently looking at. Databases have no such
+// concept; DataSpread tracks it explicitly so that the storage and compute
+// layers can prioritise the visible pane (fetch-on-demand while panning,
+// visible-first recomputation).
+package window
+
+import (
+	"strings"
+	"sync"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// DefaultRows and DefaultCols approximate a laptop-screen spreadsheet pane.
+const (
+	DefaultRows = 50
+	DefaultCols = 10
+)
+
+// Manager tracks the visible window of every sheet. It is safe for
+// concurrent use.
+type Manager struct {
+	mu      sync.RWMutex
+	rows    int
+	cols    int
+	windows map[string]sheet.Address // top-left corner per sheet (lower-cased name)
+	pans    uint64
+}
+
+// NewManager creates a window manager with the given pane size. Non-positive
+// dimensions fall back to the defaults.
+func NewManager(rows, cols int) *Manager {
+	if rows <= 0 {
+		rows = DefaultRows
+	}
+	if cols <= 0 {
+		cols = DefaultCols
+	}
+	return &Manager{rows: rows, cols: cols, windows: make(map[string]sheet.Address)}
+}
+
+// Size returns the pane dimensions.
+func (m *Manager) Size() (rows, cols int) { return m.rows, m.cols }
+
+func key(name string) string { return strings.ToLower(name) }
+
+// ScrollTo moves the window of a sheet so its top-left corner is at the given
+// address (clamped to non-negative coordinates).
+func (m *Manager) ScrollTo(sheetName string, topLeft sheet.Address) {
+	if topLeft.Row < 0 {
+		topLeft.Row = 0
+	}
+	if topLeft.Col < 0 {
+		topLeft.Col = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.windows[key(sheetName)] = topLeft
+	m.pans++
+}
+
+// Pan shifts the window of a sheet by the given number of rows and columns.
+func (m *Manager) Pan(sheetName string, dRows, dCols int) {
+	m.mu.Lock()
+	cur := m.windows[key(sheetName)]
+	m.mu.Unlock()
+	m.ScrollTo(sheetName, cur.Offset(dRows, dCols))
+}
+
+// Window returns the visible range of a sheet.
+func (m *Manager) Window(sheetName string) sheet.Range {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	tl := m.windows[key(sheetName)]
+	return sheet.Range{Start: tl, End: tl.Offset(m.rows-1, m.cols-1)}
+}
+
+// Contains reports whether the address is currently visible on the sheet.
+func (m *Manager) Contains(sheetName string, a sheet.Address) bool {
+	return m.Window(sheetName).Contains(a)
+}
+
+// Visible returns the visible range of every sheet that has been scrolled at
+// least once plus sheets explicitly asked about; it is the provider the
+// compute engine uses for prioritisation.
+func (m *Manager) Visible() map[string]sheet.Range {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]sheet.Range, len(m.windows))
+	for name, tl := range m.windows {
+		out[name] = sheet.Range{Start: tl, End: tl.Offset(m.rows-1, m.cols-1)}
+	}
+	return out
+}
+
+// PanCount returns how many scroll operations have happened (experiment
+// instrumentation).
+func (m *Manager) PanCount() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.pans
+}

@@ -1,0 +1,85 @@
+package window
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+func TestDefaultsAndSize(t *testing.T) {
+	m := NewManager(0, -1)
+	r, c := m.Size()
+	if r != DefaultRows || c != DefaultCols {
+		t.Errorf("Size = %d,%d", r, c)
+	}
+	m2 := NewManager(20, 5)
+	r, c = m2.Size()
+	if r != 20 || c != 5 {
+		t.Errorf("Size = %d,%d", r, c)
+	}
+}
+
+func TestScrollPanAndWindow(t *testing.T) {
+	m := NewManager(50, 10)
+	// Before any scroll, the window starts at A1.
+	w := m.Window("Sheet1")
+	if w.Start != sheet.Addr(0, 0) || w.Rows() != 50 || w.Cols() != 10 {
+		t.Errorf("initial window = %v", w)
+	}
+	m.ScrollTo("Sheet1", sheet.Addr(100, 2))
+	w = m.Window("sheet1") // case-insensitive
+	if w.Start != sheet.Addr(100, 2) || w.End != sheet.Addr(149, 11) {
+		t.Errorf("window after scroll = %v", w)
+	}
+	m.Pan("Sheet1", 25, -1)
+	w = m.Window("Sheet1")
+	if w.Start != sheet.Addr(125, 1) {
+		t.Errorf("window after pan = %v", w)
+	}
+	// Panning above the origin clamps.
+	m.Pan("Sheet1", -1000, -1000)
+	if m.Window("Sheet1").Start != sheet.Addr(0, 0) {
+		t.Error("pan should clamp at the origin")
+	}
+	if m.PanCount() != 3 {
+		t.Errorf("PanCount = %d", m.PanCount())
+	}
+}
+
+func TestContainsAndVisible(t *testing.T) {
+	m := NewManager(10, 4)
+	m.ScrollTo("Data", sheet.Addr(50, 0))
+	if !m.Contains("data", sheet.Addr(55, 3)) {
+		t.Error("cell inside window should be visible")
+	}
+	if m.Contains("Data", sheet.Addr(49, 0)) || m.Contains("Data", sheet.Addr(60, 0)) {
+		t.Error("cells outside window should not be visible")
+	}
+	m.ScrollTo("Other", sheet.Addr(0, 0))
+	vis := m.Visible()
+	if len(vis) != 2 {
+		t.Fatalf("Visible returned %d sheets", len(vis))
+	}
+	if vis["data"].Start != sheet.Addr(50, 0) {
+		t.Errorf("visible[data] = %v", vis["data"])
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := NewManager(50, 10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.ScrollTo("s", sheet.Addr(i, g))
+				_ = m.Window("s")
+				_ = m.Visible()
+				_ = m.Contains("s", sheet.Addr(i, g))
+			}
+		}(g)
+	}
+	wg.Wait()
+}
