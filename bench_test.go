@@ -8,6 +8,8 @@ package dataspread
 
 import (
 	"fmt"
+	"path/filepath"
+	"strconv"
 	"testing"
 
 	"github.com/dataspread/dataspread/internal/baseline"
@@ -485,4 +487,46 @@ func BenchmarkA5SharedComputationPerCell(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.RecalcAll()
 	}
+}
+
+// BenchmarkD1DurableAppend measures the cost of durability on the append
+// path: the same stream of literal cell edits against an in-memory workbook,
+// a file-backed workbook syncing the WAL on every commit, and a file-backed
+// workbook batching fsyncs with group commit. The gap between the first two
+// is the price of an fsync per edit; group commit buys most of it back.
+func BenchmarkD1DurableAppend(b *testing.B) {
+	appendCells := func(b *testing.B, ds *core.DataSpread) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			wait, err := ds.SetCell("Sheet1", fmt.Sprintf("A%d", i+1), strconv.Itoa(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			wait()
+		}
+	}
+	b.Run("memory", func(b *testing.B) {
+		ds := core.New(core.Options{})
+		b.ResetTimer()
+		appendCells(b, ds)
+	})
+	b.Run("file-sync-every-commit", func(b *testing.B) {
+		ds, err := core.OpenFile(filepath.Join(b.TempDir(), "book.dsp"), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ds.Close()
+		b.ResetTimer()
+		appendCells(b, ds)
+	})
+	b.Run("file-group-commit-64", func(b *testing.B) {
+		ds, err := core.OpenFile(filepath.Join(b.TempDir(), "book.dsp"), core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ds.Close()
+		ds.WAL().SetGroupCommit(64)
+		b.ResetTimer()
+		appendCells(b, ds)
+	})
 }

@@ -14,11 +14,16 @@
 //	scroll <addr>           move the window (fetch-on-demand panning)
 //	sheet <name>            switch/create a sheet
 //	tables                  list tables
+//	checkpoint              compact the workbook file and truncate the WAL
 //	help, quit
+//
+// With -file <path> the workbook is durable: every command is appended to
+// <path>.wal before it returns and the state is recovered on the next start.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -28,7 +33,23 @@ import (
 )
 
 func main() {
-	ds := core.New(core.Options{})
+	file := flag.String("file", "", "durable workbook file (WAL kept at <file>.wal)")
+	flag.Parse()
+	var ds *core.DataSpread
+	if *file != "" {
+		var err error
+		ds, err = core.OpenFile(*file, core.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		for _, err := range ds.RecoveryErrors() {
+			fmt.Fprintln(os.Stderr, "recovery:", err)
+		}
+		defer ds.Close()
+	} else {
+		ds = core.New(core.Options{})
+	}
 	current := "Sheet1"
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -46,7 +67,13 @@ func main() {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("set <addr> <input> | get <addr> | show [range] | sql <stmt> | export <range> <table> | import <addr> <table> | scroll <addr> | sheet <name> | tables | quit")
+			fmt.Println("set <addr> <input> | get <addr> | show [range] | sql <stmt> | export <range> <table> | import <addr> <table> | scroll <addr> | sheet <name> | tables | checkpoint | quit")
+		case "checkpoint":
+			if err := ds.Checkpoint(); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
 		case "set":
 			addr, input := splitCommand(rest)
 			wait, err := ds.SetCell(current, addr, input)
@@ -119,7 +146,10 @@ func main() {
 				fmt.Println(strings.Join(ds.Book().SheetNames(), ", "))
 				break
 			}
-			ds.AddSheet(rest)
+			if _, err := ds.AddSheet(rest); err != nil {
+				fmt.Println("error:", err)
+				break
+			}
 			current = rest
 		case "tables":
 			for _, t := range ds.DB().Tables() {

@@ -6,4 +6,12 @@
 // map); runnable examples are under examples/, the experiment harness is
 // cmd/dsbench, and bench_test.go in this package holds one benchmark per
 // reproduced figure/claim (see EXPERIMENTS.md).
+//
+// Storage is durable when asked to be: internal/storage/pager exposes a
+// Backend interface with an in-memory block-count model (Store) and a
+// single-file 4KiB-page heap (FileStore) behind the same BufferPool;
+// internal/txn serializes committed records to an append-only, CRC-framed
+// write-ahead log with group commit; and core.OpenFile/Checkpoint tie the
+// two together with snapshot-plus-replay recovery (DESIGN.md §Durability).
+// The cmd/dataspread shell takes -file to run against a workbook file.
 package dataspread

@@ -1,0 +1,3 @@
+module github.com/dataspread/dataspread
+
+go 1.22

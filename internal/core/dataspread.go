@@ -19,8 +19,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/dataspread/dataspread/internal/catalog"
 	"github.com/dataspread/dataspread/internal/compute"
@@ -29,6 +31,7 @@ import (
 	"github.com/dataspread/dataspread/internal/sqlexec"
 	"github.com/dataspread/dataspread/internal/storage/cellstore"
 	"github.com/dataspread/dataspread/internal/storage/pager"
+	"github.com/dataspread/dataspread/internal/txn"
 	"github.com/dataspread/dataspread/internal/window"
 )
 
@@ -58,6 +61,17 @@ type DataSpread struct {
 	windows *window.Manager
 	iface   *interfacemgr.Manager
 	session *sqlexec.Session
+
+	// Durability state (durable.go). Nil/zero for in-memory instances.
+	// cmdMu serialises each mutating command with its WAL append so the
+	// log order always matches the apply order, and so Checkpoint's
+	// snapshot + log truncation cannot interleave with a command that
+	// would then be in neither.
+	cmdMu        sync.Mutex
+	backend      *pager.FileStore
+	wal          *txn.Manager
+	replaying    bool
+	recoveryErrs []error
 }
 
 // New creates a DataSpread instance with a single sheet named "Sheet1".
@@ -88,7 +102,7 @@ func New(opts Options) *DataSpread {
 	}
 	ds.session = db.NewSession(&sheetAccessor{ds: ds})
 	iface.SetQueryRunner(func(sql string) (*sqlexec.Result, error) { return ds.session.Query(sql) })
-	ds.AddSheet("Sheet1")
+	ds.book.AddSheet("Sheet1") // before any WAL exists; never logged
 	return ds
 }
 
@@ -107,8 +121,21 @@ func (ds *DataSpread) Windows() *window.Manager { return ds.windows }
 // Interface returns the interface manager.
 func (ds *DataSpread) Interface() *interfacemgr.Manager { return ds.iface }
 
-// AddSheet creates (or returns) a sheet with the given name.
-func (ds *DataSpread) AddSheet(name string) *sheet.Sheet { return ds.book.AddSheet(name) }
+// AddSheet creates (or returns) a sheet with the given name. The error is
+// non-nil only when the creation could not be made durable: the sheet exists
+// in memory but edits on it would not survive a restart.
+func (ds *DataSpread) AddSheet(name string) (*sheet.Sheet, error) {
+	ds.cmdMu.Lock()
+	defer ds.cmdMu.Unlock()
+	_, known := ds.book.Sheet(name)
+	sh := ds.book.AddSheet(name)
+	if !known {
+		if lerr := ds.logCommand(txn.Op{Kind: txn.OpAddSheet, Detail: name, Args: []string{name}}); lerr != nil {
+			return sh, fmt.Errorf("core: sheet created but not logged: %w", lerr)
+		}
+	}
+	return sh, nil
+}
 
 // sheetOf resolves a sheet by name, case-insensitively.
 func (ds *DataSpread) sheetOf(name string) (*sheet.Sheet, string, error) {
@@ -148,6 +175,25 @@ func (ds *DataSpread) SetCellAt(sheetName string, a sheet.Address, input string)
 	if err != nil {
 		return nil, err
 	}
+	ds.cmdMu.Lock()
+	defer ds.cmdMu.Unlock()
+	wait, err = ds.setCellDispatch(canonical, a, input)
+	if err != nil {
+		return wait, err
+	}
+	if lerr := ds.logCommand(txn.Op{
+		Kind:   txn.OpCellSet,
+		Detail: canonical + "!" + a.String(),
+		Args:   []string{canonical, a.String(), input},
+	}); lerr != nil {
+		return wait, fmt.Errorf("core: cell set applied but not logged: %w", lerr)
+	}
+	return wait, nil
+}
+
+// setCellDispatch routes raw cell input exactly as SetCell documents, without
+// WAL logging (replay re-enters here via SetCellAt with logging suppressed).
+func (ds *DataSpread) setCellDispatch(canonical string, a sheet.Address, input string) (wait func(), err error) {
 	noop := func() {}
 	trimmed := strings.TrimSpace(input)
 	if strings.HasPrefix(trimmed, "=") {
@@ -202,12 +248,47 @@ func (ds *DataSpread) Wait() { ds.engine.Wait() }
 // Query executes a SQL statement with full access to sheet data through
 // RANGEVALUE/RANGETABLE.
 func (ds *DataSpread) Query(sql string) (*sqlexec.Result, error) {
-	return ds.session.Query(sql)
+	ds.cmdMu.Lock()
+	defer ds.cmdMu.Unlock()
+	res, err := ds.session.Query(sql)
+	if err == nil && sqlMutates(sql) {
+		if lerr := ds.logCommand(txn.Op{Kind: txn.OpSQL, Detail: sql, Args: []string{sql}}); lerr != nil {
+			return res, fmt.Errorf("core: statement applied but not logged: %w", lerr)
+		}
+	}
+	return res, err
 }
 
-// QueryScript executes a semicolon-separated SQL script.
+// QueryScript executes a semicolon-separated SQL script. Each statement is
+// its own transaction, so a failing statement does not undo the ones before
+// it — a mutating script is therefore logged even on error, and replay
+// deterministically re-runs the same committed prefix.
 func (ds *DataSpread) QueryScript(sql string) (*sqlexec.Result, error) {
-	return ds.session.QueryScript(sql)
+	ds.cmdMu.Lock()
+	defer ds.cmdMu.Unlock()
+	res, err := ds.session.QueryScript(sql)
+	if sqlMutates(sql) {
+		if lerr := ds.logCommand(txn.Op{Kind: txn.OpSQLScript, Detail: sql, Args: []string{sql}}); lerr != nil {
+			lerr = fmt.Errorf("core: script applied but not logged: %w", lerr)
+			return res, errors.Join(err, lerr)
+		}
+	}
+	return res, err
+}
+
+// sqlMutates reports whether any statement in the (possibly ";"-separated)
+// SQL text can change database state; read-only scripts stay out of the WAL.
+func sqlMutates(sql string) bool {
+	for _, stmt := range strings.Split(sql, ";") {
+		fields := strings.Fields(stmt)
+		if len(fields) == 0 {
+			continue
+		}
+		if !strings.EqualFold(fields[0], "SELECT") {
+			return true
+		}
+	}
+	return false
 }
 
 // ScrollTo moves the visible window of a sheet and refreshes window-bound
@@ -258,6 +339,8 @@ func (ds *DataSpread) CreateTableFromRange(sheetName, rng, tableName string, opt
 	if err != nil {
 		return nil, err
 	}
+	ds.cmdMu.Lock()
+	defer ds.cmdMu.Unlock()
 	values := sh.Values(r)
 	hasData := false
 	for _, row := range values {
@@ -292,12 +375,35 @@ func (ds *DataSpread) CreateTableFromRange(sheetName, rng, tableName string, opt
 			return nil, fmt.Errorf("core: exporting range %s: %w", rng, err)
 		}
 	}
+	logExport := func() error {
+		args := []string{canonical, rng, tableName, "0"}
+		if opts.KeepRegion {
+			args[3] = "1"
+		}
+		args = append(args, opts.PrimaryKey...)
+		return ds.logCommand(txn.Op{
+			Kind:   txn.OpExportRange,
+			Table:  tableName,
+			Detail: canonical + "!" + rng,
+			Args:   args,
+		})
+	}
 	if opts.KeepRegion {
+		if lerr := logExport(); lerr != nil {
+			return nil, fmt.Errorf("core: export applied but not logged: %w", lerr)
+		}
 		return nil, nil
 	}
 	// Replace the region with a DBTABLE binding anchored at its top-left.
 	sh.ClearRange(r)
-	return ds.iface.BindTable(canonical, r.Start, tableName)
+	b, err := ds.iface.BindTable(canonical, r.Start, tableName)
+	if err != nil {
+		return nil, err
+	}
+	if lerr := logExport(); lerr != nil {
+		return b, fmt.Errorf("core: export applied but not logged: %w", lerr)
+	}
+	return b, nil
 }
 
 // ImportTable binds an existing relational table at the given anchor cell
@@ -311,7 +417,21 @@ func (ds *DataSpread) ImportTable(sheetName, anchor, tableName string) (*interfa
 	if err != nil {
 		return nil, err
 	}
-	return ds.iface.BindTable(canonical, a, tableName)
+	ds.cmdMu.Lock()
+	defer ds.cmdMu.Unlock()
+	b, err := ds.iface.BindTable(canonical, a, tableName)
+	if err != nil {
+		return nil, err
+	}
+	if lerr := ds.logCommand(txn.Op{
+		Kind:   txn.OpImportTable,
+		Table:  tableName,
+		Detail: canonical + "!" + a.String(),
+		Args:   []string{canonical, a.String(), tableName},
+	}); lerr != nil {
+		return b, fmt.Errorf("core: import applied but not logged: %w", lerr)
+	}
+	return b, nil
 }
 
 // --- DBSQL / DBTABLE cell formulas ---

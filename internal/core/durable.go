@@ -1,0 +1,450 @@
+// Durability: a DataSpread workbook backed by a single-file page heap plus a
+// write-ahead command log.
+//
+// The design is classic snapshot + logical log. Every mutating core command
+// (cell input, mutating SQL, sheet creation, import/export) is serialized as
+// one committed txn.Record to <path>.wal before the call returns. Checkpoint
+// compacts the current state into a synthesized command log — sheets, tables,
+// rows, user cells, bindings — and writes it through the pager into the
+// snapshot root page of <path>, then truncates the WAL. OpenFile restores by
+// applying the snapshot commands, then replaying the WAL tail (recovering
+// from a torn final frame), so all committed work survives a crash.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/catalog"
+	"github.com/dataspread/dataspread/internal/interfacemgr"
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+	"github.com/dataspread/dataspread/internal/storage/tablestore"
+	"github.com/dataspread/dataspread/internal/txn"
+)
+
+// snapshotRoot is the page holding the checkpoint blob: the first page ever
+// allocated in a workbook file.
+const snapshotRoot pager.PageID = 1
+
+// WALPath returns the write-ahead log path used for a workbook file.
+func WALPath(path string) string { return path + ".wal" }
+
+// OpenFile opens (creating if necessary) a durable workbook: the page heap
+// at path and the command log at WALPath(path). Existing state is recovered
+// by applying the checkpoint snapshot and replaying the WAL; individual
+// command failures during recovery are collected (RecoveryErrors) rather than
+// aborting the open, so a partially torn history still yields a usable
+// workbook.
+func OpenFile(path string, opts Options) (*DataSpread, error) {
+	fs, err := pager.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	ds := New(opts)
+	ds.backend = fs
+	// watermark is the highest LSN the snapshot covers: WAL records at or
+	// below it are already reflected in the snapshot and must not replay
+	// (a crash between the snapshot sync and the WAL truncate leaves them
+	// behind, and commands like INSERT are not idempotent).
+	var watermark uint64
+	if fs.Exists(snapshotRoot) {
+		blob, err := fs.ReadPage(snapshotRoot)
+		if err != nil {
+			fs.Close()
+			return nil, fmt.Errorf("core: read snapshot: %w", err)
+		}
+		if len(blob) > 0 {
+			recs, err := txn.DecodeRecords(blob)
+			if err != nil {
+				fs.Close()
+				return nil, fmt.Errorf("core: decode snapshot: %w", err)
+			}
+			for _, rec := range recs {
+				if rec.LSN > watermark {
+					watermark = rec.LSN
+				}
+			}
+			ds.applyRecords(recs)
+		}
+	} else if id := fs.Allocate(); id != snapshotRoot {
+		fs.Close()
+		return nil, fmt.Errorf("core: workbook file reserved page %d for the snapshot, want %d", id, snapshotRoot)
+	}
+	mgr := txn.NewManager()
+	recs, err := mgr.RecoverFile(WALPath(path))
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	live := recs[:0]
+	for _, rec := range recs {
+		if rec.LSN > watermark {
+			live = append(live, rec)
+		}
+	}
+	ds.applyRecords(live)
+	mgr.AdvanceLSN(watermark)
+	ds.wal = mgr
+	ds.Wait()
+	return ds, nil
+}
+
+// WAL returns the durable command log manager, or nil for in-memory
+// instances. Callers can tune group commit via SetGroupCommit.
+func (ds *DataSpread) WAL() *txn.Manager { return ds.wal }
+
+// RecoveryErrors returns the per-command failures encountered while applying
+// the snapshot and WAL during OpenFile. Empty on a clean recovery.
+func (ds *DataSpread) RecoveryErrors() []error { return ds.recoveryErrs }
+
+// Checkpoint compacts the workbook into the snapshot root page and truncates
+// the WAL. The snapshot is written and synced through the pager before the
+// log is reset, so a crash between the two steps replays the (now redundant)
+// log on top of the snapshot instead of losing work.
+func (ds *DataSpread) Checkpoint() error {
+	if ds.backend == nil {
+		return errors.New("core: Checkpoint requires a workbook opened with OpenFile")
+	}
+	ds.Wait()
+	// Hold the command lock across snapshot + truncate: a command slipping
+	// in between would be in neither the snapshot nor the surviving WAL.
+	ds.cmdMu.Lock()
+	defer ds.cmdMu.Unlock()
+	// The snapshot record's LSN is the recovery watermark: everything
+	// committed up to it is inside the snapshot.
+	blob := txn.EncodeRecords([]txn.Record{{LSN: ds.wal.LastLSN(), Ops: ds.snapshotOps()}})
+	if err := ds.backend.WritePage(snapshotRoot, blob); err != nil {
+		return fmt.Errorf("core: write snapshot: %w", err)
+	}
+	if err := ds.backend.Sync(); err != nil {
+		return fmt.Errorf("core: sync snapshot: %w", err)
+	}
+	return ds.wal.ResetLog()
+}
+
+// Close flushes and closes the WAL and the backing file. It does not
+// checkpoint; in-memory instances close trivially.
+func (ds *DataSpread) Close() error {
+	var err error
+	if ds.wal != nil {
+		err = ds.wal.Close()
+	}
+	if ds.backend != nil {
+		if cErr := ds.backend.Close(); err == nil {
+			err = cErr
+		}
+	}
+	return err
+}
+
+// logCommand appends one user-level command to the WAL. It is a no-op for
+// in-memory instances and while recovery is replaying history.
+func (ds *DataSpread) logCommand(op txn.Op) error {
+	if ds.wal == nil || ds.replaying {
+		return nil
+	}
+	return ds.wal.Run(func(t *txn.Txn) error { return t.Log(op, nil) })
+}
+
+// applyRecords re-applies recovered commands in commit order, suppressing
+// WAL logging for the duration.
+func (ds *DataSpread) applyRecords(recs []txn.Record) {
+	ds.replaying = true
+	defer func() { ds.replaying = false }()
+	for _, rec := range recs {
+		for _, op := range rec.Ops {
+			if err := ds.applyOp(op); err != nil {
+				ds.recoveryErrs = append(ds.recoveryErrs,
+					fmt.Errorf("core: replay LSN %d %s: %w", rec.LSN, op.Kind, err))
+			}
+		}
+	}
+}
+
+func opArgs(op txn.Op, n int) ([]string, error) {
+	if len(op.Args) < n {
+		return nil, fmt.Errorf("want %d args, have %d", n, len(op.Args))
+	}
+	return op.Args, nil
+}
+
+// applyOp dispatches one recovered command. Unknown kinds are ignored so
+// newer logs degrade gracefully.
+func (ds *DataSpread) applyOp(op txn.Op) error {
+	switch op.Kind {
+	case txn.OpAddSheet:
+		args, err := opArgs(op, 1)
+		if err != nil {
+			return err
+		}
+		_, err = ds.AddSheet(args[0])
+		return err
+	case txn.OpCellSet:
+		args, err := opArgs(op, 3)
+		if err != nil {
+			return err
+		}
+		a, err := sheet.ParseAddress(args[1])
+		if err != nil {
+			return err
+		}
+		wait, err := ds.SetCellAt(args[0], a, args[2])
+		if err != nil {
+			return err
+		}
+		wait()
+	case txn.OpCellValue:
+		args, err := opArgs(op, 3)
+		if err != nil {
+			return err
+		}
+		a, err := sheet.ParseAddress(args[1])
+		if err != nil {
+			return err
+		}
+		v, err := decodeValue(args[2])
+		if err != nil {
+			return err
+		}
+		_, canonical, err := ds.sheetOf(args[0])
+		if err != nil {
+			return err
+		}
+		ds.engine.SetValue(canonical, a, v)()
+	case txn.OpSQL:
+		args, err := opArgs(op, 1)
+		if err != nil {
+			return err
+		}
+		_, err = ds.Query(args[0])
+		return err
+	case txn.OpSQLScript:
+		args, err := opArgs(op, 1)
+		if err != nil {
+			return err
+		}
+		_, err = ds.QueryScript(args[0])
+		return err
+	case txn.OpImportTable:
+		args, err := opArgs(op, 3)
+		if err != nil {
+			return err
+		}
+		_, err = ds.ImportTable(args[0], args[1], args[2])
+		return err
+	case txn.OpBindQuery:
+		args, err := opArgs(op, 3)
+		if err != nil {
+			return err
+		}
+		a, err := sheet.ParseAddress(args[1])
+		if err != nil {
+			return err
+		}
+		_, err = ds.iface.BindQuery(args[0], a, args[2])
+		return err
+	case txn.OpExportRange:
+		args, err := opArgs(op, 4)
+		if err != nil {
+			return err
+		}
+		_, err = ds.CreateTableFromRange(args[0], args[1], args[2], ExportOptions{
+			KeepRegion: args[3] == "1",
+			PrimaryKey: args[4:],
+		})
+		return err
+	case txn.OpCreateTable:
+		args, err := opArgs(op, 1)
+		if err != nil {
+			return err
+		}
+		cols := make([]catalog.Column, 0, len(args)-1)
+		for _, enc := range args[1:] {
+			col, err := decodeColumn(enc)
+			if err != nil {
+				return err
+			}
+			cols = append(cols, col)
+		}
+		return ds.db.CreateTable(args[0], cols)
+	case txn.OpInsert:
+		args, err := opArgs(op, 1)
+		if err != nil {
+			return err
+		}
+		row := make([]sheet.Value, 0, len(args)-1)
+		for _, enc := range args[1:] {
+			v, err := decodeValue(enc)
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		_, err = ds.db.Insert(args[0], row)
+		return err
+	}
+	return nil
+}
+
+// snapshotOps synthesizes the command sequence that reconstructs the current
+// workbook: sheets first, then tables with their rows, then user cells
+// (bound regions are skipped — their bindings re-materialise them), then the
+// bindings themselves.
+func (ds *DataSpread) snapshotOps() []txn.Op {
+	var ops []txn.Op
+	names := ds.book.SheetNames()
+	for _, name := range names {
+		ops = append(ops, txn.Op{Kind: txn.OpAddSheet, Detail: name, Args: []string{name}})
+	}
+	for _, t := range ds.db.Tables() {
+		args := []string{t.Name}
+		for _, c := range t.Columns {
+			args = append(args, encodeColumn(c))
+		}
+		ops = append(ops, txn.Op{Kind: txn.OpCreateTable, Table: t.Name, Args: args})
+		_ = ds.db.Scan(t.Name, func(_ tablestore.RowID, row []sheet.Value) bool {
+			rowArgs := make([]string, 0, len(row)+1)
+			rowArgs = append(rowArgs, t.Name)
+			for _, v := range row {
+				rowArgs = append(rowArgs, encodeValue(v))
+			}
+			ops = append(ops, txn.Op{Kind: txn.OpInsert, Table: t.Name, Args: rowArgs})
+			return true
+		})
+	}
+	for _, name := range names {
+		sh, ok := ds.book.Sheet(name)
+		if !ok {
+			continue
+		}
+		used, any := sh.UsedRange()
+		if !any {
+			continue
+		}
+		sh.ForEachInRange(used, func(a sheet.Address, c sheet.Cell) {
+			if c.Origin.Kind != sheet.OriginUser || c.Origin.BindingID != 0 {
+				return // re-materialised by the binding snapshot below
+			}
+			switch {
+			case c.IsFormula():
+				if _, ok := isDBFormula("=" + c.Formula); ok {
+					return // bindings are snapshotted explicitly
+				}
+				ops = append(ops, txn.Op{
+					Kind:   txn.OpCellSet,
+					Detail: name + "!" + a.String(),
+					Args:   []string{name, a.String(), "=" + c.Formula},
+				})
+			case !c.Value.IsEmpty():
+				ops = append(ops, txn.Op{
+					Kind:   txn.OpCellValue,
+					Detail: name + "!" + a.String(),
+					Args:   []string{name, a.String(), encodeValue(c.Value)},
+				})
+			}
+		})
+	}
+	for _, b := range ds.iface.Bindings() {
+		switch b.Kind {
+		case interfacemgr.KindTable:
+			ops = append(ops, txn.Op{
+				Kind:   txn.OpImportTable,
+				Table:  b.Table,
+				Detail: b.SheetName + "!" + b.Anchor.String(),
+				Args:   []string{b.SheetName, b.Anchor.String(), b.Table},
+			})
+		case interfacemgr.KindQuery:
+			ops = append(ops, txn.Op{
+				Kind:   txn.OpBindQuery,
+				Detail: b.SheetName + "!" + b.Anchor.String(),
+				Args:   []string{b.SheetName, b.Anchor.String(), b.SQL},
+			})
+		}
+	}
+	return ops
+}
+
+// --- value and column codecs (snapshot/WAL argument strings) ---
+
+// encodeValue renders a Value as a type-tagged string that decodeValue
+// restores exactly (ParseLiteral would re-type, e.g. text "42" into a
+// number). Floats use strconv's shortest round-trip form.
+func encodeValue(v sheet.Value) string {
+	switch v.Kind {
+	case sheet.KindNumber:
+		return "N" + strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case sheet.KindString:
+		return "S" + v.Str
+	case sheet.KindBool:
+		if v.Bool {
+			return "B1"
+		}
+		return "B0"
+	case sheet.KindError:
+		return "X" + v.Err
+	default:
+		return "E"
+	}
+}
+
+func decodeValue(s string) (sheet.Value, error) {
+	if s == "" {
+		return sheet.Empty(), fmt.Errorf("empty value encoding")
+	}
+	body := s[1:]
+	switch s[0] {
+	case 'E':
+		return sheet.Empty(), nil
+	case 'N':
+		f, err := strconv.ParseFloat(body, 64)
+		if err != nil {
+			return sheet.Empty(), fmt.Errorf("bad number encoding %q: %w", s, err)
+		}
+		return sheet.Number(f), nil
+	case 'S':
+		return sheet.String_(body), nil
+	case 'B':
+		return sheet.Bool_(body == "1"), nil
+	case 'X':
+		return sheet.ErrorValue(body), nil
+	default:
+		return sheet.Empty(), fmt.Errorf("unknown value encoding %q", s)
+	}
+}
+
+// colSep separates column fields; the unit separator never occurs in
+// identifiers or type names, and the default value is kept last so SplitN
+// tolerates one embedded in a string default.
+const colSep = "\x1f"
+
+func encodeColumn(c catalog.Column) string {
+	notNull, pk := "0", "0"
+	if c.NotNull {
+		notNull = "1"
+	}
+	if c.PrimaryKey {
+		pk = "1"
+	}
+	return strings.Join([]string{c.Name, c.Type.String(), notNull, pk, encodeValue(c.Default)}, colSep)
+}
+
+func decodeColumn(s string) (catalog.Column, error) {
+	parts := strings.SplitN(s, colSep, 5)
+	if len(parts) != 5 {
+		return catalog.Column{}, fmt.Errorf("bad column encoding %q", s)
+	}
+	def, err := decodeValue(parts[4])
+	if err != nil {
+		return catalog.Column{}, err
+	}
+	return catalog.Column{
+		Name:       parts[0],
+		Type:       catalog.ParseType(parts[1]),
+		NotNull:    parts[2] == "1",
+		PrimaryKey: parts[3] == "1",
+		Default:    def,
+	}, nil
+}

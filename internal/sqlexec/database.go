@@ -37,6 +37,10 @@ type Config struct {
 	// BufferPoolPages is the buffer pool capacity in pages (default 4096;
 	// 0 disables caching, which benchmarks use to expose block counts).
 	BufferPoolPages *int
+	// Backend is the page device table storage sits on (default: a fresh
+	// in-memory pager.Store). Pass a pager.FileStore to run the storage
+	// managers and their block-touch experiments against real disk I/O.
+	Backend pager.Backend
 }
 
 // ChangeKind classifies a data-change notification.
@@ -68,7 +72,7 @@ type Database struct {
 	cat       *catalog.Catalog
 	stores    map[string]tablestore.Store
 	pkIndex   map[string]*btree.Tree
-	pageStore *pager.Store
+	pageStore pager.Backend
 	pool      *pager.BufferPool
 	txns      *txn.Manager
 	cfg       Config
@@ -87,7 +91,10 @@ func NewDatabase(cfg Config) *Database {
 	if cfg.BufferPoolPages != nil {
 		poolPages = *cfg.BufferPoolPages
 	}
-	ps := pager.NewStore()
+	var ps pager.Backend = cfg.Backend
+	if ps == nil {
+		ps = pager.NewStore()
+	}
 	return &Database{
 		cat:       catalog.New(),
 		stores:    make(map[string]tablestore.Store),

@@ -2,6 +2,7 @@ package pager
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -9,10 +10,11 @@ import (
 // BufferPool caches page contents in memory with LRU replacement and
 // write-back of dirty pages. Storage managers read and write pages through a
 // pool so that repeated access to hot blocks (e.g. the visible window) does
-// not touch the "disk".
+// not touch the disk — in-memory (Store) and file-backed (FileStore) devices
+// sit behind the same Backend interface.
 type BufferPool struct {
 	mu       sync.Mutex
-	store    *Store
+	store    Backend
 	capacity int
 	frames   map[PageID]*frame
 	lru      *list.List // front = most recently used; stores PageID
@@ -29,7 +31,7 @@ type frame struct {
 // NewBufferPool creates a pool over the store holding at most capacity pages.
 // A capacity of zero or less disables caching entirely (every access goes to
 // the store), which is useful for isolating raw block counts in benchmarks.
-func NewBufferPool(store *Store, capacity int) *BufferPool {
+func NewBufferPool(store Backend, capacity int) *BufferPool {
 	return &BufferPool{
 		store:    store,
 		capacity: capacity,
@@ -38,8 +40,8 @@ func NewBufferPool(store *Store, capacity int) *BufferPool {
 	}
 }
 
-// Store returns the underlying page store.
-func (bp *BufferPool) Store() *Store { return bp.store }
+// Store returns the underlying page device.
+func (bp *BufferPool) Store() Backend { return bp.store }
 
 // Allocate creates a new page in the underlying store and caches an empty
 // frame for it.
@@ -65,7 +67,7 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 		return f.data, nil
 	}
 	bp.stats.Misses++
-	data, err := bp.store.Read(id)
+	data, err := bp.store.ReadPage(id)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +85,7 @@ func (bp *BufferPool) Put(id PageID, data []byte) error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	if bp.capacity <= 0 {
-		return bp.store.Write(id, cp)
+		return bp.store.WritePage(id, cp)
 	}
 	if !bp.store.Exists(id) {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
@@ -136,7 +138,7 @@ func (bp *BufferPool) Flush(id PageID) error {
 	if !ok || !f.dirty {
 		return nil
 	}
-	if err := bp.store.Write(id, f.data); err != nil {
+	if err := bp.store.WritePage(id, f.data); err != nil {
 		return err
 	}
 	f.dirty = false
@@ -151,7 +153,7 @@ func (bp *BufferPool) FlushAll() error {
 		if !f.dirty {
 			continue
 		}
-		if err := bp.store.Write(id, f.data); err != nil {
+		if err := bp.store.WritePage(id, f.data); err != nil {
 			return err
 		}
 		f.dirty = false
@@ -214,9 +216,14 @@ func (bp *BufferPool) evictIfFull() {
 		id := victim.Value.(PageID)
 		f := bp.frames[id]
 		if f.dirty {
-			// Best effort write-back; a missing page means it was freed
-			// underneath us and the data can be dropped.
-			_ = bp.store.Write(id, f.data)
+			// A missing page means it was freed underneath us and the data
+			// can be dropped. Any other write-back failure (real I/O error
+			// on a file backend) must not lose the dirty frame: keep it,
+			// let the pool run over capacity, and surface the error on the
+			// next explicit Flush/FlushAll.
+			if err := bp.store.WritePage(id, f.data); err != nil && !errors.Is(err, ErrPageNotFound) {
+				return
+			}
 		}
 		bp.lru.Remove(victim)
 		delete(bp.frames, id)

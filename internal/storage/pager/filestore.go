@@ -1,0 +1,405 @@
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileStore is a Backend over a single file laid out as a heap of
+// PageSize-byte slots.
+//
+// Slot 0 is the header:
+//
+//	[0:8]   magic "DSPGHEAP"
+//	[8:12]  format version (little endian uint32, currently 1)
+//	[12:20] slot count including the header (uint64)
+//	[20:28] free-list head slot (uint64, 0 = empty; informational)
+//
+// Every other slot starts with a 16-byte slot header:
+//
+//	[0:4]   payload length in this slot (uint32)
+//	[4:12]  next slot in the chain (uint64, 0 = none)
+//	[12]    flags: 0 = chain head, 1 = continuation, 2 = free
+//	[13:16] reserved
+//
+// followed by up to PageSize-16 payload bytes. A logical page larger than one
+// slot's payload capacity spills into a chain of continuation slots, so
+// callers keep the in-memory Store's "oversized pages are multi-block writes"
+// semantics. Freed slots are flagged on disk and recovered into the free list
+// by scanning the slot headers at open, which makes free-space recovery
+// crash-safe even when the header page is stale; the header's free-list head
+// is refreshed on Sync.
+type FileStore struct {
+	mu     sync.Mutex
+	f      *os.File
+	next   PageID   // next never-used slot; also the slot count
+	free   []PageID // recycled slots, used LIFO
+	heads  map[PageID]struct{}
+	stats  Stats
+	closed bool
+}
+
+const (
+	slotHeaderSize = 16
+	slotPayload    = PageSize - slotHeaderSize
+	fileVersion    = 1
+
+	flagHead         = 0
+	flagContinuation = 1
+	flagFree         = 2
+)
+
+var fileMagic = [8]byte{'D', 'S', 'P', 'G', 'H', 'E', 'A', 'P'}
+
+// ErrClosed is returned when using a FileStore after Close.
+var ErrClosed = errors.New("pager: file store is closed")
+
+// OpenFileStore opens (creating if necessary) the single-file page heap at
+// path. Existing files are validated and scanned to rebuild the allocation
+// and free-list state.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	fs := &FileStore{f: f, next: 1, heads: make(map[PageID]struct{})}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
+	}
+	if info.Size() == 0 {
+		if err := fs.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return fs, nil
+	}
+	if err := fs.load(info.Size()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return fs, nil
+}
+
+// load validates the header and scans slot headers to rebuild in-memory
+// state. The slot count is derived from the file size (a torn final slot from
+// a crashed extension is dropped); the persistent free flags are
+// authoritative for the free list.
+func (fs *FileStore) load(size int64) error {
+	var hdr [28]byte
+	if _, err := fs.f.ReadAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("pager: read header: %w", err)
+	}
+	if [8]byte(hdr[0:8]) != fileMagic {
+		return fmt.Errorf("pager: bad magic %q", hdr[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != fileVersion {
+		return fmt.Errorf("pager: unsupported format version %d", v)
+	}
+	fs.next = PageID(size / PageSize)
+	if fs.next < 1 {
+		fs.next = 1
+	}
+	for id := PageID(1); id < fs.next; id++ {
+		_, _, flags, err := fs.readSlotHeader(id)
+		if err != nil {
+			return err
+		}
+		switch flags {
+		case flagHead:
+			fs.heads[id] = struct{}{}
+		case flagFree:
+			fs.free = append(fs.free, id)
+		}
+	}
+	return nil
+}
+
+func slotOffset(id PageID) int64 { return int64(id) * PageSize }
+
+func (fs *FileStore) readSlotHeader(id PageID) (length uint32, next PageID, flags byte, err error) {
+	var buf [slotHeaderSize]byte
+	if _, err := fs.f.ReadAt(buf[:], slotOffset(id)); err != nil {
+		return 0, 0, 0, fmt.Errorf("pager: read slot %d header: %w", id, err)
+	}
+	return binary.LittleEndian.Uint32(buf[0:4]),
+		PageID(binary.LittleEndian.Uint64(buf[4:12])),
+		buf[12], nil
+}
+
+// writeSlot writes a full slot: header plus zero-padded payload.
+func (fs *FileStore) writeSlot(id PageID, flags byte, next PageID, payload []byte) error {
+	var buf [PageSize]byte
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[4:12], uint64(next))
+	buf[12] = flags
+	copy(buf[slotHeaderSize:], payload)
+	if _, err := fs.f.WriteAt(buf[:], slotOffset(id)); err != nil {
+		return fmt.Errorf("pager: write slot %d: %w", id, err)
+	}
+	return nil
+}
+
+func (fs *FileStore) writeHeader() error {
+	var buf [PageSize]byte
+	copy(buf[0:8], fileMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:12], fileVersion)
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(fs.next))
+	var freeHead PageID
+	if n := len(fs.free); n > 0 {
+		freeHead = fs.free[n-1]
+	}
+	binary.LittleEndian.PutUint64(buf[20:28], uint64(freeHead))
+	if _, err := fs.f.WriteAt(buf[:], 0); err != nil {
+		return fmt.Errorf("pager: write header: %w", err)
+	}
+	return nil
+}
+
+// allocSlot grabs a slot from the free list or extends the file, without
+// touching the public Allocs counter (continuation slots are an internal
+// detail of oversized pages).
+func (fs *FileStore) allocSlot(flags byte) (PageID, error) {
+	var id PageID
+	if n := len(fs.free); n > 0 {
+		id = fs.free[n-1]
+		fs.free = fs.free[:n-1]
+	} else {
+		id = fs.next
+		fs.next++
+	}
+	if err := fs.writeSlot(id, flags, 0, nil); err != nil {
+		return InvalidPage, err
+	}
+	return id, nil
+}
+
+// freeSlot marks one slot free on disk and recycles it.
+func (fs *FileStore) freeSlot(id PageID) error {
+	if err := fs.writeSlot(id, flagFree, 0, nil); err != nil {
+		return err
+	}
+	fs.free = append(fs.free, id)
+	return nil
+}
+
+// chain returns the continuation slots of a head page, in order.
+func (fs *FileStore) chain(id PageID) ([]PageID, error) {
+	var out []PageID
+	_, next, _, err := fs.readSlotHeader(id)
+	if err != nil {
+		return nil, err
+	}
+	for next != InvalidPage {
+		if len(out) > int(fs.next) {
+			return nil, fmt.Errorf("pager: slot chain cycle at page %d", id)
+		}
+		out = append(out, next)
+		_, n, _, err := fs.readSlotHeader(next)
+		if err != nil {
+			return nil, err
+		}
+		next = n
+	}
+	return out, nil
+}
+
+// Allocate reserves a new, empty page and returns its id.
+func (fs *FileStore) Allocate() PageID {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return InvalidPage
+	}
+	id, err := fs.allocSlot(flagHead)
+	if err != nil {
+		return InvalidPage
+	}
+	fs.heads[id] = struct{}{}
+	fs.stats.Allocs++
+	return id
+}
+
+// Free releases a page and its overflow chain. Freeing an unknown page is a
+// no-op, matching Store.
+func (fs *FileStore) Free(id PageID) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return
+	}
+	if _, ok := fs.heads[id]; !ok {
+		return
+	}
+	tail, err := fs.chain(id)
+	if err != nil {
+		return
+	}
+	delete(fs.heads, id)
+	_ = fs.freeSlot(id)
+	for _, c := range tail {
+		_ = fs.freeSlot(c)
+	}
+	fs.stats.Frees++
+}
+
+// ReadPage reassembles and returns the page contents.
+func (fs *FileStore) ReadPage(id PageID) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := fs.heads[id]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	fs.stats.Reads++
+	var out []byte
+	cur := id
+	for cur != InvalidPage {
+		length, next, _, err := fs.readSlotHeader(cur)
+		if err != nil {
+			return nil, err
+		}
+		if length > slotPayload {
+			return nil, fmt.Errorf("pager: slot %d has invalid payload length %d", cur, length)
+		}
+		if length > 0 {
+			buf := make([]byte, length)
+			if _, err := fs.f.ReadAt(buf, slotOffset(cur)+slotHeaderSize); err != nil {
+				return nil, fmt.Errorf("pager: read slot %d payload: %w", cur, err)
+			}
+			out = append(out, buf...)
+		}
+		cur = next
+	}
+	if out == nil {
+		out = []byte{}
+	}
+	return out, nil
+}
+
+// WritePage replaces the page contents, growing or shrinking the overflow
+// chain as needed. Continuation slots are written before the head so a crash
+// mid-write leaves the old head intact as long as possible.
+func (fs *FileStore) WritePage(id PageID, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	if _, ok := fs.heads[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	// Same multi-block charge as the in-memory Store.
+	fs.stats.Writes += uint64(1 + len(data)/PageSize)
+
+	chunks := 1 + (max(len(data), 1)-1)/slotPayload
+	old, err := fs.chain(id)
+	if err != nil {
+		return err
+	}
+	slots := append([]PageID{id}, old...)
+	for len(slots) < chunks {
+		c, err := fs.allocSlot(flagContinuation)
+		if err != nil {
+			return err
+		}
+		slots = append(slots, c)
+	}
+	surplus := slots[chunks:]
+	slots = slots[:chunks]
+	for i := chunks - 1; i >= 0; i-- {
+		lo := i * slotPayload
+		hi := min(lo+slotPayload, len(data))
+		if lo > hi {
+			lo = hi
+		}
+		next := InvalidPage
+		if i+1 < chunks {
+			next = slots[i+1]
+		}
+		flags := byte(flagContinuation)
+		if i == 0 {
+			flags = flagHead
+		}
+		if err := fs.writeSlot(slots[i], flags, next, data[lo:hi]); err != nil {
+			return err
+		}
+	}
+	// Only release surplus slots once the shortened chain is fully
+	// written: freeing first would zero slots the old head still points
+	// at, silently truncating the page if we crash mid-rewrite.
+	for _, extra := range surplus {
+		if err := fs.freeSlot(extra); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exists reports whether the page is allocated.
+func (fs *FileStore) Exists(id PageID) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.heads[id]
+	return ok
+}
+
+// PageCount returns the number of allocated (head) pages.
+func (fs *FileStore) PageCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.heads)
+}
+
+// Sync refreshes the header page and forces everything to stable storage.
+func (fs *FileStore) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	if err := fs.writeHeader(); err != nil {
+		return err
+	}
+	return fs.f.Sync()
+}
+
+// Close syncs and closes the file. A second Close is a no-op.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	err := fs.writeHeader()
+	if sErr := fs.f.Sync(); err == nil {
+		err = sErr
+	}
+	if cErr := fs.f.Close(); err == nil {
+		err = cErr
+	}
+	return err
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (fs *FileStore) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// ResetStats zeroes the counters.
+func (fs *FileStore) ResetStats() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats = Stats{}
+}
+
+var _ Backend = (*FileStore)(nil)

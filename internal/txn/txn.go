@@ -11,8 +11,11 @@
 package txn
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 )
@@ -32,6 +35,18 @@ const (
 	OpCellSet     OpKind = "cell_set"
 )
 
+// Command kinds logged by the core durability layer: each record replays a
+// user-level command against a recovered workbook (see core.OpenFile).
+const (
+	OpCellValue   OpKind = "cell_value"   // typed literal cell write
+	OpSQL         OpKind = "sql"          // single SQL statement
+	OpSQLScript   OpKind = "sql_script"   // semicolon-separated SQL script
+	OpAddSheet    OpKind = "add_sheet"    // create a sheet
+	OpImportTable OpKind = "import_table" // DBTABLE binding at an anchor
+	OpBindQuery   OpKind = "bind_query"   // DBSQL binding at an anchor
+	OpExportRange OpKind = "export_range" // range -> table export
+)
+
 // IsDDL reports whether the operation kind is a schema operation.
 func (k OpKind) IsDDL() bool {
 	switch k {
@@ -48,6 +63,10 @@ type Op struct {
 	// Detail is a human-readable description used by diagnostics and the
 	// WAL dump (e.g. "row 42", "column score NUMERIC").
 	Detail string
+	// Args carries the machine-readable arguments needed to re-apply the
+	// operation during recovery (WAL replay). Nil for operations that are
+	// logged for diagnostics only.
+	Args []string
 }
 
 // Record is a committed WAL entry.
@@ -82,13 +101,22 @@ type Txn struct {
 	undo  []func() error
 }
 
-// Manager creates transactions and owns the WAL.
+// Manager creates transactions and owns the WAL. By default the log is an
+// in-memory slice; AttachLog (or RecoverFile) adds a durable append-only sink
+// that every committed record is serialized to (see wal.go).
 type Manager struct {
 	mu      sync.Mutex
 	nextTxn uint64
 	nextLSN uint64
 	wal     []Record
 	active  int64
+
+	// Durable log state (wal.go). All guarded by mu.
+	sink      io.Writer
+	bw        *bufio.Writer
+	logFile   *os.File
+	syncEvery int
+	pending   int
 }
 
 // NewManager creates a transaction manager with an empty WAL.
@@ -166,7 +194,7 @@ func (t *Txn) Commit() error {
 	rec := Record{LSN: t.mgr.nextLSN, TxnID: t.id, Ops: append([]Op(nil), t.ops...)}
 	t.mgr.nextLSN++
 	t.mgr.wal = append(t.mgr.wal, rec)
-	return nil
+	return t.mgr.appendDurableLocked(rec)
 }
 
 // Rollback applies the registered undo actions in reverse order. If any undo

@@ -1,0 +1,386 @@
+// Durable write-ahead log: committed Records serialized to an append-only
+// sink as length-prefixed, CRC32-checksummed frames.
+//
+// Frame layout (all little endian):
+//
+//	[0:4] payload length (uint32)
+//	[4:8] CRC32 (IEEE) of the payload
+//	[8:]  payload: one Record in the uvarint encoding below
+//
+// Record payload: LSN, TxnID, op count as uvarints, then per op the Kind,
+// Table, Detail strings and the Args list, each string as uvarint length +
+// bytes.
+//
+// Replay tolerates a torn final frame (a crash mid-append): the valid prefix
+// is returned and the tail is discarded; RecoverFile additionally truncates
+// the file back to the valid prefix so appends resume cleanly. A checksum or
+// decode failure on a fully present frame is corruption and is rejected with
+// ErrCorruptLog.
+package txn
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ErrCorruptLog is returned when a fully present WAL frame fails its
+// checksum or cannot be decoded.
+var ErrCorruptLog = errors.New("txn: corrupt WAL record")
+
+const (
+	frameHeaderSize = 8
+	// maxFrameSize bounds a single record; a longer length prefix is
+	// treated as corruption rather than an allocation request.
+	maxFrameSize = 64 << 20
+)
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.Len()) {
+		return "", fmt.Errorf("string length %d exceeds remaining payload", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func encodeRecord(rec Record) []byte {
+	buf := binary.AppendUvarint(nil, rec.LSN)
+	buf = binary.AppendUvarint(buf, rec.TxnID)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Ops)))
+	for _, op := range rec.Ops {
+		buf = appendString(buf, string(op.Kind))
+		buf = appendString(buf, op.Table)
+		buf = appendString(buf, op.Detail)
+		buf = binary.AppendUvarint(buf, uint64(len(op.Args)))
+		for _, a := range op.Args {
+			buf = appendString(buf, a)
+		}
+	}
+	return buf
+}
+
+func decodeRecord(payload []byte) (Record, error) {
+	r := bytes.NewReader(payload)
+	var rec Record
+	var err error
+	if rec.LSN, err = binary.ReadUvarint(r); err != nil {
+		return rec, err
+	}
+	if rec.TxnID, err = binary.ReadUvarint(r); err != nil {
+		return rec, err
+	}
+	nOps, err := binary.ReadUvarint(r)
+	if err != nil {
+		return rec, err
+	}
+	if nOps > uint64(r.Len()) {
+		return rec, fmt.Errorf("op count %d exceeds remaining payload", nOps)
+	}
+	for i := uint64(0); i < nOps; i++ {
+		var op Op
+		kind, err := readString(r)
+		if err != nil {
+			return rec, err
+		}
+		op.Kind = OpKind(kind)
+		if op.Table, err = readString(r); err != nil {
+			return rec, err
+		}
+		if op.Detail, err = readString(r); err != nil {
+			return rec, err
+		}
+		nArgs, err := binary.ReadUvarint(r)
+		if err != nil {
+			return rec, err
+		}
+		if nArgs > uint64(r.Len()) {
+			return rec, fmt.Errorf("arg count %d exceeds remaining payload", nArgs)
+		}
+		for j := uint64(0); j < nArgs; j++ {
+			a, err := readString(r)
+			if err != nil {
+				return rec, err
+			}
+			op.Args = append(op.Args, a)
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	if r.Len() != 0 {
+		return rec, fmt.Errorf("%d trailing bytes after record", r.Len())
+	}
+	return rec, nil
+}
+
+func appendFrame(buf []byte, rec Record) []byte {
+	payload := encodeRecord(rec)
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// EncodeRecords serializes records as a contiguous sequence of WAL frames.
+// Core checkpoints use it to store a compacted log snapshot in a single page.
+func EncodeRecords(recs []Record) []byte {
+	var buf []byte
+	for _, rec := range recs {
+		buf = appendFrame(buf, rec)
+	}
+	return buf
+}
+
+// DecodeRecords parses a frame sequence produced by EncodeRecords. Unlike
+// Replay it is strict: a torn tail is corruption, because the input is a
+// fully written snapshot, not an append-only log.
+func DecodeRecords(b []byte) ([]Record, error) {
+	recs, valid, err := readFrames(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	if valid != int64(len(b)) {
+		return nil, fmt.Errorf("%w: torn frame at offset %d", ErrCorruptLog, valid)
+	}
+	return recs, nil
+}
+
+// readFrames reads frames until EOF (clean stop), a torn tail (clean stop at
+// the last full frame), or corruption (error). It returns the records and the
+// byte length of the valid prefix.
+func readFrames(r io.Reader) ([]Record, int64, error) {
+	var recs []Record
+	var valid int64
+	for {
+		var hdr [frameHeaderSize]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, valid, nil // end of log or torn header
+			}
+			return recs, valid, err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxFrameSize {
+			return recs, valid, fmt.Errorf("%w: frame length %d", ErrCorruptLog, length)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return recs, valid, nil // torn payload
+			}
+			return recs, valid, err
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return recs, valid, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorruptLog, valid)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return recs, valid, fmt.Errorf("%w: %v", ErrCorruptLog, err)
+		}
+		recs = append(recs, rec)
+		valid += frameHeaderSize + int64(length)
+	}
+}
+
+// AttachLog sets the durable sink for committed records. Subsequent commits
+// append a frame per record; frames are buffered and flushed (plus fsynced
+// when the sink supports it) according to the group-commit policy, which
+// defaults to every commit.
+func (m *Manager) AttachLog(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sink = w
+	m.bw = bufio.NewWriter(w)
+	if m.syncEvery < 1 {
+		m.syncEvery = 1
+	}
+	m.pending = 0
+}
+
+// SetGroupCommit makes the log flush and sync only every n commits (group
+// commit): intermediate commits stay buffered, trading a bounded window of
+// recent commits for fewer fsyncs. n < 1 restores sync-on-every-commit.
+func (m *Manager) SetGroupCommit(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	m.syncEvery = n
+}
+
+// Sync forces buffered frames to the sink and, when the sink supports it
+// (e.g. *os.File), to stable storage.
+func (m *Manager) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flushSyncLocked()
+}
+
+type syncer interface{ Sync() error }
+
+func (m *Manager) flushSyncLocked() error {
+	if m.bw == nil {
+		return nil
+	}
+	if err := m.bw.Flush(); err != nil {
+		return err
+	}
+	if s, ok := m.sink.(syncer); ok {
+		if err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	m.pending = 0
+	return nil
+}
+
+// appendDurableLocked writes one committed record to the durable sink
+// (caller holds m.mu). With no sink attached it is a no-op.
+func (m *Manager) appendDurableLocked(rec Record) error {
+	if m.bw == nil {
+		return nil
+	}
+	if _, err := m.bw.Write(appendFrame(nil, rec)); err != nil {
+		return err
+	}
+	m.pending++
+	if m.pending >= m.syncEvery {
+		return m.flushSyncLocked()
+	}
+	return nil
+}
+
+// Replay reads committed records from a serialized log, re-populating the
+// in-memory WAL and advancing the LSN/transaction counters past the highest
+// recovered values. A torn final frame (crash mid-append) terminates the
+// replay cleanly; a checksum or decode failure is returned as ErrCorruptLog.
+// The returned offset is the byte length of the valid prefix.
+func (m *Manager) Replay(r io.Reader) ([]Record, int64, error) {
+	recs, valid, err := readFrames(r)
+	if err != nil {
+		return nil, valid, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rec := range recs {
+		m.wal = append(m.wal, rec)
+		if rec.LSN >= m.nextLSN {
+			m.nextLSN = rec.LSN + 1
+		}
+		if rec.TxnID >= m.nextTxn {
+			m.nextTxn = rec.TxnID + 1
+		}
+	}
+	return recs, valid, nil
+}
+
+// RecoverFile opens (creating if necessary) the log file at path, replays it,
+// truncates any torn tail, and attaches the file as the durable sink so new
+// commits append after the recovered prefix. The manager owns the file until
+// Close.
+func (m *Manager) RecoverFile(path string) ([]Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("txn: open WAL %s: %w", path, err)
+	}
+	recs, valid, err := m.Replay(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("txn: replay WAL %s: %w", path, err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("txn: truncate WAL %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("txn: seek WAL %s: %w", path, err)
+	}
+	m.AttachLog(f)
+	m.mu.Lock()
+	m.logFile = f
+	m.mu.Unlock()
+	return recs, nil
+}
+
+// LastLSN returns the LSN of the most recently committed record (0 when
+// nothing has committed). Checkpoints store it as a watermark so recovery can
+// skip log records the snapshot already covers.
+func (m *Manager) LastLSN() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextLSN - 1
+}
+
+// AdvanceLSN raises the next LSN past min so future commits never collide
+// with records a checkpoint has absorbed.
+func (m *Manager) AdvanceLSN(min uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nextLSN <= min {
+		m.nextLSN = min + 1
+	}
+}
+
+// ResetLog discards the durable log contents (after a checkpoint has made
+// them redundant) and clears the in-memory WAL. LSNs keep increasing so
+// later records never collide with checkpointed ones.
+func (m *Manager) ResetLog() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wal = nil
+	if m.logFile == nil {
+		if m.bw != nil {
+			m.bw = bufio.NewWriter(m.sink)
+			m.pending = 0
+		}
+		return nil
+	}
+	if err := m.logFile.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := m.logFile.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	m.bw = bufio.NewWriter(m.logFile)
+	m.pending = 0
+	return m.logFile.Sync()
+}
+
+// Close flushes and syncs the durable log and closes the underlying file
+// when the manager owns one (RecoverFile). Safe to call multiple times.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.bw == nil {
+		return nil
+	}
+	err := m.flushSyncLocked()
+	if m.logFile != nil {
+		if cErr := m.logFile.Close(); err == nil {
+			err = cErr
+		}
+		m.logFile = nil
+	}
+	m.bw = nil
+	m.sink = nil
+	return err
+}
