@@ -1,0 +1,31 @@
+# DataSpread developer targets. CI runs `make verify` and `make bench`.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench verify
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+verify: fmt vet build test
+
+# bench is the benchmark smoke target: every testing.B benchmark compiles
+# and runs at least once (so benchmark code cannot rot), and cmd/dsbench
+# emits the headline results as machine-readable JSON.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=NONE .
+	$(GO) run ./cmd/dsbench -json BENCH_pr2.json

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/core"
+	"github.com/dataspread/dataspread/internal/datagen"
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// Machine-readable benchmark output (-json FILE). The four headline
+// workloads of the streaming-executor work — M2, M3, A5 and F2a, mirroring
+// the identically named testing.B benchmarks in bench_test.go — are run
+// through testing.Benchmark and written as JSON so CI can archive
+// BENCH_pr2.json and regressions are diffable.
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type benchReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	Results     []benchResult `json:"results"`
+}
+
+func writeBenchJSON(path string) {
+	workloads := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"M2FilterSQL", benchM2},
+		{"M3JoinSQL", benchM3},
+		{"A5SharedComputationDBSQL", benchA5},
+		{"F2aDBSQLQuery", benchF2a},
+	}
+	report := benchReport{GeneratedBy: "cmd/dsbench"}
+	for _, w := range workloads {
+		r := testing.Benchmark(w.fn)
+		report.Results = append(report.Results, benchResult{
+			Name:        w.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Printf("%-26s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			w.name, float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	check(err)
+	blob = append(blob, '\n')
+	check(os.WriteFile(path, blob, 0o644))
+	fmt.Printf("wrote %s\n", path)
+}
+
+func benchM2(b *testing.B) {
+	ds := core.New(core.Options{})
+	sh, _ := ds.Book().Sheet("Sheet1")
+	sh.SetValues(sheet.Addr(0, 0), datagen.Gradebook(5000, 5, 1))
+	rng := fmt.Sprintf("A1:G%d", 5001)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ds.Query(fmt.Sprintf("SELECT student FROM RANGETABLE(%s) WHERE a1 > 90 OR a2 > 90 OR a3 > 90 OR a4 > 90 OR a5 > 90", rng))
+		if err != nil || len(res.Rows) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchM3(b *testing.B) {
+	ds := core.New(core.Options{})
+	n := 5000
+	sh, _ := ds.Book().Sheet("Sheet1")
+	sh.SetValues(sheet.Addr(0, 0), datagen.Gradebook(n, 5, 1))
+	_, _ = ds.AddSheet("Demo")
+	dsh, _ := ds.Book().Sheet("Demo")
+	dsh.SetValues(sheet.Addr(0, 0), datagen.Demographics(n, 2))
+	q := fmt.Sprintf("SELECT grp, AVG(grade) FROM RANGETABLE(A1:G%d) NATURAL JOIN RANGETABLE(Demo!A1:C%d) GROUP BY grp", n+1, n+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ds.Query(q)
+		if err != nil || len(res.Rows) != 3 {
+			b.Fatalf("%v %v", res, err)
+		}
+	}
+}
+
+func benchA5(b *testing.B) {
+	ds := core.New(core.Options{})
+	if _, err := ds.Query("CREATE TABLE vals (id INT PRIMARY KEY, v NUMERIC)"); err != nil {
+		b.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := ds.DB().Insert("vals", []sheet.Value{sheet.Number(float64(i)), sheet.Number(float64(i * 3))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wait, err := ds.SetCell("Sheet1", "A1", `=DBSQL("SELECT v FROM vals ORDER BY id")`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait()
+	}
+}
+
+func benchF2a(b *testing.B) {
+	ds := core.New(core.Options{})
+	data := datagen.MoviesDataset(5000, 5, 1)
+	if _, err := ds.QueryScript(`
+		CREATE TABLE movies (movieid INT PRIMARY KEY, title TEXT, year INT);
+		CREATE TABLE actors (actorid INT PRIMARY KEY, name TEXT);
+		CREATE TABLE movies2actors (movieid INT, actorid INT);
+	`); err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range data.Movies {
+		if _, err := ds.DB().Insert("movies", row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range data.Actors {
+		if _, err := ds.DB().Insert("actors", row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range data.Movies2Actors {
+		if _, err := ds.DB().Insert("movies2actors", row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	setCell(ds, "Sheet1", "B1", "3")
+	setCell(ds, "Sheet1", "B2", "1950")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wait, err := ds.SetCell("Sheet1", "B3",
+			`=DBSQL("SELECT title, year FROM movies NATURAL JOIN movies2actors NATURAL JOIN actors WHERE actorid = RANGEVALUE(B1) AND year > RANGEVALUE(B2) ORDER BY year")`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wait()
+	}
+}

@@ -28,10 +28,17 @@ import (
 	"github.com/dataspread/dataspread/internal/storage/tablestore"
 )
 
-var scale = flag.Int("scale", 1, "workload scale multiplier")
+var (
+	scale   = flag.Int("scale", 1, "workload scale multiplier")
+	jsonOut = flag.String("json", "", "run the headline benchmark workloads and write results to this JSON file instead of printing experiments")
+)
 
 func main() {
 	flag.Parse()
+	if *jsonOut != "" {
+		writeBenchJSON(*jsonOut)
+		return
+	}
 	experiments := flag.Args()
 	if len(experiments) == 0 {
 		experiments = []string{"f2a", "f2b", "f2c", "m1", "m2", "m3", "m4", "a1", "a2", "a3", "a4", "a5"}

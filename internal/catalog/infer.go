@@ -74,6 +74,41 @@ func InferSchema(values [][]sheet.Value) (cols []Column, data [][]sheet.Value, h
 	return cols, data, headerUsed
 }
 
+// HeaderNames derives only the column names of a rectangular block: the
+// sanitized, deduplicated texts of the first row when it looks like a
+// header, positional names (col1, col2, …) otherwise. It is InferSchema
+// without type inference or data copying, for callers — like RANGETABLE
+// scans — that need the relation shape but not relational column types.
+func HeaderNames(values [][]sheet.Value) (names []string, headerUsed bool) {
+	if len(values) == 0 {
+		return nil, false
+	}
+	width := 0
+	for _, r := range values {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	if width == 0 {
+		return nil, false
+	}
+	names = make([]string, width)
+	if looksLikeHeader(values) {
+		for c := 0; c < width; c++ {
+			var v sheet.Value
+			if c < len(values[0]) {
+				v = values[0][c]
+			}
+			names[c] = sanitizeName(v.AsString(), c)
+		}
+		return dedupeNames(names), true
+	}
+	for c := 0; c < width; c++ {
+		names[c] = fmt.Sprintf("col%d", c+1)
+	}
+	return names, false
+}
+
 // looksLikeHeader applies the heuristic described above.
 func looksLikeHeader(values [][]sheet.Value) bool {
 	if len(values) < 2 {

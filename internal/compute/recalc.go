@@ -79,8 +79,15 @@ func (e *Engine) dirtyClosure(changed []CellID) map[CellID]*formulaNode {
 			}
 		}
 	}
+	// Changed cells arrive in sheet-contiguous runs (e.g. a spilled query
+	// result); memoize the sheet-key normalization instead of lowering the
+	// same name once per cell.
+	var lastRaw, lastKey string
 	for _, id := range changed {
-		id.Sheet = sheetKey(id.Sheet)
+		if id.Sheet != lastRaw {
+			lastRaw, lastKey = id.Sheet, sheetKey(id.Sheet)
+		}
+		id.Sheet = lastKey
 		push(id)
 		for _, dep := range e.dependentsOf(id) {
 			push(dep)

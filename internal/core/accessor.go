@@ -59,7 +59,10 @@ func (sa *sheetAccessor) RangeValue(ref string) (sheet.Value, error) {
 
 // RangeTable implements sqlexec.SheetAccessor: a sheet range becomes a
 // relation, with column names taken from the first row when it looks like a
-// header (same inference as exporting a range to a table).
+// header (same heuristic as exporting a range to a table). Materialised
+// ranges are cached against the sheet's version counter, so the repeated
+// RANGETABLE scans of DBSQL recalculation re-read the grid only after a
+// cell in the sheet actually changed.
 func (sa *sheetAccessor) RangeTable(ref string, headerRow bool) ([]string, [][]sheet.Value, error) {
 	sh, rest, err := sa.splitRef(ref)
 	if err != nil {
@@ -69,23 +72,61 @@ func (sa *sheetAccessor) RangeTable(ref string, headerRow bool) ([]string, [][]s
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: RANGETABLE: %w", err)
 	}
+	key := sh.Name() + "\x00" + rest
+	if headerRow {
+		key += "\x00h"
+	}
+	version := sh.Version()
+	ds := sa.ds
+	ds.rtMu.Lock()
+	if e, ok := ds.rtCache[key]; ok && e.version == version {
+		names, rows := e.names, e.rows
+		ds.rtMu.Unlock()
+		// Callers reorder and filter the top-level slice; hand out a copy
+		// and keep the cached rows themselves shared read-only.
+		return names, append([][]sheet.Value(nil), rows...), nil
+	}
+	ds.rtMu.Unlock()
+
 	values := sh.Values(r)
-	if !headerRow {
-		names := make([]string, r.Cols())
+	var names []string
+	rows := values
+	if headerRow {
+		var usedHeader bool
+		if names, usedHeader = catalog.HeaderNames(values); usedHeader {
+			rows = values[1:]
+		}
+	}
+	if names == nil {
+		names = make([]string, r.Cols())
 		for i := range names {
 			names[i] = fmt.Sprintf("col%d", i+1)
 		}
-		return names, values, nil
 	}
-	cols, data, usedHeader := catalog.InferSchema(values)
-	names := make([]string, len(cols))
-	for i, c := range cols {
-		names[i] = c.Name
+	ds.rtMu.Lock()
+	if ds.rtCache == nil {
+		ds.rtCache = make(map[string]*rangeTableEntry)
 	}
-	if !usedHeader {
-		// The caller asked for a header but the first row does not look
-		// like one; fall back to positional names over all rows.
-		return names, values, nil
+	if len(ds.rtCache) >= rangeTableCacheCap {
+		for k := range ds.rtCache {
+			delete(ds.rtCache, k)
+			if len(ds.rtCache) < rangeTableCacheCap {
+				break
+			}
+		}
 	}
-	return names, data, nil
+	ds.rtCache[key] = &rangeTableEntry{version: version, names: names, rows: rows}
+	ds.rtMu.Unlock()
+	return names, append([][]sheet.Value(nil), rows...), nil
+}
+
+// rangeTableCacheCap bounds the number of cached RANGETABLE snapshots.
+const rangeTableCacheCap = 16
+
+// rangeTableEntry is one cached RANGETABLE materialisation, valid while the
+// sheet's version counter is unchanged.
+type rangeTableEntry struct {
+	version uint64
+	names   []string
+	rows    [][]sheet.Value
 }

@@ -62,6 +62,10 @@ type DataSpread struct {
 	iface   *interfacemgr.Manager
 	session *sqlexec.Session
 
+	// RANGETABLE scan cache (accessor.go), validated by sheet versions.
+	rtMu    sync.Mutex
+	rtCache map[string]*rangeTableEntry
+
 	// Durability state (durable.go). Nil/zero for in-memory instances.
 	// cmdMu serialises each mutating command with its WAL append so the
 	// log order always matches the apply order, and so Checkpoint's
@@ -70,6 +74,7 @@ type DataSpread struct {
 	cmdMu        sync.Mutex
 	backend      *pager.FileStore
 	wal          *txn.Manager
+	unlock       func() error // releases the single-writer workbook lock
 	replaying    bool
 	recoveryErrs []error
 }

@@ -39,12 +39,21 @@ func WALPath(path string) string { return path + ".wal" }
 // aborting the open, so a partially torn history still yields a usable
 // workbook.
 func OpenFile(path string, opts Options) (*DataSpread, error) {
+	// Single-writer enforcement: take the workbook's exclusive lock before
+	// touching the heap or the WAL, so two processes can never interleave
+	// appends on the same files. A held lock fails fast with a clear error.
+	unlock, err := lockWorkbookFile(path)
+	if err != nil {
+		return nil, err
+	}
 	fs, err := pager.OpenFileStore(path)
 	if err != nil {
+		_ = unlock()
 		return nil, err
 	}
 	ds := New(opts)
 	ds.backend = fs
+	ds.unlock = unlock
 	// watermark is the highest LSN the snapshot covers: WAL records at or
 	// below it are already reflected in the snapshot and must not replay
 	// (a crash between the snapshot sync and the WAL truncate leaves them
@@ -54,12 +63,14 @@ func OpenFile(path string, opts Options) (*DataSpread, error) {
 		blob, err := fs.ReadPage(snapshotRoot)
 		if err != nil {
 			fs.Close()
+			_ = unlock()
 			return nil, fmt.Errorf("core: read snapshot: %w", err)
 		}
 		if len(blob) > 0 {
 			recs, err := txn.DecodeRecords(blob)
 			if err != nil {
 				fs.Close()
+				_ = unlock()
 				return nil, fmt.Errorf("core: decode snapshot: %w", err)
 			}
 			for _, rec := range recs {
@@ -71,12 +82,14 @@ func OpenFile(path string, opts Options) (*DataSpread, error) {
 		}
 	} else if id := fs.Allocate(); id != snapshotRoot {
 		fs.Close()
+		_ = unlock()
 		return nil, fmt.Errorf("core: workbook file reserved page %d for the snapshot, want %d", id, snapshotRoot)
 	}
 	mgr := txn.NewManager()
 	recs, err := mgr.RecoverFile(WALPath(path))
 	if err != nil {
 		fs.Close()
+		_ = unlock()
 		return nil, err
 	}
 	live := recs[:0]
@@ -125,8 +138,9 @@ func (ds *DataSpread) Checkpoint() error {
 	return ds.wal.ResetLog()
 }
 
-// Close flushes and closes the WAL and the backing file. It does not
-// checkpoint; in-memory instances close trivially.
+// Close flushes and closes the WAL and the backing file, then releases the
+// workbook's single-writer lock. It does not checkpoint; in-memory
+// instances close trivially.
 func (ds *DataSpread) Close() error {
 	var err error
 	if ds.wal != nil {
@@ -136,6 +150,12 @@ func (ds *DataSpread) Close() error {
 		if cErr := ds.backend.Close(); err == nil {
 			err = cErr
 		}
+	}
+	if ds.unlock != nil {
+		if uErr := ds.unlock(); err == nil {
+			err = uErr
+		}
+		ds.unlock = nil
 	}
 	return err
 }

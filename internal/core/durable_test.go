@@ -9,6 +9,19 @@ import (
 	"github.com/dataspread/dataspread/internal/txn"
 )
 
+// simulateCrash abandons the instance the way a killed process would: the
+// single-writer lock is released (the OS drops flocks when a process dies)
+// but nothing is flushed or closed cleanly.
+func simulateCrash(t *testing.T, ds *DataSpread) {
+	t.Helper()
+	if ds.unlock != nil {
+		if err := ds.unlock(); err != nil {
+			t.Fatal(err)
+		}
+		ds.unlock = nil
+	}
+}
+
 func mustAddr(t *testing.T, s string) sheet.Address {
 	t.Helper()
 	a, err := sheet.ParseAddress(s)
@@ -70,6 +83,7 @@ func TestKillAndReopenRecoversCommittedWrites(t *testing.T) {
 	ds.Wait()
 	// Simulated kill: no Checkpoint, no Close. Commits were synced one by
 	// one, so everything must already be on disk.
+	simulateCrash(t, ds)
 
 	re := openDurable(t, path)
 	defer re.Close()
@@ -193,6 +207,9 @@ func TestDurableExportImportRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds.Wait()
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	re := openDurable(t, path)
 	defer re.Close()

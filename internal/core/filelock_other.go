@@ -1,0 +1,9 @@
+//go:build !unix
+
+package core
+
+// lockWorkbookFile is a no-op on platforms without flock; the single-writer
+// rule is enforced only on unix.
+func lockWorkbookFile(string) (func() error, error) {
+	return func() error { return nil }, nil
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package core
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockWorkbookFile enforces the single-writer rule for durable workbooks: an
+// exclusive, non-blocking flock on <path>.lock taken before the page heap or
+// WAL is opened. Two processes opening the same workbook would otherwise
+// interleave WAL appends and corrupt the committed history. The returned
+// release closes and removes the lock file.
+func lockWorkbookFile(path string) (release func() error, err error) {
+	lockPath := path + ".lock"
+	f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: open workbook lock %s: %w", lockPath, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, fmt.Errorf("core: workbook %s is open in another process (lock %s is held)", path, lockPath)
+		}
+		return nil, fmt.Errorf("core: lock workbook %s: %w", path, err)
+	}
+	return func() error {
+		// Unlocking happens implicitly on close. The lock file itself is
+		// left in place: removing it would let a third opener create a
+		// fresh inode and lock it while a second opener still holds (or is
+		// about to take) the old one — two "exclusive" owners.
+		return f.Close()
+	}, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// TestRangeTableCacheInvalidation verifies the version-stamped RANGETABLE
+// cache: repeated queries reuse the materialised snapshot, and any cell edit
+// on the sheet invalidates it so the next query sees the new data.
+func TestRangeTableCacheInvalidation(t *testing.T) {
+	ds := New(Options{})
+	sh, _ := ds.Book().Sheet("Sheet1")
+	sh.SetValues(sheet.Addr(0, 0), [][]sheet.Value{
+		{sheet.String_("name"), sheet.String_("score")},
+		{sheet.String_("ada"), sheet.Number(99)},
+		{sheet.String_("bob"), sheet.Number(50)},
+	})
+	const q = "SELECT name FROM RANGETABLE(A1:B3) WHERE score > 90"
+	res, err := ds.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "ada" {
+		t.Fatalf("initial query rows = %v", res.Rows)
+	}
+	// Cached re-run.
+	if res, err = ds.Query(q); err != nil || len(res.Rows) != 1 {
+		t.Fatalf("cached query rows = %v err = %v", res.Rows, err)
+	}
+	// Edit a cell inside the range: the snapshot must be rebuilt.
+	if w, err := ds.SetCell("Sheet1", "B3", "95"); err != nil {
+		t.Fatal(err)
+	} else {
+		w()
+	}
+	if res, err = ds.Query(q); err != nil {
+		t.Fatal(err)
+	} else if len(res.Rows) != 2 {
+		t.Fatalf("after edit: rows = %v, want ada and bob", res.Rows)
+	}
+	// Repeated queries must not corrupt the cached snapshot through the
+	// executor's in-place filtering.
+	for i := 0; i < 3; i++ {
+		if res, err = ds.Query(q); err != nil || len(res.Rows) != 2 {
+			t.Fatalf("stability run %d: rows = %v err = %v", i, res.Rows, err)
+		}
+	}
+}
+
+// TestDBSQLBindingReuse verifies that re-entering the same DBSQL formula at
+// the same cell refreshes the existing binding instead of stacking new ones,
+// and that a different formula replaces it.
+func TestDBSQLBindingReuse(t *testing.T) {
+	ds := New(Options{})
+	if _, err := ds.Query("CREATE TABLE v (id INT PRIMARY KEY, x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Query("INSERT INTO v VALUES (1, 10), (2, 20)"); err != nil {
+		t.Fatal(err)
+	}
+	set := func(formula string) {
+		t.Helper()
+		w, err := ds.SetCell("Sheet1", "D1", formula)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w()
+	}
+	set(`=DBSQL("SELECT x FROM v ORDER BY id")`)
+	set(`=DBSQL("SELECT x FROM v ORDER BY id")`)
+	set(`=DBSQL("SELECT x FROM v ORDER BY id")`)
+	if n := len(ds.Interface().Bindings()); n != 1 {
+		t.Fatalf("re-entered formula left %d bindings, want 1", n)
+	}
+	if got, _ := ds.Get("Sheet1", "D2"); got.String() != "10" {
+		t.Fatalf("spill D2 = %q", got.String())
+	}
+	// A different query at the same anchor replaces the binding.
+	set(`=DBSQL("SELECT id FROM v ORDER BY id")`)
+	if n := len(ds.Interface().Bindings()); n != 1 {
+		t.Fatalf("replacement left %d bindings, want 1", n)
+	}
+	if got, _ := ds.Get("Sheet1", "D2"); got.String() != "1" {
+		t.Fatalf("replaced spill D2 = %q", got.String())
+	}
+}

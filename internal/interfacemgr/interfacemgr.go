@@ -242,13 +242,25 @@ func (m *Manager) BindTable(sheetName string, anchor sheet.Address, table string
 }
 
 // BindQuery creates a DBSQL binding: the query result is spilled at the
-// anchor and refreshed when its inputs change.
+// anchor and refreshed when its inputs change. Re-entering the same query
+// at the same anchor — the DBSQL recalculation pattern — reuses the
+// existing binding and only refreshes it; a different formula at the anchor
+// replaces the binding there.
 func (m *Manager) BindQuery(sheetName string, anchor sheet.Address, sql string) (*Binding, error) {
 	m.mu.Lock()
 	runner := m.runQuery
 	m.mu.Unlock()
 	if runner == nil {
 		return nil, fmt.Errorf("interfacemgr: no query runner configured")
+	}
+	if prev := m.bindingAt(sheetName, anchor); prev != nil {
+		if prev.Kind == KindQuery && prev.SQL == sql {
+			if err := m.refreshQuery(prev); err != nil {
+				return nil, err
+			}
+			return prev, nil
+		}
+		m.Unbind(prev.ID)
 	}
 	m.mu.Lock()
 	b := &Binding{
@@ -264,7 +276,7 @@ func (m *Manager) BindQuery(sheetName string, anchor sheet.Address, sql string) 
 
 	// Register sheet dependencies (RANGEVALUE / RANGETABLE references) so
 	// the query re-runs when those cells change.
-	if refs := sheetRefsOfSQL(sql); len(refs) > 0 {
+	if refs := m.sheetRefsOfSQL(sql); len(refs) > 0 {
 		id := b.ID
 		m.engine.RegisterExternal(externalKey(b.ID), refs, sheetName, func() {
 			_ = m.RefreshBinding(id)
@@ -277,13 +289,27 @@ func (m *Manager) BindQuery(sheetName string, anchor sheet.Address, sql string) 
 	return b, nil
 }
 
+// bindingAt returns the binding anchored at the given cell, if any.
+func (m *Manager) bindingAt(sheetName string, anchor sheet.Address) *Binding {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, b := range m.bindings {
+		if b.SheetName == sheetName && b.Anchor == anchor {
+			return b
+		}
+	}
+	return nil
+}
+
 // sheetRefsOfSQL extracts the sheet ranges a SQL text reads through
-// RANGEVALUE/RANGETABLE.
-func sheetRefsOfSQL(sql string) []formula.Reference {
-	stmt, err := sqlparser.Parse(sql)
+// RANGEVALUE/RANGETABLE. Parsing goes through the database's prepared-plan
+// cache, so rebinding a recalculated DBSQL formula does not re-parse.
+func (m *Manager) sheetRefsOfSQL(sql string) []formula.Reference {
+	p, err := m.db.Prepare(sql)
 	if err != nil {
 		return nil
 	}
+	stmt := p.Statement()
 	sel, ok := stmt.(*sqlparser.SelectStmt)
 	if !ok {
 		return nil

@@ -96,30 +96,47 @@ func (m *Manager) refreshQuery(b *Binding) error {
 	if !ok {
 		return fmt.Errorf("interfacemgr: unknown sheet %q", b.SheetName)
 	}
+	// The spill below overwrites every cell of the new extent, so only the
+	// part of the old extent the new result no longer covers needs
+	// clearing. A same-shaped refresh (the common recalculation case)
+	// clears nothing.
+	newExt := sheet.RangeOf(b.Anchor.Row, b.Anchor.Col,
+		b.Anchor.Row+len(res.Rows), b.Anchor.Col+maxInt(len(res.Columns)-1, 0))
 	if b.hasExt {
-		sh.ClearRange(b.extent)
-	}
-	b.Columns = res.Columns
-	var changed []compute.CellID
-	// Header.
-	for c, name := range res.Columns {
-		a := sheet.Addr(b.Anchor.Row, b.Anchor.Col+c)
-		sh.SetCell(a, sheet.Cell{Value: sheet.String_(name), Origin: sheet.Origin{Kind: sheet.OriginQuery, BindingID: b.ID}})
-		changed = append(changed, compute.CellID{Sheet: b.SheetName, Addr: a})
-	}
-	// Result rows, computed collectively in a single pass (set-at-a-time)
-	// rather than one formula per cell.
-	for r, row := range res.Rows {
-		for c := range res.Columns {
-			var v sheet.Value
-			if c < len(row) {
-				v = row[c]
+		var stale []sheet.Address
+		sh.ForEachInRange(b.extent, func(a sheet.Address, _ sheet.Cell) {
+			if !newExt.Contains(a) {
+				stale = append(stale, a)
 			}
-			a := sheet.Addr(b.Anchor.Row+1+r, b.Anchor.Col+c)
-			sh.SetCell(a, sheet.Cell{Value: v, Origin: sheet.Origin{Kind: sheet.OriginQuery, BindingID: b.ID}})
-			changed = append(changed, compute.CellID{Sheet: b.SheetName, Addr: a})
+		})
+		for _, a := range stale {
+			sh.Clear(a)
 		}
 	}
+	b.Columns = res.Columns
+	changed := make([]compute.CellID, 0, (len(res.Rows)+1)*len(res.Columns))
+	origin := sheet.Origin{Kind: sheet.OriginQuery, BindingID: b.ID}
+	sh.SetCellBatch(func(set func(sheet.Address, sheet.Cell)) {
+		// Header.
+		for c, name := range res.Columns {
+			a := sheet.Addr(b.Anchor.Row, b.Anchor.Col+c)
+			set(a, sheet.Cell{Value: sheet.String_(name), Origin: origin})
+			changed = append(changed, compute.CellID{Sheet: b.SheetName, Addr: a})
+		}
+		// Result rows, computed collectively in a single pass
+		// (set-at-a-time) rather than one formula per cell.
+		for r, row := range res.Rows {
+			for c := range res.Columns {
+				var v sheet.Value
+				if c < len(row) {
+					v = row[c]
+				}
+				a := sheet.Addr(b.Anchor.Row+1+r, b.Anchor.Col+c)
+				set(a, sheet.Cell{Value: v, Origin: origin})
+				changed = append(changed, compute.CellID{Sheet: b.SheetName, Addr: a})
+			}
+		}
+	})
 	m.bumpCells(uint64(len(changed)))
 	endRow := b.Anchor.Row + len(res.Rows)
 	endCol := b.Anchor.Col + maxInt(len(res.Columns)-1, 0)

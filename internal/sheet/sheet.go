@@ -10,9 +10,10 @@ import (
 // model the paper's compute engine assumes (asynchronous recomputation
 // happens on background goroutines that read and write cells).
 type Sheet struct {
-	mu    sync.RWMutex
-	name  string
-	store CellStore
+	mu      sync.RWMutex
+	name    string
+	store   CellStore
+	version uint64
 }
 
 // New creates a sheet with the given name backed by a map cell store.
@@ -31,6 +32,15 @@ func NewWithStore(name string, store CellStore) *Sheet {
 
 // Name returns the sheet's name.
 func (s *Sheet) Name() string { return s.name }
+
+// Version returns a counter that increases on every mutation of the sheet's
+// cells. Consumers (e.g. the RANGETABLE scan cache) use it to validate
+// snapshots without watching individual cells.
+func (s *Sheet) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
 
 // Store exposes the underlying cell store (used by benchmarks and the
 // interface manager; normal callers use the accessor methods).
@@ -57,6 +67,7 @@ func (s *Sheet) SetCell(a Address, c Cell) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.version++
 	s.store.Set(a, c)
 }
 
@@ -65,12 +76,28 @@ func (s *Sheet) SetValue(a Address, v Value) {
 	s.SetCell(a, Cell{Value: v})
 }
 
+// SetCellBatch applies many cell writes under a single lock acquisition and
+// version bump. fn receives a setter equivalent to SetCell; the setter must
+// not be retained after fn returns. Bulk materialisation (query spills,
+// table imports) uses this to avoid per-cell locking.
+func (s *Sheet) SetCellBatch(fn func(set func(Address, Cell))) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++
+	fn(func(a Address, c Cell) {
+		if a.Valid() {
+			s.store.Set(a, c)
+		}
+	})
+}
+
 // SetComputedValue updates only the value of the cell at the address,
 // preserving its formula and origin. Used by the compute engine when a
 // formula's result changes.
 func (s *Sheet) SetComputedValue(a Address, v Value) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.version++
 	c, _ := s.store.Get(a)
 	c.Value = v
 	s.store.Set(a, c)
@@ -80,6 +107,7 @@ func (s *Sheet) SetComputedValue(a Address, v Value) {
 func (s *Sheet) Clear(a Address) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.version++
 	s.store.Delete(a)
 }
 
@@ -87,6 +115,7 @@ func (s *Sheet) Clear(a Address) {
 func (s *Sheet) ClearRange(r Range) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.version++
 	var addrs []Address
 	s.store.GetRange(r, func(a Address, _ Cell) { addrs = append(addrs, a) })
 	for _, a := range addrs {
@@ -119,6 +148,7 @@ func (s *Sheet) Values(r Range) [][]Value {
 func (s *Sheet) SetValues(topLeft Address, vals [][]Value) Range {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.version++
 	maxCols := 0
 	for ri, row := range vals {
 		if len(row) > maxCols {
@@ -161,6 +191,7 @@ func (s *Sheet) UsedRange() (Range, bool) {
 func (s *Sheet) InsertRows(row, count int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.version++
 	s.store.InsertRows(row, count)
 }
 
@@ -169,6 +200,7 @@ func (s *Sheet) InsertRows(row, count int) {
 func (s *Sheet) InsertCols(col, count int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.version++
 	s.store.InsertCols(col, count)
 }
 

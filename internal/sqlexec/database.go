@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dataspread/dataspread/internal/catalog"
 	"github.com/dataspread/dataspread/internal/index/btree"
@@ -77,6 +78,11 @@ type Database struct {
 	txns      *txn.Manager
 	cfg       Config
 	listeners []func(ChangeEvent)
+
+	// Prepared-plan cache (plan.go). schemaEpoch advances on every schema
+	// definition change, lazily invalidating cached statements.
+	plans       planCache
+	schemaEpoch atomic.Uint64
 }
 
 // NewDatabase creates an empty database.
@@ -159,6 +165,7 @@ func (db *Database) CreateTable(name string, cols []catalog.Column) error {
 	db.stores[tkey(name)] = db.newStore(len(cols))
 	db.pkIndex[tkey(name)] = btree.New()
 	db.mu.Unlock()
+	db.invalidatePlans()
 	db.notify(ChangeEvent{Table: name, Kind: ChangeSchema})
 	return nil
 }
@@ -172,6 +179,7 @@ func (db *Database) DropTable(name string) error {
 	delete(db.stores, tkey(name))
 	delete(db.pkIndex, tkey(name))
 	db.mu.Unlock()
+	db.invalidatePlans()
 	db.notify(ChangeEvent{Table: name, Kind: ChangeDropTable})
 	return nil
 }
@@ -502,6 +510,7 @@ func (db *Database) addColumn(table string, col catalog.Column, defaultValue she
 			return db.DropColumn(table, col.Name)
 		})
 	}
+	db.invalidatePlans()
 	db.notify(ChangeEvent{Table: table, Kind: ChangeSchema})
 	return nil
 }
@@ -523,6 +532,7 @@ func (db *Database) DropColumn(table, column string) error {
 	if err != nil {
 		return err
 	}
+	db.invalidatePlans()
 	db.notify(ChangeEvent{Table: table, Kind: ChangeSchema})
 	return nil
 }
@@ -532,6 +542,7 @@ func (db *Database) RenameColumn(table, oldName, newName string) error {
 	if err := db.cat.RenameColumn(table, oldName, newName); err != nil {
 		return err
 	}
+	db.invalidatePlans()
 	db.notify(ChangeEvent{Table: table, Kind: ChangeSchema})
 	return nil
 }

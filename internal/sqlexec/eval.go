@@ -1,8 +1,6 @@
 package sqlexec
 
 import (
-	"fmt"
-	"math"
 	"strings"
 
 	"github.com/dataspread/dataspread/internal/sheet"
@@ -28,6 +26,7 @@ type SheetAccessor interface {
 type colDesc struct {
 	table string // lower-cased table name or alias ("" when anonymous)
 	name  string // lower-cased column name
+	src   int    // index of the FROM source the column came from (-1 anonymous)
 }
 
 // relation is the executor's intermediate result: a schema plus materialised
@@ -38,287 +37,11 @@ type relation struct {
 }
 
 func (r *relation) columnIndex(table, name string) (int, error) {
-	table = strings.ToLower(table)
-	name = strings.ToLower(name)
-	found := -1
-	for i, c := range r.cols {
-		if c.name != name {
-			continue
-		}
-		if table != "" && c.table != table {
-			continue
-		}
-		if found >= 0 {
-			return 0, fmt.Errorf("sqlexec: column reference %q is ambiguous", name)
-		}
-		found = i
-	}
-	if found < 0 {
-		if table != "" {
-			return 0, fmt.Errorf("sqlexec: unknown column %s.%s", table, name)
-		}
-		return 0, fmt.Errorf("sqlexec: unknown column %q", name)
-	}
-	return found, nil
-}
-
-// evalCtx carries everything an expression may reference.
-type evalCtx struct {
-	rel    *relation
-	row    []sheet.Value
-	sheets SheetAccessor
-	// group holds the rows of the current group when evaluating aggregate
-	// expressions (nil outside GROUP BY / aggregate evaluation).
-	group [][]sheet.Value
+	return findColumn(r.cols, strings.ToLower(table), strings.ToLower(name))
 }
 
 // isNull is the SQL NULL test over the unified value model.
 func isNull(v sheet.Value) bool { return v.IsEmpty() }
-
-// evalExpr evaluates an expression to a value. SQL NULL is represented by
-// the empty sheet.Value.
-func evalExpr(e sqlparser.Expr, ctx *evalCtx) (sheet.Value, error) {
-	switch x := e.(type) {
-	case *sqlparser.Literal:
-		return x.Value, nil
-	case *sqlparser.NullLiteral:
-		return sheet.Empty(), nil
-	case *sqlparser.ColumnRef:
-		if ctx.rel == nil {
-			return sheet.Empty(), fmt.Errorf("sqlexec: column %q referenced outside a FROM context", x.Name)
-		}
-		i, err := ctx.rel.columnIndex(x.Table, x.Name)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		if ctx.row == nil || i >= len(ctx.row) {
-			return sheet.Empty(), nil
-		}
-		return ctx.row[i], nil
-	case *sqlparser.RangeValueExpr:
-		if ctx.sheets == nil {
-			return sheet.Empty(), fmt.Errorf("sqlexec: RANGEVALUE requires a spreadsheet context")
-		}
-		return ctx.sheets.RangeValue(x.Ref)
-	case *sqlparser.UnaryExpr:
-		v, err := evalExpr(x.X, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		switch x.Op {
-		case "-":
-			if isNull(v) {
-				return sheet.Empty(), nil
-			}
-			f, ok := v.AsNumber()
-			if !ok {
-				return sheet.Empty(), fmt.Errorf("sqlexec: cannot negate %q", v.String())
-			}
-			return sheet.Number(-f), nil
-		case "NOT":
-			if isNull(v) {
-				return sheet.Empty(), nil
-			}
-			b, ok := v.AsBool()
-			if !ok {
-				return sheet.Empty(), fmt.Errorf("sqlexec: NOT applied to non-boolean %q", v.String())
-			}
-			return sheet.Bool_(!b), nil
-		}
-		return sheet.Empty(), fmt.Errorf("sqlexec: unknown unary operator %q", x.Op)
-	case *sqlparser.BinaryExpr:
-		return evalBinary(x, ctx)
-	case *sqlparser.FuncCall:
-		if isAggregateFunc(x.Name) {
-			return evalAggregate(x, ctx)
-		}
-		return evalScalarFunc(x, ctx)
-	case *sqlparser.InExpr:
-		v, err := evalExpr(x.X, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		if isNull(v) {
-			return sheet.Empty(), nil
-		}
-		for _, item := range x.List {
-			iv, err := evalExpr(item, ctx)
-			if err != nil {
-				return sheet.Empty(), err
-			}
-			if v.Equal(iv) {
-				return sheet.Bool_(!x.Not), nil
-			}
-		}
-		return sheet.Bool_(x.Not), nil
-	case *sqlparser.IsNullExpr:
-		v, err := evalExpr(x.X, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		return sheet.Bool_(isNull(v) != x.Not), nil
-	case *sqlparser.BetweenExpr:
-		v, err := evalExpr(x.X, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		lo, err := evalExpr(x.Lo, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		hi, err := evalExpr(x.Hi, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		if isNull(v) || isNull(lo) || isNull(hi) {
-			return sheet.Empty(), nil
-		}
-		in := v.Compare(lo) >= 0 && v.Compare(hi) <= 0
-		return sheet.Bool_(in != x.Not), nil
-	case *sqlparser.LikeExpr:
-		v, err := evalExpr(x.X, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		p, err := evalExpr(x.Pattern, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		if isNull(v) || isNull(p) {
-			return sheet.Empty(), nil
-		}
-		m := likeMatch(v.AsString(), p.AsString())
-		return sheet.Bool_(m != x.Not), nil
-	case *sqlparser.CaseExpr:
-		return evalCase(x, ctx)
-	default:
-		return sheet.Empty(), fmt.Errorf("sqlexec: unsupported expression %T", e)
-	}
-}
-
-func evalBinary(x *sqlparser.BinaryExpr, ctx *evalCtx) (sheet.Value, error) {
-	// AND/OR get short-circuit evaluation.
-	switch x.Op {
-	case "AND", "OR":
-		l, err := evalExpr(x.Left, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		lb, lok := l.AsBool()
-		if x.Op == "AND" && lok && !lb {
-			return sheet.Bool_(false), nil
-		}
-		if x.Op == "OR" && lok && lb {
-			return sheet.Bool_(true), nil
-		}
-		r, err := evalExpr(x.Right, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		rb, rok := r.AsBool()
-		if !lok || !rok {
-			return sheet.Empty(), nil
-		}
-		if x.Op == "AND" {
-			return sheet.Bool_(lb && rb), nil
-		}
-		return sheet.Bool_(lb || rb), nil
-	}
-	l, err := evalExpr(x.Left, ctx)
-	if err != nil {
-		return sheet.Empty(), err
-	}
-	r, err := evalExpr(x.Right, ctx)
-	if err != nil {
-		return sheet.Empty(), err
-	}
-	switch x.Op {
-	case "=", "<>", "<", "<=", ">", ">=":
-		if isNull(l) || isNull(r) {
-			return sheet.Empty(), nil // SQL: comparisons with NULL are unknown
-		}
-		var res bool
-		switch x.Op {
-		case "=":
-			res = l.Equal(r)
-		case "<>":
-			res = !l.Equal(r)
-		case "<":
-			res = l.Compare(r) < 0
-		case "<=":
-			res = l.Compare(r) <= 0
-		case ">":
-			res = l.Compare(r) > 0
-		case ">=":
-			res = l.Compare(r) >= 0
-		}
-		return sheet.Bool_(res), nil
-	case "||":
-		if isNull(l) || isNull(r) {
-			return sheet.Empty(), nil
-		}
-		return sheet.String_(l.AsString() + r.AsString()), nil
-	case "+", "-", "*", "/", "%":
-		if isNull(l) || isNull(r) {
-			return sheet.Empty(), nil
-		}
-		a, okA := l.AsNumber()
-		b, okB := r.AsNumber()
-		if !okA || !okB {
-			return sheet.Empty(), fmt.Errorf("sqlexec: arithmetic on non-numeric values %q, %q", l.String(), r.String())
-		}
-		switch x.Op {
-		case "+":
-			return sheet.Number(a + b), nil
-		case "-":
-			return sheet.Number(a - b), nil
-		case "*":
-			return sheet.Number(a * b), nil
-		case "/":
-			if b == 0 {
-				return sheet.Empty(), fmt.Errorf("sqlexec: division by zero")
-			}
-			return sheet.Number(a / b), nil
-		case "%":
-			if b == 0 {
-				return sheet.Empty(), fmt.Errorf("sqlexec: division by zero")
-			}
-			return sheet.Number(math.Mod(a, b)), nil
-		}
-	}
-	return sheet.Empty(), fmt.Errorf("sqlexec: unknown operator %q", x.Op)
-}
-
-func evalCase(x *sqlparser.CaseExpr, ctx *evalCtx) (sheet.Value, error) {
-	var operand sheet.Value
-	hasOperand := x.Operand != nil
-	if hasOperand {
-		v, err := evalExpr(x.Operand, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		operand = v
-	}
-	for _, w := range x.Whens {
-		cond, err := evalExpr(w.When, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		matched := false
-		if hasOperand {
-			matched = operand.Equal(cond)
-		} else if b, ok := cond.AsBool(); ok {
-			matched = b
-		}
-		if matched {
-			return evalExpr(w.Then, ctx)
-		}
-	}
-	if x.Else != nil {
-		return evalExpr(x.Else, ctx)
-	}
-	return sheet.Empty(), nil
-}
 
 // likeMatch implements SQL LIKE with % (any run) and _ (any single char).
 func likeMatch(s, pattern string) bool {
@@ -348,154 +71,7 @@ func likeMatch(s, pattern string) bool {
 	return prev[len(rp)]
 }
 
-// --- scalar functions ---
-
-func evalScalarFunc(x *sqlparser.FuncCall, ctx *evalCtx) (sheet.Value, error) {
-	args := make([]sheet.Value, len(x.Args))
-	for i, a := range x.Args {
-		v, err := evalExpr(a, ctx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		args[i] = v
-	}
-	name := strings.ToUpper(x.Name)
-	argn := func(n int) error {
-		if len(args) != n {
-			return fmt.Errorf("sqlexec: %s expects %d argument(s), got %d", name, n, len(args))
-		}
-		return nil
-	}
-	switch name {
-	case "UPPER":
-		if err := argn(1); err != nil {
-			return sheet.Empty(), err
-		}
-		if isNull(args[0]) {
-			return sheet.Empty(), nil
-		}
-		return sheet.String_(strings.ToUpper(args[0].AsString())), nil
-	case "LOWER":
-		if err := argn(1); err != nil {
-			return sheet.Empty(), err
-		}
-		if isNull(args[0]) {
-			return sheet.Empty(), nil
-		}
-		return sheet.String_(strings.ToLower(args[0].AsString())), nil
-	case "LENGTH", "LEN":
-		if err := argn(1); err != nil {
-			return sheet.Empty(), err
-		}
-		if isNull(args[0]) {
-			return sheet.Empty(), nil
-		}
-		return sheet.Number(float64(len([]rune(args[0].AsString())))), nil
-	case "ABS":
-		if err := argn(1); err != nil {
-			return sheet.Empty(), err
-		}
-		return numericFunc1(args[0], math.Abs)
-	case "FLOOR":
-		if err := argn(1); err != nil {
-			return sheet.Empty(), err
-		}
-		return numericFunc1(args[0], math.Floor)
-	case "CEIL", "CEILING":
-		if err := argn(1); err != nil {
-			return sheet.Empty(), err
-		}
-		return numericFunc1(args[0], math.Ceil)
-	case "SQRT":
-		if err := argn(1); err != nil {
-			return sheet.Empty(), err
-		}
-		return numericFunc1(args[0], math.Sqrt)
-	case "ROUND":
-		if len(args) < 1 || len(args) > 2 {
-			return sheet.Empty(), fmt.Errorf("sqlexec: ROUND expects 1 or 2 arguments")
-		}
-		if isNull(args[0]) {
-			return sheet.Empty(), nil
-		}
-		f, ok := args[0].AsNumber()
-		if !ok {
-			return sheet.Empty(), fmt.Errorf("sqlexec: ROUND of non-numeric value")
-		}
-		digits := 0.0
-		if len(args) == 2 {
-			digits, _ = args[1].AsNumber()
-		}
-		scale := math.Pow(10, digits)
-		return sheet.Number(math.Round(f*scale) / scale), nil
-	case "SUBSTR", "SUBSTRING":
-		if len(args) < 2 || len(args) > 3 {
-			return sheet.Empty(), fmt.Errorf("sqlexec: SUBSTR expects 2 or 3 arguments")
-		}
-		if isNull(args[0]) {
-			return sheet.Empty(), nil
-		}
-		s := []rune(args[0].AsString())
-		start, _ := args[1].AsNumber()
-		i := int(start) - 1 // SQL SUBSTR is 1-based
-		if i < 0 {
-			i = 0
-		}
-		if i > len(s) {
-			i = len(s)
-		}
-		j := len(s)
-		if len(args) == 3 {
-			l, _ := args[2].AsNumber()
-			j = i + int(l)
-			if j > len(s) {
-				j = len(s)
-			}
-			if j < i {
-				j = i
-			}
-		}
-		return sheet.String_(string(s[i:j])), nil
-	case "CONCAT":
-		var sb strings.Builder
-		for _, a := range args {
-			if !isNull(a) {
-				sb.WriteString(a.AsString())
-			}
-		}
-		return sheet.String_(sb.String()), nil
-	case "COALESCE":
-		for _, a := range args {
-			if !isNull(a) {
-				return a, nil
-			}
-		}
-		return sheet.Empty(), nil
-	case "NULLIF":
-		if err := argn(2); err != nil {
-			return sheet.Empty(), err
-		}
-		if args[0].Equal(args[1]) {
-			return sheet.Empty(), nil
-		}
-		return args[0], nil
-	default:
-		return sheet.Empty(), fmt.Errorf("sqlexec: unknown function %q", name)
-	}
-}
-
-func numericFunc1(v sheet.Value, fn func(float64) float64) (sheet.Value, error) {
-	if isNull(v) {
-		return sheet.Empty(), nil
-	}
-	f, ok := v.AsNumber()
-	if !ok {
-		return sheet.Empty(), fmt.Errorf("sqlexec: numeric function applied to %q", v.String())
-	}
-	return sheet.Number(fn(f)), nil
-}
-
-// --- aggregates ---
+// --- expression analysis helpers ---
 
 func isAggregateFunc(name string) bool {
 	switch strings.ToUpper(name) {
@@ -556,73 +132,48 @@ func walkExpr(e sqlparser.Expr, fn func(sqlparser.Expr)) {
 	}
 }
 
-// evalAggregate computes an aggregate over the rows of ctx.group.
-func evalAggregate(x *sqlparser.FuncCall, ctx *evalCtx) (sheet.Value, error) {
-	if ctx.group == nil {
-		return sheet.Empty(), fmt.Errorf("sqlexec: aggregate %s used outside an aggregation context", x.Name)
-	}
-	name := strings.ToUpper(x.Name)
-	// COUNT(*) counts rows.
-	if x.Star {
-		if name != "COUNT" {
-			return sheet.Empty(), fmt.Errorf("sqlexec: %s(*) is not valid", name)
-		}
-		return sheet.Number(float64(len(ctx.group))), nil
-	}
-	if len(x.Args) != 1 {
-		return sheet.Empty(), fmt.Errorf("sqlexec: %s expects exactly one argument", name)
-	}
-	var vals []sheet.Value
-	seen := make(map[string]bool)
-	for _, row := range ctx.group {
-		rowCtx := &evalCtx{rel: ctx.rel, row: row, sheets: ctx.sheets}
-		v, err := evalExpr(x.Args[0], rowCtx)
-		if err != nil {
-			return sheet.Empty(), err
-		}
-		if isNull(v) {
-			continue // SQL aggregates ignore NULLs
-		}
-		if x.Distinct {
-			k := fmt.Sprintf("%d:%s", v.Kind, strings.ToLower(v.String()))
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-		}
-		vals = append(vals, v)
-	}
-	switch name {
-	case "COUNT":
-		return sheet.Number(float64(len(vals))), nil
-	case "SUM", "AVG":
-		if len(vals) == 0 {
-			return sheet.Empty(), nil
-		}
-		sum := 0.0
-		for _, v := range vals {
-			f, ok := v.AsNumber()
-			if !ok {
-				return sheet.Empty(), fmt.Errorf("sqlexec: %s over non-numeric value %q", name, v.String())
-			}
-			sum += f
-		}
-		if name == "AVG" {
-			return sheet.Number(sum / float64(len(vals))), nil
-		}
-		return sheet.Number(sum), nil
-	case "MIN", "MAX":
-		if len(vals) == 0 {
-			return sheet.Empty(), nil
-		}
-		best := vals[0]
-		for _, v := range vals[1:] {
-			c := v.Compare(best)
-			if (name == "MIN" && c < 0) || (name == "MAX" && c > 0) {
-				best = v
+// exprColumnFree reports whether the expression references no columns and no
+// aggregates — i.e. it is row-independent and can be evaluated once per
+// execution (RANGEVALUE parameters are per-execution constants).
+func exprColumnFree(e sqlparser.Expr) bool {
+	free := true
+	walkExpr(e, func(x sqlparser.Expr) {
+		switch f := x.(type) {
+		case *sqlparser.ColumnRef:
+			free = false
+		case *sqlparser.FuncCall:
+			if isAggregateFunc(f.Name) {
+				free = false
 			}
 		}
-		return best, nil
-	}
-	return sheet.Empty(), fmt.Errorf("sqlexec: unknown aggregate %q", name)
+	})
+	return free
+}
+
+// exprCanError reports whether evaluating the expression can fail at
+// runtime (division by zero, arithmetic or negation over non-numeric
+// values, scalar-function argument errors). Conjuncts that can error are
+// never pushed below a join or folded ahead of the WHERE clause: the old
+// row-at-a-time evaluator would only have reached them for rows that
+// survived the joins and the preceding short-circuiting conjuncts, and
+// evaluating them more eagerly would turn previously-succeeding queries
+// into errors. Comparisons, boolean connectives, IN/BETWEEN/LIKE/IS NULL,
+// CASE, concatenation, literals, column references and RANGEVALUE are
+// error-free over every value.
+func exprCanError(e sqlparser.Expr) bool {
+	can := false
+	walkExpr(e, func(x sqlparser.Expr) {
+		switch f := x.(type) {
+		case *sqlparser.UnaryExpr:
+			can = true // "-" and NOT error on non-coercible values
+		case *sqlparser.BinaryExpr:
+			switch f.Op {
+			case "+", "-", "*", "/", "%":
+				can = true
+			}
+		case *sqlparser.FuncCall:
+			can = true // scalar functions validate their arguments
+		}
+	})
+	return can
 }

@@ -34,13 +34,23 @@ func (db *Database) NewSession(sheets SheetAccessor) *Session {
 	return &Session{db: db, sheets: sheets}
 }
 
-// Query parses and executes a single SQL statement.
+// Query executes a single SQL statement through the prepared-plan cache:
+// repeated evaluations of the same text (the DBSQL recalculation pattern)
+// skip parsing and analysis entirely.
 func (s *Session) Query(sql string) (*Result, error) {
-	stmt, err := sqlparser.Parse(sql)
+	p, err := s.db.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.Execute(stmt)
+	return s.ExecutePrepared(p)
+}
+
+// ExecutePrepared runs a prepared statement.
+func (s *Session) ExecutePrepared(p *Prepared) (*Result, error) {
+	if sel, ok := p.stmt.(*sqlparser.SelectStmt); ok && p.sel != nil {
+		return s.db.runSelect(sel, p.sel, s.sheets)
+	}
+	return s.Execute(p.stmt)
 }
 
 // QueryScript parses and executes a semicolon-separated script, returning the
@@ -65,6 +75,17 @@ func (s *Session) QueryScript(sql string) (*Result, error) {
 
 // InTransaction reports whether an explicit transaction is open.
 func (s *Session) InTransaction() bool { return s.tx != nil }
+
+// tableSchema builds the relation schema of one named table for binding
+// DML predicates and assignments.
+func tableSchema(tbl *catalog.Table) []colDesc {
+	label := strings.ToLower(tbl.Name)
+	cols := make([]colDesc, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		cols[i] = colDesc{table: label, name: strings.ToLower(c.Name)}
+	}
+	return cols
+}
 
 // Execute runs one parsed statement.
 func (s *Session) Execute(stmt sqlparser.Statement) (*Result, error) {
@@ -111,7 +132,11 @@ func (s *Session) Execute(stmt sqlparser.Statement) (*Result, error) {
 // evalConstExpr evaluates an expression with no row context (literals,
 // RANGEVALUE, arithmetic).
 func (s *Session) evalConstExpr(e sqlparser.Expr) (sheet.Value, error) {
-	return evalExpr(e, &evalCtx{sheets: s.sheets})
+	be, err := compileExpr(e, &compileEnv{noRel: true, sheets: s.sheets})
+	if err != nil {
+		return sheet.Empty(), err
+	}
+	return be.eval(&rowCtx{sheets: s.sheets})
 }
 
 func (s *Session) executeInsert(st *sqlparser.InsertStmt) (*Result, error) {
@@ -205,10 +230,18 @@ func (s *Session) executeUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
 		}
 		sets = append(sets, setTarget{idx: idx, expr: a.Value})
 	}
-	rel := &relation{}
-	label := strings.ToLower(tbl.Name)
-	for _, c := range tbl.Columns {
-		rel.cols = append(rel.cols, colDesc{table: label, name: strings.ToLower(c.Name)})
+	env := &compileEnv{cols: tableSchema(tbl), sheets: s.sheets}
+	var where boundExpr
+	if st.Where != nil {
+		if where, err = compileExpr(st.Where, env); err != nil {
+			return nil, err
+		}
+	}
+	setExprs := make([]boundExpr, len(sets))
+	for i, set := range sets {
+		if setExprs[i], err = compileExpr(set.expr, env); err != nil {
+			return nil, err
+		}
 	}
 	// Collect matching rows first, then apply, so the scan does not observe
 	// its own writes.
@@ -217,10 +250,11 @@ func (s *Session) executeUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
 		row []sheet.Value
 	}
 	var updates []pending
+	ctx := &rowCtx{sheets: s.sheets}
 	err = s.db.Scan(st.Table, func(id tablestore.RowID, row []sheet.Value) bool {
-		ctx := &evalCtx{rel: rel, row: row, sheets: s.sheets}
-		if st.Where != nil {
-			keep, perr := evalPredicate(st.Where, ctx)
+		ctx.row = row
+		if where != nil {
+			keep, perr := evalBoundPredicate(where, ctx)
 			if perr != nil {
 				err = perr
 				return false
@@ -230,8 +264,8 @@ func (s *Session) executeUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
 			}
 		}
 		newRow := append([]sheet.Value(nil), row...)
-		for _, set := range sets {
-			v, eerr := evalExpr(set.expr, ctx)
+		for i, set := range sets {
+			v, eerr := setExprs[i].eval(ctx)
 			if eerr != nil {
 				err = eerr
 				return false
@@ -257,15 +291,19 @@ func (s *Session) executeDelete(st *sqlparser.DeleteStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rel := &relation{}
-	label := strings.ToLower(tbl.Name)
-	for _, c := range tbl.Columns {
-		rel.cols = append(rel.cols, colDesc{table: label, name: strings.ToLower(c.Name)})
+	var where boundExpr
+	if st.Where != nil {
+		env := &compileEnv{cols: tableSchema(tbl), sheets: s.sheets}
+		if where, err = compileExpr(st.Where, env); err != nil {
+			return nil, err
+		}
 	}
 	var ids []tablestore.RowID
+	ctx := &rowCtx{sheets: s.sheets}
 	err = s.db.Scan(st.Table, func(id tablestore.RowID, row []sheet.Value) bool {
-		if st.Where != nil {
-			keep, perr := evalPredicate(st.Where, &evalCtx{rel: rel, row: row, sheets: s.sheets})
+		if where != nil {
+			ctx.row = row
+			keep, perr := evalBoundPredicate(where, ctx)
 			if perr != nil {
 				err = perr
 				return false

@@ -10,42 +10,69 @@ import (
 	"github.com/dataspread/dataspread/internal/storage/tablestore"
 )
 
+// The streaming SELECT executor. A statement runs as a pipeline of
+//
+//	scan -> filter -> join -> group -> sort/limit
+//
+// with three properties the old materialize-everything executor lacked:
+//
+//   - Predicate pushdown: WHERE conjuncts that reference a single FROM
+//     source are evaluated inside that source's scan, before rows are
+//     copied out of the storage manager (or, for RANGETABLE and sub-select
+//     sources, before rows flow into joins).
+//   - Projection pruning: named tables are scanned through ScanCols with
+//     only the referenced columns, so column and hybrid layouts never page
+//     in blocks of unreferenced attribute groups.
+//   - Bound evaluation: every expression is compiled once per execution
+//     against its relation schema (see bind.go); per-row evaluation never
+//     resolves names and never formats hash keys.
+
 // executeSelect runs a SELECT statement to a materialised Result.
 func (db *Database) executeSelect(stmt *sqlparser.SelectStmt, sheets SheetAccessor) (*Result, error) {
-	// 1. FROM and JOINs.
-	rel, err := db.buildFrom(stmt, sheets)
+	return db.runSelect(stmt, analyzeSelect(stmt), sheets)
+}
+
+// runSelect executes a SELECT according to its cached analysis.
+func (db *Database) runSelect(stmt *sqlparser.SelectStmt, an *selectAnalysis, sheets SheetAccessor) (*Result, error) {
+	rel, residual, err := db.buildInput(stmt, an, sheets)
 	if err != nil {
 		return nil, err
 	}
-	// 2. WHERE.
-	if stmt.Where != nil {
-		filtered := rel.rows[:0:0]
-		for _, row := range rel.rows {
-			keep, err := evalPredicate(stmt.Where, &evalCtx{rel: rel, row: row, sheets: sheets})
-			if err != nil {
+	// Residual WHERE conjuncts (those spanning sources, or blocked by the
+	// nullable side of a LEFT JOIN) filter the joined relation.
+	if len(residual) > 0 {
+		env := &compileEnv{cols: rel.cols, sheets: sheets}
+		preds := make([]boundExpr, len(residual))
+		for i, c := range residual {
+			if preds[i], err = compileExpr(c, env); err != nil {
 				return nil, err
 			}
+		}
+		ctx := &rowCtx{sheets: sheets}
+		kept := rel.rows[:0]
+		for _, row := range rel.rows {
+			ctx.row = row
+			keep := true
+			for _, p := range preds {
+				ok, err := evalBoundPredicate(p, ctx)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					keep = false
+					break
+				}
+			}
 			if keep {
-				filtered = append(filtered, row)
+				kept = append(kept, row)
 			}
 		}
-		rel = &relation{cols: rel.cols, rows: filtered}
+		rel = &relation{cols: rel.cols, rows: kept}
 	}
-	// 3. Projection, grouping, ordering.
-	hasAgg := stmt.Having != nil && exprHasAggregate(stmt.Having)
-	for _, item := range stmt.Columns {
-		if !item.Star && exprHasAggregate(item.Expr) {
-			hasAgg = true
-		}
-	}
-	for _, o := range stmt.OrderBy {
-		if exprHasAggregate(o.Expr) {
-			hasAgg = true
-		}
-	}
+
 	var out *Result
 	var sortKeys [][]sheet.Value
-	if len(stmt.GroupBy) > 0 || hasAgg {
+	if an.grouped {
 		out, sortKeys, err = db.projectGrouped(stmt, rel, sheets)
 	} else {
 		out, sortKeys, err = db.projectRows(stmt, rel, sheets)
@@ -53,122 +80,458 @@ func (db *Database) executeSelect(stmt *sqlparser.SelectStmt, sheets SheetAccess
 	if err != nil {
 		return nil, err
 	}
-	// 4. DISTINCT.
 	if stmt.Distinct {
 		out, sortKeys = distinctRows(out, sortKeys)
 	}
-	// 5. ORDER BY.
-	if len(stmt.OrderBy) > 0 {
+	if len(stmt.OrderBy) > 0 && sortKeys != nil {
 		sortResult(stmt.OrderBy, out, sortKeys)
 	}
-	// 6. LIMIT / OFFSET.
 	applyLimit(stmt, out)
 	return out, nil
 }
 
-// evalPredicate evaluates a boolean expression; NULL counts as false.
-func evalPredicate(e sqlparser.Expr, ctx *evalCtx) (bool, error) {
-	v, err := evalExpr(e, ctx)
-	if err != nil {
-		return false, err
-	}
-	if isNull(v) {
-		return false, nil
-	}
-	b, ok := v.AsBool()
-	if !ok {
-		return false, fmt.Errorf("sqlexec: predicate did not evaluate to a boolean (got %q)", v.String())
-	}
-	return b, nil
+// --- FROM pipeline: sources, pushdown, pruning, scans, joins ---
+
+// srcState is one FROM relation while the input pipeline is being built.
+type srcState struct {
+	label string
+	cols  []colDesc // full schema
+	store tablestore.Store
+	rows  [][]sheet.Value // materialised rows (RANGETABLE / sub-select)
+
+	pushed    []sqlparser.Expr // conjuncts evaluated inside this source's scan
+	needed    []bool           // referenced columns (named tables)
+	allNeeded bool
 }
 
-// buildFrom materialises the FROM clause including all joins.
-func (db *Database) buildFrom(stmt *sqlparser.SelectStmt, sheets SheetAccessor) (*relation, error) {
+func (s *srcState) mark(col int) {
+	if s.needed != nil {
+		s.needed[col] = true
+	}
+}
+
+// buildInput materialises the FROM clause: scans with pushdown and pruning,
+// then joins. It returns the joined relation and the residual conjuncts.
+func (db *Database) buildInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, sheets SheetAccessor) (*relation, []sqlparser.Expr, error) {
+	// Row-independent, error-free conjuncts are evaluated once per
+	// execution; a false or NULL one empties the result. Once one is
+	// false, the rest are skipped — WHERE short-circuits left to right.
+	live := true
+	var nonConst []sqlparser.Expr
+	var nonConstPush []bool
+	emptyCtx := &rowCtx{sheets: sheets}
+	for i, c := range an.conjuncts {
+		if !an.constConjuncts[i] {
+			nonConst = append(nonConst, c)
+			nonConstPush = append(nonConstPush, an.pushable[i])
+			continue
+		}
+		if !live {
+			continue
+		}
+		be, err := compileExpr(c, &compileEnv{sheets: sheets})
+		if err != nil {
+			return nil, nil, err
+		}
+		ok, err := evalBoundPredicate(be, emptyCtx)
+		if err != nil {
+			return nil, nil, err
+		}
+		live = live && ok
+	}
+
 	if stmt.From == nil {
 		// Table-less SELECT: a single anonymous row.
-		return &relation{rows: [][]sheet.Value{{}}}, nil
-	}
-	left, err := db.relationFor(stmt.From, sheets)
-	if err != nil {
-		return nil, err
-	}
-	for _, join := range stmt.Joins {
-		right, err := db.relationFor(join.Table, sheets)
-		if err != nil {
-			return nil, err
-		}
-		left, err = db.joinRelations(left, right, join, sheets)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return left, nil
-}
-
-// relationFor materialises one table reference.
-func (db *Database) relationFor(ref sqlparser.TableRef, sheets SheetAccessor) (*relation, error) {
-	switch t := ref.(type) {
-	case *sqlparser.TableName:
-		tbl, err := db.cat.MustGet(t.Name)
-		if err != nil {
-			return nil, err
-		}
-		label := strings.ToLower(t.Name)
-		if t.Alias != "" {
-			label = strings.ToLower(t.Alias)
-		}
 		rel := &relation{}
-		for _, c := range tbl.Columns {
-			rel.cols = append(rel.cols, colDesc{table: label, name: strings.ToLower(c.Name)})
+		if live {
+			rel.rows = [][]sheet.Value{{}}
 		}
-		if err := db.scanInto(t.Name, rel); err != nil {
-			return nil, err
-		}
-		return rel, nil
-	case *sqlparser.RangeTableRef:
-		if sheets == nil {
-			return nil, fmt.Errorf("sqlexec: RANGETABLE requires a spreadsheet context")
-		}
-		names, rows, err := sheets.RangeTable(t.Ref, t.HeaderRow)
-		if err != nil {
-			return nil, err
-		}
-		label := strings.ToLower(t.Alias)
-		rel := &relation{rows: rows}
-		for _, n := range names {
-			rel.cols = append(rel.cols, colDesc{table: label, name: strings.ToLower(n)})
-		}
-		return rel, nil
-	case *sqlparser.SubSelect:
-		res, err := db.executeSelect(t.Select, sheets)
-		if err != nil {
-			return nil, err
-		}
-		label := strings.ToLower(t.Alias)
-		rel := &relation{rows: res.Rows}
-		for _, n := range res.Columns {
-			rel.cols = append(rel.cols, colDesc{table: label, name: strings.ToLower(n)})
-		}
-		return rel, nil
-	default:
-		return nil, fmt.Errorf("sqlexec: unsupported table reference %T", ref)
+		return rel, nonConst, nil
 	}
+
+	srcs, err := db.buildSources(stmt, sheets)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Simulate the joined schema over the full source schemas: the final
+	// column list, where each column came from, and the join key columns
+	// (which count as referenced on both sides).
+	accum := append([]colDesc(nil), srcs[0].cols...)
+	origin := make([]srcCol, len(accum))
+	for i := range accum {
+		origin[i] = srcCol{src: 0, col: i}
+	}
+	for ji, join := range stmt.Joins {
+		si := ji + 1
+		right := srcs[si]
+		var rightKeys []int
+		switch {
+		case join.Natural:
+			for li, lc := range accum {
+				for ri, rc := range right.cols {
+					if lc.name == rc.name {
+						srcs[origin[li].src].mark(origin[li].col)
+						right.mark(ri)
+						rightKeys = append(rightKeys, ri)
+						break
+					}
+				}
+			}
+		case len(join.Using) > 0:
+			for _, name := range join.Using {
+				n := strings.ToLower(name)
+				li, err := findColumn(accum, "", n)
+				if err != nil {
+					return nil, nil, err
+				}
+				ri, err := findColumn(right.cols, "", n)
+				if err != nil {
+					return nil, nil, err
+				}
+				srcs[origin[li].src].mark(origin[li].col)
+				right.mark(ri)
+				rightKeys = append(rightKeys, ri)
+			}
+		case join.On != nil:
+			combined := append(append([]colDesc(nil), accum...), right.cols...)
+			comboOrigin := make([]srcCol, 0, len(origin)+len(right.cols))
+			comboOrigin = append(comboOrigin, origin...)
+			for ri := range right.cols {
+				comboOrigin = append(comboOrigin, srcCol{src: si, col: ri})
+			}
+			markRefs(join.On, combined, comboOrigin, srcs)
+		}
+		dropRight := make(map[int]bool, len(rightKeys))
+		for _, ri := range rightKeys {
+			dropRight[ri] = true
+		}
+		for ri, rc := range right.cols {
+			if dropRight[ri] {
+				continue
+			}
+			accum = append(accum, rc)
+			origin = append(origin, srcCol{src: si, col: ri})
+		}
+	}
+
+	// Mark every column the statement references against the final schema.
+	for _, item := range stmt.Columns {
+		switch {
+		case item.Star && item.TableStar == "":
+			for _, s := range srcs {
+				s.allNeeded = true
+			}
+		case item.Star:
+			q := strings.ToLower(item.TableStar)
+			for i, c := range accum {
+				if c.table == q {
+					srcs[origin[i].src].mark(origin[i].col)
+				}
+			}
+		default:
+			markRefs(item.Expr, accum, origin, srcs)
+		}
+	}
+	for _, g := range stmt.GroupBy {
+		markRefs(g, accum, origin, srcs)
+	}
+	if an.grouped && stmt.Having != nil {
+		markRefs(stmt.Having, accum, origin, srcs)
+	}
+	for _, o := range stmt.OrderBy {
+		markRefs(o.Expr, accum, origin, srcs)
+	}
+
+	// Assign each non-constant conjunct: pushed into the single source it
+	// references when it cannot error and that source is not on the
+	// nullable side of a LEFT JOIN, residual otherwise.
+	var residual []sqlparser.Expr
+	for i, c := range nonConst {
+		markRefs(c, accum, origin, srcs)
+		src, ok := conjunctSource(c, accum, origin)
+		if ok && nonConstPush[i] && (src == 0 || stmt.Joins[src-1].Type != sqlparser.JoinLeft) {
+			srcs[src].pushed = append(srcs[src].pushed, c)
+		} else {
+			residual = append(residual, c)
+		}
+	}
+
+	// Scan every source into a pruned, pre-filtered relation, then fold
+	// the joins.
+	left, err := db.scanSource(srcs[0], live, sheets)
+	if err != nil {
+		return nil, nil, err
+	}
+	for ji, join := range stmt.Joins {
+		right, err := db.scanSource(srcs[ji+1], live, sheets)
+		if err != nil {
+			return nil, nil, err
+		}
+		left, err = joinRelations(left, right, join, sheets)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return left, residual, nil
 }
 
-// scanInto appends all live tuples of the table to the relation.
-func (db *Database) scanInto(table string, rel *relation) error {
-	s, err := db.store(table)
-	if err != nil {
-		return err
-	}
-	return s.Scan(func(_ tablestore.RowID, row []sheet.Value) bool {
-		rel.rows = append(rel.rows, row)
-		return true
+// srcCol locates a joined-schema column inside its FROM source.
+type srcCol struct {
+	src, col int
+}
+
+// markRefs marks every column an expression references. Ambiguous names
+// mark all candidates, so pruning preserves the ambiguity for the binding
+// stage to report; unknown names are left for binding to report too.
+func markRefs(e sqlparser.Expr, accum []colDesc, origin []srcCol, srcs []*srcState) {
+	walkExpr(e, func(x sqlparser.Expr) {
+		cr, ok := x.(*sqlparser.ColumnRef)
+		if !ok {
+			return
+		}
+		table, name := strings.ToLower(cr.Table), strings.ToLower(cr.Name)
+		for i, c := range accum {
+			if c.name == name && (table == "" || c.table == table) {
+				srcs[origin[i].src].mark(origin[i].col)
+			}
+		}
 	})
 }
 
+// conjunctSource resolves every column reference of a conjunct against the
+// joined schema and reports the single source they all belong to. It
+// returns false when any reference is unknown or ambiguous, or when the
+// references span sources.
+func conjunctSource(e sqlparser.Expr, accum []colDesc, origin []srcCol) (int, bool) {
+	src, ok := -1, true
+	walkExpr(e, func(x sqlparser.Expr) {
+		cr, isRef := x.(*sqlparser.ColumnRef)
+		if !isRef || !ok {
+			return
+		}
+		table, name := strings.ToLower(cr.Table), strings.ToLower(cr.Name)
+		found := -1
+		for i, c := range accum {
+			if c.name == name && (table == "" || c.table == table) {
+				if found >= 0 {
+					ok = false // ambiguous: leave for the binding stage
+					return
+				}
+				found = i
+			}
+		}
+		if found < 0 {
+			ok = false // unknown: leave for the binding stage
+			return
+		}
+		s := origin[found].src
+		if src >= 0 && src != s {
+			ok = false // spans sources
+			return
+		}
+		src = s
+	})
+	if src < 0 {
+		return 0, false
+	}
+	return src, ok
+}
+
+// buildSources resolves the schema of every FROM relation. RANGETABLE and
+// sub-select sources materialise their rows here; named tables are scanned
+// later, after pushdown and pruning are decided.
+func (db *Database) buildSources(stmt *sqlparser.SelectStmt, sheets SheetAccessor) ([]*srcState, error) {
+	refs := make([]sqlparser.TableRef, 0, 1+len(stmt.Joins))
+	refs = append(refs, stmt.From)
+	for _, j := range stmt.Joins {
+		refs = append(refs, j.Table)
+	}
+	srcs := make([]*srcState, len(refs))
+	for i, ref := range refs {
+		s := &srcState{}
+		switch t := ref.(type) {
+		case *sqlparser.TableName:
+			tbl, err := db.cat.MustGet(t.Name)
+			if err != nil {
+				return nil, err
+			}
+			s.label = strings.ToLower(t.Name)
+			if t.Alias != "" {
+				s.label = strings.ToLower(t.Alias)
+			}
+			for _, c := range tbl.Columns {
+				s.cols = append(s.cols, colDesc{table: s.label, name: strings.ToLower(c.Name), src: i})
+			}
+			if s.store, err = db.store(t.Name); err != nil {
+				return nil, err
+			}
+			s.needed = make([]bool, len(s.cols))
+		case *sqlparser.RangeTableRef:
+			if sheets == nil {
+				return nil, fmt.Errorf("sqlexec: RANGETABLE requires a spreadsheet context")
+			}
+			names, rows, err := sheets.RangeTable(t.Ref, t.HeaderRow)
+			if err != nil {
+				return nil, err
+			}
+			s.label = strings.ToLower(t.Alias)
+			s.rows = rows
+			s.allNeeded = true
+			for _, n := range names {
+				s.cols = append(s.cols, colDesc{table: s.label, name: strings.ToLower(n), src: i})
+			}
+		case *sqlparser.SubSelect:
+			res, err := db.executeSelect(t.Select, sheets)
+			if err != nil {
+				return nil, err
+			}
+			s.label = strings.ToLower(t.Alias)
+			s.rows = res.Rows
+			s.allNeeded = true
+			for _, n := range res.Columns {
+				s.cols = append(s.cols, colDesc{table: s.label, name: strings.ToLower(n), src: i})
+			}
+		default:
+			return nil, fmt.Errorf("sqlexec: unsupported table reference %T", ref)
+		}
+		srcs[i] = s
+	}
+	return srcs, nil
+}
+
+// scanSource turns one FROM source into a relation: named tables stream
+// through ScanCols with only the needed columns and the pushed predicates
+// applied before rows are copied; materialised sources are filtered in
+// place. live=false short-circuits to an empty relation (a constant WHERE
+// conjunct was false).
+func (db *Database) scanSource(s *srcState, live bool, sheets SheetAccessor) (*relation, error) {
+	if s.store == nil {
+		// RANGETABLE / sub-select: rows are already materialised; apply
+		// the pushed conjuncts before the rows enter the join pipeline.
+		rel := &relation{cols: s.cols}
+		if !live {
+			return rel, nil
+		}
+		rel.rows = s.rows
+		if len(s.pushed) == 0 {
+			return rel, nil
+		}
+		preds, err := compilePredicates(s.pushed, s.cols, sheets)
+		if err != nil {
+			return nil, err
+		}
+		ctx := &rowCtx{sheets: sheets}
+		kept := rel.rows[:0]
+		for _, row := range rel.rows {
+			ctx.row = row
+			keep, err := allPredicates(preds, ctx)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				kept = append(kept, row)
+			}
+		}
+		rel.rows = kept
+		return rel, nil
+	}
+
+	// Named table: projection pruning decides the physical column subset.
+	// scanCols stays nil only for a full-width scan; a source with NO
+	// referenced columns (e.g. COUNT(*), or a bare existence join) scans
+	// with an explicit empty subset so the relation's zero-width schema
+	// matches its rows.
+	var scanCols []int
+	cols := s.cols
+	if !s.allNeeded {
+		all := true
+		for _, n := range s.needed {
+			if !n {
+				all = false
+				break
+			}
+		}
+		if !all {
+			scanCols = []int{}
+			cols = []colDesc{}
+			for i, n := range s.needed {
+				if n {
+					scanCols = append(scanCols, i)
+					cols = append(cols, s.cols[i])
+				}
+			}
+		}
+	}
+	rel := &relation{cols: cols}
+	if !live {
+		return rel, nil
+	}
+	preds, err := compilePredicates(s.pushed, cols, sheets)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &rowCtx{sheets: sheets}
+	var arena valueArena
+	// Stable scans hand out immutable decoded-page rows that can be
+	// retained as-is; scratch-based scans require a copy of each kept row.
+	stable := s.store.ScanColsStable(scanCols)
+	var scanErr error
+	err = s.store.ScanCols(scanCols, func(_ tablestore.RowID, row []sheet.Value) bool {
+		ctx.row = row
+		keep, err := allPredicates(preds, ctx)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if keep {
+			if !stable {
+				row = arena.clone(row)
+			}
+			rel.rows = append(rel.rows, row)
+		}
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+func compilePredicates(conjuncts []sqlparser.Expr, cols []colDesc, sheets SheetAccessor) ([]boundExpr, error) {
+	if len(conjuncts) == 0 {
+		return nil, nil
+	}
+	env := &compileEnv{cols: cols, sheets: sheets}
+	preds := make([]boundExpr, len(conjuncts))
+	var err error
+	for i, c := range conjuncts {
+		if preds[i], err = compileExpr(c, env); err != nil {
+			return nil, err
+		}
+	}
+	return preds, nil
+}
+
+func allPredicates(preds []boundExpr, ctx *rowCtx) (bool, error) {
+	for _, p := range preds {
+		ok, err := evalBoundPredicate(p, ctx)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// --- joins ---
+
 // joinRelations combines two relations according to the join specification.
-func (db *Database) joinRelations(left, right *relation, join sqlparser.Join, sheets SheetAccessor) (*relation, error) {
+// Hash joins build a typed-key index over the right side; candidate rows
+// are assembled in a reused scratch buffer and only copied when they join.
+func joinRelations(left, right *relation, join sqlparser.Join, sheets SheetAccessor) (*relation, error) {
 	// Determine equi-join column pairs for NATURAL / USING joins.
 	var leftKeys, rightKeys []int
 	switch {
@@ -224,47 +587,67 @@ func (db *Database) joinRelations(left, right *relation, join sqlparser.Join, sh
 	}
 
 	pad := make([]sheet.Value, len(right.cols)-len(dropRight))
+	leftWidth := len(left.cols)
 
 	switch {
 	case len(leftKeys) > 0:
 		// Hash join on the shared columns.
-		index := make(map[string][]int, len(right.rows))
+		ix := newKeyIndex(len(rightKeys))
+		keyBuf := make([]normValue, 0, len(rightKeys))
 		for ri, row := range right.rows {
-			index[hashKey(row, rightKeys)] = append(index[hashKey(row, rightKeys)], ri)
+			keyBuf = normalizeRowKey(keyBuf, row, rightKeys)
+			slot, _ := ix.getOrAdd(keyBuf)
+			ix.addRow(slot, ri)
 		}
 		for _, lrow := range left.rows {
-			matches := index[hashKey(lrow, leftKeys)]
-			if len(matches) == 0 {
+			keyBuf = normalizeRowKey(keyBuf, lrow, leftKeys)
+			slot := ix.lookup(keyBuf)
+			if slot < 0 {
 				if join.Type == sqlparser.JoinLeft {
 					out.rows = append(out.rows, concatRows(lrow, pad))
 				}
 				continue
 			}
-			for _, ri := range matches {
+			for _, ri := range ix.matches(slot) {
 				out.rows = append(out.rows, concatRows(lrow, projectRight(right.rows[ri])))
 			}
 		}
 	case join.On != nil:
 		// Try to extract equi-join keys from the ON condition for a hash
-		// join; otherwise fall back to a nested loop.
+		// join; otherwise fall back to a nested loop. Either way the ON
+		// predicate is compiled once against the combined schema and
+		// candidate rows are staged in a reused scratch buffer.
+		on, err := compileExpr(join.On, &compileEnv{cols: out.cols, sheets: sheets})
+		if err != nil {
+			return nil, err
+		}
+		ctx := &rowCtx{sheets: sheets}
+		scratch := make([]sheet.Value, len(left.cols)+len(right.cols))
 		lk, rk := equiJoinKeys(join.On, left, right)
 		if len(lk) > 0 {
-			index := make(map[string][]int, len(right.rows))
+			ix := newKeyIndex(len(rk))
+			keyBuf := make([]normValue, 0, len(rk))
 			for ri, row := range right.rows {
-				index[hashKey(row, rk)] = append(index[hashKey(row, rk)], ri)
+				keyBuf = normalizeRowKey(keyBuf, row, rk)
+				slot, _ := ix.getOrAdd(keyBuf)
+				ix.addRow(slot, ri)
 			}
 			for _, lrow := range left.rows {
-				matches := index[hashKey(lrow, lk)]
+				keyBuf = normalizeRowKey(keyBuf, lrow, lk)
 				matched := false
-				for _, ri := range matches {
-					combined := concatRows(lrow, right.rows[ri])
-					keep, err := evalPredicate(join.On, &evalCtx{rel: out, row: combined, sheets: sheets})
-					if err != nil {
-						return nil, err
-					}
-					if keep {
-						out.rows = append(out.rows, combined)
-						matched = true
+				if slot := ix.lookup(keyBuf); slot >= 0 {
+					copy(scratch, lrow)
+					for _, ri := range ix.matches(slot) {
+						copy(scratch[leftWidth:], right.rows[ri])
+						ctx.row = scratch
+						keep, err := evalBoundPredicate(on, ctx)
+						if err != nil {
+							return nil, err
+						}
+						if keep {
+							out.rows = append(out.rows, concatRows(lrow, right.rows[ri]))
+							matched = true
+						}
 					}
 				}
 				if !matched && join.Type == sqlparser.JoinLeft {
@@ -274,14 +657,16 @@ func (db *Database) joinRelations(left, right *relation, join sqlparser.Join, sh
 		} else {
 			for _, lrow := range left.rows {
 				matched := false
+				copy(scratch, lrow)
 				for _, rrow := range right.rows {
-					combined := concatRows(lrow, rrow)
-					keep, err := evalPredicate(join.On, &evalCtx{rel: out, row: combined, sheets: sheets})
+					copy(scratch[leftWidth:], rrow)
+					ctx.row = scratch
+					keep, err := evalBoundPredicate(on, ctx)
 					if err != nil {
 						return nil, err
 					}
 					if keep {
-						out.rows = append(out.rows, combined)
+						out.rows = append(out.rows, concatRows(lrow, rrow))
 						matched = true
 					}
 				}
@@ -355,24 +740,6 @@ func concatRows(a, b []sheet.Value) []sheet.Value {
 	return append(out, b...)
 }
 
-func hashKey(row []sheet.Value, cols []int) string {
-	var sb strings.Builder
-	for _, c := range cols {
-		v := sheet.Empty()
-		if c < len(row) {
-			v = row[c]
-		}
-		// Normalise numerically equal values and case-insensitive strings
-		// the same way Value.Equal does.
-		if f, ok := v.AsNumber(); ok && v.Kind != sheet.KindString {
-			fmt.Fprintf(&sb, "n:%v|", f)
-			continue
-		}
-		fmt.Fprintf(&sb, "%d:%s|", v.Kind, strings.ToLower(v.String()))
-	}
-	return sb.String()
-}
-
 // --- projection ---
 
 // expandItems resolves stars into concrete select items and returns the
@@ -411,157 +778,69 @@ func outputName(item sqlparser.SelectItem, idx int) string {
 	}
 }
 
-// projectRows projects a non-aggregated SELECT and returns the result plus
-// per-row ORDER BY sort keys (evaluated against the input rows).
-func (db *Database) projectRows(stmt *sqlparser.SelectStmt, rel *relation, sheets SheetAccessor) (*Result, [][]sheet.Value, error) {
-	items, names := expandItems(stmt, rel)
-	res := &Result{Columns: names}
-	var sortKeys [][]sheet.Value
-	for _, row := range rel.rows {
-		ctx := &evalCtx{rel: rel, row: row, sheets: sheets}
-		out := make([]sheet.Value, len(items))
-		for i, item := range items {
-			v, err := evalExpr(item.Expr, ctx)
-			if err != nil {
-				return nil, nil, err
-			}
-			out[i] = v
-		}
-		res.Rows = append(res.Rows, out)
-		if len(stmt.OrderBy) > 0 {
-			keys, err := orderKeys(stmt.OrderBy, ctx, res, out)
-			if err != nil {
-				return nil, nil, err
-			}
-			sortKeys = append(sortKeys, keys)
-		}
-	}
-	return res, sortKeys, nil
+// orderPlan is the compiled form of one ORDER BY term: either an output
+// column (positional reference or output alias) or a bound expression over
+// the input row.
+type orderPlan struct {
+	outCol int // >= 0: key is output column outCol
+	expr   boundExpr
 }
 
-// projectGrouped projects an aggregated SELECT (explicit GROUP BY or implicit
-// single-group aggregation).
-func (db *Database) projectGrouped(stmt *sqlparser.SelectStmt, rel *relation, sheets SheetAccessor) (*Result, [][]sheet.Value, error) {
-	items, names := expandItems(stmt, rel)
-	res := &Result{Columns: names}
-
-	// Partition rows into groups.
-	type groupData struct {
-		key  []sheet.Value
-		rows [][]sheet.Value
+// buildOrderPlans compiles the ORDER BY terms. A term may reference an
+// output position (1-based integer literal), an output alias, or any
+// expression over the input schema (compiled in env, which carries the
+// aggregate registry in grouped mode).
+func buildOrderPlans(stmt *sqlparser.SelectStmt, itemCount int, names []string, rel *relation, env *compileEnv) ([]orderPlan, error) {
+	if len(stmt.OrderBy) == 0 {
+		return nil, nil
 	}
-	var groups []*groupData
-	if len(stmt.GroupBy) == 0 {
-		rows := rel.rows
-		if rows == nil {
-			// Aggregates over an empty input still produce one output row
-			// (e.g. COUNT(*) = 0), so the single group must be non-nil.
-			rows = [][]sheet.Value{}
-		}
-		groups = append(groups, &groupData{rows: rows})
-	} else {
-		byKey := make(map[string]*groupData)
-		var order []string
-		for _, row := range rel.rows {
-			ctx := &evalCtx{rel: rel, row: row, sheets: sheets}
-			keyVals := make([]sheet.Value, len(stmt.GroupBy))
-			for i, g := range stmt.GroupBy {
-				v, err := evalExpr(g, ctx)
-				if err != nil {
-					return nil, nil, err
-				}
-				keyVals[i] = v
-			}
-			k := hashKey(keyVals, allIndexes(len(keyVals)))
-			gd, ok := byKey[k]
-			if !ok {
-				gd = &groupData{key: keyVals}
-				byKey[k] = gd
-				order = append(order, k)
-			}
-			gd.rows = append(gd.rows, row)
-		}
-		for _, k := range order {
-			groups = append(groups, byKey[k])
-		}
-	}
-
-	var sortKeys [][]sheet.Value
-	for _, g := range groups {
-		// A representative row provides the values of grouping columns.
-		var rep []sheet.Value
-		if len(g.rows) > 0 {
-			rep = g.rows[0]
-		}
-		ctx := &evalCtx{rel: rel, row: rep, sheets: sheets, group: g.rows}
-		if stmt.Having != nil {
-			keep, err := evalPredicate(stmt.Having, ctx)
-			if err != nil {
-				return nil, nil, err
-			}
-			if !keep {
-				continue
-			}
-		}
-		// With no GROUP BY and no input rows, aggregates still produce one
-		// output row (e.g. COUNT(*) = 0).
-		out := make([]sheet.Value, len(items))
-		for i, item := range items {
-			v, err := evalExpr(item.Expr, ctx)
-			if err != nil {
-				return nil, nil, err
-			}
-			out[i] = v
-		}
-		res.Rows = append(res.Rows, out)
-		if len(stmt.OrderBy) > 0 {
-			keys, err := orderKeys(stmt.OrderBy, ctx, res, out)
-			if err != nil {
-				return nil, nil, err
-			}
-			sortKeys = append(sortKeys, keys)
-		}
-	}
-	return res, sortKeys, nil
-}
-
-func allIndexes(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
-
-// orderKeys evaluates ORDER BY expressions for one output row. An ORDER BY
-// term may reference an output alias, an output position (1-based integer
-// literal), or any expression over the input row.
-func orderKeys(orderBy []sqlparser.OrderItem, ctx *evalCtx, res *Result, outRow []sheet.Value) ([]sheet.Value, error) {
-	keys := make([]sheet.Value, len(orderBy))
-	for i, o := range orderBy {
+	plans := make([]orderPlan, len(stmt.OrderBy))
+	for i, o := range stmt.OrderBy {
+		plans[i].outCol = -1
 		// Positional reference: ORDER BY 2.
 		if lit, ok := o.Expr.(*sqlparser.Literal); ok && lit.Value.IsNumber() {
 			idx := int(lit.Value.Num) - 1
-			if idx >= 0 && idx < len(outRow) {
-				keys[i] = outRow[idx]
+			if idx >= 0 && idx < itemCount {
+				plans[i].outCol = idx
 				continue
 			}
 		}
 		// Output alias reference.
 		if cr, ok := o.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" {
-			if _, err := ctx.rel.columnIndex("", cr.Name); err != nil {
-				for j, name := range res.Columns {
-					if strings.EqualFold(name, cr.Name) && j < len(outRow) {
-						keys[i] = outRow[j]
+			if _, err := findColumn(rel.cols, "", strings.ToLower(cr.Name)); err != nil {
+				aliased := false
+				for j, name := range names {
+					if strings.EqualFold(name, cr.Name) && j < itemCount {
+						plans[i].outCol = j
+						aliased = true
 						break
 					}
 				}
-				if !keys[i].IsEmpty() {
+				if aliased {
 					continue
 				}
 			}
 		}
-		v, err := evalExpr(o.Expr, ctx)
+		be, err := compileExpr(o.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		plans[i].expr = be
+	}
+	return plans, nil
+}
+
+// evalOrderKeys computes the sort key vector for one output row into keys,
+// which must have len(plans) entries.
+func evalOrderKeys(plans []orderPlan, ctx *rowCtx, outRow []sheet.Value, keys []sheet.Value) ([]sheet.Value, error) {
+	for i, p := range plans {
+		if p.outCol >= 0 {
+			if p.outCol < len(outRow) {
+				keys[i] = outRow[p.outCol]
+			}
+			continue
+		}
+		v, err := p.expr.eval(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -570,16 +849,222 @@ func orderKeys(orderBy []sqlparser.OrderItem, ctx *evalCtx, res *Result, outRow 
 	return keys, nil
 }
 
+// projectRows projects a non-aggregated SELECT, streaming rows through the
+// compiled projection. With ORDER BY ... LIMIT (and no DISTINCT) a top-K
+// heap keeps only the surviving rows instead of sorting the full input.
+func (db *Database) projectRows(stmt *sqlparser.SelectStmt, rel *relation, sheets SheetAccessor) (*Result, [][]sheet.Value, error) {
+	items, names := expandItems(stmt, rel)
+	env := &compileEnv{cols: rel.cols, sheets: sheets}
+	bound := make([]boundExpr, len(items))
+	var err error
+	for i, item := range items {
+		if bound[i], err = compileExpr(item.Expr, env); err != nil {
+			return nil, nil, err
+		}
+	}
+	orderPlans, err := buildOrderPlans(stmt, len(items), names, rel, env)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := &Result{Columns: names}
+	var topK *topKHeap
+	if len(orderPlans) > 0 && stmt.Limit != nil && !stmt.Distinct {
+		k := *stmt.Limit
+		if stmt.Offset != nil {
+			k += *stmt.Offset
+		}
+		topK = newTopKHeap(stmt.OrderBy, k)
+	}
+
+	ctx := &rowCtx{sheets: sheets}
+	var arena valueArena
+	var sortKeys [][]sheet.Value
+	if topK == nil {
+		res.Rows = make([][]sheet.Value, 0, len(rel.rows))
+		if orderPlans != nil {
+			sortKeys = make([][]sheet.Value, 0, len(rel.rows))
+		}
+	}
+	for seq, row := range rel.rows {
+		ctx.row = row
+		out := arena.take(len(bound))
+		for i, be := range bound {
+			v, err := be.eval(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[i] = v
+		}
+		if orderPlans == nil {
+			res.Rows = append(res.Rows, out)
+			continue
+		}
+		keys, err := evalOrderKeys(orderPlans, ctx, out, arena.take(len(orderPlans)))
+		if err != nil {
+			return nil, nil, err
+		}
+		if topK != nil {
+			topK.offer(out, keys, seq)
+			continue
+		}
+		res.Rows = append(res.Rows, out)
+		sortKeys = append(sortKeys, keys)
+	}
+	if topK != nil {
+		// Only the K surviving rows reach the final stable sort.
+		rows, keys := topK.finish()
+		res.Rows = rows
+		return res, keys, nil
+	}
+	return res, sortKeys, nil
+}
+
+// groupState accumulates one GROUP BY group: the representative input row
+// (for grouping-column projection) and the aggregate accumulators.
+type groupState struct {
+	rep    []sheet.Value
+	hasRep bool
+	accs   []aggState
+}
+
+// projectGrouped projects an aggregated SELECT (explicit GROUP BY or
+// implicit single-group aggregation) in a single streaming pass: rows are
+// hashed to their group by typed keys and folded into per-group aggregate
+// accumulators; no group retains its member rows.
+func (db *Database) projectGrouped(stmt *sqlparser.SelectStmt, rel *relation, sheets SheetAccessor) (*Result, [][]sheet.Value, error) {
+	items, names := expandItems(stmt, rel)
+	reg := &aggRegistry{}
+	env := &compileEnv{cols: rel.cols, sheets: sheets, aggs: reg}
+	bound := make([]boundExpr, len(items))
+	var err error
+	for i, item := range items {
+		if bound[i], err = compileExpr(item.Expr, env); err != nil {
+			return nil, nil, err
+		}
+	}
+	var bHaving boundExpr
+	if stmt.Having != nil {
+		if bHaving, err = compileExpr(stmt.Having, env); err != nil {
+			return nil, nil, err
+		}
+	}
+	orderPlans, err := buildOrderPlans(stmt, len(items), names, rel, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	// GROUP BY expressions evaluate per input row; aggregates inside them
+	// are invalid.
+	rowEnv := &compileEnv{cols: rel.cols, sheets: sheets}
+	groupBy := make([]boundExpr, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		if groupBy[i], err = compileExpr(g, rowEnv); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Partition rows into groups, folding aggregates as rows stream by.
+	var groups []*groupState
+	newGroup := func() *groupState {
+		return &groupState{accs: make([]aggState, len(reg.specs))}
+	}
+	ctx := &rowCtx{sheets: sheets}
+	var ix *keyIndex
+	var keyBuf []normValue
+	if len(groupBy) == 0 {
+		// Implicit single group: aggregates over an empty input still
+		// produce one output row (e.g. COUNT(*) = 0).
+		groups = append(groups, newGroup())
+	} else {
+		ix = newKeyIndex(len(groupBy))
+		keyBuf = make([]normValue, 0, len(groupBy))
+	}
+	for _, row := range rel.rows {
+		ctx.row = row
+		var g *groupState
+		if ix == nil {
+			g = groups[0]
+		} else {
+			keyBuf = keyBuf[:0]
+			for _, ge := range groupBy {
+				v, err := ge.eval(ctx)
+				if err != nil {
+					return nil, nil, err
+				}
+				keyBuf = append(keyBuf, normKeyValue(v))
+			}
+			slot, added := ix.getOrAdd(keyBuf)
+			if added {
+				groups = append(groups, newGroup())
+			}
+			g = groups[slot]
+		}
+		if !g.hasRep {
+			g.rep, g.hasRep = row, true
+		}
+		for i, sp := range reg.specs {
+			if err := sp.update(&g.accs[i], ctx); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	res := &Result{Columns: names}
+	var sortKeys [][]sheet.Value
+	for _, g := range groups {
+		ctx := &rowCtx{row: g.rep, sheets: sheets, aggs: make([]sheet.Value, len(reg.specs))}
+		for i, sp := range reg.specs {
+			ctx.aggs[i] = sp.result(&g.accs[i])
+		}
+		if bHaving != nil {
+			keep, err := evalBoundPredicate(bHaving, ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		out := make([]sheet.Value, len(bound))
+		for i, be := range bound {
+			v, err := be.eval(ctx)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+		if orderPlans != nil {
+			keys, err := evalOrderKeys(orderPlans, ctx, out, make([]sheet.Value, len(orderPlans)))
+			if err != nil {
+				return nil, nil, err
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+	return res, sortKeys, nil
+}
+
+// distinctRows deduplicates output rows by typed key, preserving first
+// occurrences.
 func distinctRows(res *Result, sortKeys [][]sheet.Value) (*Result, [][]sheet.Value) {
-	seen := make(map[string]bool, len(res.Rows))
+	width := 0
+	if len(res.Rows) > 0 {
+		width = len(res.Rows[0])
+	}
+	ix := newKeyIndex(width)
+	cols := make([]int, width)
+	for i := range cols {
+		cols[i] = i
+	}
+	keyBuf := make([]normValue, 0, width)
 	outRows := res.Rows[:0:0]
 	var outKeys [][]sheet.Value
 	for i, row := range res.Rows {
-		k := hashKey(row, allIndexes(len(row)))
-		if seen[k] {
+		keyBuf = normalizeRowKey(keyBuf, row, cols)
+		if _, added := ix.getOrAdd(keyBuf); !added {
 			continue
 		}
-		seen[k] = true
 		outRows = append(outRows, row)
 		if sortKeys != nil {
 			outKeys = append(outKeys, sortKeys[i])
@@ -589,8 +1074,21 @@ func distinctRows(res *Result, sortKeys [][]sheet.Value) (*Result, [][]sheet.Val
 	return res, outKeys
 }
 
+// sortResult stable-sorts the output rows by their precomputed keys. Input
+// that is already in order — e.g. ORDER BY an insertion-ordered key — is
+// detected in one linear pass and left untouched.
 func sortResult(orderBy []sqlparser.OrderItem, res *Result, sortKeys [][]sheet.Value) {
 	if len(sortKeys) != len(res.Rows) {
+		return
+	}
+	sorted := true
+	for i := 1; i < len(sortKeys); i++ {
+		if compareOrderKeys(orderBy, sortKeys[i-1], sortKeys[i]) > 0 {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
 		return
 	}
 	idx := make([]int, len(res.Rows))
@@ -598,27 +1096,7 @@ func sortResult(orderBy []sqlparser.OrderItem, res *Result, sortKeys [][]sheet.V
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
-		ka, kb := sortKeys[idx[a]], sortKeys[idx[b]]
-		for i, o := range orderBy {
-			c := ka[i].Compare(kb[i])
-			// NULLs sort last regardless of direction.
-			switch {
-			case ka[i].IsEmpty() && kb[i].IsEmpty():
-				c = 0
-			case ka[i].IsEmpty():
-				return false
-			case kb[i].IsEmpty():
-				return true
-			}
-			if c == 0 {
-				continue
-			}
-			if o.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
+		return compareOrderKeys(orderBy, sortKeys[idx[a]], sortKeys[idx[b]]) < 0
 	})
 	newRows := make([][]sheet.Value, len(res.Rows))
 	for i, j := range idx {

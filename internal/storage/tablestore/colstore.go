@@ -21,6 +21,7 @@ type ColStore struct {
 	slotCount int
 	nextID    RowID
 	rowCount  int
+	cache     decodedCache
 }
 
 type colPages struct {
@@ -55,6 +56,8 @@ func (s *ColStore) PageCount() int {
 	return n
 }
 
+// readColPage decodes a private copy of a column page for the mutation
+// paths, which edit the returned slice in place before writing it back.
 func (s *ColStore) readColPage(col, pi int) ([]sheet.Value, error) {
 	data, err := s.pool.Get(s.cols[col].pages[pi])
 	if err != nil {
@@ -63,7 +66,14 @@ func (s *ColStore) readColPage(col, pi int) ([]sheet.Value, error) {
 	return decodeColumn(data)
 }
 
+// readColPageShared returns the cached decoded page for the read-only paths;
+// callers must not modify the returned slice.
+func (s *ColStore) readColPageShared(col, pi int) ([]sheet.Value, error) {
+	return s.cache.getColumn(s.pool, s.cols[col].pages[pi])
+}
+
 func (s *ColStore) writeColPage(col, pi int, vals []sheet.Value) error {
+	s.cache.invalidate(s.cols[col].pages[pi])
 	return s.pool.Put(s.cols[col].pages[pi], encodeColumn(vals))
 }
 
@@ -110,7 +120,7 @@ func (s *ColStore) Get(id RowID) ([]sheet.Value, error) {
 	pi, off := slot/valuesPerPage, slot%valuesPerPage
 	row := make([]sheet.Value, len(s.cols))
 	for c := range s.cols {
-		vals, err := s.readColPage(c, pi)
+		vals, err := s.readColPageShared(c, pi)
 		if err != nil {
 			return nil, err
 		}
@@ -181,32 +191,59 @@ func (s *ColStore) Delete(id RowID) error {
 // Scan implements Store. Pages are visited chunk-wise so each block is read
 // once per scan.
 func (s *ColStore) Scan(fn func(id RowID, row []sheet.Value) bool) error {
+	return s.ScanCols(nil, func(id RowID, row []sheet.Value) bool {
+		return fn(id, cloneRow(row))
+	})
+}
+
+// ScanColsStable implements Store: column layouts always assemble tuples in
+// a reused scratch row.
+func (s *ColStore) ScanColsStable([]int) bool { return false }
+
+// ScanCols implements Store. Only the blocks of the requested columns are
+// read — the pure-column layout prunes I/O at attribute granularity.
+func (s *ColStore) ScanCols(cols []int, fn func(id RowID, row []sheet.Value) bool) error {
+	want := cols
+	if want == nil {
+		want = make([]int, len(s.cols))
+		for i := range want {
+			want[i] = i
+		}
+	}
+	for _, c := range want {
+		if c < 0 || c >= len(s.cols) {
+			return fmt.Errorf("%w: %d", ErrColumnRange, c)
+		}
+	}
+	scratch := make([]sheet.Value, len(want))
+	chunk := make([][]sheet.Value, len(want))
 	for base := 0; base < s.slotCount; base += valuesPerPage {
 		pi := base / valuesPerPage
-		chunk := make([][]sheet.Value, len(s.cols))
-		for c := range s.cols {
-			vals, err := s.readColPage(c, pi)
+		for j, c := range want {
+			vals, err := s.readColPageShared(c, pi)
 			if err != nil {
 				return err
 			}
-			chunk[c] = vals
+			chunk[j] = vals
 		}
 		limit := s.slotCount - base
 		if limit > valuesPerPage {
 			limit = valuesPerPage
 		}
+		hasDeleted := len(s.deleted) > 0
 		for off := 0; off < limit; off++ {
 			id := RowID(base + off + 1)
-			if s.deleted[id] {
+			if hasDeleted && s.deleted[id] {
 				continue
 			}
-			row := make([]sheet.Value, len(s.cols))
-			for c := range s.cols {
-				if off < len(chunk[c]) {
-					row[c] = chunk[c][off]
+			for j := range want {
+				if off < len(chunk[j]) {
+					scratch[j] = chunk[j][off]
+				} else {
+					scratch[j] = sheet.Empty()
 				}
 			}
-			if !fn(id, row) {
+			if !fn(id, scratch) {
 				return nil
 			}
 		}
@@ -244,6 +281,7 @@ func (s *ColStore) DropColumn(col int) error {
 		return fmt.Errorf("%w: %d", ErrColumnRange, col)
 	}
 	for _, pid := range s.cols[col].pages {
+		s.cache.invalidate(pid)
 		s.pool.Free(pid)
 	}
 	s.cols = append(s.cols[:col], s.cols[col+1:]...)

@@ -1,0 +1,115 @@
+package tablestore
+
+import (
+	"sync"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+)
+
+// decodedCacheCap bounds the number of decoded pages one store keeps. At the
+// default packing (~64 tuples or ~512 values per block) this covers a few
+// hundred thousand rows per table before eviction sets in.
+const decodedCacheCap = 4096
+
+// decodedCache memoizes decoded page images so repeated scans of the same
+// table do not re-decode every block from its byte form. Entries are shared
+// read-only snapshots: only the read paths (Scan/ScanCols/Get) consult the
+// cache, while mutators keep decoding private copies they are free to edit
+// in place, and every page write or free invalidates the entry. A reader
+// holding a decoded snapshot across a concurrent write therefore observes
+// the same pre-write image it would have decoded from the buffer pool.
+type decodedCache struct {
+	mu     sync.Mutex
+	tuples map[pager.PageID]tupleEntry
+	cols   map[pager.PageID][]sheet.Value
+}
+
+type tupleEntry struct {
+	ids  []RowID
+	rows [][]sheet.Value
+}
+
+// getTuples returns the decoded tuple page, decoding and caching on a miss.
+func (c *decodedCache) getTuples(pool *pager.BufferPool, id pager.PageID) ([]RowID, [][]sheet.Value, error) {
+	c.mu.Lock()
+	if e, ok := c.tuples[id]; ok {
+		c.mu.Unlock()
+		return e.ids, e.rows, nil
+	}
+	c.mu.Unlock()
+	data, err := pool.Get(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids, rows, err := decodeTuples(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	if c.tuples == nil {
+		c.tuples = make(map[pager.PageID]tupleEntry)
+	}
+	c.evictIfFull(len(c.tuples))
+	c.tuples[id] = tupleEntry{ids: ids, rows: rows}
+	c.mu.Unlock()
+	return ids, rows, nil
+}
+
+// getColumn returns the decoded column page, decoding and caching on a miss.
+func (c *decodedCache) getColumn(pool *pager.BufferPool, id pager.PageID) ([]sheet.Value, error) {
+	c.mu.Lock()
+	if vals, ok := c.cols[id]; ok {
+		c.mu.Unlock()
+		return vals, nil
+	}
+	c.mu.Unlock()
+	data, err := pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := decodeColumn(data)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.cols == nil {
+		c.cols = make(map[pager.PageID][]sheet.Value)
+	}
+	c.evictIfFull(len(c.cols))
+	c.cols[id] = vals
+	c.mu.Unlock()
+	return vals, nil
+}
+
+// invalidate drops the cached image of a page. Stores call it on every page
+// write and free so readers never see post-write stale decodes.
+func (c *decodedCache) invalidate(id pager.PageID) {
+	c.mu.Lock()
+	delete(c.tuples, id)
+	delete(c.cols, id)
+	c.mu.Unlock()
+}
+
+// evictIfFull drops arbitrary entries while the cache is at capacity
+// (caller holds c.mu). Scans repopulate in page order, so losing a random
+// victim only costs one re-decode.
+func (c *decodedCache) evictIfFull(n int) {
+	if n < decodedCacheCap {
+		return
+	}
+	for id := range c.tuples {
+		delete(c.tuples, id)
+		n--
+		if n < decodedCacheCap {
+			return
+		}
+	}
+	for id := range c.cols {
+		delete(c.cols, id)
+		n--
+		if n < decodedCacheCap {
+			return
+		}
+	}
+}

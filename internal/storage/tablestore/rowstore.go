@@ -19,6 +19,7 @@ type RowStore struct {
 	tailCount int
 	nextID    RowID
 	rowCount  int
+	cache     decodedCache
 }
 
 // NewRowStore creates an empty row store with the given number of columns.
@@ -38,6 +39,8 @@ func (s *RowStore) RowCount() int { return s.rowCount }
 // PageCount returns the number of data blocks used by the table.
 func (s *RowStore) PageCount() int { return len(s.pages) }
 
+// readPage decodes a private copy of a page for the mutation paths, which
+// edit the returned slices in place before writing them back.
 func (s *RowStore) readPage(idx int) ([]RowID, [][]sheet.Value, error) {
 	data, err := s.pool.Get(s.pages[idx])
 	if err != nil {
@@ -46,7 +49,14 @@ func (s *RowStore) readPage(idx int) ([]RowID, [][]sheet.Value, error) {
 	return decodeTuples(data)
 }
 
+// readPageShared returns the cached decoded page for the read-only paths;
+// callers must not modify the returned slices.
+func (s *RowStore) readPageShared(idx int) ([]RowID, [][]sheet.Value, error) {
+	return s.cache.getTuples(s.pool, s.pages[idx])
+}
+
 func (s *RowStore) writePage(idx int, ids []RowID, rows [][]sheet.Value) error {
+	s.cache.invalidate(s.pages[idx])
 	return s.pool.Put(s.pages[idx], encodeTuples(ids, rows, s.width))
 }
 
@@ -83,7 +93,7 @@ func (s *RowStore) Get(id RowID) ([]sheet.Value, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrRowNotFound, id)
 	}
-	ids, rows, err := s.readPage(pi)
+	ids, rows, err := s.readPageShared(pi)
 	if err != nil {
 		return nil, err
 	}
@@ -169,13 +179,45 @@ func (s *RowStore) Delete(id RowID) error {
 
 // Scan implements Store.
 func (s *RowStore) Scan(fn func(id RowID, row []sheet.Value) bool) error {
+	return s.ScanCols(nil, func(id RowID, row []sheet.Value) bool {
+		return fn(id, cloneRow(row))
+	})
+}
+
+// ScanColsStable implements Store: full-width scans hand out the decoded
+// page rows themselves.
+func (s *RowStore) ScanColsStable(cols []int) bool { return cols == nil }
+
+// ScanCols implements Store. Row layouts decode whole tuples regardless, so
+// the column subset only narrows what is copied into the scratch row.
+func (s *RowStore) ScanCols(cols []int, fn func(id RowID, row []sheet.Value) bool) error {
+	for _, c := range cols {
+		if c < 0 || c >= s.width {
+			return fmt.Errorf("%w: %d", ErrColumnRange, c)
+		}
+	}
+	var scratch []sheet.Value
+	if cols != nil {
+		scratch = make([]sheet.Value, len(cols))
+	}
 	for pi := range s.pages {
-		ids, rows, err := s.readPage(pi)
+		ids, rows, err := s.readPageShared(pi)
 		if err != nil {
 			return err
 		}
 		for i, id := range ids {
-			if !fn(id, cloneRow(rows[i])) {
+			row := rows[i]
+			if cols != nil {
+				for j, c := range cols {
+					if c < len(row) {
+						scratch[j] = row[c]
+					} else {
+						scratch[j] = sheet.Empty()
+					}
+				}
+				row = scratch
+			}
+			if !fn(id, row) {
 				return nil
 			}
 		}

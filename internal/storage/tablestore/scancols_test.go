@@ -1,0 +1,203 @@
+package tablestore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+)
+
+func newScanStores() map[string]Store {
+	mk := func() *pager.BufferPool { return pager.NewBufferPool(pager.NewStore(), 64) }
+	return map[string]Store{
+		"row":    NewRowStore(mk(), 4),
+		"column": NewColStore(mk(), 4),
+		"hybrid": NewHybridStore(mk(), 4, WithGroupSize(2)),
+	}
+}
+
+func fillStore(t *testing.T, s Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		row := []sheet.Value{
+			sheet.Number(float64(i)),
+			sheet.String_(fmt.Sprintf("s%d", i)),
+			sheet.Number(float64(i * 10)),
+			sheet.Bool_(i%2 == 0),
+		}
+		if _, err := s.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScanColsSubsets(t *testing.T) {
+	const n = 1500 // spans several pages in every layout
+	for name, s := range newScanStores() {
+		t.Run(name, func(t *testing.T) {
+			fillStore(t, s, n)
+			// Delete a few rows so tombstones are exercised.
+			for _, id := range []RowID{1, 700, RowID(n)} {
+				if err := s.Delete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, cols := range [][]int{nil, {0}, {2, 0}, {3, 1, 2}, {0, 1, 2, 3}} {
+				seen := 0
+				err := s.ScanCols(cols, func(id RowID, row []sheet.Value) bool {
+					seen++
+					i := int(id - 1)
+					want := []sheet.Value{
+						sheet.Number(float64(i)),
+						sheet.String_(fmt.Sprintf("s%d", i)),
+						sheet.Number(float64(i * 10)),
+						sheet.Bool_(i%2 == 0),
+					}
+					cs := cols
+					if cs == nil {
+						cs = []int{0, 1, 2, 3}
+					}
+					if len(row) != len(cs) {
+						t.Fatalf("cols %v: row width %d", cols, len(row))
+					}
+					for j, c := range cs {
+						if !row[j].Equal(want[c]) {
+							t.Fatalf("cols %v row %d: col %d = %v, want %v", cols, id, c, row[j], want[c])
+						}
+					}
+					return true
+				})
+				if err != nil {
+					t.Fatalf("cols %v: %v", cols, err)
+				}
+				if seen != n-3 {
+					t.Fatalf("cols %v: saw %d rows, want %d", cols, seen, n-3)
+				}
+			}
+			// Early stop.
+			count := 0
+			_ = s.ScanCols([]int{0}, func(RowID, []sheet.Value) bool {
+				count++
+				return count < 10
+			})
+			if count != 10 {
+				t.Fatalf("early stop: %d", count)
+			}
+			// Out-of-range column.
+			if err := s.ScanCols([]int{4}, func(RowID, []sheet.Value) bool { return true }); !errors.Is(err, ErrColumnRange) {
+				t.Fatalf("out-of-range col: %v", err)
+			}
+		})
+	}
+}
+
+// TestScanColsStableContract verifies that rows from a stable scan remain
+// valid after the scan, and that layouts only claim stability when they
+// deliver it.
+func TestScanColsStableContract(t *testing.T) {
+	for name, s := range newScanStores() {
+		t.Run(name, func(t *testing.T) {
+			fillStore(t, s, 600)
+			for _, cols := range [][]int{nil, {0}, {0, 1}, {2, 3}} {
+				if !s.ScanColsStable(cols) {
+					continue
+				}
+				var rows [][]sheet.Value
+				var ids []RowID
+				if err := s.ScanCols(cols, func(id RowID, row []sheet.Value) bool {
+					rows = append(rows, row)
+					ids = append(ids, id)
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+				cs := cols
+				if cs == nil {
+					cs = []int{0, 1, 2, 3}
+				}
+				for k, id := range ids {
+					i := int(id - 1)
+					if !rows[k][0].Equal(sheet.Number(float64(i))) && cs[0] == 0 {
+						t.Fatalf("stable cols %v: retained row %d corrupted: %v", cols, id, rows[k])
+					}
+				}
+			}
+		})
+	}
+	// Hybrid with aligned single group must be stable; spanning groups not.
+	pool := pager.NewBufferPool(pager.NewStore(), 64)
+	h := NewHybridStore(pool, 4, WithGroupSize(2))
+	if !h.ScanColsStable([]int{0, 1}) {
+		t.Fatal("aligned first group should be stable")
+	}
+	if h.ScanColsStable([]int{1, 2}) {
+		t.Fatal("group-spanning scan cannot be stable")
+	}
+	if h.ScanColsStable([]int{1, 0}) {
+		t.Fatal("reordered scan cannot be stable")
+	}
+}
+
+// TestScanSeesWrites verifies the decoded-page cache is invalidated by every
+// mutation path: scans after updates, deletes and schema changes observe the
+// new state.
+func TestScanSeesWrites(t *testing.T) {
+	for name, s := range newScanStores() {
+		t.Run(name, func(t *testing.T) {
+			fillStore(t, s, 300)
+			// Warm the decoded cache.
+			_ = s.ScanCols(nil, func(RowID, []sheet.Value) bool { return true })
+
+			if err := s.Update(5, []sheet.Value{sheet.Number(-5), sheet.String_("upd"), sheet.Number(0), sheet.Bool_(false)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.UpdateColumn(6, 2, sheet.Number(-66)); err != nil {
+				t.Fatal(err)
+			}
+			got := map[RowID][]sheet.Value{}
+			_ = s.ScanCols(nil, func(id RowID, row []sheet.Value) bool {
+				if id == 5 || id == 6 {
+					got[id] = append([]sheet.Value(nil), row...)
+				}
+				return true
+			})
+			if !got[5][1].Equal(sheet.String_("upd")) {
+				t.Fatalf("update invisible to scan: %v", got[5])
+			}
+			if !got[6][2].Equal(sheet.Number(-66)) {
+				t.Fatalf("column update invisible to scan: %v", got[6])
+			}
+
+			if err := s.AddColumn(sheet.Number(7)); err != nil {
+				t.Fatal(err)
+			}
+			var width int
+			_ = s.ScanCols(nil, func(_ RowID, row []sheet.Value) bool {
+				width = len(row)
+				if !row[4].Equal(sheet.Number(7)) {
+					t.Fatalf("backfill invisible: %v", row)
+				}
+				return false
+			})
+			if width != 5 {
+				t.Fatalf("width after AddColumn = %d", width)
+			}
+
+			if err := s.DropColumn(1); err != nil {
+				t.Fatal(err)
+			}
+			_ = s.ScanCols(nil, func(id RowID, row []sheet.Value) bool {
+				if len(row) != 4 {
+					t.Fatalf("width after DropColumn = %d", len(row))
+				}
+				if id == 7 && !row[1].Equal(sheet.Number(60)) {
+					t.Fatalf("post-drop row mismatch: %v", row)
+				}
+				return true
+			})
+			_ = name
+		})
+	}
+}

@@ -49,8 +49,22 @@ type Store interface {
 	// Delete removes the tuple.
 	Delete(id RowID) error
 	// Scan calls fn for every live tuple in RowID order; it stops early if
-	// fn returns false.
+	// fn returns false. The row passed to fn is owned by the caller.
 	Scan(fn func(id RowID, row []sheet.Value) bool) error
+	// ScanCols is the streaming scan used by the query executor: fn is
+	// called for every live tuple in RowID order, materializing only the
+	// columns listed in cols (nil means all columns, in schema order), so
+	// layouts that store columns apart — ColStore, HybridStore — never page
+	// in blocks of unreferenced columns. row[i] holds the value of column
+	// cols[i]. Unless ScanColsStable(cols) reports true, the row slice is
+	// reused between calls: fn must copy any value it retains. fn must
+	// never modify the slice contents.
+	ScanCols(cols []int, fn func(id RowID, row []sheet.Value) bool) error
+	// ScanColsStable reports whether the rows a ScanCols(cols, ...) call
+	// passes to fn remain valid after fn returns — they alias immutable
+	// decoded page snapshots rather than a reused scratch buffer — letting
+	// callers retain them without a copy.
+	ScanColsStable(cols []int) bool
 	// AddColumn appends an attribute to the schema, backfilling existing
 	// tuples with the default value.
 	AddColumn(defaultValue sheet.Value) error

@@ -271,15 +271,13 @@ func (m *Manager) appendDurableLocked(rec Record) error {
 // Replay reads committed records from a serialized log, re-populating the
 // in-memory WAL and advancing the LSN/transaction counters past the highest
 // recovered values. A torn final frame (crash mid-append) terminates the
-// replay cleanly; a checksum or decode failure is returned as ErrCorruptLog.
-// The returned offset is the byte length of the valid prefix.
+// replay cleanly; a checksum or decode failure is returned as ErrCorruptLog,
+// with the records and state of the valid prefix preserved so crash-recovery
+// callers can continue from it. The returned offset is the byte length of
+// the valid prefix.
 func (m *Manager) Replay(r io.Reader) ([]Record, int64, error) {
 	recs, valid, err := readFrames(r)
-	if err != nil {
-		return nil, valid, err
-	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, rec := range recs {
 		m.wal = append(m.wal, rec)
 		if rec.LSN >= m.nextLSN {
@@ -289,20 +287,29 @@ func (m *Manager) Replay(r io.Reader) ([]Record, int64, error) {
 			m.nextTxn = rec.TxnID + 1
 		}
 	}
-	return recs, valid, nil
+	m.mu.Unlock()
+	return recs, valid, err
 }
 
 // RecoverFile opens (creating if necessary) the log file at path, replays it,
-// truncates any torn tail, and attaches the file as the durable sink so new
-// commits append after the recovered prefix. The manager owns the file until
-// Close.
+// truncates any torn or corrupt tail, and attaches the file as the durable
+// sink so new commits append after the recovered prefix. The manager owns the
+// file until Close.
+//
+// Unlike Replay, detected corruption (a checksum mismatch or undecodable
+// frame, e.g. after a partial disk write or media bit flip) is not an error
+// here: the first invalid frame marks the end of the log, everything before
+// it is the committed prefix, and the tail is truncated away. This is the
+// standard crash-recovery reading of an append-only log — each frame's CRC
+// covers its payload, so the longest valid prefix is exactly the committed
+// history.
 func (m *Manager) RecoverFile(path string) ([]Record, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("txn: open WAL %s: %w", path, err)
 	}
 	recs, valid, err := m.Replay(f)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrCorruptLog) {
 		f.Close()
 		return nil, fmt.Errorf("txn: replay WAL %s: %w", path, err)
 	}
