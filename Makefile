@@ -28,4 +28,4 @@ verify: fmt vet build test
 # emits the headline results as machine-readable JSON.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE .
-	$(GO) run ./cmd/dsbench -json BENCH_pr2.json
+	$(GO) run ./cmd/dsbench -json BENCH_pr3.json

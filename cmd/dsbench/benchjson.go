@@ -11,27 +11,71 @@ import (
 	"github.com/dataspread/dataspread/internal/sheet"
 )
 
-// Machine-readable benchmark output (-json FILE). The four headline
-// workloads of the streaming-executor work — M2, M3, A5 and F2a, mirroring
-// the identically named testing.B benchmarks in bench_test.go — are run
-// through testing.Benchmark and written as JSON so CI can archive
-// BENCH_pr2.json and regressions are diffable.
+// Machine-readable benchmark output (-json FILE). Two groups are measured:
+// the access-path workloads of PR 3 (PK point lookup, PK range scan,
+// index-ordered top-K, secondary-index lookup), each paired with a forced
+// full-scan baseline on identical data so the speedup of the
+// planner-chosen index path is self-contained in one file; and the carried
+// headline workloads of the streaming-executor work (M2, M3, A5, F2a),
+// kept so regressions across PRs stay diffable.
 
-type benchResult struct {
-	Name        string  `json:"name"`
+type benchNums struct {
 	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
-	Iterations  int     `json:"iterations"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchEntry struct {
+	Name     string     `json:"name"`
+	Baseline *benchNums `json:"baseline,omitempty"`
+	After    benchNums  `json:"after"`
+	Speedup  float64    `json:"speedup,omitempty"`
 }
 
 type benchReport struct {
-	GeneratedBy string        `json:"generated_by"`
-	Results     []benchResult `json:"results"`
+	PR          int          `json:"pr"`
+	Title       string       `json:"title"`
+	GeneratedBy string       `json:"generated_by"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
+}
+
+func runNums(fn func(b *testing.B)) benchNums {
+	r := testing.Benchmark(fn)
+	return benchNums{
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
 }
 
 func writeBenchJSON(path string) {
-	workloads := []struct {
+	report := benchReport{
+		PR:          3,
+		Title:       "Access-path layer: planner-chosen B-tree index scans, secondary indexes, and order-aware scans",
+		GeneratedBy: "cmd/dsbench -json (baseline = same query with SetForceFullScan(true))",
+	}
+	paired := []struct {
+		name     string
+		query    string
+		wantRows int
+	}{
+		{"PKPointLookup", "SELECT v FROM big WHERE id = 25000", 1},
+		{"PKRangeScan", "SELECT id, v FROM big WHERE id BETWEEN 30000 AND 30100", 101},
+		{"IndexOrderedTopK", "SELECT id FROM big ORDER BY id DESC LIMIT 10", 10},
+		{"SecondaryIndexLookup", "SELECT id FROM big WHERE g = 137 AND v > 0", 100},
+	}
+	for _, w := range paired {
+		after := runNums(benchAccess(w.query, w.wantRows, false))
+		baseline := runNums(benchAccess(w.query, w.wantRows, true))
+		e := benchEntry{Name: w.name, Baseline: &baseline, After: after}
+		if after.NsPerOp > 0 {
+			e.Speedup = round2(baseline.NsPerOp / after.NsPerOp)
+		}
+		report.Benchmarks = append(report.Benchmarks, e)
+		fmt.Printf("%-26s %12.0f ns/op (full scan %12.0f ns/op, %6.1fx)\n",
+			w.name, after.NsPerOp, baseline.NsPerOp, e.Speedup)
+	}
+	carried := []struct {
 		name string
 		fn   func(b *testing.B)
 	}{
@@ -40,24 +84,53 @@ func writeBenchJSON(path string) {
 		{"A5SharedComputationDBSQL", benchA5},
 		{"F2aDBSQLQuery", benchF2a},
 	}
-	report := benchReport{GeneratedBy: "cmd/dsbench"}
-	for _, w := range workloads {
-		r := testing.Benchmark(w.fn)
-		report.Results = append(report.Results, benchResult{
-			Name:        w.name,
-			NsPerOp:     float64(r.NsPerOp()),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Iterations:  r.N,
-		})
+	for _, w := range carried {
+		after := runNums(w.fn)
+		report.Benchmarks = append(report.Benchmarks, benchEntry{Name: w.name, After: after})
 		fmt.Printf("%-26s %12.0f ns/op %10d B/op %8d allocs/op\n",
-			w.name, float64(r.NsPerOp()), r.AllocedBytesPerOp(), r.AllocsPerOp())
+			w.name, after.NsPerOp, after.BytesPerOp, after.AllocsPerOp)
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
 	check(err)
 	blob = append(blob, '\n')
 	check(os.WriteFile(path, blob, 0o644))
 	fmt.Printf("wrote %s\n", path)
+}
+
+func round2(f float64) float64 { return float64(int(f*100+0.5)) / 100 }
+
+// benchAccess builds the access-path workload table — 50k rows, numeric PK,
+// secondary index on g — and times one query, optionally forcing the
+// full-scan path so the index speedup is measurable on identical data.
+func benchAccess(query string, wantRows int, forceFullScan bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds := core.New(core.Options{})
+		if _, err := ds.QueryScript(`
+			CREATE TABLE big (id INT PRIMARY KEY, g INT, v NUMERIC);
+			CREATE INDEX big_g ON big (g);`); err != nil {
+			b.Fatal(err)
+		}
+		const n = 50000
+		for i := 0; i < n; i++ {
+			if _, err := ds.DB().Insert("big", []sheet.Value{
+				sheet.Number(float64(i)), sheet.Number(float64(i % 500)), sheet.Number(float64(i) * 2),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ds.DB().SetForceFullScan(forceFullScan)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := ds.Query(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if wantRows > 0 && len(res.Rows) != wantRows {
+				b.Fatalf("query %q returned %d rows, want %d", query, len(res.Rows), wantRows)
+			}
+		}
+	}
 }
 
 func benchM2(b *testing.B) {

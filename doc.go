@@ -14,4 +14,17 @@
 // write-ahead log with group commit; and core.OpenFile/Checkpoint tie the
 // two together with snapshot-plus-replay recovery (DESIGN.md §Durability).
 // The cmd/dataspread shell takes -file to run against a workbook file.
+//
+// Queries choose their access paths: point and range WHERE conjuncts on
+// NUMERIC columns ride the primary-key B+-tree or a secondary index
+// instead of a filtered full scan, and ORDER BY <indexed col> LIMIT k
+// walks the index in order without sorting. Secondary indexes are plain
+// SQL —
+//
+//	CREATE [UNIQUE] INDEX [IF NOT EXISTS] idx_year ON movies (year);
+//	DROP INDEX [IF EXISTS] idx_year;
+//	EXPLAIN SELECT title FROM movies WHERE year > 1990;
+//
+// with EXPLAIN reporting the chosen path per FROM source (DESIGN.md
+// §Access Paths & Indexes).
 package dataspread

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -126,4 +127,176 @@ func TestCrashRecoveryFuzz(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+}
+
+// TestCheckpointCrashFuzz fuzzes randomized kill points across the
+// checkpoint path. Each trial issues n1 non-idempotent commands (INSERTs),
+// checkpoints, issues n2 more, then reconstructs the on-disk state a crash
+// would leave at each kill point:
+//
+//   - K1: during checkpoint, before the snapshot page write — the heap has
+//     no snapshot yet, the full WAL survives;
+//   - K2: after the snapshot sync, before the log reset — snapshot AND the
+//     old WAL coexist, so recovery must not replay records the snapshot
+//     already covers (the watermark rule);
+//   - K3: after the log reset, before any new command;
+//   - K4: a random truncation of the post-checkpoint WAL tail.
+//
+// In every case recovery must yield exactly a committed prefix — never a
+// lost committed command before the kill point, never a duplicated insert,
+// never a gap.
+func TestCheckpointCrashFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := t.TempDir()
+	for trial := 0; trial < 10; trial++ {
+		n1 := 3 + rng.Intn(10)
+		n2 := 1 + rng.Intn(8)
+		dir := filepath.Join(base, fmt.Sprintf("trial%d", trial))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "book.dsp")
+		ds, err := OpenFile(path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ds.Query("CREATE TABLE seq (n INT PRIMARY KEY)"); err != nil {
+			t.Fatal(err)
+		}
+		insert := func(i int) {
+			if _, err := ds.Query(fmt.Sprintf("INSERT INTO seq VALUES (%d)", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 1; i <= n1; i++ {
+			insert(i)
+		}
+		ds.Wait()
+		readBytes := func(p string) []byte {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				if os.IsNotExist(err) {
+					return nil
+				}
+				t.Fatal(err)
+			}
+			return b
+		}
+		walPre := readBytes(WALPath(path))
+		if err := ds.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		heapPost := readBytes(path)
+		for i := n1 + 1; i <= n1+n2; i++ {
+			insert(i)
+		}
+		ds.Wait()
+		if err := ds.Close(); err != nil {
+			t.Fatal(err)
+		}
+		heapFinal := readBytes(path)
+		walTail := readBytes(WALPath(path))
+
+		// verify reconstructs a crash state and checks the recovered table
+		// is exactly the prefix 1..k for some k in [wantMin, wantMax].
+		verify := func(desc string, heap, wal []byte, wantMin, wantMax int) {
+			vdir := filepath.Join(dir, desc)
+			if err := os.MkdirAll(vdir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			vpath := filepath.Join(vdir, "book.dsp")
+			if heap != nil {
+				if err := os.WriteFile(vpath, heap, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := os.WriteFile(WALPath(vpath), wal, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			re, err := OpenFile(vpath, Options{})
+			if err != nil {
+				t.Fatalf("trial %d %s: recovery refused to open: %v", trial, desc, err)
+			}
+			defer re.Close()
+			if errs := re.RecoveryErrors(); len(errs) != 0 {
+				t.Fatalf("trial %d %s: recovery errors (duplicated or broken replay): %v", trial, desc, errs)
+			}
+			res, err := re.Query("SELECT n FROM seq ORDER BY n")
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, desc, err)
+			}
+			k := len(res.Rows)
+			if k < wantMin || k > wantMax {
+				t.Fatalf("trial %d %s: recovered %d rows, want %d..%d", trial, desc, k, wantMin, wantMax)
+			}
+			for i, row := range res.Rows {
+				if int(row[0].Num) != i+1 {
+					t.Fatalf("trial %d %s: row %d = %v, want %d (not a committed prefix)", trial, desc, i, row[0], i+1)
+				}
+			}
+		}
+
+		verify("pre-snapshot", nil, walPre, n1, n1)
+		verify("pre-reset", heapPost, walPre, n1, n1)
+		verify("post-reset", heapPost, nil, n1, n1)
+		cut := rng.Intn(len(walTail) + 1)
+		verify("tail-truncate", heapFinal, walTail[:cut], n1, n1+n2)
+		verify("final", heapFinal, walTail, n1+n2, n1+n2)
+	}
+}
+
+// TestIndexDDLSurvivesCheckpoint: CREATE INDEX must be part of both the WAL
+// (replay) and the checkpoint snapshot, so planner-chosen index paths come
+// back after recovery through either route.
+func TestIndexDDLSurvivesCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "book.dsp")
+	ds, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.QueryScript(`
+		CREATE TABLE m (id INT PRIMARY KEY, g INT);
+		INSERT INTO m VALUES (1, 7), (2, 7), (3, 8);
+		CREATE INDEX mg ON m (g);`); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck := func(stage string) {
+		re, err := OpenFile(path, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		defer re.Close()
+		defs := re.DB().Indexes("m")
+		if len(defs) != 1 || defs[0].Name != "mg" {
+			t.Fatalf("%s: indexes after recovery = %+v", stage, defs)
+		}
+		plan, err := re.Query("EXPLAIN SELECT id FROM m WHERE g = 7")
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if text := plan.Rows[0][0].String(); !strings.Contains(text, "index mg point (g)") {
+			t.Fatalf("%s: EXPLAIN after recovery = %q", stage, text)
+		}
+		res, err := re.Query("SELECT id FROM m WHERE g = 7 ORDER BY id")
+		if err != nil || len(res.Rows) != 2 {
+			t.Fatalf("%s: index query after recovery: %v %v", stage, res, err)
+		}
+	}
+	// Route 1: WAL replay (no checkpoint).
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck("wal-replay")
+	// Route 2: checkpoint snapshot.
+	ds, err = OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopenAndCheck("snapshot")
 }

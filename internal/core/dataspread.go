@@ -282,14 +282,15 @@ func (ds *DataSpread) QueryScript(sql string) (*sqlexec.Result, error) {
 }
 
 // sqlMutates reports whether any statement in the (possibly ";"-separated)
-// SQL text can change database state; read-only scripts stay out of the WAL.
+// SQL text can change database state; read-only scripts (SELECT, EXPLAIN)
+// stay out of the WAL.
 func sqlMutates(sql string) bool {
 	for _, stmt := range strings.Split(sql, ";") {
 		fields := strings.Fields(stmt)
 		if len(fields) == 0 {
 			continue
 		}
-		if !strings.EqualFold(fields[0], "SELECT") {
+		if !strings.EqualFold(fields[0], "SELECT") && !strings.EqualFold(fields[0], "EXPLAIN") {
 			return true
 		}
 	}

@@ -335,6 +335,17 @@ func (ds *DataSpread) snapshotOps() []txn.Op {
 			return true
 		})
 	}
+	// Secondary indexes replay as their DDL (the trees rebuild from the
+	// re-inserted rows above).
+	for _, def := range ds.db.AllIndexes() {
+		unique := ""
+		if def.Unique {
+			unique = "UNIQUE "
+		}
+		stmtText := fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)",
+			unique, def.Name, def.Table, strings.Join(def.Columns, ", "))
+		ops = append(ops, txn.Op{Kind: txn.OpSQL, Detail: stmtText, Args: []string{stmtText}})
+	}
 	for _, name := range names {
 		sh, ok := ds.book.Sheet(name)
 		if !ok {

@@ -89,6 +89,15 @@ func (t *Tree) Delete(key []byte) bool {
 // order. A nil hi means "to the end"; a nil lo means "from the start".
 // Iteration stops early if fn returns false.
 func (t *Tree) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool) {
+	t.AscendRange(lo, hi, fn)
+}
+
+// AscendRange calls fn for every key/value with lo <= key < hi in ascending
+// key order, walking the leaf chain. A nil lo means "from the start"; a nil
+// hi means "to the end". Iteration stops early if fn returns false. It is
+// the access-path layer's range iterator: the executor turns sargable WHERE
+// conjuncts into [lo, hi) bounds over the order-preserving key encoding.
+func (t *Tree) AscendRange(lo, hi []byte, fn func(key []byte, val uint64) bool) {
 	n := t.root
 	for !n.leaf {
 		if lo == nil {
@@ -117,6 +126,65 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool) {
 
 // All calls fn for every key/value in ascending order.
 func (t *Tree) All(fn func(key []byte, val uint64) bool) { t.Scan(nil, nil, fn) }
+
+// DescendRange calls fn for every key/value with lo <= key < hi in
+// descending key order. The leaf chain only links forward, so descent
+// recurses through the internal nodes right-to-left instead. Iteration
+// stops early if fn returns false. The executor uses it to serve
+// ORDER BY ... DESC LIMIT k from an index without sorting.
+func (t *Tree) DescendRange(lo, hi []byte, fn func(key []byte, val uint64) bool) {
+	t.descend(t.root, lo, hi, fn)
+}
+
+// descend visits n's keys in [lo, hi) in descending order. It returns false
+// once iteration must stop — either fn returned false or a key below lo was
+// reached, at which point every key the remaining traversal could visit is
+// below lo as well.
+func (t *Tree) descend(n *node, lo, hi []byte, fn func(key []byte, val uint64) bool) bool {
+	if n.leaf {
+		end := len(n.keys)
+		if hi != nil {
+			end = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], hi) >= 0 })
+		}
+		for i := end - 1; i >= 0; i-- {
+			if lo != nil && bytes.Compare(n.keys[i], lo) < 0 {
+				return false
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// Children after childIndex(hi) hold only keys >= a separator >= hi.
+	start := len(n.children) - 1
+	if hi != nil {
+		start = n.childIndex(hi)
+	}
+	for ci := start; ci >= 0; ci-- {
+		if !t.descend(n.children[ci], lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// PrefixEnd returns the smallest key that is strictly greater than every
+// key beginning with p, or nil when no such key exists (p is all 0xFF).
+// With the prefix-free value encodings of this package, [p, PrefixEnd(p))
+// is exactly the set of keys whose leading components encode to p — the
+// range an index scan probes for an equality prefix or an inclusive upper
+// bound.
+func PrefixEnd(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
 
 // split describes a node split propagating upward: key separates the original
 // node from right.

@@ -295,3 +295,82 @@ func TestCompositeKeys(t *testing.T) {
 		t.Errorf("composite scan = %v", got)
 	}
 }
+
+func TestAscendDescendRange(t *testing.T) {
+	tr := New()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		// Shuffled insertion order.
+		k := (i*7919 + 13) % n
+		tr.Set(EncodeUint64(uint64(k)), uint64(k))
+	}
+	check := func(lo, hi int, wantFirst, wantLast uint64, wantLen int) {
+		t.Helper()
+		var loK, hiK []byte
+		if lo >= 0 {
+			loK = EncodeUint64(uint64(lo))
+		}
+		if hi >= 0 {
+			hiK = EncodeUint64(uint64(hi))
+		}
+		var asc []uint64
+		tr.AscendRange(loK, hiK, func(_ []byte, v uint64) bool { asc = append(asc, v); return true })
+		var desc []uint64
+		tr.DescendRange(loK, hiK, func(_ []byte, v uint64) bool { desc = append(desc, v); return true })
+		if len(asc) != wantLen || len(desc) != wantLen {
+			t.Fatalf("[%d,%d): len asc=%d desc=%d want %d", lo, hi, len(asc), len(desc), wantLen)
+		}
+		if wantLen == 0 {
+			return
+		}
+		if asc[0] != wantFirst || asc[len(asc)-1] != wantLast {
+			t.Fatalf("[%d,%d): asc %d..%d want %d..%d", lo, hi, asc[0], asc[len(asc)-1], wantFirst, wantLast)
+		}
+		for i := range desc {
+			if desc[i] != asc[len(asc)-1-i] {
+				t.Fatalf("[%d,%d): descend is not the reverse of ascend at %d", lo, hi, i)
+			}
+		}
+	}
+	check(100, 200, 100, 199, 100)
+	check(-1, 50, 0, 49, 50)
+	check(950, -1, 950, 999, 50)
+	check(-1, -1, 0, 999, n)
+	check(500, 500, 0, 0, 0)
+	check(3, 4, 3, 3, 1)
+
+	// Early termination.
+	var got []uint64
+	tr.DescendRange(nil, nil, func(_ []byte, v uint64) bool {
+		got = append(got, v)
+		return len(got) < 5
+	})
+	if len(got) != 5 || got[0] != 999 || got[4] != 995 {
+		t.Fatalf("descend early exit = %v", got)
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	if got := PrefixEnd([]byte{1, 2, 3}); string(got) != string([]byte{1, 2, 4}) {
+		t.Fatalf("PrefixEnd(1,2,3) = %v", got)
+	}
+	if got := PrefixEnd([]byte{1, 0xFF}); string(got) != string([]byte{2}) {
+		t.Fatalf("PrefixEnd(1,FF) = %v", got)
+	}
+	if got := PrefixEnd([]byte{0xFF, 0xFF}); got != nil {
+		t.Fatalf("PrefixEnd(FF,FF) = %v, want nil", got)
+	}
+	// [p, PrefixEnd(p)) must capture exactly the keys extending p.
+	tr := New()
+	tr.Set([]byte{1, 2}, 1)
+	tr.Set([]byte{1, 2, 0}, 2)
+	tr.Set([]byte{1, 2, 0xFF}, 3)
+	tr.Set([]byte{1, 3}, 4)
+	tr.Set([]byte{1, 1, 9}, 5)
+	var got []uint64
+	p := []byte{1, 2}
+	tr.AscendRange(p, PrefixEnd(p), func(_ []byte, v uint64) bool { got = append(got, v); return true })
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("prefix range = %v", got)
+	}
+}

@@ -67,6 +67,9 @@ type Binding struct {
 	// positions maps display position (0-based data row) to RowID for
 	// table bindings.
 	positions *positional.Index
+	// memo is the input fingerprint of the last successful refresh of a
+	// query binding; a matching fingerprint skips re-execution (memo.go).
+	memo *queryFingerprint
 	// extent is the sheet region currently materialised (header included).
 	extent sheet.Range
 	hasExt bool
@@ -90,6 +93,7 @@ type Stats struct {
 	Refreshes      uint64 // full binding refreshes
 	IncrementalOps uint64 // incremental row-level refreshes
 	EditsPushed    uint64 // sheet edits translated to database updates
+	MemoHits       uint64 // query refreshes skipped: inputs unchanged (memo.go)
 }
 
 // Manager owns all bindings of a workbook.

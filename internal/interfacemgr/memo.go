@@ -1,0 +1,155 @@
+package interfacemgr
+
+import (
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/sqlparser"
+)
+
+// Result-level memoization for DBSQL bindings. A query binding's output is a
+// pure function of the database schema, the data of every table it reads,
+// and the sheet cells its positional constructs reference. PR 2 gave all of
+// those cheap version counters (schema epoch, per-table data versions,
+// per-sheet versions), so a refresh first captures a fingerprint of them and
+// skips re-execution — and re-spilling — entirely when it matches the
+// fingerprint of the previous successful refresh. This is what keeps the
+// interface manager's refresh-on-any-change policy affordable: a change to
+// one table no longer re-runs every unrelated DBSQL binding in the workbook.
+
+// queryFingerprint is the captured version vector of one query execution.
+type queryFingerprint struct {
+	schemaEpoch uint64
+	tables      map[string]uint64
+	sheets      map[string]uint64
+}
+
+func (f *queryFingerprint) equal(o *queryFingerprint) bool {
+	if f == nil || o == nil || f.schemaEpoch != o.schemaEpoch ||
+		len(f.tables) != len(o.tables) || len(f.sheets) != len(o.sheets) {
+		return false
+	}
+	for name, v := range f.tables {
+		if ov, ok := o.tables[name]; !ok || ov != v {
+			return false
+		}
+	}
+	for name, v := range f.sheets {
+		if ov, ok := o.sheets[name]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprintQuery captures the current versions of every input of a query
+// binding's SQL. ok is false when the statement is not a memoizable pure
+// SELECT (DML/DDL through DBSQL always re-executes) or when a referenced
+// sheet does not exist.
+func (m *Manager) fingerprintQuery(sql string) (fp *queryFingerprint, ok bool) {
+	p, err := m.db.Prepare(sql)
+	if err != nil {
+		return nil, false
+	}
+	sel, isSelect := p.Statement().(*sqlparser.SelectStmt)
+	if !isSelect {
+		return nil, false
+	}
+	fp = &queryFingerprint{
+		schemaEpoch: m.db.SchemaEpoch(),
+		tables:      make(map[string]uint64),
+		sheets:      make(map[string]uint64),
+	}
+	for _, name := range tableRefsOfSelect(sel) {
+		fp.tables[name] = m.db.TableDataVersion(name)
+	}
+	for _, ref := range m.sheetRefsOfSQL(sql) {
+		name := ref.Sheet
+		if name == "" {
+			names := m.book.SheetNames()
+			if len(names) == 0 {
+				return nil, false
+			}
+			name = names[0]
+		}
+		sh, canonical, found := m.sheetByName(name)
+		if !found {
+			return nil, false
+		}
+		fp.sheets[canonical] = sh.Version()
+	}
+	return fp, true
+}
+
+// sheetByName resolves a (possibly differently-cased) sheet name to the
+// sheet and its canonical name.
+func (m *Manager) sheetByName(name string) (*sheet.Sheet, string, bool) {
+	if sh, ok := m.book.Sheet(name); ok {
+		return sh, name, true
+	}
+	for _, n := range m.book.SheetNames() {
+		if strings.EqualFold(n, name) {
+			sh, ok := m.book.Sheet(n)
+			return sh, n, ok
+		}
+	}
+	return nil, "", false
+}
+
+// refreshSheetVersions re-reads the sheet entries of a fingerprint. It is
+// called after the spill, whose own cell writes bump the target sheet's
+// version: a binding that reads ranges of the sheet it spills to would
+// otherwise never see its fingerprint match.
+func (m *Manager) refreshSheetVersions(fp *queryFingerprint) {
+	for name := range fp.sheets {
+		if sh, _, found := m.sheetByName(name); found {
+			fp.sheets[name] = sh.Version()
+		}
+	}
+}
+
+// spillOverlapsInputs reports whether the binding's materialised extent
+// intersects any sheet range its query reads. Such a binding rewrites its
+// own inputs: memoizing it would pin the pre-overwrite result, so it is
+// never memoized (the pre-memo behavior — re-execute until convergence —
+// is preserved).
+func (m *Manager) spillOverlapsInputs(b *Binding) bool {
+	if !b.hasExt {
+		return false
+	}
+	for _, ref := range m.sheetRefsOfSQL(b.SQL) {
+		name := ref.Sheet
+		if name == "" {
+			names := m.book.SheetNames()
+			if len(names) == 0 {
+				continue
+			}
+			name = names[0]
+		}
+		if strings.EqualFold(name, b.SheetName) && b.extent.Intersects(ref.Range.Normalize()) {
+			return true
+		}
+	}
+	return false
+}
+
+// tableRefsOfSelect collects the lower-cased names of every named table a
+// SELECT reads, sub-selects included.
+func tableRefsOfSelect(sel *sqlparser.SelectStmt) []string {
+	seen := make(map[string]bool)
+	var walkTable func(t sqlparser.TableRef)
+	walkTable = func(t sqlparser.TableRef) {
+		switch x := t.(type) {
+		case *sqlparser.TableName:
+			seen[strings.ToLower(x.Name)] = true
+		case *sqlparser.SubSelect:
+			walkSelect(x.Select, func(sqlparser.Expr) {}, walkTable)
+		}
+	}
+	walkSelect(sel, func(sqlparser.Expr) {}, walkTable)
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	return out
+}

@@ -80,7 +80,11 @@ func (m *Manager) materializeTable(b *Binding) error {
 	return nil
 }
 
-// refreshQuery re-executes a query binding and spills its result.
+// refreshQuery re-executes a query binding and spills its result — unless
+// the fingerprint of every input (schema epoch, referenced table data
+// versions, referenced sheet versions) matches the previous successful
+// refresh, in which case the spilled cells are already current and the
+// execution is skipped outright.
 func (m *Manager) refreshQuery(b *Binding) error {
 	m.mu.Lock()
 	runner := m.runQuery
@@ -88,6 +92,14 @@ func (m *Manager) refreshQuery(b *Binding) error {
 	if runner == nil {
 		return fmt.Errorf("interfacemgr: no query runner configured")
 	}
+	fp, memoable := m.fingerprintQuery(b.SQL)
+	if memoable && b.hasExt && b.memo.equal(fp) {
+		m.mu.Lock()
+		m.stats.MemoHits++
+		m.mu.Unlock()
+		return nil
+	}
+	b.memo = nil
 	res, err := runner(b.SQL)
 	if err != nil {
 		return err
@@ -142,6 +154,16 @@ func (m *Manager) refreshQuery(b *Binding) error {
 	endCol := b.Anchor.Col + maxInt(len(res.Columns)-1, 0)
 	b.extent = sheet.RangeOf(b.Anchor.Row, b.Anchor.Col, endRow, endCol)
 	b.hasExt = true
+	if memoable && !m.spillOverlapsInputs(b) {
+		// Sheet versions are re-captured after the spill so the binding's
+		// own writes (which bump the target sheet's version) do not defeat
+		// the memo for queries reading ranges of the sheet they spill to.
+		// A spill that overwrites its own input ranges is the exception:
+		// it is never memoized, since the re-captured version would pin a
+		// result computed from the pre-overwrite inputs.
+		m.refreshSheetVersions(fp)
+		b.memo = fp
+	}
 	m.mu.Lock()
 	m.stats.Refreshes++
 	m.mu.Unlock()

@@ -79,10 +79,23 @@ type Database struct {
 	cfg       Config
 	listeners []func(ChangeEvent)
 
+	// Secondary indexes (indexes.go), maintained under mu together with the
+	// base tables, and per-table data version counters bumped on every
+	// tuple change (result-level memoization of DBSQL bindings compares
+	// them to skip re-execution).
+	secIndexes  map[string][]*secIndex
+	indexByName map[string]*secIndex
+	dataVers    map[string]uint64
+
 	// Prepared-plan cache (plan.go). schemaEpoch advances on every schema
-	// definition change, lazily invalidating cached statements.
+	// definition change — including index DDL, so cached plans re-plan
+	// their access paths — lazily invalidating cached statements.
 	plans       planCache
 	schemaEpoch atomic.Uint64
+
+	// forceFullScan disables index access paths (golden tests and the
+	// benchmark baseline compare against forced full scans).
+	forceFullScan atomic.Bool
 }
 
 // NewDatabase creates an empty database.
@@ -102,15 +115,36 @@ func NewDatabase(cfg Config) *Database {
 		ps = pager.NewStore()
 	}
 	return &Database{
-		cat:       catalog.New(),
-		stores:    make(map[string]tablestore.Store),
-		pkIndex:   make(map[string]*btree.Tree),
-		pageStore: ps,
-		pool:      pager.NewBufferPool(ps, poolPages),
-		txns:      txn.NewManager(),
-		cfg:       cfg,
+		cat:         catalog.New(),
+		stores:      make(map[string]tablestore.Store),
+		pkIndex:     make(map[string]*btree.Tree),
+		secIndexes:  make(map[string][]*secIndex),
+		indexByName: make(map[string]*secIndex),
+		dataVers:    make(map[string]uint64),
+		pageStore:   ps,
+		pool:        pager.NewBufferPool(ps, poolPages),
+		txns:        txn.NewManager(),
+		cfg:         cfg,
 	}
 }
+
+// SchemaEpoch returns the schema definition epoch: it advances on every
+// CREATE/ALTER/DROP of tables, columns and indexes.
+func (db *Database) SchemaEpoch() uint64 { return db.schemaEpoch.Load() }
+
+// TableDataVersion returns a counter that advances on every tuple change of
+// the table (0 for an unknown or untouched table). Together with
+// SchemaEpoch it lets callers prove a query's inputs are unchanged.
+func (db *Database) TableDataVersion(name string) uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.dataVers[tkey(name)]
+}
+
+// SetForceFullScan disables (true) or re-enables (false) index access
+// paths: with the flag set every scan is a filtered full scan. Golden tests
+// and benchmark baselines use it to compare plans on identical data.
+func (db *Database) SetForceFullScan(force bool) { db.forceFullScan.Store(force) }
 
 // Catalog returns the schema catalog.
 func (db *Database) Catalog() *catalog.Catalog { return db.cat }
@@ -178,6 +212,8 @@ func (db *Database) DropTable(name string) error {
 	db.mu.Lock()
 	delete(db.stores, tkey(name))
 	delete(db.pkIndex, tkey(name))
+	delete(db.dataVers, tkey(name))
+	db.secOnDropTableLocked(name)
 	db.mu.Unlock()
 	db.invalidatePlans()
 	db.notify(ChangeEvent{Table: name, Kind: ChangeDropTable})
@@ -251,11 +287,17 @@ func pkKey(tbl *catalog.Table, row []sheet.Value) []byte {
 	return btree.Composite(parts...)
 }
 
-// encodeKeyValue encodes one value for use inside an index key.
+// encodeKeyValue encodes one value for use inside an index key. Negative
+// zero is normalised to zero so byte equality of keys matches numeric
+// equality of the values they encode.
 func encodeKeyValue(v sheet.Value) []byte {
 	switch v.Kind {
 	case sheet.KindNumber:
-		return btree.Composite([]byte{1}, btree.EncodeFloat64(v.Num))
+		f := v.Num
+		if f == 0 {
+			f = 0
+		}
+		return btree.Composite([]byte{1}, btree.EncodeFloat64(f))
 	case sheet.KindString:
 		return btree.Composite([]byte{2}, btree.EncodeString(v.Str))
 	case sheet.KindBool:
@@ -296,6 +338,10 @@ func (db *Database) insert(table string, row []sheet.Value, tx *txn.Txn) (tables
 			return 0, fmt.Errorf("sqlexec: duplicate primary key in table %q", table)
 		}
 	}
+	if err := db.secCheckInsertLocked(table, coerced); err != nil {
+		db.mu.Unlock()
+		return 0, err
+	}
 	id, err := s.Insert(coerced)
 	if err != nil {
 		db.mu.Unlock()
@@ -304,6 +350,8 @@ func (db *Database) insert(table string, row []sheet.Value, tx *txn.Txn) (tables
 	if key != nil {
 		idx.Set(key, uint64(id))
 	}
+	db.secInsertLocked(table, coerced, id)
+	db.dataVers[tkey(table)]++
 	db.mu.Unlock()
 	if tx != nil {
 		_ = tx.Log(txn.Op{Kind: txn.OpInsert, Table: table, Detail: fmt.Sprintf("row %d", id)}, func() error {
@@ -354,6 +402,10 @@ func (db *Database) update(table string, id tablestore.RowID, row []sheet.Value,
 			return fmt.Errorf("sqlexec: duplicate primary key in table %q", table)
 		}
 	}
+	if err := db.secCheckUpdateLocked(table, old, coerced, id); err != nil {
+		db.mu.Unlock()
+		return err
+	}
 	if err := s.Update(id, coerced); err != nil {
 		db.mu.Unlock()
 		return err
@@ -364,6 +416,8 @@ func (db *Database) update(table string, id tablestore.RowID, row []sheet.Value,
 	if newKey != nil {
 		idx.Set(newKey, uint64(id))
 	}
+	db.secUpdateLocked(table, old, coerced, id)
+	db.dataVers[tkey(table)]++
 	db.mu.Unlock()
 	if tx != nil {
 		oldCopy := append([]sheet.Value(nil), old...)
@@ -392,19 +446,32 @@ func (db *Database) UpdateColumn(table string, id tablestore.RowID, col int, v s
 	if err != nil {
 		return err
 	}
-	// Primary-key columns must go through Update so the index stays valid.
+	// Primary-key and secondary-indexed columns must go through Update so
+	// the indexes stay valid.
+	indexed := false
 	for _, pkIdx := range tbl.PrimaryKey() {
 		if pkIdx == col {
-			row, err := s.Get(id)
-			if err != nil {
-				return err
-			}
-			row[col] = cv
-			return db.Update(table, id, row)
+			indexed = true
 		}
+	}
+	if !indexed {
+		db.mu.RLock()
+		indexed = db.secColumnIndexedLocked(table, col)
+		db.mu.RUnlock()
+	}
+	if indexed {
+		row, err := s.Get(id)
+		if err != nil {
+			return err
+		}
+		row[col] = cv
+		return db.Update(table, id, row)
 	}
 	db.mu.Lock()
 	err = s.UpdateColumn(id, col, cv)
+	if err == nil {
+		db.dataVers[tkey(table)]++
+	}
 	db.mu.Unlock()
 	if err != nil {
 		return err
@@ -439,6 +506,8 @@ func (db *Database) delete(table string, id tablestore.RowID, tx *txn.Txn) error
 	if key := pkKey(tbl, old); key != nil {
 		db.pkIndex[tkey(table)].Delete(key)
 	}
+	db.secDeleteLocked(table, old, id)
+	db.dataVers[tkey(table)]++
 	db.mu.Unlock()
 	if tx != nil {
 		oldCopy := append([]sheet.Value(nil), old...)
@@ -528,6 +597,9 @@ func (db *Database) DropColumn(table, column string) error {
 	}
 	db.mu.Lock()
 	err = s.DropColumn(idx)
+	if err == nil {
+		db.secOnDropColumnLocked(table, idx)
+	}
 	db.mu.Unlock()
 	if err != nil {
 		return err
@@ -542,6 +614,9 @@ func (db *Database) RenameColumn(table, oldName, newName string) error {
 	if err := db.cat.RenameColumn(table, oldName, newName); err != nil {
 		return err
 	}
+	db.mu.Lock()
+	db.secOnRenameColumnLocked(table, oldName, newName)
+	db.mu.Unlock()
 	db.invalidatePlans()
 	db.notify(ChangeEvent{Table: table, Kind: ChangeSchema})
 	return nil

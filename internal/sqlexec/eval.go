@@ -165,6 +165,11 @@ func exprCanError(e sqlparser.Expr) bool {
 	walkExpr(e, func(x sqlparser.Expr) {
 		switch f := x.(type) {
 		case *sqlparser.UnaryExpr:
+			if f.Op == "-" {
+				if lit, ok := f.X.(*sqlparser.Literal); ok && lit.Value.IsNumber() {
+					return // a negated numeric literal cannot fail
+				}
+			}
 			can = true // "-" and NOT error on non-coercible values
 		case *sqlparser.BinaryExpr:
 			switch f.Op {

@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -104,6 +105,18 @@ func (s *Session) Execute(stmt sqlparser.Statement) (*Result, error) {
 		return s.executeAlterTable(st)
 	case *sqlparser.DropTableStmt:
 		return s.executeDropTable(st)
+	case *sqlparser.CreateIndexStmt:
+		if err := s.db.CreateIndex(st.Name, st.Table, st.Columns, st.Unique, st.IfNotExists); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.DropIndexStmt:
+		if err := s.db.DropIndex(st.Name, st.IfExists); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.ExplainStmt:
+		return s.executeExplain(st)
 	case *sqlparser.BeginStmt:
 		if s.tx != nil {
 			return nil, fmt.Errorf("sqlexec: a transaction is already open")
@@ -127,6 +140,50 @@ func (s *Session) Execute(stmt sqlparser.Statement) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("sqlexec: unsupported statement %T", stmt)
 	}
+}
+
+// dmlAccessPath chooses an index access path for locating the target rows
+// of UPDATE/DELETE, or nil for a full scan. Candidate narrowing is only
+// safe when no WHERE conjunct can raise an evaluation error: skipping a row
+// the index rules out must be indistinguishable from evaluating the WHERE
+// to false on it.
+func (s *Session) dmlAccessPath(tbl *catalog.Table, where sqlparser.Expr) *accessPath {
+	if where == nil {
+		return nil
+	}
+	conjuncts := sqlparser.SplitConjuncts(where)
+	for _, c := range conjuncts {
+		if exprCanError(c) {
+			return nil
+		}
+	}
+	path := s.db.chooseAccessPath(tbl, tableSchema(tbl), conjuncts, s.sheets, noOrder)
+	if path == nil || path.kind == pathFull {
+		return nil
+	}
+	return path
+}
+
+// scanDMLTargets visits candidate target rows of an UPDATE/DELETE: via the
+// index access path when one applies, via a full scan otherwise. The rows
+// passed to visit are caller-owned copies.
+func (s *Session) scanDMLTargets(tbl *catalog.Table, where sqlparser.Expr, visit func(id tablestore.RowID, row []sheet.Value) bool) error {
+	if path := s.dmlAccessPath(tbl, where); path != nil {
+		for _, id := range s.db.collectPathIDs(tbl.Name, path) {
+			row, err := s.db.Get(tbl.Name, id)
+			if err != nil {
+				if errors.Is(err, tablestore.ErrRowNotFound) {
+					continue
+				}
+				return err
+			}
+			if !visit(id, row) {
+				return nil
+			}
+		}
+		return nil
+	}
+	return s.db.Scan(tbl.Name, visit)
 }
 
 // evalConstExpr evaluates an expression with no row context (literals,
@@ -251,7 +308,7 @@ func (s *Session) executeUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
 	}
 	var updates []pending
 	ctx := &rowCtx{sheets: s.sheets}
-	err = s.db.Scan(st.Table, func(id tablestore.RowID, row []sheet.Value) bool {
+	err = s.scanDMLTargets(tbl, st.Where, func(id tablestore.RowID, row []sheet.Value) bool {
 		ctx.row = row
 		if where != nil {
 			keep, perr := evalBoundPredicate(where, ctx)
@@ -300,7 +357,7 @@ func (s *Session) executeDelete(st *sqlparser.DeleteStmt) (*Result, error) {
 	}
 	var ids []tablestore.RowID
 	ctx := &rowCtx{sheets: s.sheets}
-	err = s.db.Scan(st.Table, func(id tablestore.RowID, row []sheet.Value) bool {
+	err = s.scanDMLTargets(tbl, st.Where, func(id tablestore.RowID, row []sheet.Value) bool {
 		if where != nil {
 			ctx.row = row
 			keep, perr := evalBoundPredicate(where, ctx)

@@ -1,0 +1,314 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/index/btree"
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/tablestore"
+)
+
+// Secondary indexes. A secondary index is a B+-tree over the order-preserving
+// encoding of one or more columns; because values need not be unique, the
+// RowID is appended to every key, so an equality probe becomes a short range
+// scan over the value's key prefix. The database maintains every index of a
+// table inside the same critical section as the base-table mutation, so a
+// reader holding db.mu (or arriving after it is released) always observes
+// table and indexes in agreement — including across transaction rollback,
+// whose undo actions run through the same Insert/Update/Delete paths.
+
+// IndexDef describes a secondary index for catalog listings and EXPLAIN.
+type IndexDef struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// secIndex is a live secondary index: its definition, the resolved column
+// positions (kept in sync with schema evolution), and the tree itself.
+type secIndex struct {
+	def  IndexDef
+	cols []int
+	tree *btree.Tree
+}
+
+// rowKeyPrefix encodes the indexed column values of a row.
+func (si *secIndex) rowKeyPrefix(row []sheet.Value) []byte {
+	parts := make([][]byte, len(si.cols))
+	for i, c := range si.cols {
+		parts[i] = encodeKeyValue(row[c])
+	}
+	return btree.Composite(parts...)
+}
+
+// rowKey encodes the full entry key for a row: value prefix plus RowID.
+func (si *secIndex) rowKey(row []sheet.Value, id tablestore.RowID) []byte {
+	return btree.Composite(si.rowKeyPrefix(row), btree.EncodeUint64(uint64(id)))
+}
+
+// hasNull reports whether any indexed column of the row is NULL; unique
+// enforcement skips such rows (SQL permits repeated NULLs in unique indexes).
+func (si *secIndex) hasNull(row []sheet.Value) bool {
+	for _, c := range si.cols {
+		if row[c].IsEmpty() {
+			return true
+		}
+	}
+	return false
+}
+
+// CreateIndex builds a secondary index over existing rows and registers it.
+// With ifNotExists set, an existing index of the same name is left untouched.
+func (db *Database) CreateIndex(name, table string, columns []string, unique, ifNotExists bool) error {
+	if strings.TrimSpace(name) == "" {
+		return fmt.Errorf("sqlexec: empty index name")
+	}
+	tbl, err := db.cat.MustGet(table)
+	if err != nil {
+		return err
+	}
+	if len(columns) == 0 {
+		return fmt.Errorf("sqlexec: index %q must cover at least one column", name)
+	}
+	si := &secIndex{
+		def:  IndexDef{Name: name, Table: tbl.Name, Columns: append([]string(nil), columns...), Unique: unique},
+		cols: make([]int, len(columns)),
+		tree: btree.New(),
+	}
+	for i, col := range columns {
+		idx, ok := tbl.ColumnIndex(col)
+		if !ok {
+			return fmt.Errorf("sqlexec: unknown column %q in index %q on table %q", col, name, table)
+		}
+		si.cols[i] = idx
+	}
+	s, err := db.store(table)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.indexByName[ikey(name)]; dup {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("sqlexec: index %q already exists", name)
+	}
+	// Build under the write lock so no concurrent mutation slips between the
+	// backfill scan and registration.
+	var buildErr error
+	err = s.Scan(func(id tablestore.RowID, row []sheet.Value) bool {
+		if unique && !si.hasNull(row) {
+			prefix := si.rowKeyPrefix(row)
+			if indexPrefixOccupied(si.tree, prefix, 0) {
+				buildErr = fmt.Errorf("sqlexec: cannot create unique index %q: duplicate value in table %q", name, table)
+				return false
+			}
+		}
+		si.tree.Set(si.rowKey(row, id), uint64(id))
+		return true
+	})
+	if err == nil {
+		err = buildErr
+	}
+	if err != nil {
+		return err
+	}
+	if db.indexByName == nil {
+		db.indexByName = make(map[string]*secIndex)
+	}
+	db.indexByName[ikey(name)] = si
+	tk := tkey(table)
+	db.secIndexes[tk] = append(db.secIndexes[tk], si)
+	db.invalidatePlans()
+	return nil
+}
+
+// DropIndex removes a secondary index. With ifExists set, a missing index is
+// not an error.
+func (db *Database) DropIndex(name string, ifExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	si, ok := db.indexByName[ikey(name)]
+	if !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("sqlexec: index %q does not exist", name)
+	}
+	delete(db.indexByName, ikey(name))
+	db.dropTableIndexLocked(tkey(si.def.Table), si)
+	db.invalidatePlans()
+	return nil
+}
+
+func (db *Database) dropTableIndexLocked(tk string, si *secIndex) {
+	list := db.secIndexes[tk]
+	for i, other := range list {
+		if other == si {
+			db.secIndexes[tk] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Indexes lists the secondary indexes of one table.
+func (db *Database) Indexes(table string) []IndexDef {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	list := db.secIndexes[tkey(table)]
+	out := make([]IndexDef, len(list))
+	for i, si := range list {
+		out[i] = si.def
+	}
+	return out
+}
+
+// AllIndexes lists every secondary index of the database (used by the
+// durability layer to snapshot index DDL).
+func (db *Database) AllIndexes() []IndexDef {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []IndexDef
+	for _, t := range db.cat.List() {
+		for _, si := range db.secIndexes[tkey(t.Name)] {
+			out = append(out, si.def)
+		}
+	}
+	return out
+}
+
+func ikey(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+// indexPrefixOccupied reports whether any entry under the value prefix
+// belongs to a row other than exclude (0 excludes nothing).
+func indexPrefixOccupied(tree *btree.Tree, prefix []byte, exclude tablestore.RowID) bool {
+	occupied := false
+	tree.AscendRange(prefix, btree.PrefixEnd(prefix), func(_ []byte, val uint64) bool {
+		if tablestore.RowID(val) != exclude {
+			occupied = true
+			return false
+		}
+		return true
+	})
+	return occupied
+}
+
+// --- maintenance hooks (callers hold db.mu) ---
+
+// secCheckInsertLocked verifies unique constraints for a new row.
+func (db *Database) secCheckInsertLocked(table string, row []sheet.Value) error {
+	for _, si := range db.secIndexes[tkey(table)] {
+		if si.def.Unique && !si.hasNull(row) {
+			if indexPrefixOccupied(si.tree, si.rowKeyPrefix(row), 0) {
+				return fmt.Errorf("sqlexec: duplicate value for unique index %q in table %q", si.def.Name, table)
+			}
+		}
+	}
+	return nil
+}
+
+// secInsertLocked adds a row's entries to every index of the table.
+func (db *Database) secInsertLocked(table string, row []sheet.Value, id tablestore.RowID) {
+	for _, si := range db.secIndexes[tkey(table)] {
+		si.tree.Set(si.rowKey(row, id), uint64(id))
+	}
+}
+
+// secDeleteLocked removes a row's entries from every index of the table.
+func (db *Database) secDeleteLocked(table string, row []sheet.Value, id tablestore.RowID) {
+	for _, si := range db.secIndexes[tkey(table)] {
+		si.tree.Delete(si.rowKey(row, id))
+	}
+}
+
+// secCheckUpdateLocked verifies unique constraints for a row change.
+func (db *Database) secCheckUpdateLocked(table string, old, new []sheet.Value, id tablestore.RowID) error {
+	for _, si := range db.secIndexes[tkey(table)] {
+		if !si.def.Unique || si.hasNull(new) {
+			continue
+		}
+		newPrefix := si.rowKeyPrefix(new)
+		if string(newPrefix) == string(si.rowKeyPrefix(old)) {
+			continue
+		}
+		if indexPrefixOccupied(si.tree, newPrefix, id) {
+			return fmt.Errorf("sqlexec: duplicate value for unique index %q in table %q", si.def.Name, table)
+		}
+	}
+	return nil
+}
+
+// secUpdateLocked rewrites a row's entries after an update.
+func (db *Database) secUpdateLocked(table string, old, new []sheet.Value, id tablestore.RowID) {
+	for _, si := range db.secIndexes[tkey(table)] {
+		oldKey, newKey := si.rowKey(old, id), si.rowKey(new, id)
+		if string(oldKey) == string(newKey) {
+			continue
+		}
+		si.tree.Delete(oldKey)
+		si.tree.Set(newKey, uint64(id))
+	}
+}
+
+// secColumnIndexedLocked reports whether column col of the table appears in
+// any secondary index (such columns must be updated through the full Update
+// path so entries stay in sync).
+func (db *Database) secColumnIndexedLocked(table string, col int) bool {
+	for _, si := range db.secIndexes[tkey(table)] {
+		for _, c := range si.cols {
+			if c == col {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// secOnDropColumnLocked adjusts indexes after column idx was removed from
+// the table: indexes covering the column are dropped (cascade, mirroring the
+// storage managers' positional schema), the rest shift their resolved
+// positions.
+func (db *Database) secOnDropColumnLocked(table string, idx int) {
+	tk := tkey(table)
+	kept := db.secIndexes[tk][:0]
+	for _, si := range db.secIndexes[tk] {
+		covers := false
+		for i, c := range si.cols {
+			if c == idx {
+				covers = true
+			}
+			if c > idx {
+				si.cols[i] = c - 1
+			}
+		}
+		if covers {
+			delete(db.indexByName, ikey(si.def.Name))
+			continue
+		}
+		kept = append(kept, si)
+	}
+	db.secIndexes[tk] = kept
+}
+
+// secOnRenameColumnLocked renames the column inside index definitions.
+func (db *Database) secOnRenameColumnLocked(table, oldName, newName string) {
+	for _, si := range db.secIndexes[tkey(table)] {
+		for i, c := range si.def.Columns {
+			if strings.EqualFold(c, oldName) {
+				si.def.Columns[i] = newName
+			}
+		}
+	}
+}
+
+// secOnDropTableLocked removes every index of a dropped table.
+func (db *Database) secOnDropTableLocked(table string) {
+	tk := tkey(table)
+	for _, si := range db.secIndexes[tk] {
+		delete(db.indexByName, ikey(si.def.Name))
+	}
+	delete(db.secIndexes, tk)
+}

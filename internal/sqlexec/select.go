@@ -1,10 +1,12 @@
 package sqlexec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
+	"github.com/dataspread/dataspread/internal/catalog"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/sqlparser"
 	"github.com/dataspread/dataspread/internal/storage/tablestore"
@@ -97,11 +99,13 @@ type srcState struct {
 	label string
 	cols  []colDesc // full schema
 	store tablestore.Store
+	tbl   *catalog.Table  // catalog entry (named tables)
 	rows  [][]sheet.Value // materialised rows (RANGETABLE / sub-select)
 
 	pushed    []sqlparser.Expr // conjuncts evaluated inside this source's scan
 	needed    []bool           // referenced columns (named tables)
 	allNeeded bool
+	path      *accessPath // chosen access path (named tables)
 }
 
 func (s *srcState) mark(col int) {
@@ -110,9 +114,51 @@ func (s *srcState) mark(col int) {
 	}
 }
 
-// buildInput materialises the FROM clause: scans with pushdown and pruning,
-// then joins. It returns the joined relation and the residual conjuncts.
+// inputPlan is the planned FROM clause: the sources with their pushed
+// conjuncts and chosen access paths, the residual conjuncts, and whether a
+// constant WHERE conjunct already emptied the result.
+type inputPlan struct {
+	srcs     []*srcState
+	residual []sqlparser.Expr
+	live     bool
+}
+
+// buildInput materialises the FROM clause: scans with pushdown, pruning and
+// access-path selection, then joins. It returns the joined relation and the
+// residual conjuncts.
 func (db *Database) buildInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, sheets SheetAccessor) (*relation, []sqlparser.Expr, error) {
+	plan, err := db.planInput(stmt, an, sheets)
+	if err != nil {
+		return nil, nil, err
+	}
+	if plan.srcs == nil {
+		// Table-less SELECT: a single anonymous row.
+		rel := &relation{}
+		if plan.live {
+			rel.rows = [][]sheet.Value{{}}
+		}
+		return rel, plan.residual, nil
+	}
+	left, err := db.scanSource(plan.srcs[0], plan.live, sheets)
+	if err != nil {
+		return nil, nil, err
+	}
+	for ji, join := range stmt.Joins {
+		right, err := db.scanSource(plan.srcs[ji+1], plan.live, sheets)
+		if err != nil {
+			return nil, nil, err
+		}
+		left, err = joinRelations(left, right, join, sheets)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return left, plan.residual, nil
+}
+
+// planInput resolves the FROM sources, assigns every WHERE conjunct to a
+// source or the residual, and chooses each named table's access path.
+func (db *Database) planInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, sheets SheetAccessor) (*inputPlan, error) {
 	// Row-independent, error-free conjuncts are evaluated once per
 	// execution; a false or NULL one empties the result. Once one is
 	// false, the rest are skipped — WHERE short-circuits left to right.
@@ -131,27 +177,22 @@ func (db *Database) buildInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, s
 		}
 		be, err := compileExpr(c, &compileEnv{sheets: sheets})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		ok, err := evalBoundPredicate(be, emptyCtx)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		live = live && ok
 	}
 
 	if stmt.From == nil {
-		// Table-less SELECT: a single anonymous row.
-		rel := &relation{}
-		if live {
-			rel.rows = [][]sheet.Value{{}}
-		}
-		return rel, nonConst, nil
+		return &inputPlan{live: live, residual: nonConst}, nil
 	}
 
 	srcs, err := db.buildSources(stmt, sheets)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
 	// Simulate the joined schema over the full source schemas: the final
@@ -183,11 +224,11 @@ func (db *Database) buildInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, s
 				n := strings.ToLower(name)
 				li, err := findColumn(accum, "", n)
 				if err != nil {
-					return nil, nil, err
+					return nil, err
 				}
 				ri, err := findColumn(right.cols, "", n)
 				if err != nil {
-					return nil, nil, err
+					return nil, err
 				}
 				srcs[origin[li].src].mark(origin[li].col)
 				right.mark(ri)
@@ -257,23 +298,47 @@ func (db *Database) buildInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, s
 		}
 	}
 
-	// Scan every source into a pruned, pre-filtered relation, then fold
-	// the joins.
-	left, err := db.scanSource(srcs[0], live, sheets)
+	// Choose each named table's access path from its pushed conjuncts. The
+	// first source may additionally satisfy the statement's ORDER BY from
+	// index order — and stop early under a LIMIT — when nothing downstream
+	// (joins, residual filters, grouping, DISTINCT) can reorder or drop
+	// rows behind the scan's back.
+	for i, s := range srcs {
+		if s.store == nil || s.tbl == nil {
+			continue
+		}
+		ord := noOrder
+		if i == 0 && len(stmt.Joins) == 0 && len(residual) == 0 && !an.grouped && !stmt.Distinct {
+			ord = orderRequest(stmt, s)
+		}
+		s.path = db.chooseAccessPath(s.tbl, s.cols, s.pushed, sheets, ord)
+	}
+	return &inputPlan{srcs: srcs, residual: residual, live: live}, nil
+}
+
+// orderRequest resolves the leading ORDER BY term against a source: the
+// request carries the source column it names (or -1), the direction, and
+// the LIMIT+OFFSET row budget that permits an early exit.
+func orderRequest(stmt *sqlparser.SelectStmt, s *srcState) orderReq {
+	if len(stmt.OrderBy) == 0 {
+		return noOrder
+	}
+	cr, ok := stmt.OrderBy[0].Expr.(*sqlparser.ColumnRef)
+	if !ok {
+		return noOrder
+	}
+	col, err := findColumn(s.cols, strings.ToLower(cr.Table), strings.ToLower(cr.Name))
 	if err != nil {
-		return nil, nil, err
+		return noOrder
 	}
-	for ji, join := range stmt.Joins {
-		right, err := db.scanSource(srcs[ji+1], live, sheets)
-		if err != nil {
-			return nil, nil, err
-		}
-		left, err = joinRelations(left, right, join, sheets)
-		if err != nil {
-			return nil, nil, err
+	ord := orderReq{col: col, desc: stmt.OrderBy[0].Desc, multi: len(stmt.OrderBy) > 1}
+	if stmt.Limit != nil {
+		ord.limit = *stmt.Limit
+		if stmt.Offset != nil {
+			ord.limit += *stmt.Offset
 		}
 	}
-	return left, residual, nil
+	return ord
 }
 
 // srcCol locates a joined-schema column inside its FROM source.
@@ -360,6 +425,7 @@ func (db *Database) buildSources(stmt *sqlparser.SelectStmt, sheets SheetAccesso
 			if t.Alias != "" {
 				s.label = strings.ToLower(t.Alias)
 			}
+			s.tbl = tbl
 			for _, c := range tbl.Columns {
 				s.cols = append(s.cols, colDesc{table: s.label, name: strings.ToLower(c.Name), src: i})
 			}
@@ -472,6 +538,12 @@ func (db *Database) scanSource(s *srcState, live bool, sheets SheetAccessor) (*r
 		return nil, err
 	}
 	ctx := &rowCtx{sheets: sheets}
+	if s.path != nil && s.path.kind != pathFull {
+		if err := db.scanIndexPath(s, rel, preds, ctx, scanCols); err != nil {
+			return nil, err
+		}
+		return rel, nil
+	}
 	var arena valueArena
 	// Stable scans hand out immutable decoded-page rows that can be
 	// retained as-is; scratch-based scans require a copy of each kept row.
@@ -499,6 +571,57 @@ func (db *Database) scanSource(s *srcState, live bool, sheets SheetAccessor) (*r
 		return nil, err
 	}
 	return rel, nil
+}
+
+// scanIndexPath materialises a source through its index access path:
+// candidate RowIDs come from the B-tree, candidate rows are point reads of
+// only the referenced columns (GetCols), and the pushed conjuncts are
+// re-evaluated on every candidate so the kept rows are exactly what the
+// full scan would keep. Non-ordered paths emit in RowID order (the full
+// scan's order); ordered paths emit in index order and may stop early.
+func (db *Database) scanIndexPath(s *srcState, rel *relation, preds []boundExpr, ctx *rowCtx, fetchCols []int) error {
+	table := s.tbl.Name
+	keep := func(id tablestore.RowID) (bool, error) {
+		row, err := s.store.GetCols(id, fetchCols)
+		if err != nil {
+			// The candidate vanished between the index read and the fetch
+			// (no snapshot isolation at this level, as with full scans).
+			if errors.Is(err, tablestore.ErrRowNotFound) {
+				return true, nil
+			}
+			return false, err
+		}
+		ctx.row = row
+		ok, err := allPredicates(preds, ctx)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			rel.rows = append(rel.rows, row)
+		}
+		return true, nil
+	}
+	if !s.path.ordered {
+		for _, id := range db.collectPathIDs(table, s.path) {
+			if ok, err := keep(id); err != nil || !ok {
+				return err
+			}
+		}
+		return nil
+	}
+	var walkErr error
+	db.walkPathOrdered(table, s.path, func(id tablestore.RowID) bool {
+		ok, err := keep(id)
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		if !ok {
+			return false
+		}
+		return s.path.earlyLimit <= 0 || len(rel.rows) < s.path.earlyLimit
+	})
+	return walkErr
 }
 
 func compilePredicates(conjuncts []sqlparser.Expr, cols []colDesc, sheets SheetAccessor) ([]boundExpr, error) {

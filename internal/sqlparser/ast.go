@@ -122,6 +122,30 @@ type DropTableStmt struct {
 	IfExists bool
 }
 
+// CreateIndexStmt is CREATE [UNIQUE] INDEX [IF NOT EXISTS] name ON table
+// (col, ...). Secondary indexes accelerate point and range WHERE conjuncts
+// on non-key columns (see sqlexec's access-path layer).
+type CreateIndexStmt struct {
+	Name        string
+	Table       string
+	Columns     []string
+	Unique      bool
+	IfNotExists bool
+}
+
+// DropIndexStmt is DROP INDEX [IF EXISTS] name.
+type DropIndexStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// ExplainStmt is EXPLAIN <statement>: instead of executing, report the
+// access path the planner would choose for each FROM source (and for the
+// target table of UPDATE/DELETE).
+type ExplainStmt struct {
+	Stmt Statement
+}
+
 // BeginStmt, CommitStmt and RollbackStmt are transaction control statements.
 type (
 	// BeginStmt starts a transaction.
@@ -139,6 +163,9 @@ func (*DeleteStmt) stmtNode()      {}
 func (*CreateTableStmt) stmtNode() {}
 func (*AlterTableStmt) stmtNode()  {}
 func (*DropTableStmt) stmtNode()   {}
+func (*CreateIndexStmt) stmtNode() {}
+func (*DropIndexStmt) stmtNode()   {}
+func (*ExplainStmt) stmtNode()     {}
 func (*BeginStmt) stmtNode()       {}
 func (*CommitStmt) stmtNode()      {}
 func (*RollbackStmt) stmtNode()    {}

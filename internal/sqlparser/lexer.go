@@ -44,6 +44,7 @@ var keywords = map[string]bool{
 	"INSERT": true, "INTO": true, "VALUES": true,
 	"UPDATE": true, "SET": true, "DELETE": true,
 	"CREATE": true, "TABLE": true, "DROP": true, "ALTER": true, "ADD": true,
+	"INDEX": true, "UNIQUE": true, "EXPLAIN": true,
 	"COLUMN": true, "RENAME": true, "TO": true, "IF": true, "EXISTS": true,
 	"PRIMARY": true, "KEY": true, "NOT": true, "NULL": true, "DEFAULT": true,
 	"AND": true, "OR": true, "IN": true, "IS": true, "LIKE": true,

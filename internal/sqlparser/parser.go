@@ -111,6 +111,16 @@ func (p *Parser) peekKeyword(kw string) bool {
 	return t.Kind == TokKeyword && t.Text == kw
 }
 
+// peekAheadKeyword reports whether the token n positions ahead is the given
+// keyword (n = 0 is the next token).
+func (p *Parser) peekAheadKeyword(n int, kw string) bool {
+	if p.pos+n >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.pos+n]
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
 // expect consumes a token of the given kind/text or fails.
 func (p *Parser) expect(kind TokenKind, text string) (Token, error) {
 	t := p.peek()
@@ -168,11 +178,24 @@ func (p *Parser) parseStatement() (Statement, error) {
 	case "DELETE":
 		return p.parseDelete()
 	case "CREATE":
+		if p.peekAheadKeyword(1, "INDEX") || p.peekAheadKeyword(1, "UNIQUE") {
+			return p.parseCreateIndex()
+		}
 		return p.parseCreateTable()
 	case "ALTER":
 		return p.parseAlterTable()
 	case "DROP":
+		if p.peekAheadKeyword(1, "INDEX") {
+			return p.parseDropIndex()
+		}
 		return p.parseDropTable()
+	case "EXPLAIN":
+		p.next()
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Stmt: inner}, nil
 	case "BEGIN":
 		p.next()
 		p.acceptKeyword("TRANSACTION")
@@ -789,6 +812,83 @@ func (p *Parser) parseDropTable() (*DropTableStmt, error) {
 		return nil, err
 	}
 	stmt := &DropTableStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		stmt.IfExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = name
+	return stmt, nil
+}
+
+// parseCreateIndex parses CREATE [UNIQUE] INDEX [IF NOT EXISTS] name ON
+// table (col, ...).
+func (p *Parser) parseCreateIndex() (*CreateIndexStmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	stmt := &CreateIndexStmt{}
+	if p.acceptKeyword("UNIQUE") {
+		stmt.Unique = true
+	}
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		stmt.IfNotExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = name
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = table
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Columns = append(stmt.Columns, col)
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// parseDropIndex parses DROP INDEX [IF EXISTS] name.
+func (p *Parser) parseDropIndex() (*DropIndexStmt, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	stmt := &DropIndexStmt{}
 	if p.acceptKeyword("IF") {
 		if err := p.expectKeyword("EXISTS"); err != nil {
 			return nil, err

@@ -437,3 +437,60 @@ func TestLiteralValues(t *testing.T) {
 		t.Error("NULL literal wrong")
 	}
 }
+
+func TestParseIndexDDLAndExplain(t *testing.T) {
+	stmt, err := Parse("CREATE UNIQUE INDEX IF NOT EXISTS idx_year ON movies (year, title)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, ok := stmt.(*CreateIndexStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if !ci.Unique || !ci.IfNotExists || ci.Name != "idx_year" || ci.Table != "movies" ||
+		len(ci.Columns) != 2 || ci.Columns[0] != "year" || ci.Columns[1] != "title" {
+		t.Fatalf("CreateIndexStmt = %+v", ci)
+	}
+	stmt, err = Parse("CREATE INDEX i ON t (c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci := stmt.(*CreateIndexStmt); ci.Unique || ci.IfNotExists {
+		t.Fatalf("plain CREATE INDEX = %+v", ci)
+	}
+
+	stmt, err = Parse("DROP INDEX IF EXISTS idx_year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, ok := stmt.(*DropIndexStmt)
+	if !ok || di.Name != "idx_year" || !di.IfExists {
+		t.Fatalf("DropIndexStmt = %+v (%T)", stmt, stmt)
+	}
+
+	// DROP TABLE / CREATE TABLE still parse (the lookahead must not break them).
+	if _, err := Parse("DROP TABLE t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+
+	stmt, err = Parse("EXPLAIN SELECT * FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*ExplainStmt)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if _, ok := ex.Stmt.(*SelectStmt); !ok {
+		t.Fatalf("EXPLAIN wraps %T", ex.Stmt)
+	}
+	if _, err := Parse("EXPLAIN UPDATE t SET v = 1 WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse("CREATE INDEX ON t (c)"); err == nil {
+		t.Fatal("nameless CREATE INDEX accepted")
+	}
+}

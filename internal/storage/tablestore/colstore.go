@@ -131,6 +131,32 @@ func (s *ColStore) Get(id RowID) ([]sheet.Value, error) {
 	return row, nil
 }
 
+// GetCols implements Store. Only the requested columns' blocks are read.
+func (s *ColStore) GetCols(id RowID, cols []int) ([]sheet.Value, error) {
+	if cols == nil {
+		return s.Get(id)
+	}
+	if err := s.checkID(id); err != nil {
+		return nil, err
+	}
+	slot := int(id - 1)
+	pi, off := slot/valuesPerPage, slot%valuesPerPage
+	out := make([]sheet.Value, len(cols))
+	for j, c := range cols {
+		if c < 0 || c >= len(s.cols) {
+			return nil, fmt.Errorf("%w: %d", ErrColumnRange, c)
+		}
+		vals, err := s.readColPageShared(c, pi)
+		if err != nil {
+			return nil, err
+		}
+		if off < len(vals) {
+			out[j] = vals[off]
+		}
+	}
+	return out, nil
+}
+
 // Update implements Store. One block per column is touched.
 func (s *ColStore) Update(id RowID, row []sheet.Value) error {
 	if err := checkWidth(row, len(s.cols)); err != nil {

@@ -231,6 +231,42 @@ func (s *HybridStore) Get(id RowID) ([]sheet.Value, error) {
 	return row, nil
 }
 
+// GetCols implements Store. Only the blocks of attribute groups that hold a
+// requested column are read.
+func (s *HybridStore) GetCols(id RowID, cols []int) ([]sheet.Value, error) {
+	if cols == nil {
+		return s.Get(id)
+	}
+	if err := s.checkID(id); err != nil {
+		return nil, err
+	}
+	slot := int(id - 1)
+	out := make([]sheet.Value, len(cols))
+	// One shared page read per distinct group among the requested columns.
+	var curGroup, curPage = -1, -1
+	var rows [][]sheet.Value
+	for j, c := range cols {
+		if c < 0 || c >= len(s.colMap) {
+			return nil, fmt.Errorf("%w: %d", ErrColumnRange, c)
+		}
+		loc := s.colMap[c]
+		g := &s.groups[loc.group]
+		pi, off := slot/g.rowsPer, slot%g.rowsPer
+		if loc.group != curGroup || pi != curPage {
+			var err error
+			if _, rows, err = s.readGroupPageShared(loc.group, pi); err != nil {
+				return nil, err
+			}
+			curGroup, curPage = loc.group, pi
+		}
+		if off >= len(rows) {
+			return nil, fmt.Errorf("%w: %d", ErrRowNotFound, id)
+		}
+		out[j] = rows[off][loc.offset]
+	}
+	return out, nil
+}
+
 // Update implements Store. One block per group is touched.
 func (s *HybridStore) Update(id RowID, row []sheet.Value) error {
 	if err := checkWidth(row, len(s.colMap)); err != nil {

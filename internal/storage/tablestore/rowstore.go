@@ -105,6 +105,41 @@ func (s *RowStore) Get(id RowID) ([]sheet.Value, error) {
 	return nil, fmt.Errorf("%w: %d", ErrRowNotFound, id)
 }
 
+// GetCols implements Store. Row layouts decode the whole tuple regardless;
+// the column subset only narrows what is copied out.
+func (s *RowStore) GetCols(id RowID, cols []int) ([]sheet.Value, error) {
+	if cols == nil {
+		return s.Get(id)
+	}
+	for _, c := range cols {
+		if c < 0 || c >= s.width {
+			return nil, fmt.Errorf("%w: %d", ErrColumnRange, c)
+		}
+	}
+	pi, ok := s.dir[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrRowNotFound, id)
+	}
+	ids, rows, err := s.readPageShared(pi)
+	if err != nil {
+		return nil, err
+	}
+	for i, rid := range ids {
+		if rid != id {
+			continue
+		}
+		row := rows[i]
+		out := make([]sheet.Value, len(cols))
+		for j, c := range cols {
+			if c < len(row) {
+				out[j] = row[c]
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%w: %d", ErrRowNotFound, id)
+}
+
 // Update implements Store.
 func (s *RowStore) Update(id RowID, row []sheet.Value) error {
 	if err := checkWidth(row, s.width); err != nil {

@@ -201,3 +201,71 @@ func TestScanSeesWrites(t *testing.T) {
 		})
 	}
 }
+
+// TestGetCols checks the point read against Get on every layout: the subset
+// values must match the full tuple, missing rows must error, and deleted
+// rows must be invisible.
+func TestGetCols(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(pool *pager.BufferPool) Store
+	}{
+		{"row", func(p *pager.BufferPool) Store { return NewRowStore(p, 5) }},
+		{"column", func(p *pager.BufferPool) Store { return NewColStore(p, 5) }},
+		{"hybrid", func(p *pager.BufferPool) Store { return NewHybridStore(p, 5, WithGroupSize(2)) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pool := pager.NewBufferPool(pager.NewStore(), 64)
+			s := tc.mk(pool)
+			const n = 700 // spans multiple pages in every layout
+			for i := 0; i < n; i++ {
+				row := make([]sheet.Value, 5)
+				for c := range row {
+					row[c] = sheet.Number(float64(i*10 + c))
+				}
+				if _, err := s.Insert(row); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, id := range []RowID{1, 63, 64, 65, 512, 700} {
+				full, err := s.Get(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, cols := range [][]int{nil, {0}, {4, 1}, {2, 2}, {}} {
+					got, err := s.GetCols(id, cols)
+					if err != nil {
+						t.Fatalf("GetCols(%d, %v): %v", id, cols, err)
+					}
+					want := full
+					if cols != nil {
+						want = make([]sheet.Value, len(cols))
+						for j, c := range cols {
+							want[j] = full[c]
+						}
+					}
+					if len(got) != len(want) {
+						t.Fatalf("GetCols(%d, %v) width %d want %d", id, cols, len(got), len(want))
+					}
+					for j := range want {
+						if !got[j].Equal(want[j]) {
+							t.Fatalf("GetCols(%d, %v)[%d] = %v want %v", id, cols, j, got[j], want[j])
+						}
+					}
+				}
+			}
+			if _, err := s.GetCols(3, []int{9}); err == nil {
+				t.Fatal("out-of-range column accepted")
+			}
+			if err := s.Delete(42); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.GetCols(42, []int{0}); err == nil {
+				t.Fatal("deleted row visible through GetCols")
+			}
+			if _, err := s.GetCols(RowID(n+5), []int{0}); err == nil {
+				t.Fatal("missing row visible through GetCols")
+			}
+		})
+	}
+}

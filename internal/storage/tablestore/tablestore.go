@@ -42,6 +42,13 @@ type Store interface {
 	Insert(row []sheet.Value) (RowID, error)
 	// Get returns a copy of the tuple.
 	Get(id RowID) ([]sheet.Value, error)
+	// GetCols returns a copy of the tuple materializing only the columns
+	// listed in cols (nil means all columns, in schema order): row[i] holds
+	// the value of column cols[i]. Layouts that store columns apart —
+	// ColStore, HybridStore — only page in blocks that hold a requested
+	// column, which is what makes index scans cheap: the access-path layer
+	// fetches candidate rows by RowID with exactly the referenced columns.
+	GetCols(id RowID, cols []int) ([]sheet.Value, error)
 	// Update replaces the tuple. The tuple must have ColumnCount values.
 	Update(id RowID, row []sheet.Value) error
 	// UpdateColumn replaces a single attribute of the tuple.
