@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench verify
+.PHONY: all build test race vet fmt bench fuzz verify
 
 all: build test
 
@@ -25,7 +25,14 @@ verify: fmt vet build test
 
 # bench is the benchmark smoke target: every testing.B benchmark compiles
 # and runs at least once (so benchmark code cannot rot), and cmd/dsbench
-# emits the headline results as machine-readable JSON.
+# emits the headline results as machine-readable JSON — including the
+# FileStore-vs-MmapStore backend pairs and the cold-open scaling series.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE .
-	$(GO) run ./cmd/dsbench -json BENCH_pr3.json
+	$(GO) run ./cmd/dsbench -json BENCH_pr4.json
+
+# fuzz runs the durability fuzz suites (fixed seeds: the same trials replay
+# every run) — WAL truncation/bit-flips, checkpoint kill points, heap-file
+# corruption, and the shadow-paged root-flip kill points.
+fuzz:
+	$(GO) test ./internal/core/ -run 'TestCrashRecoveryFuzz|TestCheckpointCrashFuzz|TestHeapCorruptionFuzz|TestRootFlipAtomicKillPoints' -count=1 -v

@@ -529,4 +529,82 @@ func BenchmarkD1DurableAppend(b *testing.B) {
 		b.ResetTimer()
 		appendCells(b, ds)
 	})
+	b.Run("mmap-group-commit-64", func(b *testing.B) {
+		ds, err := core.OpenFile(filepath.Join(b.TempDir(), "book.dsp"), core.Options{Mmap: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ds.Close()
+		ds.WAL().SetGroupCommit(64)
+		b.ResetTimer()
+		appendCells(b, ds)
+	})
+}
+
+// BenchmarkD2ColdOpen measures recovery cost. With the page-rooted catalog,
+// opening a checkpointed workbook attaches to its table pages, so cold-open
+// time tracks the *dirty* work since the last checkpoint (the WAL tail) —
+// not the total row count. The replay-only variant (no checkpoint) is the
+// old O(history) behaviour for contrast.
+func BenchmarkD2ColdOpen(b *testing.B) {
+	build := func(b *testing.B, rows, tail int) string {
+		b.Helper()
+		path := filepath.Join(b.TempDir(), "book.dsp")
+		ds, err := core.OpenFile(path, core.Options{CheckpointWALBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ds.Query("CREATE TABLE seq (n INT PRIMARY KEY, v NUMERIC)"); err != nil {
+			b.Fatal(err)
+		}
+		ds.WAL().SetGroupCommit(1 << 20) // build fast; the bench times the open
+		for i := 1; i <= rows; i++ {
+			if _, err := ds.Query(fmt.Sprintf("INSERT INTO seq VALUES (%d, %d)", i, i*2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if rows > 0 {
+			// Everything before the tail is checkpointed into pages (same
+			// condition as cmd/dsbench's cold-open series, so the two
+			// harnesses stay comparable).
+			if err := ds.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := rows + 1; i <= rows+tail; i++ {
+			if _, err := ds.Query(fmt.Sprintf("INSERT INTO seq VALUES (%d, %d)", i, i*2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ds.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name       string
+		rows, tail int
+	}{
+		{"checkpointed-10k-rows-dirty-0", 10000, 0},
+		{"checkpointed-10k-rows-dirty-500", 10000, 500},
+		{"checkpointed-20k-rows-dirty-500", 20000, 500},
+		{"replay-only-10k-rows", 0, 10000},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			path := build(b, tc.rows, tc.tail)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ds, err := core.OpenFile(path, core.Options{CheckpointWALBytes: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := ds.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
 }

@@ -34,11 +34,12 @@ import (
 
 func main() {
 	file := flag.String("file", "", "durable workbook file (WAL kept at <file>.wal)")
+	mmap := flag.Bool("mmap", false, "serve workbook reads from a memory mapping (with -file)")
 	flag.Parse()
 	var ds *core.DataSpread
 	if *file != "" {
 		var err error
-		ds, err = core.OpenFile(*file, core.Options{})
+		ds, err = core.OpenFile(*file, core.Options{Mmap: *mmap})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)

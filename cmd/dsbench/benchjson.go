@@ -4,20 +4,29 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/dataspread/dataspread/internal/core"
 	"github.com/dataspread/dataspread/internal/datagen"
 	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
 )
 
-// Machine-readable benchmark output (-json FILE). Two groups are measured:
-// the access-path workloads of PR 3 (PK point lookup, PK range scan,
-// index-ordered top-K, secondary-index lookup), each paired with a forced
-// full-scan baseline on identical data so the speedup of the
-// planner-chosen index path is self-contained in one file; and the carried
-// headline workloads of the streaming-executor work (M2, M3, A5, F2a),
-// kept so regressions across PRs stay diffable.
+// Machine-readable benchmark output (-json FILE). Three groups are measured:
+//
+//   - backend pairs: the PR 3 access-path workloads (PK point, PK range,
+//     index-ordered top-K, secondary lookup, full scan) plus the D1 durable
+//     append, each run over a file-backed workbook with a deliberately small
+//     buffer pool against BOTH page backends — FileStore (pread) as the
+//     baseline and MmapStore as the contender — so the mmap read path's
+//     syscall savings are self-contained in one file;
+//   - cold-open scaling: OpenFile time for checkpointed workbooks with a
+//     fixed dirty WAL tail versus a replay-only history, demonstrating that
+//     recovery is O(dirty work since the last checkpoint), not O(row count);
+//   - carried headline workloads (access paths vs forced full scan incl. the
+//     new IN-list probes, M2, M3, A5, F2a), kept so regressions across PRs
+//     stay diffable.
 
 type benchNums struct {
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -33,10 +42,11 @@ type benchEntry struct {
 }
 
 type benchReport struct {
-	PR          int          `json:"pr"`
-	Title       string       `json:"title"`
-	GeneratedBy string       `json:"generated_by"`
-	Benchmarks  []benchEntry `json:"benchmarks"`
+	PR            int          `json:"pr"`
+	Title         string       `json:"title"`
+	GeneratedBy   string       `json:"generated_by"`
+	MmapSupported bool         `json:"mmap_supported"`
+	Benchmarks    []benchEntry `json:"benchmarks"`
 }
 
 func runNums(fn func(b *testing.B)) benchNums {
@@ -50,11 +60,57 @@ func runNums(fn func(b *testing.B)) benchNums {
 
 func writeBenchJSON(path string) {
 	report := benchReport{
-		PR:          3,
-		Title:       "Access-path layer: planner-chosen B-tree index scans, secondary indexes, and order-aware scans",
-		GeneratedBy: "cmd/dsbench -json (baseline = same query with SetForceFullScan(true))",
+		PR:            4,
+		Title:         "Durable-by-default storage: page-rooted tables, background shadow-paged checkpoints, mmap read path",
+		GeneratedBy:   "cmd/dsbench -json (backend pairs: baseline = FileStore pread, after = MmapStore)",
+		MmapSupported: pager.MmapSupported,
 	}
-	paired := []struct {
+	add := func(name string, baseline *benchNums, after benchNums) {
+		e := benchEntry{Name: name, Baseline: baseline, After: after}
+		if baseline != nil && after.NsPerOp > 0 {
+			e.Speedup = round2(baseline.NsPerOp / after.NsPerOp)
+		}
+		report.Benchmarks = append(report.Benchmarks, e)
+		if baseline != nil {
+			fmt.Printf("%-34s %12.0f ns/op (baseline %12.0f ns/op, %6.2fx)\n",
+				name, after.NsPerOp, baseline.NsPerOp, e.Speedup)
+		} else {
+			fmt.Printf("%-34s %12.0f ns/op %10d B/op %8d allocs/op\n",
+				name, after.NsPerOp, after.BytesPerOp, after.AllocsPerOp)
+		}
+	}
+
+	// FileStore-vs-MmapStore pairs over the PR 3 scan/point workloads.
+	backendPairs := []struct {
+		name     string
+		query    string
+		wantRows int
+	}{
+		{"MmapVsFilePKPoint", "SELECT v FROM big WHERE id = 10000", 1},
+		{"MmapVsFilePKRange", "SELECT id, v FROM big WHERE id BETWEEN 12000 AND 12100", 101},
+		{"MmapVsFileTopK", "SELECT id FROM big ORDER BY id DESC LIMIT 10", 10},
+		{"MmapVsFileSecondaryLookup", "SELECT id FROM big WHERE g = 137 AND v > 0", 40},
+		{"MmapVsFileFullScan", "SELECT COUNT(v) FROM big WHERE v >= 0", 1},
+	}
+	for _, w := range backendPairs {
+		file := runNums(benchBackendQuery(w.query, w.wantRows, false))
+		mm := runNums(benchBackendQuery(w.query, w.wantRows, true))
+		add(w.name, &file, mm)
+	}
+	// D1 durable append, group commit 64, both backends.
+	fileAppend := runNums(benchD1Append(false))
+	mmapAppend := runNums(benchD1Append(true))
+	add("MmapVsFileD1Append", &fileAppend, mmapAppend)
+
+	// Cold-open scaling: time tracks the dirty tail, not the row count; the
+	// replay-only entry is the pre-page-catalog behaviour.
+	add("ColdOpenCheckpointed10kDirty0", nil, runNums(benchColdOpen(10000, 0)))
+	add("ColdOpenCheckpointed10kDirty500", nil, runNums(benchColdOpen(10000, 500)))
+	add("ColdOpenCheckpointed20kDirty500", nil, runNums(benchColdOpen(20000, 500)))
+	add("ColdOpenReplayOnly10k", nil, runNums(benchColdOpen(0, 10000)))
+
+	// Carried access-path pairs (index path vs forced full scan, in memory).
+	carriedPairs := []struct {
 		name     string
 		query    string
 		wantRows int
@@ -63,17 +119,12 @@ func writeBenchJSON(path string) {
 		{"PKRangeScan", "SELECT id, v FROM big WHERE id BETWEEN 30000 AND 30100", 101},
 		{"IndexOrderedTopK", "SELECT id FROM big ORDER BY id DESC LIMIT 10", 10},
 		{"SecondaryIndexLookup", "SELECT id FROM big WHERE g = 137 AND v > 0", 100},
+		{"PKInListProbes", "SELECT id, v FROM big WHERE id IN (11, 222, 3333, 44444)", 4},
 	}
-	for _, w := range paired {
+	for _, w := range carriedPairs {
 		after := runNums(benchAccess(w.query, w.wantRows, false))
 		baseline := runNums(benchAccess(w.query, w.wantRows, true))
-		e := benchEntry{Name: w.name, Baseline: &baseline, After: after}
-		if after.NsPerOp > 0 {
-			e.Speedup = round2(baseline.NsPerOp / after.NsPerOp)
-		}
-		report.Benchmarks = append(report.Benchmarks, e)
-		fmt.Printf("%-26s %12.0f ns/op (full scan %12.0f ns/op, %6.1fx)\n",
-			w.name, after.NsPerOp, baseline.NsPerOp, e.Speedup)
+		add(w.name, &baseline, after)
 	}
 	carried := []struct {
 		name string
@@ -85,11 +136,9 @@ func writeBenchJSON(path string) {
 		{"F2aDBSQLQuery", benchF2a},
 	}
 	for _, w := range carried {
-		after := runNums(w.fn)
-		report.Benchmarks = append(report.Benchmarks, benchEntry{Name: w.name, After: after})
-		fmt.Printf("%-26s %12.0f ns/op %10d B/op %8d allocs/op\n",
-			w.name, after.NsPerOp, after.BytesPerOp, after.AllocsPerOp)
+		add(w.name, nil, runNums(w.fn))
 	}
+
 	blob, err := json.MarshalIndent(report, "", "  ")
 	check(err)
 	blob = append(blob, '\n')
@@ -98,6 +147,122 @@ func writeBenchJSON(path string) {
 }
 
 func round2(f float64) float64 { return float64(int(f*100+0.5)) / 100 }
+
+// benchBackendQuery builds a durable 20k-row workbook over the chosen page
+// backend with a small buffer pool (64 pages), checkpoints it so the table
+// pages are on disk, and times one query — scans page in through the
+// backend's read path, which is exactly what the FileStore/MmapStore pair
+// compares.
+func benchBackendQuery(query string, wantRows int, mmap bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		pool := 64
+		path := filepath.Join(b.TempDir(), "book.dsp")
+		ds, err := core.OpenFile(path, core.Options{
+			Mmap:               mmap,
+			BufferPoolPages:    &pool,
+			CheckpointWALBytes: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ds.Close()
+		if _, err := ds.QueryScript(`
+			CREATE TABLE big (id INT PRIMARY KEY, g INT, v NUMERIC);
+			CREATE INDEX big_g ON big (g);`); err != nil {
+			b.Fatal(err)
+		}
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if _, err := ds.DB().Insert("big", []sheet.Value{
+				sheet.Number(float64(i)), sheet.Number(float64(i % 500)), sheet.Number(float64(i) * 2),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ds.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := ds.Query(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if wantRows > 0 && len(res.Rows) != wantRows {
+				b.Fatalf("query %q returned %d rows, want %d", query, len(res.Rows), wantRows)
+			}
+		}
+	}
+}
+
+// benchD1Append times the durable append path (group commit 64) over the
+// chosen backend.
+func benchD1Append(mmap bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds, err := core.OpenFile(filepath.Join(b.TempDir(), "book.dsp"), core.Options{Mmap: mmap})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ds.Close()
+		ds.WAL().SetGroupCommit(64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wait, err := ds.SetCell("Sheet1", fmt.Sprintf("A%d", i+1), fmt.Sprintf("%d", i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			wait()
+		}
+	}
+}
+
+// benchColdOpen builds a workbook with `rows` checkpointed rows plus a
+// `tail`-row WAL tail (rows == 0 means a replay-only history of `tail`
+// rows), then times OpenFile; Close is excluded from the timing.
+func benchColdOpen(rows, tail int) func(b *testing.B) {
+	return func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "book.dsp")
+		ds, err := core.OpenFile(path, core.Options{CheckpointWALBytes: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ds.Query("CREATE TABLE seq (n INT PRIMARY KEY, v NUMERIC)"); err != nil {
+			b.Fatal(err)
+		}
+		ds.WAL().SetGroupCommit(1 << 20) // build fast; this bench times the open
+		for i := 1; i <= rows; i++ {
+			if _, err := ds.Query(fmt.Sprintf("INSERT INTO seq VALUES (%d, %d)", i, i*2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if rows > 0 {
+			if err := ds.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := rows + 1; i <= rows+tail; i++ {
+			if _, err := ds.Query(fmt.Sprintf("INSERT INTO seq VALUES (%d, %d)", i, i*2)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ds.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			re, err := core.OpenFile(path, core.Options{CheckpointWALBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := re.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
 
 // benchAccess builds the access-path workload table — 50k rows, numeric PK,
 // secondary index on g — and times one query, optionally forcing the

@@ -7,17 +7,22 @@
 // cmd/dsbench, and bench_test.go in this package holds one benchmark per
 // reproduced figure/claim (see EXPERIMENTS.md).
 //
-// Storage is durable when asked to be: internal/storage/pager exposes a
-// Backend interface with an in-memory block-count model (Store) and a
-// single-file 4KiB-page heap (FileStore) behind the same BufferPool;
-// internal/txn serializes committed records to an append-only, CRC-framed
-// write-ahead log with group commit; and core.OpenFile/Checkpoint tie the
-// two together with snapshot-plus-replay recovery (DESIGN.md §Durability).
-// The cmd/dataspread shell takes -file to run against a workbook file.
+// Storage is durable by default for -file workbooks: internal/storage/pager
+// exposes a Backend interface with an in-memory block-count model (Store), a
+// single-file 4KiB-page heap (FileStore) and a memory-mapped read variant
+// (MmapStore, -mmap) behind the same BufferPool; table and index pages live
+// in the workbook file itself, registered in a page-zero catalog of
+// CRC-protected ping-pong root slots, so reopening attaches to existing
+// pages instead of replaying DML history. internal/txn serializes committed
+// records to an append-only, CRC-framed write-ahead log with group commit,
+// and a background goroutine checkpoints off the write path with
+// shadow-paged writes — a crash mid-checkpoint can never tear the snapshot
+// (DESIGN.md §Durability). The cmd/dataspread shell takes -file [-mmap] to
+// run against a workbook file.
 //
-// Queries choose their access paths: point and range WHERE conjuncts on
-// NUMERIC columns ride the primary-key B+-tree or a secondary index
-// instead of a filtered full scan, and ORDER BY <indexed col> LIMIT k
+// Queries choose their access paths: point, range and IN-list WHERE
+// conjuncts on NUMERIC columns ride the primary-key B+-tree or a secondary
+// index instead of a filtered full scan, and ORDER BY <indexed col> LIMIT k
 // walks the index in order without sorting. Secondary indexes are plain
 // SQL —
 //

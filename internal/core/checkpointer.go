@@ -1,0 +1,244 @@
+// Background shadow-paged checkpoints.
+//
+// A checkpoint moves durability work off the write path: commands only pay
+// for their WAL append, and a background goroutine — nudged whenever the WAL
+// grows past a size threshold — periodically captures the workbook and makes
+// the page file the source of truth up to a watermark LSN.
+//
+// The protocol is shadow-paged end to end, in four stages:
+//
+//	capture  (under cmdMu) flush the buffer pool — copy-on-write relocates
+//	         every dirty page that the durable root references to a fresh
+//	         page — then serialize the page catalog, the sheet snapshot and
+//	         the watermark. Nothing the old root references was touched.
+//	write    (off-lock)    write the two blobs to fresh pages and sync.
+//	flip     (off-lock)    write the next root — generation+1, watermark,
+//	         blob pages — into the ping-pong slot the previous root does
+//	         NOT occupy, and sync. This single page write is the commit
+//	         point: a crash before it recovers the old root plus the full
+//	         WAL; after it, the new root plus the WAL tail above the
+//	         watermark.
+//	adopt    (post-commit) mirror the root into the sibling slot, promote
+//	         the pool's pending protection set to durable (freeing pages
+//	         only the old root referenced), release the old blob pages, and
+//	         compact the WAL through the watermark — concurrent appends
+//	         above it survive.
+//
+// Writers keep running during write/flip/adopt; only capture excludes them,
+// and it performs no fsync. Close and Checkpoint drain the background
+// goroutine deterministically.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dataspread/dataspread/internal/storage/pager"
+	"github.com/dataspread/dataspread/internal/txn"
+)
+
+// defaultCheckpointWALBytes is the WAL size that triggers a background
+// checkpoint when Options.CheckpointWALBytes is zero.
+const defaultCheckpointWALBytes = 4 << 20
+
+// ckptState carries one checkpoint through its stages.
+type ckptState struct {
+	watermark uint64
+	metaBlob  []byte
+	snapBlob  []byte
+	dataPages []pager.PageID
+	metaPage  pager.PageID
+	snapPage  pager.PageID
+	prevMeta  pager.PageID
+	prevSnap  pager.PageID
+}
+
+// startCheckpointer launches the background goroutine. A negative threshold
+// disables it (explicit Checkpoint still works).
+func (ds *DataSpread) startCheckpointer() {
+	if ds.ckptThreshold < 0 {
+		return
+	}
+	ds.ckptTrigger = make(chan struct{}, 1)
+	ds.ckptStop = make(chan struct{})
+	ds.ckptDone = make(chan struct{})
+	stop, trigger, done := ds.ckptStop, ds.ckptTrigger, ds.ckptDone
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-trigger:
+				if err := ds.checkpointOnce(); err != nil {
+					ds.ckptErrMu.Lock()
+					ds.ckptErr = err
+					ds.ckptErrMu.Unlock()
+				}
+			}
+		}
+	}()
+}
+
+// stopCheckpointer signals the goroutine and waits for any in-flight
+// checkpoint to finish. Safe to call twice.
+func (ds *DataSpread) stopCheckpointer() {
+	ds.ckptErrMu.Lock()
+	stop := ds.ckptStop
+	ds.ckptStop = nil
+	ds.ckptErrMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-ds.ckptDone
+}
+
+// maybeTriggerCheckpoint nudges the background goroutine when the WAL has
+// outgrown the threshold. Non-blocking: a nudge while a checkpoint runs
+// coalesces into the single buffered slot.
+func (ds *DataSpread) maybeTriggerCheckpoint() {
+	if ds.ckptTrigger == nil || ds.ckptThreshold <= 0 || ds.wal == nil {
+		return
+	}
+	if ds.wal.LogSize() < ds.ckptThreshold {
+		return
+	}
+	select {
+	case ds.ckptTrigger <- struct{}{}:
+	default:
+	}
+}
+
+// checkpointOnce runs one full checkpoint. ckptMu serialises explicit
+// Checkpoint calls with the background goroutine — whichever enters second
+// waits, so "Checkpoint returned" always means "no checkpoint in flight".
+func (ds *DataSpread) checkpointOnce() error {
+	ds.ckptMu.Lock()
+	defer ds.ckptMu.Unlock()
+	ds.Wait()
+	st, err := ds.ckptCapture()
+	if err != nil {
+		return err
+	}
+	if err := ds.ckptWrite(st); err != nil {
+		ds.ckptAbort(st)
+		return err
+	}
+	if err := ds.ckptFlip(st); err != nil {
+		// Commit-uncertain: the new root-slot write may have reached disk
+		// even though the sync (or the write itself) reported failure, so
+		// the blob pages and captured data pages must NOT be freed or
+		// unprotected — a reopen could legitimately choose that root. The
+		// scratch pages leak until a retry overwrites the same slot or the
+		// next open sweeps them.
+		return err
+	}
+	return ds.ckptAdopt(st)
+}
+
+// ckptCapture is the only stage that excludes writers: it flushes the pool
+// (copy-on-write keeps the durable image intact), serializes the catalog and
+// sheet snapshot, and records the watermark. No fsync happens here.
+func (ds *DataSpread) ckptCapture() (*ckptState, error) {
+	ds.cmdMu.Lock()
+	defer ds.cmdMu.Unlock()
+	if ds.wal == nil {
+		return nil, errors.New("core: checkpoint requires a durable workbook")
+	}
+	pool := ds.db.Pool()
+	if err := pool.FlushAll(); err != nil {
+		return nil, fmt.Errorf("core: checkpoint flush: %w", err)
+	}
+	st := &ckptState{watermark: ds.wal.LastLSN()}
+	st.metaBlob = ds.db.MarshalPages()
+	st.snapBlob = txn.EncodeRecords([]txn.Record{{LSN: st.watermark, Ops: ds.snapshotOps()}})
+	st.dataPages = ds.db.DurablePageIDs()
+	pool.BeginCheckpoint(st.dataPages)
+	return st, nil
+}
+
+// ckptWrite lands the catalog and snapshot blobs on fresh pages and syncs.
+// Old state is untouched; a crash here only leaks pages, which the next open
+// sweeps.
+func (ds *DataSpread) ckptWrite(st *ckptState) error {
+	be := ds.backend
+	if st.metaPage = be.Allocate(); st.metaPage == pager.InvalidPage {
+		return errors.New("core: checkpoint: page allocation failed")
+	}
+	if st.snapPage = be.Allocate(); st.snapPage == pager.InvalidPage {
+		return errors.New("core: checkpoint: page allocation failed")
+	}
+	if err := be.WritePage(st.metaPage, st.metaBlob); err != nil {
+		return fmt.Errorf("core: write page catalog: %w", err)
+	}
+	if err := be.WritePage(st.snapPage, st.snapBlob); err != nil {
+		return fmt.Errorf("core: write sheet snapshot: %w", err)
+	}
+	if err := be.Sync(); err != nil {
+		return fmt.Errorf("core: sync checkpoint pages: %w", err)
+	}
+	return nil
+}
+
+// ckptFlip atomically commits the checkpoint: one root-slot write plus sync.
+func (ds *DataSpread) ckptFlip(st *ckptState) error {
+	newRoot := rootInfo{
+		gen:       ds.root.gen + 1,
+		watermark: st.watermark,
+		metaPage:  st.metaPage,
+		snapPage:  st.snapPage,
+	}
+	if err := writeRoot(ds.backend, rootSlotFor(newRoot.gen), newRoot); err != nil {
+		return err
+	}
+	if err := ds.backend.Sync(); err != nil {
+		return fmt.Errorf("core: sync root flip: %w", err)
+	}
+	// Commit point passed: from here on the checkpoint is durable.
+	st.prevMeta, st.prevSnap = ds.root.metaPage, ds.root.snapPage
+	ds.root = newRoot
+	return nil
+}
+
+// ckptAdopt runs after the commit point: mirror the root into the sibling
+// slot (so one later page corruption cannot resurrect the stale root),
+// promote the pool's protection set, free the previous blob pages, and
+// compact the WAL through the watermark.
+func (ds *DataSpread) ckptAdopt(st *ckptState) error {
+	var firstErr error
+	other := rootSlotA
+	if rootSlotFor(ds.root.gen) == rootSlotA {
+		other = rootSlotB
+	}
+	if err := writeRoot(ds.backend, other, ds.root); err != nil {
+		firstErr = err
+	} else if err := ds.backend.Sync(); err != nil {
+		firstErr = fmt.Errorf("core: sync root mirror: %w", err)
+	}
+	ds.db.Pool().CommitCheckpoint()
+	if st.prevMeta != 0 {
+		ds.backend.Free(st.prevMeta)
+	}
+	if st.prevSnap != 0 {
+		ds.backend.Free(st.prevSnap)
+	}
+	if err := ds.wal.TruncateThrough(st.watermark); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("core: compact WAL: %w", err)
+	}
+	return firstErr
+}
+
+// ckptAbort rolls back a checkpoint that failed before any root-slot write
+// was attempted: the pool's pending protections lift and the scratch blob
+// pages are freed. It must not run after ckptFlip has started — once a root
+// write may have landed, nothing the new root references can be released.
+func (ds *DataSpread) ckptAbort(st *ckptState) {
+	ds.db.Pool().AbortCheckpoint()
+	if st.metaPage != 0 {
+		ds.backend.Free(st.metaPage)
+	}
+	if st.snapPage != 0 {
+		ds.backend.Free(st.snapPage)
+	}
+}

@@ -51,6 +51,21 @@ type Options struct {
 	// MaterializeAllLimit overrides the row count above which DBTABLE
 	// bindings materialise only the visible window.
 	MaterializeAllLimit int
+
+	// Durability options, honoured by OpenFile only.
+	//
+	// Mmap serves the workbook file's read path from a shared memory
+	// mapping (pager.OpenMmapStore) instead of pread; platforms without
+	// mmap support fall back to the plain FileStore transparently.
+	Mmap bool
+	// BufferPoolPages overrides the relational buffer pool capacity in
+	// pages (nil = default; 0 disables caching — benchmarks use it to
+	// expose backend block counts).
+	BufferPoolPages *int
+	// CheckpointWALBytes is the WAL size that nudges the background
+	// checkpointer. 0 selects the default (4 MiB); a negative value
+	// disables background checkpointing (explicit Checkpoint still works).
+	CheckpointWALBytes int64
 }
 
 // DataSpread is the unified spreadsheet–database system.
@@ -66,21 +81,39 @@ type DataSpread struct {
 	rtMu    sync.Mutex
 	rtCache map[string]*rangeTableEntry
 
-	// Durability state (durable.go). Nil/zero for in-memory instances.
-	// cmdMu serialises each mutating command with its WAL append so the
-	// log order always matches the apply order, and so Checkpoint's
-	// snapshot + log truncation cannot interleave with a command that
-	// would then be in neither.
+	// Durability state (durable.go, checkpointer.go). Nil/zero for
+	// in-memory instances. cmdMu serialises each mutating command with its
+	// WAL append so the log order always matches the apply order, and so a
+	// checkpoint capture cannot interleave with a command that would then
+	// be in neither the checkpoint nor the surviving WAL tail.
 	cmdMu        sync.Mutex
-	backend      *pager.FileStore
+	backend      pager.Backend
 	wal          *txn.Manager
 	unlock       func() error // releases the single-writer workbook lock
 	replaying    bool
 	recoveryErrs []error
+	replayedOps  int // commands re-executed by the last OpenFile
+
+	// Checkpoint state. root is the current durable root (guarded by
+	// ckptMu together with the whole checkpoint path); the background
+	// checkpointer drains on Close.
+	ckptMu        sync.Mutex
+	root          rootInfo
+	ckptThreshold int64
+	ckptTrigger   chan struct{}
+	ckptStop      chan struct{}
+	ckptDone      chan struct{}
+	ckptErrMu     sync.Mutex
+	ckptErr       error // last background checkpoint failure
 }
 
 // New creates a DataSpread instance with a single sheet named "Sheet1".
-func New(opts Options) *DataSpread {
+func New(opts Options) *DataSpread { return newDataSpread(opts, nil) }
+
+// newDataSpread builds an instance whose relational storage sits on the
+// given page backend (nil = fresh in-memory store). OpenFile passes the
+// workbook file's backend so table pages live in the file itself.
+func newDataSpread(opts Options, backend pager.Backend) *DataSpread {
 	var book *sheet.Book
 	if opts.UseBlockedCellStore {
 		store := pager.NewStore()
@@ -90,7 +123,12 @@ func New(opts Options) *DataSpread {
 	} else {
 		book = sheet.NewBook()
 	}
-	db := sqlexec.NewDatabase(sqlexec.Config{Layout: opts.Layout, GroupSize: opts.GroupSize})
+	db := sqlexec.NewDatabase(sqlexec.Config{
+		Layout:          opts.Layout,
+		GroupSize:       opts.GroupSize,
+		BufferPoolPages: opts.BufferPoolPages,
+		Backend:         backend,
+	})
 	engine := compute.New(book)
 	windows := window.NewManager(opts.WindowRows, opts.WindowCols)
 	engine.SetVisibleProvider(windows.Visible)

@@ -1,17 +1,28 @@
 // Durability: a DataSpread workbook backed by a single-file page heap plus a
 // write-ahead command log.
 //
-// The design is classic snapshot + logical log. Every mutating core command
-// (cell input, mutating SQL, sheet creation, import/export) is serialized as
-// one committed txn.Record to <path>.wal before the call returns. Checkpoint
-// compacts the current state into a synthesized command log — sheets, tables,
-// rows, user cells, bindings — and writes it through the pager into the
-// snapshot root page of <path>, then truncates the WAL. OpenFile restores by
-// applying the snapshot commands, then replaying the WAL tail (recovering
-// from a torn final frame), so all committed work survives a crash.
+// The page file is the source of truth for relational state. Table pages are
+// allocated from the workbook file through the database's buffer pool, and a
+// checkpoint persists the page catalog — schema, per-table page directories,
+// index contents — in a CRC-framed blob referenced from one of two
+// ping-pong root pages (rootpage.go). The spreadsheet side (sheets, user
+// cells, bindings) is small and is snapshotted as a compact command blob
+// next to the catalog.
+//
+// Every mutating core command (cell input, mutating SQL, sheet creation,
+// import/export) is still serialized as one committed txn.Record to
+// <path>.wal before the call returns; the WAL is the redo log for work since
+// the last checkpoint. OpenFile therefore attaches to the existing table and
+// index pages — no per-row DML replay — and only re-executes the WAL tail
+// above the checkpoint watermark, making recovery O(work since the last
+// checkpoint) instead of O(history). Checkpoints run off the write path on a
+// background goroutine (checkpointer.go) and are shadow-paged end to end: a
+// crash at any point either keeps the old root (plus the full WAL) or the
+// new one — never a torn snapshot.
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
@@ -21,23 +32,19 @@ import (
 	"github.com/dataspread/dataspread/internal/interfacemgr"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/storage/pager"
-	"github.com/dataspread/dataspread/internal/storage/tablestore"
 	"github.com/dataspread/dataspread/internal/txn"
 )
-
-// snapshotRoot is the page holding the checkpoint blob: the first page ever
-// allocated in a workbook file.
-const snapshotRoot pager.PageID = 1
 
 // WALPath returns the write-ahead log path used for a workbook file.
 func WALPath(path string) string { return path + ".wal" }
 
 // OpenFile opens (creating if necessary) a durable workbook: the page heap
-// at path and the command log at WALPath(path). Existing state is recovered
-// by applying the checkpoint snapshot and replaying the WAL; individual
-// command failures during recovery are collected (RecoveryErrors) rather than
-// aborting the open, so a partially torn history still yields a usable
-// workbook.
+// at path and the command log at WALPath(path). Existing relational state is
+// attached from the checkpoint root's page catalog, the sheet snapshot is
+// applied, and the WAL tail above the checkpoint watermark is replayed;
+// individual command failures during replay are collected (RecoveryErrors)
+// rather than aborting the open, so a partially torn history still yields a
+// usable workbook.
 func OpenFile(path string, opts Options) (*DataSpread, error) {
 	// Single-writer enforcement: take the workbook's exclusive lock before
 	// touching the heap or the WAL, so two processes can never interleave
@@ -46,63 +53,159 @@ func OpenFile(path string, opts Options) (*DataSpread, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs, err := pager.OpenFileStore(path)
+	var be pager.Backend
+	if opts.Mmap {
+		be, err = pager.OpenMmapStore(path)
+	} else {
+		be, err = pager.OpenFileStore(path)
+	}
 	if err != nil {
 		_ = unlock()
 		return nil, err
 	}
-	ds := New(opts)
-	ds.backend = fs
-	ds.unlock = unlock
-	// watermark is the highest LSN the snapshot covers: WAL records at or
-	// below it are already reflected in the snapshot and must not replay
-	// (a crash between the snapshot sync and the WAL truncate leaves them
-	// behind, and commands like INSERT are not idempotent).
-	var watermark uint64
-	if fs.Exists(snapshotRoot) {
-		blob, err := fs.ReadPage(snapshotRoot)
-		if err != nil {
-			fs.Close()
-			_ = unlock()
-			return nil, fmt.Errorf("core: read snapshot: %w", err)
-		}
-		if len(blob) > 0 {
-			recs, err := txn.DecodeRecords(blob)
-			if err != nil {
-				fs.Close()
-				_ = unlock()
-				return nil, fmt.Errorf("core: decode snapshot: %w", err)
-			}
-			for _, rec := range recs {
-				if rec.LSN > watermark {
-					watermark = rec.LSN
-				}
-			}
-			ds.applyRecords(recs)
-		}
-	} else if id := fs.Allocate(); id != snapshotRoot {
-		fs.Close()
+	fail := func(err error) (*DataSpread, error) {
+		be.Close()
 		_ = unlock()
-		return nil, fmt.Errorf("core: workbook file reserved page %d for the snapshot, want %d", id, snapshotRoot)
+		return nil, err
 	}
+	// Reserve the two root slots; on a fresh file they are the first pages
+	// ever allocated.
+	for _, slot := range []pager.PageID{rootSlotA, rootSlotB} {
+		if !be.Exists(slot) {
+			if id := be.Allocate(); id != slot {
+				return fail(fmt.Errorf("core: workbook file reserved page %d for a root slot, want %d", id, slot))
+			}
+		}
+	}
+	root, staleSlot, fresh := loadRoots(be)
+	if fresh {
+		// No valid root. That is only legitimate for a file that provably
+		// holds no committed data: nothing beyond the root slots
+		// themselves, each of which is empty (a kill between the slot
+		// reservation and the gen-0 root sync on a previous first open) or
+		// a torn write of our own root record (rootMagic prefix — a torn
+		// *checkpoint* root would be accompanied by blob pages). Anything
+		// else — data pages, or a page-1 payload in a foreign/older format
+		// — is refused rather than silently re-initialised.
+		for _, id := range be.PageIDs() {
+			if id != rootSlotA && id != rootSlotB {
+				return fail(errors.New("core: workbook file has data pages but no valid checkpoint root (corrupt root slots or pre-page-catalog format)"))
+			}
+			buf, err := be.ReadPage(id)
+			if err != nil {
+				return fail(fmt.Errorf("core: read root slot %d: %w", id, err))
+			}
+			if len(buf) != 0 && !bytes.HasPrefix(buf, rootMagic[:]) {
+				return fail(errors.New("core: workbook file page 1 holds unrecognised data (pre-page-catalog format?); refusing to re-initialise"))
+			}
+		}
+		if err := writeRoot(be, rootSlotA, rootInfo{}); err != nil {
+			return fail(err)
+		}
+		if err := writeRoot(be, rootSlotB, rootInfo{}); err != nil {
+			return fail(err)
+		}
+		// Sync the gen-0 roots before any command can commit: otherwise a
+		// power loss could leave durable data-page headers next to
+		// never-written root slots, and a reopen would mistake a fully
+		// WAL-recoverable workbook for one with corrupt roots.
+		if err := be.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+
+	ds := newDataSpread(opts, be)
+	ds.backend = be
+	ds.unlock = unlock
+	ds.root = root
+	ds.ckptThreshold = opts.CheckpointWALBytes
+	if ds.ckptThreshold == 0 {
+		ds.ckptThreshold = defaultCheckpointWALBytes
+	}
+
+	// Attach the relational state to its existing pages.
+	if root.metaPage != 0 {
+		blob, err := be.ReadPage(root.metaPage)
+		if err != nil {
+			return fail(fmt.Errorf("core: read page catalog: %w", err))
+		}
+		if err := ds.db.AttachPages(blob); err != nil {
+			return fail(fmt.Errorf("core: attach page catalog: %w", err))
+		}
+	}
+	// Protect the attached pages against in-place overwrite, re-mirror the
+	// chosen root into a stale sibling slot (a crash may have left it
+	// behind — only the sibling is rewritten, never the slot holding the
+	// sole valid root), then sweep pages no root references — the shadow
+	// pages of a checkpoint that never committed, or the superseded pages
+	// of one that committed but crashed before cleanup.
+	dataPages := ds.db.DurablePageIDs()
+	ds.db.Pool().SetDurable(dataPages)
+	if staleSlot != 0 {
+		if err := writeRoot(be, staleSlot, root); err != nil {
+			return fail(err)
+		}
+		if err := be.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	ds.sweepUnreachable(dataPages)
+
+	// Apply the sheet-snapshot commands (cells, sheets, bindings).
+	if root.snapPage != 0 {
+		blob, err := be.ReadPage(root.snapPage)
+		if err != nil {
+			return fail(fmt.Errorf("core: read sheet snapshot: %w", err))
+		}
+		recs, err := txn.DecodeRecords(blob)
+		if err != nil {
+			return fail(fmt.Errorf("core: decode sheet snapshot: %w", err))
+		}
+		ds.applyRecords(recs)
+	}
+
+	// Replay the WAL tail. Records at or below the watermark are already
+	// inside the checkpoint and must not replay (a crash between the root
+	// flip and the WAL compaction leaves them behind, and commands like
+	// INSERT are not idempotent).
 	mgr := txn.NewManager()
 	recs, err := mgr.RecoverFile(WALPath(path))
 	if err != nil {
-		fs.Close()
-		_ = unlock()
-		return nil, err
+		return fail(err)
 	}
 	live := recs[:0]
 	for _, rec := range recs {
-		if rec.LSN > watermark {
+		if rec.LSN > root.watermark {
 			live = append(live, rec)
 		}
 	}
 	ds.applyRecords(live)
-	mgr.AdvanceLSN(watermark)
+	mgr.AdvanceLSN(root.watermark)
 	ds.wal = mgr
 	ds.Wait()
+	ds.startCheckpointer()
 	return ds, nil
+}
+
+// sweepUnreachable frees every allocated page the current root does not
+// reach: root slots, catalog/snapshot blobs and table pages are reachable,
+// anything else is debris from a crashed or un-cleaned checkpoint.
+func (ds *DataSpread) sweepUnreachable(dataPages []pager.PageID) {
+	reachable := map[pager.PageID]bool{rootSlotA: true, rootSlotB: true}
+	if ds.root.metaPage != 0 {
+		reachable[ds.root.metaPage] = true
+	}
+	if ds.root.snapPage != 0 {
+		reachable[ds.root.snapPage] = true
+	}
+	for _, id := range dataPages {
+		reachable[id] = true
+	}
+	for _, id := range ds.backend.PageIDs() {
+		if !reachable[id] {
+			ds.backend.Free(id)
+		}
+	}
 }
 
 // WAL returns the durable command log manager, or nil for in-memory
@@ -113,38 +216,36 @@ func (ds *DataSpread) WAL() *txn.Manager { return ds.wal }
 // the snapshot and WAL during OpenFile. Empty on a clean recovery.
 func (ds *DataSpread) RecoveryErrors() []error { return ds.recoveryErrs }
 
-// Checkpoint compacts the workbook into the snapshot root page and truncates
-// the WAL. The snapshot is written and synced through the pager before the
-// log is reset, so a crash between the two steps replays the (now redundant)
-// log on top of the snapshot instead of losing work.
+// ReplayedCommands returns how many logged commands the last OpenFile had to
+// re-execute (sheet snapshot plus WAL tail). After a checkpoint it is small
+// and independent of table sizes: tables attach to their pages instead of
+// replaying per-row DML.
+func (ds *DataSpread) ReplayedCommands() int { return ds.replayedOps }
+
+// Checkpoint writes a full shadow-paged checkpoint and compacts the WAL
+// through its watermark. It also drains the background checkpointer: when it
+// returns, no checkpoint is in flight. See checkpointer.go for the protocol.
 func (ds *DataSpread) Checkpoint() error {
 	if ds.backend == nil {
 		return errors.New("core: Checkpoint requires a workbook opened with OpenFile")
 	}
-	ds.Wait()
-	// Hold the command lock across snapshot + truncate: a command slipping
-	// in between would be in neither the snapshot nor the surviving WAL.
-	ds.cmdMu.Lock()
-	defer ds.cmdMu.Unlock()
-	// The snapshot record's LSN is the recovery watermark: everything
-	// committed up to it is inside the snapshot.
-	blob := txn.EncodeRecords([]txn.Record{{LSN: ds.wal.LastLSN(), Ops: ds.snapshotOps()}})
-	if err := ds.backend.WritePage(snapshotRoot, blob); err != nil {
-		return fmt.Errorf("core: write snapshot: %w", err)
-	}
-	if err := ds.backend.Sync(); err != nil {
-		return fmt.Errorf("core: sync snapshot: %w", err)
-	}
-	return ds.wal.ResetLog()
+	return ds.checkpointOnce()
 }
 
-// Close flushes and closes the WAL and the backing file, then releases the
-// workbook's single-writer lock. It does not checkpoint; in-memory
-// instances close trivially.
+// Close drains the background checkpointer, then flushes and closes the WAL
+// and the backing file, and releases the workbook's single-writer lock. It
+// does not checkpoint; in-memory instances close trivially. A failed
+// background checkpoint is surfaced here (once).
 func (ds *DataSpread) Close() error {
-	var err error
+	ds.stopCheckpointer()
+	ds.ckptErrMu.Lock()
+	err := ds.ckptErr
+	ds.ckptErr = nil
+	ds.ckptErrMu.Unlock()
 	if ds.wal != nil {
-		err = ds.wal.Close()
+		if wErr := ds.wal.Close(); err == nil {
+			err = wErr
+		}
 	}
 	if ds.backend != nil {
 		if cErr := ds.backend.Close(); err == nil {
@@ -160,13 +261,18 @@ func (ds *DataSpread) Close() error {
 	return err
 }
 
-// logCommand appends one user-level command to the WAL. It is a no-op for
-// in-memory instances and while recovery is replaying history.
+// logCommand appends one user-level command to the WAL and nudges the
+// background checkpointer when the log has grown past its threshold. It is a
+// no-op for in-memory instances and while recovery is replaying history.
 func (ds *DataSpread) logCommand(op txn.Op) error {
 	if ds.wal == nil || ds.replaying {
 		return nil
 	}
-	return ds.wal.Run(func(t *txn.Txn) error { return t.Log(op, nil) })
+	if err := ds.wal.Run(func(t *txn.Txn) error { return t.Log(op, nil) }); err != nil {
+		return err
+	}
+	ds.maybeTriggerCheckpoint()
+	return nil
 }
 
 // applyRecords re-applies recovered commands in commit order, suppressing
@@ -176,6 +282,7 @@ func (ds *DataSpread) applyRecords(recs []txn.Record) {
 	defer func() { ds.replaying = false }()
 	for _, rec := range recs {
 		for _, op := range rec.Ops {
+			ds.replayedOps++
 			if err := ds.applyOp(op); err != nil {
 				ds.recoveryErrs = append(ds.recoveryErrs,
 					fmt.Errorf("core: replay LSN %d %s: %w", rec.LSN, op.Kind, err))
@@ -309,42 +416,17 @@ func (ds *DataSpread) applyOp(op txn.Op) error {
 	return nil
 }
 
-// snapshotOps synthesizes the command sequence that reconstructs the current
-// workbook: sheets first, then tables with their rows, then user cells
-// (bound regions are skipped — their bindings re-materialise them), then the
-// bindings themselves.
+// snapshotOps synthesizes the command sequence that reconstructs the
+// non-relational half of the workbook: sheets first, then user cells (bound
+// regions are skipped — their bindings re-materialise them), then the
+// bindings themselves. Tables and indexes are NOT snapshotted as commands:
+// they persist through the page catalog (sqlexec.MarshalPages) and attach on
+// open.
 func (ds *DataSpread) snapshotOps() []txn.Op {
 	var ops []txn.Op
 	names := ds.book.SheetNames()
 	for _, name := range names {
 		ops = append(ops, txn.Op{Kind: txn.OpAddSheet, Detail: name, Args: []string{name}})
-	}
-	for _, t := range ds.db.Tables() {
-		args := []string{t.Name}
-		for _, c := range t.Columns {
-			args = append(args, encodeColumn(c))
-		}
-		ops = append(ops, txn.Op{Kind: txn.OpCreateTable, Table: t.Name, Args: args})
-		_ = ds.db.Scan(t.Name, func(_ tablestore.RowID, row []sheet.Value) bool {
-			rowArgs := make([]string, 0, len(row)+1)
-			rowArgs = append(rowArgs, t.Name)
-			for _, v := range row {
-				rowArgs = append(rowArgs, encodeValue(v))
-			}
-			ops = append(ops, txn.Op{Kind: txn.OpInsert, Table: t.Name, Args: rowArgs})
-			return true
-		})
-	}
-	// Secondary indexes replay as their DDL (the trees rebuild from the
-	// re-inserted rows above).
-	for _, def := range ds.db.AllIndexes() {
-		unique := ""
-		if def.Unique {
-			unique = "UNIQUE "
-		}
-		stmtText := fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)",
-			unique, def.Name, def.Table, strings.Join(def.Columns, ", "))
-		ops = append(ops, txn.Op{Kind: txn.OpSQL, Detail: stmtText, Args: []string{stmtText}})
 	}
 	for _, name := range names {
 		sh, ok := ds.book.Sheet(name)

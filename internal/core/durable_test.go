@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"github.com/dataspread/dataspread/internal/sheet"
-	"github.com/dataspread/dataspread/internal/txn"
 )
 
 // simulateCrash abandons the instance the way a killed process would: the
@@ -236,9 +235,9 @@ func TestCheckpointRequiresDurableInstance(t *testing.T) {
 }
 
 // TestCheckpointCrashBeforeTruncateDoesNotDoubleApply simulates a crash in
-// the window between the snapshot sync and the WAL truncation: the WAL still
-// holds commands the snapshot covers, and the LSN watermark must keep replay
-// from re-running them (INSERTs are not idempotent).
+// the window between the root flip and the WAL compaction: the WAL still
+// holds commands the checkpoint covers, and the LSN watermark must keep
+// replay from re-running them (INSERTs are not idempotent).
 func TestCheckpointCrashBeforeTruncateDoesNotDoubleApply(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "book.dsp")
 	ds := openDurable(t, path)
@@ -248,13 +247,17 @@ func TestCheckpointCrashBeforeTruncateDoesNotDoubleApply(t *testing.T) {
 	`); err != nil {
 		t.Fatal(err)
 	}
-	// Checkpoint's first two steps, without the ResetLog.
+	// The checkpoint's capture, write and flip stages — everything up to
+	// but excluding the adopt stage that compacts the WAL.
 	ds.Wait()
-	blob := txn.EncodeRecords([]txn.Record{{LSN: ds.wal.LastLSN(), Ops: ds.snapshotOps()}})
-	if err := ds.backend.WritePage(snapshotRoot, blob); err != nil {
+	st, err := ds.ckptCapture()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ds.backend.Sync(); err != nil {
+	if err := ds.ckptWrite(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.ckptFlip(st); err != nil {
 		t.Fatal(err)
 	}
 	if err := ds.Close(); err != nil {

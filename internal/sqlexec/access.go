@@ -43,6 +43,7 @@ const (
 	pathFull pathKind = iota
 	pathPoint
 	pathRange
+	pathInList
 )
 
 // accessPath is one chosen access path for a named-table source.
@@ -54,6 +55,10 @@ type accessPath struct {
 	// lo/hi bound the B-tree iteration of range scans and secondary point
 	// probes (nil = open end).
 	lo, hi []byte
+	// probes are the batch keys of an IN-list path: full PK keys when the
+	// primary-key tree serves the path, value prefixes (each probed as a
+	// short range over the entry-key encoding) for a secondary index.
+	probes [][]byte
 	// ordered marks a scan that emits tuples in the statement's ORDER BY
 	// order; desc walks the index backwards. earlyLimit > 0 stops an
 	// ordered scan after that many qualifying tuples.
@@ -76,11 +81,13 @@ type orderReq struct {
 
 var noOrder = orderReq{col: -1}
 
-// sarg is one sargable constraint: column <op> constant.
+// sarg is one sargable constraint: column <op> constant, or column IN a
+// folded constant list (op "in", constants in vals).
 type sarg struct {
-	col int
-	op  string // "=", "<", "<=", ">", ">="
-	val sheet.Value
+	col  int
+	op   string // "=", "<", "<=", ">", ">=", "in"
+	val  sheet.Value
+	vals []sheet.Value
 }
 
 // extractSargs derives sargable constraints from pushed conjuncts. Pushed
@@ -135,6 +142,40 @@ func extractSargs(pushed []sqlparser.Expr, cols []colDesc, tbl *catalog.Table, s
 		}
 		out = append(out, sarg{col: col, op: op, val: v})
 	}
+	// IN-list point probes: `col IN (c1, c2, ...)` on a NUMERIC column
+	// plans as a batch of point lookups. Every list element must fold to a
+	// constant; elements that cannot coerce to a number abandon the whole
+	// list (conservative: the engine's equality semantics decide matches,
+	// and the index path must visit a superset of them).
+	inList := func(x *sqlparser.InExpr) {
+		if x.Not {
+			return
+		}
+		col := colOf(x.X)
+		if !numericCol(col) || len(x.List) == 0 {
+			return
+		}
+		seen := make(map[float64]bool, len(x.List))
+		vals := make([]sheet.Value, 0, len(x.List))
+		for _, e := range x.List {
+			v, ok := constOf(e)
+			if !ok {
+				return // unfoldable element: no sarg for this conjunct
+			}
+			f, ok := v.AsNumber()
+			if !ok {
+				return // a non-numeric member defers to the full predicate
+			}
+			if f == 0 {
+				f = 0 // normalise -0 like encodeKeyValue
+			}
+			if !seen[f] {
+				seen[f] = true
+				vals = append(vals, sheet.Number(f))
+			}
+		}
+		out = append(out, sarg{col: col, op: "in", vals: vals})
+	}
 	flip := map[string]string{"<": ">", "<=": ">=", ">": "<", ">=": "<="}
 	for _, c := range pushed {
 		switch x := c.(type) {
@@ -173,6 +214,8 @@ func extractSargs(pushed []sqlparser.Expr, cols []colDesc, tbl *catalog.Table, s
 			if hi, ok := constOf(x.Hi); ok {
 				add(col, "<=", hi)
 			}
+		case *sqlparser.InExpr:
+			inList(x)
 		}
 	}
 	return out
@@ -274,6 +317,37 @@ func buildIndexPath(tbl *catalog.Table, si *secIndex, idxCols []int, unique bool
 			return p, 90
 		}
 		return p, 80
+	}
+
+	// IN-list point probes: a single-column index whose column carries a
+	// folded `IN (c1, c2, ...)` list becomes a batch of point lookups, one
+	// per distinct value — the primary-key tree is probed with exact keys,
+	// a secondary index with one prefix range per value. Probes are sorted
+	// in key order for deterministic iteration; candidates still emit in
+	// RowID order (collectPathIDs sorts) so results match the full scan
+	// row-for-row.
+	if eqLen == 0 && len(idxCols) == 1 {
+		for _, sg := range sargs {
+			if sg.col != idxCols[0] || sg.op != "in" {
+				continue
+			}
+			probes := make([][]byte, len(sg.vals))
+			for i, v := range sg.vals {
+				probes[i] = encodeKeyValue(v)
+			}
+			sort.Slice(probes, func(i, j int) bool {
+				return string(probes[i]) < string(probes[j])
+			})
+			p := &accessPath{kind: pathInList, index: si, probes: probes}
+			p.display = fmt.Sprintf("%s in-list (%s, %d probes)", name(), colName(0), len(probes))
+			score := 70
+			if si == nil {
+				score = 78 // exact PK Gets beat secondary prefix ranges
+			} else if unique {
+				score = 74
+			}
+			return p, score
+		}
 	}
 
 	// Bounds on the column after the equality prefix.
@@ -413,6 +487,23 @@ func (db *Database) collectPathIDs(table string, path *accessPath) []tablestore.
 	var ids []tablestore.RowID
 	db.mu.RLock()
 	switch {
+	case path.kind == pathInList:
+		if path.index == nil {
+			if idx := db.pkIndex[tkey(table)]; idx != nil {
+				for _, key := range path.probes {
+					if id, ok := idx.Get(key); ok {
+						ids = append(ids, tablestore.RowID(id))
+					}
+				}
+			}
+		} else {
+			for _, prefix := range path.probes {
+				path.index.tree.AscendRange(prefix, btree.PrefixEnd(prefix), func(_ []byte, val uint64) bool {
+					ids = append(ids, tablestore.RowID(val))
+					return true
+				})
+			}
+		}
 	case path.index == nil && path.kind == pathPoint:
 		if idx := db.pkIndex[tkey(table)]; idx != nil {
 			if id, ok := idx.Get(path.key); ok {

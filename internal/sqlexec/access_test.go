@@ -87,6 +87,14 @@ var goldenQueries = []struct {
 	{"SELECT id FROM items WHERE v > 50 ORDER BY id LIMIT 9", "index-ordered"},
 	{"SELECT id FROM items WHERE id > 200 ORDER BY id LIMIT 5", "pk range (id), index-ordered"},
 	{"SELECT id, grp FROM items ORDER BY grp LIMIT 10", "index idx_grp scan, index-ordered"},
+	{"SELECT id, v FROM items WHERE id IN (3, 17, 17, 250, 9999)", "pk in-list (id, 4 probes)"},
+	{"SELECT id FROM items WHERE id IN (5)", "pk in-list (id, 1 probes)"},
+	{"SELECT id, v FROM items WHERE id IN (2, 4, 6) AND v > 0.5", "pk in-list (id, 3 probes)"},
+	{"SELECT id, grp FROM items WHERE grp IN (2, 5)", "index idx_grp in-list (grp, 2 probes)"},
+	{"SELECT id FROM items WHERE grp IN (1, 3) ORDER BY id", "index idx_grp in-list (grp, 2 probes)"},
+	{"SELECT id FROM items WHERE id NOT IN (1, 2)", "full scan"},
+	{"SELECT id FROM items WHERE name IN ('n001', 'n002')", "full scan"},
+	{"SELECT id FROM items WHERE id IN (1, 'zzz')", "full scan"},
 	{"SELECT name FROM items WHERE name = 'n007'", "full scan"},
 	{"SELECT id FROM items WHERE grp = 3 OR id = 2", "full scan"},
 	{"SELECT COUNT(*) FROM items WHERE id BETWEEN 50 AND 60", "pk range (id)"},

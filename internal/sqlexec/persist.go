@@ -1,0 +1,305 @@
+// Page-catalog persistence: the relational half of a durable workbook.
+//
+// MarshalPages serialises everything the engine needs to reattach to its
+// table pages after a reopen — the schema catalog, each table's storage
+// metadata (tablestore.MarshalMeta, physical page ids), the primary-key
+// B-tree entries, and every secondary index with its entries. AttachPages
+// reverses it: stores are opened over the existing pages (no DML replay) and
+// indexes are bulk-loaded from their serialized entries instead of being
+// rebuilt by scanning the tables. The blob is CRC-framed so a corrupted
+// checkpoint fails the open with a clear error.
+package sqlexec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"github.com/dataspread/dataspread/internal/catalog"
+	"github.com/dataspread/dataspread/internal/index/btree"
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
+	"github.com/dataspread/dataspread/internal/storage/tablestore"
+)
+
+var pagesMagic = [8]byte{'D', 'S', 'P', 'G', 'C', 'A', 'T', '2'}
+
+// ErrCorruptPages is returned when a page-catalog blob fails its checksum or
+// cannot be decoded.
+var ErrCorruptPages = errors.New("sqlexec: corrupt page catalog")
+
+type pagesWriter struct{ buf []byte }
+
+func (w *pagesWriter) uint(v uint64)     { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *pagesWriter) bytes(b []byte)    { w.uint(uint64(len(b))); w.buf = append(w.buf, b...) }
+func (w *pagesWriter) str(s string)      { w.bytes([]byte(s)) }
+func (w *pagesWriter) val(v sheet.Value) { w.buf = tablestore.AppendValue(w.buf, v) }
+
+type pagesReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *pagesReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorruptPages, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *pagesReader) uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("bad varint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *pagesReader) count(what string) int {
+	n := r.uint()
+	if r.err == nil && n > uint64(len(r.buf)-r.pos) {
+		r.fail("implausible %s count %d", what, n)
+	}
+	return int(n)
+}
+
+func (r *pagesReader) bytes() []byte {
+	n := r.count("byte")
+	if r.err != nil {
+		return nil
+	}
+	out := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *pagesReader) str() string { return string(r.bytes()) }
+
+func (r *pagesReader) val() sheet.Value {
+	if r.err != nil {
+		return sheet.Empty()
+	}
+	v, rest, err := tablestore.ReadValue(r.buf[r.pos:])
+	if err != nil {
+		r.fail("bad value at %d: %v", r.pos, err)
+		return sheet.Empty()
+	}
+	r.pos = len(r.buf) - len(rest)
+	return v
+}
+
+// treeEntries serialises a B-tree's entries in key order.
+func treeEntries(w *pagesWriter, tree *btree.Tree) {
+	w.uint(uint64(tree.Len()))
+	tree.All(func(key []byte, val uint64) bool {
+		w.bytes(key)
+		w.uint(val)
+		return true
+	})
+}
+
+// readTree bulk-loads a B-tree from serialized entries (already in key
+// order, so inserts are sequential).
+func (r *pagesReader) readTree() *btree.Tree {
+	tree := btree.New()
+	n := r.count("index entry")
+	for i := 0; i < n && r.err == nil; i++ {
+		key := append([]byte(nil), r.bytes()...)
+		tree.Set(key, r.uint())
+	}
+	return tree
+}
+
+// Pool returns the buffer pool the storage managers write through. The
+// durability layer drives its checkpoint protocol (FlushAll,
+// BeginCheckpoint/CommitCheckpoint) through it.
+func (db *Database) Pool() *pager.BufferPool { return db.pool }
+
+// MarshalPages serialises the page catalog: schema, store metadata and index
+// contents. Callers must have flushed the pool first so the referenced pages
+// hold current bytes.
+func (db *Database) MarshalPages() []byte {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	w := &pagesWriter{}
+	tables := db.cat.List()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	w.uint(uint64(len(tables)))
+	for _, tbl := range tables {
+		tk := tkey(tbl.Name)
+		s := db.stores[tk]
+		w.str(tbl.Name)
+		w.str(s.Layout())
+		w.uint(uint64(len(tbl.Columns)))
+		for _, c := range tbl.Columns {
+			w.str(c.Name)
+			w.str(c.Type.String())
+			var flags byte
+			if c.NotNull {
+				flags |= 1
+			}
+			if c.PrimaryKey {
+				flags |= 2
+			}
+			w.uint(uint64(flags))
+			w.val(c.Default)
+		}
+		w.bytes(s.MarshalMeta())
+		treeEntries(w, db.pkIndex[tk])
+	}
+	var indexes []*secIndex
+	for _, tbl := range tables {
+		indexes = append(indexes, db.secIndexes[tkey(tbl.Name)]...)
+	}
+	w.uint(uint64(len(indexes)))
+	for _, si := range indexes {
+		w.str(si.def.Name)
+		w.str(si.def.Table)
+		var flags byte
+		if si.def.Unique {
+			flags |= 1
+		}
+		w.uint(uint64(flags))
+		w.uint(uint64(len(si.def.Columns)))
+		for _, c := range si.def.Columns {
+			w.str(c)
+		}
+		treeEntries(w, si.tree)
+	}
+
+	out := make([]byte, 12, 12+len(w.buf))
+	copy(out, pagesMagic[:])
+	binary.LittleEndian.PutUint32(out[8:12], crc32.ChecksumIEEE(w.buf))
+	return append(out, w.buf...)
+}
+
+// AttachPages rebuilds catalog, stores and indexes from a MarshalPages blob,
+// attaching to the existing backend pages. It replaces the database's entire
+// relational state and is intended for recovery on a freshly constructed
+// Database (core.OpenFile), before any sessions run.
+func (db *Database) AttachPages(blob []byte) error {
+	if len(blob) < 12 || [8]byte(blob[0:8]) != pagesMagic {
+		return fmt.Errorf("%w: bad magic", ErrCorruptPages)
+	}
+	body := blob[12:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(blob[8:12]) {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorruptPages)
+	}
+	r := &pagesReader{buf: body}
+
+	cat := catalog.New()
+	stores := make(map[string]tablestore.Store)
+	pkIndex := make(map[string]*btree.Tree)
+	secIndexes := make(map[string][]*secIndex)
+	indexByName := make(map[string]*secIndex)
+
+	nTables := r.count("table")
+	for i := 0; i < nTables && r.err == nil; i++ {
+		name := r.str()
+		layout := r.str()
+		ncols := r.count("column")
+		cols := make([]catalog.Column, 0, ncols)
+		for j := 0; j < ncols && r.err == nil; j++ {
+			colName := r.str()
+			typ := catalog.ParseType(r.str())
+			flags := r.uint()
+			def := r.val()
+			cols = append(cols, catalog.Column{
+				Name:       colName,
+				Type:       typ,
+				NotNull:    flags&1 != 0,
+				PrimaryKey: flags&2 != 0,
+				Default:    def,
+			})
+		}
+		meta := r.bytes()
+		tree := r.readTree()
+		if r.err != nil {
+			break
+		}
+		if _, err := cat.Create(name, cols); err != nil {
+			return fmt.Errorf("sqlexec: attach table %q: %w", name, err)
+		}
+		s, err := tablestore.OpenStore(db.pool, layout, meta)
+		if err != nil {
+			return fmt.Errorf("sqlexec: attach table %q: %w", name, err)
+		}
+		if s.ColumnCount() != len(cols) {
+			return fmt.Errorf("%w: table %q store has %d columns, catalog has %d",
+				ErrCorruptPages, name, s.ColumnCount(), len(cols))
+		}
+		stores[tkey(name)] = s
+		pkIndex[tkey(name)] = tree
+	}
+	nIndexes := r.count("index")
+	for i := 0; i < nIndexes && r.err == nil; i++ {
+		name := r.str()
+		table := r.str()
+		flags := r.uint()
+		ncols := r.count("index column")
+		colNames := make([]string, 0, ncols)
+		for j := 0; j < ncols && r.err == nil; j++ {
+			colNames = append(colNames, r.str())
+		}
+		tree := r.readTree()
+		if r.err != nil {
+			break
+		}
+		tbl, err := cat.MustGet(table)
+		if err != nil {
+			return fmt.Errorf("sqlexec: attach index %q: %w", name, err)
+		}
+		si := &secIndex{
+			def:  IndexDef{Name: name, Table: tbl.Name, Columns: colNames, Unique: flags&1 != 0},
+			cols: make([]int, len(colNames)),
+			tree: tree,
+		}
+		for j, cn := range colNames {
+			idx, ok := tbl.ColumnIndex(cn)
+			if !ok {
+				return fmt.Errorf("%w: index %q references missing column %q", ErrCorruptPages, name, cn)
+			}
+			si.cols[j] = idx
+		}
+		indexByName[ikey(name)] = si
+		tk := tkey(table)
+		secIndexes[tk] = append(secIndexes[tk], si)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(body) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorruptPages, len(body)-r.pos)
+	}
+
+	db.mu.Lock()
+	db.cat = cat
+	db.stores = stores
+	db.pkIndex = pkIndex
+	db.secIndexes = secIndexes
+	db.indexByName = indexByName
+	db.dataVers = make(map[string]uint64)
+	db.mu.Unlock()
+	db.invalidatePlans()
+	return nil
+}
+
+// DurablePageIDs returns the physical backend pages the relational state
+// currently references — every table's data pages — for checkpoint
+// reachability and the pool's protection set.
+func (db *Database) DurablePageIDs() []pager.PageID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []pager.PageID
+	for _, s := range db.stores {
+		out = append(out, s.Pages()...)
+	}
+	return out
+}

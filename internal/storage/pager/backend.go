@@ -23,6 +23,10 @@ type Backend interface {
 	Sync() error
 	// Close releases the backend. Closing twice is a no-op.
 	Close() error
+	// PageIDs returns the ids of all allocated pages, in no particular
+	// order. The durability layer uses it to sweep pages a crashed
+	// checkpoint left unreferenced.
+	PageIDs() []PageID
 	// Stats returns a snapshot of the accumulated block-level statistics.
 	Stats() Stats
 	// ResetStats zeroes the counters.

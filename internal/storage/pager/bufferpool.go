@@ -12,6 +12,14 @@ import (
 // pool so that repeated access to hot blocks (e.g. the visible window) does
 // not touch the disk — in-memory (Store) and file-backed (FileStore) devices
 // sit behind the same Backend interface.
+//
+// The pool is also the copy-on-write layer of the durability design: pages
+// that the last durable checkpoint root references ("protected" pages) are
+// never overwritten in place. A write-back of a protected page relocates it
+// to a freshly allocated backend page and records the move in a forward map,
+// so callers keep addressing the page by its original (logical) id while the
+// durable image stays intact until the next checkpoint root flip commits the
+// move. See BeginCheckpoint/CommitCheckpoint.
 type BufferPool struct {
 	mu       sync.Mutex
 	store    Backend
@@ -19,6 +27,33 @@ type BufferPool struct {
 	frames   map[PageID]*frame
 	lru      *list.List // front = most recently used; stores PageID
 	stats    Stats
+
+	// Copy-on-write state. forward maps a logical page id to its current
+	// physical id after one or more relocations; durable holds the physical
+	// ids the committed checkpoint root references; pending holds the
+	// physical ids a checkpoint in flight has captured (both sets are
+	// protected from in-place writes). pendingFree collects superseded or
+	// freed protected pages that must survive until the next root flip;
+	// freeAtCommit holds the portion safe to free when the in-flight
+	// checkpoint commits.
+	forward      map[PageID]PageID
+	durable      map[PageID]struct{}
+	pending      map[PageID]struct{}
+	pendingFree  []PageID
+	freeAtCommit []PageID
+	// reuse parks physical pages that cannot return to the backend free
+	// list because their id doubles as a live, relocated LOGICAL id: a
+	// backend recycling such an id into a fresh Allocate would collide with
+	// the live page. Parked pages stay allocated and serve as relocation
+	// targets (physical-only use); unused ones are swept at the next open.
+	reuse []PageID
+
+	// versions counts content changes per logical page id — bumped on every
+	// Put, Free and Allocate (ids can be recycled by the backend) — so
+	// decoded-page caches above the pool can validate entries against
+	// backend-level reloads and id reuse, not just writes they performed
+	// themselves.
+	versions map[PageID]uint64
 }
 
 type frame struct {
@@ -37,21 +72,109 @@ func NewBufferPool(store Backend, capacity int) *BufferPool {
 		capacity: capacity,
 		frames:   make(map[PageID]*frame),
 		lru:      list.New(),
+		forward:  make(map[PageID]PageID),
+		durable:  make(map[PageID]struct{}),
+		versions: make(map[PageID]uint64),
 	}
 }
 
 // Store returns the underlying page device.
 func (bp *BufferPool) Store() Backend { return bp.store }
 
-// Allocate creates a new page in the underlying store and caches an empty
-// frame for it.
-func (bp *BufferPool) Allocate() PageID {
-	id := bp.store.Allocate()
-	if bp.capacity > 0 {
-		bp.mu.Lock()
-		bp.install(id, nil)
-		bp.mu.Unlock()
+// physLocked translates a logical page id to its current physical id
+// (caller holds bp.mu).
+func (bp *BufferPool) physLocked(id PageID) PageID {
+	if n, ok := bp.forward[id]; ok {
+		return n
 	}
+	return id
+}
+
+// Resolve returns the physical backend page currently holding the logical
+// page id. Checkpoint metadata must persist physical ids: after a reopen
+// there is no forward map.
+func (bp *BufferPool) Resolve(id PageID) PageID {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.physLocked(id)
+}
+
+// protectedLocked reports whether the physical page is referenced by the
+// durable root or by a checkpoint in flight (caller holds bp.mu).
+func (bp *BufferPool) protectedLocked(q PageID) bool {
+	if _, ok := bp.durable[q]; ok {
+		return true
+	}
+	_, ok := bp.pending[q]
+	return ok
+}
+
+// scratchPageLocked hands out a physical page for a relocation target:
+// parked pages first (they are already allocated and unreferenced), then a
+// fresh backend allocation (caller holds bp.mu).
+func (bp *BufferPool) scratchPageLocked() PageID {
+	if k := len(bp.reuse); k > 0 {
+		n := bp.reuse[k-1]
+		bp.reuse = bp.reuse[:k-1]
+		return n
+	}
+	return bp.store.Allocate()
+}
+
+// writeBackLocked writes page contents to the backend, relocating protected
+// pages copy-on-write so the durable checkpoint image is never torn (caller
+// holds bp.mu).
+func (bp *BufferPool) writeBackLocked(id PageID, data []byte) error {
+	q := bp.physLocked(id)
+	if !bp.protectedLocked(q) {
+		return bp.store.WritePage(q, data)
+	}
+	n := bp.scratchPageLocked()
+	if n == InvalidPage {
+		return fmt.Errorf("pager: cannot relocate protected page %d", q)
+	}
+	// Only adopt the relocation once the copy landed: recording it first
+	// would leave the logical page pointing at an empty scratch page if the
+	// write fails, silently shadowing the last good copy at q.
+	if err := bp.store.WritePage(n, data); err != nil {
+		bp.store.Free(n)
+		return err
+	}
+	bp.forward[id] = n
+	bp.pendingFree = append(bp.pendingFree, q)
+	return nil
+}
+
+func (bp *BufferPool) bumpVersionLocked(id PageID) { bp.versions[id]++ }
+
+// Version returns a counter that changes whenever the logical page's content
+// can have changed: on Put, Free and Allocate (backends recycle ids).
+// Decoded-page caches compare it to detect stale entries.
+func (bp *BufferPool) Version(id PageID) uint64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.versions[id]
+}
+
+// Allocate creates a new page in the underlying store and caches an empty
+// frame for it. An id that doubles as a live relocated logical page is never
+// handed out — deleting its forward mapping would silently point the live
+// page at the empty newcomer — such ids are parked for physical-only reuse.
+func (bp *BufferPool) Allocate() PageID {
+	bp.mu.Lock()
+	id := bp.store.Allocate()
+	for id != InvalidPage {
+		if _, conflict := bp.forward[id]; !conflict {
+			break
+		}
+		bp.reuse = append(bp.reuse, id)
+		id = bp.store.Allocate()
+	}
+	bp.bumpVersionLocked(id)
+	if bp.capacity > 0 && id != InvalidPage {
+		bp.install(id, nil)
+	}
+	bp.mu.Unlock()
 	return id
 }
 
@@ -67,7 +190,7 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 		return f.data, nil
 	}
 	bp.stats.Misses++
-	data, err := bp.store.ReadPage(id)
+	data, err := bp.store.ReadPage(bp.physLocked(id))
 	if err != nil {
 		return nil, err
 	}
@@ -84,10 +207,11 @@ func (bp *BufferPool) Put(id PageID, data []byte) error {
 	copy(cp, data)
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	bp.bumpVersionLocked(id)
 	if bp.capacity <= 0 {
-		return bp.store.WritePage(id, cp)
+		return bp.writeBackLocked(id, cp)
 	}
-	if !bp.store.Exists(id) {
+	if !bp.store.Exists(bp.physLocked(id)) {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
 	}
 	f, ok := bp.frames[id]
@@ -101,15 +225,25 @@ func (bp *BufferPool) Put(id PageID, data []byte) error {
 	return nil
 }
 
-// Free drops a page from the pool and the store.
+// Free drops a page from the pool and the store. Protected pages (referenced
+// by the durable checkpoint root) are only freed once the next root flip
+// commits; until then the durable image stays readable.
 func (bp *BufferPool) Free(id PageID) {
 	bp.mu.Lock()
+	bp.bumpVersionLocked(id)
 	if f, ok := bp.frames[id]; ok {
 		bp.lru.Remove(f.lruElem)
 		delete(bp.frames, id)
 	}
+	q := bp.physLocked(id)
+	delete(bp.forward, id)
+	if bp.protectedLocked(q) {
+		bp.pendingFree = append(bp.pendingFree, q)
+		bp.mu.Unlock()
+		return
+	}
 	bp.mu.Unlock()
-	bp.store.Free(id)
+	bp.store.Free(q)
 }
 
 // Pin marks a page as unevictable until a matching Unpin.
@@ -138,7 +272,7 @@ func (bp *BufferPool) Flush(id PageID) error {
 	if !ok || !f.dirty {
 		return nil
 	}
-	if err := bp.store.WritePage(id, f.data); err != nil {
+	if err := bp.writeBackLocked(id, f.data); err != nil {
 		return err
 	}
 	f.dirty = false
@@ -153,12 +287,94 @@ func (bp *BufferPool) FlushAll() error {
 		if !f.dirty {
 			continue
 		}
-		if err := bp.store.WritePage(id, f.data); err != nil {
+		if err := bp.writeBackLocked(id, f.data); err != nil {
 			return err
 		}
 		f.dirty = false
 	}
 	return nil
+}
+
+// --- checkpoint protocol ---
+//
+// The durability layer drives the pool through three steps:
+//
+//  1. SetDurable at open: the physical pages the recovered root references
+//     become protected — no in-place overwrite can ever tear them.
+//  2. BeginCheckpoint after FlushAll + metadata capture: the captured
+//     physical pages join the protected set ("pending"), and previously
+//     superseded durable pages move to the free-at-commit list.
+//  3. CommitCheckpoint after the root flip is durable: pending becomes the
+//     new durable set, and the pages only the old root referenced are
+//     returned to the backend. AbortCheckpoint rolls step 2 back without
+//     freeing anything the old root can still reach.
+
+// SetDurable declares the physical pages referenced by the recovered
+// checkpoint root. Called once at open, before any writes.
+func (bp *BufferPool) SetDurable(ids []PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.durable = make(map[PageID]struct{}, len(ids))
+	for _, id := range ids {
+		bp.durable[id] = struct{}{}
+	}
+}
+
+// BeginCheckpoint protects the captured physical pages of a checkpoint in
+// flight and stages the currently superseded durable pages for release at
+// commit. Pages relocated or freed after this call accumulate for the
+// *next* checkpoint, since the in-flight root will reference them.
+func (bp *BufferPool) BeginCheckpoint(referenced []PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.pending = make(map[PageID]struct{}, len(referenced))
+	for _, id := range referenced {
+		bp.pending[id] = struct{}{}
+	}
+	// Append rather than replace: a previous checkpoint that failed after
+	// its flip attempt leaves its staged frees behind (neither commit nor
+	// abort ran), and they must ride along to this checkpoint's commit
+	// instead of leaking until the next open's sweep.
+	bp.freeAtCommit = append(bp.freeAtCommit, bp.pendingFree...)
+	bp.pendingFree = nil
+}
+
+// CommitCheckpoint makes the pending set the durable set and frees the pages
+// only the previous root referenced. Call after the new root is synced.
+// Pages whose id is still a live relocated logical id are parked instead of
+// freed: on the backend free list they would be recycled into a colliding
+// logical id (FileStore reuses ids LIFO).
+func (bp *BufferPool) CommitCheckpoint() {
+	bp.mu.Lock()
+	bp.durable = bp.pending
+	if bp.durable == nil {
+		bp.durable = make(map[PageID]struct{})
+	}
+	bp.pending = nil
+	var toFree []PageID
+	for _, q := range bp.freeAtCommit {
+		if _, live := bp.forward[q]; live {
+			bp.reuse = append(bp.reuse, q)
+		} else {
+			toFree = append(toFree, q)
+		}
+	}
+	bp.freeAtCommit = nil
+	bp.mu.Unlock()
+	for _, q := range toFree {
+		bp.store.Free(q)
+	}
+}
+
+// AbortCheckpoint undoes BeginCheckpoint after a failed checkpoint: the
+// pending pages lose their protection (they are unreferenced scratch now)
+// and the staged frees move back to waiting for a future successful commit.
+func (bp *BufferPool) AbortCheckpoint() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.pending = nil
+	bp.pendingFree = append(bp.pendingFree, bp.freeAtCommit...)
+	bp.freeAtCommit = nil
 }
 
 // Stats returns pool-level hit/miss counters (block reads/writes are counted
@@ -221,7 +437,7 @@ func (bp *BufferPool) evictIfFull() {
 			// on a file backend) must not lose the dirty frame: keep it,
 			// let the pool run over capacity, and surface the error on the
 			// next explicit Flush/FlushAll.
-			if err := bp.store.WritePage(id, f.data); err != nil && !errors.Is(err, ErrPageNotFound) {
+			if err := bp.writeBackLocked(id, f.data); err != nil && !errors.Is(err, ErrPageNotFound) {
 				return
 			}
 		}

@@ -40,6 +40,11 @@ type FileStore struct {
 	heads  map[PageID]struct{}
 	stats  Stats
 	closed bool
+
+	// readAt serves all data reads; it defaults to pread on the file and is
+	// replaced by MmapStore with a copy out of a shared mapping. Only called
+	// with mu held.
+	readAt func(b []byte, off int64) (int, error)
 }
 
 const (
@@ -66,6 +71,7 @@ func OpenFileStore(path string) (*FileStore, error) {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
 	fs := &FileStore{f: f, next: 1, heads: make(map[PageID]struct{})}
+	fs.readAt = f.ReadAt
 	info, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -123,7 +129,7 @@ func slotOffset(id PageID) int64 { return int64(id) * PageSize }
 
 func (fs *FileStore) readSlotHeader(id PageID) (length uint32, next PageID, flags byte, err error) {
 	var buf [slotHeaderSize]byte
-	if _, err := fs.f.ReadAt(buf[:], slotOffset(id)); err != nil {
+	if _, err := fs.readAt(buf[:], slotOffset(id)); err != nil {
 		return 0, 0, 0, fmt.Errorf("pager: read slot %d header: %w", id, err)
 	}
 	return binary.LittleEndian.Uint32(buf[0:4]),
@@ -270,7 +276,7 @@ func (fs *FileStore) ReadPage(id PageID) ([]byte, error) {
 		}
 		if length > 0 {
 			buf := make([]byte, length)
-			if _, err := fs.f.ReadAt(buf, slotOffset(cur)+slotHeaderSize); err != nil {
+			if _, err := fs.readAt(buf, slotOffset(cur)+slotHeaderSize); err != nil {
 				return nil, fmt.Errorf("pager: read slot %d payload: %w", cur, err)
 			}
 			out = append(out, buf...)
@@ -355,6 +361,17 @@ func (fs *FileStore) PageCount() int {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return len(fs.heads)
+}
+
+// PageIDs returns the ids of all allocated (head) pages.
+func (fs *FileStore) PageIDs() []PageID {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]PageID, 0, len(fs.heads))
+	for id := range fs.heads {
+		out = append(out, id)
+	}
+	return out
 }
 
 // Sync refreshes the header page and forces everything to stable storage.

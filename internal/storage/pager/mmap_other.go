@@ -1,0 +1,25 @@
+//go:build !linux && !darwin
+
+package pager
+
+// MmapStore falls back to a plain FileStore on platforms without a wired-up
+// mmap syscall surface: same API, pread-backed read path.
+type MmapStore struct {
+	*FileStore
+}
+
+// OpenMmapStore opens the page heap at path. On this platform it is an alias
+// for OpenFileStore.
+func OpenMmapStore(path string) (*MmapStore, error) {
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	return &MmapStore{FileStore: fs}, nil
+}
+
+var _ Backend = (*MmapStore)(nil)
+
+// MmapSupported reports whether OpenMmapStore uses a real memory mapping on
+// this platform.
+const MmapSupported = false

@@ -1,0 +1,106 @@
+//go:build linux || darwin
+
+package pager
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// MmapStore is a FileStore whose read path copies out of a shared read-only
+// memory mapping of the heap file instead of issuing a pread per slot access.
+// Writes still go through the file descriptor — MAP_SHARED over the same
+// inode keeps the mapping coherent with them through the page cache — so the
+// write path, crash-safety story and on-disk format are exactly FileStore's.
+// When the file grows past the mapped region the store remaps lazily; if the
+// mapping cannot be (re)established it degrades to pread.
+type MmapStore struct {
+	*FileStore
+	data []byte // current mapping; nil when mapping is unavailable
+}
+
+// OpenMmapStore opens the single-file page heap at path with the mmap read
+// path. The returned store is format-compatible with OpenFileStore: either
+// can open a file the other wrote.
+func OpenMmapStore(path string) (*MmapStore, error) {
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &MmapStore{FileStore: fs}
+	if err := m.remap(); err != nil {
+		fs.Close()
+		return nil, err
+	}
+	// All readAt calls happen with fs.mu held, so the remap-on-grow path
+	// needs no extra locking.
+	fs.readAt = m.mmapReadAt
+	return m, nil
+}
+
+// remap (re)establishes the mapping at the current file size (caller holds
+// fs.mu or is the constructor). A zero-length file maps to nil, which the
+// read path treats as "fall back to pread".
+func (m *MmapStore) remap() error {
+	if m.data != nil {
+		if err := syscall.Munmap(m.data); err != nil {
+			return fmt.Errorf("pager: munmap: %w", err)
+		}
+		m.data = nil
+	}
+	info, err := m.f.Stat()
+	if err != nil {
+		return fmt.Errorf("pager: stat for mmap: %w", err)
+	}
+	if info.Size() == 0 {
+		return nil
+	}
+	data, err := syscall.Mmap(int(m.f.Fd()), 0, int(info.Size()),
+		syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return fmt.Errorf("pager: mmap %s: %w", m.f.Name(), err)
+	}
+	m.data = data
+	return nil
+}
+
+// mmapReadAt copies from the mapping, remapping once when the requested
+// range lies beyond it (the file grew) and falling back to pread when the
+// mapping still does not cover it.
+func (m *MmapStore) mmapReadAt(b []byte, off int64) (int, error) {
+	end := off + int64(len(b))
+	if end > int64(len(m.data)) {
+		if err := m.remap(); err != nil || end > int64(len(m.data)) {
+			return m.f.ReadAt(b, off)
+		}
+	}
+	return copy(b, m.data[off:end]), nil
+}
+
+// Close unmaps the file and closes the underlying FileStore.
+func (m *MmapStore) Close() error {
+	m.mu.Lock()
+	data := m.data
+	m.data = nil
+	if data != nil {
+		// Route subsequent reads (there should be none) back to pread.
+		m.readAt = m.f.ReadAt
+	}
+	m.mu.Unlock()
+	var err error
+	if data != nil {
+		if uErr := syscall.Munmap(data); uErr != nil {
+			err = fmt.Errorf("pager: munmap: %w", uErr)
+		}
+	}
+	if cErr := m.FileStore.Close(); err == nil {
+		err = cErr
+	}
+	return err
+}
+
+var _ Backend = (*MmapStore)(nil)
+
+// MmapSupported reports whether OpenMmapStore uses a real memory mapping on
+// this platform (benchmarks annotate their output with it).
+const MmapSupported = true

@@ -145,6 +145,17 @@ func (s *Store) PageCount() int {
 	return len(s.pages)
 }
 
+// PageIDs returns the ids of all allocated pages.
+func (s *Store) PageIDs() []PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PageID, 0, len(s.pages))
+	for id := range s.pages {
+		out = append(out, id)
+	}
+	return out
+}
+
 // Stats returns a snapshot of the accumulated statistics.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

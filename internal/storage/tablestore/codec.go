@@ -2,11 +2,43 @@ package tablestore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"github.com/dataspread/dataspread/internal/sheet"
 )
+
+// ErrPageChecksum is returned when a data page fails its CRC: the page file
+// was corrupted outside the engine (media bit flip, partial write). Scans and
+// point reads surface it instead of silently decoding garbage rows.
+var ErrPageChecksum = errors.New("tablestore: page checksum mismatch (corrupt page)")
+
+// sealPage prepends a CRC32 over the payload. Every tuple/column page is
+// sealed before it reaches the pager, so a flipped bit anywhere in the
+// payload is detected at decode time rather than surfacing as a wrong value.
+func sealPage(payload []byte) []byte {
+	out := make([]byte, 4, 4+len(payload))
+	binary.LittleEndian.PutUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// unsealPage validates and strips the CRC header. A zero-length buffer is a
+// freshly allocated, never-written page and passes through as empty.
+func unsealPage(buf []byte) ([]byte, error) {
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: page shorter than its checksum", ErrPageChecksum)
+	}
+	payload := buf[4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf) {
+		return nil, ErrPageChecksum
+	}
+	return payload, nil
+}
 
 // Tuple and value serialisation shared by the physical layouts. Values are
 // the unified sheet.Value dynamic type: DataSpread types relational columns
@@ -100,8 +132,13 @@ func (d *valueDecoder) value() (sheet.Value, error) {
 }
 
 // encodeTuples serialises a page of tuples: each entry is a RowID followed by
-// the tuple's values. All tuples in one page image have the same width.
+// the tuple's values, the whole page sealed under a CRC. All tuples in one
+// page image have the same width.
 func encodeTuples(ids []RowID, rows [][]sheet.Value, width int) []byte {
+	return sealPage(encodeTuplesPayload(ids, rows, width))
+}
+
+func encodeTuplesPayload(ids []RowID, rows [][]sheet.Value, width int) []byte {
 	out := appendUvarint(nil, uint64(len(ids)))
 	out = appendUvarint(out, uint64(width))
 	for i := range ids {
@@ -117,12 +154,16 @@ func encodeTuples(ids []RowID, rows [][]sheet.Value, width int) []byte {
 	return out
 }
 
-// decodeTuples reverses encodeTuples.
+// decodeTuples reverses encodeTuples, validating the page CRC first.
 func decodeTuples(buf []byte) (ids []RowID, rows [][]sheet.Value, err error) {
-	if len(buf) == 0 {
+	payload, err := unsealPage(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(payload) == 0 {
 		return nil, nil, nil
 	}
-	d := &valueDecoder{buf: buf}
+	d := &valueDecoder{buf: payload}
 	n, err := d.uvarint()
 	if err != nil {
 		return nil, nil, err
@@ -151,21 +192,25 @@ func decodeTuples(buf []byte) (ids []RowID, rows [][]sheet.Value, err error) {
 }
 
 // encodeColumn serialises a page of single-column values addressed by dense
-// slot offsets within the page.
+// slot offsets within the page, sealed under a CRC.
 func encodeColumn(vals []sheet.Value) []byte {
 	out := appendUvarint(nil, uint64(len(vals)))
 	for _, v := range vals {
 		out = appendValue(out, v)
 	}
-	return out
+	return sealPage(out)
 }
 
-// decodeColumn reverses encodeColumn.
+// decodeColumn reverses encodeColumn, validating the page CRC first.
 func decodeColumn(buf []byte) ([]sheet.Value, error) {
-	if len(buf) == 0 {
+	payload, err := unsealPage(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
 		return nil, nil
 	}
-	d := &valueDecoder{buf: buf}
+	d := &valueDecoder{buf: payload}
 	n, err := d.uvarint()
 	if err != nil {
 		return nil, err
@@ -184,4 +229,19 @@ func cloneRow(row []sheet.Value) []sheet.Value {
 	out := make([]sheet.Value, len(row))
 	copy(out, row)
 	return out
+}
+
+// AppendValue appends the storage encoding of one value. The durability
+// layer reuses the codec for catalog metadata (column defaults, index keys)
+// so every persisted value round-trips through a single format.
+func AppendValue(dst []byte, v sheet.Value) []byte { return appendValue(dst, v) }
+
+// ReadValue decodes one value from the front of buf and returns the rest.
+func ReadValue(buf []byte) (sheet.Value, []byte, error) {
+	d := &valueDecoder{buf: buf}
+	v, err := d.value()
+	if err != nil {
+		return sheet.Value{}, nil, err
+	}
+	return v, buf[d.pos:], nil
 }

@@ -73,7 +73,6 @@ func (s *ColStore) readColPageShared(col, pi int) ([]sheet.Value, error) {
 }
 
 func (s *ColStore) writeColPage(col, pi int, vals []sheet.Value) error {
-	s.cache.invalidate(s.cols[col].pages[pi])
 	return s.pool.Put(s.cols[col].pages[pi], encodeColumn(vals))
 }
 
@@ -307,7 +306,6 @@ func (s *ColStore) DropColumn(col int) error {
 		return fmt.Errorf("%w: %d", ErrColumnRange, col)
 	}
 	for _, pid := range s.cols[col].pages {
-		s.cache.invalidate(pid)
 		s.pool.Free(pid)
 	}
 	s.cols = append(s.cols[:col], s.cols[col+1:]...)

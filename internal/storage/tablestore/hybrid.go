@@ -155,7 +155,6 @@ func (s *HybridStore) readGroupPageShared(gi, pi int) ([]RowID, [][]sheet.Value,
 }
 
 func (s *HybridStore) writeGroupPage(gi, pi int, ids []RowID, rows [][]sheet.Value, width int) error {
-	s.cache.invalidate(s.groups[gi].pages[pi])
 	return s.pool.Put(s.groups[gi].pages[pi], encodeTuples(ids, rows, width))
 }
 
@@ -530,7 +529,6 @@ func (s *HybridStore) DropColumn(col int) error {
 	if g.width == 1 {
 		// Whole group disappears; free its blocks.
 		for _, pid := range g.pages {
-			s.cache.invalidate(pid)
 			s.pool.Free(pid)
 		}
 		g.pages = nil

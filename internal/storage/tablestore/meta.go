@@ -1,0 +1,324 @@
+package tablestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/dataspread/dataspread/internal/storage/pager"
+)
+
+// Store metadata persistence. A store's pages hold the tuples; its *meta* —
+// page lists, row directory, counters, tombstones — lived only in memory
+// until PR 4, which is why a reopened workbook had to rebuild tables by
+// replaying DML history. MarshalMeta serialises that state compactly (page
+// ids resolved through the BufferPool's forward map to their physical
+// backend ids) and OpenStore reattaches a store to existing pages in
+// O(meta), not O(history).
+//
+// Encodings are uvarint-based, one self-describing blob per store, with a
+// per-layout version byte so formats can evolve independently.
+
+const (
+	rowMetaVersion    = 1
+	colMetaVersion    = 1
+	hybridMetaVersion = 1
+)
+
+type metaWriter struct{ buf []byte }
+
+func (w *metaWriter) uint(v uint64) { w.buf = appendUvarint(w.buf, v) }
+func (w *metaWriter) pages(pool *pager.BufferPool, ids []pager.PageID) {
+	w.uint(uint64(len(ids)))
+	for _, id := range ids {
+		w.uint(uint64(pool.Resolve(id)))
+	}
+}
+
+type metaReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *metaReader) uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("tablestore: corrupt store meta at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *metaReader) count(what string) (int, bool) {
+	n := r.uint()
+	if r.err != nil {
+		return 0, false
+	}
+	// A count can never exceed the remaining bytes (every element is at
+	// least one byte); reject it before allocating.
+	if n > uint64(len(r.buf)-r.pos) {
+		r.err = fmt.Errorf("tablestore: implausible %s count %d in store meta", what, n)
+		return 0, false
+	}
+	return int(n), true
+}
+
+func (r *metaReader) pageList() []pager.PageID {
+	n, ok := r.count("page")
+	if !ok {
+		return nil
+	}
+	out := make([]pager.PageID, n)
+	for i := range out {
+		out[i] = pager.PageID(r.uint())
+	}
+	return out
+}
+
+func sortedRowIDs(m map[RowID]bool) []RowID {
+	out := make([]RowID, 0, len(m))
+	for id, dead := range m {
+		if dead {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OpenStore attaches a store of the named layout to the pages its marshalled
+// meta references. The pool must sit on the backend that owns those pages.
+func OpenStore(pool *pager.BufferPool, layout string, meta []byte) (Store, error) {
+	switch layout {
+	case "row":
+		return OpenRowStore(pool, meta)
+	case "column":
+		return OpenColStore(pool, meta)
+	case "hybrid":
+		return OpenHybridStore(pool, meta)
+	default:
+		return nil, fmt.Errorf("tablestore: unknown layout %q", layout)
+	}
+}
+
+// --- RowStore ---
+
+// MarshalMeta implements Store.
+func (s *RowStore) MarshalMeta() []byte {
+	w := &metaWriter{}
+	w.uint(rowMetaVersion)
+	w.uint(uint64(s.width))
+	w.uint(uint64(s.nextID))
+	w.uint(uint64(s.rowCount))
+	w.uint(uint64(s.tailCount))
+	w.pages(s.pool, s.pages)
+	// The row directory, sorted by RowID for deterministic output.
+	ids := make([]RowID, 0, len(s.dir))
+	for id := range s.dir {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.uint(uint64(len(ids)))
+	for _, id := range ids {
+		w.uint(uint64(id))
+		w.uint(uint64(s.dir[id]))
+	}
+	return w.buf
+}
+
+// OpenRowStore attaches a RowStore to existing pages.
+func OpenRowStore(pool *pager.BufferPool, meta []byte) (*RowStore, error) {
+	r := &metaReader{buf: meta}
+	if v := r.uint(); r.err == nil && v != rowMetaVersion {
+		return nil, fmt.Errorf("tablestore: unsupported row meta version %d", v)
+	}
+	s := &RowStore{
+		pool:  pool,
+		width: int(r.uint()),
+	}
+	s.nextID = RowID(r.uint())
+	s.rowCount = int(r.uint())
+	s.tailCount = int(r.uint())
+	s.pages = r.pageList()
+	n, ok := r.count("row-directory")
+	if !ok {
+		return nil, r.err
+	}
+	s.dir = make(map[RowID]int, n)
+	for i := 0; i < n; i++ {
+		id := RowID(r.uint())
+		pi := int(r.uint())
+		if r.err == nil && pi >= len(s.pages) {
+			return nil, fmt.Errorf("tablestore: row %d maps to missing page index %d", id, pi)
+		}
+		s.dir[id] = pi
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
+}
+
+// Pages implements Store.
+func (s *RowStore) Pages() []pager.PageID { return resolveAll(s.pool, s.pages) }
+
+// --- ColStore ---
+
+// MarshalMeta implements Store.
+func (s *ColStore) MarshalMeta() []byte {
+	w := &metaWriter{}
+	w.uint(colMetaVersion)
+	w.uint(uint64(s.slotCount))
+	w.uint(uint64(s.nextID))
+	w.uint(uint64(s.rowCount))
+	w.uint(uint64(len(s.cols)))
+	for _, c := range s.cols {
+		w.pages(s.pool, c.pages)
+	}
+	dead := sortedRowIDs(s.deleted)
+	w.uint(uint64(len(dead)))
+	for _, id := range dead {
+		w.uint(uint64(id))
+	}
+	return w.buf
+}
+
+// OpenColStore attaches a ColStore to existing pages.
+func OpenColStore(pool *pager.BufferPool, meta []byte) (*ColStore, error) {
+	r := &metaReader{buf: meta}
+	if v := r.uint(); r.err == nil && v != colMetaVersion {
+		return nil, fmt.Errorf("tablestore: unsupported column meta version %d", v)
+	}
+	s := &ColStore{pool: pool, deleted: make(map[RowID]bool)}
+	s.slotCount = int(r.uint())
+	s.nextID = RowID(r.uint())
+	s.rowCount = int(r.uint())
+	ncols, ok := r.count("column")
+	if !ok {
+		return nil, r.err
+	}
+	s.cols = make([]colPages, ncols)
+	for i := range s.cols {
+		s.cols[i].pages = r.pageList()
+	}
+	ndead, ok := r.count("tombstone")
+	if !ok {
+		return nil, r.err
+	}
+	for i := 0; i < ndead; i++ {
+		s.deleted[RowID(r.uint())] = true
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
+}
+
+// Pages implements Store.
+func (s *ColStore) Pages() []pager.PageID {
+	var all []pager.PageID
+	for _, c := range s.cols {
+		all = append(all, c.pages...)
+	}
+	return resolveAll(s.pool, all)
+}
+
+// --- HybridStore ---
+
+// MarshalMeta implements Store.
+func (s *HybridStore) MarshalMeta() []byte {
+	w := &metaWriter{}
+	w.uint(hybridMetaVersion)
+	w.uint(uint64(s.groupSize))
+	w.uint(uint64(s.slotCount))
+	w.uint(uint64(s.nextID))
+	w.uint(uint64(s.rowCount))
+	w.uint(uint64(len(s.groups)))
+	for _, g := range s.groups {
+		w.uint(uint64(g.width))
+		w.uint(uint64(g.rowsPer))
+		w.pages(s.pool, g.pages)
+	}
+	w.uint(uint64(len(s.colMap)))
+	for _, loc := range s.colMap {
+		w.uint(uint64(loc.group))
+		w.uint(uint64(loc.offset))
+	}
+	dead := sortedRowIDs(s.deleted)
+	w.uint(uint64(len(dead)))
+	for _, id := range dead {
+		w.uint(uint64(id))
+	}
+	return w.buf
+}
+
+// OpenHybridStore attaches a HybridStore to existing pages.
+func OpenHybridStore(pool *pager.BufferPool, meta []byte) (*HybridStore, error) {
+	r := &metaReader{buf: meta}
+	if v := r.uint(); r.err == nil && v != hybridMetaVersion {
+		return nil, fmt.Errorf("tablestore: unsupported hybrid meta version %d", v)
+	}
+	s := &HybridStore{pool: pool, deleted: make(map[RowID]bool)}
+	s.groupSize = int(r.uint())
+	s.slotCount = int(r.uint())
+	s.nextID = RowID(r.uint())
+	s.rowCount = int(r.uint())
+	ngroups, ok := r.count("group")
+	if !ok {
+		return nil, r.err
+	}
+	s.groups = make([]attrGroup, ngroups)
+	for i := range s.groups {
+		s.groups[i].width = int(r.uint())
+		s.groups[i].rowsPer = int(r.uint())
+		if r.err == nil && s.groups[i].width > 0 && s.groups[i].rowsPer < 1 {
+			return nil, fmt.Errorf("tablestore: group %d has invalid rowsPer", i)
+		}
+		s.groups[i].pages = r.pageList()
+	}
+	ncols, ok := r.count("column-map")
+	if !ok {
+		return nil, r.err
+	}
+	s.colMap = make([]colLocation, ncols)
+	for i := range s.colMap {
+		s.colMap[i].group = int(r.uint())
+		s.colMap[i].offset = int(r.uint())
+		if r.err == nil && s.colMap[i].group >= len(s.groups) {
+			return nil, fmt.Errorf("tablestore: column %d maps to missing group %d", i, s.colMap[i].group)
+		}
+	}
+	ndead, ok := r.count("tombstone")
+	if !ok {
+		return nil, r.err
+	}
+	for i := 0; i < ndead; i++ {
+		s.deleted[RowID(r.uint())] = true
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
+}
+
+// Pages implements Store.
+func (s *HybridStore) Pages() []pager.PageID {
+	var all []pager.PageID
+	for _, g := range s.groups {
+		all = append(all, g.pages...)
+	}
+	return resolveAll(s.pool, all)
+}
+
+func resolveAll(pool *pager.BufferPool, ids []pager.PageID) []pager.PageID {
+	out := make([]pager.PageID, len(ids))
+	for i, id := range ids {
+		out[i] = pool.Resolve(id)
+	}
+	return out
+}

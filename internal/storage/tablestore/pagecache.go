@@ -16,24 +16,42 @@ const decodedCacheCap = 4096
 // table do not re-decode every block from its byte form. Entries are shared
 // read-only snapshots: only the read paths (Scan/ScanCols/Get) consult the
 // cache, while mutators keep decoding private copies they are free to edit
-// in place, and every page write or free invalidates the entry. A reader
-// holding a decoded snapshot across a concurrent write therefore observes
-// the same pre-write image it would have decoded from the buffer pool.
+// in place.
+//
+// Every entry is stamped with the BufferPool's page version at decode time
+// and validated against the current version on each hit. The pool bumps the
+// version on *any* content-changing event — local writes through this store,
+// a backend-level reload of the id, or the backend recycling the id into a
+// fresh allocation — so a cache shared with the pool can never serve a
+// decode of bytes that are no longer the page's content. (The old design
+// invalidated only on this store's own writes, which let a recycled page id
+// serve the previous page's decode.)
 type decodedCache struct {
 	mu     sync.Mutex
 	tuples map[pager.PageID]tupleEntry
-	cols   map[pager.PageID][]sheet.Value
+	cols   map[pager.PageID]colEntry
 }
 
 type tupleEntry struct {
+	ver  uint64
 	ids  []RowID
 	rows [][]sheet.Value
 }
 
-// getTuples returns the decoded tuple page, decoding and caching on a miss.
+type colEntry struct {
+	ver  uint64
+	vals []sheet.Value
+}
+
+// getTuples returns the decoded tuple page, decoding and caching on a miss
+// or when the pool's page version moved past the cached entry.
 func (c *decodedCache) getTuples(pool *pager.BufferPool, id pager.PageID) ([]RowID, [][]sheet.Value, error) {
+	// Fetch the version before the page bytes: a write racing in between
+	// leaves us caching new content under an old version, which only causes
+	// a harmless re-decode — never a stale hit.
+	ver := pool.Version(id)
 	c.mu.Lock()
-	if e, ok := c.tuples[id]; ok {
+	if e, ok := c.tuples[id]; ok && e.ver == ver {
 		c.mu.Unlock()
 		return e.ids, e.rows, nil
 	}
@@ -51,17 +69,19 @@ func (c *decodedCache) getTuples(pool *pager.BufferPool, id pager.PageID) ([]Row
 		c.tuples = make(map[pager.PageID]tupleEntry)
 	}
 	c.evictIfFull(len(c.tuples))
-	c.tuples[id] = tupleEntry{ids: ids, rows: rows}
+	c.tuples[id] = tupleEntry{ver: ver, ids: ids, rows: rows}
 	c.mu.Unlock()
 	return ids, rows, nil
 }
 
-// getColumn returns the decoded column page, decoding and caching on a miss.
+// getColumn returns the decoded column page, decoding and caching on a miss
+// or version change.
 func (c *decodedCache) getColumn(pool *pager.BufferPool, id pager.PageID) ([]sheet.Value, error) {
+	ver := pool.Version(id)
 	c.mu.Lock()
-	if vals, ok := c.cols[id]; ok {
+	if e, ok := c.cols[id]; ok && e.ver == ver {
 		c.mu.Unlock()
-		return vals, nil
+		return e.vals, nil
 	}
 	c.mu.Unlock()
 	data, err := pool.Get(id)
@@ -74,21 +94,12 @@ func (c *decodedCache) getColumn(pool *pager.BufferPool, id pager.PageID) ([]she
 	}
 	c.mu.Lock()
 	if c.cols == nil {
-		c.cols = make(map[pager.PageID][]sheet.Value)
+		c.cols = make(map[pager.PageID]colEntry)
 	}
 	c.evictIfFull(len(c.cols))
-	c.cols[id] = vals
+	c.cols[id] = colEntry{ver: ver, vals: vals}
 	c.mu.Unlock()
 	return vals, nil
-}
-
-// invalidate drops the cached image of a page. Stores call it on every page
-// write and free so readers never see post-write stale decodes.
-func (c *decodedCache) invalidate(id pager.PageID) {
-	c.mu.Lock()
-	delete(c.tuples, id)
-	delete(c.cols, id)
-	c.mu.Unlock()
 }
 
 // evictIfFull drops arbitrary entries while the cache is at capacity

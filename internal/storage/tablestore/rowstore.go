@@ -56,7 +56,6 @@ func (s *RowStore) readPageShared(idx int) ([]RowID, [][]sheet.Value, error) {
 }
 
 func (s *RowStore) writePage(idx int, ids []RowID, rows [][]sheet.Value) error {
-	s.cache.invalidate(s.pages[idx])
 	return s.pool.Put(s.pages[idx], encodeTuples(ids, rows, s.width))
 }
 

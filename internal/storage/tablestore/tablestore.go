@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/storage/pager"
 )
 
 // RowID identifies a tuple within a table store. RowIDs are assigned by
@@ -84,6 +85,14 @@ type Store interface {
 	// Layout returns a short name of the physical layout ("row",
 	// "column", "hybrid") for diagnostics and experiments.
 	Layout() string
+	// MarshalMeta serialises the store's page directory — page lists,
+	// counters, tombstones — with page ids resolved to their physical
+	// backend ids. OpenStore(pool, Layout(), meta) attaches a store to the
+	// same pages without replaying any history (meta.go).
+	MarshalMeta() []byte
+	// Pages returns the physical backend pages the store currently
+	// references, for checkpoint reachability and protection sets.
+	Pages() []pager.PageID
 }
 
 // rowsPerPage / valuesPerPage control how many entries are packed per block.

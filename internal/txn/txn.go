@@ -115,8 +115,10 @@ type Manager struct {
 	sink      io.Writer
 	bw        *bufio.Writer
 	logFile   *os.File
+	logPath   string // path the log lives at (stable across compaction renames)
 	syncEvery int
 	pending   int
+	logBytes  int64 // bytes of framed records in the durable log
 }
 
 // NewManager creates a transaction manager with an empty WAL.

@@ -258,9 +258,11 @@ func (m *Manager) appendDurableLocked(rec Record) error {
 	if m.bw == nil {
 		return nil
 	}
-	if _, err := m.bw.Write(appendFrame(nil, rec)); err != nil {
+	frame := appendFrame(nil, rec)
+	if _, err := m.bw.Write(frame); err != nil {
 		return err
 	}
+	m.logBytes += int64(len(frame))
 	m.pending++
 	if m.pending >= m.syncEvery {
 		return m.flushSyncLocked()
@@ -324,8 +326,91 @@ func (m *Manager) RecoverFile(path string) ([]Record, error) {
 	m.AttachLog(f)
 	m.mu.Lock()
 	m.logFile = f
+	m.logPath = path
+	m.logBytes = valid
 	m.mu.Unlock()
 	return recs, nil
+}
+
+// LogSize returns the current byte size of the durable log: recovered prefix
+// plus frames appended since. The background checkpointer uses it as its
+// trigger threshold.
+func (m *Manager) LogSize() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.logBytes
+}
+
+// TruncateThrough discards every committed record with LSN <= lsn from the
+// log, keeping the tail. Checkpoints call it with their watermark so records
+// committed while the checkpoint was writing (concurrent appends above the
+// watermark) survive the compaction.
+//
+// When a tail survives, the compaction is crash-safe: the tail is written
+// and synced to a sibling file, then renamed over the log, so a crash at
+// any instant leaves either the full old log or the complete compacted tail
+// — never a window where committed records above the watermark exist in
+// neither place (an in-place truncate-and-rewrite would have exactly that
+// window).
+func (m *Manager) TruncateThrough(lsn uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := make([]Record, 0, len(m.wal))
+	for _, rec := range m.wal {
+		if rec.LSN > lsn {
+			kept = append(kept, rec)
+		}
+	}
+	m.wal = kept
+	if m.logFile == nil {
+		if m.bw != nil {
+			m.bw = bufio.NewWriter(m.sink)
+			m.pending = 0
+		}
+		return nil
+	}
+	if len(kept) == 0 {
+		// Nothing above the watermark: a plain truncate cannot lose
+		// anything the checkpoint does not already cover.
+		return m.resetLogFileLocked()
+	}
+	// m.logPath, not m.logFile.Name(): after a previous compaction the
+	// handle was opened at the temp path, and renaming onto Name() would
+	// quietly move the log away from where recovery reads it.
+	path := m.logPath
+	tmp := path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("txn: compact WAL: %w", err)
+	}
+	var bytes int64
+	for _, rec := range kept {
+		frame := appendFrame(nil, rec)
+		if _, err := f.Write(frame); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("txn: compact WAL: %w", err)
+		}
+		bytes += int64(len(frame))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("txn: sync compacted WAL: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("txn: swap compacted WAL: %w", err)
+	}
+	// Adopt the new file; the old inode dies with its handle.
+	old := m.logFile
+	m.logFile = f
+	m.sink = f
+	m.bw = bufio.NewWriter(f)
+	m.pending = 0
+	m.logBytes = bytes
+	return old.Close()
 }
 
 // LastLSN returns the LSN of the most recently committed record (0 when
@@ -347,6 +432,21 @@ func (m *Manager) AdvanceLSN(min uint64) {
 	}
 }
 
+// resetLogFileLocked empties the owned log file and re-arms the writer
+// (caller holds m.mu and has already pruned m.wal).
+func (m *Manager) resetLogFileLocked() error {
+	if err := m.logFile.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := m.logFile.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	m.bw = bufio.NewWriter(m.logFile)
+	m.pending = 0
+	m.logBytes = 0
+	return m.logFile.Sync()
+}
+
 // ResetLog discards the durable log contents (after a checkpoint has made
 // them redundant) and clears the in-memory WAL. LSNs keep increasing so
 // later records never collide with checkpointed ones.
@@ -361,15 +461,7 @@ func (m *Manager) ResetLog() error {
 		}
 		return nil
 	}
-	if err := m.logFile.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := m.logFile.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	m.bw = bufio.NewWriter(m.logFile)
-	m.pending = 0
-	return m.logFile.Sync()
+	return m.resetLogFileLocked()
 }
 
 // Close flushes and syncs the durable log and closes the underlying file

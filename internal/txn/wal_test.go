@@ -3,6 +3,7 @@ package txn
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -216,5 +217,93 @@ func TestResetLogClearsDurableState(t *testing.T) {
 	recs, _, err := NewManager().Replay(bytes.NewReader(mustRead(t, path)))
 	if err != nil || len(recs) != 1 {
 		t.Fatalf("replay after reset: %d records, %v", len(recs), err)
+	}
+}
+
+// TestTruncateThroughKeepsTail: compaction through a watermark drops covered
+// records but preserves — durably — everything committed above it.
+func TestTruncateThroughKeepsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.wal")
+	m := NewManager()
+	if _, err := m.RecoverFile(path); err != nil {
+		t.Fatal(err)
+	}
+	commit := func(detail string) uint64 {
+		if err := m.Run(func(tx *Txn) error {
+			return tx.Log(Op{Kind: OpInsert, Detail: detail}, nil)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.LastLSN()
+	}
+	commit("a")
+	watermark := commit("b")
+	commit("c")
+	commit("d")
+	if m.LogSize() == 0 {
+		t.Fatal("LogSize did not track appends")
+	}
+	if err := m.TruncateThrough(watermark); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := NewManager()
+	recs, err := re.RecoverFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(recs) != 2 || recs[0].Ops[0].Detail != "c" || recs[1].Ops[0].Detail != "d" {
+		t.Fatalf("recovered tail = %+v, want exactly c,d", recs)
+	}
+	for _, rec := range recs {
+		if rec.LSN <= watermark {
+			t.Fatalf("record %q kept an LSN below the watermark", rec.Ops[0].Detail)
+		}
+	}
+}
+
+// TestTruncateThroughRepeatedCompactions: the compaction rename must keep
+// landing at the original WAL path. (A regression here once left the second
+// compaction renaming onto the temp path, freezing the real log and losing
+// every append after it.)
+func TestTruncateThroughRepeatedCompactions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.wal")
+	m := NewManager()
+	if _, err := m.RecoverFile(path); err != nil {
+		t.Fatal(err)
+	}
+	commit := func(detail string) uint64 {
+		if err := m.Run(func(tx *Txn) error {
+			return tx.Log(Op{Kind: OpInsert, Detail: detail}, nil)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.LastLSN()
+	}
+	for round := 0; round < 3; round++ {
+		w := commit(fmt.Sprintf("covered-%d", round))
+		commit(fmt.Sprintf("tail-%d", round))
+		// Each round's watermark covers everything before it, so after the
+		// final compaction exactly one record survives — at the original
+		// path, not wherever the previous rename's handle pointed.
+		if err := m.TruncateThrough(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := NewManager()
+	recs, err := re.RecoverFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(recs) != 1 || recs[0].Ops[0].Detail != "tail-2" {
+		t.Fatalf("recovered %+v, want exactly [tail-2]", recs)
 	}
 }
