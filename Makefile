@@ -1,8 +1,9 @@
-# DataSpread developer targets. CI runs `make verify` and `make bench`.
+# DataSpread developer targets. CI runs `make verify`, `make apicheck` and
+# `make bench`.
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench fuzz verify
+.PHONY: all build test race vet fmt bench fuzz verify apicheck
 
 all: build test
 
@@ -21,15 +22,24 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
-verify: fmt vet build test
+verify: fmt vet build test apicheck
+
+# apicheck diffs the exported surface of the public packages (the root
+# `dataspread` package and `driver`) against the committed golden
+# api/public.txt — the golden-export-data equivalent of an
+# apidiff-against-previous-tag job. After an INTENTIONAL API change,
+# re-bless with: go run ./cmd/apicheck -write
+apicheck:
+	$(GO) run ./cmd/apicheck
 
 # bench is the benchmark smoke target: every testing.B benchmark compiles
 # and runs at least once (so benchmark code cannot rot), and cmd/dsbench
 # emits the headline results as machine-readable JSON — including the
-# FileStore-vs-MmapStore backend pairs and the cold-open scaling series.
+# prepared-vs-text point-query pair, the FileStore-vs-MmapStore backend
+# pairs and the cold-open scaling series.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE .
-	$(GO) run ./cmd/dsbench -json BENCH_pr4.json
+	$(GO) run ./cmd/dsbench -json BENCH_pr5.json
 
 # fuzz runs the durability fuzz suites (fixed seeds: the same trials replay
 # every run) — WAL truncation/bit-flips, checkpoint kill points, heap-file

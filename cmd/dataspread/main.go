@@ -1,14 +1,15 @@
 // Command dataspread is an interactive shell over a DataSpread workbook: a
 // spreadsheet you type cell edits and formulas into, backed by the embedded
 // relational engine, with DBSQL/DBTABLE, SQL, import/export and window
-// panning available from the prompt.
+// panning available from the prompt. It runs entirely on the public
+// dataspread package — the same surface any embedding program uses.
 //
 // Commands:
 //
 //	set <addr> <input>      enter a literal or =formula (incl. DBSQL/DBTABLE)
 //	get <addr>              print one cell
 //	show [range]            print the visible window (or a range)
-//	sql <statement>         run SQL (RANGEVALUE/RANGETABLE allowed)
+//	sql <statement>         run SQL ('?' placeholders need the API; RANGEVALUE/RANGETABLE allowed)
 //	export <range> <table>  create a table from a range (Figure 2b)
 //	import <addr> <table>   bind a table at a cell (DBTABLE)
 //	scroll <addr>           move the window (fetch-on-demand panning)
@@ -23,34 +24,35 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"github.com/dataspread/dataspread/internal/core"
-	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread"
 )
 
 func main() {
 	file := flag.String("file", "", "durable workbook file (WAL kept at <file>.wal)")
 	mmap := flag.Bool("mmap", false, "serve workbook reads from a memory mapping (with -file)")
 	flag.Parse()
-	var ds *core.DataSpread
+	var db *dataspread.DB
 	if *file != "" {
 		var err error
-		ds, err = core.OpenFile(*file, core.Options{Mmap: *mmap})
+		db, err = dataspread.OpenFile(*file, dataspread.Options{Mmap: *mmap})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		for _, err := range ds.RecoveryErrors() {
+		for _, err := range db.RecoveryErrors() {
 			fmt.Fprintln(os.Stderr, "recovery:", err)
 		}
-		defer ds.Close()
+		defer db.Close()
 	} else {
-		ds = core.New(core.Options{})
+		db = dataspread.New(dataspread.Options{})
 	}
+	ctx := context.Background()
 	current := "Sheet1"
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -70,14 +72,14 @@ func main() {
 		case "help":
 			fmt.Println("set <addr> <input> | get <addr> | show [range] | sql <stmt> | export <range> <table> | import <addr> <table> | scroll <addr> | sheet <name> | tables | checkpoint | quit")
 		case "checkpoint":
-			if err := ds.Checkpoint(); err != nil {
+			if err := db.Checkpoint(); err != nil {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Println("ok")
 			}
 		case "set":
 			addr, input := splitCommand(rest)
-			wait, err := ds.SetCell(current, addr, input)
+			wait, err := db.SetCell(current, addr, input)
 			if err != nil {
 				fmt.Println("error:", err)
 			} else {
@@ -85,19 +87,19 @@ func main() {
 				fmt.Println("ok")
 			}
 		case "get":
-			v, err := ds.Get(current, rest)
+			v, err := db.Get(current, rest)
 			if err != nil {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Println(v.String())
 			}
 		case "show":
-			var vals [][]sheet.Value
+			var vals [][]dataspread.Value
 			var err error
 			if rest == "" {
-				vals, err = ds.VisibleValues(current)
+				vals, err = db.VisibleValues(current)
 			} else {
-				vals, err = ds.GetRange(current, rest)
+				vals, err = db.GetRange(current, rest)
 			}
 			if err != nil {
 				fmt.Println("error:", err)
@@ -105,7 +107,7 @@ func main() {
 			}
 			printGrid(vals)
 		case "sql":
-			res, err := ds.Query(rest)
+			res, err := db.Exec(ctx, rest)
 			if err != nil {
 				fmt.Println("error:", err)
 				break
@@ -120,40 +122,40 @@ func main() {
 					fmt.Println(strings.Join(parts, "\t"))
 				}
 			} else {
-				fmt.Printf("ok (%d rows affected)\n", res.Affected)
+				fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
 			}
 		case "export":
 			rng, table := splitCommand(rest)
-			if _, err := ds.CreateTableFromRange(current, rng, table, core.ExportOptions{}); err != nil {
+			if err := db.ExportRange(current, rng, table, dataspread.ExportOptions{}); err != nil {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Printf("created table %s from %s\n", table, rng)
 			}
 		case "import":
 			addr, table := splitCommand(rest)
-			if _, err := ds.ImportTable(current, addr, table); err != nil {
+			if err := db.ImportTable(current, addr, table); err != nil {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Printf("bound table %s at %s\n", table, addr)
 			}
 		case "scroll":
-			if err := ds.ScrollTo(current, rest); err != nil {
+			if err := db.ScrollTo(current, rest); err != nil {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Println("ok")
 			}
 		case "sheet":
 			if rest == "" {
-				fmt.Println(strings.Join(ds.Book().SheetNames(), ", "))
+				fmt.Println(strings.Join(db.SheetNames(), ", "))
 				break
 			}
-			if _, err := ds.AddSheet(rest); err != nil {
+			if err := db.AddSheet(rest); err != nil {
 				fmt.Println("error:", err)
 				break
 			}
 			current = rest
 		case "tables":
-			for _, t := range ds.DB().Tables() {
+			for _, t := range db.Tables() {
 				cols := make([]string, len(t.Columns))
 				for i, c := range t.Columns {
 					cols[i] = fmt.Sprintf("%s %s", c.Name, c.Type)
@@ -176,7 +178,7 @@ func splitCommand(s string) (string, string) {
 	return s[:i], strings.TrimSpace(s[i:])
 }
 
-func printGrid(vals [][]sheet.Value) {
+func printGrid(vals [][]dataspread.Value) {
 	for _, row := range vals {
 		empty := true
 		parts := make([]string, len(row))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"github.com/dataspread/dataspread/internal/core"
 	"github.com/dataspread/dataspread/internal/datagen"
 	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/sqlexec"
 	"github.com/dataspread/dataspread/internal/storage/pager"
 )
 
@@ -60,9 +62,9 @@ func runNums(fn func(b *testing.B)) benchNums {
 
 func writeBenchJSON(path string) {
 	report := benchReport{
-		PR:            4,
-		Title:         "Durable-by-default storage: page-rooted tables, background shadow-paged checkpoints, mmap read path",
-		GeneratedBy:   "cmd/dsbench -json (backend pairs: baseline = FileStore pread, after = MmapStore)",
+		PR:            5,
+		Title:         "Public embeddable API: parameterized prepared statements, streaming rows, context cancellation, database/sql driver",
+		GeneratedBy:   "cmd/dsbench -json (PreparedVsText*: baseline = fresh literal SQL text per call, after = one prepared '?' statement; MmapVsFile*: baseline = FileStore pread, after = MmapStore)",
 		MmapSupported: pager.MmapSupported,
 	}
 	add := func(name string, baseline *benchNums, after benchNums) {
@@ -79,6 +81,19 @@ func writeBenchJSON(path string) {
 				name, after.NsPerOp, after.BytesPerOp, after.AllocsPerOp)
 		}
 	}
+
+	// Prepared-vs-text point queries (PR 5): the same 50k-row pk point
+	// lookup driven as (a) a fresh literal SQL text per call — every call a
+	// plan-cache miss that re-lexes, re-parses and re-analyzes — versus (b)
+	// one prepared `WHERE id = ?` statement whose plan-cache entry is hit on
+	// every execution and whose pk point access path binds its key from the
+	// per-execution argument. The streaming variant additionally returns
+	// rows through the public iterator instead of materialising.
+	textPoint := runNums(benchPointQuery(modeText))
+	preparedPoint := runNums(benchPointQuery(modePrepared))
+	add("PreparedVsTextPointQuery", &textPoint, preparedPoint)
+	preparedStream := runNums(benchPointQuery(modePreparedStream))
+	add("PreparedVsTextPointQueryStream", &textPoint, preparedStream)
 
 	// FileStore-vs-MmapStore pairs over the PR 3 scan/point workloads.
 	backendPairs := []struct {
@@ -147,6 +162,85 @@ func writeBenchJSON(path string) {
 }
 
 func round2(f float64) float64 { return float64(int(f*100+0.5)) / 100 }
+
+// pointQueryMode selects how benchPointQuery drives the lookup.
+type pointQueryMode int
+
+const (
+	modeText pointQueryMode = iota
+	modePrepared
+	modePreparedStream
+)
+
+// benchPointQuery times a pk point lookup over a 50k-row in-memory table,
+// with a different key every iteration (the workload the plan cache's text
+// keying punishes: each literal text is new, so the text mode re-plans every
+// call while the prepared mode binds fresh arguments into one cached plan).
+func benchPointQuery(mode pointQueryMode) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds := core.New(core.Options{})
+		defer ds.Close()
+		if _, err := ds.Query("CREATE TABLE big (id INT PRIMARY KEY, v NUMERIC)"); err != nil {
+			b.Fatal(err)
+		}
+		const n = 50000
+		for i := 0; i < n; i++ {
+			if _, err := ds.DB().Insert("big", []sheet.Value{
+				sheet.Number(float64(i)), sheet.Number(float64(i) * 2),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ctx := context.Background()
+		conn := ds.NewConn()
+		var p *sqlexec.Prepared
+		if mode != modeText {
+			var err error
+			if p, err = conn.Prepare("SELECT v FROM big WHERE id = ?"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := (i * 7919) % n
+			switch mode {
+			case modeText:
+				res, err := conn.QueryContext(ctx, fmt.Sprintf("SELECT v FROM big WHERE id = %d", id))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != 1 {
+					b.Fatalf("got %d rows", len(res.Rows))
+				}
+			case modePrepared:
+				res, err := conn.ExecutePrepared(ctx, p, sheet.Number(float64(id)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != 1 {
+					b.Fatalf("got %d rows", len(res.Rows))
+				}
+			case modePreparedStream:
+				rows, err := conn.StreamPrepared(ctx, p, sheet.Number(float64(id)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				got := 0
+				for rows.Next() {
+					got++
+				}
+				if err := rows.Err(); err != nil {
+					b.Fatal(err)
+				}
+				rows.Close()
+				if got != 1 {
+					b.Fatalf("streamed %d rows", got)
+				}
+			}
+		}
+	}
+}
 
 // benchBackendQuery builds a durable 20k-row workbook over the chosen page
 // backend with a small buffer pool (64 pages), checkpoints it so the table

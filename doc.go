@@ -1,24 +1,47 @@
-// Package dataspread is the repository root of a from-scratch Go
-// reproduction of "DataSpread: Unifying Databases and Spreadsheets"
-// (Bendre et al., PVLDB 8(12), VLDB 2015 demo).
+// Package dataspread is an embeddable Go reproduction of "DataSpread:
+// Unifying Databases and Spreadsheets" (Bendre et al., PVLDB 8(12), VLDB
+// 2015 demo): a spreadsheet engine that is a database. This package is the
+// public API; the implementation lives under internal/ (see DESIGN.md for
+// the module map), runnable examples are under examples/, and a
+// database/sql driver is in the driver subpackage.
 //
-// The implementation lives under internal/ (see DESIGN.md for the module
-// map); runnable examples are under examples/, the experiment harness is
-// cmd/dsbench, and bench_test.go in this package holds one benchmark per
-// reproduced figure/claim (see EXPERIMENTS.md).
+// # Opening a workbook
 //
-// Storage is durable by default for -file workbooks: internal/storage/pager
-// exposes a Backend interface with an in-memory block-count model (Store), a
-// single-file 4KiB-page heap (FileStore) and a memory-mapped read variant
-// (MmapStore, -mmap) behind the same BufferPool; table and index pages live
-// in the workbook file itself, registered in a page-zero catalog of
-// CRC-protected ping-pong root slots, so reopening attaches to existing
-// pages instead of replaying DML history. internal/txn serializes committed
-// records to an append-only, CRC-framed write-ahead log with group commit,
-// and a background goroutine checkpoints off the write path with
-// shadow-paged writes — a crash mid-checkpoint can never tear the snapshot
-// (DESIGN.md §Durability). The cmd/dataspread shell takes -file [-mmap] to
-// run against a workbook file.
+//	db := dataspread.New(dataspread.Options{})                    // in-memory
+//	db, err := dataspread.OpenFile("wb.ds", dataspread.Options{}) // durable
+//	defer db.Close()
+//
+// File-backed workbooks are durable by default: table and index pages live
+// in a single-file page heap behind a page-zero catalog of CRC-protected
+// ping-pong root slots, every mutating command is appended to a CRC-framed
+// write-ahead log before it returns, and a background goroutine checkpoints
+// off the write path with shadow-paged writes, so recovery attaches to
+// existing pages and replays only the dirty WAL tail (DESIGN.md
+// §Durability). A workbook file admits a single writing process
+// (ErrConflict otherwise).
+//
+// # SQL: prepared statements, streaming rows, cancellation
+//
+// Statements use '?' placeholders. A statement is parsed and analyzed once
+// (a shared plan cache keyed by text, invalidated by schema changes) and
+// bound per execution — including its index access paths, so a prepared
+// `WHERE id = ?` keeps the primary-key point lookup with every fresh
+// argument:
+//
+//	stmt, err := db.Prepare("SELECT title FROM movies WHERE year > ?")
+//	rows, err := stmt.Query(ctx, 1990) // rows stream as the scan produces them
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var title string
+//	    if err := rows.Scan(&title); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// The context is polled at scan/join/sort batch boundaries: cancelling a
+// query mid-scan returns promptly with context.Canceled. Connections
+// (DB.Conn) give each goroutine its own session and explicit-transaction
+// state (BEGIN/COMMIT/ROLLBACK). Failures wrap a small sentinel taxonomy —
+// ErrTableNotFound, ErrUniqueViolation, ErrParamCount, … — for errors.Is.
 //
 // Queries choose their access paths: point, range and IN-list WHERE
 // conjuncts on NUMERIC columns ride the primary-key B+-tree or a secondary
@@ -31,5 +54,27 @@
 //	EXPLAIN SELECT title FROM movies WHERE year > 1990;
 //
 // with EXPLAIN reporting the chosen path per FROM source (DESIGN.md
-// §Access Paths & Indexes).
+// §Access Paths & Indexes); EXPLAIN of a parameterized statement executed
+// with arguments shows the paths those arguments take.
+//
+// # The spreadsheet surface
+//
+// The same DB is a workbook. SetCell enters literals and formulas exactly
+// as typing into the grid — including the paper's DBSQL("...") formulas,
+// whose SQL may read sheet data positionally through RANGEVALUE(cell) and
+// RANGETABLE(range) and whose results spill into the sheet — ExportRange
+// turns a sheet region into a relational table (schema inferred), and
+// ImportTable binds a table to a region with two-way sync and
+// fetch-on-demand windowing for large tables.
+//
+// # database/sql
+//
+// Programs that want none of the above can use the standard interfaces:
+//
+//	import _ "github.com/dataspread/dataspread/driver"
+//
+//	sqlDB, err := sql.Open("dataspread", "workbook.ds")
+//
+// The exported surface of this package and driver is golden-checked by
+// `make apicheck` (api/public.txt).
 package dataspread

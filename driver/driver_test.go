@@ -1,0 +1,200 @@
+package driver
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"github.com/dataspread/dataspread"
+)
+
+func openMem(t *testing.T) *sql.DB {
+	t.Helper()
+	db, err := sql.Open("dataspread", ":memory:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestDriverRoundTrip(t *testing.T) {
+	db := openMem(t)
+	ctx := context.Background()
+
+	if _, err := db.ExecContext(ctx, "CREATE TABLE movies (id INT PRIMARY KEY, title TEXT, year INT)"); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.PrepareContext(ctx, "INSERT INTO movies VALUES (?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := ins.ExecContext(ctx, i, fmt.Sprintf("movie-%d", i), 1950+i%70); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rows, err := db.QueryContext(ctx, "SELECT id, title FROM movies WHERE year > ? ORDER BY id LIMIT 5", 2014)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		var id int64
+		var title string
+		if err := rows.Scan(&id, &title); err != nil {
+			t.Fatal(err)
+		}
+		if title != fmt.Sprintf("movie-%d", id) {
+			t.Fatalf("row mismatch: %d %q", id, title)
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("got %d rows, want 5", n)
+	}
+
+	// Single-row convenience and NULL handling.
+	var title sql.NullString
+	err = db.QueryRowContext(ctx, "SELECT title FROM movies WHERE id = ?", 42).Scan(&title)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !title.Valid || title.String != "movie-42" {
+		t.Fatalf("QueryRow got %+v", title)
+	}
+	var count float64
+	if err := db.QueryRowContext(ctx, "SELECT COUNT(*) FROM movies").Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("COUNT(*) = %v, want 100", count)
+	}
+
+	// The error taxonomy flows through database/sql.
+	if _, err := db.ExecContext(ctx, "INSERT INTO movies VALUES (42, 'dup', 2000)"); !errors.Is(err, dataspread.ErrUniqueViolation) {
+		t.Fatalf("want ErrUniqueViolation, got %v", err)
+	}
+}
+
+func TestDriverTransactions(t *testing.T) {
+	db := openMem(t)
+	ctx := context.Background()
+	// Explicit transactions pin one engine session; cap the pool so the tx
+	// connection is the one reused.
+	db.SetMaxOpenConns(1)
+
+	if _, err := db.ExecContext(ctx, "CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.BeginTx(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.ExecContext(ctx, "INSERT INTO t VALUES (?)", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var n float64
+	if err := db.QueryRowContext(ctx, "SELECT COUNT(*) FROM t").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("rolled-back insert visible: count=%v", n)
+	}
+
+	tx, err = db.BeginTx(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.ExecContext(ctx, "INSERT INTO t VALUES (?)", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QueryRowContext(ctx, "SELECT COUNT(*) FROM t").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("committed insert missing: count=%v", n)
+	}
+}
+
+func TestDriverFileDSN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wb.ds")
+	ctx := context.Background()
+
+	db, err := sql.Open("dataspread", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(ctx, "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(ctx, "INSERT INTO kv VALUES (?, ?)", 1, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the workbook recovered durably.
+	db2, err := sql.Open("dataspread", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	var v string
+	if err := db2.QueryRowContext(ctx, "SELECT v FROM kv WHERE k = ?", 1).Scan(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v != "alpha" {
+		t.Fatalf("recovered v = %q, want alpha", v)
+	}
+}
+
+func TestDriverContextCancellation(t *testing.T) {
+	db := openMem(t)
+	ctx := context.Background()
+	if _, err := db.ExecContext(ctx, "CREATE TABLE big (id INT PRIMARY KEY, s TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.PrepareContext(ctx, "INSERT INTO big VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20_000; i++ {
+		if _, err := ins.ExecContext(ctx, i, "payload"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins.Close()
+
+	cctx, cancel := context.WithCancel(ctx)
+	rows, err := db.QueryContext(cctx, "SELECT id FROM big WHERE s LIKE '%pay%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatal("expected a first row")
+	}
+	cancel()
+	for rows.Next() {
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,46 @@
+package dataspread
+
+import "github.com/dataspread/dataspread/internal/dberr"
+
+// The error taxonomy. Every failure the engine raises wraps one of these
+// sentinels, so embedders branch with errors.Is instead of matching message
+// strings:
+//
+//	if _, err := db.Exec(ctx, "INSERT ...", id); errors.Is(err, dataspread.ErrUniqueViolation) {
+//	    // handle the duplicate
+//	}
+//
+// Cancellation surfaces as the standard context errors (context.Canceled,
+// context.DeadlineExceeded), never as an engine-specific value.
+var (
+	// ErrTableNotFound: a statement referenced an unknown table.
+	ErrTableNotFound = dberr.ErrTableNotFound
+	// ErrTableExists: CREATE TABLE without IF NOT EXISTS hit an existing
+	// table.
+	ErrTableExists = dberr.ErrTableExists
+	// ErrColumnNotFound: a statement referenced an unknown column.
+	ErrColumnNotFound = dberr.ErrColumnNotFound
+	// ErrIndexNotFound: DROP INDEX without IF EXISTS hit a missing index.
+	ErrIndexNotFound = dberr.ErrIndexNotFound
+	// ErrIndexExists: CREATE INDEX without IF NOT EXISTS hit an existing
+	// index.
+	ErrIndexExists = dberr.ErrIndexExists
+	// ErrUniqueViolation: a duplicate primary key or UNIQUE index value.
+	ErrUniqueViolation = dberr.ErrUniqueViolation
+	// ErrNotNullViolation: a NULL value for a NOT NULL column.
+	ErrNotNullViolation = dberr.ErrNotNullViolation
+	// ErrTypeMismatch: a value that cannot be coerced to its column type.
+	ErrTypeMismatch = dberr.ErrTypeMismatch
+	// ErrConflict: the operation lost to conflicting state — e.g. opening a
+	// workbook file another process holds.
+	ErrConflict = dberr.ErrConflict
+	// ErrTxOpen: BEGIN inside an already-open explicit transaction.
+	ErrTxOpen = dberr.ErrTxOpen
+	// ErrNoTx: COMMIT or ROLLBACK without an open transaction.
+	ErrNoTx = dberr.ErrNoTx
+	// ErrParamCount: the bound arguments do not match the statement's '?'
+	// placeholders.
+	ErrParamCount = dberr.ErrParamCount
+	// ErrClosed: use of a closed database, statement or row set.
+	ErrClosed = dberr.ErrClosed
+)

@@ -1,51 +1,60 @@
-// Command gradebook reproduces the paper's introductory scenario: a course
-// gradebook sheet and a demographics sheet, analysed with SQL instead of
-// manual copy-paste — selecting students with a score above 90 in any
-// assignment, and joining the two sheets to average grades per demographic
-// group.
+// Command gradebook reproduces the paper's introductory scenario on the
+// public API: a course gradebook sheet and a demographics sheet, analysed
+// with SQL instead of manual copy-paste — selecting students with a score
+// above 90 in any assignment, and joining the two sheets to average grades
+// per demographic group.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"github.com/dataspread/dataspread/internal/core"
-	"github.com/dataspread/dataspread/internal/datagen"
-	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread"
 )
 
 const students = 500
 
 func main() {
-	ds := core.New(core.Options{})
+	ctx := context.Background()
+	db := dataspread.New(dataspread.Options{})
+	defer db.Close()
 
-	// Gradebook on Sheet1 (header + 500 students x 5 assignments + grade).
-	grades := datagen.Gradebook(students, 5, 1)
-	loadMatrix(ds, "Sheet1", grades)
-
-	// Demographics on a second sheet.
-	ds.AddSheet("Demo")
-	demo := datagen.Demographics(students, 2)
-	loadMatrix(ds, "Demo", demo)
+	// Gradebook on Sheet1 (header + 500 students x 5 assignments + grade),
+	// demographics on a second sheet. Both are plain sheet data.
+	rng := newRand(1)
+	if err := db.SetValues("Sheet1", "A1", gradebook(rng)); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddSheet("Demo"); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.SetValues("Demo", "A1", demographics(rng)); err != nil {
+		log.Fatal(err)
+	}
 
 	gradeRange := fmt.Sprintf("A1:G%d", students+1)
 	demoRange := fmt.Sprintf("Demo!A1:C%d", students+1)
 
-	// Motivating operation 1: students with > 90 in at least one assignment.
-	res, err := ds.Query(fmt.Sprintf(
-		"SELECT student, a1, a2, a3, a4, a5 FROM RANGETABLE(%s) WHERE a1 > 90 OR a2 > 90 OR a3 > 90 OR a4 > 90 OR a5 > 90 ORDER BY student LIMIT 5",
-		gradeRange))
+	// Motivating operation 1: students with > 90 in at least one
+	// assignment. The threshold is a statement parameter.
+	q := fmt.Sprintf(
+		"SELECT student, a1, a2, a3, a4, a5 FROM RANGETABLE(%s) WHERE a1 > ? OR a2 > ? OR a3 > ? OR a4 > ? OR a5 > ? ORDER BY student LIMIT 5",
+		gradeRange)
+	rows, err := db.Query(ctx, q, 90, 90, 90, 90, 90)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("students with a score > 90 in some assignment (%d shown):\n", len(res.Rows))
-	for _, row := range res.Rows {
-		fmt.Printf("  %v  %v %v %v %v %v\n", row[0], row[1], row[2], row[3], row[4], row[5])
+	fmt.Println("students with a score > 90 in some assignment (5 shown):")
+	for rows.Next() {
+		r := rows.Values()
+		fmt.Printf("  %v  %v %v %v %v %v\n", r[0], r[1], r[2], r[3], r[4], r[5])
 	}
+	rows.Close()
 
 	// Motivating operation 2: average grade by demographic group (a join of
 	// the two sheets plus GROUP BY — no VLOOKUP gymnastics required).
-	res, err = ds.Query(fmt.Sprintf(
+	res, err := db.Exec(ctx, fmt.Sprintf(
 		"SELECT grp, COUNT(*) AS n, ROUND(AVG(grade), 2) AS avg_grade FROM RANGETABLE(%s) NATURAL JOIN RANGETABLE(%s) GROUP BY grp ORDER BY avg_grade DESC",
 		gradeRange, demoRange))
 	if err != nil {
@@ -56,31 +65,78 @@ func main() {
 		fmt.Printf("  %-4v n=%-4v avg=%v\n", row[0], row[1], row[2])
 	}
 
-	// Motivating operation 3: the course software keeps appending actions to
-	// a relational table; binding it with DBTABLE keeps the sheet current.
-	if _, err := ds.Query("CREATE TABLE actions (id INT PRIMARY KEY, student TEXT, action TEXT)"); err != nil {
+	// Motivating operation 3: the course software keeps appending actions
+	// to a relational table; binding it with DBTABLE keeps the sheet
+	// current. Appends run through one prepared statement.
+	if _, err := db.Exec(ctx, "CREATE TABLE actions (id INT PRIMARY KEY, student TEXT, action TEXT)"); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := ds.ImportTable("Sheet1", "J1", "actions"); err != nil {
+	if err := db.ImportTable("Sheet1", "J1", "actions"); err != nil {
+		log.Fatal(err)
+	}
+	ins, err := db.Prepare("INSERT INTO actions VALUES (?, ?, ?)")
+	if err != nil {
 		log.Fatal(err)
 	}
 	for i := 1; i <= 3; i++ {
-		if _, err := ds.Query(fmt.Sprintf("INSERT INTO actions VALUES (%d, 's%06d', 'submitted hw%d')", i, i, i)); err != nil {
+		if _, err := ins.Exec(ctx, i, fmt.Sprintf("s%06d", i), fmt.Sprintf("submitted hw%d", i)); err != nil {
 			log.Fatal(err)
 		}
 	}
-	ds.Wait()
+	db.Wait()
 	fmt.Println("\nlive-bound actions table (J1:L4):")
-	vals, _ := ds.GetRange("Sheet1", "J1:L4")
+	vals, _ := db.GetRange("Sheet1", "J1:L4")
 	for _, row := range vals {
 		fmt.Printf("  %-4v %-10v %v\n", row[0], row[1], row[2])
 	}
 }
 
-func loadMatrix(ds *core.DataSpread, sheetName string, rows [][]sheet.Value) {
-	sh, ok := ds.Book().Sheet(sheetName)
-	if !ok {
-		log.Fatalf("no sheet %s", sheetName)
+// --- tiny deterministic data generator (no imports beyond the public API) ---
+
+type lcg struct{ state uint64 }
+
+func newRand(seed uint64) *lcg { return &lcg{state: seed*6364136223846793005 + 1442695040888963407} }
+
+func (r *lcg) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 16
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// gradebook builds header + per-student rows: student, a1..a5, grade.
+func gradebook(r *lcg) [][]dataspread.Value {
+	rows := [][]dataspread.Value{{
+		dataspread.Text("student"), dataspread.Text("a1"), dataspread.Text("a2"),
+		dataspread.Text("a3"), dataspread.Text("a4"), dataspread.Text("a5"),
+		dataspread.Text("grade"),
+	}}
+	for i := 0; i < students; i++ {
+		row := []dataspread.Value{dataspread.Text(fmt.Sprintf("s%06d", i+1))}
+		sum := 0
+		for a := 0; a < 5; a++ {
+			score := 40 + r.intn(61)
+			sum += score
+			row = append(row, dataspread.Number(float64(score)))
+		}
+		row = append(row, dataspread.Number(float64(sum)/5))
+		rows = append(rows, row)
 	}
-	sh.SetValues(sheet.Addr(0, 0), rows)
+	return rows
+}
+
+// demographics builds header + per-student rows: student, grp, age.
+func demographics(r *lcg) [][]dataspread.Value {
+	rows := [][]dataspread.Value{{
+		dataspread.Text("student"), dataspread.Text("grp"), dataspread.Text("age"),
+	}}
+	groups := []string{"A", "B", "C", "D"}
+	for i := 0; i < students; i++ {
+		rows = append(rows, []dataspread.Value{
+			dataspread.Text(fmt.Sprintf("s%06d", i+1)),
+			dataspread.Text(groups[r.intn(len(groups))]),
+			dataspread.Number(float64(18 + r.intn(10))),
+		})
+	}
+	return rows
 }

@@ -1,59 +1,123 @@
-// Command movies reproduces the paper's Figure 2a demonstration: a DBSQL
-// spreadsheet formula whose SQL joins three relational tables (MOVIES,
-// MOVIES2ACTORS, ACTORS) and filters them by parameters held in spreadsheet
-// cells through RANGEVALUE. The result spills into a range of cells, and
-// editing the parameter cells re-runs the query.
+// Command movies reproduces the paper's Figure 2a demonstration on the
+// public API: a DBSQL spreadsheet formula whose SQL joins three relational
+// tables (MOVIES, MOVIES2ACTORS, ACTORS) and filters them by parameters held
+// in spreadsheet cells through RANGEVALUE. The result spills into a range of
+// cells, and editing the parameter cells re-runs the query. The same query
+// also runs as a prepared statement with '?' parameters — the two parameter
+// mechanisms (positional cells for spreadsheet users, placeholders for
+// programs) share one plan.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"github.com/dataspread/dataspread/internal/core"
-	"github.com/dataspread/dataspread/internal/datagen"
-	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread"
 )
 
 func main() {
-	ds := core.New(core.Options{})
+	ctx := context.Background()
+	db := dataspread.New(dataspread.Options{})
+	defer db.Close()
 
-	// Load a synthetic IMDB-style dataset into the database.
-	movies := datagen.MoviesDataset(2000, 5, 42)
-	if _, err := ds.QueryScript(`
+	// Load a synthetic IMDB-style dataset through prepared inserts.
+	if _, err := db.QueryScript(`
 		CREATE TABLE movies (movieid INT PRIMARY KEY, title TEXT, year INT);
 		CREATE TABLE actors (actorid INT PRIMARY KEY, name TEXT);
 		CREATE TABLE movies2actors (movieid INT, actorid INT);
 	`); err != nil {
 		log.Fatal(err)
 	}
-	bulkInsert(ds, "movies", movies.Movies)
-	bulkInsert(ds, "actors", movies.Actors)
-	bulkInsert(ds, "movies2actors", movies.Movies2Actors)
-	fmt.Printf("loaded %d movies, %d actors, %d credits\n",
-		len(movies.Movies), len(movies.Actors), len(movies.Movies2Actors))
+	const (
+		nMovies        = 2000
+		actorsPerMovie = 5
+	)
+	r := newRand(42)
+	nActors := loadDataset(ctx, db, r, nMovies, actorsPerMovie)
+	credits := nMovies * actorsPerMovie
+	fmt.Printf("loaded %d movies, %d actors, %d credits\n", nMovies, nActors, credits)
 
 	// The user keeps the query parameters in B1 (actor id) and B2 (year).
-	must(ds.SetCell("Sheet1", "A1", "actor id:"))
-	must(ds.SetCell("Sheet1", "B1", "7"))
-	must(ds.SetCell("Sheet1", "A2", "after year:"))
-	must(ds.SetCell("Sheet1", "B2", "1980"))
+	must(db.SetCell("Sheet1", "A1", "actor id:"))
+	must(db.SetCell("Sheet1", "B1", "7"))
+	must(db.SetCell("Sheet1", "A2", "after year:"))
+	must(db.SetCell("Sheet1", "B2", "1980"))
 
 	// The DBSQL formula in B3 — its output spans B3:C… (header + rows),
 	// computed collectively in a single pass.
-	must(ds.SetCell("Sheet1", "B3", `=DBSQL("SELECT title, year FROM movies NATURAL JOIN movies2actors NATURAL JOIN actors WHERE actorid = RANGEVALUE(B1) AND year > RANGEVALUE(B2) ORDER BY year LIMIT 8")`))
-	printResult(ds, "filmography of actor 7 after 1980")
+	must(db.SetCell("Sheet1", "B3", `=DBSQL("SELECT title, year FROM movies NATURAL JOIN movies2actors NATURAL JOIN actors WHERE actorid = RANGEVALUE(B1) AND year > RANGEVALUE(B2) ORDER BY year LIMIT 8")`))
+	printSpill(db, "filmography of actor 7 after 1980")
 
 	// Changing the referenced cells re-runs the query and refreshes the
 	// spilled range — positional addressing in action.
-	must(ds.SetCell("Sheet1", "B1", "11"))
-	must(ds.SetCell("Sheet1", "B2", "1960"))
-	ds.Wait()
-	printResult(ds, "after editing B1/B2 (actor 11, year > 1960)")
+	must(db.SetCell("Sheet1", "B1", "11"))
+	must(db.SetCell("Sheet1", "B2", "1960"))
+	db.Wait()
+	printSpill(db, "after editing B1/B2 (actor 11, year > 1960)")
+
+	// The program-facing twin: the same query as a prepared statement,
+	// parameterized with '?' instead of cells, streamed instead of spilled.
+	stmt, err := db.Prepare("SELECT title, year FROM movies NATURAL JOIN movies2actors NATURAL JOIN actors WHERE actorid = ? AND year > ? ORDER BY year LIMIT 8")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, params := range [][2]int{{7, 1980}, {11, 1960}} {
+		rows, err := stmt.Query(ctx, params[0], params[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nprepared query (actor %d, year > %d):\n", params[0], params[1])
+		for rows.Next() {
+			var title string
+			var year int
+			if err := rows.Scan(&title, &year); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-16s %d\n", title, year)
+		}
+		rows.Close()
+	}
 }
 
-func printResult(ds *core.DataSpread, label string) {
+// loadDataset inserts the synthetic movie catalog and returns the actor
+// count. Everything goes through prepared statements — one plan per table.
+func loadDataset(ctx context.Context, db *dataspread.DB, r *lcg, nMovies, actorsPerMovie int) int {
+	nActors := nMovies / 2
+	insMovie := mustPrepare(db, "INSERT INTO movies VALUES (?, ?, ?)")
+	insActor := mustPrepare(db, "INSERT INTO actors VALUES (?, ?)")
+	insCredit := mustPrepare(db, "INSERT INTO movies2actors VALUES (?, ?)")
+	for i := 0; i < nMovies; i++ {
+		if _, err := insMovie.Exec(ctx, i, fmt.Sprintf("movie-%04d", i), 1950+r.intn(70)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < nActors; i++ {
+		if _, err := insActor.Exec(ctx, i, fmt.Sprintf("actor-%04d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < nMovies; i++ {
+		for a := 0; a < actorsPerMovie; a++ {
+			if _, err := insCredit.Exec(ctx, i, r.intn(nActors)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	return nActors
+}
+
+func mustPrepare(db *dataspread.DB, sql string) *dataspread.Stmt {
+	s, err := db.Prepare(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func printSpill(db *dataspread.DB, label string) {
 	fmt.Println("\n" + label + ":")
-	vals, _ := ds.GetRange("Sheet1", "B3:C12")
+	vals, _ := db.GetRange("Sheet1", "B3:C12")
 	for _, row := range vals {
 		if row[0].IsEmpty() {
 			continue
@@ -62,13 +126,16 @@ func printResult(ds *core.DataSpread, label string) {
 	}
 }
 
-func bulkInsert(ds *core.DataSpread, table string, rows [][]sheet.Value) {
-	for _, row := range rows {
-		if _, err := ds.DB().Insert(table, row); err != nil {
-			log.Fatalf("insert into %s: %v", table, err)
-		}
-	}
+type lcg struct{ state uint64 }
+
+func newRand(seed uint64) *lcg { return &lcg{state: seed*6364136223846793005 + 1442695040888963407} }
+
+func (r *lcg) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 16
 }
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint64(n)) }
 
 func must(wait func(), err error) {
 	if err != nil {

@@ -1,24 +1,31 @@
-// Command quickstart is the smallest end-to-end tour of DataSpread: create a
-// workbook, enter values and formulas, run SQL over sheet data, export a
-// range as a relational table, and watch two-way sync keep everything
-// consistent.
+// Command quickstart is the smallest end-to-end tour of DataSpread through
+// its public API: create a workbook, enter values and formulas, run SQL over
+// sheet data, export a range as a relational table, watch two-way sync keep
+// everything consistent — then drive the same engine through prepared
+// statements, streaming rows and plain database/sql.
 package main
 
 import (
+	"context"
+	"database/sql"
+	"errors"
 	"fmt"
 	"log"
 
-	"github.com/dataspread/dataspread/internal/core"
+	"github.com/dataspread/dataspread"
+	_ "github.com/dataspread/dataspread/driver"
 )
 
 func main() {
-	ds := core.New(core.Options{})
+	ctx := context.Background()
+	db := dataspread.New(dataspread.Options{})
+	defer db.Close()
 
 	// 1. Ordinary spreadsheet editing: literals and formulas.
-	must(ds.SetCell("Sheet1", "A1", "10"))
-	must(ds.SetCell("Sheet1", "A2", "32"))
-	must(ds.SetCell("Sheet1", "A3", "=A1+A2"))
-	v, _ := ds.Get("Sheet1", "A3")
+	must(db.SetCell("Sheet1", "A1", "10"))
+	must(db.SetCell("Sheet1", "A2", "32"))
+	must(db.SetCell("Sheet1", "A3", "=A1+A2"))
+	v, _ := db.Get("Sheet1", "A3")
 	fmt.Println("A3 = A1+A2 =", v)
 
 	// 2. Lay out a small table on the sheet and export it to the database
@@ -31,38 +38,75 @@ func main() {
 	}
 	for r, row := range data {
 		for c, cell := range row {
-			must(ds.SetCell("Sheet1", fmt.Sprintf("%c%d", 'C'+c, r+1), cell))
+			must(db.SetCell("Sheet1", fmt.Sprintf("%c%d", 'C'+c, r+1), cell))
 		}
 	}
-	if _, err := ds.CreateTableFromRange("Sheet1", "C1:E4", "inventory", core.ExportOptions{PrimaryKey: []string{"id"}}); err != nil {
+	if err := db.ExportRange("Sheet1", "C1:E4", "inventory", dataspread.ExportOptions{PrimaryKey: []string{"id"}}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("exported C1:E4 as table `inventory`")
 
-	// 3. Arbitrary SQL over the database and the sheet together.
-	res, err := ds.Query("SELECT item, qty FROM inventory WHERE qty >= RANGEVALUE(A1) * 5 ORDER BY qty DESC")
+	// 3. Parameterized SQL over the database and the sheet together,
+	//    streamed row by row. The statement plans once; '?' binds here.
+	rows, err := db.Query(ctx,
+		"SELECT item, qty FROM inventory WHERE qty >= RANGEVALUE(A1) * ? ORDER BY qty DESC", 5)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("items with qty >= 5*A1:")
-	for _, row := range res.Rows {
-		fmt.Printf("  %-8s %v\n", row[0], row[1])
+	for rows.Next() {
+		var item string
+		var qty float64
+		if err := rows.Scan(&item, &qty); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %v\n", item, qty)
 	}
+	rows.Close()
 
 	// 4. A DBSQL formula spills a live query result into the sheet.
-	must(ds.SetCell("Sheet1", "G1", `=DBSQL("SELECT SUM(qty) AS total FROM inventory")`))
-	total, _ := ds.Get("Sheet1", "G2")
+	must(db.SetCell("Sheet1", "G1", `=DBSQL("SELECT SUM(qty) AS total FROM inventory")`))
+	total, _ := db.Get("Sheet1", "G2")
 	fmt.Println("DBSQL total =", total)
 
 	// 5. Two-way sync (paper Figure 2c): editing the bound region updates
 	//    the database, and the DBSQL summary refreshes.
-	must(ds.SetCell("Sheet1", "E2", "150")) // bolt qty: 100 -> 150
-	ds.Wait()
-	total, _ = ds.Get("Sheet1", "G2")
+	must(db.SetCell("Sheet1", "E2", "150")) // bolt qty: 100 -> 150
+	db.Wait()
+	total, _ = db.Get("Sheet1", "G2")
 	fmt.Println("after editing the bound cell, total =", total)
 
-	res, _ = ds.Query("SELECT qty FROM inventory WHERE id = 1")
-	fmt.Println("database sees qty =", res.Rows[0][0])
+	var qty float64
+	r2, _ := db.Query(ctx, "SELECT qty FROM inventory WHERE id = ?", 1)
+	if r2.Next() {
+		_ = r2.Scan(&qty)
+	}
+	r2.Close()
+	fmt.Println("database sees qty =", qty)
+
+	// 6. Typed errors: branch on the taxonomy instead of message strings.
+	if _, err := db.Exec(ctx, "INSERT INTO inventory VALUES (?, ?, ?)", 1, "dup", 7); errors.Is(err, dataspread.ErrUniqueViolation) {
+		fmt.Println("duplicate insert rejected with ErrUniqueViolation")
+	}
+
+	// 7. The same engine through plain database/sql, for programs that
+	//    never need the spreadsheet surface.
+	sqlDB, err := sql.Open("dataspread", ":memory:")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sqlDB.Close()
+	if _, err := sqlDB.ExecContext(ctx, "CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sqlDB.ExecContext(ctx, "INSERT INTO kv VALUES (?, ?), (?, ?)", 1, "hello", 2, "world"); err != nil {
+		log.Fatal(err)
+	}
+	var word string
+	if err := sqlDB.QueryRowContext(ctx, "SELECT v FROM kv WHERE k = ?", 2).Scan(&word); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("database/sql says:", word)
 }
 
 func must(wait func(), err error) {

@@ -1,69 +1,87 @@
 // Command sync reproduces the paper's Figure 2c demonstration (two-way table
-// sync) and its large-table windowing story: a DBTABLE-bound region is edited
-// on the sheet and the database follows; the database is updated with SQL and
-// the sheet follows; and a million-row table is browsed through a small
-// window that is fetched on demand while panning.
+// sync) and its large-table windowing story on the public API: a
+// DBTABLE-bound region is edited on the sheet and the database follows; the
+// database is updated with SQL and the sheet follows; and a 200k-row table —
+// bulk-loaded through one prepared statement — is browsed through a small
+// window that is fetched on demand while panning. A context with a timeout
+// guards the interactive queries.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"github.com/dataspread/dataspread/internal/core"
-	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread"
 )
 
 func main() {
-	ds := core.New(core.Options{WindowRows: 25, WindowCols: 8})
+	ctx := context.Background()
+	db := dataspread.New(dataspread.Options{WindowRows: 25, WindowCols: 8})
+	defer db.Close()
 
 	// --- Part 1: two-way sync on a small bound table (Figure 2c). ---
-	if _, err := ds.QueryScript(`
+	if _, err := db.QueryScript(`
 		CREATE TABLE budget (line INT PRIMARY KEY, category TEXT, amount NUMERIC);
 		INSERT INTO budget VALUES (1, 'travel', 1200), (2, 'equipment', 4000), (3, 'services', 800);
 	`); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := ds.ImportTable("Sheet1", "A3", "budget"); err != nil {
+	if err := db.ImportTable("Sheet1", "A3", "budget"); err != nil {
 		log.Fatal(err)
 	}
-	must(ds.SetCell("Sheet1", "A10", `=DBSQL("SELECT SUM(amount) AS total FROM budget")`))
-	printTotal(ds, "initial total")
+	must(db.SetCell("Sheet1", "A10", `=DBSQL("SELECT SUM(amount) AS total FROM budget")`))
+	printTotal(db, "initial total")
 
 	// Front-end edit: the user types a new amount into the bound region.
-	must(ds.SetCell("Sheet1", "C4", "1500")) // travel 1200 -> 1500
-	ds.Wait()
-	res, _ := ds.Query("SELECT amount FROM budget WHERE line = 1")
-	fmt.Println("database sees travel =", res.Rows[0][0])
-	printTotal(ds, "total after sheet edit")
-
-	// Back-end edit: a SQL UPDATE refreshes the bound cells.
-	if _, err := ds.Query("UPDATE budget SET amount = 5000 WHERE line = 2"); err != nil {
+	must(db.SetCell("Sheet1", "C4", "1500")) // travel 1200 -> 1500
+	db.Wait()
+	var amount float64
+	row, err := db.Query(ctx, "SELECT amount FROM budget WHERE line = ?", 1)
+	if err != nil {
 		log.Fatal(err)
 	}
-	ds.Wait()
-	v, _ := ds.Get("Sheet1", "C5")
+	if row.Next() {
+		_ = row.Scan(&amount)
+	}
+	row.Close()
+	fmt.Println("database sees travel =", amount)
+	printTotal(db, "total after sheet edit")
+
+	// Back-end edit: a parameterized SQL UPDATE refreshes the bound cells.
+	if _, err := db.Exec(ctx, "UPDATE budget SET amount = ? WHERE line = ?", 5000, 2); err != nil {
+		log.Fatal(err)
+	}
+	db.Wait()
+	v, _ := db.Get("Sheet1", "C5")
 	fmt.Println("sheet sees equipment =", v)
-	printTotal(ds, "total after SQL update")
+	printTotal(db, "total after SQL update")
 
 	// --- Part 2: browsing a large table through the window. ---
-	if _, err := ds.Query("CREATE TABLE readings (id INT PRIMARY KEY, sensor TEXT, value NUMERIC)"); err != nil {
+	if _, err := db.Exec(ctx, "CREATE TABLE readings (id INT PRIMARY KEY, sensor TEXT, value NUMERIC)"); err != nil {
 		log.Fatal(err)
 	}
 	const n = 200_000
-	fmt.Printf("\nloading %d rows into `readings`...\n", n)
+	fmt.Printf("\nloading %d rows into `readings` through one prepared statement...\n", n)
+	ins, err := db.Prepare("INSERT INTO readings VALUES (?, ?, ?)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	loadStart := time.Now()
 	for i := 0; i < n; i++ {
-		if _, err := ds.DB().Insert("readings", []sheet.Value{
-			sheet.Number(float64(i)),
-			sheet.String_(fmt.Sprintf("sensor%02d", i%37)),
-			sheet.Number(float64(i % 1000)),
-		}); err != nil {
+		if _, err := ins.Exec(ctx, i, fmt.Sprintf("sensor%02d", i%37), i%1000); err != nil {
 			log.Fatal(err)
 		}
 	}
-	ds.AddSheet("Readings")
+	fmt.Printf("loaded in %v (the INSERT planned once; %d executions bound fresh arguments)\n",
+		time.Since(loadStart), n)
+
+	if err := db.AddSheet("Readings"); err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
-	if _, err := ds.ImportTable("Readings", "A1", "readings"); err != nil {
+	if err := db.ImportTable("Readings", "A1", "readings"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("bound %d rows in %v (only the visible window is materialised)\n", n, time.Since(start))
@@ -71,19 +89,35 @@ func main() {
 	// Pan to a few places; each pan pulls just one window from the database.
 	for _, target := range []string{"A50000", "A125000", "A199000"} {
 		start = time.Now()
-		if err := ds.ScrollTo("Readings", target); err != nil {
+		if err := db.ScrollTo("Readings", target); err != nil {
 			log.Fatal(err)
 		}
-		vals, _ := ds.VisibleValues("Readings")
+		vals, _ := db.VisibleValues("Readings")
 		fmt.Printf("window at %-8s fetched in %-12v first visible row: id=%v sensor=%v value=%v\n",
 			target, time.Since(start), vals[0][0], vals[0][1], vals[0][2])
 	}
-	sh, _ := ds.Book().Sheet("Readings")
-	fmt.Printf("cells materialised for the 200k-row table: %d\n", sh.CellCount())
+	cells, _ := db.CellCount("Readings")
+	fmt.Printf("cells materialised for the %d-row table: %d\n", n, cells)
+
+	// A point query over the big table rides the primary-key B-tree; a
+	// 100ms budget is generous because the plan is cached and the access
+	// path is a point lookup.
+	qctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	var sensor string
+	pt, err := db.Query(qctx, "SELECT sensor FROM readings WHERE id = ?", 123_456%n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if pt.Next() {
+		_ = pt.Scan(&sensor)
+	}
+	pt.Close()
+	fmt.Println("point lookup under deadline:", sensor)
 }
 
-func printTotal(ds *core.DataSpread, label string) {
-	v, _ := ds.Get("Sheet1", "A11")
+func printTotal(db *dataspread.DB, label string) {
+	v, _ := db.Get("Sheet1", "A11")
 	fmt.Printf("%s: %v\n", label, v)
 }
 

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/sheet"
 )
 
@@ -214,6 +215,10 @@ type ErrNoTable struct{ Name string }
 
 func (e ErrNoTable) Error() string { return fmt.Sprintf("catalog: table %q does not exist", e.Name) }
 
+// Is places ErrNoTable in the engine's error taxonomy: errors.Is(err,
+// dberr.ErrTableNotFound) matches it.
+func (e ErrNoTable) Is(target error) bool { return target == dberr.ErrTableNotFound }
+
 // Create registers a new table. Column names must be unique
 // (case-insensitive) and non-empty.
 func (c *Catalog) Create(name string, cols []Column) (*Table, error) {
@@ -237,7 +242,7 @@ func (c *Catalog) Create(name string, cols []Column) (*Table, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, exists := c.tables[key(name)]; exists {
-		return nil, fmt.Errorf("catalog: table %q already exists", name)
+		return nil, fmt.Errorf("catalog: table %q: %w", name, dberr.ErrTableExists)
 	}
 	t := &Table{ID: c.nextID, Name: name, Columns: append([]Column(nil), cols...), Version: 1}
 	c.nextID++
@@ -314,7 +319,7 @@ func (c *Catalog) DropColumn(table, column string) (int, error) {
 	}
 	idx, exists := t.columnIndexLocked(column)
 	if !exists {
-		return 0, fmt.Errorf("catalog: column %q does not exist in table %q", column, table)
+		return 0, fmt.Errorf("catalog: column %q of table %q: %w", column, table, dberr.ErrColumnNotFound)
 	}
 	if len(t.Columns) == 1 {
 		return 0, fmt.Errorf("catalog: cannot drop the only column of table %q", table)

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"github.com/dataspread/dataspread/internal/interfacemgr"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/sqlexec"
+	"github.com/dataspread/dataspread/internal/sqlparser"
 	"github.com/dataspread/dataspread/internal/storage/cellstore"
 	"github.com/dataspread/dataspread/internal/storage/pager"
 	"github.com/dataspread/dataspread/internal/txn"
@@ -76,6 +78,10 @@ type DataSpread struct {
 	windows *window.Manager
 	iface   *interfacemgr.Manager
 	session *sqlexec.Session
+	// pending buffers the default session's in-transaction mutating
+	// statements until COMMIT logs them as one WAL record (guarded by
+	// cmdMu; see logExecuted).
+	pending []txn.Op
 
 	// RANGETABLE scan cache (accessor.go), validated by sheet versions.
 	rtMu    sync.Mutex
@@ -256,6 +262,51 @@ func (ds *DataSpread) setCellDispatch(canonical string, a sheet.Address, input s
 	return ds.engine.SetValue(canonical, a, v), nil
 }
 
+// SetValues bulk-loads a dense matrix of literal values with its top-left
+// corner at topLeft. It is the fast path for imports: values land on the
+// sheet directly (no per-cell input parsing, no edit routing to bound
+// regions) and are WAL-logged per non-empty cell so durable workbooks
+// recover them. Dependent formulas recalculate on their next trigger.
+func (ds *DataSpread) SetValues(sheetName, topLeft string, rows [][]sheet.Value) error {
+	a, err := sheet.ParseAddress(topLeft)
+	if err != nil {
+		return err
+	}
+	sh, canonical, err := ds.sheetOf(sheetName)
+	if err != nil {
+		return err
+	}
+	ds.cmdMu.Lock()
+	defer ds.cmdMu.Unlock()
+	sh.SetValues(a, rows)
+	for r, row := range rows {
+		for c, v := range row {
+			if v.IsEmpty() {
+				continue
+			}
+			cell := sheet.Addr(a.Row+r, a.Col+c)
+			if lerr := ds.logCommand(txn.Op{
+				Kind:   txn.OpCellValue,
+				Detail: canonical + "!" + cell.String(),
+				Args:   []string{canonical, cell.String(), encodeValue(v)},
+			}); lerr != nil {
+				return fmt.Errorf("core: values applied but not fully logged: %w", lerr)
+			}
+		}
+	}
+	return nil
+}
+
+// CellCount returns the number of materialised cells of a sheet (windowed
+// table bindings keep this far below the bound table's cardinality).
+func (ds *DataSpread) CellCount(sheetName string) (int, error) {
+	sh, _, err := ds.sheetOf(sheetName)
+	if err != nil {
+		return 0, err
+	}
+	return sh.CellCount(), nil
+}
+
 // Get returns the current value of a cell.
 func (ds *DataSpread) Get(sheetName, addr string) (sheet.Value, error) {
 	a, err := sheet.ParseAddress(addr)
@@ -291,48 +342,110 @@ func (ds *DataSpread) Wait() { ds.engine.Wait() }
 // Query executes a SQL statement with full access to sheet data through
 // RANGEVALUE/RANGETABLE.
 func (ds *DataSpread) Query(sql string) (*sqlexec.Result, error) {
+	return ds.QueryContext(context.Background(), sql)
+}
+
+// QueryContext executes a SQL statement, binding args to its '?'
+// placeholders and honouring ctx cancellation at executor batch boundaries.
+// Whether the statement reaches the WAL is decided by the parsed statement
+// kind (sqlparser.Mutates), not by sniffing the text: leading comments,
+// whitespace or exotic spellings cannot misclassify a statement.
+func (ds *DataSpread) QueryContext(ctx context.Context, sql string, args ...sheet.Value) (*sqlexec.Result, error) {
 	ds.cmdMu.Lock()
 	defer ds.cmdMu.Unlock()
-	res, err := ds.session.Query(sql)
-	if err == nil && sqlMutates(sql) {
-		if lerr := ds.logCommand(txn.Op{Kind: txn.OpSQL, Detail: sql, Args: []string{sql}}); lerr != nil {
+	p, err := ds.db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ds.session.ExecutePreparedContext(ctx, p, args...)
+	if err == nil {
+		if lerr := ds.logExecuted(p.Statement(), ds.session, &ds.pending, sql, args); lerr != nil {
 			return res, fmt.Errorf("core: statement applied but not logged: %w", lerr)
 		}
 	}
 	return res, err
 }
 
+// sqlOp encodes a (possibly parameterized) mutating statement as a WAL
+// command: the text first, then one encoded value per bound argument, so
+// replay re-executes it with identical bindings.
+func sqlOp(sql string, args []sheet.Value) txn.Op {
+	op := txn.Op{Kind: txn.OpSQL, Detail: sql, Args: make([]string, 0, 1+len(args))}
+	op.Args = append(op.Args, sql)
+	for _, v := range args {
+		op.Args = append(op.Args, encodeValue(v))
+	}
+	return op
+}
+
+// logExecuted routes WAL logging for one successfully executed statement of
+// a session. Autocommit mutations log immediately; mutations inside an
+// explicit transaction buffer into pending and reach the WAL only at
+// COMMIT, as one atomic record. Replay therefore never resurrects
+// rolled-back or uncommitted work, and transactions from concurrent
+// connections land in the log in commit order instead of interleaving
+// statement by statement. Caller holds cmdMu.
+func (ds *DataSpread) logExecuted(stmt sqlparser.Statement, sess *sqlexec.Session, pending *[]txn.Op, sql string, args []sheet.Value) error {
+	switch stmt.(type) {
+	case *sqlparser.BeginStmt:
+		*pending = (*pending)[:0]
+		return nil
+	case *sqlparser.CommitStmt:
+		ops := *pending
+		*pending = nil
+		return ds.logCommands(ops)
+	case *sqlparser.RollbackStmt:
+		*pending = nil
+		return nil
+	}
+	if !sqlparser.Mutates(stmt) {
+		return nil
+	}
+	if sess.InTransaction() {
+		*pending = append(*pending, sqlOp(sql, args))
+		return nil
+	}
+	return ds.logCommand(sqlOp(sql, args))
+}
+
+// logCommands appends a batch of user-level commands as one committed WAL
+// record (the commit point of an explicit transaction). A no-op for empty
+// batches, in-memory instances and during recovery replay.
+func (ds *DataSpread) logCommands(ops []txn.Op) error {
+	if ds.wal == nil || ds.replaying || len(ops) == 0 {
+		return nil
+	}
+	if err := ds.wal.Run(func(t *txn.Txn) error {
+		for _, op := range ops {
+			if err := t.Log(op, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	ds.maybeTriggerCheckpoint()
+	return nil
+}
+
 // QueryScript executes a semicolon-separated SQL script. Each statement is
 // its own transaction, so a failing statement does not undo the ones before
 // it — a mutating script is therefore logged even on error, and replay
-// deterministically re-runs the same committed prefix.
+// deterministically re-runs the same committed prefix. Scripts do not
+// accept placeholders.
 func (ds *DataSpread) QueryScript(sql string) (*sqlexec.Result, error) {
 	ds.cmdMu.Lock()
 	defer ds.cmdMu.Unlock()
+	stmts, parseErr := sqlparser.ParseMulti(sql)
 	res, err := ds.session.QueryScript(sql)
-	if sqlMutates(sql) {
+	if parseErr == nil && sqlparser.AnyMutates(stmts) {
 		if lerr := ds.logCommand(txn.Op{Kind: txn.OpSQLScript, Detail: sql, Args: []string{sql}}); lerr != nil {
 			lerr = fmt.Errorf("core: script applied but not logged: %w", lerr)
 			return res, errors.Join(err, lerr)
 		}
 	}
 	return res, err
-}
-
-// sqlMutates reports whether any statement in the (possibly ";"-separated)
-// SQL text can change database state; read-only scripts (SELECT, EXPLAIN)
-// stay out of the WAL.
-func sqlMutates(sql string) bool {
-	for _, stmt := range strings.Split(sql, ";") {
-		fields := strings.Fields(stmt)
-		if len(fields) == 0 {
-			continue
-		}
-		if !strings.EqualFold(fields[0], "SELECT") && !strings.EqualFold(fields[0], "EXPLAIN") {
-			return true
-		}
-	}
-	return false
 }
 
 // ScrollTo moves the visible window of a sheet and refreshes window-bound

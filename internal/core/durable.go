@@ -23,6 +23,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -238,6 +239,9 @@ func (ds *DataSpread) Checkpoint() error {
 // background checkpoint is surfaced here (once).
 func (ds *DataSpread) Close() error {
 	ds.stopCheckpointer()
+	// Detach the interface manager from the database change feed so closed
+	// instances retain no refresh machinery.
+	ds.iface.Close()
 	ds.ckptErrMu.Lock()
 	err := ds.ckptErr
 	ds.ckptErr = nil
@@ -346,7 +350,17 @@ func (ds *DataSpread) applyOp(op txn.Op) error {
 		if err != nil {
 			return err
 		}
-		_, err = ds.Query(args[0])
+		// Trailing args encode the '?' placeholder bindings the statement
+		// originally executed with.
+		params := make([]sheet.Value, 0, len(args)-1)
+		for _, enc := range args[1:] {
+			v, err := decodeValue(enc)
+			if err != nil {
+				return err
+			}
+			params = append(params, v)
+		}
+		_, err = ds.QueryContext(context.Background(), args[0], params...)
 		return err
 	case txn.OpSQLScript:
 		args, err := opArgs(op, 1)

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"syscall"
+
+	"github.com/dataspread/dataspread/internal/dberr"
 )
 
 // lockWorkbookFile enforces the single-writer rule for durable workbooks: an
@@ -22,7 +24,7 @@ func lockWorkbookFile(path string) (release func() error, err error) {
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		f.Close()
 		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
-			return nil, fmt.Errorf("core: workbook %s is open in another process (lock %s is held)", path, lockPath)
+			return nil, fmt.Errorf("core: workbook %s is open in another process (lock %s is held): %w", path, lockPath, dberr.ErrConflict)
 		}
 		return nil, fmt.Errorf("core: lock workbook %s: %w", path, err)
 	}

@@ -1,0 +1,54 @@
+// Package dberr defines the engine's error taxonomy: typed sentinel errors
+// that every layer (catalog, sqlexec, core, the public dataspread package)
+// wraps into its failures so embedders can branch with errors.Is instead of
+// matching message strings. The public package re-exports these values; the
+// internal packages attach them with fmt.Errorf("...: %w", ...) so messages
+// keep their context while the category stays programmatically testable.
+package dberr
+
+import "errors"
+
+// Schema and catalog errors.
+var (
+	// ErrTableNotFound reports a reference to a table the catalog does not
+	// know. catalog.ErrNoTable matches it through errors.Is.
+	ErrTableNotFound = errors.New("table not found")
+	// ErrTableExists reports CREATE TABLE of an existing table (without IF
+	// NOT EXISTS).
+	ErrTableExists = errors.New("table already exists")
+	// ErrColumnNotFound reports a reference to an unknown column.
+	ErrColumnNotFound = errors.New("column not found")
+	// ErrIndexNotFound reports DROP INDEX of an unknown index.
+	ErrIndexNotFound = errors.New("index not found")
+	// ErrIndexExists reports CREATE INDEX of an existing index name.
+	ErrIndexExists = errors.New("index already exists")
+)
+
+// Constraint violations.
+var (
+	// ErrUniqueViolation reports a duplicate primary key or a duplicate
+	// value under a UNIQUE index.
+	ErrUniqueViolation = errors.New("unique constraint violation")
+	// ErrNotNullViolation reports a NULL value for a NOT NULL column.
+	ErrNotNullViolation = errors.New("not-null constraint violation")
+	// ErrTypeMismatch reports a value that cannot be coerced to its
+	// column's declared type.
+	ErrTypeMismatch = errors.New("value does not match column type")
+)
+
+// Session, transaction and statement errors.
+var (
+	// ErrConflict reports an operation that lost to concurrent state it
+	// cannot be applied over: opening a second writer on a locked workbook,
+	// or committing over a conflicting change.
+	ErrConflict = errors.New("conflicting operation")
+	// ErrTxOpen reports BEGIN inside an open explicit transaction.
+	ErrTxOpen = errors.New("transaction already open")
+	// ErrNoTx reports COMMIT/ROLLBACK without an open transaction.
+	ErrNoTx = errors.New("no open transaction")
+	// ErrParamCount reports an execution whose bound arguments do not match
+	// the statement's '?' placeholders.
+	ErrParamCount = errors.New("wrong number of bound parameters")
+	// ErrClosed reports use of a closed database, statement or row set.
+	ErrClosed = errors.New("closed")
+)

@@ -110,6 +110,7 @@ type Manager struct {
 	stats     Stats
 	suppress  bool // true while the manager itself writes to the database
 	listening bool
+	unlisten  func() // cancels the database change subscription
 }
 
 // New creates an interface manager. SetQueryRunner must be called before
@@ -124,9 +125,21 @@ func New(db *sqlexec.Database, book *sheet.Book, engine *compute.Engine, windows
 		nextID:   1,
 		allLimit: DefaultMaterializeAllLimit,
 	}
-	db.Listen(m.onDBChange)
+	m.unlisten = db.Listen(m.onDBChange)
 	m.listening = true
 	return m
+}
+
+// Close detaches the manager from the database's change feed. Bindings stop
+// refreshing; the manager is not usable afterwards.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.unlisten != nil {
+		m.unlisten()
+		m.unlisten = nil
+		m.listening = false
+	}
 }
 
 // SetQueryRunner installs the SQL runner used by query bindings.

@@ -92,10 +92,12 @@ type sarg struct {
 
 // extractSargs derives sargable constraints from pushed conjuncts. Pushed
 // conjuncts are error-free and single-source by construction; constants are
-// folded at plan time (RANGEVALUE parameters included). Only NUMERIC-typed
-// columns yield sargs, and range constants must already be numbers — for
-// equality a numeric coercion is applied, mirroring Value.Equal.
-func extractSargs(pushed []sqlparser.Expr, cols []colDesc, tbl *catalog.Table, sheets SheetAccessor) []sarg {
+// folded per execution (RANGEVALUE parameters and '?' placeholders
+// included, so a prepared statement's bounds resolve late, against the
+// arguments of the execution at hand). Only NUMERIC-typed columns yield
+// sargs, and range constants must already be numbers — for equality a
+// numeric coercion is applied, mirroring Value.Equal.
+func extractSargs(pushed []sqlparser.Expr, cols []colDesc, tbl *catalog.Table, env *execEnv) []sarg {
 	var out []sarg
 	colOf := func(e sqlparser.Expr) int {
 		cr, ok := e.(*sqlparser.ColumnRef)
@@ -112,11 +114,11 @@ func extractSargs(pushed []sqlparser.Expr, cols []colDesc, tbl *catalog.Table, s
 		if !exprColumnFree(e) {
 			return sheet.Empty(), false
 		}
-		be, err := compileExpr(e, &compileEnv{noRel: true, sheets: sheets})
+		be, err := compileExpr(e, &compileEnv{noRel: true, sheets: env.sheets})
 		if err != nil {
 			return sheet.Empty(), false
 		}
-		v, err := be.eval(&rowCtx{sheets: sheets})
+		v, err := be.eval(env.newRowCtx())
 		if err != nil || v.IsEmpty() {
 			return sheet.Empty(), false
 		}
@@ -224,13 +226,13 @@ func extractSargs(pushed []sqlparser.Expr, cols []colDesc, tbl *catalog.Table, s
 // chooseAccessPath selects the access path for one named-table source given
 // its pushed conjuncts and an optional ordering request. It always returns a
 // path; pathFull means "stream the storage manager".
-func (db *Database) chooseAccessPath(tbl *catalog.Table, cols []colDesc, pushed []sqlparser.Expr, sheets SheetAccessor, ord orderReq) *accessPath {
+func (db *Database) chooseAccessPath(tbl *catalog.Table, cols []colDesc, pushed []sqlparser.Expr, env *execEnv, ord orderReq) *accessPath {
 	full := &accessPath{kind: pathFull, display: "full scan"}
 	if db.forceFullScan.Load() {
 		full.display = "full scan (forced)"
 		return full
 	}
-	sargs := extractSargs(pushed, cols, tbl, sheets)
+	sargs := extractSargs(pushed, cols, tbl, env)
 
 	best, bestScore := full, 0
 	consider := func(p *accessPath, score int) {
@@ -481,11 +483,17 @@ var numberFloor = []byte{1}
 
 // collectPathIDs gathers the candidate RowIDs of a non-ordered path in
 // ascending RowID order, so downstream results keep the exact row order a
-// full scan would produce. The B-trees are read under the database lock;
-// row fetching happens outside it.
+// full scan would produce.
 func (db *Database) collectPathIDs(table string, path *accessPath) []tablestore.RowID {
-	var ids []tablestore.RowID
 	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.collectPathIDsLocked(table, path)
+}
+
+// collectPathIDsLocked is collectPathIDs for callers already holding the
+// database read lock (scan paths that keep the lock across the row fetch).
+func (db *Database) collectPathIDsLocked(table string, path *accessPath) []tablestore.RowID {
+	var ids []tablestore.RowID
 	switch {
 	case path.kind == pathInList:
 		if path.index == nil {
@@ -523,17 +531,15 @@ func (db *Database) collectPathIDs(table string, path *accessPath) []tablestore.
 			return true
 		})
 	}
-	db.mu.RUnlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // walkPathOrdered iterates the candidate RowIDs of an ordered path in index
 // order, NULL keys last to match the executor's NULLS LAST collation. fn
-// returns false to stop (the early exit of ORDER BY ... LIMIT k).
+// returns false to stop (the early exit of ORDER BY ... LIMIT k). The
+// caller must hold the database read lock.
 func (db *Database) walkPathOrdered(table string, path *accessPath, fn func(id tablestore.RowID) bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	tree := path.indexTree(db, table)
 	if tree == nil {
 		return

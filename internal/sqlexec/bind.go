@@ -1,10 +1,12 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/sqlparser"
 )
@@ -17,6 +19,66 @@ import (
 // to the constants they hold for this execution, and aggregate calls are
 // slots into the per-group accumulator results. Per-row evaluation is then a
 // direct tree walk with no name resolution and no formatting.
+
+// execEnv is the per-execution context threaded through planning and
+// evaluation: the spreadsheet accessor for positional constructs, the
+// argument values bound to this execution's '?' placeholders, and the
+// caller's context, polled at batch boundaries so a cancelled query stops
+// scanning, joining and sorting promptly.
+type execEnv struct {
+	sheets SheetAccessor
+	params []sheet.Value
+	ctx    context.Context
+	ticks  int
+}
+
+// ctxCheckInterval is how many processed rows pass between context polls; a
+// power of two keeps the modulo cheap on the per-row path.
+const ctxCheckInterval = 1024
+
+// check polls the execution's context every ctxCheckInterval calls. Scan,
+// join, sort and projection loops call it once per row.
+func (e *execEnv) check() error {
+	if e == nil || e.ctx == nil {
+		return nil
+	}
+	e.ticks++
+	if e.ticks%ctxCheckInterval != 0 {
+		return nil
+	}
+	return e.checkNow()
+}
+
+// checkNow polls the context unconditionally (stage boundaries).
+func (e *execEnv) checkNow() error {
+	if e == nil || e.ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// newRowCtx builds an evaluation context carrying this execution's
+// spreadsheet accessor and bound parameters.
+func (e *execEnv) newRowCtx() *rowCtx {
+	if e == nil {
+		return &rowCtx{}
+	}
+	return &rowCtx{sheets: e.sheets, params: e.params}
+}
+
+// compileEnv builds a compilation environment over the given schema.
+func (e *execEnv) compileEnv(cols []colDesc) *compileEnv {
+	var sheets SheetAccessor
+	if e != nil {
+		sheets = e.sheets
+	}
+	return &compileEnv{cols: cols, sheets: sheets}
+}
 
 // compileEnv is the compilation context: the input schema plus, inside
 // grouped projections, the aggregate registry.
@@ -32,6 +94,7 @@ type compileEnv struct {
 type rowCtx struct {
 	row    []sheet.Value
 	sheets SheetAccessor
+	params []sheet.Value // '?' placeholder arguments of this execution
 	aggs   []sheet.Value // aggregate results of the current group, by spec slot
 }
 
@@ -82,6 +145,11 @@ func compileExpr(e sqlparser.Expr, env *compileEnv) (boundExpr, error) {
 			return nil, err
 		}
 		return bCol{idx: i}, nil
+	case *sqlparser.Placeholder:
+		// Placeholders stay symbolic through compilation and read their
+		// argument at evaluation time, so one compiled statement serves
+		// every execution's bindings.
+		return bParam{idx: x.Index}, nil
 	case *sqlparser.RangeValueExpr:
 		// RANGEVALUE is row-independent: fold it to the constant it holds
 		// for this execution instead of re-reading the sheet per row.
@@ -193,6 +261,16 @@ func evalBoundPredicate(be boundExpr, ctx *rowCtx) (bool, error) {
 type bValue struct{ v sheet.Value }
 
 func (b bValue) eval(*rowCtx) (sheet.Value, error) { return b.v, nil }
+
+// bParam reads the idx-th bound argument of the current execution.
+type bParam struct{ idx int }
+
+func (b bParam) eval(ctx *rowCtx) (sheet.Value, error) {
+	if b.idx >= len(ctx.params) {
+		return sheet.Empty(), fmt.Errorf("sqlexec: parameter %d is not bound: %w", b.idx+1, dberr.ErrParamCount)
+	}
+	return ctx.params[b.idx], nil
+}
 
 type bCol struct{ idx int }
 

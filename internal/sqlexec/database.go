@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"github.com/dataspread/dataspread/internal/catalog"
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/index/btree"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/storage/pager"
@@ -65,19 +66,27 @@ type ChangeEvent struct {
 	RowID tablestore.RowID
 }
 
+// listener is one registered change listener; the id lets Listen hand back
+// a cancel func that removes exactly this registration.
+type listener struct {
+	id int64
+	fn func(ChangeEvent)
+}
+
 // Database is the embedded relational engine: catalog, per-table storage,
 // primary-key indexes, transactions and change notification. It is safe for
 // concurrent use; writes are serialised by an internal mutex.
 type Database struct {
-	mu        sync.RWMutex
-	cat       *catalog.Catalog
-	stores    map[string]tablestore.Store
-	pkIndex   map[string]*btree.Tree
-	pageStore pager.Backend
-	pool      *pager.BufferPool
-	txns      *txn.Manager
-	cfg       Config
-	listeners []func(ChangeEvent)
+	mu           sync.RWMutex
+	cat          *catalog.Catalog
+	stores       map[string]tablestore.Store
+	pkIndex      map[string]*btree.Tree
+	pageStore    pager.Backend
+	pool         *pager.BufferPool
+	txns         *txn.Manager
+	cfg          Config
+	listeners    []listener
+	nextListener int64
 
 	// Secondary indexes (indexes.go), maintained under mu together with the
 	// base tables, and per-table data version counters bumped on every
@@ -159,20 +168,35 @@ func (db *Database) PagerStats() pager.Stats { return db.pageStore.Stats() }
 func (db *Database) ResetPagerStats() { db.pageStore.ResetStats() }
 
 // Listen registers a change listener. Listeners are called synchronously
-// after each successful data or schema change.
-func (db *Database) Listen(fn func(ChangeEvent)) {
+// after each successful data or schema change, in registration order. The
+// returned cancel func removes the registration; long-lived embedders must
+// call it when done listening or the database retains the closure forever.
+// Cancelling twice is harmless.
+func (db *Database) Listen(fn func(ChangeEvent)) (cancel func()) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.listeners = append(db.listeners, fn)
+	db.nextListener++
+	id := db.nextListener
+	db.listeners = append(db.listeners, listener{id: id, fn: fn})
+	db.mu.Unlock()
+	return func() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		for i, l := range db.listeners {
+			if l.id == id {
+				db.listeners = append(db.listeners[:i], db.listeners[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 func (db *Database) notify(ev ChangeEvent) {
 	db.mu.RLock()
-	ls := make([]func(ChangeEvent), len(db.listeners))
+	ls := make([]listener, len(db.listeners))
 	copy(ls, db.listeners)
 	db.mu.RUnlock()
-	for _, fn := range ls {
-		fn(ev)
+	for _, l := range ls {
+		l.fn(ev)
 	}
 }
 
@@ -258,7 +282,7 @@ func coerceRow(tbl *catalog.Table, row []sheet.Value) ([]sheet.Value, error) {
 		v := row[i]
 		if v.IsEmpty() {
 			if col.NotNull {
-				return nil, fmt.Errorf("sqlexec: column %q of table %q is NOT NULL", col.Name, tbl.Name)
+				return nil, fmt.Errorf("sqlexec: column %q of table %q is NOT NULL: %w", col.Name, tbl.Name, dberr.ErrNotNullViolation)
 			}
 			if !col.Default.IsEmpty() {
 				v = col.Default
@@ -266,7 +290,7 @@ func coerceRow(tbl *catalog.Table, row []sheet.Value) ([]sheet.Value, error) {
 		}
 		cv, ok := col.Type.Coerce(v)
 		if !ok {
-			return nil, fmt.Errorf("sqlexec: value %q is not valid for column %q (%s)", v.String(), col.Name, col.Type)
+			return nil, fmt.Errorf("sqlexec: value %q is not valid for column %q (%s): %w", v.String(), col.Name, col.Type, dberr.ErrTypeMismatch)
 		}
 		out[i] = cv
 	}
@@ -335,7 +359,7 @@ func (db *Database) insert(table string, row []sheet.Value, tx *txn.Txn) (tables
 	if key != nil {
 		if _, dup := idx.Get(key); dup {
 			db.mu.Unlock()
-			return 0, fmt.Errorf("sqlexec: duplicate primary key in table %q", table)
+			return 0, fmt.Errorf("sqlexec: duplicate primary key in table %q: %w", table, dberr.ErrUniqueViolation)
 		}
 	}
 	if err := db.secCheckInsertLocked(table, coerced); err != nil {
@@ -399,7 +423,7 @@ func (db *Database) update(table string, id tablestore.RowID, row []sheet.Value,
 	if newKey != nil && string(oldKey) != string(newKey) {
 		if existing, dup := idx.Get(newKey); dup && existing != uint64(id) {
 			db.mu.Unlock()
-			return fmt.Errorf("sqlexec: duplicate primary key in table %q", table)
+			return fmt.Errorf("sqlexec: duplicate primary key in table %q: %w", table, dberr.ErrUniqueViolation)
 		}
 	}
 	if err := db.secCheckUpdateLocked(table, old, coerced, id); err != nil {
@@ -440,7 +464,7 @@ func (db *Database) UpdateColumn(table string, id tablestore.RowID, col int, v s
 	}
 	cv, ok := tbl.Columns[col].Type.Coerce(v)
 	if !ok {
-		return fmt.Errorf("sqlexec: value %q is not valid for column %q", v.String(), tbl.Columns[col].Name)
+		return fmt.Errorf("sqlexec: value %q is not valid for column %q: %w", v.String(), tbl.Columns[col].Name, dberr.ErrTypeMismatch)
 	}
 	s, err := db.store(table)
 	if err != nil {

@@ -1,11 +1,13 @@
 package sqlexec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 
 	"github.com/dataspread/dataspread/internal/catalog"
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/sqlparser"
 	"github.com/dataspread/dataspread/internal/storage/tablestore"
@@ -39,23 +41,51 @@ func (db *Database) NewSession(sheets SheetAccessor) *Session {
 // repeated evaluations of the same text (the DBSQL recalculation pattern)
 // skip parsing and analysis entirely.
 func (s *Session) Query(sql string) (*Result, error) {
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext executes a single SQL statement through the prepared-plan
+// cache, binding args to the statement's '?' placeholders and honouring ctx
+// cancellation at pipeline batch boundaries.
+func (s *Session) QueryContext(ctx context.Context, sql string, args ...sheet.Value) (*Result, error) {
 	p, err := s.db.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecutePrepared(p)
+	return s.ExecutePreparedContext(ctx, p, args...)
 }
 
-// ExecutePrepared runs a prepared statement.
+// ExecutePrepared runs a prepared statement without parameters.
 func (s *Session) ExecutePrepared(p *Prepared) (*Result, error) {
-	if sel, ok := p.stmt.(*sqlparser.SelectStmt); ok && p.sel != nil {
-		return s.db.runSelect(sel, p.sel, s.sheets)
+	return s.ExecutePreparedContext(context.Background(), p)
+}
+
+// ExecutePreparedContext runs a prepared statement with the given placeholder
+// arguments. The argument count must match the statement's placeholder
+// count exactly (dberr.ErrParamCount otherwise).
+func (s *Session) ExecutePreparedContext(ctx context.Context, p *Prepared, args ...sheet.Value) (*Result, error) {
+	env, err := s.execEnv(ctx, p, args)
+	if err != nil {
+		return nil, err
 	}
-	return s.Execute(p.stmt)
+	if sel, ok := p.stmt.(*sqlparser.SelectStmt); ok && p.sel != nil {
+		return s.db.runSelect(sel, p.sel, env)
+	}
+	return s.executeWith(p.stmt, env)
+}
+
+// execEnv validates the bound arguments against the prepared statement and
+// builds the per-execution environment.
+func (s *Session) execEnv(ctx context.Context, p *Prepared, args []sheet.Value) (*execEnv, error) {
+	if len(args) != p.nparams {
+		return nil, fmt.Errorf("sqlexec: statement has %d parameter(s), %d bound: %w",
+			p.nparams, len(args), dberr.ErrParamCount)
+	}
+	return &execEnv{sheets: s.sheets, params: args, ctx: ctx}, nil
 }
 
 // QueryScript parses and executes a semicolon-separated script, returning the
-// result of the last statement.
+// result of the last statement. Scripts do not accept placeholders.
 func (s *Session) QueryScript(sql string) (*Result, error) {
 	stmts, err := sqlparser.ParseMulti(sql)
 	if err != nil {
@@ -88,21 +118,27 @@ func tableSchema(tbl *catalog.Table) []colDesc {
 	return cols
 }
 
-// Execute runs one parsed statement.
+// Execute runs one parsed statement without parameters.
 func (s *Session) Execute(stmt sqlparser.Statement) (*Result, error) {
+	return s.executeWith(stmt, &execEnv{sheets: s.sheets})
+}
+
+// executeWith runs one parsed statement under the given execution
+// environment.
+func (s *Session) executeWith(stmt sqlparser.Statement, env *execEnv) (*Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparser.SelectStmt:
-		return s.db.executeSelect(st, s.sheets)
+		return s.db.executeSelect(st, env)
 	case *sqlparser.InsertStmt:
-		return s.executeInsert(st)
+		return s.executeInsert(st, env)
 	case *sqlparser.UpdateStmt:
-		return s.executeUpdate(st)
+		return s.executeUpdate(st, env)
 	case *sqlparser.DeleteStmt:
-		return s.executeDelete(st)
+		return s.executeDelete(st, env)
 	case *sqlparser.CreateTableStmt:
-		return s.executeCreateTable(st)
+		return s.executeCreateTable(st, env)
 	case *sqlparser.AlterTableStmt:
-		return s.executeAlterTable(st)
+		return s.executeAlterTable(st, env)
 	case *sqlparser.DropTableStmt:
 		return s.executeDropTable(st)
 	case *sqlparser.CreateIndexStmt:
@@ -116,23 +152,23 @@ func (s *Session) Execute(stmt sqlparser.Statement) (*Result, error) {
 		}
 		return &Result{}, nil
 	case *sqlparser.ExplainStmt:
-		return s.executeExplain(st)
+		return s.executeExplain(st, env)
 	case *sqlparser.BeginStmt:
 		if s.tx != nil {
-			return nil, fmt.Errorf("sqlexec: a transaction is already open")
+			return nil, fmt.Errorf("sqlexec: %w", dberr.ErrTxOpen)
 		}
 		s.tx = s.db.txns.Begin()
 		return &Result{}, nil
 	case *sqlparser.CommitStmt:
 		if s.tx == nil {
-			return nil, fmt.Errorf("sqlexec: no open transaction")
+			return nil, fmt.Errorf("sqlexec: %w", dberr.ErrNoTx)
 		}
 		err := s.tx.Commit()
 		s.tx = nil
 		return &Result{}, err
 	case *sqlparser.RollbackStmt:
 		if s.tx == nil {
-			return nil, fmt.Errorf("sqlexec: no open transaction")
+			return nil, fmt.Errorf("sqlexec: %w", dberr.ErrNoTx)
 		}
 		err := s.tx.Rollback()
 		s.tx = nil
@@ -147,7 +183,7 @@ func (s *Session) Execute(stmt sqlparser.Statement) (*Result, error) {
 // safe when no WHERE conjunct can raise an evaluation error: skipping a row
 // the index rules out must be indistinguishable from evaluating the WHERE
 // to false on it.
-func (s *Session) dmlAccessPath(tbl *catalog.Table, where sqlparser.Expr) *accessPath {
+func (s *Session) dmlAccessPath(tbl *catalog.Table, where sqlparser.Expr, env *execEnv) *accessPath {
 	if where == nil {
 		return nil
 	}
@@ -157,7 +193,7 @@ func (s *Session) dmlAccessPath(tbl *catalog.Table, where sqlparser.Expr) *acces
 			return nil
 		}
 	}
-	path := s.db.chooseAccessPath(tbl, tableSchema(tbl), conjuncts, s.sheets, noOrder)
+	path := s.db.chooseAccessPath(tbl, tableSchema(tbl), conjuncts, env, noOrder)
 	if path == nil || path.kind == pathFull {
 		return nil
 	}
@@ -166,11 +202,23 @@ func (s *Session) dmlAccessPath(tbl *catalog.Table, where sqlparser.Expr) *acces
 
 // scanDMLTargets visits candidate target rows of an UPDATE/DELETE: via the
 // index access path when one applies, via a full scan otherwise. The rows
-// passed to visit are caller-owned copies.
-func (s *Session) scanDMLTargets(tbl *catalog.Table, where sqlparser.Expr, visit func(id tablestore.RowID, row []sheet.Value) bool) error {
-	if path := s.dmlAccessPath(tbl, where); path != nil {
-		for _, id := range s.db.collectPathIDs(tbl.Name, path) {
-			row, err := s.db.Get(tbl.Name, id)
+// passed to visit are caller-owned copies. The collection phase runs under
+// the database read lock (concurrent sessions may be writing other
+// statements); the caller applies its writes after the scan returns.
+func (s *Session) scanDMLTargets(tbl *catalog.Table, where sqlparser.Expr, env *execEnv, visit func(id tablestore.RowID, row []sheet.Value) bool) error {
+	store, err := s.db.store(tbl.Name)
+	if err != nil {
+		return err
+	}
+	path := s.dmlAccessPath(tbl, where, env)
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	if path != nil {
+		for _, id := range s.db.collectPathIDsLocked(tbl.Name, path) {
+			if err := env.check(); err != nil {
+				return err
+			}
+			row, err := store.Get(id)
 			if err != nil {
 				if errors.Is(err, tablestore.ErrRowNotFound) {
 					continue
@@ -183,20 +231,30 @@ func (s *Session) scanDMLTargets(tbl *catalog.Table, where sqlparser.Expr, visit
 		}
 		return nil
 	}
-	return s.db.Scan(tbl.Name, visit)
+	var ctxErr error
+	err = store.Scan(func(id tablestore.RowID, row []sheet.Value) bool {
+		if ctxErr = env.check(); ctxErr != nil {
+			return false
+		}
+		return visit(id, row)
+	})
+	if err == nil {
+		err = ctxErr
+	}
+	return err
 }
 
 // evalConstExpr evaluates an expression with no row context (literals,
-// RANGEVALUE, arithmetic).
-func (s *Session) evalConstExpr(e sqlparser.Expr) (sheet.Value, error) {
-	be, err := compileExpr(e, &compileEnv{noRel: true, sheets: s.sheets})
+// RANGEVALUE, placeholders, arithmetic).
+func (s *Session) evalConstExpr(e sqlparser.Expr, env *execEnv) (sheet.Value, error) {
+	be, err := compileExpr(e, &compileEnv{noRel: true, sheets: env.sheets})
 	if err != nil {
 		return sheet.Empty(), err
 	}
-	return be.eval(&rowCtx{sheets: s.sheets})
+	return be.eval(env.newRowCtx())
 }
 
-func (s *Session) executeInsert(st *sqlparser.InsertStmt) (*Result, error) {
+func (s *Session) executeInsert(st *sqlparser.InsertStmt, env *execEnv) (*Result, error) {
 	tbl, err := s.db.cat.MustGet(st.Table)
 	if err != nil {
 		return nil, err
@@ -242,7 +300,7 @@ func (s *Session) executeInsert(st *sqlparser.InsertStmt) (*Result, error) {
 		return nil
 	}
 	if st.Select != nil {
-		res, err := s.db.executeSelect(st.Select, s.sheets)
+		res, err := s.db.executeSelect(st.Select, env)
 		if err != nil {
 			return nil, err
 		}
@@ -256,7 +314,7 @@ func (s *Session) executeInsert(st *sqlparser.InsertStmt) (*Result, error) {
 	for _, exprRow := range st.Rows {
 		vals := make([]sheet.Value, len(exprRow))
 		for i, e := range exprRow {
-			v, err := s.evalConstExpr(e)
+			v, err := s.evalConstExpr(e, env)
 			if err != nil {
 				return nil, err
 			}
@@ -269,7 +327,7 @@ func (s *Session) executeInsert(st *sqlparser.InsertStmt) (*Result, error) {
 	return &Result{Affected: affected}, nil
 }
 
-func (s *Session) executeUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
+func (s *Session) executeUpdate(st *sqlparser.UpdateStmt, env *execEnv) (*Result, error) {
 	tbl, err := s.db.cat.MustGet(st.Table)
 	if err != nil {
 		return nil, err
@@ -287,16 +345,16 @@ func (s *Session) executeUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
 		}
 		sets = append(sets, setTarget{idx: idx, expr: a.Value})
 	}
-	env := &compileEnv{cols: tableSchema(tbl), sheets: s.sheets}
+	cenv := env.compileEnv(tableSchema(tbl))
 	var where boundExpr
 	if st.Where != nil {
-		if where, err = compileExpr(st.Where, env); err != nil {
+		if where, err = compileExpr(st.Where, cenv); err != nil {
 			return nil, err
 		}
 	}
 	setExprs := make([]boundExpr, len(sets))
 	for i, set := range sets {
-		if setExprs[i], err = compileExpr(set.expr, env); err != nil {
+		if setExprs[i], err = compileExpr(set.expr, cenv); err != nil {
 			return nil, err
 		}
 	}
@@ -307,8 +365,8 @@ func (s *Session) executeUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
 		row []sheet.Value
 	}
 	var updates []pending
-	ctx := &rowCtx{sheets: s.sheets}
-	err = s.scanDMLTargets(tbl, st.Where, func(id tablestore.RowID, row []sheet.Value) bool {
+	ctx := env.newRowCtx()
+	err = s.scanDMLTargets(tbl, st.Where, env, func(id tablestore.RowID, row []sheet.Value) bool {
 		ctx.row = row
 		if where != nil {
 			keep, perr := evalBoundPredicate(where, ctx)
@@ -343,21 +401,20 @@ func (s *Session) executeUpdate(st *sqlparser.UpdateStmt) (*Result, error) {
 	return &Result{Affected: len(updates)}, nil
 }
 
-func (s *Session) executeDelete(st *sqlparser.DeleteStmt) (*Result, error) {
+func (s *Session) executeDelete(st *sqlparser.DeleteStmt, env *execEnv) (*Result, error) {
 	tbl, err := s.db.cat.MustGet(st.Table)
 	if err != nil {
 		return nil, err
 	}
 	var where boundExpr
 	if st.Where != nil {
-		env := &compileEnv{cols: tableSchema(tbl), sheets: s.sheets}
-		if where, err = compileExpr(st.Where, env); err != nil {
+		if where, err = compileExpr(st.Where, env.compileEnv(tableSchema(tbl))); err != nil {
 			return nil, err
 		}
 	}
 	var ids []tablestore.RowID
-	ctx := &rowCtx{sheets: s.sheets}
-	err = s.scanDMLTargets(tbl, st.Where, func(id tablestore.RowID, row []sheet.Value) bool {
+	ctx := env.newRowCtx()
+	err = s.scanDMLTargets(tbl, st.Where, env, func(id tablestore.RowID, row []sheet.Value) bool {
 		if where != nil {
 			ctx.row = row
 			keep, perr := evalBoundPredicate(where, ctx)
@@ -383,15 +440,15 @@ func (s *Session) executeDelete(st *sqlparser.DeleteStmt) (*Result, error) {
 	return &Result{Affected: len(ids)}, nil
 }
 
-func (s *Session) executeCreateTable(st *sqlparser.CreateTableStmt) (*Result, error) {
+func (s *Session) executeCreateTable(st *sqlparser.CreateTableStmt, env *execEnv) (*Result, error) {
 	if _, exists := s.db.cat.Get(st.Name); exists {
 		if st.IfNotExists {
 			return &Result{}, nil
 		}
-		return nil, fmt.Errorf("sqlexec: table %q already exists", st.Name)
+		return nil, fmt.Errorf("sqlexec: table %q: %w", st.Name, dberr.ErrTableExists)
 	}
 	if st.AsSelect != nil {
-		res, err := s.db.executeSelect(st.AsSelect, s.sheets)
+		res, err := s.db.executeSelect(st.AsSelect, env)
 		if err != nil {
 			return nil, err
 		}
@@ -431,7 +488,7 @@ func (s *Session) executeCreateTable(st *sqlparser.CreateTableStmt) (*Result, er
 			NotNull:    cd.NotNull,
 		}
 		if cd.Default != nil {
-			v, err := s.evalConstExpr(cd.Default)
+			v, err := s.evalConstExpr(cd.Default, env)
 			if err != nil {
 				return nil, err
 			}
@@ -450,7 +507,7 @@ func (s *Session) executeCreateTable(st *sqlparser.CreateTableStmt) (*Result, er
 	return &Result{}, nil
 }
 
-func (s *Session) executeAlterTable(st *sqlparser.AlterTableStmt) (*Result, error) {
+func (s *Session) executeAlterTable(st *sqlparser.AlterTableStmt, env *execEnv) (*Result, error) {
 	switch {
 	case st.AddColumn != nil:
 		cd := st.AddColumn
@@ -462,7 +519,7 @@ func (s *Session) executeAlterTable(st *sqlparser.AlterTableStmt) (*Result, erro
 		}
 		def := sheet.Empty()
 		if cd.Default != nil {
-			v, err := s.evalConstExpr(cd.Default)
+			v, err := s.evalConstExpr(cd.Default, env)
 			if err != nil {
 				return nil, err
 			}

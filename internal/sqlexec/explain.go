@@ -14,23 +14,25 @@ import (
 // needs the same spreadsheet context the query itself would.
 
 // executeExplain renders the plan of the wrapped statement as a one-column
-// relation, one line per plan element.
-func (s *Session) executeExplain(st *sqlparser.ExplainStmt) (*Result, error) {
+// relation, one line per plan element. Placeholders inside the explained
+// statement take the execution's bound arguments, so EXPLAIN of a prepared
+// statement shows exactly the access paths those arguments would take.
+func (s *Session) executeExplain(st *sqlparser.ExplainStmt, env *execEnv) (*Result, error) {
 	var lines []string
 	switch inner := st.Stmt.(type) {
 	case *sqlparser.SelectStmt:
 		var err error
-		if lines, err = s.db.explainSelect(inner, s.sheets); err != nil {
+		if lines, err = s.db.explainSelect(inner, env); err != nil {
 			return nil, err
 		}
 	case *sqlparser.UpdateStmt:
-		line, err := s.explainDML("update", inner.Table, inner.Where)
+		line, err := s.explainDML("update", inner.Table, inner.Where, env)
 		if err != nil {
 			return nil, err
 		}
 		lines = []string{line}
 	case *sqlparser.DeleteStmt:
-		line, err := s.explainDML("delete", inner.Table, inner.Where)
+		line, err := s.explainDML("delete", inner.Table, inner.Where, env)
 		if err != nil {
 			return nil, err
 		}
@@ -47,8 +49,8 @@ func (s *Session) executeExplain(st *sqlparser.ExplainStmt) (*Result, error) {
 
 // explainSelect plans a SELECT and renders one line per FROM source plus a
 // residual-filter line when conjuncts survive above the joins.
-func (db *Database) explainSelect(stmt *sqlparser.SelectStmt, sheets SheetAccessor) ([]string, error) {
-	plan, err := db.planInput(stmt, analyzeSelect(stmt), sheets)
+func (db *Database) explainSelect(stmt *sqlparser.SelectStmt, env *execEnv) ([]string, error) {
+	plan, err := db.planInput(stmt, analyzeSelect(stmt), env)
 	if err != nil {
 		return nil, err
 	}
@@ -82,12 +84,12 @@ func (db *Database) explainSelect(stmt *sqlparser.SelectStmt, sheets SheetAccess
 
 // explainDML renders the access path UPDATE/DELETE would use to locate
 // their target rows.
-func (s *Session) explainDML(verb, table string, where sqlparser.Expr) (string, error) {
+func (s *Session) explainDML(verb, table string, where sqlparser.Expr, env *execEnv) (string, error) {
 	tbl, err := s.db.cat.MustGet(table)
 	if err != nil {
 		return "", err
 	}
-	path := s.dmlAccessPath(tbl, where)
+	path := s.dmlAccessPath(tbl, where, env)
 	if path == nil {
 		display := "full scan"
 		if s.db.forceFullScan.Load() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/index/btree"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/storage/tablestore"
@@ -94,7 +95,7 @@ func (db *Database) CreateIndex(name, table string, columns []string, unique, if
 		if ifNotExists {
 			return nil
 		}
-		return fmt.Errorf("sqlexec: index %q already exists", name)
+		return fmt.Errorf("sqlexec: index %q: %w", name, dberr.ErrIndexExists)
 	}
 	// Build under the write lock so no concurrent mutation slips between the
 	// backfill scan and registration.
@@ -103,7 +104,7 @@ func (db *Database) CreateIndex(name, table string, columns []string, unique, if
 		if unique && !si.hasNull(row) {
 			prefix := si.rowKeyPrefix(row)
 			if indexPrefixOccupied(si.tree, prefix, 0) {
-				buildErr = fmt.Errorf("sqlexec: cannot create unique index %q: duplicate value in table %q", name, table)
+				buildErr = fmt.Errorf("sqlexec: cannot create unique index %q: duplicate value in table %q: %w", name, table, dberr.ErrUniqueViolation)
 				return false
 			}
 		}
@@ -136,7 +137,7 @@ func (db *Database) DropIndex(name string, ifExists bool) error {
 		if ifExists {
 			return nil
 		}
-		return fmt.Errorf("sqlexec: index %q does not exist", name)
+		return fmt.Errorf("sqlexec: index %q: %w", name, dberr.ErrIndexNotFound)
 	}
 	delete(db.indexByName, ikey(name))
 	db.dropTableIndexLocked(tkey(si.def.Table), si)
@@ -203,7 +204,7 @@ func (db *Database) secCheckInsertLocked(table string, row []sheet.Value) error 
 	for _, si := range db.secIndexes[tkey(table)] {
 		if si.def.Unique && !si.hasNull(row) {
 			if indexPrefixOccupied(si.tree, si.rowKeyPrefix(row), 0) {
-				return fmt.Errorf("sqlexec: duplicate value for unique index %q in table %q", si.def.Name, table)
+				return fmt.Errorf("sqlexec: duplicate value for unique index %q in table %q: %w", si.def.Name, table, dberr.ErrUniqueViolation)
 			}
 		}
 	}
@@ -235,7 +236,7 @@ func (db *Database) secCheckUpdateLocked(table string, old, new []sheet.Value, i
 			continue
 		}
 		if indexPrefixOccupied(si.tree, newPrefix, id) {
-			return fmt.Errorf("sqlexec: duplicate value for unique index %q in table %q", si.def.Name, table)
+			return fmt.Errorf("sqlexec: duplicate value for unique index %q in table %q: %w", si.def.Name, table, dberr.ErrUniqueViolation)
 		}
 	}
 	return nil

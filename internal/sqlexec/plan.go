@@ -20,16 +20,23 @@ import (
 // always bound against their current shape.
 
 // Prepared is a parsed and analyzed statement ready for repeated execution.
+// It is immutable after Prepare and safe to share across sessions: bindings
+// ('?' arguments, RANGEVALUE reads, access-path bounds) live in the
+// per-execution environment, never in the prepared statement.
 type Prepared struct {
 	// SQL is the exact text the statement was parsed from.
-	SQL   string
-	stmt  sqlparser.Statement
-	sel   *selectAnalysis // non-nil when stmt is a SELECT
-	epoch uint64
+	SQL     string
+	stmt    sqlparser.Statement
+	sel     *selectAnalysis // non-nil when stmt is a SELECT
+	epoch   uint64
+	nparams int
 }
 
 // Statement returns the parsed statement.
 func (p *Prepared) Statement() sqlparser.Statement { return p.stmt }
+
+// NumParams returns the number of '?' placeholders the statement binds.
+func (p *Prepared) NumParams() int { return p.nparams }
 
 // selectAnalysis is the schema-independent logical plan of one SELECT:
 // everything derivable from the statement text alone, computed once and
@@ -123,7 +130,7 @@ func (db *Database) Prepare(sql string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{SQL: sql, stmt: stmt, epoch: epoch}
+	p := &Prepared{SQL: sql, stmt: stmt, epoch: epoch, nparams: sqlparser.NumPlaceholders(stmt)}
 	if sel, ok := stmt.(*sqlparser.SelectStmt); ok {
 		p.sel = analyzeSelect(sel)
 	}

@@ -30,54 +30,31 @@ import (
 //     resolves names and never formats hash keys.
 
 // executeSelect runs a SELECT statement to a materialised Result.
-func (db *Database) executeSelect(stmt *sqlparser.SelectStmt, sheets SheetAccessor) (*Result, error) {
-	return db.runSelect(stmt, analyzeSelect(stmt), sheets)
+func (db *Database) executeSelect(stmt *sqlparser.SelectStmt, env *execEnv) (*Result, error) {
+	return db.runSelect(stmt, analyzeSelect(stmt), env)
 }
 
 // runSelect executes a SELECT according to its cached analysis.
-func (db *Database) runSelect(stmt *sqlparser.SelectStmt, an *selectAnalysis, sheets SheetAccessor) (*Result, error) {
-	rel, residual, err := db.buildInput(stmt, an, sheets)
+func (db *Database) runSelect(stmt *sqlparser.SelectStmt, an *selectAnalysis, env *execEnv) (*Result, error) {
+	rel, residual, err := db.buildInput(stmt, an, env)
 	if err != nil {
 		return nil, err
 	}
 	// Residual WHERE conjuncts (those spanning sources, or blocked by the
 	// nullable side of a LEFT JOIN) filter the joined relation.
 	if len(residual) > 0 {
-		env := &compileEnv{cols: rel.cols, sheets: sheets}
-		preds := make([]boundExpr, len(residual))
-		for i, c := range residual {
-			if preds[i], err = compileExpr(c, env); err != nil {
-				return nil, err
-			}
+		rel, err = db.filterResidual(rel, residual, env)
+		if err != nil {
+			return nil, err
 		}
-		ctx := &rowCtx{sheets: sheets}
-		kept := rel.rows[:0]
-		for _, row := range rel.rows {
-			ctx.row = row
-			keep := true
-			for _, p := range preds {
-				ok, err := evalBoundPredicate(p, ctx)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					keep = false
-					break
-				}
-			}
-			if keep {
-				kept = append(kept, row)
-			}
-		}
-		rel = &relation{cols: rel.cols, rows: kept}
 	}
 
 	var out *Result
 	var sortKeys [][]sheet.Value
 	if an.grouped {
-		out, sortKeys, err = db.projectGrouped(stmt, rel, sheets)
+		out, sortKeys, err = db.projectGrouped(stmt, rel, env)
 	} else {
-		out, sortKeys, err = db.projectRows(stmt, rel, sheets)
+		out, sortKeys, err = db.projectRows(stmt, rel, env)
 	}
 	if err != nil {
 		return nil, err
@@ -86,10 +63,40 @@ func (db *Database) runSelect(stmt *sqlparser.SelectStmt, an *selectAnalysis, sh
 		out, sortKeys = distinctRows(out, sortKeys)
 	}
 	if len(stmt.OrderBy) > 0 && sortKeys != nil {
+		// The comparison sort cannot be interrupted mid-way; poll once at
+		// the sort boundary so a cancelled query never starts it.
+		if err := env.checkNow(); err != nil {
+			return nil, err
+		}
 		sortResult(stmt.OrderBy, out, sortKeys)
 	}
 	applyLimit(stmt, out)
 	return out, nil
+}
+
+// filterResidual applies the residual WHERE conjuncts to the joined
+// relation.
+func (db *Database) filterResidual(rel *relation, residual []sqlparser.Expr, env *execEnv) (*relation, error) {
+	preds, err := compilePredicates(residual, rel.cols, env)
+	if err != nil {
+		return nil, err
+	}
+	ctx := env.newRowCtx()
+	kept := rel.rows[:0]
+	for _, row := range rel.rows {
+		if err := env.check(); err != nil {
+			return nil, err
+		}
+		ctx.row = row
+		keep, err := allPredicates(preds, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			kept = append(kept, row)
+		}
+	}
+	return &relation{cols: rel.cols, rows: kept}, nil
 }
 
 // --- FROM pipeline: sources, pushdown, pruning, scans, joins ---
@@ -126,8 +133,8 @@ type inputPlan struct {
 // buildInput materialises the FROM clause: scans with pushdown, pruning and
 // access-path selection, then joins. It returns the joined relation and the
 // residual conjuncts.
-func (db *Database) buildInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, sheets SheetAccessor) (*relation, []sqlparser.Expr, error) {
-	plan, err := db.planInput(stmt, an, sheets)
+func (db *Database) buildInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, env *execEnv) (*relation, []sqlparser.Expr, error) {
+	plan, err := db.planInput(stmt, an, env)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,16 +146,16 @@ func (db *Database) buildInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, s
 		}
 		return rel, plan.residual, nil
 	}
-	left, err := db.scanSource(plan.srcs[0], plan.live, sheets)
+	left, err := db.scanSource(plan.srcs[0], plan.live, env)
 	if err != nil {
 		return nil, nil, err
 	}
 	for ji, join := range stmt.Joins {
-		right, err := db.scanSource(plan.srcs[ji+1], plan.live, sheets)
+		right, err := db.scanSource(plan.srcs[ji+1], plan.live, env)
 		if err != nil {
 			return nil, nil, err
 		}
-		left, err = joinRelations(left, right, join, sheets)
+		left, err = joinRelations(left, right, join, env)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -158,14 +165,16 @@ func (db *Database) buildInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, s
 
 // planInput resolves the FROM sources, assigns every WHERE conjunct to a
 // source or the residual, and chooses each named table's access path.
-func (db *Database) planInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, sheets SheetAccessor) (*inputPlan, error) {
+func (db *Database) planInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, env *execEnv) (*inputPlan, error) {
 	// Row-independent, error-free conjuncts are evaluated once per
 	// execution; a false or NULL one empties the result. Once one is
 	// false, the rest are skipped — WHERE short-circuits left to right.
+	// Placeholders resolve against this execution's bound arguments here,
+	// so the same cached statement plans fresh bounds every execution.
 	live := true
 	var nonConst []sqlparser.Expr
 	var nonConstPush []bool
-	emptyCtx := &rowCtx{sheets: sheets}
+	emptyCtx := env.newRowCtx()
 	for i, c := range an.conjuncts {
 		if !an.constConjuncts[i] {
 			nonConst = append(nonConst, c)
@@ -175,7 +184,7 @@ func (db *Database) planInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, sh
 		if !live {
 			continue
 		}
-		be, err := compileExpr(c, &compileEnv{sheets: sheets})
+		be, err := compileExpr(c, &compileEnv{sheets: env.sheets})
 		if err != nil {
 			return nil, err
 		}
@@ -190,7 +199,7 @@ func (db *Database) planInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, sh
 		return &inputPlan{live: live, residual: nonConst}, nil
 	}
 
-	srcs, err := db.buildSources(stmt, sheets)
+	srcs, err := db.buildSources(stmt, env)
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +320,7 @@ func (db *Database) planInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, sh
 		if i == 0 && len(stmt.Joins) == 0 && len(residual) == 0 && !an.grouped && !stmt.Distinct {
 			ord = orderRequest(stmt, s)
 		}
-		s.path = db.chooseAccessPath(s.tbl, s.cols, s.pushed, sheets, ord)
+		s.path = db.chooseAccessPath(s.tbl, s.cols, s.pushed, env, ord)
 	}
 	return &inputPlan{srcs: srcs, residual: residual, live: live}, nil
 }
@@ -406,7 +415,7 @@ func conjunctSource(e sqlparser.Expr, accum []colDesc, origin []srcCol) (int, bo
 // buildSources resolves the schema of every FROM relation. RANGETABLE and
 // sub-select sources materialise their rows here; named tables are scanned
 // later, after pushdown and pruning are decided.
-func (db *Database) buildSources(stmt *sqlparser.SelectStmt, sheets SheetAccessor) ([]*srcState, error) {
+func (db *Database) buildSources(stmt *sqlparser.SelectStmt, env *execEnv) ([]*srcState, error) {
 	refs := make([]sqlparser.TableRef, 0, 1+len(stmt.Joins))
 	refs = append(refs, stmt.From)
 	for _, j := range stmt.Joins {
@@ -434,10 +443,10 @@ func (db *Database) buildSources(stmt *sqlparser.SelectStmt, sheets SheetAccesso
 			}
 			s.needed = make([]bool, len(s.cols))
 		case *sqlparser.RangeTableRef:
-			if sheets == nil {
+			if env.sheets == nil {
 				return nil, fmt.Errorf("sqlexec: RANGETABLE requires a spreadsheet context")
 			}
-			names, rows, err := sheets.RangeTable(t.Ref, t.HeaderRow)
+			names, rows, err := env.sheets.RangeTable(t.Ref, t.HeaderRow)
 			if err != nil {
 				return nil, err
 			}
@@ -448,7 +457,7 @@ func (db *Database) buildSources(stmt *sqlparser.SelectStmt, sheets SheetAccesso
 				s.cols = append(s.cols, colDesc{table: s.label, name: strings.ToLower(n), src: i})
 			}
 		case *sqlparser.SubSelect:
-			res, err := db.executeSelect(t.Select, sheets)
+			res, err := db.executeSelect(t.Select, env)
 			if err != nil {
 				return nil, err
 			}
@@ -466,90 +475,115 @@ func (db *Database) buildSources(stmt *sqlparser.SelectStmt, sheets SheetAccesso
 	return srcs, nil
 }
 
+// scanSchema resolves the physical column subset projection pruning chose
+// for a named-table source: scanCols stays nil only for a full-width scan; a
+// source with NO referenced columns (e.g. COUNT(*), or a bare existence
+// join) scans with an explicit empty subset so the relation's zero-width
+// schema matches its rows.
+func (s *srcState) scanSchema() (cols []colDesc, scanCols []int) {
+	cols = s.cols
+	if s.store == nil || s.allNeeded {
+		return cols, nil
+	}
+	all := true
+	for _, n := range s.needed {
+		if !n {
+			all = false
+			break
+		}
+	}
+	if all {
+		return cols, nil
+	}
+	scanCols = []int{}
+	cols = []colDesc{}
+	for i, n := range s.needed {
+		if n {
+			scanCols = append(scanCols, i)
+			cols = append(cols, s.cols[i])
+		}
+	}
+	return cols, scanCols
+}
+
 // scanSource turns one FROM source into a relation: named tables stream
 // through ScanCols with only the needed columns and the pushed predicates
 // applied before rows are copied; materialised sources are filtered in
 // place. live=false short-circuits to an empty relation (a constant WHERE
-// conjunct was false).
-func (db *Database) scanSource(s *srcState, live bool, sheets SheetAccessor) (*relation, error) {
-	if s.store == nil {
-		// RANGETABLE / sub-select: rows are already materialised; apply
-		// the pushed conjuncts before the rows enter the join pipeline.
-		rel := &relation{cols: s.cols}
-		if !live {
-			return rel, nil
-		}
-		rel.rows = s.rows
-		if len(s.pushed) == 0 {
-			return rel, nil
-		}
-		preds, err := compilePredicates(s.pushed, s.cols, sheets)
-		if err != nil {
-			return nil, err
-		}
-		ctx := &rowCtx{sheets: sheets}
-		kept := rel.rows[:0]
-		for _, row := range rel.rows {
-			ctx.row = row
-			keep, err := allPredicates(preds, ctx)
-			if err != nil {
-				return nil, err
-			}
-			if keep {
-				kept = append(kept, row)
-			}
-		}
-		rel.rows = kept
-		return rel, nil
-	}
-
-	// Named table: projection pruning decides the physical column subset.
-	// scanCols stays nil only for a full-width scan; a source with NO
-	// referenced columns (e.g. COUNT(*), or a bare existence join) scans
-	// with an explicit empty subset so the relation's zero-width schema
-	// matches its rows.
-	var scanCols []int
-	cols := s.cols
-	if !s.allNeeded {
-		all := true
-		for _, n := range s.needed {
-			if !n {
-				all = false
-				break
-			}
-		}
-		if !all {
-			scanCols = []int{}
-			cols = []colDesc{}
-			for i, n := range s.needed {
-				if n {
-					scanCols = append(scanCols, i)
-					cols = append(cols, s.cols[i])
-				}
-			}
-		}
-	}
+// conjunct was false). Named-table scans run under the database read lock,
+// so concurrent sessions' writes (serialised under the write lock) never
+// race the storage structures mid-scan.
+func (db *Database) scanSource(s *srcState, live bool, env *execEnv) (*relation, error) {
+	cols, scanCols := s.scanSchema()
 	rel := &relation{cols: cols}
 	if !live {
 		return rel, nil
 	}
-	preds, err := compilePredicates(s.pushed, cols, sheets)
-	if err != nil {
-		return nil, err
-	}
-	ctx := &rowCtx{sheets: sheets}
-	if s.path != nil && s.path.kind != pathFull {
-		if err := db.scanIndexPath(s, rel, preds, ctx, scanCols); err != nil {
-			return nil, err
-		}
+	if s.store == nil && len(s.pushed) == 0 {
+		// RANGETABLE / sub-select with nothing pushed: adopt the rows as-is.
+		rel.rows = s.rows
 		return rel, nil
 	}
 	var arena valueArena
-	// Stable scans hand out immutable decoded-page rows that can be
-	// retained as-is; scratch-based scans require a copy of each kept row.
+	err := db.scanSourceEach(s, env, cols, scanCols, func(row []sheet.Value, stable bool) error {
+		// Stable rows (materialised sources, index point reads, decoded-page
+		// scans) can be retained as-is; scratch-based scan rows need a copy.
+		if !stable {
+			row = arena.clone(row)
+		}
+		rel.rows = append(rel.rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// scanSourceEach streams the kept rows of one FROM source — pushed
+// predicates applied, pruning decided by (cols, scanCols) from scanSchema —
+// to emit. stable reports whether the row survives beyond the callback;
+// emit returning an error stops the scan and surfaces that error.
+// Named-table iteration runs under the database read lock (predicates are
+// compiled — RANGEVALUE folds included — before it is taken), so emit must
+// not block on other goroutines: the streaming fast path batches under the
+// lock and sends outside it instead of using this helper directly.
+func (db *Database) scanSourceEach(s *srcState, env *execEnv, cols []colDesc, scanCols []int, emit func(row []sheet.Value, stable bool) error) error {
+	preds, err := compilePredicates(s.pushed, cols, env)
+	if err != nil {
+		return err
+	}
+	ctx := env.newRowCtx()
+	if s.store == nil {
+		// RANGETABLE / sub-select: rows are already materialised.
+		for _, row := range s.rows {
+			if err := env.check(); err != nil {
+				return err
+			}
+			ctx.row = row
+			keep, err := allPredicates(preds, ctx)
+			if err != nil {
+				return err
+			}
+			if keep {
+				if err := emit(row, true); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if s.path != nil && s.path.kind != pathFull {
+		return db.scanIndexPath(s, preds, ctx, scanCols, env, emit)
+	}
 	stable := s.store.ScanColsStable(scanCols)
 	var scanErr error
 	err = s.store.ScanCols(scanCols, func(_ tablestore.RowID, row []sheet.Value) bool {
+		if scanErr = env.check(); scanErr != nil {
+			return false
+		}
 		ctx.row = row
 		keep, err := allPredicates(preds, ctx)
 		if err != nil {
@@ -557,31 +591,31 @@ func (db *Database) scanSource(s *srcState, live bool, sheets SheetAccessor) (*r
 			return false
 		}
 		if keep {
-			if !stable {
-				row = arena.clone(row)
+			if scanErr = emit(row, stable); scanErr != nil {
+				return false
 			}
-			rel.rows = append(rel.rows, row)
 		}
 		return true
 	})
 	if err == nil {
 		err = scanErr
 	}
-	if err != nil {
-		return nil, err
-	}
-	return rel, nil
+	return err
 }
 
-// scanIndexPath materialises a source through its index access path:
-// candidate RowIDs come from the B-tree, candidate rows are point reads of
-// only the referenced columns (GetCols), and the pushed conjuncts are
-// re-evaluated on every candidate so the kept rows are exactly what the
-// full scan would keep. Non-ordered paths emit in RowID order (the full
-// scan's order); ordered paths emit in index order and may stop early.
-func (db *Database) scanIndexPath(s *srcState, rel *relation, preds []boundExpr, ctx *rowCtx, fetchCols []int) error {
+// scanIndexPath streams a source through its index access path: candidate
+// RowIDs come from the B-tree, candidate rows are point reads of only the
+// referenced columns (GetCols), and the pushed conjuncts are re-evaluated on
+// every candidate so the kept rows are exactly what the full scan would
+// keep. Non-ordered paths emit in RowID order (the full scan's order);
+// ordered paths emit in index order and may stop early.
+func (db *Database) scanIndexPath(s *srcState, preds []boundExpr, ctx *rowCtx, fetchCols []int, env *execEnv, emit func(row []sheet.Value, stable bool) error) error {
 	table := s.tbl.Name
+	emitted := 0
 	keep := func(id tablestore.RowID) (bool, error) {
+		if err := env.check(); err != nil {
+			return false, err
+		}
 		row, err := s.store.GetCols(id, fetchCols)
 		if err != nil {
 			// The candidate vanished between the index read and the fetch
@@ -597,12 +631,15 @@ func (db *Database) scanIndexPath(s *srcState, rel *relation, preds []boundExpr,
 			return false, err
 		}
 		if ok {
-			rel.rows = append(rel.rows, row)
+			if err := emit(row, true); err != nil {
+				return false, err
+			}
+			emitted++
 		}
 		return true, nil
 	}
 	if !s.path.ordered {
-		for _, id := range db.collectPathIDs(table, s.path) {
+		for _, id := range db.collectPathIDsLocked(table, s.path) {
 			if ok, err := keep(id); err != nil || !ok {
 				return err
 			}
@@ -619,20 +656,20 @@ func (db *Database) scanIndexPath(s *srcState, rel *relation, preds []boundExpr,
 		if !ok {
 			return false
 		}
-		return s.path.earlyLimit <= 0 || len(rel.rows) < s.path.earlyLimit
+		return s.path.earlyLimit <= 0 || emitted < s.path.earlyLimit
 	})
 	return walkErr
 }
 
-func compilePredicates(conjuncts []sqlparser.Expr, cols []colDesc, sheets SheetAccessor) ([]boundExpr, error) {
+func compilePredicates(conjuncts []sqlparser.Expr, cols []colDesc, env *execEnv) ([]boundExpr, error) {
 	if len(conjuncts) == 0 {
 		return nil, nil
 	}
-	env := &compileEnv{cols: cols, sheets: sheets}
+	cenv := env.compileEnv(cols)
 	preds := make([]boundExpr, len(conjuncts))
 	var err error
 	for i, c := range conjuncts {
-		if preds[i], err = compileExpr(c, env); err != nil {
+		if preds[i], err = compileExpr(c, cenv); err != nil {
 			return nil, err
 		}
 	}
@@ -654,7 +691,7 @@ func allPredicates(preds []boundExpr, ctx *rowCtx) (bool, error) {
 // joinRelations combines two relations according to the join specification.
 // Hash joins build a typed-key index over the right side; candidate rows
 // are assembled in a reused scratch buffer and only copied when they join.
-func joinRelations(left, right *relation, join sqlparser.Join, sheets SheetAccessor) (*relation, error) {
+func joinRelations(left, right *relation, join sqlparser.Join, env *execEnv) (*relation, error) {
 	// Determine equi-join column pairs for NATURAL / USING joins.
 	var leftKeys, rightKeys []int
 	switch {
@@ -723,6 +760,9 @@ func joinRelations(left, right *relation, join sqlparser.Join, sheets SheetAcces
 			ix.addRow(slot, ri)
 		}
 		for _, lrow := range left.rows {
+			if err := env.check(); err != nil {
+				return nil, err
+			}
 			keyBuf = normalizeRowKey(keyBuf, lrow, leftKeys)
 			slot := ix.lookup(keyBuf)
 			if slot < 0 {
@@ -740,11 +780,11 @@ func joinRelations(left, right *relation, join sqlparser.Join, sheets SheetAcces
 		// join; otherwise fall back to a nested loop. Either way the ON
 		// predicate is compiled once against the combined schema and
 		// candidate rows are staged in a reused scratch buffer.
-		on, err := compileExpr(join.On, &compileEnv{cols: out.cols, sheets: sheets})
+		on, err := compileExpr(join.On, env.compileEnv(out.cols))
 		if err != nil {
 			return nil, err
 		}
-		ctx := &rowCtx{sheets: sheets}
+		ctx := env.newRowCtx()
 		scratch := make([]sheet.Value, len(left.cols)+len(right.cols))
 		lk, rk := equiJoinKeys(join.On, left, right)
 		if len(lk) > 0 {
@@ -756,6 +796,9 @@ func joinRelations(left, right *relation, join sqlparser.Join, sheets SheetAcces
 				ix.addRow(slot, ri)
 			}
 			for _, lrow := range left.rows {
+				if err := env.check(); err != nil {
+					return nil, err
+				}
 				keyBuf = normalizeRowKey(keyBuf, lrow, lk)
 				matched := false
 				if slot := ix.lookup(keyBuf); slot >= 0 {
@@ -782,6 +825,9 @@ func joinRelations(left, right *relation, join sqlparser.Join, sheets SheetAcces
 				matched := false
 				copy(scratch, lrow)
 				for _, rrow := range right.rows {
+					if err := env.check(); err != nil {
+						return nil, err
+					}
 					copy(scratch[leftWidth:], rrow)
 					ctx.row = scratch
 					keep, err := evalBoundPredicate(on, ctx)
@@ -801,6 +847,9 @@ func joinRelations(left, right *relation, join sqlparser.Join, sheets SheetAcces
 	default:
 		// Cross join (or inner join without a condition).
 		for _, lrow := range left.rows {
+			if err := env.check(); err != nil {
+				return nil, err
+			}
 			for _, rrow := range right.rows {
 				out.rows = append(out.rows, concatRows(lrow, rrow))
 			}
@@ -975,17 +1024,17 @@ func evalOrderKeys(plans []orderPlan, ctx *rowCtx, outRow []sheet.Value, keys []
 // projectRows projects a non-aggregated SELECT, streaming rows through the
 // compiled projection. With ORDER BY ... LIMIT (and no DISTINCT) a top-K
 // heap keeps only the surviving rows instead of sorting the full input.
-func (db *Database) projectRows(stmt *sqlparser.SelectStmt, rel *relation, sheets SheetAccessor) (*Result, [][]sheet.Value, error) {
+func (db *Database) projectRows(stmt *sqlparser.SelectStmt, rel *relation, env *execEnv) (*Result, [][]sheet.Value, error) {
 	items, names := expandItems(stmt, rel)
-	env := &compileEnv{cols: rel.cols, sheets: sheets}
+	cenv := env.compileEnv(rel.cols)
 	bound := make([]boundExpr, len(items))
 	var err error
 	for i, item := range items {
-		if bound[i], err = compileExpr(item.Expr, env); err != nil {
+		if bound[i], err = compileExpr(item.Expr, cenv); err != nil {
 			return nil, nil, err
 		}
 	}
-	orderPlans, err := buildOrderPlans(stmt, len(items), names, rel, env)
+	orderPlans, err := buildOrderPlans(stmt, len(items), names, rel, cenv)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -1000,7 +1049,7 @@ func (db *Database) projectRows(stmt *sqlparser.SelectStmt, rel *relation, sheet
 		topK = newTopKHeap(stmt.OrderBy, k)
 	}
 
-	ctx := &rowCtx{sheets: sheets}
+	ctx := env.newRowCtx()
 	var arena valueArena
 	var sortKeys [][]sheet.Value
 	if topK == nil {
@@ -1010,6 +1059,9 @@ func (db *Database) projectRows(stmt *sqlparser.SelectStmt, rel *relation, sheet
 		}
 	}
 	for seq, row := range rel.rows {
+		if err := env.check(); err != nil {
+			return nil, nil, err
+		}
 		ctx.row = row
 		out := arena.take(len(bound))
 		for i, be := range bound {
@@ -1055,30 +1107,31 @@ type groupState struct {
 // implicit single-group aggregation) in a single streaming pass: rows are
 // hashed to their group by typed keys and folded into per-group aggregate
 // accumulators; no group retains its member rows.
-func (db *Database) projectGrouped(stmt *sqlparser.SelectStmt, rel *relation, sheets SheetAccessor) (*Result, [][]sheet.Value, error) {
+func (db *Database) projectGrouped(stmt *sqlparser.SelectStmt, rel *relation, env *execEnv) (*Result, [][]sheet.Value, error) {
 	items, names := expandItems(stmt, rel)
 	reg := &aggRegistry{}
-	env := &compileEnv{cols: rel.cols, sheets: sheets, aggs: reg}
+	cenv := env.compileEnv(rel.cols)
+	cenv.aggs = reg
 	bound := make([]boundExpr, len(items))
 	var err error
 	for i, item := range items {
-		if bound[i], err = compileExpr(item.Expr, env); err != nil {
+		if bound[i], err = compileExpr(item.Expr, cenv); err != nil {
 			return nil, nil, err
 		}
 	}
 	var bHaving boundExpr
 	if stmt.Having != nil {
-		if bHaving, err = compileExpr(stmt.Having, env); err != nil {
+		if bHaving, err = compileExpr(stmt.Having, cenv); err != nil {
 			return nil, nil, err
 		}
 	}
-	orderPlans, err := buildOrderPlans(stmt, len(items), names, rel, env)
+	orderPlans, err := buildOrderPlans(stmt, len(items), names, rel, cenv)
 	if err != nil {
 		return nil, nil, err
 	}
 	// GROUP BY expressions evaluate per input row; aggregates inside them
 	// are invalid.
-	rowEnv := &compileEnv{cols: rel.cols, sheets: sheets}
+	rowEnv := env.compileEnv(rel.cols)
 	groupBy := make([]boundExpr, len(stmt.GroupBy))
 	for i, g := range stmt.GroupBy {
 		if groupBy[i], err = compileExpr(g, rowEnv); err != nil {
@@ -1091,7 +1144,7 @@ func (db *Database) projectGrouped(stmt *sqlparser.SelectStmt, rel *relation, sh
 	newGroup := func() *groupState {
 		return &groupState{accs: make([]aggState, len(reg.specs))}
 	}
-	ctx := &rowCtx{sheets: sheets}
+	ctx := env.newRowCtx()
 	var ix *keyIndex
 	var keyBuf []normValue
 	if len(groupBy) == 0 {
@@ -1103,6 +1156,9 @@ func (db *Database) projectGrouped(stmt *sqlparser.SelectStmt, rel *relation, sh
 		keyBuf = make([]normValue, 0, len(groupBy))
 	}
 	for _, row := range rel.rows {
+		if err := env.check(); err != nil {
+			return nil, nil, err
+		}
 		ctx.row = row
 		var g *groupState
 		if ix == nil {
@@ -1135,7 +1191,11 @@ func (db *Database) projectGrouped(stmt *sqlparser.SelectStmt, rel *relation, sh
 	res := &Result{Columns: names}
 	var sortKeys [][]sheet.Value
 	for _, g := range groups {
-		ctx := &rowCtx{row: g.rep, sheets: sheets, aggs: make([]sheet.Value, len(reg.specs))}
+		if err := env.check(); err != nil {
+			return nil, nil, err
+		}
+		ctx := env.newRowCtx()
+		ctx.row, ctx.aggs = g.rep, make([]sheet.Value, len(reg.specs))
 		for i, sp := range reg.specs {
 			ctx.aggs[i] = sp.result(&g.accs[i])
 		}

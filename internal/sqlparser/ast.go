@@ -242,6 +242,13 @@ type RangeValueExpr struct {
 	Ref string
 }
 
+// Placeholder is a positional statement parameter ("?"). Index is the
+// 0-based position of the placeholder in lexical order across the statement;
+// execution binds the Index-th argument value here.
+type Placeholder struct {
+	Index int
+}
+
 // InExpr is "x [NOT] IN (e1, e2, ...)".
 type InExpr struct {
 	X    Expr
@@ -290,6 +297,7 @@ func (*BinaryExpr) exprNode()     {}
 func (*UnaryExpr) exprNode()      {}
 func (*FuncCall) exprNode()       {}
 func (*RangeValueExpr) exprNode() {}
+func (*Placeholder) exprNode()    {}
 func (*InExpr) exprNode()         {}
 func (*IsNullExpr) exprNode()     {}
 func (*BetweenExpr) exprNode()    {}

@@ -193,6 +193,10 @@ func Lex(input string) ([]Token, error) {
 			// Absolute-reference marker inside positional arguments.
 			toks = append(toks, Token{Kind: TokPunct, Text: "$", Pos: i})
 			i++
+		case c == '?':
+			// Positional statement parameter (prepared statements).
+			toks = append(toks, Token{Kind: TokPunct, Text: "?", Pos: i})
+			i++
 		default:
 			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
 		}

@@ -12,6 +12,10 @@ import (
 type Parser struct {
 	toks []Token
 	pos  int
+	// params counts the '?' placeholders of the statement being parsed;
+	// each placeholder takes the next 0-based index in lexical order.
+	// ParseMulti resets it per top-level statement.
+	params int
 }
 
 // Parse parses a single SQL statement. A trailing semicolon is allowed.
@@ -44,6 +48,7 @@ func ParseMulti(input string) ([]Statement, error) {
 		if p.accept(TokPunct, ";") {
 			continue
 		}
+		p.params = 0
 		stmt, err := p.parseStatement()
 		if err != nil {
 			return nil, err
@@ -1146,6 +1151,12 @@ func (p *Parser) parsePrimary() (Expr, error) {
 				return nil, err
 			}
 			return e, nil
+		}
+		if t.Text == "?" {
+			p.next()
+			ph := &Placeholder{Index: p.params}
+			p.params++
+			return ph, nil
 		}
 		return nil, p.errorf("unexpected %q in expression", t.Text)
 	case TokIdent:

@@ -1,0 +1,102 @@
+package dataspread
+
+import (
+	"fmt"
+
+	"github.com/dataspread/dataspread/internal/sqlexec"
+)
+
+// Rows is a streaming query result. Iterate with Next/Scan and always Close
+// (or exhaust) it; rows arrive as the storage scan produces them, so a large
+// result is never materialised for single-source statements.
+//
+//	rows, err := db.Query(ctx, "SELECT id, title FROM movies WHERE year > ?", 1990)
+//	...
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var id int
+//	    var title string
+//	    if err := rows.Scan(&id, &title); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// A Rows is not safe for concurrent use.
+type Rows struct {
+	// exactly one of r (streaming) and mat (materialised fallback) is set.
+	r   *sqlexec.Rows
+	mat *Result
+	pos int
+	cur []Value
+}
+
+func materializedRows(res *sqlexec.Result) *Rows {
+	r := wrapResult(res)
+	return &Rows{mat: &r}
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string {
+	if r.mat != nil {
+		return append([]string(nil), r.mat.Columns...)
+	}
+	return r.r.Columns()
+}
+
+// Next advances to the next row, reporting whether one is available.
+func (r *Rows) Next() bool {
+	if r.mat != nil {
+		if r.pos >= len(r.mat.Rows) {
+			r.cur = nil
+			return false
+		}
+		r.cur = r.mat.Rows[r.pos]
+		r.pos++
+		return true
+	}
+	if !r.r.Next() {
+		r.cur = nil
+		return false
+	}
+	r.cur = r.r.Row()
+	return true
+}
+
+// Values returns the current row (valid after a true Next).
+func (r *Rows) Values() []Value { return r.cur }
+
+// Scan copies the current row into the destination pointers: *string,
+// *float64, *int, *int64, *bool, *Value or *any. NULL scans as the zero
+// value (nil for *any).
+func (r *Rows) Scan(dest ...any) error {
+	if r.cur == nil {
+		return fmt.Errorf("dataspread: Scan called without a row (call Next first)")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("dataspread: Scan expects %d destination(s), got %d", len(r.cur), len(dest))
+	}
+	for i, d := range dest {
+		if err := scanValue(r.cur[i], d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any. Close before
+// exhaustion is not an error; cancellation of the caller's context is.
+func (r *Rows) Err() error {
+	if r.mat != nil {
+		return nil
+	}
+	return r.r.Err()
+}
+
+// Close stops the query and releases its resources. Idempotent.
+func (r *Rows) Close() error {
+	if r.mat != nil {
+		r.pos = len(r.mat.Rows)
+		r.cur = nil
+		return nil
+	}
+	return r.r.Close()
+}

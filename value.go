@@ -1,0 +1,153 @@
+package dataspread
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// Value is the engine's dynamically-typed value: NULL (empty), a float64
+// number, a string, a boolean or an error value. It is shared with the
+// spreadsheet layer, so query results and cell values speak the same type.
+//
+// Useful methods include String, IsEmpty, AsNumber, AsBool, AsString,
+// Equal and Compare.
+type Value = sheet.Value
+
+// Null returns the NULL (empty) value.
+func Null() Value { return sheet.Empty() }
+
+// Number returns a numeric value.
+func Number(f float64) Value { return sheet.Number(f) }
+
+// Text returns a string value.
+func Text(s string) Value { return sheet.String_(s) }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return sheet.Bool_(b) }
+
+// BindValue converts a native Go value to a statement argument. Supported:
+// nil, Value, bool, string, []byte (as string), every integer and float
+// type, and time.Time (RFC 3339 text). Anything else is an error.
+func BindValue(arg any) (Value, error) {
+	switch v := arg.(type) {
+	case nil:
+		return sheet.Empty(), nil
+	case Value:
+		return v, nil
+	case bool:
+		return sheet.Bool_(v), nil
+	case string:
+		return sheet.String_(v), nil
+	case []byte:
+		return sheet.String_(string(v)), nil
+	case float64:
+		return sheet.Number(v), nil
+	case float32:
+		return sheet.Number(float64(v)), nil
+	case int:
+		return sheet.Number(float64(v)), nil
+	case int8:
+		return sheet.Number(float64(v)), nil
+	case int16:
+		return sheet.Number(float64(v)), nil
+	case int32:
+		return sheet.Number(float64(v)), nil
+	case int64:
+		return sheet.Number(float64(v)), nil
+	case uint:
+		return sheet.Number(float64(v)), nil
+	case uint8:
+		return sheet.Number(float64(v)), nil
+	case uint16:
+		return sheet.Number(float64(v)), nil
+	case uint32:
+		return sheet.Number(float64(v)), nil
+	case uint64:
+		return sheet.Number(float64(v)), nil
+	case time.Time:
+		return sheet.String_(v.Format(time.RFC3339Nano)), nil
+	default:
+		return sheet.Empty(), fmt.Errorf("dataspread: cannot bind %T as a statement argument", arg)
+	}
+}
+
+// BindValues converts a native Go argument list (see BindValue).
+func BindValues(args []any) ([]Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]Value, len(args))
+	for i, a := range args {
+		v, err := BindValue(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// GoValue converts a Value to its native Go representation: nil, float64,
+// string or bool (error values surface as their message string).
+func GoValue(v Value) any {
+	switch v.Kind {
+	case sheet.KindNumber:
+		return v.Num
+	case sheet.KindString:
+		return v.Str
+	case sheet.KindBool:
+		return v.Bool
+	case sheet.KindError:
+		return v.Err
+	default:
+		return nil
+	}
+}
+
+// scanValue stores a Value into a caller-supplied destination pointer.
+// NULL scans as the destination's zero value (nil for *any and *Value...
+// pointees keep Value NULL semantics through IsEmpty).
+func scanValue(v Value, dest any) error {
+	switch d := dest.(type) {
+	case *Value:
+		*d = v
+	case *any:
+		*d = GoValue(v)
+	case *string:
+		if v.IsEmpty() {
+			*d = ""
+		} else {
+			*d = v.AsString()
+		}
+	case *float64:
+		f, ok := v.AsNumber()
+		if !ok && !v.IsEmpty() {
+			return fmt.Errorf("dataspread: cannot scan %q into *float64", v.String())
+		}
+		*d = f
+	case *int:
+		f, ok := v.AsNumber()
+		if !ok && !v.IsEmpty() {
+			return fmt.Errorf("dataspread: cannot scan %q into *int", v.String())
+		}
+		*d = int(math.Round(f))
+	case *int64:
+		f, ok := v.AsNumber()
+		if !ok && !v.IsEmpty() {
+			return fmt.Errorf("dataspread: cannot scan %q into *int64", v.String())
+		}
+		*d = int64(math.Round(f))
+	case *bool:
+		b, ok := v.AsBool()
+		if !ok && !v.IsEmpty() {
+			return fmt.Errorf("dataspread: cannot scan %q into *bool", v.String())
+		}
+		*d = b
+	default:
+		return fmt.Errorf("dataspread: unsupported scan destination %T", dest)
+	}
+	return nil
+}
