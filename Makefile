@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench fuzz verify apicheck
+.PHONY: all build test race vet fmt bench fuzz verify apicheck lint
 
 all: build test
 
@@ -22,7 +22,16 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
-verify: fmt vet build test apicheck
+verify: fmt vet lint build test apicheck
+
+# lint runs go vet plus dslint, the project-specific analyzer suite
+# (internal/lint): lockcheck (engine-lock discipline, no parking under the
+# lock), errwrap (dberr sentinel wrapping, no discarded durability
+# errors), ctxcancel (row loops reach the cancellation poll) and apistable
+# (blessed internal imports only). See DESIGN.md "Static analysis".
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/dslint
 
 # apicheck diffs the exported surface of the public packages (the root
 # `dataspread` package and `driver`) against the committed golden

@@ -1,0 +1,81 @@
+// Command dslint is the repo's project-specific multichecker. It loads
+// the whole module, runs the four engine-invariant analyzers — lockcheck,
+// errwrap, ctxcancel, apistable — applies //lint:ignore suppressions, and
+// prints surviving findings in file:line:col form, exiting nonzero when
+// any remain. `make lint` runs it alongside go vet; the verify target and
+// CI gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/lint"
+	"github.com/dataspread/dataspread/internal/lint/apistable"
+	"github.com/dataspread/dataspread/internal/lint/ctxcancel"
+	"github.com/dataspread/dataspread/internal/lint/errwrap"
+	"github.com/dataspread/dataspread/internal/lint/lockcheck"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory inside the module to lint")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	all := []*lint.Analyzer{
+		lockcheck.Analyzer,
+		errwrap.Analyzer,
+		ctxcancel.Analyzer,
+		apistable.Analyzer,
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		analyzers = nil
+		for _, a := range all {
+			if keep[a.Name] {
+				analyzers = append(analyzers, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "dslint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	mod, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dslint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(mod, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dslint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if strings.HasPrefix(rel, mod.Dir) {
+			rel = strings.TrimPrefix(strings.TrimPrefix(rel, mod.Dir), "/")
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -76,5 +76,8 @@
 //	sqlDB, err := sql.Open("dataspread", "workbook.ds")
 //
 // The exported surface of this package and driver is golden-checked by
-// `make apicheck` (api/public.txt).
+// `make apicheck` (api/public.txt), and the engine's locking, durability
+// and cancellation invariants are mechanically enforced by `make lint`,
+// which runs the project-specific analyzer suite in internal/lint via
+// cmd/dslint (DESIGN.md §Static Analysis).
 package dataspread

@@ -10,6 +10,8 @@
 //   - Inferred typing: column types can be inferred from observed
 //     spreadsheet values when a sheet range is exported as a table
 //     (paper §2.2 "Data typing").
+//
+// dslint:errdomain
 package catalog
 
 import (
@@ -223,19 +225,19 @@ func (e ErrNoTable) Is(target error) bool { return target == dberr.ErrTableNotFo
 // (case-insensitive) and non-empty.
 func (c *Catalog) Create(name string, cols []Column) (*Table, error) {
 	if strings.TrimSpace(name) == "" {
-		return nil, fmt.Errorf("catalog: empty table name")
+		return nil, fmt.Errorf("catalog: empty table name: %w", dberr.ErrInvalidSchema)
 	}
 	if len(cols) == 0 {
-		return nil, fmt.Errorf("catalog: table %q must have at least one column", name)
+		return nil, fmt.Errorf("catalog: table %q must have at least one column: %w", name, dberr.ErrInvalidSchema)
 	}
 	seen := make(map[string]bool, len(cols))
 	for _, col := range cols {
 		k := key(col.Name)
 		if k == "" {
-			return nil, fmt.Errorf("catalog: table %q has a column with an empty name", name)
+			return nil, fmt.Errorf("catalog: table %q has a column with an empty name: %w", name, dberr.ErrInvalidSchema)
 		}
 		if seen[k] {
-			return nil, fmt.Errorf("catalog: table %q has duplicate column %q", name, col.Name)
+			return nil, fmt.Errorf("catalog: table %q has duplicate column %q: %w", name, col.Name, dberr.ErrInvalidSchema)
 		}
 		seen[k] = true
 	}
@@ -302,7 +304,7 @@ func (c *Catalog) AddColumn(table string, col Column) error {
 		return ErrNoTable{Name: table}
 	}
 	if _, exists := t.columnIndexLocked(col.Name); exists {
-		return fmt.Errorf("catalog: column %q already exists in table %q", col.Name, table)
+		return fmt.Errorf("catalog: column %q already exists in table %q: %w", col.Name, table, dberr.ErrColumnExists)
 	}
 	t.Columns = append(t.Columns, col)
 	t.Version++
@@ -322,7 +324,7 @@ func (c *Catalog) DropColumn(table, column string) (int, error) {
 		return 0, fmt.Errorf("catalog: column %q of table %q: %w", column, table, dberr.ErrColumnNotFound)
 	}
 	if len(t.Columns) == 1 {
-		return 0, fmt.Errorf("catalog: cannot drop the only column of table %q", table)
+		return 0, fmt.Errorf("catalog: cannot drop the only column of table %q: %w", table, dberr.ErrInvalidSchema)
 	}
 	t.Columns = append(t.Columns[:idx], t.Columns[idx+1:]...)
 	t.Version++
@@ -332,7 +334,7 @@ func (c *Catalog) DropColumn(table, column string) (int, error) {
 // RenameColumn renames a column in place.
 func (c *Catalog) RenameColumn(table, oldName, newName string) error {
 	if strings.TrimSpace(newName) == "" {
-		return fmt.Errorf("catalog: empty new column name")
+		return fmt.Errorf("catalog: empty new column name: %w", dberr.ErrInvalidSchema)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -341,11 +343,11 @@ func (c *Catalog) RenameColumn(table, oldName, newName string) error {
 		return ErrNoTable{Name: table}
 	}
 	if _, exists := t.columnIndexLocked(newName); exists && !strings.EqualFold(oldName, newName) {
-		return fmt.Errorf("catalog: column %q already exists in table %q", newName, table)
+		return fmt.Errorf("catalog: column %q already exists in table %q: %w", newName, table, dberr.ErrColumnExists)
 	}
 	idx, exists := t.columnIndexLocked(oldName)
 	if !exists {
-		return fmt.Errorf("catalog: column %q does not exist in table %q", oldName, table)
+		return fmt.Errorf("catalog: column %q does not exist in table %q: %w", oldName, table, dberr.ErrColumnNotFound)
 	}
 	t.Columns[idx].Name = newName
 	t.Version++

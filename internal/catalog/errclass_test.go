@@ -1,0 +1,54 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/dberr"
+)
+
+// TestSchemaErrorClassification pins the dberr sentinel taxonomy for schema
+// operations: every validation failure must round-trip through errors.Is so
+// callers can classify without string matching. These assert the wrapped-%w
+// conversion of the package's bare fmt.Errorf sites.
+func TestSchemaErrorClassification(t *testing.T) {
+	c := New()
+
+	// Create-time validation failures are ErrInvalidSchema.
+	for name, cols := range map[string][]Column{
+		"":    {{Name: "a", Type: TypeNumber}},
+		"t0":  nil,
+		"t1":  {{Name: "", Type: TypeNumber}},
+		"dup": {{Name: "a", Type: TypeNumber}, {Name: "A", Type: TypeText}},
+	} {
+		if _, err := c.Create(name, cols); !errors.Is(err, dberr.ErrInvalidSchema) {
+			t.Errorf("Create(%q) error = %v, want errors.Is dberr.ErrInvalidSchema", name, err)
+		}
+	}
+
+	if _, err := c.Create("t", []Column{{Name: "a", Type: TypeNumber}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.AddColumn("t", Column{Name: "A", Type: TypeText}); !errors.Is(err, dberr.ErrColumnExists) {
+		t.Errorf("AddColumn duplicate error = %v, want errors.Is dberr.ErrColumnExists", err)
+	}
+	if _, err := c.DropColumn("t", "missing"); !errors.Is(err, dberr.ErrColumnNotFound) {
+		t.Errorf("DropColumn missing error = %v, want errors.Is dberr.ErrColumnNotFound", err)
+	}
+	if _, err := c.DropColumn("t", "a"); !errors.Is(err, dberr.ErrInvalidSchema) {
+		t.Errorf("DropColumn last-column error = %v, want errors.Is dberr.ErrInvalidSchema", err)
+	}
+	if err := c.RenameColumn("t", "missing", "b"); !errors.Is(err, dberr.ErrColumnNotFound) {
+		t.Errorf("RenameColumn missing error = %v, want errors.Is dberr.ErrColumnNotFound", err)
+	}
+	if err := c.AddColumn("t", Column{Name: "b", Type: TypeNumber}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RenameColumn("t", "b", "a"); !errors.Is(err, dberr.ErrColumnExists) {
+		t.Errorf("RenameColumn collision error = %v, want errors.Is dberr.ErrColumnExists", err)
+	}
+	if err := c.RenameColumn("t", "b", ""); !errors.Is(err, dberr.ErrInvalidSchema) {
+		t.Errorf("RenameColumn empty-name error = %v, want errors.Is dberr.ErrInvalidSchema", err)
+	}
+}

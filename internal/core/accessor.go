@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/dataspread/dataspread/internal/catalog"
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/formula"
 	"github.com/dataspread/dataspread/internal/sheet"
 )
@@ -33,7 +34,7 @@ func (sa *sheetAccessor) splitRef(ref string) (*sheet.Sheet, string, error) {
 	if sheetName == "" {
 		names := sa.ds.book.SheetNames()
 		if len(names) == 0 {
-			return nil, "", fmt.Errorf("core: workbook has no sheets")
+			return nil, "", fmt.Errorf("core: workbook has no sheets: %w", dberr.ErrSheetNotFound)
 		}
 		sheetName = names[0]
 	}

@@ -30,9 +30,9 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/storage/pager"
 	"github.com/dataspread/dataspread/internal/txn"
 )
@@ -144,7 +144,7 @@ func (ds *DataSpread) ckptCapture() (*ckptState, error) {
 	ds.cmdMu.Lock()
 	defer ds.cmdMu.Unlock()
 	if ds.wal == nil {
-		return nil, errors.New("core: checkpoint requires a durable workbook")
+		return nil, fmt.Errorf("core: checkpoint requires a durable workbook: %w", dberr.ErrUnsupported)
 	}
 	pool := ds.db.Pool()
 	if err := pool.FlushAll(); err != nil {
@@ -164,10 +164,10 @@ func (ds *DataSpread) ckptCapture() (*ckptState, error) {
 func (ds *DataSpread) ckptWrite(st *ckptState) error {
 	be := ds.backend
 	if st.metaPage = be.Allocate(); st.metaPage == pager.InvalidPage {
-		return errors.New("core: checkpoint: page allocation failed")
+		return fmt.Errorf("core: checkpoint: page allocation failed: %w", dberr.ErrInternal)
 	}
 	if st.snapPage = be.Allocate(); st.snapPage == pager.InvalidPage {
-		return errors.New("core: checkpoint: page allocation failed")
+		return fmt.Errorf("core: checkpoint: page allocation failed: %w", dberr.ErrInternal)
 	}
 	if err := be.WritePage(st.metaPage, st.metaBlob); err != nil {
 		return fmt.Errorf("core: write page catalog: %w", err)

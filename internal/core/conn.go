@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/sqlexec"
 	"github.com/dataspread/dataspread/internal/sqlparser"
@@ -78,7 +79,7 @@ func (c *Conn) ExecutePrepared(ctx context.Context, p *sqlexec.Prepared, args ..
 // ctx, early scan exit on LIMIT or Close.
 func (c *Conn) StreamPrepared(ctx context.Context, p *sqlexec.Prepared, args ...sheet.Value) (*sqlexec.Rows, error) {
 	if sqlparser.Mutates(p.Statement()) {
-		return nil, fmt.Errorf("core: cannot stream a mutating statement; use ExecutePrepared")
+		return nil, fmt.Errorf("core: cannot stream a mutating statement; use ExecutePrepared: %w", dberr.ErrUnsupported)
 	}
 	return c.sess.StreamPrepared(ctx, p, args...)
 }

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/dataspread/dataspread/internal/dberr"
 )
 
 // TestSingleWriterLock verifies the flock-based single-writer rule: a second
@@ -20,6 +23,10 @@ func TestSingleWriterLock(t *testing.T) {
 	}
 	if _, err := OpenFile(path, Options{}); err == nil {
 		t.Fatal("second opener acquired the workbook while it was locked")
+	} else if !errors.Is(err, dberr.ErrConflict) {
+		// The conflict must classify as dberr.ErrConflict even though the
+		// lock path joins the close error into the returned error.
+		t.Fatalf("second-opener error = %v, want errors.Is dberr.ErrConflict", err)
 	}
 	if err := ds.Close(); err != nil {
 		t.Fatal(err)

@@ -16,6 +16,8 @@
 //   - direct SQL over everything (Query), and
 //   - window operations (ScrollTo) that drive fetch-on-demand and
 //     visible-first computation.
+//
+// dslint:errdomain
 package core
 
 import (
@@ -27,6 +29,7 @@ import (
 
 	"github.com/dataspread/dataspread/internal/catalog"
 	"github.com/dataspread/dataspread/internal/compute"
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/interfacemgr"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/sqlexec"
@@ -194,7 +197,7 @@ func (ds *DataSpread) sheetOf(name string) (*sheet.Sheet, string, error) {
 			return sh, n, nil
 		}
 	}
-	return nil, "", fmt.Errorf("core: unknown sheet %q", name)
+	return nil, "", fmt.Errorf("core: unknown sheet %q: %w", name, dberr.ErrSheetNotFound)
 }
 
 // --- cell-level interaction ---
@@ -509,11 +512,11 @@ func (ds *DataSpread) CreateTableFromRange(sheetName, rng, tableName string, opt
 		}
 	}
 	if !hasData {
-		return nil, fmt.Errorf("core: range %s has no data to export", rng)
+		return nil, fmt.Errorf("core: range %s has no data to export: %w", rng, dberr.ErrUnsupported)
 	}
 	cols, data, _ := catalog.InferSchema(values)
 	if len(cols) == 0 {
-		return nil, fmt.Errorf("core: range %s has no data to export", rng)
+		return nil, fmt.Errorf("core: range %s has no data to export: %w", rng, dberr.ErrUnsupported)
 	}
 	for i := range cols {
 		for _, pk := range opts.PrimaryKey {
@@ -607,7 +610,7 @@ func (ds *DataSpread) setDBFormula(sheetName string, a sheet.Address, name, src 
 		return err
 	}
 	if len(args) == 0 {
-		return fmt.Errorf("core: %s requires an argument", name)
+		return fmt.Errorf("core: %s requires an argument: %w", name, dberr.ErrSyntax)
 	}
 	switch name {
 	case "DBSQL":
@@ -617,6 +620,6 @@ func (ds *DataSpread) setDBFormula(sheetName string, a sheet.Address, name, src 
 		_, err := ds.iface.BindTable(sheetName, a, args[0])
 		return err
 	default:
-		return fmt.Errorf("core: unknown database formula %q", name)
+		return fmt.Errorf("core: unknown database formula %q: %w", name, dberr.ErrSyntax)
 	}
 }

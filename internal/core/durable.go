@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"github.com/dataspread/dataspread/internal/catalog"
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/interfacemgr"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/storage/pager"
@@ -65,16 +66,14 @@ func OpenFile(path string, opts Options) (*DataSpread, error) {
 		return nil, err
 	}
 	fail := func(err error) (*DataSpread, error) {
-		be.Close()
-		_ = unlock()
-		return nil, err
+		return nil, errors.Join(err, be.Close(), unlock())
 	}
 	// Reserve the two root slots; on a fresh file they are the first pages
 	// ever allocated.
 	for _, slot := range []pager.PageID{rootSlotA, rootSlotB} {
 		if !be.Exists(slot) {
 			if id := be.Allocate(); id != slot {
-				return fail(fmt.Errorf("core: workbook file reserved page %d for a root slot, want %d", id, slot))
+				return fail(fmt.Errorf("core: workbook file reserved page %d for a root slot, want %d: %w", id, slot, dberr.ErrCorrupt))
 			}
 		}
 	}
@@ -90,14 +89,14 @@ func OpenFile(path string, opts Options) (*DataSpread, error) {
 		// — is refused rather than silently re-initialised.
 		for _, id := range be.PageIDs() {
 			if id != rootSlotA && id != rootSlotB {
-				return fail(errors.New("core: workbook file has data pages but no valid checkpoint root (corrupt root slots or pre-page-catalog format)"))
+				return fail(fmt.Errorf("core: workbook file has data pages but no valid checkpoint root (corrupt root slots or pre-page-catalog format): %w", dberr.ErrCorrupt))
 			}
 			buf, err := be.ReadPage(id)
 			if err != nil {
 				return fail(fmt.Errorf("core: read root slot %d: %w", id, err))
 			}
 			if len(buf) != 0 && !bytes.HasPrefix(buf, rootMagic[:]) {
-				return fail(errors.New("core: workbook file page 1 holds unrecognised data (pre-page-catalog format?); refusing to re-initialise"))
+				return fail(fmt.Errorf("core: workbook file page 1 holds unrecognised data (pre-page-catalog format?); refusing to re-initialise: %w", dberr.ErrCorrupt))
 			}
 		}
 		if err := writeRoot(be, rootSlotA, rootInfo{}); err != nil {
@@ -228,7 +227,7 @@ func (ds *DataSpread) ReplayedCommands() int { return ds.replayedOps }
 // returns, no checkpoint is in flight. See checkpointer.go for the protocol.
 func (ds *DataSpread) Checkpoint() error {
 	if ds.backend == nil {
-		return errors.New("core: Checkpoint requires a workbook opened with OpenFile")
+		return fmt.Errorf("core: Checkpoint requires a workbook opened with OpenFile: %w", dberr.ErrUnsupported)
 	}
 	return ds.checkpointOnce()
 }
@@ -297,7 +296,7 @@ func (ds *DataSpread) applyRecords(recs []txn.Record) {
 
 func opArgs(op txn.Op, n int) ([]string, error) {
 	if len(op.Args) < n {
-		return nil, fmt.Errorf("want %d args, have %d", n, len(op.Args))
+		return nil, fmt.Errorf("want %d args, have %d: %w", n, len(op.Args), dberr.ErrCorrupt)
 	}
 	return op.Args, nil
 }
@@ -519,7 +518,7 @@ func encodeValue(v sheet.Value) string {
 
 func decodeValue(s string) (sheet.Value, error) {
 	if s == "" {
-		return sheet.Empty(), fmt.Errorf("empty value encoding")
+		return sheet.Empty(), fmt.Errorf("empty value encoding: %w", dberr.ErrCorrupt)
 	}
 	body := s[1:]
 	switch s[0] {
@@ -538,7 +537,7 @@ func decodeValue(s string) (sheet.Value, error) {
 	case 'X':
 		return sheet.ErrorValue(body), nil
 	default:
-		return sheet.Empty(), fmt.Errorf("unknown value encoding %q", s)
+		return sheet.Empty(), fmt.Errorf("unknown value encoding %q: %w", s, dberr.ErrCorrupt)
 	}
 }
 
@@ -561,7 +560,7 @@ func encodeColumn(c catalog.Column) string {
 func decodeColumn(s string) (catalog.Column, error) {
 	parts := strings.SplitN(s, colSep, 5)
 	if len(parts) != 5 {
-		return catalog.Column{}, fmt.Errorf("bad column encoding %q", s)
+		return catalog.Column{}, fmt.Errorf("bad column encoding %q: %w", s, dberr.ErrCorrupt)
 	}
 	def, err := decodeValue(parts[4])
 	if err != nil {

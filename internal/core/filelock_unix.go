@@ -3,6 +3,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"syscall"
@@ -22,11 +23,11 @@ func lockWorkbookFile(path string) (release func() error, err error) {
 		return nil, fmt.Errorf("core: open workbook lock %s: %w", lockPath, err)
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+		cerr := f.Close()
 		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
-			return nil, fmt.Errorf("core: workbook %s is open in another process (lock %s is held): %w", path, lockPath, dberr.ErrConflict)
+			return nil, errors.Join(fmt.Errorf("core: workbook %s is open in another process (lock %s is held): %w", path, lockPath, dberr.ErrConflict), cerr)
 		}
-		return nil, fmt.Errorf("core: lock workbook %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("core: lock workbook %s: %w", path, err), cerr)
 	}
 	return func() error {
 		// Unlocking happens implicitly on close. The lock file itself is

@@ -92,6 +92,7 @@ func readRoot(be pager.Backend, slot pager.PageID) (rootInfo, bool) {
 	return decodeRoot(buf)
 }
 
+// dslint:critical
 func writeRoot(be pager.Backend, slot pager.PageID, r rootInfo) error {
 	if err := be.WritePage(slot, encodeRoot(r)); err != nil {
 		return fmt.Errorf("core: write root slot %d: %w", slot, err)

@@ -22,6 +22,15 @@ var (
 	ErrIndexNotFound = errors.New("index not found")
 	// ErrIndexExists reports CREATE INDEX of an existing index name.
 	ErrIndexExists = errors.New("index already exists")
+	// ErrColumnExists reports ADD COLUMN or RENAME COLUMN onto a column
+	// name the table already has.
+	ErrColumnExists = errors.New("column already exists")
+	// ErrInvalidSchema reports a schema definition the catalog rejects:
+	// empty table/column/index names, duplicate columns, a table with no
+	// columns, or dropping the only column.
+	ErrInvalidSchema = errors.New("invalid schema definition")
+	// ErrSheetNotFound reports a reference to an unknown spreadsheet sheet.
+	ErrSheetNotFound = errors.New("sheet not found")
 )
 
 // Constraint violations.
@@ -51,4 +60,28 @@ var (
 	ErrParamCount = errors.New("wrong number of bound parameters")
 	// ErrClosed reports use of a closed database, statement or row set.
 	ErrClosed = errors.New("closed")
+	// ErrSyntax reports a statement or expression the engine can parse but
+	// not make sense of: unknown operators or functions, wrong argument
+	// counts, aggregates outside aggregation, ambiguous references.
+	ErrSyntax = errors.New("invalid statement")
+	// ErrUnsupported reports a request outside the engine's capabilities:
+	// streaming a non-SELECT, spreadsheet constructs without a spreadsheet
+	// context, checkpointing a non-durable workbook.
+	ErrUnsupported = errors.New("unsupported operation")
+	// ErrValue reports an expression evaluated over values outside its
+	// domain: arithmetic on non-numbers, NOT of a non-boolean, division by
+	// zero. Distinct from ErrTypeMismatch, which is about storing values
+	// into typed columns.
+	ErrValue = errors.New("invalid value for operation")
+)
+
+// Storage and durability errors.
+var (
+	// ErrCorrupt reports on-disk state that fails validation: bad value or
+	// column encodings in the WAL, unrecognised workbook pages, invalid
+	// root slots. The WAL's own ErrCorruptLog matches it through errors.Is.
+	ErrCorrupt = errors.New("corrupt on-disk state")
+	// ErrInternal reports a broken engine invariant — always a bug, never
+	// a user error.
+	ErrInternal = errors.New("internal invariant violation")
 )

@@ -97,6 +97,7 @@ func (t *Tree) Scan(lo, hi []byte, fn func(key []byte, val uint64) bool) {
 // hi means "to the end". Iteration stops early if fn returns false. It is
 // the access-path layer's range iterator: the executor turns sargable WHERE
 // conjuncts into [lo, hi) bounds over the order-preserving key encoding.
+// dslint:perrow
 func (t *Tree) AscendRange(lo, hi []byte, fn func(key []byte, val uint64) bool) {
 	n := t.root
 	for !n.leaf {
@@ -132,6 +133,7 @@ func (t *Tree) All(fn func(key []byte, val uint64) bool) { t.Scan(nil, nil, fn) 
 // recurses through the internal nodes right-to-left instead. Iteration
 // stops early if fn returns false. The executor uses it to serve
 // ORDER BY ... DESC LIMIT k from an index without sorting.
+// dslint:perrow
 func (t *Tree) DescendRange(lo, hi []byte, fn func(key []byte, val uint64) bool) {
 	t.descend(t.root, lo, hi, fn)
 }

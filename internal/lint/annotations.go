@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// A Directive is one parsed `// dslint:name(args)` annotation.
+type Directive struct {
+	Name string
+	Args []string
+	Pos  token.Pos
+}
+
+// HasArg reports whether the directive carries the given argument.
+func (d Directive) HasArg(arg string) bool {
+	for _, a := range d.Args {
+		if a == arg {
+			return true
+		}
+	}
+	return false
+}
+
+// Annotations is the module-wide table of dslint annotations, keyed by the
+// annotated object (functions, methods — including interface methods —
+// and struct fields) or, for package-comment directives, by package path.
+type Annotations struct {
+	obj map[types.Object][]Directive
+	pkg map[string][]Directive
+}
+
+// Obj returns the directives attached to obj.
+func (a *Annotations) Obj(obj types.Object) []Directive {
+	if a == nil || obj == nil {
+		return nil
+	}
+	return a.obj[obj]
+}
+
+// Directive returns the first directive with the given name attached to
+// obj.
+func (a *Annotations) Directive(obj types.Object, name string) (Directive, bool) {
+	for _, d := range a.Obj(obj) {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Has reports whether obj carries the named directive; with arg non-empty
+// the directive must also carry that argument.
+func (a *Annotations) Has(obj types.Object, name, arg string) bool {
+	d, ok := a.Directive(obj, name)
+	if !ok {
+		return false
+	}
+	return arg == "" || d.HasArg(arg)
+}
+
+// Objects returns every annotated object carrying the named directive
+// (and, with arg non-empty, that argument). The order is unspecified.
+func (a *Annotations) Objects(name, arg string) []types.Object {
+	if a == nil {
+		return nil
+	}
+	var out []types.Object
+	for obj, ds := range a.obj {
+		for _, d := range ds {
+			if d.Name == name && (arg == "" || d.HasArg(arg)) {
+				out = append(out, obj)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PkgHas reports whether the package's package comment carries the named
+// directive.
+func (a *Annotations) PkgHas(pkgPath, name string) bool {
+	if a == nil {
+		return false
+	}
+	for _, d := range a.pkg[pkgPath] {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+var directiveRE = regexp.MustCompile(`dslint:([a-zA-Z]+)(?:\(([^)]*)\))?`)
+
+// isDirectiveComment reports whether the comment IS a directive line —
+// `//dslint:...` or `// dslint:...` with exactly one space — as opposed to
+// prose or indented doc examples that merely mention a directive.
+func isDirectiveComment(c *ast.Comment) bool {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return false
+	}
+	text = strings.TrimPrefix(text, " ")
+	return strings.HasPrefix(text, "dslint:")
+}
+
+// parseDirectives extracts dslint directives from a comment group. Only
+// comments that start with a directive count; mentioning `dslint:` in
+// documentation prose binds nothing.
+func parseDirectives(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		if !isDirectiveComment(c) {
+			continue
+		}
+		for _, m := range directiveRE.FindAllStringSubmatchIndex(c.Text, -1) {
+			d := Directive{
+				Name: c.Text[m[2]:m[3]],
+				Pos:  c.Pos() + token.Pos(m[0]),
+			}
+			if m[4] >= 0 {
+				for _, a := range strings.FieldsFunc(c.Text[m[4]:m[5]], func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					d.Args = append(d.Args, a)
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// collectAnnotations scans every package's declarations for dslint
+// directives and binds them to the declared objects.
+func collectAnnotations(mod *Module) *Annotations {
+	ann := &Annotations{
+		obj: map[types.Object][]Directive{},
+		pkg: map[string][]Directive{},
+	}
+	bind := func(info *types.Info, id *ast.Ident, ds []Directive) {
+		if id == nil || len(ds) == 0 {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			ann.obj[obj] = append(ann.obj[obj], ds...)
+		}
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			if ds := parseDirectives(file.Doc); len(ds) > 0 {
+				ann.pkg[pkg.PkgPath] = append(ann.pkg[pkg.PkgPath], ds...)
+			}
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					bind(pkg.Info, d.Name, parseDirectives(d.Doc))
+				case *ast.GenDecl:
+					declDs := parseDirectives(d.Doc)
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.ValueSpec:
+							ds := append(declDs, parseDirectives(s.Doc)...)
+							ds = append(ds, parseDirectives(s.Comment)...)
+							for _, name := range s.Names {
+								bind(pkg.Info, name, ds)
+							}
+						case *ast.TypeSpec:
+							ds := append(declDs, parseDirectives(s.Doc)...)
+							bind(pkg.Info, s.Name, ds)
+							bindFields(pkg.Info, s.Type, ann)
+						}
+					}
+				}
+			}
+		}
+	}
+	return ann
+}
+
+// bindFields walks a type expression and binds field and interface-method
+// directives: struct fields (e.g. the engine lock mutex) and interface
+// methods (e.g. tablestore.Store operations that require the engine lock).
+func bindFields(info *types.Info, expr ast.Expr, ann *Annotations) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		f, ok := n.(*ast.Field)
+		if !ok {
+			return true
+		}
+		ds := append(parseDirectives(f.Doc), parseDirectives(f.Comment)...)
+		if len(ds) == 0 {
+			return true
+		}
+		for _, name := range f.Names {
+			if obj := info.Defs[name]; obj != nil {
+				ann.obj[obj] = append(ann.obj[obj], ds...)
+			}
+		}
+		return true
+	})
+}

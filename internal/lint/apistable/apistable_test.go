@@ -1,0 +1,14 @@
+package apistable_test
+
+import (
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/lint/apistable"
+	"github.com/dataspread/dataspread/internal/lint/linttest"
+)
+
+func TestApistable(t *testing.T) {
+	linttest.Run(t, "testdata/imports", apistable.New(map[string][]string{
+		"": {"internal/api"},
+	}))
+}

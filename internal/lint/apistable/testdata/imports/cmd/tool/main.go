@@ -1,0 +1,9 @@
+// Command tool has no blessed internals at all: it must go through the
+// public surface.
+package main
+
+import (
+	"example.com/fixture/internal/api" // want "cmd/tool imports internal/api outside the blessed entry points"
+)
+
+func main() { _ = api.Name() }

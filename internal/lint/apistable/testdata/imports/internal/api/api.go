@@ -1,0 +1,8 @@
+// Package api is the blessed entry point; internal packages may import
+// each other freely.
+package api
+
+import "example.com/fixture/internal/secret"
+
+// Name returns the engine name.
+func Name() string { return "engine" + secret.Token() }

@@ -1,0 +1,5 @@
+// Package secret is engine-internal state no public package may reach.
+package secret
+
+// Token returns internal state.
+func Token() string { return "s" }

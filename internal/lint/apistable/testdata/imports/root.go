@@ -1,0 +1,13 @@
+// Package app is the apistable fixture's public surface: internal/api is
+// its blessed entry point, anything else internal is off limits.
+package app
+
+import (
+	"example.com/fixture/internal/api"
+	"example.com/fixture/internal/secret" // want "imports internal/secret outside the blessed entry points"
+)
+
+// Open is the public entry point.
+func Open() string {
+	return api.Name() + secret.Token()
+}

@@ -1,0 +1,12 @@
+package ctxcancel_test
+
+import (
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/lint/ctxcancel"
+	"github.com/dataspread/dataspread/internal/lint/linttest"
+)
+
+func TestCtxcancel(t *testing.T) {
+	linttest.Run(t, "testdata/scan", ctxcancel.Analyzer)
+}

@@ -1,0 +1,126 @@
+// Package scan is the ctxcancel fixture: a miniature executor with a
+// cancellation poll, row/cell types and per-row scan entry points.
+package scan
+
+// Value is one spreadsheet cell; a []Value is one row.
+//
+// dslint:cell
+type Value struct{ n float64 }
+
+// RowID identifies one stored row.
+//
+// dslint:row
+type RowID uint64
+
+type env struct{ ticks int }
+
+// check is the cooperative cancellation poll.
+//
+// dslint:poll
+func (e *env) check() error {
+	e.ticks++
+	return nil
+}
+
+type store struct{ rows [][]Value }
+
+// Scan visits every live row.
+//
+// dslint:perrow
+func (s *store) Scan(fn func(id RowID, row []Value) bool) {
+	for i, r := range s.rows {
+		if !fn(RowID(i), r) {
+			return
+		}
+	}
+}
+
+// BadRowLoop iterates a row set without ever polling.
+func BadRowLoop(e *env, rows [][]Value) float64 {
+	var sum float64
+	for _, row := range rows { // want "row loop without cancellation poll"
+		for _, v := range row {
+			sum += v.n
+		}
+	}
+	return sum
+}
+
+// GoodRowLoop polls once per row; the inner per-cell loop is bounded by
+// the column count and needs no poll of its own.
+func GoodRowLoop(e *env, rows [][]Value) (float64, error) {
+	var sum float64
+	for _, row := range rows {
+		if err := e.check(); err != nil {
+			return 0, err
+		}
+		for _, v := range row {
+			sum += v.n
+		}
+	}
+	return sum, nil
+}
+
+// BadIDLoop streams row identities without polling.
+func BadIDLoop(e *env, ids []RowID) int {
+	n := 0
+	for range ids { // want "row loop without cancellation poll"
+		n++
+	}
+	return n
+}
+
+// GoodClosureLoop polls through a local closure, the scanIndexPath shape.
+func GoodClosureLoop(e *env, ids []RowID) (int, error) {
+	n := 0
+	keep := func(id RowID) error {
+		if err := e.check(); err != nil {
+			return err
+		}
+		n++
+		return nil
+	}
+	for _, id := range ids {
+		if err := keep(id); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// BadCallback passes a per-row callback that never polls.
+func BadCallback(e *env, s *store) float64 {
+	var sum float64
+	s.Scan(func(id RowID, row []Value) bool { // want "per-row callback passed to Scan without cancellation poll"
+		for _, v := range row {
+			sum += v.n
+		}
+		return true
+	})
+	return sum
+}
+
+// GoodCallback polls inside the callback.
+func GoodCallback(e *env, s *store) float64 {
+	var sum float64
+	s.Scan(func(id RowID, row []Value) bool {
+		if err := e.check(); err != nil {
+			return false
+		}
+		for _, v := range row {
+			sum += v.n
+		}
+		return true
+	})
+	return sum
+}
+
+// NoEnvLoop has no poll access at all: it could not poll if it wanted to,
+// so it is not held to the invariant (the caller's loop is).
+func NoEnvLoop(rows [][]Value) int {
+	n := 0
+	for range rows {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+// Package errwrap enforces the engine's error-classification and
+// durability-error invariants:
+//
+//  1. In packages whose package comment carries `// dslint:errdomain`
+//     (catalog, sqlexec, core, txn and the public surface), every error
+//     constructed with fmt.Errorf must wrap a cause or a dberr sentinel
+//     with %w, and function-local errors.New is a finding — classified
+//     failures must stay programmatically testable with errors.Is, not
+//     collapse into opaque strings. Package-level sentinel declarations
+//     are exempt (they ARE the sentinels).
+//  2. Everywhere: the error result of a durability-critical call — a
+//     Sync or Close on an *os.File, or any function or method annotated
+//     `// dslint:critical` (backend sync/close, WAL append, root-slot
+//     writes) — must never be discarded: not dropped as a bare statement,
+//     not assigned to the blank identifier, not deferred away.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/dataspread/dataspread/internal/lint"
+)
+
+// Analyzer is the errwrap analysis.
+var Analyzer = &lint.Analyzer{
+	Name: "errwrap",
+	Doc:  "errdomain packages must wrap causes/sentinels with %w; durability-critical Sync/Close/append errors must never be discarded",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	errdomain := pass.Ann().PkgHas(pass.Pkg.PkgPath, "errdomain")
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDiscards(pass, fd.Body)
+			if errdomain {
+				checkWrapping(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkWrapping flags fmt.Errorf without %w and function-local errors.New
+// inside one function body (rule 1; only called in errdomain packages).
+func checkWrapping(pass *lint.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleePath(pass, call) {
+		case "fmt.Errorf":
+			if format, ok := stringArg(pass, call, 0); ok && !strings.Contains(format, "%w") {
+				pass.Reportf(call.Pos(), "fmt.Errorf without %%w: wrap the underlying cause or a dberr sentinel so errors.Is can classify the failure")
+			}
+		case "errors.New":
+			pass.Reportf(call.Pos(), "function-local errors.New: classified failures must wrap a dberr sentinel (fmt.Errorf with %%w); declare package-level sentinels instead")
+		}
+		return true
+	})
+}
+
+// calleePath returns "pkg.Func" for a package-qualified call, or "".
+func calleePath(pass *lint.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.ObjectOf(sel.Sel)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok && fn.Type().(*types.Signature).Recv() == nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return ""
+}
+
+// stringArg resolves call argument i to its constant string value.
+func stringArg(pass *lint.Pass, call *ast.CallExpr, i int) (string, bool) {
+	if len(call.Args) <= i {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo().Types[call.Args[i]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkDiscards flags discarded error results of durability-critical calls
+// (rule 2).
+func checkDiscards(pass *lint.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				reportIfCritical(pass, call, "discarded as a statement")
+			}
+		case *ast.DeferStmt:
+			reportIfCritical(pass, s.Call, "discarded by defer")
+		case *ast.GoStmt:
+			reportIfCritical(pass, s.Call, "discarded by go")
+		case *ast.AssignStmt:
+			// A single call on the right with its error result position
+			// assigned to the blank identifier.
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			errIdx := criticalErrIndex(pass, call)
+			if errIdx < 0 {
+				return true
+			}
+			if len(s.Lhs) == 1 && errIdx == 0 {
+				if isBlank(s.Lhs[0]) {
+					report(pass, call, "assigned to _")
+				}
+			} else if errIdx < len(s.Lhs) && isBlank(s.Lhs[errIdx]) {
+				report(pass, call, "assigned to _")
+			}
+		}
+		return true
+	})
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// reportIfCritical reports when the call is durability-critical and
+// returns an error at all.
+func reportIfCritical(pass *lint.Pass, call *ast.CallExpr, how string) {
+	if criticalErrIndex(pass, call) >= 0 {
+		report(pass, call, how)
+	}
+}
+
+func report(pass *lint.Pass, call *ast.CallExpr, how string) {
+	name := "call"
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name = sel.Sel.Name
+	} else if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		name = id.Name
+	}
+	pass.Reportf(call.Pos(), "error result of durability-critical %s %s: check it, join it into the returned error, or suppress with a justified //lint:ignore", name, how)
+}
+
+// criticalErrIndex returns the result index of the error value when call
+// targets a durability-critical function, -1 otherwise.
+func criticalErrIndex(pass *lint.Pass, call *ast.CallExpr) int {
+	obj := pass.CalleeOf(call)
+	if obj == nil {
+		return -1
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return -1
+	}
+	if !pass.Ann().Has(obj, "critical", "") && !isOSFileSyncClose(fn) {
+		return -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return i
+		}
+	}
+	return -1
+}
+
+// isOSFileSyncClose reports whether fn is (*os.File).Sync or
+// (*os.File).Close — always durability-critical, no annotation needed.
+func isOSFileSyncClose(fn *types.Func) bool {
+	if fn.Name() != "Sync" && fn.Name() != "Close" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}
+
+var _ = token.NoPos

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/lint/errwrap"
+	"github.com/dataspread/dataspread/internal/lint/linttest"
+)
+
+func TestErrwrap(t *testing.T) {
+	linttest.Run(t, "testdata/wrap", errwrap.Analyzer)
+}

@@ -1,0 +1,35 @@
+// Package plain has no errdomain directive: bare fmt.Errorf is fine here,
+// but durability-critical discards are still findings everywhere.
+package plain
+
+import (
+	"fmt"
+	"os"
+)
+
+func fine() error {
+	return fmt.Errorf("plain: not a classified failure")
+}
+
+// syncAll flushes the heap file; its error is the caller's durability
+// signal.
+//
+// dslint:critical
+func syncAll(f *os.File) error {
+	return f.Sync()
+}
+
+func badDiscards(f *os.File) {
+	f.Sync()        // want "error result of durability-critical Sync discarded as a statement"
+	_ = f.Close()   // want "error result of durability-critical Close assigned to _"
+	defer f.Close() // want "error result of durability-critical Close discarded by defer"
+	_ = syncAll(f)  // want "error result of durability-critical syncAll assigned to _"
+	go syncAll(f)   // want "error result of durability-critical syncAll discarded by go"
+}
+
+func goodChecks(f *os.File) error {
+	if err := syncAll(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,35 @@
+// Package wrap is the errwrap fixture for the errdomain rules: classified
+// failures must wrap a sentinel or cause with %w, and ad-hoc opaque errors
+// are findings.
+//
+// dslint:errdomain
+package wrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMissing is a package-level sentinel: declaring it with errors.New is
+// the one legitimate place for an unwrapped error.
+var ErrMissing = errors.New("wrap: missing")
+
+func lookup(name string) error {
+	if name == "" {
+		return fmt.Errorf("wrap: empty name") // want "fmt.Errorf without %w"
+	}
+	return fmt.Errorf("wrap: %q: %w", name, ErrMissing)
+}
+
+func adHoc() error {
+	return errors.New("wrap: something went wrong") // want "function-local errors.New"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("wrap: during save: %w", err)
+}
+
+func suppressed() error {
+	//lint:ignore errwrap fixture: message is a debug aid, never classified by callers
+	return fmt.Errorf("wrap: debug detail only")
+}

@@ -1,0 +1,135 @@
+// Package lint is DataSpread's project-specific static-analysis framework:
+// a golang.org/x/tools/go/analysis-shaped API built entirely on the standard
+// library (go/ast, go/build, go/types), so the analyzer suite runs with no
+// module downloads. cmd/dslint drives the four project analyzers
+// (lockcheck, errwrap, ctxcancel, apistable) over the whole repository;
+// `make lint` and CI fail on any finding.
+//
+// The framework loads the module once (load.go), type-checks every non-test
+// package with the source importer, builds a module-wide table of
+// `// dslint:` annotations (annotations.go), runs each analyzer over each
+// package, and filters findings through `//lint:ignore` suppressions with
+// mandatory justification text (run.go).
+//
+// # Annotation grammar
+//
+// Annotations are comment directives bound to the declaration they document:
+//
+//	// dslint:lock(engine)      on a mutex field: this is THE engine lock.
+//	// dslint:locks(engine)     on a func: it acquires the engine lock
+//	//                          itself (calling it with the lock held is a
+//	//                          self-deadlock).
+//	// dslint:requires(engine)  on a func or interface method: it touches
+//	//                          engine-guarded state and must only be called
+//	//                          with the engine lock held (or from another
+//	//                          requires/locks function).
+//	// dslint:parks             on a func: it may block on another goroutine
+//	//                          (channel send/receive, consumer handoff).
+//	// dslint:parks(p, q)       on a func: its func-typed parameters p and q
+//	//                          may park when called.
+//	// dslint:polls             on a func: it polls the execution context
+//	//                          internally (satisfies ctxcancel in a loop).
+//	// dslint:critical          on a func or method: its error result is on
+//	//                          the durability path and must never be
+//	//                          discarded.
+//	// dslint:errdomain         in a package comment: every error built in
+//	//                          this package must wrap (%w) a cause or a
+//	//                          dberr sentinel.
+//
+// Suppressions use the staticcheck-style form, justification mandatory:
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// placed on the flagged line or the line above it. A suppression without
+// justification text is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one named analysis and its entry point, mirroring
+// the x/tools analysis.Analyzer surface that matters here.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant it enforces.
+	Doc string
+	// Run analyzes one package and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass connects one analyzer run to one package of the loaded module.
+type Pass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the module-wide file set.
+func (p *Pass) Fset() *token.FileSet { return p.Mod.Fset }
+
+// Files returns the package's parsed (non-test) files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type-checker results.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypesPkg returns the package's type object.
+func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
+
+// Ann returns the module-wide annotation table.
+func (p *Pass) Ann() *Annotations { return p.Mod.Ann }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Mod.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ObjectOf resolves an identifier to its object (definition or use).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Uses[id]
+}
+
+// CalleeOf resolves the called function or method object of a call
+// expression, through plain identifiers, selector expressions and
+// parenthesised forms. It returns nil for calls through function values
+// whose declaration cannot be resolved statically (the identifier then
+// names a variable, which is still returned as its object so callers can
+// match func-typed parameters).
+func (p *Pass) CalleeOf(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		if sel, ok := p.Pkg.Info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Package-qualified call: pkg.Func.
+		return p.ObjectOf(fun.Sel)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Package linttest runs analyzers over fixture trees and checks their
+// diagnostics against `// want "regexp"` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest. A fixture is a directory
+// loaded as a synthetic module; every diagnostic must be expected by a
+// want comment on the same line, and every want comment must be matched
+// by a diagnostic. `//lint:ignore` suppressions apply exactly as in
+// production runs, so fixtures can prove suppression behavior too.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/lint"
+)
+
+// ModulePath is the synthetic module path fixture trees are loaded under.
+const ModulePath = "example.com/fixture"
+
+// Run loads the fixture tree at dir, executes the analyzers, and reports
+// any mismatch between diagnostics and want comments as test failures.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	mod, err := lint.LoadDir(dir, ModulePath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Run(mod, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers on %s: %v", dir, err)
+	}
+	wants := collectWants(t, mod)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic %s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// A want is one expected diagnostic: a regexp anchored to a file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants extracts `// want "re" ["re" ...]` comments from every
+// fixture file.
+func collectWants(t *testing.T, mod *lint.Module) []want {
+	t.Helper()
+	var wants []want
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWant(t, mod, c)...)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func parseWant(t *testing.T, mod *lint.Module, c *ast.Comment) []want {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	pos := mod.Fset.Position(c.Pos())
+	var wants []want
+	for _, m := range quotedRE.FindAllStringSubmatch(rest, -1) {
+		re, err := regexp.Compile(unescape(m[1]))
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+		}
+		wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s:%d: want comment without a quoted regexp", pos.Filename, pos.Line)
+	}
+	return wants
+}
+
+// unescape undoes the \" and \\ escapes allowed inside a quoted want.
+func unescape(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked module package (non-test files
+// only, filtered by the current platform's build constraints).
+type Package struct {
+	// PkgPath is the full import path.
+	PkgPath string
+	// RelPath is the path relative to the module root ("" for the root
+	// package).
+	RelPath string
+	// Dir is the package directory on disk.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Imports lists the module-internal import paths of the package.
+	Imports []string
+}
+
+// A Module is a fully loaded and type-checked module: every non-test
+// package in dependency order, one shared FileSet, and the module-wide
+// annotation table.
+type Module struct {
+	// Path is the module path from go.mod (or the synthetic path given to
+	// LoadDir).
+	Path string
+	// Dir is the module root directory.
+	Dir  string
+	Fset *token.FileSet
+	// Pkgs holds the packages in topological (dependencies-first) order.
+	Pkgs   []*Package
+	ByPath map[string]*Package
+	Ann    *Annotations
+}
+
+// LoadModule locates the enclosing go.mod from dir and loads the whole
+// module.
+func LoadModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	return LoadDir(root, modPath)
+}
+
+// LoadDir loads the directory tree rooted at root as a module named
+// modPath: every directory holding non-test Go files becomes a package at
+// modPath/<relative-dir>. Directories named testdata or vendor, and hidden
+// or underscore-prefixed directories, are skipped. The analyzers' fixture
+// suites use it to load self-contained test trees under synthetic module
+// paths.
+func LoadDir(root, modPath string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{
+		Path:   modPath,
+		Dir:    root,
+		Fset:   token.NewFileSet(),
+		ByPath: map[string]*Package{},
+	}
+
+	// Discover and parse the packages.
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		bp, err := build.Default.ImportDir(dir, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, fmt.Errorf("lint: scan %s: %w", dir, err)
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := modPath
+		relPath := ""
+		if rel != "." {
+			relPath = filepath.ToSlash(rel)
+			pkgPath = modPath + "/" + relPath
+		}
+		pkg := &Package{PkgPath: pkgPath, RelPath: relPath, Dir: dir}
+		imports := map[string]bool{}
+		for _, name := range bp.GoFiles {
+			file, err := parser.ParseFile(mod.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+			}
+			pkg.Files = append(pkg.Files, file)
+			for _, imp := range file.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == modPath || strings.HasPrefix(p, modPath+"/") {
+					imports[p] = true
+				}
+			}
+		}
+		for p := range imports {
+			pkg.Imports = append(pkg.Imports, p)
+		}
+		sort.Strings(pkg.Imports)
+		mod.Pkgs = append(mod.Pkgs, pkg)
+		mod.ByPath[pkgPath] = pkg
+	}
+
+	// Topologically order by module-internal imports so each package's
+	// dependencies are type-checked before it.
+	ordered := make([]*Package, 0, len(mod.Pkgs))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.PkgPath] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", p.PkgPath)
+		case 2:
+			return nil
+		}
+		state[p.PkgPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := mod.ByPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.PkgPath] = 2
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range mod.Pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	mod.Pkgs = ordered
+
+	// Type-check in dependency order. Standard-library imports resolve
+	// through the source importer (GOROOT/src), so no export data or
+	// network is needed.
+	imp := &moduleImporter{
+		mod: mod,
+		std: importer.ForCompiler(mod.Fset, "source", nil),
+	}
+	for _, pkg := range mod.Pkgs {
+		var firstErr error
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			},
+		}
+		pkg.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		tpkg, err := conf.Check(pkg.PkgPath, mod.Fset, pkg.Files, pkg.Info)
+		if err != nil {
+			if firstErr != nil {
+				err = firstErr
+			}
+			return nil, fmt.Errorf("lint: type-check %s: %w", pkg.PkgPath, err)
+		}
+		pkg.Types = tpkg
+	}
+
+	mod.Ann = collectAnnotations(mod)
+	return mod, nil
+}
+
+// moduleImporter resolves module-internal import paths to the packages
+// type-checked by LoadDir and everything else through the standard
+// library's source importer.
+type moduleImporter struct {
+	mod *Module
+	std types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.mod.ByPath[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: import %s before it was checked", path)
+		}
+		return pkg.Types, nil
+	}
+	if path == m.mod.Path || strings.HasPrefix(path, m.mod.Path+"/") {
+		return nil, fmt.Errorf("lint: unknown module package %s", path)
+	}
+	return m.std.Import(path)
+}

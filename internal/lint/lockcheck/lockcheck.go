@@ -1,0 +1,546 @@
+// Package lockcheck enforces the engine's locking invariants:
+//
+//  1. No goroutine may park on another goroutine while the engine lock is
+//     held: channel sends, receives, blocking selects, and calls to
+//     functions (or func-typed parameters) annotated `// dslint:parks`
+//     inside a region where the engine lock is held are findings. This is
+//     the deadlock shape PR 5's streaming executor had to dodge — holding
+//     the database read lock while parked on the consumer's row channel
+//     stalls every writer behind a consumer that may never drain.
+//  2. Functions annotated `// dslint:requires(engine)` — storage, index
+//     and catalog operations that touch engine-guarded mutable state —
+//     must only be called with the engine lock held, or from a function
+//     that is itself annotated requires(engine).
+//  3. The engine lock is not re-entrant: acquiring it (directly or by
+//     calling a function annotated `// dslint:locks(engine)`) while it is
+//     already held is a finding.
+//
+// The engine lock is the mutex field annotated `// dslint:lock(engine)`
+// (sqlexec.Database.mu in this repository). Held regions are tracked
+// lexically within each function: from a `x.Lock()`/`x.RLock()` statement
+// to the matching `Unlock`/`RUnlock`, or to the end of the function when
+// the unlock is deferred. Function literals passed as call arguments
+// inside a held region are analyzed as running under the lock (scan
+// callbacks execute synchronously); `go` and `defer` literals are not.
+//
+// Functions whose own bodies perform blocking channel operations are
+// inferred to park, and the property propagates through static calls
+// module-wide, so most code needs no annotation; `// dslint:parks` covers
+// dynamic call edges (func-typed parameters and interface methods) the
+// inference cannot see.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"sync"
+
+	"github.com/dataspread/dataspread/internal/lint"
+)
+
+// Analyzer is the lockcheck analysis.
+var Analyzer = &lint.Analyzer{
+	Name: "lockcheck",
+	Doc:  "engine-lock hygiene: no parking under the lock, requires(engine) callees only under the lock, no re-entry",
+	Run:  run,
+}
+
+// modFacts caches the module-wide park inference per loaded module (the
+// analyzer runs once per package but the call graph is global).
+var (
+	factsMu sync.Mutex
+	facts   = map[*lint.Module]*parkFacts{}
+)
+
+type parkFacts struct {
+	parks map[types.Object]bool
+}
+
+func run(pass *lint.Pass) error {
+	ann := pass.Ann()
+	engine := map[types.Object]bool{}
+	for _, obj := range ann.Objects("lock", "engine") {
+		engine[obj] = true
+	}
+	if len(engine) == 0 {
+		return nil // nothing to check against
+	}
+	c := &checker{
+		pass:    pass,
+		engine:  engine,
+		parks:   parkFactsFor(pass.Mod).parks,
+		visited: map[*ast.FuncLit]bool{},
+	}
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *lint.Pass
+	engine map[types.Object]bool // mutex fields annotated lock(engine)
+	parks  map[types.Object]bool // inferred + annotated parking functions
+
+	// Per-function state.
+	fnObj      types.Object          // current function object
+	parkParams map[types.Object]bool // parameters annotated parks(...) for fnObj
+	exempt     bool                  // fnObj is annotated requires(engine)
+	visited    map[*ast.FuncLit]bool // literals analyzed in a held context
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	ann := c.pass.Ann()
+	c.fnObj = c.pass.ObjectOf(fd.Name)
+	c.exempt = ann.Has(c.fnObj, "requires", "engine")
+	c.parkParams = map[types.Object]bool{}
+	if d, ok := ann.Directive(c.fnObj, "parks"); ok && len(d.Args) > 0 {
+		for _, arg := range d.Args {
+			if obj := paramByName(c.fnObj, arg); obj != nil {
+				c.parkParams[obj] = true
+			} else {
+				c.pass.Reportf(fd.Name.Pos(), "dslint:parks names %q, which is not a func-typed parameter of %s", arg, fd.Name.Name)
+			}
+		}
+	}
+	c.walkStmts(fd.Body.List, c.exempt)
+	// Analyze function literals that were not already covered by a
+	// held-context walk as independent (lock-free entry) functions.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && !c.visited[lit] {
+			c.visited[lit] = true
+			c.walkStmts(lit.Body.List, false)
+		}
+		return true
+	})
+}
+
+// paramByName resolves a named parameter of a function object, provided it
+// has function type (the only kind that can park when called).
+func paramByName(fn types.Object, name string) types.Object {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if p.Name() == name {
+			if _, ok := p.Type().Underlying().(*types.Signature); ok {
+				return p
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// walkStmts walks a statement list tracking whether the engine lock is
+// held, reporting violations inside held regions and requires(engine)
+// calls outside them. It returns the held state after the list runs
+// (branches that terminate do not contribute).
+func (c *checker) walkStmts(stmts []ast.Stmt, held bool) bool {
+	for _, stmt := range stmts {
+		held = c.walkStmt(stmt, held)
+	}
+	return held
+}
+
+func (c *checker) walkStmt(stmt ast.Stmt, held bool) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if kind := c.engineLockOp(s.X); kind != "" {
+			switch kind {
+			case "Lock", "RLock":
+				if held {
+					c.pass.Reportf(s.Pos(), "engine lock %s while the engine lock is already held (not re-entrant)", kind)
+				}
+				return true
+			case "Unlock", "RUnlock":
+				return false
+			}
+		}
+		c.scanExpr(s.X, held)
+		return held
+	case *ast.DeferStmt:
+		if kind := c.engineLockOp(s.Call); kind == "Unlock" || kind == "RUnlock" {
+			// Lock held until return; keep held as-is.
+			return held
+		}
+		// The deferred call runs at return, after any lexical unlock; only
+		// analyze its literal body for its own lock regions (done by the
+		// independent pass), not under the current held state.
+		return held
+	case *ast.GoStmt:
+		// A spawned goroutine does not run under this goroutine's locks.
+		return held
+	case *ast.SendStmt:
+		if held {
+			c.pass.Reportf(s.Pos(), "channel send while the engine lock is held")
+		}
+		c.scanExpr(s.Chan, held)
+		c.scanExpr(s.Value, held)
+		return held
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.scanExpr(e, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, held)
+		}
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = c.walkStmt(s.Init, held)
+		}
+		c.scanExpr(s.Cond, held)
+		thenHeld, thenTerm := c.walkBranch(s.Body.List, held)
+		elseHeld, elseTerm := held, false
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseHeld, elseTerm = c.walkBranch(e.List, held)
+			default:
+				elseHeld = c.walkStmt(s.Else, held)
+			}
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held
+		case thenTerm:
+			return elseHeld
+		case elseTerm:
+			return thenHeld
+		case thenHeld == elseHeld:
+			return thenHeld
+		default:
+			// Branches disagree; assume unlocked to avoid false positives
+			// downstream.
+			return false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = c.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, held)
+		}
+		if s.Post != nil {
+			c.walkStmt(s.Post, held)
+		}
+		return c.walkStmts(s.Body.List, held)
+	case *ast.RangeStmt:
+		if held {
+			if tv, ok := c.pass.TypesInfo().Types[s.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					c.pass.Reportf(s.Pos(), "range over a channel while the engine lock is held")
+				}
+			}
+		}
+		c.scanExpr(s.X, held)
+		return c.walkStmts(s.Body.List, held)
+	case *ast.SelectStmt:
+		if held && selectBlocks(s) {
+			c.pass.Reportf(s.Pos(), "blocking select while the engine lock is held")
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				c.walkStmts(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = c.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, held)
+					}
+				}
+			}
+		}
+		return held
+	default:
+		return held
+	}
+}
+
+// walkBranch walks a branch body and additionally reports whether the
+// branch terminates (so its lock state cannot flow to the statements after
+// the enclosing construct).
+func (c *checker) walkBranch(stmts []ast.Stmt, held bool) (heldAfter, terminates bool) {
+	heldAfter = c.walkStmts(stmts, held)
+	if n := len(stmts); n > 0 {
+		switch last := stmts[n-1].(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			terminates = true
+		case *ast.ExprStmt:
+			if call, ok := last.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					terminates = true
+				}
+			}
+		}
+	}
+	return heldAfter, terminates
+}
+
+// scanExpr reports violations inside one expression evaluated with the
+// given lock state: blocking channel receives, parking or lock-acquiring
+// calls when held, and requires(engine) calls when not held. Function
+// literals passed as arguments of a call are walked with the caller's lock
+// state (callbacks run synchronously); literals merely referenced are left
+// to the independent pass.
+func (c *checker) scanExpr(expr ast.Expr, held bool) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false // handled at the call sites that pass them
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" && held {
+				c.pass.Reportf(e.Pos(), "channel receive while the engine lock is held")
+			}
+		case *ast.CallExpr:
+			c.checkCall(e, held)
+			for _, arg := range e.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					c.visited[lit] = true
+					c.walkStmts(lit.Body.List, held)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall applies the call-site rules for one call expression.
+func (c *checker) checkCall(call *ast.CallExpr, held bool) {
+	obj := c.pass.CalleeOf(call)
+	if obj == nil {
+		return
+	}
+	ann := c.pass.Ann()
+	name := obj.Name()
+	if held {
+		switch {
+		case c.parkParams[obj]:
+			c.pass.Reportf(call.Pos(), "call to %s may park on another goroutine while the engine lock is held (parameter is annotated dslint:parks)", name)
+		case c.parks[obj] || ann.Has(obj, "parks", ""):
+			c.pass.Reportf(call.Pos(), "call to %s may park on another goroutine while the engine lock is held", name)
+		case ann.Has(obj, "locks", "engine"):
+			c.pass.Reportf(call.Pos(), "call to %s acquires the engine lock while it is already held (not re-entrant)", name)
+		}
+		return
+	}
+	if ann.Has(obj, "requires", "engine") && !c.exempt {
+		c.pass.Reportf(call.Pos(), "call to %s requires the engine lock, which is not held here (annotate the caller dslint:requires(engine) or take the lock)", name)
+	}
+}
+
+// engineLockOp reports the lock-method name ("Lock", "RLock", "Unlock",
+// "RUnlock") when expr is a call of that method on an engine-annotated
+// mutex field; "" otherwise.
+func (c *checker) engineLockOp(expr ast.Expr) string {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return ""
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if s, ok := c.pass.TypesInfo().Selections[inner]; ok && c.engine[s.Obj()] {
+		return sel.Sel.Name
+	}
+	// Package-level or local identifier selector (fixtures): x.mu where mu
+	// resolves directly.
+	if obj := c.pass.ObjectOf(inner.Sel); obj != nil && c.engine[obj] {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// selectBlocks reports whether a select statement can park: it has no
+// default clause (an empty select blocks forever and also counts).
+func selectBlocks(s *ast.SelectStmt) bool {
+	for _, clause := range s.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return false // default clause: non-blocking
+		}
+	}
+	return true
+}
+
+// parkFactsFor computes (once per module) the set of functions that may
+// park: those whose own bodies contain a blocking channel operation
+// outside any nested function literal, plus everything annotated
+// dslint:parks, propagated through statically resolvable calls.
+func parkFactsFor(mod *lint.Module) *parkFacts {
+	factsMu.Lock()
+	defer factsMu.Unlock()
+	if f, ok := facts[mod]; ok {
+		return f
+	}
+	f := &parkFacts{parks: map[types.Object]bool{}}
+	for _, obj := range mod.Ann.Objects("parks", "") {
+		// Only zero-arg parks annotations mark the function itself;
+		// parks(param) marks parameters, handled at call sites.
+		if d, ok := mod.Ann.Directive(obj, "parks"); ok && len(d.Args) == 0 {
+			f.parks[obj] = true
+		}
+	}
+
+	// calls[f] = statically resolved callee objects of f.
+	calls := map[types.Object][]types.Object{}
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				if bodyBlocks(fd.Body, pkg.Info) {
+					f.parks[obj] = true
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if _, ok := n.(*ast.FuncLit); ok {
+						return false
+					}
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := calleeObj(call, pkg.Info); callee != nil {
+						calls[obj] = append(calls[obj], callee)
+					}
+					return true
+				})
+			}
+		}
+	}
+	// Fixpoint: a function that calls a parking function parks.
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if f.parks[fn] {
+				continue
+			}
+			for _, callee := range callees {
+				if f.parks[callee] {
+					f.parks[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	facts[mod] = f
+	return f
+}
+
+// bodyBlocks reports whether a function body performs a blocking channel
+// operation itself (ignoring nested function literals, which run on their
+// own goroutines or schedules).
+func bodyBlocks(body *ast.BlockStmt, info *types.Info) bool {
+	blocks := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blocks {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			blocks = true
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				blocks = true
+			}
+		case *ast.SelectStmt:
+			if selectBlocks(e) {
+				blocks = true
+			}
+			return false // clause bodies only run after the (possibly blocking) comm
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[e.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					blocks = true
+				}
+			}
+		}
+		return true
+	})
+	return blocks
+}
+
+// calleeObj resolves a call's target like Pass.CalleeOf, without a Pass.
+func calleeObj(call *ast.CallExpr, info *types.Info) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := info.Defs[fun]; obj != nil {
+			return obj
+		}
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		if obj := info.Defs[fun.Sel]; obj != nil {
+			return obj
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

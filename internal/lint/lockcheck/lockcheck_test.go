@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/lint/linttest"
+	"github.com/dataspread/dataspread/internal/lint/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, "testdata/engine", lockcheck.Analyzer)
+}

@@ -1,0 +1,151 @@
+// Package engine is the lockcheck fixture: a miniature of the real
+// engine's locking discipline, with one true positive per rule and the
+// matching clean shapes alongside.
+package engine
+
+import "sync"
+
+// DB mirrors sqlexec.Database: one RWMutex guards the mutable state.
+type DB struct {
+	mu sync.RWMutex // dslint:lock(engine)
+	n  int
+	ch chan int
+}
+
+// dslint:requires(engine)
+func (db *DB) countLocked() int { return db.n }
+
+// Count is the clean shape: take the lock, touch guarded state, release.
+//
+// dslint:locks(engine)
+func (db *DB) Count() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.countLocked()
+}
+
+// BadUnlockedAccess calls a requires(engine) helper without the lock.
+func (db *DB) BadUnlockedAccess() int {
+	return db.countLocked() // want "requires the engine lock, which is not held"
+}
+
+// StreamBad reproduces the PR-5 deadlock: the producer hands a row to the
+// consumer channel while still holding the engine read lock. If the
+// consumer is slow (or gone), the send parks with the lock held and every
+// writer behind it deadlocks.
+func (db *DB) StreamBad(out chan<- int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out <- db.countLocked() // want "channel send while the engine lock is held"
+}
+
+// StreamGood is the batched fix: collect under the lock, release, emit.
+func (db *DB) StreamGood(out chan<- int) {
+	db.mu.RLock()
+	v := db.countLocked()
+	db.mu.RUnlock()
+	out <- v
+}
+
+// BadReceive parks on a channel receive while holding the lock.
+func (db *DB) BadReceive() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return <-db.ch // want "channel receive while the engine lock is held"
+}
+
+// BadSelect parks on a blocking select (no default) while locked.
+func (db *DB) BadSelect(out chan<- int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	select { // want "blocking select while the engine lock is held"
+	case out <- db.n:
+	case v := <-db.ch:
+		_ = v
+	}
+}
+
+// GoodSelect never parks: the default arm makes the select non-blocking.
+func (db *DB) GoodSelect(out chan<- int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	select {
+	case out <- db.n:
+	default:
+	}
+}
+
+// BadRangeChan parks once per element while locked.
+func (db *DB) BadRangeChan() (sum int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for v := range db.ch { // want "range over a channel while the engine lock is held"
+		sum += v
+	}
+	return sum
+}
+
+// BadReentry re-acquires the engine lock while it is already held.
+func (db *DB) BadReentry() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.mu.RLock() // want "engine lock RLock while the engine lock is already held"
+	db.n++
+	db.mu.RUnlock()
+}
+
+// BadLocksCall calls a locks(engine) function with the lock held.
+func (db *DB) BadLocksCall() {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.Count() // want "call to Count acquires the engine lock while it is already held"
+}
+
+// waitDone blocks on another goroutine's completion signal; lockcheck
+// infers it parks from its body, with no annotation needed.
+func waitDone(done chan struct{}) {
+	<-done
+}
+
+// BadInferredPark calls the inferred-parking helper while locked.
+func (db *DB) BadInferredPark(done chan struct{}) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	waitDone(done) // want "call to waitDone may park on another goroutine while the engine lock is held"
+}
+
+// emitRows mirrors streamSelect: yield hands rows to a possibly-parked
+// consumer, so calling it under the engine lock is the PR-5 bug.
+//
+// dslint:parks(yield)
+func (db *DB) emitRows(yield func(int) error) error {
+	db.mu.RLock()
+	v := db.countLocked()
+	db.mu.RUnlock()
+	return yield(v)
+}
+
+// BadYieldUnderLock is emitRows with the revert applied: yield moved
+// inside the locked region.
+//
+// dslint:parks(yield)
+func (db *DB) BadYieldUnderLock(yield func(int) error) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return yield(db.countLocked()) // want "call to yield may park on another goroutine while the engine lock is held \\(parameter is annotated dslint:parks\\)"
+}
+
+// BadParksArg: the annotation must name a func-typed parameter.
+//
+// dslint:parks(nosuch)
+func (db *DB) BadParksArg() { // want "dslint:parks names \"nosuch\", which is not a func-typed parameter of BadParksArg"
+	db.n++
+}
+
+// SuppressedSend shows a justified suppression silencing a finding.
+func (db *DB) SuppressedSend(out chan<- int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	//lint:ignore lockcheck fixture: consumer is guaranteed unbuffered-ready in this test harness
+	out <- db.n
+}

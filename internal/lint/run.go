@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Run executes the analyzers over every package of the module, applies
+// `//lint:ignore` suppressions, and returns the surviving diagnostics in
+// file/line order. A suppression without justification text never
+// suppresses anything — it becomes a finding itself, so every silenced
+// diagnostic carries a reviewable reason next to it in the source.
+func Run(mod *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range mod.Pkgs {
+			pass := &Pass{Analyzer: a, Mod: mod, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	diags = applySuppressions(mod, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	analyzer      string
+	justification string
+}
+
+// applySuppressions drops diagnostics covered by a well-formed
+// `//lint:ignore <analyzer> <justification>` on the same line or the line
+// above, and reports malformed suppressions (missing analyzer name or
+// justification) as dslint diagnostics.
+func applySuppressions(mod *Module, diags []Diagnostic) []Diagnostic {
+	// file -> line -> suppressions ending on that line.
+	byLine := map[string]map[int][]suppression{}
+	var malformed []Diagnostic
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						malformed = append(malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "dslint",
+							Message:  "malformed //lint:ignore: need an analyzer name and a justification (//lint:ignore <analyzer> <why>)",
+						})
+						continue
+					}
+					m := byLine[pos.Filename]
+					if m == nil {
+						m = map[int][]suppression{}
+						byLine[pos.Filename] = m
+					}
+					end := mod.Fset.Position(c.End()).Line
+					m[end] = append(m[end], suppression{
+						analyzer:      fields[0],
+						justification: strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		if m := byLine[d.Pos.Filename]; m != nil {
+			for _, s := range append(m[d.Pos.Line], m[d.Pos.Line-1]...) {
+				if s.analyzer == d.Analyzer {
+					suppressed = true
+					break
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return append(kept, malformed...)
+}

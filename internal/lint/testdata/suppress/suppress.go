@@ -1,0 +1,17 @@
+// Package suppress exercises the //lint:ignore machinery: same-line and
+// line-above suppression, analyzer-name matching, and the
+// missing-justification case.
+package suppress
+
+func plain() {}
+
+//lint:ignore test fixture: suppressed from the line above
+func above() {}
+
+func sameLine() {} //lint:ignore test fixture: suppressed on the same line
+
+//lint:ignore other fixture: wrong analyzer name, must not suppress
+func wrongAnalyzer() {}
+
+//lint:ignore test
+func missingJustification() {}

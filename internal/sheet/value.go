@@ -44,6 +44,8 @@ func (k Kind) String() string {
 }
 
 // Value is a dynamically typed spreadsheet value.
+//
+// dslint:cell
 type Value struct {
 	Kind Kind
 	Num  float64

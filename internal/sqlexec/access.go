@@ -492,6 +492,7 @@ func (db *Database) collectPathIDs(table string, path *accessPath) []tablestore.
 
 // collectPathIDsLocked is collectPathIDs for callers already holding the
 // database read lock (scan paths that keep the lock across the row fetch).
+// dslint:requires(engine)
 func (db *Database) collectPathIDsLocked(table string, path *accessPath) []tablestore.RowID {
 	var ids []tablestore.RowID
 	switch {
@@ -539,6 +540,7 @@ func (db *Database) collectPathIDsLocked(table string, path *accessPath) []table
 // order, NULL keys last to match the executor's NULLS LAST collation. fn
 // returns false to stop (the early exit of ORDER BY ... LIMIT k). The
 // caller must hold the database read lock.
+// dslint:requires(engine)
 func (db *Database) walkPathOrdered(table string, path *accessPath, fn func(id tablestore.RowID) bool) {
 	tree := path.indexTree(db, table)
 	if tree == nil {

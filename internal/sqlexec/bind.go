@@ -38,6 +38,8 @@ const ctxCheckInterval = 1024
 
 // check polls the execution's context every ctxCheckInterval calls. Scan,
 // join, sort and projection loops call it once per row.
+//
+// dslint:poll
 func (e *execEnv) check() error {
 	if e == nil || e.ctx == nil {
 		return nil
@@ -50,6 +52,8 @@ func (e *execEnv) check() error {
 }
 
 // checkNow polls the context unconditionally (stage boundaries).
+//
+// dslint:poll
 func (e *execEnv) checkNow() error {
 	if e == nil || e.ctx == nil {
 		return nil
@@ -116,15 +120,15 @@ func findColumn(cols []colDesc, table, name string) (int, error) {
 			continue
 		}
 		if found >= 0 {
-			return 0, fmt.Errorf("sqlexec: column reference %q is ambiguous", name)
+			return 0, fmt.Errorf("sqlexec: column reference %q is ambiguous: %w", name, dberr.ErrSyntax)
 		}
 		found = i
 	}
 	if found < 0 {
 		if table != "" {
-			return 0, fmt.Errorf("sqlexec: unknown column %s.%s", table, name)
+			return 0, fmt.Errorf("sqlexec: unknown column %s.%s: %w", table, name, dberr.ErrColumnNotFound)
 		}
-		return 0, fmt.Errorf("sqlexec: unknown column %q", name)
+		return 0, fmt.Errorf("sqlexec: unknown column %q: %w", name, dberr.ErrColumnNotFound)
 	}
 	return found, nil
 }
@@ -138,7 +142,7 @@ func compileExpr(e sqlparser.Expr, env *compileEnv) (boundExpr, error) {
 		return bValue{v: sheet.Empty()}, nil
 	case *sqlparser.ColumnRef:
 		if env.noRel {
-			return nil, fmt.Errorf("sqlexec: column %q referenced outside a FROM context", x.Name)
+			return nil, fmt.Errorf("sqlexec: column %q referenced outside a FROM context: %w", x.Name, dberr.ErrSyntax)
 		}
 		i, err := findColumn(env.cols, strings.ToLower(x.Table), strings.ToLower(x.Name))
 		if err != nil {
@@ -154,7 +158,7 @@ func compileExpr(e sqlparser.Expr, env *compileEnv) (boundExpr, error) {
 		// RANGEVALUE is row-independent: fold it to the constant it holds
 		// for this execution instead of re-reading the sheet per row.
 		if env.sheets == nil {
-			return nil, fmt.Errorf("sqlexec: RANGEVALUE requires a spreadsheet context")
+			return nil, fmt.Errorf("sqlexec: RANGEVALUE requires a spreadsheet context: %w", dberr.ErrUnsupported)
 		}
 		v, err := env.sheets.RangeValue(x.Ref)
 		if err != nil {
@@ -170,7 +174,7 @@ func compileExpr(e sqlparser.Expr, env *compileEnv) (boundExpr, error) {
 		case "-", "NOT":
 			return &bUnary{op: x.Op, x: sub}, nil
 		}
-		return nil, fmt.Errorf("sqlexec: unknown unary operator %q", x.Op)
+		return nil, fmt.Errorf("sqlexec: unknown unary operator %q: %w", x.Op, dberr.ErrSyntax)
 	case *sqlparser.BinaryExpr:
 		l, err := compileExpr(x.Left, env)
 		if err != nil {
@@ -184,7 +188,7 @@ func compileExpr(e sqlparser.Expr, env *compileEnv) (boundExpr, error) {
 		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=", "||", "+", "-", "*", "/", "%":
 			return &bBinary{op: x.Op, l: l, r: r}, nil
 		}
-		return nil, fmt.Errorf("sqlexec: unknown operator %q", x.Op)
+		return nil, fmt.Errorf("sqlexec: unknown operator %q: %w", x.Op, dberr.ErrSyntax)
 	case *sqlparser.FuncCall:
 		if isAggregateFunc(x.Name) {
 			return compileAggregate(x, env)
@@ -235,7 +239,7 @@ func compileExpr(e sqlparser.Expr, env *compileEnv) (boundExpr, error) {
 	case *sqlparser.CaseExpr:
 		return compileCase(x, env)
 	default:
-		return nil, fmt.Errorf("sqlexec: unsupported expression %T", e)
+		return nil, fmt.Errorf("sqlexec: unsupported expression %T: %w", e, dberr.ErrUnsupported)
 	}
 }
 
@@ -251,7 +255,7 @@ func evalBoundPredicate(be boundExpr, ctx *rowCtx) (bool, error) {
 	}
 	b, ok := v.AsBool()
 	if !ok {
-		return false, fmt.Errorf("sqlexec: predicate did not evaluate to a boolean (got %q)", v.String())
+		return false, fmt.Errorf("sqlexec: predicate did not evaluate to a boolean (got %q): %w", v.String(), dberr.ErrValue)
 	}
 	return b, nil
 }
@@ -298,7 +302,7 @@ func (b *bUnary) eval(ctx *rowCtx) (sheet.Value, error) {
 		}
 		f, ok := v.AsNumber()
 		if !ok {
-			return sheet.Empty(), fmt.Errorf("sqlexec: cannot negate %q", v.String())
+			return sheet.Empty(), fmt.Errorf("sqlexec: cannot negate %q: %w", v.String(), dberr.ErrValue)
 		}
 		return sheet.Number(-f), nil
 	default: // NOT
@@ -307,7 +311,7 @@ func (b *bUnary) eval(ctx *rowCtx) (sheet.Value, error) {
 		}
 		bv, ok := v.AsBool()
 		if !ok {
-			return sheet.Empty(), fmt.Errorf("sqlexec: NOT applied to non-boolean %q", v.String())
+			return sheet.Empty(), fmt.Errorf("sqlexec: NOT applied to non-boolean %q: %w", v.String(), dberr.ErrValue)
 		}
 		return sheet.Bool_(!bv), nil
 	}
@@ -387,7 +391,7 @@ func (b *bBinary) eval(ctx *rowCtx) (sheet.Value, error) {
 		a, okA := l.AsNumber()
 		c, okB := r.AsNumber()
 		if !okA || !okB {
-			return sheet.Empty(), fmt.Errorf("sqlexec: arithmetic on non-numeric values %q, %q", l.String(), r.String())
+			return sheet.Empty(), fmt.Errorf("sqlexec: arithmetic on non-numeric values %q, %q: %w", l.String(), r.String(), dberr.ErrValue)
 		}
 		switch b.op {
 		case "+":
@@ -398,12 +402,12 @@ func (b *bBinary) eval(ctx *rowCtx) (sheet.Value, error) {
 			return sheet.Number(a * c), nil
 		case "/":
 			if c == 0 {
-				return sheet.Empty(), fmt.Errorf("sqlexec: division by zero")
+				return sheet.Empty(), fmt.Errorf("sqlexec: division by zero: %w", dberr.ErrValue)
 			}
 			return sheet.Number(a / c), nil
 		default: // %
 			if c == 0 {
-				return sheet.Empty(), fmt.Errorf("sqlexec: division by zero")
+				return sheet.Empty(), fmt.Errorf("sqlexec: division by zero: %w", dberr.ErrValue)
 			}
 			return sheet.Number(math.Mod(a, c)), nil
 		}
@@ -587,20 +591,20 @@ func compileScalarFunc(x *sqlparser.FuncCall, env *compileEnv) (boundExpr, error
 	switch {
 	case fixed[name] > 0:
 		if len(args) != fixed[name] {
-			return nil, fmt.Errorf("sqlexec: %s expects %d argument(s), got %d", name, fixed[name], len(args))
+			return nil, fmt.Errorf("sqlexec: %s expects %d argument(s), got %d: %w", name, fixed[name], len(args), dberr.ErrSyntax)
 		}
 	case name == "ROUND":
 		if len(args) < 1 || len(args) > 2 {
-			return nil, fmt.Errorf("sqlexec: ROUND expects 1 or 2 arguments")
+			return nil, fmt.Errorf("sqlexec: ROUND expects 1 or 2 arguments: %w", dberr.ErrSyntax)
 		}
 	case name == "SUBSTR" || name == "SUBSTRING":
 		if len(args) < 2 || len(args) > 3 {
-			return nil, fmt.Errorf("sqlexec: SUBSTR expects 2 or 3 arguments")
+			return nil, fmt.Errorf("sqlexec: SUBSTR expects 2 or 3 arguments: %w", dberr.ErrSyntax)
 		}
 	case name == "CONCAT" || name == "COALESCE":
 		// variadic
 	default:
-		return nil, fmt.Errorf("sqlexec: unknown function %q", name)
+		return nil, fmt.Errorf("sqlexec: unknown function %q: %w", name, dberr.ErrSyntax)
 	}
 	return &bScalar{name: name, args: args, buf: make([]sheet.Value, len(args))}, nil
 }
@@ -644,7 +648,7 @@ func (b *bScalar) eval(ctx *rowCtx) (sheet.Value, error) {
 		}
 		f, ok := args[0].AsNumber()
 		if !ok {
-			return sheet.Empty(), fmt.Errorf("sqlexec: ROUND of non-numeric value")
+			return sheet.Empty(), fmt.Errorf("sqlexec: ROUND of non-numeric value: %w", dberr.ErrValue)
 		}
 		digits := 0.0
 		if len(args) == 2 {
@@ -706,7 +710,7 @@ func numericFunc1(v sheet.Value, fn func(float64) float64) (sheet.Value, error) 
 	}
 	f, ok := v.AsNumber()
 	if !ok {
-		return sheet.Empty(), fmt.Errorf("sqlexec: numeric function applied to %q", v.String())
+		return sheet.Empty(), fmt.Errorf("sqlexec: numeric function applied to %q: %w", v.String(), dberr.ErrValue)
 	}
 	return sheet.Number(fn(f)), nil
 }
@@ -743,7 +747,7 @@ func (b bAggRef) eval(ctx *rowCtx) (sheet.Value, error) {
 // reference that will read its per-group result.
 func compileAggregate(x *sqlparser.FuncCall, env *compileEnv) (boundExpr, error) {
 	if env.aggs == nil || env.inAgg {
-		return nil, fmt.Errorf("sqlexec: aggregate %s used outside an aggregation context", x.Name)
+		return nil, fmt.Errorf("sqlexec: aggregate %s used outside an aggregation context: %w", x.Name, dberr.ErrSyntax)
 	}
 	if slot, ok := env.aggs.index[x]; ok {
 		return bAggRef{slot: slot}, nil
@@ -752,11 +756,11 @@ func compileAggregate(x *sqlparser.FuncCall, env *compileEnv) (boundExpr, error)
 	spec := &aggSpec{name: name, star: x.Star, distinct: x.Distinct}
 	if x.Star {
 		if name != "COUNT" {
-			return nil, fmt.Errorf("sqlexec: %s(*) is not valid", name)
+			return nil, fmt.Errorf("sqlexec: %s(*) is not valid: %w", name, dberr.ErrSyntax)
 		}
 	} else {
 		if len(x.Args) != 1 {
-			return nil, fmt.Errorf("sqlexec: %s expects exactly one argument", name)
+			return nil, fmt.Errorf("sqlexec: %s expects exactly one argument: %w", name, dberr.ErrSyntax)
 		}
 		argEnv := *env
 		argEnv.inAgg = true
@@ -814,7 +818,7 @@ func (sp *aggSpec) update(st *aggState, ctx *rowCtx) error {
 	case "SUM", "AVG":
 		f, ok := v.AsNumber()
 		if !ok {
-			return fmt.Errorf("sqlexec: %s over non-numeric value %q", sp.name, v.String())
+			return fmt.Errorf("sqlexec: %s over non-numeric value %q: %w", sp.name, v.String(), dberr.ErrValue)
 		}
 		st.sum += f
 		st.n++

@@ -3,6 +3,8 @@
 // internal/sqlparser over the storage managers of internal/storage/tablestore,
 // extended with the paper's positional addressing constructs (RANGEVALUE,
 // RANGETABLE) resolved against the spreadsheet through a SheetAccessor.
+//
+// dslint:errdomain
 package sqlexec
 
 import (
@@ -77,7 +79,7 @@ type listener struct {
 // primary-key indexes, transactions and change notification. It is safe for
 // concurrent use; writes are serialised by an internal mutex.
 type Database struct {
-	mu           sync.RWMutex
+	mu           sync.RWMutex // dslint:lock(engine)
 	cat          *catalog.Catalog
 	stores       map[string]tablestore.Store
 	pkIndex      map[string]*btree.Tree
@@ -275,7 +277,7 @@ func (db *Database) RowCount(name string) (int, error) {
 // column types where possible and rejecting NOT NULL violations.
 func coerceRow(tbl *catalog.Table, row []sheet.Value) ([]sheet.Value, error) {
 	if len(row) != len(tbl.Columns) {
-		return nil, fmt.Errorf("sqlexec: table %q expects %d values, got %d", tbl.Name, len(tbl.Columns), len(row))
+		return nil, fmt.Errorf("sqlexec: table %q expects %d values, got %d: %w", tbl.Name, len(tbl.Columns), len(row), dberr.ErrParamCount)
 	}
 	out := make([]sheet.Value, len(row))
 	for i, col := range tbl.Columns {
@@ -460,7 +462,7 @@ func (db *Database) UpdateColumn(table string, id tablestore.RowID, col int, v s
 		return err
 	}
 	if col < 0 || col >= len(tbl.Columns) {
-		return fmt.Errorf("sqlexec: column index %d out of range for table %q", col, table)
+		return fmt.Errorf("sqlexec: column index %d out of range for table %q: %w", col, table, dberr.ErrColumnNotFound)
 	}
 	cv, ok := tbl.Columns[col].Type.Coerce(v)
 	if !ok {
@@ -561,10 +563,10 @@ func (db *Database) FindByKey(table string, key []sheet.Value) (tablestore.RowID
 	}
 	pk := tbl.PrimaryKey()
 	if len(pk) == 0 {
-		return 0, false, fmt.Errorf("sqlexec: table %q has no primary key", table)
+		return 0, false, fmt.Errorf("sqlexec: table %q has no primary key: %w", table, dberr.ErrIndexNotFound)
 	}
 	if len(key) != len(pk) {
-		return 0, false, fmt.Errorf("sqlexec: table %q primary key has %d columns, got %d values", table, len(pk), len(key))
+		return 0, false, fmt.Errorf("sqlexec: table %q primary key has %d columns, got %d values: %w", table, len(pk), len(key), dberr.ErrParamCount)
 	}
 	parts := make([][]byte, len(key))
 	for i, v := range key {

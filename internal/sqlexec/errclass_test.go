@@ -1,0 +1,33 @@
+package sqlexec
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/dberr"
+)
+
+// TestExecErrorClassification pins the dberr sentinel taxonomy on the
+// execution path: evaluation-domain failures, syntax-level analysis failures
+// and unsupported features must each round-trip through errors.Is after the
+// wrapped-%w conversion of the executor's bare fmt.Errorf sites.
+func TestExecErrorClassification(t *testing.T) {
+	_, s := newTestDB(t)
+	mustExec(t, s, `CREATE TABLE t (id INT PRIMARY KEY, name TEXT, score NUMERIC)`)
+	mustExec(t, s, `INSERT INTO t VALUES (1, 'a', 10)`)
+
+	cases := []struct {
+		sql  string
+		want error
+	}{
+		{`SELECT score / 0 FROM t`, dberr.ErrValue},
+		{`SELECT score + name FROM t`, dberr.ErrValue},
+		{`SELECT nosuchfunc(score) FROM t`, dberr.ErrSyntax},
+		{`SELECT nosuch FROM t`, dberr.ErrColumnNotFound},
+	}
+	for _, tc := range cases {
+		if _, err := s.Query(tc.sql); !errors.Is(err, tc.want) {
+			t.Errorf("Query(%q) error = %v, want errors.Is %v", tc.sql, err, tc.want)
+		}
+	}
+}

@@ -174,7 +174,7 @@ func (s *Session) executeWith(stmt sqlparser.Statement, env *execEnv) (*Result, 
 		s.tx = nil
 		return &Result{}, err
 	default:
-		return nil, fmt.Errorf("sqlexec: unsupported statement %T", stmt)
+		return nil, fmt.Errorf("sqlexec: unsupported statement %T: %w", stmt, dberr.ErrUnsupported)
 	}
 }
 
@@ -269,14 +269,14 @@ func (s *Session) executeInsert(st *sqlparser.InsertStmt, env *execEnv) (*Result
 		for _, name := range st.Columns {
 			idx, ok := tbl.ColumnIndex(name)
 			if !ok {
-				return nil, fmt.Errorf("sqlexec: unknown column %q in INSERT", name)
+				return nil, fmt.Errorf("sqlexec: unknown column %q in INSERT: %w", name, dberr.ErrColumnNotFound)
 			}
 			targets = append(targets, idx)
 		}
 	}
 	buildRow := func(vals []sheet.Value) ([]sheet.Value, error) {
 		if len(vals) != len(targets) {
-			return nil, fmt.Errorf("sqlexec: INSERT expects %d values, got %d", len(targets), len(vals))
+			return nil, fmt.Errorf("sqlexec: INSERT expects %d values, got %d: %w", len(targets), len(vals), dberr.ErrParamCount)
 		}
 		row := make([]sheet.Value, len(tbl.Columns))
 		for i, col := range tbl.Columns {
@@ -305,6 +305,9 @@ func (s *Session) executeInsert(st *sqlparser.InsertStmt, env *execEnv) (*Result
 			return nil, err
 		}
 		for _, row := range res.Rows {
+			if err := env.check(); err != nil {
+				return nil, err
+			}
 			if err := insertOne(row); err != nil {
 				return nil, err
 			}
@@ -341,7 +344,7 @@ func (s *Session) executeUpdate(st *sqlparser.UpdateStmt, env *execEnv) (*Result
 	for _, a := range st.Set {
 		idx, ok := tbl.ColumnIndex(a.Column)
 		if !ok {
-			return nil, fmt.Errorf("sqlexec: unknown column %q in UPDATE", a.Column)
+			return nil, fmt.Errorf("sqlexec: unknown column %q in UPDATE: %w", a.Column, dberr.ErrColumnNotFound)
 		}
 		sets = append(sets, setTarget{idx: idx, expr: a.Value})
 	}
@@ -433,6 +436,9 @@ func (s *Session) executeDelete(st *sqlparser.DeleteStmt, env *execEnv) (*Result
 		return nil, err
 	}
 	for _, id := range ids {
+		if err := env.check(); err != nil {
+			return nil, err
+		}
 		if err := s.db.delete(st.Table, id, s.tx); err != nil {
 			return nil, err
 		}
@@ -456,6 +462,9 @@ func (s *Session) executeCreateTable(st *sqlparser.CreateTableStmt, env *execEnv
 		for i, name := range res.Columns {
 			t := catalog.TypeAny
 			for _, row := range res.Rows {
+				if err := env.check(); err != nil {
+					return nil, err
+				}
 				if i < len(row) && !row[i].IsEmpty() {
 					t = catalog.UnifyTypes(t, catalog.InferType(row[i]))
 				}
@@ -466,6 +475,9 @@ func (s *Session) executeCreateTable(st *sqlparser.CreateTableStmt, env *execEnv
 			return nil, err
 		}
 		for _, row := range res.Rows {
+			if err := env.check(); err != nil {
+				return nil, err
+			}
 			padded := make([]sheet.Value, len(cols))
 			copy(padded, row)
 			if _, err := s.db.insert(st.Name, padded, s.tx); err != nil {
@@ -541,7 +553,7 @@ func (s *Session) executeAlterTable(st *sqlparser.AlterTableStmt, env *execEnv) 
 		}
 		return &Result{}, nil
 	default:
-		return nil, fmt.Errorf("sqlexec: empty ALTER TABLE")
+		return nil, fmt.Errorf("sqlexec: empty ALTER TABLE: %w", dberr.ErrSyntax)
 	}
 }
 

@@ -64,14 +64,14 @@ func (si *secIndex) hasNull(row []sheet.Value) bool {
 // With ifNotExists set, an existing index of the same name is left untouched.
 func (db *Database) CreateIndex(name, table string, columns []string, unique, ifNotExists bool) error {
 	if strings.TrimSpace(name) == "" {
-		return fmt.Errorf("sqlexec: empty index name")
+		return fmt.Errorf("sqlexec: empty index name: %w", dberr.ErrInvalidSchema)
 	}
 	tbl, err := db.cat.MustGet(table)
 	if err != nil {
 		return err
 	}
 	if len(columns) == 0 {
-		return fmt.Errorf("sqlexec: index %q must cover at least one column", name)
+		return fmt.Errorf("sqlexec: index %q must cover at least one column: %w", name, dberr.ErrInvalidSchema)
 	}
 	si := &secIndex{
 		def:  IndexDef{Name: name, Table: tbl.Name, Columns: append([]string(nil), columns...), Unique: unique},
@@ -81,7 +81,7 @@ func (db *Database) CreateIndex(name, table string, columns []string, unique, if
 	for i, col := range columns {
 		idx, ok := tbl.ColumnIndex(col)
 		if !ok {
-			return fmt.Errorf("sqlexec: unknown column %q in index %q on table %q", col, name, table)
+			return fmt.Errorf("sqlexec: unknown column %q in index %q on table %q: %w", col, name, table, dberr.ErrColumnNotFound)
 		}
 		si.cols[i] = idx
 	}
@@ -145,6 +145,7 @@ func (db *Database) DropIndex(name string, ifExists bool) error {
 	return nil
 }
 
+// dslint:requires(engine)
 func (db *Database) dropTableIndexLocked(tk string, si *secIndex) {
 	list := db.secIndexes[tk]
 	for i, other := range list {
@@ -200,6 +201,7 @@ func indexPrefixOccupied(tree *btree.Tree, prefix []byte, exclude tablestore.Row
 // --- maintenance hooks (callers hold db.mu) ---
 
 // secCheckInsertLocked verifies unique constraints for a new row.
+// dslint:requires(engine)
 func (db *Database) secCheckInsertLocked(table string, row []sheet.Value) error {
 	for _, si := range db.secIndexes[tkey(table)] {
 		if si.def.Unique && !si.hasNull(row) {
@@ -212,6 +214,7 @@ func (db *Database) secCheckInsertLocked(table string, row []sheet.Value) error 
 }
 
 // secInsertLocked adds a row's entries to every index of the table.
+// dslint:requires(engine)
 func (db *Database) secInsertLocked(table string, row []sheet.Value, id tablestore.RowID) {
 	for _, si := range db.secIndexes[tkey(table)] {
 		si.tree.Set(si.rowKey(row, id), uint64(id))
@@ -219,6 +222,7 @@ func (db *Database) secInsertLocked(table string, row []sheet.Value, id tablesto
 }
 
 // secDeleteLocked removes a row's entries from every index of the table.
+// dslint:requires(engine)
 func (db *Database) secDeleteLocked(table string, row []sheet.Value, id tablestore.RowID) {
 	for _, si := range db.secIndexes[tkey(table)] {
 		si.tree.Delete(si.rowKey(row, id))
@@ -226,6 +230,7 @@ func (db *Database) secDeleteLocked(table string, row []sheet.Value, id tablesto
 }
 
 // secCheckUpdateLocked verifies unique constraints for a row change.
+// dslint:requires(engine)
 func (db *Database) secCheckUpdateLocked(table string, old, new []sheet.Value, id tablestore.RowID) error {
 	for _, si := range db.secIndexes[tkey(table)] {
 		if !si.def.Unique || si.hasNull(new) {
@@ -243,6 +248,7 @@ func (db *Database) secCheckUpdateLocked(table string, old, new []sheet.Value, i
 }
 
 // secUpdateLocked rewrites a row's entries after an update.
+// dslint:requires(engine)
 func (db *Database) secUpdateLocked(table string, old, new []sheet.Value, id tablestore.RowID) {
 	for _, si := range db.secIndexes[tkey(table)] {
 		oldKey, newKey := si.rowKey(old, id), si.rowKey(new, id)
@@ -257,6 +263,7 @@ func (db *Database) secUpdateLocked(table string, old, new []sheet.Value, id tab
 // secColumnIndexedLocked reports whether column col of the table appears in
 // any secondary index (such columns must be updated through the full Update
 // path so entries stay in sync).
+// dslint:requires(engine)
 func (db *Database) secColumnIndexedLocked(table string, col int) bool {
 	for _, si := range db.secIndexes[tkey(table)] {
 		for _, c := range si.cols {
@@ -272,6 +279,7 @@ func (db *Database) secColumnIndexedLocked(table string, col int) bool {
 // the table: indexes covering the column are dropped (cascade, mirroring the
 // storage managers' positional schema), the rest shift their resolved
 // positions.
+// dslint:requires(engine)
 func (db *Database) secOnDropColumnLocked(table string, idx int) {
 	tk := tkey(table)
 	kept := db.secIndexes[tk][:0]
@@ -295,6 +303,7 @@ func (db *Database) secOnDropColumnLocked(table string, idx int) {
 }
 
 // secOnRenameColumnLocked renames the column inside index definitions.
+// dslint:requires(engine)
 func (db *Database) secOnRenameColumnLocked(table, oldName, newName string) {
 	for _, si := range db.secIndexes[tkey(table)] {
 		for i, c := range si.def.Columns {
@@ -306,6 +315,7 @@ func (db *Database) secOnRenameColumnLocked(table, oldName, newName string) {
 }
 
 // secOnDropTableLocked removes every index of a dropped table.
+// dslint:requires(engine)
 func (db *Database) secOnDropTableLocked(table string) {
 	tk := tkey(table)
 	for _, si := range db.secIndexes[tk] {

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"github.com/dataspread/dataspread/internal/catalog"
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/sqlparser"
 	"github.com/dataspread/dataspread/internal/storage/tablestore"
@@ -444,7 +445,7 @@ func (db *Database) buildSources(stmt *sqlparser.SelectStmt, env *execEnv) ([]*s
 			s.needed = make([]bool, len(s.cols))
 		case *sqlparser.RangeTableRef:
 			if env.sheets == nil {
-				return nil, fmt.Errorf("sqlexec: RANGETABLE requires a spreadsheet context")
+				return nil, fmt.Errorf("sqlexec: RANGETABLE requires a spreadsheet context: %w", dberr.ErrUnsupported)
 			}
 			names, rows, err := env.sheets.RangeTable(t.Ref, t.HeaderRow)
 			if err != nil {
@@ -468,7 +469,7 @@ func (db *Database) buildSources(stmt *sqlparser.SelectStmt, env *execEnv) ([]*s
 				s.cols = append(s.cols, colDesc{table: s.label, name: strings.ToLower(n), src: i})
 			}
 		default:
-			return nil, fmt.Errorf("sqlexec: unsupported table reference %T", ref)
+			return nil, fmt.Errorf("sqlexec: unsupported table reference %T: %w", ref, dberr.ErrUnsupported)
 		}
 		srcs[i] = s
 	}
@@ -609,6 +610,7 @@ func (db *Database) scanSourceEach(s *srcState, env *execEnv, cols []colDesc, sc
 // every candidate so the kept rows are exactly what the full scan would
 // keep. Non-ordered paths emit in RowID order (the full scan's order);
 // ordered paths emit in index order and may stop early.
+// dslint:requires(engine)
 func (db *Database) scanIndexPath(s *srcState, preds []boundExpr, ctx *rowCtx, fetchCols []int, env *execEnv, emit func(row []sheet.Value, stable bool) error) error {
 	table := s.tbl.Name
 	emitted := 0
@@ -755,6 +757,9 @@ func joinRelations(left, right *relation, join sqlparser.Join, env *execEnv) (*r
 		ix := newKeyIndex(len(rightKeys))
 		keyBuf := make([]normValue, 0, len(rightKeys))
 		for ri, row := range right.rows {
+			if err := env.check(); err != nil {
+				return nil, err
+			}
 			keyBuf = normalizeRowKey(keyBuf, row, rightKeys)
 			slot, _ := ix.getOrAdd(keyBuf)
 			ix.addRow(slot, ri)
@@ -791,6 +796,9 @@ func joinRelations(left, right *relation, join sqlparser.Join, env *execEnv) (*r
 			ix := newKeyIndex(len(rk))
 			keyBuf := make([]normValue, 0, len(rk))
 			for ri, row := range right.rows {
+				if err := env.check(); err != nil {
+					return nil, err
+				}
 				keyBuf = normalizeRowKey(keyBuf, row, rk)
 				slot, _ := ix.getOrAdd(keyBuf)
 				ix.addRow(slot, ri)
@@ -851,6 +859,9 @@ func joinRelations(left, right *relation, join sqlparser.Join, env *execEnv) (*r
 				return nil, err
 			}
 			for _, rrow := range right.rows {
+				if err := env.check(); err != nil {
+					return nil, err
+				}
 				out.rows = append(out.rows, concatRows(lrow, rrow))
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/sqlparser"
 	"github.com/dataspread/dataspread/internal/storage/tablestore"
@@ -109,7 +110,7 @@ func (s *Session) QueryStream(ctx context.Context, sql string, args ...sheet.Val
 func (s *Session) StreamPrepared(ctx context.Context, p *Prepared, args ...sheet.Value) (*Rows, error) {
 	sel, ok := p.stmt.(*sqlparser.SelectStmt)
 	if !ok || p.sel == nil {
-		return nil, fmt.Errorf("sqlexec: cannot stream %T (only SELECT)", p.stmt)
+		return nil, fmt.Errorf("sqlexec: cannot stream %T (only SELECT): %w", p.stmt, dberr.ErrUnsupported)
 	}
 	env, err := s.execEnv(ctx, p, args)
 	if err != nil {
@@ -172,6 +173,7 @@ func (s *Session) StreamPrepared(ctx context.Context, p *Prepared, args ...sheet
 
 // streamSelect drives a SELECT to the header/yield sinks. header is called
 // exactly once, before the first yield.
+// dslint:parks(yield)
 func (db *Database) streamSelect(stmt *sqlparser.SelectStmt, an *selectAnalysis, env *execEnv, header func([]string), yield func([]sheet.Value) error) error {
 	if stmt.From != nil && len(stmt.Joins) == 0 && !an.grouped && !stmt.Distinct && len(stmt.OrderBy) == 0 {
 		return db.streamSimpleSelect(stmt, an, env, header, yield)
@@ -184,6 +186,9 @@ func (db *Database) streamSelect(stmt *sqlparser.SelectStmt, an *selectAnalysis,
 	}
 	header(res.Columns)
 	for _, row := range res.Rows {
+		if err := env.check(); err != nil {
+			return err
+		}
 		if err := yield(row); err != nil {
 			return err
 		}
@@ -204,6 +209,7 @@ const streamFetchBatch = 256
 // collected first (cheap — ids only, no values), then rows are fetched,
 // filtered and projected in read-locked batches and yielded between
 // batches. A LIMIT stops after its quota of projected rows.
+// dslint:parks(yield)
 func (db *Database) streamSimpleSelect(stmt *sqlparser.SelectStmt, an *selectAnalysis, env *execEnv, header func([]string), yield func([]sheet.Value) error) error {
 	plan, err := db.planInput(stmt, an, env)
 	if err != nil {
@@ -361,6 +367,9 @@ func (db *Database) streamSimpleSelect(stmt *sqlparser.SelectStmt, an *selectAna
 			return err
 		}
 		for _, out := range outBatch {
+			if err := env.check(); err != nil {
+				return err
+			}
 			if err := yield(out); err != nil {
 				return err
 			}

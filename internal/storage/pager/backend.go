@@ -20,8 +20,10 @@ type Backend interface {
 	// PageCount returns the number of allocated pages.
 	PageCount() int
 	// Sync makes all completed writes durable. A no-op for memory backends.
+	// dslint:critical
 	Sync() error
 	// Close releases the backend. Closing twice is a no-op.
+	// dslint:critical
 	Close() error
 	// PageIDs returns the ids of all allocated pages, in no particular
 	// order. The durability layer uses it to sweep pages a crashed

@@ -74,19 +74,16 @@ func OpenFileStore(path string) (*FileStore, error) {
 	fs.readAt = f.ReadAt
 	info, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("pager: stat %s: %w", path, err), f.Close())
 	}
 	if info.Size() == 0 {
 		if err := fs.writeHeader(); err != nil {
-			f.Close()
-			return nil, err
+			return nil, errors.Join(err, f.Close())
 		}
 		return fs, nil
 	}
 	if err := fs.load(info.Size()); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	return fs, nil
 }
@@ -375,6 +372,7 @@ func (fs *FileStore) PageIDs() []PageID {
 }
 
 // Sync refreshes the header page and forces everything to stable storage.
+// dslint:critical
 func (fs *FileStore) Sync() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -388,6 +386,7 @@ func (fs *FileStore) Sync() error {
 }
 
 // Close syncs and closes the file. A second Close is a no-op.
+// dslint:critical
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()

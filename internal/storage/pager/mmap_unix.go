@@ -3,6 +3,7 @@
 package pager
 
 import (
+	"errors"
 	"fmt"
 	"syscall"
 )
@@ -29,8 +30,7 @@ func OpenMmapStore(path string) (*MmapStore, error) {
 	}
 	m := &MmapStore{FileStore: fs}
 	if err := m.remap(); err != nil {
-		fs.Close()
-		return nil, err
+		return nil, errors.Join(err, fs.Close())
 	}
 	// All readAt calls happen with fs.mu held, so the remap-on-grow path
 	// needs no extra locking.

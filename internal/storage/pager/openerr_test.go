@@ -1,0 +1,43 @@
+package pager
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// countFDs returns the number of open file descriptors for this process.
+// Linux-only introspection (/proc/self/fd); the test skips elsewhere.
+func countFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot inspect open file descriptors: %v", err)
+	}
+	return len(ents)
+}
+
+// TestOpenFileStoreErrorClosesFile is the regression test for the
+// discarded-Close bugs on the OpenFileStore failure paths: an open that fails
+// validation (bad magic here) must close the file it opened, so repeated
+// failed opens do not leak descriptors.
+func TestOpenFileStoreErrorClosesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.heap")
+	junk := make([]byte, PageSize)
+	copy(junk, "not a page heap")
+	if err := os.WriteFile(path, junk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := countFDs(t)
+	const attempts = 32
+	for i := 0; i < attempts; i++ {
+		if _, err := OpenFileStore(path); err == nil {
+			t.Fatal("OpenFileStore accepted a file with a bad magic")
+		}
+	}
+	after := countFDs(t)
+	if after > before {
+		t.Fatalf("file descriptors leaked across %d failed opens: %d -> %d", attempts, before, after)
+	}
+}

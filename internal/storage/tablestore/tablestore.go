@@ -27,6 +27,8 @@ import (
 
 // RowID identifies a tuple within a table store. RowIDs are assigned by
 // Insert, start at 1, and are never reused.
+//
+// dslint:row
 type RowID uint64
 
 // ErrRowNotFound is returned for operations on missing or deleted rows.
@@ -58,6 +60,7 @@ type Store interface {
 	Delete(id RowID) error
 	// Scan calls fn for every live tuple in RowID order; it stops early if
 	// fn returns false. The row passed to fn is owned by the caller.
+	// dslint:perrow
 	Scan(fn func(id RowID, row []sheet.Value) bool) error
 	// ScanCols is the streaming scan used by the query executor: fn is
 	// called for every live tuple in RowID order, materializing only the
@@ -67,6 +70,7 @@ type Store interface {
 	// cols[i]. Unless ScanColsStable(cols) reports true, the row slice is
 	// reused between calls: fn must copy any value it retains. fn must
 	// never modify the slice contents.
+	// dslint:perrow
 	ScanCols(cols []int, fn func(id RowID, row []sheet.Value) bool) error
 	// ScanColsStable reports whether the rows a ScanCols(cols, ...) call
 	// passes to fn remain valid after fn returns — they alias immutable

@@ -8,6 +8,8 @@
 // COLUMN, CREATE/DROP TABLE) as ordinary logged, undoable operations so a
 // spreadsheet interaction that mixes schema and data edits can be applied or
 // rolled back atomically.
+//
+// dslint:errdomain
 package txn
 
 import (

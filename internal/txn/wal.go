@@ -27,11 +27,13 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"github.com/dataspread/dataspread/internal/dberr"
 )
 
 // ErrCorruptLog is returned when a fully present WAL frame fails its
 // checksum or cannot be decoded.
-var ErrCorruptLog = errors.New("txn: corrupt WAL record")
+var ErrCorruptLog = fmt.Errorf("txn: corrupt WAL record: %w", dberr.ErrCorrupt)
 
 const (
 	frameHeaderSize = 8
@@ -51,7 +53,7 @@ func readString(r *bytes.Reader) (string, error) {
 		return "", err
 	}
 	if n > uint64(r.Len()) {
-		return "", fmt.Errorf("string length %d exceeds remaining payload", n)
+		return "", fmt.Errorf("string length %d exceeds remaining payload: %w", n, ErrCorruptLog)
 	}
 	b := make([]byte, n)
 	if _, err := io.ReadFull(r, b); err != nil {
@@ -91,7 +93,7 @@ func decodeRecord(payload []byte) (Record, error) {
 		return rec, err
 	}
 	if nOps > uint64(r.Len()) {
-		return rec, fmt.Errorf("op count %d exceeds remaining payload", nOps)
+		return rec, fmt.Errorf("op count %d exceeds remaining payload: %w", nOps, ErrCorruptLog)
 	}
 	for i := uint64(0); i < nOps; i++ {
 		var op Op
@@ -111,7 +113,7 @@ func decodeRecord(payload []byte) (Record, error) {
 			return rec, err
 		}
 		if nArgs > uint64(r.Len()) {
-			return rec, fmt.Errorf("arg count %d exceeds remaining payload", nArgs)
+			return rec, fmt.Errorf("arg count %d exceeds remaining payload: %w", nArgs, ErrCorruptLog)
 		}
 		for j := uint64(0); j < nArgs; j++ {
 			a, err := readString(r)
@@ -123,7 +125,7 @@ func decodeRecord(payload []byte) (Record, error) {
 		rec.Ops = append(rec.Ops, op)
 	}
 	if r.Len() != 0 {
-		return rec, fmt.Errorf("%d trailing bytes after record", r.Len())
+		return rec, fmt.Errorf("%d trailing bytes after record: %w", r.Len(), ErrCorruptLog)
 	}
 	return rec, nil
 }
@@ -228,6 +230,7 @@ func (m *Manager) SetGroupCommit(n int) {
 
 // Sync forces buffered frames to the sink and, when the sink supports it
 // (e.g. *os.File), to stable storage.
+// dslint:critical
 func (m *Manager) Sync() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -254,6 +257,7 @@ func (m *Manager) flushSyncLocked() error {
 
 // appendDurableLocked writes one committed record to the durable sink
 // (caller holds m.mu). With no sink attached it is a no-op.
+// dslint:critical
 func (m *Manager) appendDurableLocked(rec Record) error {
 	if m.bw == nil {
 		return nil
@@ -312,16 +316,13 @@ func (m *Manager) RecoverFile(path string) ([]Record, error) {
 	}
 	recs, valid, err := m.Replay(f)
 	if err != nil && !errors.Is(err, ErrCorruptLog) {
-		f.Close()
-		return nil, fmt.Errorf("txn: replay WAL %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("txn: replay WAL %s: %w", path, err), f.Close())
 	}
 	if err := f.Truncate(valid); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("txn: truncate WAL %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("txn: truncate WAL %s: %w", path, err), f.Close())
 	}
 	if _, err := f.Seek(valid, io.SeekStart); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("txn: seek WAL %s: %w", path, err)
+		return nil, errors.Join(fmt.Errorf("txn: seek WAL %s: %w", path, err), f.Close())
 	}
 	m.AttachLog(f)
 	m.mu.Lock()
@@ -352,6 +353,7 @@ func (m *Manager) LogSize() int64 {
 // — never a window where committed records above the watermark exist in
 // neither place (an in-place truncate-and-rewrite would have exactly that
 // window).
+// dslint:critical
 func (m *Manager) TruncateThrough(lsn uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -387,21 +389,18 @@ func (m *Manager) TruncateThrough(lsn uint64) error {
 	for _, rec := range kept {
 		frame := appendFrame(nil, rec)
 		if _, err := f.Write(frame); err != nil {
-			f.Close()
 			os.Remove(tmp)
-			return fmt.Errorf("txn: compact WAL: %w", err)
+			return errors.Join(fmt.Errorf("txn: compact WAL: %w", err), f.Close())
 		}
 		bytes += int64(len(frame))
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("txn: sync compacted WAL: %w", err)
+		return errors.Join(fmt.Errorf("txn: sync compacted WAL: %w", err), f.Close())
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("txn: swap compacted WAL: %w", err)
+		return errors.Join(fmt.Errorf("txn: swap compacted WAL: %w", err), f.Close())
 	}
 	// Adopt the new file; the old inode dies with its handle.
 	old := m.logFile
@@ -466,6 +465,7 @@ func (m *Manager) ResetLog() error {
 
 // Close flushes and syncs the durable log and closes the underlying file
 // when the manager owns one (RecoverFile). Safe to call multiple times.
+// dslint:critical
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
