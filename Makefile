@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench fuzz verify apicheck lint
+.PHONY: all build test race vet fmt bench fuzz faultcheck verify apicheck lint
 
 all: build test
 
@@ -22,7 +22,7 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 
-verify: fmt vet lint build test apicheck
+verify: fmt vet lint build test faultcheck apicheck
 
 # lint runs go vet plus dslint, the project-specific analyzer suite
 # (internal/lint): lockcheck (engine-lock discipline, no parking under the
@@ -49,6 +49,14 @@ apicheck:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE .
 	$(GO) run ./cmd/dsbench -json BENCH_pr5.json
+
+# faultcheck runs the exhaustive single-fault sweep (internal/core): a fixed
+# workload is re-run once per mutating filesystem operation with that one
+# operation failing (EIO, ENOSPC, torn sector write), asserting classified
+# errors, degraded read-only behavior and contiguous-prefix recovery after
+# every single injection. See DESIGN.md "Fault injection & degraded mode".
+faultcheck:
+	$(GO) test ./internal/core -run 'TestSingleFaultSweep|TestTornRootSlotRecovery|TestBothRootSlotsTornRefused|TestBackgroundCheckpoint' -count=1
 
 # fuzz runs the durability fuzz suites (fixed seeds: the same trials replay
 # every run) — WAL truncation/bit-flips, checkpoint kill points, heap-file

@@ -93,6 +93,13 @@ func (db *DB) Checkpoint() error { return db.ds.Checkpoint() }
 // recovering a durable workbook in OpenFile; empty on a clean recovery.
 func (db *DB) RecoveryErrors() []error { return db.ds.RecoveryErrors() }
 
+// Health reports the workbook's degradation state: nil while healthy, an
+// ErrReadOnly-classified error naming the original I/O failure once the
+// workbook has degraded to read-only mode, or the last background
+// checkpoint failure if one is pending. Reading Health does not consume the
+// recorded checkpoint error (Checkpoint and Close do).
+func (db *DB) Health() error { return db.ds.Health() }
+
 // Conn opens a new SQL connection: its own transaction state, concurrent
 // with other connections. A single Conn must not be used concurrently.
 func (db *DB) Conn() *Conn {

@@ -43,4 +43,16 @@ var (
 	ErrParamCount = dberr.ErrParamCount
 	// ErrClosed: use of a closed database, statement or row set.
 	ErrClosed = dberr.ErrClosed
+	// ErrIO: a storage I/O failure (read, write, fsync, truncate or close
+	// on the workbook's files). Every lower-level I/O error the engine
+	// surfaces matches it.
+	ErrIO = dberr.ErrIO
+	// ErrDiskFull: the ENOSPC subclass of ErrIO. errors.Is(err, ErrIO) also
+	// holds for every ErrDiskFull.
+	ErrDiskFull = dberr.ErrDiskFull
+	// ErrReadOnly: a write was rejected because the workbook degraded to
+	// read-only after an I/O failure. Reads keep working from committed
+	// state; reopening the workbook recovers the committed prefix and
+	// clears the condition. Health reports the original cause.
+	ErrReadOnly = dberr.ErrReadOnly
 )

@@ -31,6 +31,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/dataspread/dataspread/internal/dberr"
 	"github.com/dataspread/dataspread/internal/storage/pager"
@@ -40,6 +41,15 @@ import (
 // defaultCheckpointWALBytes is the WAL size that triggers a background
 // checkpoint when Options.CheckpointWALBytes is zero.
 const defaultCheckpointWALBytes = 4 << 20
+
+// Background checkpoint retry policy: a transient failure (anything except a
+// failed fsync or a poisoned workbook) is retried with doubling backoff, up
+// to ckptRetryMax attempts per trigger.
+const (
+	ckptRetryMax         = 3
+	defaultCkptRetryBase = 50 * time.Millisecond
+	ckptRetryCap         = 2 * time.Second
+)
 
 // ckptState carries one checkpoint through its stages.
 type ckptState struct {
@@ -70,14 +80,46 @@ func (ds *DataSpread) startCheckpointer() {
 			case <-stop:
 				return
 			case <-trigger:
-				if err := ds.checkpointOnce(); err != nil {
-					ds.ckptErrMu.Lock()
-					ds.ckptErr = err
-					ds.ckptErrMu.Unlock()
-				}
+				ds.runCheckpointWithRetry(stop)
 			}
 		}
 	}()
+}
+
+// runCheckpointWithRetry drives one triggered background checkpoint to
+// success, a permanent failure, or retry exhaustion. Transient failures (a
+// rejected write, ENOSPC on an allocation) back off and retry: the condition
+// may clear. Durability-class failures — a failed fsync (the kernel may have
+// dropped the dirty pages; fsync-gate) or a commit-uncertain root flip — are
+// never retried; checkpointOnce has already poisoned the workbook for the
+// flip case and the heap's own sync latch refuses retries for the rest.
+// The outcome lands in ckptErr, where Health exposes it and the next
+// explicit Checkpoint or Close consumes it; a success clears it.
+func (ds *DataSpread) runCheckpointWithRetry(stop <-chan struct{}) {
+	backoff := ds.ckptRetryBase
+	if backoff <= 0 {
+		backoff = defaultCkptRetryBase
+	}
+	var err error
+	for attempt := 0; attempt < ckptRetryMax; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-stop:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > ckptRetryCap {
+				backoff = ckptRetryCap
+			}
+		}
+		err = ds.checkpointOnce()
+		if err == nil || isSyncFault(err) || ds.isPoisoned() {
+			break
+		}
+	}
+	ds.ckptErrMu.Lock()
+	ds.ckptErr = err
+	ds.ckptErrMu.Unlock()
 }
 
 // stopCheckpointer signals the goroutine and waits for any in-flight
@@ -98,7 +140,7 @@ func (ds *DataSpread) stopCheckpointer() {
 // outgrown the threshold. Non-blocking: a nudge while a checkpoint runs
 // coalesces into the single buffered slot.
 func (ds *DataSpread) maybeTriggerCheckpoint() {
-	if ds.ckptTrigger == nil || ds.ckptThreshold <= 0 || ds.wal == nil {
+	if ds.ckptTrigger == nil || ds.ckptThreshold <= 0 || ds.wal == nil || ds.isPoisoned() {
 		return
 	}
 	if ds.wal.LogSize() < ds.ckptThreshold {
@@ -116,6 +158,9 @@ func (ds *DataSpread) maybeTriggerCheckpoint() {
 func (ds *DataSpread) checkpointOnce() error {
 	ds.ckptMu.Lock()
 	defer ds.ckptMu.Unlock()
+	if err := ds.checkWritable(); err != nil {
+		return fmt.Errorf("core: checkpoint skipped: %w", err)
+	}
 	ds.Wait()
 	st, err := ds.ckptCapture()
 	if err != nil {
@@ -130,8 +175,10 @@ func (ds *DataSpread) checkpointOnce() error {
 		// even though the sync (or the write itself) reported failure, so
 		// the blob pages and captured data pages must NOT be freed or
 		// unprotected — a reopen could legitimately choose that root. The
-		// scratch pages leak until a retry overwrites the same slot or the
-		// next open sweeps them.
+		// scratch pages leak until the next open sweeps them. With two
+		// roots both plausibly current and no way to learn which one disk
+		// holds, no further write can be known consistent: poison.
+		ds.poison(err)
 		return err
 	}
 	return ds.ckptAdopt(st)
@@ -164,10 +211,10 @@ func (ds *DataSpread) ckptCapture() (*ckptState, error) {
 func (ds *DataSpread) ckptWrite(st *ckptState) error {
 	be := ds.backend
 	if st.metaPage = be.Allocate(); st.metaPage == pager.InvalidPage {
-		return fmt.Errorf("core: checkpoint: page allocation failed: %w", dberr.ErrInternal)
+		return allocErr(be)
 	}
 	if st.snapPage = be.Allocate(); st.snapPage == pager.InvalidPage {
-		return fmt.Errorf("core: checkpoint: page allocation failed: %w", dberr.ErrInternal)
+		return allocErr(be)
 	}
 	if err := be.WritePage(st.metaPage, st.metaBlob); err != nil {
 		return fmt.Errorf("core: write page catalog: %w", err)
@@ -227,6 +274,18 @@ func (ds *DataSpread) ckptAdopt(st *ckptState) error {
 		firstErr = fmt.Errorf("core: compact WAL: %w", err)
 	}
 	return firstErr
+}
+
+// allocErr classifies a failed checkpoint page allocation: the backend's
+// recorded I/O failure when it has one (a FileStore latches the slot-write
+// error), otherwise a broken invariant.
+func allocErr(be pager.Backend) error {
+	if e, ok := be.(interface{ Err() error }); ok {
+		if err := e.Err(); err != nil {
+			return fmt.Errorf("core: checkpoint: page allocation failed: %w", err)
+		}
+	}
+	return fmt.Errorf("core: checkpoint: page allocation failed: %w", dberr.ErrInternal)
 }
 
 // ckptAbort rolls back a checkpoint that failed before any root-slot write

@@ -65,13 +65,16 @@ func (c *Conn) ExecutePrepared(ctx context.Context, p *sqlexec.Prepared, args ..
 	}
 	c.ds.cmdMu.Lock()
 	defer c.ds.cmdMu.Unlock()
+	if err := c.ds.checkWritable(); err != nil {
+		return nil, err
+	}
 	res, err := c.sess.ExecutePreparedContext(ctx, p, args...)
 	if err == nil {
 		if lerr := c.ds.logExecuted(p.Statement(), c.sess, &c.pending, p.SQL, args); lerr != nil {
 			return res, fmt.Errorf("core: statement applied but not logged: %w", lerr)
 		}
 	}
-	return res, err
+	return res, c.ds.notePoison(err)
 }
 
 // StreamPrepared executes a prepared SELECT as a streaming row iterator: no

@@ -18,6 +18,7 @@
 //     visible-first computation.
 //
 // dslint:errdomain
+// dslint:vfsonly
 package core
 
 import (
@@ -26,6 +27,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/dataspread/dataspread/internal/catalog"
 	"github.com/dataspread/dataspread/internal/compute"
@@ -36,6 +38,7 @@ import (
 	"github.com/dataspread/dataspread/internal/sqlparser"
 	"github.com/dataspread/dataspread/internal/storage/cellstore"
 	"github.com/dataspread/dataspread/internal/storage/pager"
+	"github.com/dataspread/dataspread/internal/storage/vfs"
 	"github.com/dataspread/dataspread/internal/txn"
 	"github.com/dataspread/dataspread/internal/window"
 )
@@ -71,6 +74,10 @@ type Options struct {
 	// checkpointer. 0 selects the default (4 MiB); a negative value
 	// disables background checkpointing (explicit Checkpoint still works).
 	CheckpointWALBytes int64
+	// FS is the filesystem every durable file (page heap, WAL, lock) is
+	// opened through. Nil selects the real OS filesystem; fault-injection
+	// tests substitute a vfs.FaultFS.
+	FS vfs.FS
 }
 
 // DataSpread is the unified spreadsheet–database system.
@@ -114,6 +121,18 @@ type DataSpread struct {
 	ckptDone      chan struct{}
 	ckptErrMu     sync.Mutex
 	ckptErr       error // last background checkpoint failure
+	// ckptRetryBase is the first backoff delay after a transient background
+	// checkpoint failure (tests shrink it). Zero selects the default.
+	ckptRetryBase time.Duration
+
+	// poisonErr, once set, degrades the workbook to read-only: every later
+	// mutating command fails with dberr.ErrReadOnly while reads keep being
+	// served from the committed in-memory state. Set on the first I/O
+	// failure that leaves durability in doubt — a failed WAL append, a
+	// storage error during command execution, or a commit-uncertain
+	// checkpoint root flip. Cleared only by reopening the workbook.
+	poisonMu  sync.Mutex
+	poisonErr error
 }
 
 // New creates a DataSpread instance with a single sheet named "Sheet1".
@@ -179,6 +198,9 @@ func (ds *DataSpread) Interface() *interfacemgr.Manager { return ds.iface }
 func (ds *DataSpread) AddSheet(name string) (*sheet.Sheet, error) {
 	ds.cmdMu.Lock()
 	defer ds.cmdMu.Unlock()
+	if err := ds.checkWritable(); err != nil {
+		return nil, err
+	}
 	_, known := ds.book.Sheet(name)
 	sh := ds.book.AddSheet(name)
 	if !known {
@@ -229,9 +251,12 @@ func (ds *DataSpread) SetCellAt(sheetName string, a sheet.Address, input string)
 	}
 	ds.cmdMu.Lock()
 	defer ds.cmdMu.Unlock()
+	if err := ds.checkWritable(); err != nil {
+		return nil, err
+	}
 	wait, err = ds.setCellDispatch(canonical, a, input)
 	if err != nil {
-		return wait, err
+		return wait, ds.notePoison(err)
 	}
 	if lerr := ds.logCommand(txn.Op{
 		Kind:   txn.OpCellSet,
@@ -281,6 +306,9 @@ func (ds *DataSpread) SetValues(sheetName, topLeft string, rows [][]sheet.Value)
 	}
 	ds.cmdMu.Lock()
 	defer ds.cmdMu.Unlock()
+	if err := ds.checkWritable(); err != nil {
+		return err
+	}
 	sh.SetValues(a, rows)
 	for r, row := range rows {
 		for c, v := range row {
@@ -360,13 +388,18 @@ func (ds *DataSpread) QueryContext(ctx context.Context, sql string, args ...shee
 	if err != nil {
 		return nil, err
 	}
+	if sqlparser.Mutates(p.Statement()) {
+		if err := ds.checkWritable(); err != nil {
+			return nil, err
+		}
+	}
 	res, err := ds.session.ExecutePreparedContext(ctx, p, args...)
 	if err == nil {
 		if lerr := ds.logExecuted(p.Statement(), ds.session, &ds.pending, sql, args); lerr != nil {
 			return res, fmt.Errorf("core: statement applied but not logged: %w", lerr)
 		}
 	}
-	return res, err
+	return res, ds.notePoison(err)
 }
 
 // sqlOp encodes a (possibly parameterized) mutating statement as a WAL
@@ -426,6 +459,10 @@ func (ds *DataSpread) logCommands(ops []txn.Op) error {
 		}
 		return nil
 	}); err != nil {
+		// The commands are applied in memory but their WAL record did not
+		// commit: a reopen would lose them, so the workbook degrades to
+		// read-only rather than letting the histories diverge further.
+		ds.poison(err)
 		return err
 	}
 	ds.maybeTriggerCheckpoint()
@@ -441,7 +478,13 @@ func (ds *DataSpread) QueryScript(sql string) (*sqlexec.Result, error) {
 	ds.cmdMu.Lock()
 	defer ds.cmdMu.Unlock()
 	stmts, parseErr := sqlparser.ParseMulti(sql)
+	if parseErr == nil && sqlparser.AnyMutates(stmts) {
+		if err := ds.checkWritable(); err != nil {
+			return nil, err
+		}
+	}
 	res, err := ds.session.QueryScript(sql)
+	err = ds.notePoison(err)
 	if parseErr == nil && sqlparser.AnyMutates(stmts) {
 		if lerr := ds.logCommand(txn.Op{Kind: txn.OpSQLScript, Detail: sql, Args: []string{sql}}); lerr != nil {
 			lerr = fmt.Errorf("core: script applied but not logged: %w", lerr)
@@ -501,6 +544,9 @@ func (ds *DataSpread) CreateTableFromRange(sheetName, rng, tableName string, opt
 	}
 	ds.cmdMu.Lock()
 	defer ds.cmdMu.Unlock()
+	if err := ds.checkWritable(); err != nil {
+		return nil, err
+	}
 	values := sh.Values(r)
 	hasData := false
 	for _, row := range values {
@@ -526,13 +572,13 @@ func (ds *DataSpread) CreateTableFromRange(sheetName, rng, tableName string, opt
 		}
 	}
 	if err := ds.db.CreateTable(tableName, cols); err != nil {
-		return nil, err
+		return nil, ds.notePoison(err)
 	}
 	for _, row := range data {
 		if _, err := ds.db.Insert(tableName, row); err != nil {
 			// Leave the table in place with the rows inserted so far; the
 			// caller sees exactly which row failed.
-			return nil, fmt.Errorf("core: exporting range %s: %w", rng, err)
+			return nil, ds.notePoison(fmt.Errorf("core: exporting range %s: %w", rng, err))
 		}
 	}
 	logExport := func() error {
@@ -579,9 +625,12 @@ func (ds *DataSpread) ImportTable(sheetName, anchor, tableName string) (*interfa
 	}
 	ds.cmdMu.Lock()
 	defer ds.cmdMu.Unlock()
+	if err := ds.checkWritable(); err != nil {
+		return nil, err
+	}
 	b, err := ds.iface.BindTable(canonical, a, tableName)
 	if err != nil {
-		return nil, err
+		return nil, ds.notePoison(err)
 	}
 	if lerr := ds.logCommand(txn.Op{
 		Kind:   txn.OpImportTable,

@@ -34,6 +34,7 @@ import (
 	"github.com/dataspread/dataspread/internal/interfacemgr"
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/storage/pager"
+	"github.com/dataspread/dataspread/internal/storage/vfs"
 	"github.com/dataspread/dataspread/internal/txn"
 )
 
@@ -48,18 +49,22 @@ func WALPath(path string) string { return path + ".wal" }
 // rather than aborting the open, so a partially torn history still yields a
 // usable workbook.
 func OpenFile(path string, opts Options) (*DataSpread, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
 	// Single-writer enforcement: take the workbook's exclusive lock before
 	// touching the heap or the WAL, so two processes can never interleave
 	// appends on the same files. A held lock fails fast with a clear error.
-	unlock, err := lockWorkbookFile(path)
+	unlock, err := lockWorkbookFile(fsys, path)
 	if err != nil {
 		return nil, err
 	}
 	var be pager.Backend
 	if opts.Mmap {
-		be, err = pager.OpenMmapStore(path)
+		be, err = pager.OpenMmapStoreVFS(fsys, path)
 	} else {
-		be, err = pager.OpenFileStore(path)
+		be, err = pager.OpenFileStoreVFS(fsys, path)
 	}
 	if err != nil {
 		_ = unlock()
@@ -69,12 +74,22 @@ func OpenFile(path string, opts Options) (*DataSpread, error) {
 		return nil, errors.Join(err, be.Close(), unlock())
 	}
 	// Reserve the two root slots; on a fresh file they are the first pages
-	// ever allocated.
+	// ever allocated. Reclaim (rather than Allocate) registers a slot whose
+	// on-disk header a torn write left as garbage: an unreadable root slot
+	// must not brick a file whose sibling slot still holds a valid root.
+	type reclaimer interface{ Reclaim(pager.PageID) error }
 	for _, slot := range []pager.PageID{rootSlotA, rootSlotB} {
-		if !be.Exists(slot) {
-			if id := be.Allocate(); id != slot {
-				return fail(fmt.Errorf("core: workbook file reserved page %d for a root slot, want %d: %w", id, slot, dberr.ErrCorrupt))
+		if be.Exists(slot) {
+			continue
+		}
+		if rc, ok := be.(reclaimer); ok {
+			if err := rc.Reclaim(slot); err != nil {
+				return fail(fmt.Errorf("core: reclaim root slot %d: %w", slot, err))
 			}
+			continue
+		}
+		if id := be.Allocate(); id != slot {
+			return fail(fmt.Errorf("core: workbook file reserved page %d for a root slot, want %d: %w", id, slot, dberr.ErrCorrupt))
 		}
 	}
 	root, staleSlot, fresh := loadRoots(be)
@@ -169,7 +184,7 @@ func OpenFile(path string, opts Options) (*DataSpread, error) {
 	// flip and the WAL compaction leaves them behind, and commands like
 	// INSERT are not idempotent).
 	mgr := txn.NewManager()
-	recs, err := mgr.RecoverFile(WALPath(path))
+	recs, err := mgr.RecoverFileVFS(fsys, WALPath(path))
 	if err != nil {
 		return fail(err)
 	}
@@ -229,7 +244,17 @@ func (ds *DataSpread) Checkpoint() error {
 	if ds.backend == nil {
 		return fmt.Errorf("core: Checkpoint requires a workbook opened with OpenFile: %w", dberr.ErrUnsupported)
 	}
-	return ds.checkpointOnce()
+	// Surface (and consume) a pending background checkpoint failure: the
+	// caller asking for a checkpoint is the natural observer for it.
+	ds.ckptErrMu.Lock()
+	prev := ds.ckptErr
+	ds.ckptErr = nil
+	ds.ckptErrMu.Unlock()
+	err := ds.checkpointOnce()
+	if prev != nil {
+		err = errors.Join(fmt.Errorf("core: earlier background checkpoint failed: %w", prev), err)
+	}
+	return err
 }
 
 // Close drains the background checkpointer, then flushes and closes the WAL
@@ -272,6 +297,9 @@ func (ds *DataSpread) logCommand(op txn.Op) error {
 		return nil
 	}
 	if err := ds.wal.Run(func(t *txn.Txn) error { return t.Log(op, nil) }); err != nil {
+		// Applied in memory, not durably logged: degrade to read-only (see
+		// logCommands).
+		ds.poison(err)
 		return err
 	}
 	ds.maybeTriggerCheckpoint()

@@ -2,8 +2,10 @@
 
 package core
 
+import "github.com/dataspread/dataspread/internal/storage/vfs"
+
 // lockWorkbookFile is a no-op on platforms without flock; the single-writer
 // rule is enforced only on unix.
-func lockWorkbookFile(string) (func() error, error) {
+func lockWorkbookFile(vfs.FS, string) (func() error, error) {
 	return func() error { return nil }, nil
 }

@@ -9,6 +9,7 @@ import (
 	"syscall"
 
 	"github.com/dataspread/dataspread/internal/dberr"
+	"github.com/dataspread/dataspread/internal/storage/vfs"
 )
 
 // lockWorkbookFile enforces the single-writer rule for durable workbooks: an
@@ -16,9 +17,9 @@ import (
 // WAL is opened. Two processes opening the same workbook would otherwise
 // interleave WAL appends and corrupt the committed history. The returned
 // release closes and removes the lock file.
-func lockWorkbookFile(path string) (release func() error, err error) {
+func lockWorkbookFile(fsys vfs.FS, path string) (release func() error, err error) {
 	lockPath := path + ".lock"
-	f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(lockPath, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("core: open workbook lock %s: %w", lockPath, err)
 	}

@@ -6,7 +6,10 @@
 // keep their context while the category stays programmatically testable.
 package dberr
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Schema and catalog errors.
 var (
@@ -84,4 +87,16 @@ var (
 	// ErrInternal reports a broken engine invariant — always a bug, never
 	// a user error.
 	ErrInternal = errors.New("internal invariant violation")
+	// ErrIO reports a storage I/O failure: a read, write, sync, truncate or
+	// close on the page heap, the WAL or a root slot that the operating
+	// system rejected. Every error surfaced through the vfs layer matches
+	// it through errors.Is.
+	ErrIO = errors.New("storage I/O failure")
+	// ErrDiskFull is the ENOSPC subclass of ErrIO: the device is out of
+	// space. errors.Is(err, ErrIO) also holds for every ErrDiskFull.
+	ErrDiskFull = fmt.Errorf("disk full: %w", ErrIO)
+	// ErrReadOnly reports a write rejected because the workbook degraded to
+	// read-only mode after an I/O failure: committed state remains readable,
+	// but no further mutations are accepted until the workbook is reopened.
+	ErrReadOnly = errors.New("workbook is read-only")
 )

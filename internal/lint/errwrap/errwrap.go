@@ -11,8 +11,16 @@
 //  2. Everywhere: the error result of a durability-critical call — a
 //     Sync or Close on an *os.File, or any function or method annotated
 //     `// dslint:critical` (backend sync/close, WAL append, root-slot
-//     writes) — must never be discarded: not dropped as a bare statement,
-//     not assigned to the blank identifier, not deferred away.
+//     writes, the vfs.File mutating operations) — must never be discarded:
+//     not dropped as a bare statement, not assigned to the blank
+//     identifier, not deferred away.
+//  3. In packages whose package comment carries `// dslint:vfsonly`
+//     (pager, txn, core — everything on the durability path), file I/O
+//     must go through the injectable storage/vfs layer: direct calls to
+//     the os package's file entry points and direct *os.File references
+//     are findings, because a FaultFS cannot intercept them and the
+//     fault-sweep guarantees silently stop covering that code. Flag
+//     constants (os.O_RDWR) and os.FileMode remain legal.
 package errwrap
 
 import (
@@ -34,7 +42,11 @@ var Analyzer = &lint.Analyzer{
 
 func run(pass *lint.Pass) error {
 	errdomain := pass.Ann().PkgHas(pass.Pkg.PkgPath, "errdomain")
+	vfsonly := pass.Ann().PkgHas(pass.Pkg.PkgPath, "vfsonly")
 	for _, file := range pass.Files() {
+		if vfsonly {
+			checkRawOS(pass, file)
+		}
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -47,6 +59,42 @@ func run(pass *lint.Pass) error {
 		}
 	}
 	return nil
+}
+
+// rawOSFuncs are the os package entry points that open, create or mutate
+// files directly, bypassing the injectable vfs layer.
+var rawOSFuncs = map[string]bool{
+	"OpenFile": true, "Open": true, "Create": true, "CreateTemp": true,
+	"Rename": true, "Remove": true, "RemoveAll": true, "Truncate": true,
+	"WriteFile": true, "ReadFile": true, "NewFile": true,
+}
+
+// checkRawOS flags direct os file I/O and *os.File references in a
+// `dslint:vfsonly` package (rule 3): durability-path code must reach the
+// filesystem only through storage/vfs so a FaultFS intercepts every
+// operation. os flag constants and os.FileMode are not file I/O and pass.
+func checkRawOS(pass *lint.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(sel.Sel)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+			return true
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			if rawOSFuncs[o.Name()] {
+				pass.Reportf(sel.Pos(), "direct os.%s in a vfsonly package: go through storage/vfs (vfs.FS) so fault injection covers this operation", o.Name())
+			}
+		case *types.TypeName:
+			if o.Name() == "File" {
+				pass.Reportf(sel.Pos(), "direct os.File reference in a vfsonly package: use vfs.File so fault injection covers this handle")
+			}
+		}
+		return true
+	})
 }
 
 // checkWrapping flags fmt.Errorf without %w and function-local errors.New

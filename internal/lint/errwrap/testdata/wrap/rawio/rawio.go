@@ -1,0 +1,43 @@
+// Package rawio is the errwrap fixture for the vfsonly rule: inside a
+// vfsonly package every file operation must go through the injectable vfs
+// layer; direct os file I/O and *os.File references are findings, while os
+// flag constants and os.FileMode stay legal.
+//
+// dslint:vfsonly
+package rawio
+
+import "os"
+
+type holder struct {
+	f *os.File // want "direct os.File reference in a vfsonly package"
+}
+
+func open(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, os.FileMode(0o644)) // want "direct os.OpenFile in a vfsonly package"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func shuffle(a, b string) error {
+	if err := os.Rename(a, b); err != nil { // want "direct os.Rename in a vfsonly package"
+		return err
+	}
+	return os.Remove(a) // want "direct os.Remove in a vfsonly package"
+}
+
+func slurp(path string) ([]byte, error) {
+	return os.ReadFile(path) // want "direct os.ReadFile in a vfsonly package"
+}
+
+// flagsOnly proves the non-findings: flag constants, FileMode values and
+// non-file os helpers are legal in a vfsonly package.
+func flagsOnly() (int, os.FileMode, bool) {
+	return os.O_RDWR | os.O_CREATE, os.FileMode(0o600), os.IsNotExist(nil)
+}
+
+func suppressed(path string) ([]byte, error) {
+	//lint:ignore errwrap fixture: read-only diagnostics dump, not on the durability path
+	return os.ReadFile(path)
+}

@@ -131,6 +131,9 @@ func (bp *BufferPool) writeBackLocked(id PageID, data []byte) error {
 	}
 	n := bp.scratchPageLocked()
 	if n == InvalidPage {
+		if err := storeErr(bp.store); err != nil {
+			return fmt.Errorf("pager: cannot relocate protected page %d: %w", q, err)
+		}
 		return fmt.Errorf("pager: cannot relocate protected page %d", q)
 	}
 	// Only adopt the relocation once the copy landed: recording it first
@@ -176,6 +179,34 @@ func (bp *BufferPool) Allocate() PageID {
 	}
 	bp.mu.Unlock()
 	return id
+}
+
+// ErrAllocFailed reports a page allocation that the backend refused without
+// recording a more specific cause.
+var ErrAllocFailed = errors.New("pager: page allocation failed")
+
+// AllocatePage is Allocate with the failure reason: instead of InvalidPage
+// it returns the backend's recorded I/O failure (a FileStore latches the
+// slot-write error that made Allocate fail), so insert paths can classify
+// allocation failures under dberr.ErrIO.
+func (bp *BufferPool) AllocatePage() (PageID, error) {
+	id := bp.Allocate()
+	if id != InvalidPage {
+		return id, nil
+	}
+	if err := storeErr(bp.store); err != nil {
+		return InvalidPage, fmt.Errorf("pager: page allocation failed: %w", err)
+	}
+	return InvalidPage, ErrAllocFailed
+}
+
+// storeErr surfaces a backend's sticky internal I/O failure when it exposes
+// one (FileStore does; the in-memory Store cannot fail).
+func storeErr(store Backend) error {
+	if e, ok := store.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
 }
 
 // Get returns the contents of a page, reading it from the store on a miss.

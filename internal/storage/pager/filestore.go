@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"github.com/dataspread/dataspread/internal/storage/vfs"
 )
 
 // FileStore is a Backend over a single file laid out as a heap of
@@ -34,12 +36,23 @@ import (
 // is refreshed on Sync.
 type FileStore struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      vfs.File
 	next   PageID   // next never-used slot; also the slot count
 	free   []PageID // recycled slots, used LIFO
 	heads  map[PageID]struct{}
 	stats  Stats
 	closed bool
+
+	// syncErr latches the first fsync failure. Per the fsync-gate rule the
+	// kernel may have dropped the dirty pages a failed fsync covered, so a
+	// retried fsync that "succeeds" proves nothing — every later Sync and
+	// the final Close report this error instead of retrying.
+	syncErr error
+
+	// opErr latches the first I/O failure inside an operation whose
+	// signature cannot carry it (Allocate, Free). Err exposes it so callers
+	// seeing InvalidPage can classify the cause.
+	opErr error
 
 	// readAt serves all data reads; it defaults to pread on the file and is
 	// replaced by MmapStore with a copy out of a shared mapping. Only called
@@ -63,10 +76,16 @@ var fileMagic = [8]byte{'D', 'S', 'P', 'G', 'H', 'E', 'A', 'P'}
 var ErrClosed = errors.New("pager: file store is closed")
 
 // OpenFileStore opens (creating if necessary) the single-file page heap at
-// path. Existing files are validated and scanned to rebuild the allocation
-// and free-list state.
+// path on the real filesystem.
 func OpenFileStore(path string) (*FileStore, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFileStoreVFS(vfs.OS(), path)
+}
+
+// OpenFileStoreVFS opens the page heap through an injectable filesystem.
+// Existing files are validated and scanned to rebuild the allocation and
+// free-list state.
+func OpenFileStoreVFS(fsys vfs.FS, path string) (*FileStore, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
@@ -220,11 +239,67 @@ func (fs *FileStore) Allocate() PageID {
 	}
 	id, err := fs.allocSlot(flagHead)
 	if err != nil {
+		fs.recordOpErr(err)
 		return InvalidPage
 	}
 	fs.heads[id] = struct{}{}
 	fs.stats.Allocs++
 	return id
+}
+
+// recordOpErr latches the first swallowed I/O failure for Err. Callers hold
+// mu.
+func (fs *FileStore) recordOpErr(err error) {
+	if fs.opErr == nil {
+		fs.opErr = err
+	}
+}
+
+// Err returns the first I/O failure recorded by an operation that could not
+// report it directly — a failed slot write inside Allocate or Free, or a
+// latched fsync failure. Callers that observe InvalidPage from Allocate use
+// it to classify the cause.
+func (fs *FileStore) Err() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.syncErr != nil {
+		return fs.syncErr
+	}
+	return fs.opErr
+}
+
+// Reclaim re-registers slot id as an allocated, empty head page even when
+// the on-disk slot header is unreadable garbage — a torn write into a
+// reserved slot (a root ping-pong slot) must not brick the file. The slot is
+// pulled out of the free list if it landed there, and the file is extended
+// if it is beyond the current tail.
+func (fs *FileStore) Reclaim(id PageID) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage {
+		return fmt.Errorf("pager: cannot reclaim the header slot")
+	}
+	if _, ok := fs.heads[id]; ok {
+		return nil
+	}
+	for i, fid := range fs.free {
+		if fid == id {
+			fs.free = append(fs.free[:i], fs.free[i+1:]...)
+			break
+		}
+	}
+	if err := fs.writeSlot(id, flagHead, 0, nil); err != nil {
+		return err
+	}
+	if id >= fs.next {
+		fs.next = id + 1
+	}
+	fs.heads[id] = struct{}{}
+	fs.stats.Allocs++
+	return nil
 }
 
 // Free releases a page and its overflow chain. Freeing an unknown page is a
@@ -240,12 +315,17 @@ func (fs *FileStore) Free(id PageID) {
 	}
 	tail, err := fs.chain(id)
 	if err != nil {
+		fs.recordOpErr(err)
 		return
 	}
 	delete(fs.heads, id)
-	_ = fs.freeSlot(id)
+	if err := fs.freeSlot(id); err != nil {
+		fs.recordOpErr(err)
+	}
 	for _, c := range tail {
-		_ = fs.freeSlot(c)
+		if err := fs.freeSlot(c); err != nil {
+			fs.recordOpErr(err)
+		}
 	}
 	fs.stats.Frees++
 }
@@ -372,6 +452,9 @@ func (fs *FileStore) PageIDs() []PageID {
 }
 
 // Sync refreshes the header page and forces everything to stable storage.
+// After one fsync failure every later Sync reports that first error without
+// retrying: the kernel may already have dropped the dirty pages, so a retry
+// that returns nil would be a silent lie about durability.
 // dslint:critical
 func (fs *FileStore) Sync() error {
 	fs.mu.Lock()
@@ -379,13 +462,22 @@ func (fs *FileStore) Sync() error {
 	if fs.closed {
 		return ErrClosed
 	}
+	if fs.syncErr != nil {
+		return fmt.Errorf("pager: heap fsync failed earlier, not retrying (fsync-gate): %w", fs.syncErr)
+	}
 	if err := fs.writeHeader(); err != nil {
 		return err
 	}
-	return fs.f.Sync()
+	if err := fs.f.Sync(); err != nil {
+		fs.syncErr = err
+		return err
+	}
+	return nil
 }
 
-// Close syncs and closes the file. A second Close is a no-op.
+// Close syncs and closes the file. A second Close is a no-op. A latched
+// fsync failure skips the final header write and sync (fsync-gate) and is
+// reported alongside the close.
 // dslint:critical
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
@@ -394,9 +486,17 @@ func (fs *FileStore) Close() error {
 		return nil
 	}
 	fs.closed = true
-	err := fs.writeHeader()
-	if sErr := fs.f.Sync(); err == nil {
-		err = sErr
+	var err error
+	if fs.syncErr != nil {
+		err = fmt.Errorf("pager: heap fsync failed earlier, not retrying (fsync-gate): %w", fs.syncErr)
+	} else {
+		err = fs.writeHeader()
+		if sErr := fs.f.Sync(); sErr != nil {
+			fs.syncErr = sErr
+			if err == nil {
+				err = sErr
+			}
+		}
 	}
 	if cErr := fs.f.Close(); err == nil {
 		err = cErr

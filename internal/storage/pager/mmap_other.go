@@ -2,6 +2,8 @@
 
 package pager
 
+import "github.com/dataspread/dataspread/internal/storage/vfs"
+
 // MmapStore falls back to a plain FileStore on platforms without a wired-up
 // mmap syscall surface: same API, pread-backed read path.
 type MmapStore struct {
@@ -12,6 +14,16 @@ type MmapStore struct {
 // for OpenFileStore.
 func OpenMmapStore(path string) (*MmapStore, error) {
 	fs, err := OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	return &MmapStore{FileStore: fs}, nil
+}
+
+// OpenMmapStoreVFS opens the page heap through an injectable filesystem. On
+// this platform it is an alias for OpenFileStoreVFS.
+func OpenMmapStoreVFS(fsys vfs.FS, path string) (*MmapStore, error) {
+	fs, err := OpenFileStoreVFS(fsys, path)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"syscall"
+
+	"github.com/dataspread/dataspread/internal/storage/vfs"
 )
 
 // MmapStore is a FileStore whose read path copies out of a shared read-only
@@ -24,7 +26,15 @@ type MmapStore struct {
 // path. The returned store is format-compatible with OpenFileStore: either
 // can open a file the other wrote.
 func OpenMmapStore(path string) (*MmapStore, error) {
-	fs, err := OpenFileStore(path)
+	return OpenMmapStoreVFS(vfs.OS(), path)
+}
+
+// OpenMmapStoreVFS opens the mmap-backed page heap through an injectable
+// filesystem. The mapping is established from the file descriptor the vfs
+// handle exposes; reads served from the mapping bypass the vfs read path,
+// but every write, sync and truncate still flows through it.
+func OpenMmapStoreVFS(fsys vfs.FS, path string) (*MmapStore, error) {
+	fs, err := OpenFileStoreVFS(fsys, path)
 	if err != nil {
 		return nil, err
 	}

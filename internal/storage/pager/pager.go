@@ -7,6 +7,8 @@
 // of fixed-size pages and counts every block read and write, and layers an
 // LRU buffer pool on top. Benchmarks compare storage layouts by block-touch
 // counts as well as wall-clock time.
+//
+// dslint:vfsonly
 package pager
 
 import (

@@ -92,7 +92,11 @@ func (s *ColStore) Insert(row []sheet.Value) (RowID, error) {
 	pi := slot / valuesPerPage
 	for c := range s.cols {
 		if pi == len(s.cols[c].pages) {
-			s.cols[c].pages = append(s.cols[c].pages, s.pool.Allocate())
+			pid, err := s.pool.AllocatePage()
+			if err != nil {
+				return 0, err
+			}
+			s.cols[c].pages = append(s.cols[c].pages, pid)
 		}
 		vals, err := s.readColPage(c, pi)
 		if err != nil {
@@ -289,7 +293,10 @@ func (s *ColStore) AddColumn(defaultValue sheet.Value) error {
 		for i := range vals {
 			vals[i] = defaultValue
 		}
-		pid := s.pool.Allocate()
+		pid, err := s.pool.AllocatePage()
+		if err != nil {
+			return err
+		}
 		if err := s.pool.Put(pid, encodeColumn(vals)); err != nil {
 			return err
 		}

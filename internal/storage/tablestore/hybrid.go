@@ -183,7 +183,11 @@ func (s *HybridStore) Insert(row []sheet.Value) (RowID, error) {
 		}
 		pi := slot / g.rowsPer
 		if pi == len(g.pages) {
-			g.pages = append(g.pages, s.pool.Allocate())
+			pid, err := s.pool.AllocatePage()
+			if err != nil {
+				return 0, err
+			}
+			g.pages = append(g.pages, pid)
 		}
 		ids, rows, err := s.readGroupPage(gi, pi)
 		if err != nil {
@@ -506,7 +510,10 @@ func (s *HybridStore) AddColumn(defaultValue sheet.Value) error {
 			ids[i] = RowID(base + i + 1)
 			rows[i] = []sheet.Value{defaultValue}
 		}
-		pid := s.pool.Allocate()
+		pid, err := s.pool.AllocatePage()
+		if err != nil {
+			return err
+		}
 		if err := s.pool.Put(pid, encodeTuples(ids, rows, 1)); err != nil {
 			return err
 		}

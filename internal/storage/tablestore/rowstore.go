@@ -65,7 +65,11 @@ func (s *RowStore) Insert(row []sheet.Value) (RowID, error) {
 		return 0, err
 	}
 	if len(s.pages) == 0 || s.tailCount >= rowsPerPage {
-		s.pages = append(s.pages, s.pool.Allocate())
+		pid, err := s.pool.AllocatePage()
+		if err != nil {
+			return 0, err
+		}
+		s.pages = append(s.pages, pid)
 		s.tailCount = 0
 	}
 	tail := len(s.pages) - 1

@@ -1,0 +1,214 @@
+package vfs
+
+import (
+	"os"
+	"sync"
+)
+
+// Fault is one injected failure. The zero value injects nothing.
+//
+// Targeting: when Op > 0 the fault fires on exactly the Op-th counted
+// mutating operation (1-based) — the single-fault sweep drives this form.
+// When Op == 0 and Kind is set, the fault fires on the first operation of
+// that kind; PathSuffix further restricts either form to files whose path
+// ends with the suffix (so a test can fault the heap file but not the WAL).
+// A fault fires at most once per FaultFS (single-fault model).
+type Fault struct {
+	// Op is the 1-based index of the counted operation to fail (0 = off).
+	Op int64
+	// Kind restricts the fault to one operation kind (OpWrite, OpSync, ...).
+	Kind string
+	// PathSuffix restricts the fault to paths ending with this suffix.
+	PathSuffix string
+	// Err is the error to inject, typically syscall.EIO or syscall.ENOSPC.
+	Err error
+	// TornBytes, for write faults, lands this prefix of the buffer through
+	// the real file before reporting failure — a short (torn) write.
+	TornBytes int
+}
+
+// FaultFS wraps another FS, counting mutating operations and injecting a
+// single planned fault. Reads, seeks and stats are passed through uncounted
+// and unfaulted: the sweep targets the write path, where durability lives.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	plan    Fault
+	ops     int64
+	hit     bool
+	hitOp   string
+	hitPath string
+}
+
+// NewFaultFS wraps inner (the OS filesystem when nil) with no fault armed.
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS()
+	}
+	return &FaultFS{inner: inner}
+}
+
+// SetFault arms the next fault and clears any previous hit.
+func (fs *FaultFS) SetFault(f Fault) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.plan = f
+	fs.hit = false
+	fs.hitOp, fs.hitPath = "", ""
+}
+
+// Ops returns the number of counted mutating operations so far.
+func (fs *FaultFS) Ops() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Hit reports whether the armed fault fired, and on what.
+func (fs *FaultFS) Hit() (op, path string, ok bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.hitOp, fs.hitPath, fs.hit
+}
+
+// step counts one mutating operation and decides whether the armed fault
+// fires on it.
+func (fs *FaultFS) step(op, path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.ops++
+	if fs.hit || fs.plan.Err == nil {
+		return false
+	}
+	if fs.plan.PathSuffix != "" && !hasSuffix(path, fs.plan.PathSuffix) {
+		return false
+	}
+	if fs.plan.Kind != "" && fs.plan.Kind != op {
+		return false
+	}
+	if fs.plan.Op > 0 && fs.plan.Op != fs.ops {
+		return false
+	}
+	if fs.plan.Op == 0 && fs.plan.Kind == "" {
+		return false
+	}
+	fs.hit = true
+	fs.hitOp, fs.hitPath = op, path
+	return true
+}
+
+func hasSuffix(s, suffix string) bool {
+	return len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix
+}
+
+func (fs *FaultFS) injected(op, path string) error {
+	fs.mu.Lock()
+	err := fs.plan.Err
+	fs.mu.Unlock()
+	return &OpError{Op: op, Path: path, Err: err}
+}
+
+func (fs *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if fs.step(OpOpen, path) {
+		return nil, fs.injected(OpOpen, path)
+	}
+	f, err := fs.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: fs, inner: f, path: path}, nil
+}
+
+func (fs *FaultFS) Rename(oldpath, newpath string) error {
+	if fs.step(OpRename, newpath) {
+		return fs.injected(OpRename, newpath)
+	}
+	return fs.inner.Rename(oldpath, newpath)
+}
+
+func (fs *FaultFS) Remove(path string) error {
+	if fs.step(OpRemove, path) {
+		return fs.injected(OpRemove, path)
+	}
+	return fs.inner.Remove(path)
+}
+
+// faultFile intercepts the mutating File methods of one open handle.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+	path  string
+}
+
+func (f *faultFile) Read(p []byte) (int, error)              { return f.inner.Read(p) }
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+func (f *faultFile) Seek(off int64, whence int) (int64, error) {
+	return f.inner.Seek(off, whence)
+}
+func (f *faultFile) Stat() (os.FileInfo, error) { return f.inner.Stat() }
+func (f *faultFile) Name() string               { return f.inner.Name() }
+func (f *faultFile) Fd() uintptr                { return f.inner.Fd() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.fs.step(OpWrite, f.path) {
+		return f.tornWrite(p, -1)
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.fs.step(OpWrite, f.path) {
+		return f.tornWrite(p, off)
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+// tornWrite lands the configured prefix (if any) through the real file and
+// reports the injected failure. off < 0 means a sequential Write.
+func (f *faultFile) tornWrite(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	torn := f.fs.plan.TornBytes
+	f.fs.mu.Unlock()
+	n := 0
+	if torn > 0 && torn < len(p) {
+		var werr error
+		if off < 0 {
+			n, werr = f.inner.Write(p[:torn])
+		} else {
+			n, werr = f.inner.WriteAt(p[:torn], off)
+		}
+		// The injected error below subsumes any failure of the partial
+		// write: the caller sees one short, failed write either way.
+		_ = werr
+	}
+	return n, f.fs.injected(OpWrite, f.path)
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.step(OpSync, f.path) {
+		// The real fsync is skipped: from the caller's view the data never
+		// reached stable storage, and per the fsync-gate rule it must not
+		// be retried.
+		return f.fs.injected(OpSync, f.path)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if f.fs.step(OpTruncate, f.path) {
+		return f.fs.injected(OpTruncate, f.path)
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Close() error {
+	if f.fs.step(OpClose, f.path) {
+		// Close the real handle regardless so fault runs never leak fds;
+		// the injected error still reaches the caller.
+		cerr := f.inner.Close()
+		_ = cerr
+		return f.fs.injected(OpClose, f.path)
+	}
+	return f.inner.Close()
+}

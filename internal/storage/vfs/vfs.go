@@ -1,0 +1,205 @@
+// Package vfs is the injectable I/O seam under every durability component.
+//
+// All file I/O performed by the pager, the WAL and the root-page machinery
+// goes through the FS/File interfaces instead of calling *os.File directly.
+// Production code uses OS(), a thin passthrough to the os package; fault
+// tests substitute a FaultFS that fails the Nth operation, simulates ENOSPC
+// or tears a write at sector granularity. Every error a vfs implementation
+// returns (other than io.EOF on reads) is wrapped in an *OpError so callers
+// classify it with errors.Is under dberr.ErrIO, and ENOSPC additionally
+// under dberr.ErrDiskFull.
+//
+// dslint:errdomain
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"syscall"
+
+	"github.com/dataspread/dataspread/internal/dberr"
+)
+
+// Operation names recorded in OpError and matched by fault plans.
+const (
+	OpOpen     = "open"
+	OpRead     = "read"
+	OpWrite    = "write"
+	OpSeek     = "seek"
+	OpSync     = "sync"
+	OpTruncate = "truncate"
+	OpStat     = "stat"
+	OpClose    = "close"
+	OpRename   = "rename"
+	OpRemove   = "remove"
+)
+
+// FS opens and manipulates files by path. Implementations must be safe for
+// concurrent use by multiple goroutines.
+type FS interface {
+	// OpenFile opens path with os.OpenFile semantics.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+
+	// Rename atomically replaces newpath with oldpath; it is the commit
+	// point of WAL compaction, so its error is a durability signal.
+	//
+	// dslint:critical
+	Rename(oldpath, newpath string) error
+
+	// Remove deletes path. Used only for best-effort cleanup of temp files.
+	Remove(path string) error
+}
+
+// File is the handle surface the storage layer needs. The write-side methods
+// are durability-critical: discarding their errors hides data loss, and
+// dslint's errwrap analyzer enforces that they are checked.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Seeker
+
+	// Write appends at the current offset.
+	//
+	// dslint:critical
+	Write(p []byte) (int, error)
+
+	// WriteAt writes at an absolute offset.
+	//
+	// dslint:critical
+	WriteAt(p []byte, off int64) (int, error)
+
+	// Sync flushes file contents to stable storage. After a failed Sync the
+	// kernel may have dropped the dirty pages, so callers must never retry
+	// and report success (the fsync-gate rule).
+	//
+	// dslint:critical
+	Sync() error
+
+	// Truncate resizes the file.
+	//
+	// dslint:critical
+	Truncate(size int64) error
+
+	// Close releases the handle, surfacing any deferred write-back error.
+	//
+	// dslint:critical
+	Close() error
+
+	Stat() (os.FileInfo, error)
+	Name() string
+	Fd() uintptr
+}
+
+// OpError wraps every failure a vfs implementation returns, carrying the
+// operation and path for diagnostics and supporting errors.Is
+// classification: every OpError matches dberr.ErrIO, and an OpError whose
+// cause is ENOSPC also matches dberr.ErrDiskFull.
+type OpError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *OpError) Error() string {
+	return "vfs: " + e.Op + " " + e.Path + ": " + e.Err.Error()
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// Is reports sentinel membership without requiring the cause chain to carry
+// the dberr sentinels itself.
+func (e *OpError) Is(target error) bool {
+	switch target {
+	case dberr.ErrIO:
+		return true
+	case dberr.ErrDiskFull:
+		return errors.Is(e.Err, syscall.ENOSPC)
+	}
+	return false
+}
+
+// wrapOp boxes err in an *OpError unless it is nil or io.EOF: readers rely
+// on comparing io.EOF by equality (the WAL's torn-tail scan), so EOF must
+// pass through unwrapped.
+func wrapOp(op, path string, err error) error {
+	if err == nil || err == io.EOF {
+		return err
+	}
+	return &OpError{Op: op, Path: path, Err: err}
+}
+
+// osFS is the production FS: a passthrough to the os package.
+type osFS struct{}
+
+var theOSFS FS = osFS{}
+
+// OS returns the production filesystem backed by the os package.
+func OS() FS { return theOSFS }
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, wrapOp(OpOpen, path, err)
+	}
+	return &osFile{f: f}, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error {
+	return wrapOp(OpRename, newpath, os.Rename(oldpath, newpath))
+}
+
+func (osFS) Remove(path string) error {
+	return wrapOp(OpRemove, path, os.Remove(path))
+}
+
+// osFile wraps *os.File, boxing every error in an *OpError.
+type osFile struct {
+	f *os.File
+}
+
+func (o *osFile) Read(p []byte) (int, error) {
+	n, err := o.f.Read(p)
+	return n, wrapOp(OpRead, o.f.Name(), err)
+}
+
+func (o *osFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := o.f.ReadAt(p, off)
+	return n, wrapOp(OpRead, o.f.Name(), err)
+}
+
+func (o *osFile) Seek(offset int64, whence int) (int64, error) {
+	n, err := o.f.Seek(offset, whence)
+	return n, wrapOp(OpSeek, o.f.Name(), err)
+}
+
+func (o *osFile) Write(p []byte) (int, error) {
+	n, err := o.f.Write(p)
+	return n, wrapOp(OpWrite, o.f.Name(), err)
+}
+
+func (o *osFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := o.f.WriteAt(p, off)
+	return n, wrapOp(OpWrite, o.f.Name(), err)
+}
+
+func (o *osFile) Sync() error {
+	return wrapOp(OpSync, o.f.Name(), o.f.Sync())
+}
+
+func (o *osFile) Truncate(size int64) error {
+	return wrapOp(OpTruncate, o.f.Name(), o.f.Truncate(size))
+}
+
+func (o *osFile) Close() error {
+	return wrapOp(OpClose, o.f.Name(), o.f.Close())
+}
+
+func (o *osFile) Stat() (os.FileInfo, error) {
+	fi, err := o.f.Stat()
+	return fi, wrapOp(OpStat, o.f.Name(), err)
+}
+
+func (o *osFile) Name() string { return o.f.Name() }
+
+func (o *osFile) Fd() uintptr { return o.f.Fd() }

@@ -1,0 +1,207 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/dberr"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "file.bin")
+	fsys := OS()
+
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("W"), 0); err != nil {
+		t.Fatalf("writeat: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("readat: %v", err)
+	}
+	if string(buf) != "Wello" {
+		t.Fatalf("readat = %q, want Wello", buf)
+	}
+	fi, err := f.Stat()
+	if err != nil || fi.Size() != 11 {
+		t.Fatalf("stat = %v, %v; want size 11", fi, err)
+	}
+	if f.Name() != path {
+		t.Fatalf("name = %q, want %q", f.Name(), path)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	other := filepath.Join(dir, "other.bin")
+	if err := fsys.Rename(path, other); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if err := fsys.Remove(other); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+}
+
+// A read at EOF must return io.EOF unwrapped: the WAL's torn-tail scan
+// compares it by equality.
+func TestEOFPassesThroughUnwrapped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	f, err := OS().OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("Read at EOF = %v, want io.EOF by equality", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != io.EOF {
+		t.Fatalf("ReadAt at EOF = %v, want io.EOF by equality", err)
+	}
+}
+
+func TestOpErrorClassification(t *testing.T) {
+	eio := &OpError{Op: OpWrite, Path: "x", Err: syscall.EIO}
+	if !errors.Is(eio, dberr.ErrIO) {
+		t.Fatalf("EIO OpError should match dberr.ErrIO")
+	}
+	if errors.Is(eio, dberr.ErrDiskFull) {
+		t.Fatalf("EIO OpError must not match dberr.ErrDiskFull")
+	}
+	enospc := &OpError{Op: OpWrite, Path: "x", Err: syscall.ENOSPC}
+	if !errors.Is(enospc, dberr.ErrIO) || !errors.Is(enospc, dberr.ErrDiskFull) {
+		t.Fatalf("ENOSPC OpError should match both ErrIO and ErrDiskFull")
+	}
+	// A real failure from the osFS layer classifies the same way.
+	_, err := OS().OpenFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), os.O_RDWR, 0o644)
+	if err == nil || !errors.Is(err, dberr.ErrIO) {
+		t.Fatalf("open failure = %v, want ErrIO-classified", err)
+	}
+}
+
+func TestFaultFSCountsMutatingOpsOnly(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := ffs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) // op 1
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil { // op 2
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err != nil { // uncounted
+		t.Fatalf("readat: %v", err)
+	}
+	if _, err := f.Stat(); err != nil { // uncounted
+		t.Fatalf("stat: %v", err)
+	}
+	if err := f.Sync(); err != nil { // op 3
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil { // op 4
+		t.Fatalf("close: %v", err)
+	}
+	if got := ffs.Ops(); got != 4 {
+		t.Fatalf("Ops() = %d, want 4", got)
+	}
+	if _, _, hit := ffs.Hit(); hit {
+		t.Fatalf("no fault armed, but Hit reports one")
+	}
+}
+
+func TestFaultFSFailsNthOpOnce(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	ffs.SetFault(Fault{Op: 2, Err: syscall.EIO})
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := ffs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) // op 1
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte("abc")); err == nil || !errors.Is(err, dberr.ErrIO) {
+		t.Fatalf("op 2 write = %v, want injected ErrIO", err)
+	}
+	op, _, hit := ffs.Hit()
+	if !hit || op != OpWrite {
+		t.Fatalf("Hit() = %q, %v; want write hit", op, hit)
+	}
+	// Single-fault model: the next op succeeds.
+	if _, err := f.Write([]byte("def")); err != nil {
+		t.Fatalf("post-fault write = %v, want nil", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestFaultFSKindAndSuffixTargeting(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	ffs.SetFault(Fault{Kind: OpSync, PathSuffix: ".dsp", Err: syscall.EIO})
+
+	wal, err := ffs.OpenFile(filepath.Join(dir, "w.dsp.wal"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	if err := wal.Sync(); err != nil {
+		t.Fatalf("wal sync should not fault (suffix mismatch): %v", err)
+	}
+	heap, err := ffs.OpenFile(filepath.Join(dir, "w.dsp"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open heap: %v", err)
+	}
+	if _, err := heap.Write([]byte("x")); err != nil {
+		t.Fatalf("heap write should not fault (kind mismatch): %v", err)
+	}
+	if err := heap.Sync(); err == nil || !errors.Is(err, dberr.ErrIO) {
+		t.Fatalf("heap sync = %v, want injected ErrIO", err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatalf("close wal: %v", err)
+	}
+	if err := heap.Close(); err != nil {
+		t.Fatalf("close heap: %v", err)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := ffs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ffs.SetFault(Fault{Kind: OpWrite, Err: syscall.EIO, TornBytes: 3})
+	n, werr := f.WriteAt([]byte("abcdefgh"), 0)
+	if werr == nil || !errors.Is(werr, dberr.ErrIO) {
+		t.Fatalf("torn write = %v, want injected ErrIO", werr)
+	}
+	if n != 3 {
+		t.Fatalf("torn write landed %d bytes, want 3", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("readfile: %v", rerr)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("file holds %q after torn write, want abc", got)
+	}
+}

@@ -10,6 +10,7 @@
 // rolled back atomically.
 //
 // dslint:errdomain
+// dslint:vfsonly
 package txn
 
 import (
@@ -17,9 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"sync/atomic"
+
+	"github.com/dataspread/dataspread/internal/storage/vfs"
 )
 
 // OpKind classifies a logged operation.
@@ -116,11 +118,18 @@ type Manager struct {
 	// Durable log state (wal.go). All guarded by mu.
 	sink      io.Writer
 	bw        *bufio.Writer
-	logFile   *os.File
-	logPath   string // path the log lives at (stable across compaction renames)
+	fs        vfs.FS   // filesystem the log lives on (RecoverFileVFS)
+	logFile   vfs.File // owned durable log handle
+	logPath   string   // path the log lives at (stable across compaction renames)
 	syncEvery int
 	pending   int
 	logBytes  int64 // bytes of framed records in the durable log
+
+	// ioErr latches the first append/flush/fsync failure. A failed fsync
+	// may have dropped the very pages it covered (fsync-gate), so the log
+	// is disabled rather than retried: every later append or sync reports
+	// this error until the workbook is reopened.
+	ioErr error
 }
 
 // NewManager creates a transaction manager with an empty WAL.

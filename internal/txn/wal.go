@@ -29,6 +29,7 @@ import (
 	"os"
 
 	"github.com/dataspread/dataspread/internal/dberr"
+	"github.com/dataspread/dataspread/internal/storage/vfs"
 )
 
 // ErrCorruptLog is returned when a fully present WAL frame fails its
@@ -239,15 +240,28 @@ func (m *Manager) Sync() error {
 
 type syncer interface{ Sync() error }
 
+// walDisabledLocked reports the latched I/O failure that disabled the log.
+// Per the fsync-gate rule a failed flush or fsync must not be retried: the
+// kernel may already have dropped the dirty pages it covered, so a retry
+// that succeeds would misreport lost commits as durable.
+func (m *Manager) walDisabledLocked() error {
+	return fmt.Errorf("txn: WAL disabled after an earlier I/O failure (fsync-gate): %w", m.ioErr)
+}
+
 func (m *Manager) flushSyncLocked() error {
 	if m.bw == nil {
 		return nil
 	}
+	if m.ioErr != nil {
+		return m.walDisabledLocked()
+	}
 	if err := m.bw.Flush(); err != nil {
+		m.ioErr = err
 		return err
 	}
 	if s, ok := m.sink.(syncer); ok {
 		if err := s.Sync(); err != nil {
+			m.ioErr = err
 			return err
 		}
 	}
@@ -262,8 +276,12 @@ func (m *Manager) appendDurableLocked(rec Record) error {
 	if m.bw == nil {
 		return nil
 	}
+	if m.ioErr != nil {
+		return m.walDisabledLocked()
+	}
 	frame := appendFrame(nil, rec)
 	if _, err := m.bw.Write(frame); err != nil {
+		m.ioErr = err
 		return err
 	}
 	m.logBytes += int64(len(frame))
@@ -310,7 +328,13 @@ func (m *Manager) Replay(r io.Reader) ([]Record, int64, error) {
 // covers its payload, so the longest valid prefix is exactly the committed
 // history.
 func (m *Manager) RecoverFile(path string) ([]Record, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return m.RecoverFileVFS(vfs.OS(), path)
+}
+
+// RecoverFileVFS is RecoverFile over an injectable filesystem; the manager
+// keeps using it for later compaction renames.
+func (m *Manager) RecoverFileVFS(fsys vfs.FS, path string) ([]Record, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("txn: open WAL %s: %w", path, err)
 	}
@@ -326,6 +350,7 @@ func (m *Manager) RecoverFile(path string) ([]Record, error) {
 	}
 	m.AttachLog(f)
 	m.mu.Lock()
+	m.fs = fsys
 	m.logFile = f
 	m.logPath = path
 	m.logBytes = valid
@@ -357,6 +382,9 @@ func (m *Manager) LogSize() int64 {
 func (m *Manager) TruncateThrough(lsn uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.ioErr != nil {
+		return m.walDisabledLocked()
+	}
 	kept := make([]Record, 0, len(m.wal))
 	for _, rec := range m.wal {
 		if rec.LSN > lsn {
@@ -381,25 +409,34 @@ func (m *Manager) TruncateThrough(lsn uint64) error {
 	// quietly move the log away from where recovery reads it.
 	path := m.logPath
 	tmp := path + ".compact"
-	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	fsys := m.fs
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("txn: compact WAL: %w", err)
 	}
+	// Failures before the rename leave the old log fully intact, so they
+	// are reported but do not disable the WAL: nothing durable was touched.
 	var bytes int64
 	for _, rec := range kept {
 		frame := appendFrame(nil, rec)
 		if _, err := f.Write(frame); err != nil {
-			os.Remove(tmp)
+			rmErr := fsys.Remove(tmp)
+			_ = rmErr
 			return errors.Join(fmt.Errorf("txn: compact WAL: %w", err), f.Close())
 		}
 		bytes += int64(len(frame))
 	}
 	if err := f.Sync(); err != nil {
-		os.Remove(tmp)
+		rmErr := fsys.Remove(tmp)
+		_ = rmErr
 		return errors.Join(fmt.Errorf("txn: sync compacted WAL: %w", err), f.Close())
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		rmErr := fsys.Remove(tmp)
+		_ = rmErr
 		return errors.Join(fmt.Errorf("txn: swap compacted WAL: %w", err), f.Close())
 	}
 	// Adopt the new file; the old inode dies with its handle.
@@ -432,18 +469,25 @@ func (m *Manager) AdvanceLSN(min uint64) {
 }
 
 // resetLogFileLocked empties the owned log file and re-arms the writer
-// (caller holds m.mu and has already pruned m.wal).
+// (caller holds m.mu and has already pruned m.wal). A failure leaves the
+// file in an unknown intermediate state, so it disables the WAL.
 func (m *Manager) resetLogFileLocked() error {
 	if err := m.logFile.Truncate(0); err != nil {
+		m.ioErr = err
 		return err
 	}
 	if _, err := m.logFile.Seek(0, io.SeekStart); err != nil {
+		m.ioErr = err
 		return err
 	}
 	m.bw = bufio.NewWriter(m.logFile)
 	m.pending = 0
 	m.logBytes = 0
-	return m.logFile.Sync()
+	if err := m.logFile.Sync(); err != nil {
+		m.ioErr = err
+		return err
+	}
+	return nil
 }
 
 // ResetLog discards the durable log contents (after a checkpoint has made
