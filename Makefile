@@ -48,7 +48,7 @@ apicheck:
 # pairs and the cold-open scaling series.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE .
-	$(GO) run ./cmd/dsbench -json BENCH_pr5.json
+	$(GO) run ./cmd/dsbench -json BENCH_pr8.json
 
 # faultcheck runs the exhaustive single-fault sweep (internal/core): a fixed
 # workload is re-run once per mutating filesystem operation with that one

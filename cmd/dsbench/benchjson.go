@@ -15,8 +15,12 @@ import (
 	"github.com/dataspread/dataspread/internal/storage/pager"
 )
 
-// Machine-readable benchmark output (-json FILE). Three groups are measured:
+// Machine-readable benchmark output (-json FILE). Four groups are measured:
 //
+//   - parallel pairs (PR 8): the morsel-driven executor against the serial
+//     one over a shared 1M-row table — full scan, pushed-predicate scan,
+//     GROUP BY at 2/4/8 workers, hash join — plus writer-interference read
+//     latency percentiles (serial locking vs snapshot reads);
 //   - backend pairs: the PR 3 access-path workloads (PK point, PK range,
 //     index-ordered top-K, secondary lookup, full scan) plus the D1 durable
 //     append, each run over a file-backed workbook with a deliberately small
@@ -62,9 +66,9 @@ func runNums(fn func(b *testing.B)) benchNums {
 
 func writeBenchJSON(path string) {
 	report := benchReport{
-		PR:            5,
-		Title:         "Public embeddable API: parameterized prepared statements, streaming rows, context cancellation, database/sql driver",
-		GeneratedBy:   "cmd/dsbench -json (PreparedVsText*: baseline = fresh literal SQL text per call, after = one prepared '?' statement; MmapVsFile*: baseline = FileStore pread, after = MmapStore)",
+		PR:            8,
+		Title:         "Snapshot reads + morsel-driven parallel execution: lock-free readers that use every core",
+		GeneratedBy:   "cmd/dsbench -json (Par*: baseline = forced-serial executor, after = morsel pool at the named worker count, shared 1M-row table; WriterInterference*: baseline = serial scans under the engine lock, after = snapshot reads, both against a churning writer; MmapVsFile*: baseline = FileStore pread, after = MmapStore)",
 		MmapSupported: pager.MmapSupported,
 	}
 	add := func(name string, baseline *benchNums, after benchNums) {
@@ -81,6 +85,37 @@ func writeBenchJSON(path string) {
 				name, after.NsPerOp, after.BytesPerOp, after.AllocsPerOp)
 		}
 	}
+
+	// Parallel-vs-serial pairs (PR 8): identical queries over the shared
+	// 1M-row table, baseline forced serial, after run by the morsel pool at
+	// the worker count in the name. Integer data keeps the parallel
+	// aggregation's reassociated SUM/AVG exactly equal to the serial fold.
+	parPairs := []struct {
+		name     string
+		query    string
+		wantRows int
+		workers  int
+	}{
+		{"ParFullScan1M8w", "SELECT id, grp, qty FROM big", parBenchRows, 8},
+		{"ParPredScan1M8w", "SELECT id FROM big WHERE qty > 450", 0, 8},
+		{"ParGroupBy1M2w", "SELECT grp, COUNT(*), SUM(qty), AVG(qty), MIN(id), MAX(id) FROM big GROUP BY grp", parBenchDims, 2},
+		{"ParGroupBy1M4w", "SELECT grp, COUNT(*), SUM(qty), AVG(qty), MIN(id), MAX(id) FROM big GROUP BY grp", parBenchDims, 4},
+		{"ParGroupBy1M8w", "SELECT grp, COUNT(*), SUM(qty), AVG(qty), MIN(id), MAX(id) FROM big GROUP BY grp", parBenchDims, 8},
+		{"ParHashJoin1M8w", "SELECT d.name, COUNT(*) FROM big b JOIN dims d ON b.grp = d.gid AND b.qty > 0 GROUP BY d.name", parBenchDims, 8},
+	}
+	for _, w := range parPairs {
+		serial := runNums(benchParQuery(w.query, w.wantRows, 1))
+		par := runNums(benchParQuery(w.query, w.wantRows, w.workers))
+		add(w.name, &serial, par)
+	}
+
+	// Writer-interference percentiles: read latency for a GROUP BY while a
+	// writer churns the same table. Encoded as one entry per percentile so
+	// the report stays in ns_per_op terms.
+	serialP50, serialP99 := benchWriterInterference(true, 20)
+	snapP50, snapP99 := benchWriterInterference(false, 20)
+	add("WriterInterferenceReadP50", &benchNums{NsPerOp: serialP50}, benchNums{NsPerOp: snapP50})
+	add("WriterInterferenceReadP99", &benchNums{NsPerOp: serialP99}, benchNums{NsPerOp: snapP99})
 
 	// Prepared-vs-text point queries (PR 5): the same 50k-row pk point
 	// lookup driven as (a) a fresh literal SQL text per call — every call a

@@ -37,6 +37,11 @@ type Options struct {
 	// CheckpointWALBytes is the WAL size that triggers a background
 	// checkpoint (OpenFile only; 0 = default, negative disables).
 	CheckpointWALBytes int64
+	// Workers bounds the worker pool for morsel-driven parallel query
+	// execution (0 = GOMAXPROCS, 1 = serial). Large scans, aggregations
+	// and joins run against an epoch-pinned snapshot, so parallel readers
+	// hold no engine lock and never block writers.
+	Workers int
 }
 
 func (o Options) coreOptions() core.Options {
@@ -47,6 +52,7 @@ func (o Options) coreOptions() core.Options {
 		WindowCols:         o.WindowCols,
 		Mmap:               o.Mmap,
 		CheckpointWALBytes: o.CheckpointWALBytes,
+		Workers:            o.Workers,
 	}
 }
 

@@ -43,6 +43,14 @@
 // state (BEGIN/COMMIT/ROLLBACK). Failures wrap a small sentinel taxonomy —
 // ErrTableNotFound, ErrUniqueViolation, ErrParamCount, … — for errors.Is.
 //
+// Reads are snapshot reads: a scan pins an immutable page epoch and runs
+// against frozen page versions without holding the engine lock, so readers
+// never block writers (and vice versa) and every query sees a single
+// point-in-time state. Large scans, aggregations and joins additionally
+// fan out over a morsel-driven worker pool (Options.Workers; default
+// GOMAXPROCS, 1 = serial) with results identical to serial execution row
+// for row (DESIGN.md §Snapshot Reads & Parallel Execution).
+//
 // Queries choose their access paths: point, range and IN-list WHERE
 // conjuncts on NUMERIC columns ride the primary-key B+-tree or a secondary
 // index instead of a filtered full scan, and ORDER BY <indexed col> LIMIT k

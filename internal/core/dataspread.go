@@ -59,6 +59,9 @@ type Options struct {
 	// MaterializeAllLimit overrides the row count above which DBTABLE
 	// bindings materialise only the visible window.
 	MaterializeAllLimit int
+	// Workers bounds the relational engine's worker pool for morsel-driven
+	// parallel scans, aggregation and joins (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 
 	// Durability options, honoured by OpenFile only.
 	//
@@ -156,6 +159,7 @@ func newDataSpread(opts Options, backend pager.Backend) *DataSpread {
 		GroupSize:       opts.GroupSize,
 		BufferPoolPages: opts.BufferPoolPages,
 		Backend:         backend,
+		Workers:         opts.Workers,
 	})
 	engine := compute.New(book)
 	windows := window.NewManager(opts.WindowRows, opts.WindowCols)

@@ -14,6 +14,14 @@
 //  3. The engine lock is not re-entrant: acquiring it (directly or by
 //     calling a function annotated `// dslint:locks(engine)`) while it is
 //     already held is a finding.
+//  4. Functions annotated `// dslint:nolock(engine)` — morsel workers and
+//     other hot-path code that runs against a pinned snapshot — must never
+//     touch the engine lock: acquiring it directly, or calling a function
+//     that acquires it (annotated `locks(engine)` or inferred to lock from
+//     its body, propagated through static calls), is a finding. This is
+//     the lock-freedom contract of PR 8's parallel executor: a worker that
+//     reaches for db.mu serializes the whole pool behind the writers the
+//     snapshot was supposed to make irrelevant.
 //
 // The engine lock is the mutex field annotated `// dslint:lock(engine)`
 // (sqlexec.Database.mu in this repository). Held regions are tracked
@@ -54,6 +62,10 @@ var (
 
 type parkFacts struct {
 	parks map[types.Object]bool
+	// acquires marks functions that take the engine lock somewhere in their
+	// body or (transitively, through static calls) in a callee — the set the
+	// nolock(engine) rule checks call sites against.
+	acquires map[types.Object]bool
 }
 
 func run(pass *lint.Pass) error {
@@ -65,11 +77,13 @@ func run(pass *lint.Pass) error {
 	if len(engine) == 0 {
 		return nil // nothing to check against
 	}
+	modf := parkFactsFor(pass.Mod)
 	c := &checker{
-		pass:    pass,
-		engine:  engine,
-		parks:   parkFactsFor(pass.Mod).parks,
-		visited: map[*ast.FuncLit]bool{},
+		pass:     pass,
+		engine:   engine,
+		parks:    modf.parks,
+		acquires: modf.acquires,
+		visited:  map[*ast.FuncLit]bool{},
 	}
 	for _, file := range pass.Files() {
 		for _, decl := range file.Decls {
@@ -84,14 +98,16 @@ func run(pass *lint.Pass) error {
 }
 
 type checker struct {
-	pass   *lint.Pass
-	engine map[types.Object]bool // mutex fields annotated lock(engine)
-	parks  map[types.Object]bool // inferred + annotated parking functions
+	pass     *lint.Pass
+	engine   map[types.Object]bool // mutex fields annotated lock(engine)
+	parks    map[types.Object]bool // inferred + annotated parking functions
+	acquires map[types.Object]bool // inferred + annotated lock-acquiring functions
 
 	// Per-function state.
 	fnObj      types.Object          // current function object
 	parkParams map[types.Object]bool // parameters annotated parks(...) for fnObj
 	exempt     bool                  // fnObj is annotated requires(engine)
+	nolock     bool                  // fnObj is annotated nolock(engine)
 	visited    map[*ast.FuncLit]bool // literals analyzed in a held context
 }
 
@@ -99,6 +115,10 @@ func (c *checker) checkFunc(fd *ast.FuncDecl) {
 	ann := c.pass.Ann()
 	c.fnObj = c.pass.ObjectOf(fd.Name)
 	c.exempt = ann.Has(c.fnObj, "requires", "engine")
+	c.nolock = ann.Has(c.fnObj, "nolock", "engine")
+	if c.exempt && c.nolock {
+		c.pass.Reportf(fd.Name.Pos(), "%s is annotated both dslint:requires(engine) and dslint:nolock(engine); the contracts are contradictory", fd.Name.Name)
+	}
 	c.parkParams = map[types.Object]bool{}
 	if d, ok := ann.Directive(c.fnObj, "parks"); ok && len(d.Args) > 0 {
 		for _, arg := range d.Args {
@@ -157,8 +177,11 @@ func (c *checker) walkStmt(stmt ast.Stmt, held bool) bool {
 		if kind := c.engineLockOp(s.X); kind != "" {
 			switch kind {
 			case "Lock", "RLock":
-				if held {
+				switch {
+				case held:
 					c.pass.Reportf(s.Pos(), "engine lock %s while the engine lock is already held (not re-entrant)", kind)
+				case c.nolock:
+					c.pass.Reportf(s.Pos(), "engine lock %s inside a function annotated dslint:nolock(engine)", kind)
 				}
 				return true
 			case "Unlock", "RUnlock":
@@ -358,6 +381,10 @@ func (c *checker) checkCall(call *ast.CallExpr, held bool) {
 	}
 	ann := c.pass.Ann()
 	name := obj.Name()
+	if c.nolock && (c.acquires[obj] || ann.Has(obj, "locks", "engine")) {
+		c.pass.Reportf(call.Pos(), "call to %s acquires the engine lock inside a function annotated dslint:nolock(engine)", name)
+		return
+	}
 	if held {
 		switch {
 		case c.parkParams[obj]:
@@ -417,23 +444,35 @@ func selectBlocks(s *ast.SelectStmt) bool {
 	return true
 }
 
-// parkFactsFor computes (once per module) the set of functions that may
-// park: those whose own bodies contain a blocking channel operation
-// outside any nested function literal, plus everything annotated
-// dslint:parks, propagated through statically resolvable calls.
+// parkFactsFor computes (once per module) two call-graph facts: the set of
+// functions that may park (bodies with a blocking channel operation outside
+// any nested function literal, plus everything annotated dslint:parks) and
+// the set that acquire the engine lock (bodies that Lock/RLock an annotated
+// mutex, plus everything annotated dslint:locks(engine)). Both propagate
+// through statically resolvable calls.
 func parkFactsFor(mod *lint.Module) *parkFacts {
 	factsMu.Lock()
 	defer factsMu.Unlock()
 	if f, ok := facts[mod]; ok {
 		return f
 	}
-	f := &parkFacts{parks: map[types.Object]bool{}}
+	f := &parkFacts{
+		parks:    map[types.Object]bool{},
+		acquires: map[types.Object]bool{},
+	}
 	for _, obj := range mod.Ann.Objects("parks", "") {
 		// Only zero-arg parks annotations mark the function itself;
 		// parks(param) marks parameters, handled at call sites.
 		if d, ok := mod.Ann.Directive(obj, "parks"); ok && len(d.Args) == 0 {
 			f.parks[obj] = true
 		}
+	}
+	for _, obj := range mod.Ann.Objects("locks", "engine") {
+		f.acquires[obj] = true
+	}
+	engine := map[types.Object]bool{}
+	for _, obj := range mod.Ann.Objects("lock", "engine") {
+		engine[obj] = true
 	}
 
 	// calls[f] = statically resolved callee objects of f.
@@ -452,6 +491,9 @@ func parkFactsFor(mod *lint.Module) *parkFacts {
 				if bodyBlocks(fd.Body, pkg.Info) {
 					f.parks[obj] = true
 				}
+				if bodyLocks(fd.Body, pkg.Info, engine) {
+					f.acquires[obj] = true
+				}
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
 					if _, ok := n.(*ast.FuncLit); ok {
 						return false
@@ -468,24 +510,60 @@ func parkFactsFor(mod *lint.Module) *parkFacts {
 			}
 		}
 	}
-	// Fixpoint: a function that calls a parking function parks.
+	// Fixpoint: a function that calls a parking (or lock-acquiring)
+	// function parks (acquires) itself.
 	for changed := true; changed; {
 		changed = false
 		for fn, callees := range calls {
-			if f.parks[fn] {
-				continue
-			}
 			for _, callee := range callees {
-				if f.parks[callee] {
+				if f.parks[callee] && !f.parks[fn] {
 					f.parks[fn] = true
 					changed = true
-					break
+				}
+				if f.acquires[callee] && !f.acquires[fn] {
+					f.acquires[fn] = true
+					changed = true
 				}
 			}
 		}
 	}
 	facts[mod] = f
 	return f
+}
+
+// bodyLocks reports whether a function body acquires an engine-annotated
+// mutex itself (ignoring nested function literals and go statements, which
+// run on their own schedules and are analyzed independently).
+func bodyLocks(body *ast.BlockStmt, info *types.Info, engine map[types.Object]bool) bool {
+	if len(engine) == 0 {
+		return false
+	}
+	locks := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if locks {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := info.Selections[inner]; ok && engine[s.Obj()] {
+				locks = true
+			} else if obj := info.Uses[inner.Sel]; obj != nil && engine[obj] {
+				locks = true
+			}
+		}
+		return true
+	})
+	return locks
 }
 
 // bodyBlocks reports whether a function body performs a blocking channel

@@ -149,3 +149,57 @@ func (db *DB) SuppressedSend(out chan<- int) {
 	//lint:ignore lockcheck fixture: consumer is guaranteed unbuffered-ready in this test harness
 	out <- db.n
 }
+
+// ScanMorsel mirrors PR 8's morsel worker: annotated lock-free and clean —
+// it only touches the pinned snapshot it was handed.
+//
+// dslint:nolock(engine)
+func ScanMorsel(rows []int) (sum int) {
+	for _, v := range rows {
+		sum += v
+	}
+	return sum
+}
+
+// BadNolockAcquire takes the engine lock inside a nolock(engine) region.
+//
+// dslint:nolock(engine)
+func (db *DB) BadNolockAcquire() int {
+	db.mu.RLock() // want "engine lock RLock inside a function annotated dslint:nolock\\(engine\\)"
+	defer db.mu.RUnlock()
+	return db.n
+}
+
+// BadNolockLocksCall calls an annotated locks(engine) function from
+// nolock-contracted code.
+//
+// dslint:nolock(engine)
+func (db *DB) BadNolockLocksCall() int {
+	return db.Count() // want "call to Count acquires the engine lock inside a function annotated dslint:nolock\\(engine\\)"
+}
+
+// bumpLocked acquires the engine lock with no annotation at all; the
+// module-wide inference must still classify it as lock-acquiring.
+func (db *DB) bumpLocked() {
+	db.mu.Lock()
+	db.n++
+	db.mu.Unlock()
+}
+
+// bumpWrapper acquires only transitively, through bumpLocked.
+func (db *DB) bumpWrapper() { db.bumpLocked() }
+
+// BadNolockInferred reaches the engine lock two static calls deep.
+//
+// dslint:nolock(engine)
+func (db *DB) BadNolockInferred() {
+	db.bumpWrapper() // want "call to bumpWrapper acquires the engine lock inside a function annotated dslint:nolock\\(engine\\)"
+}
+
+// BadContradiction pairs the two contracts that cannot both hold.
+//
+// dslint:requires(engine)
+// dslint:nolock(engine)
+func (db *DB) BadContradiction() int { // want "BadContradiction is annotated both dslint:requires\\(engine\\) and dslint:nolock\\(engine\\)"
+	return db.n
+}

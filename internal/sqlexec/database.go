@@ -45,6 +45,9 @@ type Config struct {
 	// in-memory pager.Store). Pass a pager.FileStore to run the storage
 	// managers and their block-touch experiments against real disk I/O.
 	Backend pager.Backend
+	// Workers bounds the worker pool used for morsel-driven parallel scans,
+	// aggregation and joins (0 = GOMAXPROCS). 1 disables parallel execution.
+	Workers int
 }
 
 // ChangeKind classifies a data-change notification.
@@ -107,6 +110,15 @@ type Database struct {
 	// forceFullScan disables index access paths (golden tests and the
 	// benchmark baseline compare against forced full scans).
 	forceFullScan atomic.Bool
+
+	// forceSerial disables morsel-driven parallel execution (golden tests
+	// and benchmark baselines compare parallel plans against the serial
+	// executor on identical data).
+	forceSerial atomic.Bool
+
+	// workersOverride, when non-zero, replaces cfg.Workers at plan time so
+	// benchmarks can sweep worker counts over one loaded dataset.
+	workersOverride atomic.Int32
 }
 
 // NewDatabase creates an empty database.
@@ -157,6 +169,17 @@ func (db *Database) TableDataVersion(name string) uint64 {
 // and benchmark baselines use it to compare plans on identical data.
 func (db *Database) SetForceFullScan(force bool) { db.forceFullScan.Store(force) }
 
+// SetForceSerial disables (true) or re-enables (false) morsel-driven
+// parallel execution: with the flag set every scan, aggregation and join
+// runs on the calling goroutine. Golden tests and benchmark baselines use it
+// to compare the parallel executor against serial output on identical data.
+func (db *Database) SetForceSerial(force bool) { db.forceSerial.Store(force) }
+
+// SetWorkers overrides the configured worker-pool width for subsequent
+// queries (0 restores Config.Workers). Benchmarks use it to sweep worker
+// counts over one loaded dataset.
+func (db *Database) SetWorkers(n int) { db.workersOverride.Store(int32(n)) }
+
 // Catalog returns the schema catalog.
 func (db *Database) Catalog() *catalog.Catalog { return db.cat }
 
@@ -165,6 +188,11 @@ func (db *Database) TxnManager() *txn.Manager { return db.txns }
 
 // PagerStats returns block-level I/O statistics for the whole database.
 func (db *Database) PagerStats() pager.Stats { return db.pageStore.Stats() }
+
+// EpochStats reports the snapshot-read state of the buffer pool: how many
+// reader epochs are pinned and how many superseded page versions are
+// retained for them. Both are zero whenever no snapshot reader is active.
+func (db *Database) EpochStats() (pinned, retained int) { return db.pool.EpochStats() }
 
 // ResetPagerStats zeroes the block-level counters.
 func (db *Database) ResetPagerStats() { db.pageStore.ResetStats() }

@@ -156,7 +156,7 @@ func (db *Database) buildInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, e
 		if err != nil {
 			return nil, nil, err
 		}
-		left, err = joinRelations(left, right, join, env)
+		left, err = db.joinRelations(left, right, join, env)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -525,6 +525,11 @@ func (db *Database) scanSource(s *srcState, live bool, env *execEnv) (*relation,
 		rel.rows = s.rows
 		return rel, nil
 	}
+	// Large full scans of snapshot-capable stores fan out over the worker
+	// pool against a pinned epoch instead of scanning under the read lock.
+	if prel, handled, err := db.parScanSource(s, cols, scanCols, env); handled || err != nil {
+		return prel, err
+	}
 	var arena valueArena
 	err := db.scanSourceEach(s, env, cols, scanCols, func(row []sheet.Value, stable bool) error {
 		// Stable rows (materialised sources, index point reads, decoded-page
@@ -693,7 +698,10 @@ func allPredicates(preds []boundExpr, ctx *rowCtx) (bool, error) {
 // joinRelations combines two relations according to the join specification.
 // Hash joins build a typed-key index over the right side; candidate rows
 // are assembled in a reused scratch buffer and only copied when they join.
-func joinRelations(left, right *relation, join sqlparser.Join, env *execEnv) (*relation, error) {
+// Large hash joins fan out over the worker pool: the build side is indexed
+// in contiguous partitions and probe workers walk the partition indexes in
+// order, reproducing the serial single-index output row for row.
+func (db *Database) joinRelations(left, right *relation, join sqlparser.Join, env *execEnv) (*relation, error) {
 	// Determine equi-join column pairs for NATURAL / USING joins.
 	var leftKeys, rightKeys []int
 	switch {
@@ -754,6 +762,14 @@ func joinRelations(left, right *relation, join sqlparser.Join, env *execEnv) (*r
 	switch {
 	case len(leftKeys) > 0:
 		// Hash join on the shared columns.
+		if workers, ok := db.parHashJoinEligible(left, right); ok {
+			rows, err := parHashJoinKeyed(left, right, leftKeys, rightKeys, join.Type, pad, projectRight, workers, env)
+			if err != nil {
+				return nil, err
+			}
+			out.rows = rows
+			return out, nil
+		}
 		ix := newKeyIndex(len(rightKeys))
 		keyBuf := make([]normValue, 0, len(rightKeys))
 		for ri, row := range right.rows {
@@ -792,6 +808,16 @@ func joinRelations(left, right *relation, join sqlparser.Join, env *execEnv) (*r
 		ctx := env.newRowCtx()
 		scratch := make([]sheet.Value, len(left.cols)+len(right.cols))
 		lk, rk := equiJoinKeys(join.On, left, right)
+		if len(lk) > 0 {
+			if workers, ok := db.parHashJoinEligible(left, right); ok {
+				rows, err := parHashJoinOn(left, right, lk, rk, join, out.cols, pad, workers, env)
+				if err != nil {
+					return nil, err
+				}
+				out.rows = rows
+				return out, nil
+			}
+		}
 		if len(lk) > 0 {
 			ix := newKeyIndex(len(rk))
 			keyBuf := make([]normValue, 0, len(rk))
@@ -1151,50 +1177,57 @@ func (db *Database) projectGrouped(stmt *sqlparser.SelectStmt, rel *relation, en
 	}
 
 	// Partition rows into groups, folding aggregates as rows stream by.
-	var groups []*groupState
-	newGroup := func() *groupState {
-		return &groupState{accs: make([]aggState, len(reg.specs))}
+	// Large inputs fold in parallel — per-worker group hashes merged in
+	// partition order — unless a DISTINCT aggregate forces the serial path.
+	groups, parallel, err := db.parFoldGroups(stmt, items, rel, reg, env)
+	if err != nil {
+		return nil, nil, err
 	}
-	ctx := env.newRowCtx()
-	var ix *keyIndex
-	var keyBuf []normValue
-	if len(groupBy) == 0 {
-		// Implicit single group: aggregates over an empty input still
-		// produce one output row (e.g. COUNT(*) = 0).
-		groups = append(groups, newGroup())
-	} else {
-		ix = newKeyIndex(len(groupBy))
-		keyBuf = make([]normValue, 0, len(groupBy))
-	}
-	for _, row := range rel.rows {
-		if err := env.check(); err != nil {
-			return nil, nil, err
+	if !parallel {
+		newGroup := func() *groupState {
+			return &groupState{accs: make([]aggState, len(reg.specs))}
 		}
-		ctx.row = row
-		var g *groupState
-		if ix == nil {
-			g = groups[0]
+		ctx := env.newRowCtx()
+		var ix *keyIndex
+		var keyBuf []normValue
+		if len(groupBy) == 0 {
+			// Implicit single group: aggregates over an empty input still
+			// produce one output row (e.g. COUNT(*) = 0).
+			groups = append(groups, newGroup())
 		} else {
-			keyBuf = keyBuf[:0]
-			for _, ge := range groupBy {
-				v, err := ge.eval(ctx)
-				if err != nil {
+			ix = newKeyIndex(len(groupBy))
+			keyBuf = make([]normValue, 0, len(groupBy))
+		}
+		for _, row := range rel.rows {
+			if err := env.check(); err != nil {
+				return nil, nil, err
+			}
+			ctx.row = row
+			var g *groupState
+			if ix == nil {
+				g = groups[0]
+			} else {
+				keyBuf = keyBuf[:0]
+				for _, ge := range groupBy {
+					v, err := ge.eval(ctx)
+					if err != nil {
+						return nil, nil, err
+					}
+					keyBuf = append(keyBuf, normKeyValue(v))
+				}
+				slot, added := ix.getOrAdd(keyBuf)
+				if added {
+					groups = append(groups, newGroup())
+				}
+				g = groups[slot]
+			}
+			if !g.hasRep {
+				g.rep, g.hasRep = row, true
+			}
+			for i, sp := range reg.specs {
+				if err := sp.update(&g.accs[i], ctx); err != nil {
 					return nil, nil, err
 				}
-				keyBuf = append(keyBuf, normKeyValue(v))
-			}
-			slot, added := ix.getOrAdd(keyBuf)
-			if added {
-				groups = append(groups, newGroup())
-			}
-			g = groups[slot]
-		}
-		if !g.hasRep {
-			g.rep, g.hasRep = row, true
-		}
-		for i, sp := range reg.specs {
-			if err := sp.update(&g.accs[i], ctx); err != nil {
-				return nil, nil, err
 			}
 		}
 	}

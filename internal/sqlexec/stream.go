@@ -287,6 +287,18 @@ func (db *Database) streamSimpleSelect(stmt *sqlparser.SelectStmt, an *selectAna
 		return nil
 	}
 
+	// Full scans of snapshot-capable stores stream lock-free: the engine
+	// lock is held only while the snapshot pins its epoch, and the scan then
+	// reads frozen page versions in one pass — no candidate-id phase, no
+	// batch re-locking, and no lock held while the consumer parks on the
+	// channel. Writers never wait behind this reader and the reader observes
+	// a consistent point-in-time image instead of read-committed batches.
+	if src.path == nil || src.path.kind == pathFull {
+		if snapper, ok := src.store.(tablestore.Snapshotter); ok {
+			return db.streamSnapshotScan(snapper, scanCols, preds, bound, env, ctx, offset, limit, yield)
+		}
+	}
+
 	// Phase 1: candidate RowIDs. Index paths read the B-tree; full scans
 	// enumerate ids through a zero-column scan (no value decoding).
 	var ids []tablestore.RowID
@@ -311,8 +323,8 @@ func (db *Database) streamSimpleSelect(stmt *sqlparser.SelectStmt, an *selectAna
 		}
 	}
 
-	// Phase 2: fetch + filter + project in read-locked batches, yielding
-	// between acquisitions.
+	// Phase 2 (non-snapshot stores): fetch + filter + project in read-locked
+	// batches, yielding between acquisitions.
 	skipped, emitted := 0, 0
 	outBatch := make([][]sheet.Value, 0, streamFetchBatch)
 	for start := 0; start < len(ids); start += streamFetchBatch {
@@ -377,6 +389,64 @@ func (db *Database) streamSimpleSelect(stmt *sqlparser.SelectStmt, an *selectAna
 		emitted += len(outBatch)
 		if limit >= 0 && emitted >= limit {
 			return errStreamDone
+		}
+	}
+	return nil
+}
+
+// streamSnapshotScan is the lock-free streaming fast path: it pins a table
+// snapshot (the only moment the engine lock is touched) and streams
+// filter → project → yield over the frozen pages in a single pass. The scan
+// holds no lock, so yielding to a slow consumer parks nothing but this
+// goroutine and concurrent writers proceed untouched; superseded page
+// versions drain when the snapshot releases its epoch.
+// dslint:parks(yield)
+func (db *Database) streamSnapshotScan(snapper tablestore.Snapshotter, scanCols []int, preds, bound []boundExpr, env *execEnv, ctx *rowCtx, offset, limit int, yield func([]sheet.Value) error) error {
+	db.mu.RLock()
+	snap := snapper.Snapshot()
+	db.mu.RUnlock()
+	defer snap.Release()
+	skipped, emitted := 0, 0
+	var inner error
+	for _, part := range snap.Partitions(1) {
+		err := snap.ScanColsRange(part, scanCols, func(_ tablestore.RowID, row []sheet.Value) bool {
+			if inner = env.check(); inner != nil {
+				return false
+			}
+			ctx.row = row
+			keep, err := allPredicates(preds, ctx)
+			if err != nil {
+				inner = err
+				return false
+			}
+			if !keep {
+				return true
+			}
+			if skipped < offset {
+				skipped++
+				return true
+			}
+			out := make([]sheet.Value, len(bound))
+			for i, be := range bound {
+				if out[i], inner = be.eval(ctx); inner != nil {
+					return false
+				}
+			}
+			if inner = yield(out); inner != nil {
+				return false
+			}
+			emitted++
+			if limit >= 0 && emitted >= limit {
+				inner = errStreamDone
+				return false
+			}
+			return true
+		})
+		if err == nil {
+			err = inner
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil

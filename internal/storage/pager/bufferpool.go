@@ -54,6 +54,15 @@ type BufferPool struct {
 	// backend-level reloads and id reuse, not just writes they performed
 	// themselves.
 	versions map[PageID]uint64
+
+	// Snapshot-epoch state (epoch.go). epoch counts OpenEpoch calls;
+	// pageEpoch stamps each logical page with the epoch current at its last
+	// content change; pinned counts readers per open epoch; retained parks
+	// superseded page versions that a pinned epoch can still observe.
+	epoch     uint64
+	pageEpoch map[PageID]uint64
+	pinned    map[uint64]int
+	retained  map[PageID][]retainedVersion
 }
 
 type frame struct {
@@ -173,6 +182,9 @@ func (bp *BufferPool) Allocate() PageID {
 		bp.reuse = append(bp.reuse, id)
 		id = bp.store.Allocate()
 	}
+	if id != InvalidPage {
+		bp.retainBeforeChangeLocked(id)
+	}
 	bp.bumpVersionLocked(id)
 	if bp.capacity > 0 && id != InvalidPage {
 		bp.install(id, nil)
@@ -238,6 +250,7 @@ func (bp *BufferPool) Put(id PageID, data []byte) error {
 	copy(cp, data)
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	bp.retainBeforeChangeLocked(id)
 	bp.bumpVersionLocked(id)
 	if bp.capacity <= 0 {
 		return bp.writeBackLocked(id, cp)
@@ -261,6 +274,7 @@ func (bp *BufferPool) Put(id PageID, data []byte) error {
 // commits; until then the durable image stays readable.
 func (bp *BufferPool) Free(id PageID) {
 	bp.mu.Lock()
+	bp.retainBeforeChangeLocked(id)
 	bp.bumpVersionLocked(id)
 	if f, ok := bp.frames[id]; ok {
 		bp.lru.Remove(f.lruElem)

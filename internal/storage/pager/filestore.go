@@ -30,10 +30,13 @@ import (
 // followed by up to PageSize-16 payload bytes. A logical page larger than one
 // slot's payload capacity spills into a chain of continuation slots, so
 // callers keep the in-memory Store's "oversized pages are multi-block writes"
-// semantics. Freed slots are flagged on disk and recovered into the free list
-// by scanning the slot headers at open, which makes free-space recovery
-// crash-safe even when the header page is stale; the header's free-list head
-// is refreshed on Sync.
+// semantics. Freed slots are recycled in memory immediately but flagged on
+// disk lazily: the pending flags coalesce into one header-write pass at
+// Sync/Close, and a slot reused before the flush never writes a free flag at
+// all. Recovery scans the slot headers at open to rebuild the free list, so
+// the header page being stale is harmless; slots freed after the last flush
+// merely leak across a crash (the startup sweep of unreachable pages
+// reclaims them) — no live data is at risk.
 type FileStore struct {
 	mu     sync.Mutex
 	f      vfs.File
@@ -42,6 +45,13 @@ type FileStore struct {
 	heads  map[PageID]struct{}
 	stats  Stats
 	closed bool
+
+	// dirtyFree holds recycled slots whose on-disk flagFree header has not
+	// been written yet. Frees are batched: the flags coalesce into one
+	// header-write pass at Sync/Close (the checkpoint adopt stage) instead
+	// of one full-slot write per free, and a slot reused before the flush
+	// never writes its free flag at all.
+	dirtyFree map[PageID]struct{}
 
 	// syncErr latches the first fsync failure. Per the fsync-gate rule the
 	// kernel may have dropped the dirty pages a failed fsync covered, so a
@@ -190,6 +200,8 @@ func (fs *FileStore) allocSlot(flags byte) (PageID, error) {
 	if n := len(fs.free); n > 0 {
 		id = fs.free[n-1]
 		fs.free = fs.free[:n-1]
+		// A pending free flag is moot: the slot header is rewritten below.
+		delete(fs.dirtyFree, id)
 	} else {
 		id = fs.next
 		fs.next++
@@ -200,12 +212,43 @@ func (fs *FileStore) allocSlot(flags byte) (PageID, error) {
 	return id, nil
 }
 
-// freeSlot marks one slot free on disk and recycles it.
-func (fs *FileStore) freeSlot(id PageID) error {
-	if err := fs.writeSlot(id, flagFree, 0, nil); err != nil {
-		return err
-	}
+// freeSlot recycles one slot in memory and defers the on-disk free flag to
+// the next Sync/Close flush. Churny workloads free and promptly reuse slots,
+// so flagging eagerly cost one full-slot write per free that the very next
+// allocation overwrote; deferring turns a free into a map insert and the
+// flush into one 16-byte header write per slot still free at the barrier. A
+// crash before the flush leaves the slots flagged live on disk — they leak
+// until the startup sweep of unreachable pages reclaims them, but no live
+// data is ever at risk.
+func (fs *FileStore) freeSlot(id PageID) {
 	fs.free = append(fs.free, id)
+	if fs.dirtyFree == nil {
+		fs.dirtyFree = make(map[PageID]struct{})
+	}
+	fs.dirtyFree[id] = struct{}{}
+}
+
+// writeSlotHeader rewrites just the 16-byte slot header, leaving the payload
+// bytes in place (free-flag flushes have no payload to clear).
+func (fs *FileStore) writeSlotHeader(id PageID, flags byte, next PageID, length uint32) error {
+	var buf [slotHeaderSize]byte
+	binary.LittleEndian.PutUint32(buf[0:4], length)
+	binary.LittleEndian.PutUint64(buf[4:12], uint64(next))
+	buf[12] = flags
+	if _, err := fs.f.WriteAt(buf[:], slotOffset(id)); err != nil {
+		return fmt.Errorf("pager: write slot %d header: %w", id, err)
+	}
+	return nil
+}
+
+// flushFreeSlots writes the deferred flagFree headers (caller holds mu).
+func (fs *FileStore) flushFreeSlots() error {
+	for id := range fs.dirtyFree {
+		if err := fs.writeSlotHeader(id, flagFree, 0, 0); err != nil {
+			return err
+		}
+		delete(fs.dirtyFree, id)
+	}
 	return nil
 }
 
@@ -288,6 +331,7 @@ func (fs *FileStore) Reclaim(id PageID) error {
 	for i, fid := range fs.free {
 		if fid == id {
 			fs.free = append(fs.free[:i], fs.free[i+1:]...)
+			delete(fs.dirtyFree, id)
 			break
 		}
 	}
@@ -319,13 +363,9 @@ func (fs *FileStore) Free(id PageID) {
 		return
 	}
 	delete(fs.heads, id)
-	if err := fs.freeSlot(id); err != nil {
-		fs.recordOpErr(err)
-	}
+	fs.freeSlot(id)
 	for _, c := range tail {
-		if err := fs.freeSlot(c); err != nil {
-			fs.recordOpErr(err)
-		}
+		fs.freeSlot(c)
 	}
 	fs.stats.Frees++
 }
@@ -415,12 +455,11 @@ func (fs *FileStore) WritePage(id PageID, data []byte) error {
 		}
 	}
 	// Only release surplus slots once the shortened chain is fully
-	// written: freeing first would zero slots the old head still points
-	// at, silently truncating the page if we crash mid-rewrite.
+	// written (their free flags land at the next Sync; until then the
+	// shortened head no longer references them, so they are merely dead
+	// space after a crash).
 	for _, extra := range surplus {
-		if err := fs.freeSlot(extra); err != nil {
-			return err
-		}
+		fs.freeSlot(extra)
 	}
 	return nil
 }
@@ -465,6 +504,9 @@ func (fs *FileStore) Sync() error {
 	if fs.syncErr != nil {
 		return fmt.Errorf("pager: heap fsync failed earlier, not retrying (fsync-gate): %w", fs.syncErr)
 	}
+	if err := fs.flushFreeSlots(); err != nil {
+		return err
+	}
 	if err := fs.writeHeader(); err != nil {
 		return err
 	}
@@ -490,7 +532,10 @@ func (fs *FileStore) Close() error {
 	if fs.syncErr != nil {
 		err = fmt.Errorf("pager: heap fsync failed earlier, not retrying (fsync-gate): %w", fs.syncErr)
 	} else {
-		err = fs.writeHeader()
+		err = fs.flushFreeSlots()
+		if hErr := fs.writeHeader(); err == nil {
+			err = hErr
+		}
 		if sErr := fs.f.Sync(); sErr != nil {
 			fs.syncErr = sErr
 			if err == nil {

@@ -12,114 +12,179 @@ import (
 // hundred thousand rows per table before eviction sets in.
 const decodedCacheCap = 4096
 
+// decodedCacheShards spreads entries over independently locked shards so
+// concurrent snapshot readers on different morsels do not serialize on one
+// cache mutex. Sixteen shards keeps the per-shard maps small and covers the
+// worker counts the executor uses (GOMAXPROCS-bounded).
+const decodedCacheShards = 16
+
 // decodedCache memoizes decoded page images so repeated scans of the same
 // table do not re-decode every block from its byte form. Entries are shared
 // read-only snapshots: only the read paths (Scan/ScanCols/Get) consult the
 // cache, while mutators keep decoding private copies they are free to edit
 // in place.
 //
-// Every entry is stamped with the BufferPool's page version at decode time
-// and validated against the current version on each hit. The pool bumps the
+// Entries are keyed by (page id, BufferPool version): the pool bumps the
 // version on *any* content-changing event — local writes through this store,
 // a backend-level reload of the id, or the backend recycling the id into a
-// fresh allocation — so a cache shared with the pool can never serve a
-// decode of bytes that are no longer the page's content. (The old design
-// invalidated only on this store's own writes, which let a recycled page id
-// serve the previous page's decode.)
+// fresh allocation — so the cache can never serve a decode of bytes that are
+// not the version the caller asked for. Version keying also lets epoch
+// snapshot readers (ScanColsRange over a TableSnap) and current-content
+// scans share one cache: a superseded page version and its replacement
+// occupy distinct entries until eviction.
 type decodedCache struct {
+	shards [decodedCacheShards]cacheShard
+}
+
+type cacheShard struct {
 	mu     sync.Mutex
-	tuples map[pager.PageID]tupleEntry
-	cols   map[pager.PageID]colEntry
+	tuples map[cacheKey]tupleEntry
+	cols   map[cacheKey]colEntry
+}
+
+type cacheKey struct {
+	id  pager.PageID
+	ver uint64
 }
 
 type tupleEntry struct {
-	ver  uint64
 	ids  []RowID
 	rows [][]sheet.Value
 }
 
 type colEntry struct {
-	ver  uint64
 	vals []sheet.Value
 }
 
-// getTuples returns the decoded tuple page, decoding and caching on a miss
-// or when the pool's page version moved past the cached entry.
+func (c *decodedCache) shard(id pager.PageID) *cacheShard {
+	return &c.shards[uint64(id)%decodedCacheShards]
+}
+
+// getTuples returns the decoded tuple page at the pool's current version,
+// decoding and caching on a miss. Callers must exclude writers (the engine
+// lock) so the version/content pair stays consistent; a write racing the
+// two pool calls only causes a harmless re-decode, never a stale hit.
 func (c *decodedCache) getTuples(pool *pager.BufferPool, id pager.PageID) ([]RowID, [][]sheet.Value, error) {
-	// Fetch the version before the page bytes: a write racing in between
-	// leaves us caching new content under an old version, which only causes
-	// a harmless re-decode — never a stale hit.
 	ver := pool.Version(id)
-	c.mu.Lock()
-	if e, ok := c.tuples[id]; ok && e.ver == ver {
-		c.mu.Unlock()
+	sh := c.shard(id)
+	sh.mu.Lock()
+	if e, ok := sh.tuples[cacheKey{id, ver}]; ok {
+		sh.mu.Unlock()
 		return e.ids, e.rows, nil
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	data, err := pool.Get(id)
 	if err != nil {
 		return nil, nil, err
 	}
+	return sh.addTuples(cacheKey{id, ver}, data)
+}
+
+// getTuplesAt is getTuples as of a snapshot epoch: the pool hands back the
+// (content, version) pair in one atomic step, so this path is safe with no
+// engine lock held while writers churn.
+func (c *decodedCache) getTuplesAt(pool *pager.BufferPool, epoch uint64, id pager.PageID) ([]RowID, [][]sheet.Value, error) {
+	data, ver, err := pool.GetAt(epoch, id)
+	if err != nil {
+		return nil, nil, err
+	}
+	sh := c.shard(id)
+	sh.mu.Lock()
+	if e, ok := sh.tuples[cacheKey{id, ver}]; ok {
+		sh.mu.Unlock()
+		return e.ids, e.rows, nil
+	}
+	sh.mu.Unlock()
+	return sh.addTuples(cacheKey{id, ver}, data)
+}
+
+// addTuples decodes outside the shard lock (concurrent misses may decode
+// twice; last write wins, both decodes are identical) and installs the
+// entry.
+func (sh *cacheShard) addTuples(key cacheKey, data []byte) ([]RowID, [][]sheet.Value, error) {
 	ids, rows, err := decodeTuples(data)
 	if err != nil {
 		return nil, nil, err
 	}
-	c.mu.Lock()
-	if c.tuples == nil {
-		c.tuples = make(map[pager.PageID]tupleEntry)
+	sh.mu.Lock()
+	if sh.tuples == nil {
+		sh.tuples = make(map[cacheKey]tupleEntry)
 	}
-	c.evictIfFull(len(c.tuples))
-	c.tuples[id] = tupleEntry{ver: ver, ids: ids, rows: rows}
-	c.mu.Unlock()
+	sh.evictIfFull(len(sh.tuples))
+	sh.tuples[key] = tupleEntry{ids: ids, rows: rows}
+	sh.mu.Unlock()
 	return ids, rows, nil
 }
 
-// getColumn returns the decoded column page, decoding and caching on a miss
-// or version change.
+// getColumn returns the decoded column page at the pool's current version,
+// decoding and caching on a miss.
 func (c *decodedCache) getColumn(pool *pager.BufferPool, id pager.PageID) ([]sheet.Value, error) {
 	ver := pool.Version(id)
-	c.mu.Lock()
-	if e, ok := c.cols[id]; ok && e.ver == ver {
-		c.mu.Unlock()
+	sh := c.shard(id)
+	sh.mu.Lock()
+	if e, ok := sh.cols[cacheKey{id, ver}]; ok {
+		sh.mu.Unlock()
 		return e.vals, nil
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	data, err := pool.Get(id)
 	if err != nil {
 		return nil, err
 	}
+	return sh.addColumn(cacheKey{id, ver}, data)
+}
+
+// getColumnAt is getColumn as of a snapshot epoch.
+func (c *decodedCache) getColumnAt(pool *pager.BufferPool, epoch uint64, id pager.PageID) ([]sheet.Value, error) {
+	data, ver, err := pool.GetAt(epoch, id)
+	if err != nil {
+		return nil, err
+	}
+	sh := c.shard(id)
+	sh.mu.Lock()
+	if e, ok := sh.cols[cacheKey{id, ver}]; ok {
+		sh.mu.Unlock()
+		return e.vals, nil
+	}
+	sh.mu.Unlock()
+	return sh.addColumn(cacheKey{id, ver}, data)
+}
+
+func (sh *cacheShard) addColumn(key cacheKey, data []byte) ([]sheet.Value, error) {
 	vals, err := decodeColumn(data)
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	if c.cols == nil {
-		c.cols = make(map[pager.PageID]colEntry)
+	sh.mu.Lock()
+	if sh.cols == nil {
+		sh.cols = make(map[cacheKey]colEntry)
 	}
-	c.evictIfFull(len(c.cols))
-	c.cols[id] = colEntry{ver: ver, vals: vals}
-	c.mu.Unlock()
+	sh.evictIfFull(len(sh.cols))
+	sh.cols[key] = colEntry{vals: vals}
+	sh.mu.Unlock()
 	return vals, nil
 }
 
-// evictIfFull drops arbitrary entries while the cache is at capacity
-// (caller holds c.mu). Scans repopulate in page order, so losing a random
-// victim only costs one re-decode.
-func (c *decodedCache) evictIfFull(n int) {
-	if n < decodedCacheCap {
+// evictIfFull drops arbitrary entries while the shard is at its share of
+// the capacity (caller holds sh.mu). Scans repopulate in page order, so
+// losing a random victim only costs one re-decode; superseded page versions
+// age out the same way once their snapshot readers drain.
+func (sh *cacheShard) evictIfFull(n int) {
+	const shardCap = decodedCacheCap / decodedCacheShards
+	if n < shardCap {
 		return
 	}
-	for id := range c.tuples {
-		delete(c.tuples, id)
+	for key := range sh.tuples {
+		delete(sh.tuples, key)
 		n--
-		if n < decodedCacheCap {
+		if n < shardCap {
 			return
 		}
 	}
-	for id := range c.cols {
-		delete(c.cols, id)
+	for key := range sh.cols {
+		delete(sh.cols, key)
 		n--
-		if n < decodedCacheCap {
+		if n < shardCap {
 			return
 		}
 	}
