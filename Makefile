@@ -48,7 +48,7 @@ apicheck:
 # pairs and the cold-open scaling series.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=NONE .
-	$(GO) run ./cmd/dsbench -json BENCH_pr8.json
+	$(GO) run ./cmd/dsbench -json BENCH_pr9.json
 
 # faultcheck runs the exhaustive single-fault sweep (internal/core): a fixed
 # workload is re-run once per mutating filesystem operation with that one
@@ -60,6 +60,7 @@ faultcheck:
 
 # fuzz runs the durability fuzz suites (fixed seeds: the same trials replay
 # every run) — WAL truncation/bit-flips, checkpoint kill points, heap-file
-# corruption, and the shadow-paged root-flip kill points.
+# corruption, the shadow-paged root-flip kill points, and the zone-map
+# insert/update/delete/checkpoint/reopen interleavings.
 fuzz:
-	$(GO) test ./internal/core/ -run 'TestCrashRecoveryFuzz|TestCheckpointCrashFuzz|TestHeapCorruptionFuzz|TestRootFlipAtomicKillPoints' -count=1 -v
+	$(GO) test ./internal/core/ -run 'TestCrashRecoveryFuzz|TestCheckpointCrashFuzz|TestHeapCorruptionFuzz|TestRootFlipAtomicKillPoints|TestZoneMapFuzz' -count=1 -v

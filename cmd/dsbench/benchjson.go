@@ -15,8 +15,13 @@ import (
 	"github.com/dataspread/dataspread/internal/storage/pager"
 )
 
-// Machine-readable benchmark output (-json FILE). Four groups are measured:
+// Machine-readable benchmark output (-json FILE). Five groups are measured:
 //
+//   - zone-map pairs (PR 9): pruned-vs-unskipped scans over a shared 1M-row
+//     table whose ts column is clustered but unindexed — a selective
+//     predicate scan plus GROUP BY at 1%/10%/100% selectivity — and a
+//     dictionary-vs-plain text scan pair; each zone entry's meta records the
+//     pages read vs skipped and the worker count;
 //   - parallel pairs (PR 8): the morsel-driven executor against the serial
 //     one over a shared 1M-row table — full scan, pushed-predicate scan,
 //     GROUP BY at 2/4/8 workers, hash join — plus writer-interference read
@@ -41,10 +46,11 @@ type benchNums struct {
 }
 
 type benchEntry struct {
-	Name     string     `json:"name"`
-	Baseline *benchNums `json:"baseline,omitempty"`
-	After    benchNums  `json:"after"`
-	Speedup  float64    `json:"speedup,omitempty"`
+	Name     string           `json:"name"`
+	Baseline *benchNums       `json:"baseline,omitempty"`
+	After    benchNums        `json:"after"`
+	Speedup  float64          `json:"speedup,omitempty"`
+	Meta     map[string]int64 `json:"meta,omitempty"`
 }
 
 type benchReport struct {
@@ -66,13 +72,13 @@ func runNums(fn func(b *testing.B)) benchNums {
 
 func writeBenchJSON(path string) {
 	report := benchReport{
-		PR:            8,
-		Title:         "Snapshot reads + morsel-driven parallel execution: lock-free readers that use every core",
-		GeneratedBy:   "cmd/dsbench -json (Par*: baseline = forced-serial executor, after = morsel pool at the named worker count, shared 1M-row table; WriterInterference*: baseline = serial scans under the engine lock, after = snapshot reads, both against a churning writer; MmapVsFile*: baseline = FileStore pread, after = MmapStore)",
+		PR:            9,
+		Title:         "Zone maps, lightweight column compression, and page-level data skipping on the cold scan path",
+		GeneratedBy:   "cmd/dsbench -json (Zone*: baseline = SetForceNoSkip scan, after = zone-map pruned scan, shared 1M-row table with an unindexed clustered ts column, meta records pages read vs skipped and the worker count; DictVsPlainTextScan: baseline = plain-encoded high-NDV text column, after = dictionary-encoded low-NDV column, same shape; Par*: baseline = forced-serial executor, after = morsel pool at the named worker count; WriterInterference*: baseline = serial scans under the engine lock, after = snapshot reads, both against a churning writer; MmapVsFile*: baseline = FileStore pread, after = MmapStore)",
 		MmapSupported: pager.MmapSupported,
 	}
-	add := func(name string, baseline *benchNums, after benchNums) {
-		e := benchEntry{Name: name, Baseline: baseline, After: after}
+	addMeta := func(name string, baseline *benchNums, after benchNums, meta map[string]int64) {
+		e := benchEntry{Name: name, Baseline: baseline, After: after, Meta: meta}
 		if baseline != nil && after.NsPerOp > 0 {
 			e.Speedup = round2(baseline.NsPerOp / after.NsPerOp)
 		}
@@ -85,6 +91,33 @@ func writeBenchJSON(path string) {
 				name, after.NsPerOp, after.BytesPerOp, after.AllocsPerOp)
 		}
 	}
+	add := func(name string, baseline *benchNums, after benchNums) {
+		addMeta(name, baseline, after, nil)
+	}
+
+	// Zone-map pairs (PR 9): identical queries with pruning live (after) and
+	// forced off (baseline). ts is clustered and unindexed, so every page
+	// saved is the zone maps' doing; selectivity names the kept fraction.
+	zonePairs := []struct {
+		name     string
+		query    string
+		wantRows int
+	}{
+		{"ZoneSelectiveScan1M1pct", "SELECT id, qty FROM zb WHERE ts >= 990000", 10000},
+		{"ZoneGroupBy1M1pct", "SELECT cat, COUNT(id), SUM(qty) FROM zb WHERE ts >= 990000 GROUP BY cat", 8},
+		{"ZoneGroupBy1M10pct", "SELECT cat, COUNT(id), SUM(qty) FROM zb WHERE ts >= 900000 GROUP BY cat", 8},
+		{"ZoneGroupBy1M100pct", "SELECT cat, COUNT(id), SUM(qty) FROM zb WHERE ts >= 0 GROUP BY cat", 8},
+	}
+	for _, w := range zonePairs {
+		unskipped := runNums(benchZoneQuery(w.query, w.wantRows, true))
+		skipped := runNums(benchZoneQuery(w.query, w.wantRows, false))
+		addMeta(w.name, &unskipped, skipped, zoneScanMeta(w.query))
+	}
+	// Dictionary vs plain text scan: the same filtered aggregation over the
+	// low-NDV (dictionary-encoded) and high-NDV (plain) text columns.
+	plainText := runNums(benchZoneQuery("SELECT COUNT(id) FROM zb WHERE pad = 'p000042'", 1, true))
+	dictText := runNums(benchZoneQuery("SELECT COUNT(id) FROM zb WHERE cat = 'c3'", 1, true))
+	addMeta("DictVsPlainTextScan1M", &plainText, dictText, map[string]int64{"workers": zoneBenchWorkers})
 
 	// Parallel-vs-serial pairs (PR 8): identical queries over the shared
 	// 1M-row table, baseline forced serial, after run by the morsel pool at

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+	"github.com/dataspread/dataspread/internal/sqlexec"
+)
+
+// PR 9 workloads: paired skipped-vs-unskipped executions of the zone-map
+// pruning path over one shared 1M-row table, plus a dictionary-vs-plain text
+// scan pair. The dataset is built once; SetForceNoSkip flips the pruning
+// mode between timings so both sides of every pair see identical pages.
+
+const (
+	zoneBenchRows    = 1_000_000
+	zoneBenchWorkers = 8
+)
+
+var (
+	zoneDBOnce sync.Once
+	zoneDB     *sqlexec.Database
+)
+
+// zoneBenchDB lazily builds the shared dataset: zb's ts column is clustered
+// with insertion order but deliberately NOT indexed (zone maps are the only
+// way to avoid reading every page), qty is scattered, cat is low-NDV text
+// (dictionary-encoded pages) and pad is high-NDV text (plain pages).
+func zoneBenchDB() *sqlexec.Database {
+	zoneDBOnce.Do(func() {
+		pool := 1 << 16
+		db := sqlexec.NewDatabase(sqlexec.Config{
+			Layout: sqlexec.LayoutHybrid, Workers: zoneBenchWorkers, BufferPoolPages: &pool,
+		})
+		sess := db.NewSession(nil)
+		_, err := sess.Query(`CREATE TABLE zb (id NUMBER PRIMARY KEY, ts NUMBER, qty NUMBER, cat STRING, pad STRING)`)
+		check(err)
+		for i := 0; i < zoneBenchRows; i++ {
+			_, err := db.Insert("zb", []sheet.Value{
+				sheet.Number(float64(i)),
+				sheet.Number(float64(i)),
+				sheet.Number(float64(i % 1000)),
+				sheet.String_(fmt.Sprintf("c%d", i%8)),
+				sheet.String_(fmt.Sprintf("p%06d", i%499979)),
+			})
+			check(err)
+		}
+		zoneDB = db
+	})
+	return zoneDB
+}
+
+// benchZoneQuery times one query over the shared dataset with zone-map
+// skipping either live or forced off (the baseline side of each pair).
+func benchZoneQuery(query string, wantRows int, forceNoSkip bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		db := zoneBenchDB()
+		db.SetForceNoSkip(forceNoSkip)
+		defer db.SetForceNoSkip(false)
+		sess := db.NewSession(nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sess.Query(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if wantRows > 0 && len(res.Rows) != wantRows {
+				b.Fatalf("query %q returned %d rows, want %d", query, len(res.Rows), wantRows)
+			}
+		}
+	}
+}
+
+// zoneScanMeta runs the query once with pruning live and reports the page
+// accounting (pages read vs skipped by zone maps) plus the worker count —
+// the JSON metadata that shows WHY the pair's after side is faster.
+func zoneScanMeta(query string) map[string]int64 {
+	db := zoneBenchDB()
+	db.SetForceNoSkip(false)
+	db.ResetScanStats()
+	sess := db.NewSession(nil)
+	_, err := sess.Query(query)
+	check(err)
+	read, skipped := db.ScanStats()
+	return map[string]int64{
+		"workers":       zoneBenchWorkers,
+		"pages_read":    read,
+		"pages_skipped": skipped,
+	}
+}

@@ -65,6 +65,14 @@
 // §Access Paths & Indexes); EXPLAIN of a parameterized statement executed
 // with arguments shows the paths those arguments take.
 //
+// Cold scans skip data: sealed pages carry per-column min/max zone
+// summaries, full scans (serial, parallel and streaming) drop pages that
+// cannot match pushed predicates before decoding them, and column pages
+// dictionary- or delta-compress low-entropy data. Summaries persist with
+// checkpoints as an advisory catalog — a torn or corrupt catalog merely
+// disables skipping, never changes results (DESIGN.md §Zone Maps &
+// Compression); EXPLAIN shows "zone maps: skipped/total" per source.
+//
 // # The spreadsheet surface
 //
 // The same DB is a workbook. SetCell enters literals and formulas exactly

@@ -56,11 +56,14 @@ type ckptState struct {
 	watermark uint64
 	metaBlob  []byte
 	snapBlob  []byte
+	zoneBlob  []byte
 	dataPages []pager.PageID
 	metaPage  pager.PageID
 	snapPage  pager.PageID
+	zonePage  pager.PageID
 	prevMeta  pager.PageID
 	prevSnap  pager.PageID
+	prevZone  pager.PageID
 }
 
 // startCheckpointer launches the background goroutine. A negative threshold
@@ -199,6 +202,7 @@ func (ds *DataSpread) ckptCapture() (*ckptState, error) {
 	}
 	st := &ckptState{watermark: ds.wal.LastLSN()}
 	st.metaBlob = ds.db.MarshalPages()
+	st.zoneBlob = ds.db.MarshalZones()
 	st.snapBlob = txn.EncodeRecords([]txn.Record{{LSN: st.watermark, Ops: ds.snapshotOps()}})
 	st.dataPages = ds.db.DurablePageIDs()
 	pool.BeginCheckpoint(st.dataPages)
@@ -222,6 +226,19 @@ func (ds *DataSpread) ckptWrite(st *ckptState) error {
 	if err := be.WritePage(st.snapPage, st.snapBlob); err != nil {
 		return fmt.Errorf("core: write sheet snapshot: %w", err)
 	}
+	// The zone-map catalog is advisory: a reopen without it just rebuilds
+	// summaries lazily. So its page is best-effort — an allocation or write
+	// failure drops the blob from this checkpoint instead of failing it.
+	// (A latched backend I/O error still surfaces at the Sync below, exactly
+	// as it would for the mandatory blobs.)
+	if st.zonePage = be.Allocate(); st.zonePage != pager.InvalidPage {
+		if err := be.WritePage(st.zonePage, st.zoneBlob); err != nil {
+			be.Free(st.zonePage)
+			st.zonePage = 0
+		}
+	} else {
+		st.zonePage = 0
+	}
 	if err := be.Sync(); err != nil {
 		return fmt.Errorf("core: sync checkpoint pages: %w", err)
 	}
@@ -235,6 +252,7 @@ func (ds *DataSpread) ckptFlip(st *ckptState) error {
 		watermark: st.watermark,
 		metaPage:  st.metaPage,
 		snapPage:  st.snapPage,
+		zonePage:  st.zonePage,
 	}
 	if err := writeRoot(ds.backend, rootSlotFor(newRoot.gen), newRoot); err != nil {
 		return err
@@ -243,7 +261,7 @@ func (ds *DataSpread) ckptFlip(st *ckptState) error {
 		return fmt.Errorf("core: sync root flip: %w", err)
 	}
 	// Commit point passed: from here on the checkpoint is durable.
-	st.prevMeta, st.prevSnap = ds.root.metaPage, ds.root.snapPage
+	st.prevMeta, st.prevSnap, st.prevZone = ds.root.metaPage, ds.root.snapPage, ds.root.zonePage
 	ds.root = newRoot
 	return nil
 }
@@ -269,6 +287,9 @@ func (ds *DataSpread) ckptAdopt(st *ckptState) error {
 	}
 	if st.prevSnap != 0 {
 		ds.backend.Free(st.prevSnap)
+	}
+	if st.prevZone != 0 {
+		ds.backend.Free(st.prevZone)
 	}
 	if err := ds.wal.TruncateThrough(st.watermark); err != nil && firstErr == nil {
 		firstErr = fmt.Errorf("core: compact WAL: %w", err)
@@ -299,5 +320,8 @@ func (ds *DataSpread) ckptAbort(st *ckptState) {
 	}
 	if st.snapPage != 0 {
 		ds.backend.Free(st.snapPage)
+	}
+	if st.zonePage != 0 {
+		ds.backend.Free(st.zonePage)
 	}
 }

@@ -148,6 +148,14 @@ func OpenFile(path string, opts Options) (*DataSpread, error) {
 			return fail(fmt.Errorf("core: attach page catalog: %w", err))
 		}
 	}
+	// The zone-map catalog is advisory: an unreadable or corrupt blob (torn
+	// write, checksum mismatch, schema drift) degrades to "no page skipping"
+	// — summaries rebuild as pages are rewritten — and never fails the open.
+	if root.zonePage != 0 {
+		if blob, err := be.ReadPage(root.zonePage); err == nil {
+			_ = ds.db.AttachZones(blob)
+		}
+	}
 	// Protect the attached pages against in-place overwrite, re-mirror the
 	// chosen root into a stale sibling slot (a crash may have left it
 	// behind — only the sibling is rewritten, never the slot holding the
@@ -212,6 +220,9 @@ func (ds *DataSpread) sweepUnreachable(dataPages []pager.PageID) {
 	}
 	if ds.root.snapPage != 0 {
 		reachable[ds.root.snapPage] = true
+	}
+	if ds.root.zonePage != 0 {
+		reachable[ds.root.zonePage] = true
 	}
 	for _, id := range dataPages {
 		reachable[id] = true

@@ -29,7 +29,7 @@ const (
 	rootSlotA pager.PageID = 1
 	rootSlotB pager.PageID = 2
 
-	rootRecordSize = 44
+	rootRecordSize = 52
 )
 
 var rootMagic = [8]byte{'D', 'S', 'R', 'O', 'O', 'T', '0', '1'}
@@ -41,6 +41,7 @@ type rootInfo struct {
 	watermark uint64       // WAL records with LSN <= watermark are inside the checkpoint
 	metaPage  pager.PageID // page-catalog blob (0 = none)
 	snapPage  pager.PageID // sheet-snapshot blob (0 = none)
+	zonePage  pager.PageID // zone-map catalog blob (0 = none; advisory — see sqlexec.AttachZones)
 }
 
 // rootSlotFor returns the slot a given generation is written to; successive
@@ -59,7 +60,8 @@ func encodeRoot(r rootInfo) []byte {
 	binary.LittleEndian.PutUint64(buf[16:24], r.watermark)
 	binary.LittleEndian.PutUint64(buf[24:32], uint64(r.metaPage))
 	binary.LittleEndian.PutUint64(buf[32:40], uint64(r.snapPage))
-	binary.LittleEndian.PutUint32(buf[40:44], crc32.ChecksumIEEE(buf[0:40]))
+	binary.LittleEndian.PutUint64(buf[40:48], uint64(r.zonePage))
+	binary.LittleEndian.PutUint32(buf[48:52], crc32.ChecksumIEEE(buf[0:48]))
 	return buf
 }
 
@@ -67,7 +69,7 @@ func decodeRoot(buf []byte) (rootInfo, bool) {
 	if len(buf) < rootRecordSize || [8]byte(buf[0:8]) != rootMagic {
 		return rootInfo{}, false
 	}
-	if crc32.ChecksumIEEE(buf[0:40]) != binary.LittleEndian.Uint32(buf[40:44]) {
+	if crc32.ChecksumIEEE(buf[0:48]) != binary.LittleEndian.Uint32(buf[48:52]) {
 		return rootInfo{}, false
 	}
 	return rootInfo{
@@ -75,6 +77,7 @@ func decodeRoot(buf []byte) (rootInfo, bool) {
 		watermark: binary.LittleEndian.Uint64(buf[16:24]),
 		metaPage:  pager.PageID(binary.LittleEndian.Uint64(buf[24:32])),
 		snapPage:  pager.PageID(binary.LittleEndian.Uint64(buf[32:40])),
+		zonePage:  pager.PageID(binary.LittleEndian.Uint64(buf[40:48])),
 	}, true
 }
 

@@ -223,6 +223,27 @@ func extractSargs(pushed []sqlparser.Expr, cols []colDesc, tbl *catalog.Table, e
 	return out
 }
 
+// zoneBoundsOf converts sargable constraints into the storage layer's
+// zone-map bound form. Sarg columns are physical store column indexes (the
+// full source schema), which is exactly the space zone summaries live in;
+// equality constants are already numerically coerced and range constants are
+// numbers by construction.
+func zoneBoundsOf(sargs []sarg) []tablestore.ZoneBound {
+	var out []tablestore.ZoneBound
+	for _, sg := range sargs {
+		if sg.op == "in" {
+			vals := make([]float64, len(sg.vals))
+			for i, v := range sg.vals {
+				vals[i] = v.Num
+			}
+			out = append(out, tablestore.ZoneBound{Col: sg.col, Op: sg.op, Vals: vals})
+			continue
+		}
+		out = append(out, tablestore.ZoneBound{Col: sg.col, Op: sg.op, Val: sg.val.Num})
+	}
+	return out
+}
+
 // chooseAccessPath selects the access path for one named-table source given
 // its pushed conjuncts and an optional ordering request. It always returns a
 // path; pathFull means "stream the storage manager".

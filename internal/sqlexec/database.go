@@ -119,6 +119,15 @@ type Database struct {
 	// workersOverride, when non-zero, replaces cfg.Workers at plan time so
 	// benchmarks can sweep worker counts over one loaded dataset.
 	workersOverride atomic.Int32
+
+	// forceNoSkip disables zone-map page skipping (golden tests and the
+	// benchmark baseline compare skipped scans against forced full reads).
+	forceNoSkip atomic.Bool
+
+	// pagesRead / pagesSkipped count the physical pages pruned scans chose to
+	// read and proved skippable, across all queries since the last reset.
+	pagesRead    atomic.Int64
+	pagesSkipped atomic.Int64
 }
 
 // NewDatabase creates an empty database.
@@ -179,6 +188,26 @@ func (db *Database) SetForceSerial(force bool) { db.forceSerial.Store(force) }
 // queries (0 restores Config.Workers). Benchmarks use it to sweep worker
 // counts over one loaded dataset.
 func (db *Database) SetWorkers(n int) { db.workersOverride.Store(int32(n)) }
+
+// SetForceNoSkip disables (true) or re-enables (false) zone-map page
+// skipping: with the flag set every scan reads every page, ignoring the
+// per-page summaries. Golden tests and benchmark baselines use it to compare
+// skipped scans against full reads on identical data.
+func (db *Database) SetForceNoSkip(force bool) { db.forceNoSkip.Store(force) }
+
+// ScanStats reports the zone-map skipping counters: physical pages pruned
+// scans read and pages they proved skippable, cumulative since the last
+// ResetScanStats. Scans that never consulted zone maps (no sargable bounds,
+// or skipping disabled) count toward neither.
+func (db *Database) ScanStats() (pagesRead, pagesSkipped int64) {
+	return db.pagesRead.Load(), db.pagesSkipped.Load()
+}
+
+// ResetScanStats zeroes the zone-map skipping counters.
+func (db *Database) ResetScanStats() {
+	db.pagesRead.Store(0)
+	db.pagesSkipped.Store(0)
+}
 
 // Catalog returns the schema catalog.
 func (db *Database) Catalog() *catalog.Catalog { return db.cat }

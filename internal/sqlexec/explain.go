@@ -5,6 +5,7 @@ import (
 
 	"github.com/dataspread/dataspread/internal/sheet"
 	"github.com/dataspread/dataspread/internal/sqlparser"
+	"github.com/dataspread/dataspread/internal/storage/tablestore"
 )
 
 // EXPLAIN. The statement is planned exactly as execution would plan it —
@@ -74,12 +75,50 @@ func (db *Database) explainSelect(stmt *sqlparser.SelectStmt, env *execEnv) ([]s
 		if n := len(src.pushed); n > 0 {
 			display += fmt.Sprintf(", %d pushed filter(s)", n)
 		}
+		display += db.explainScanExtras(src)
 		lines = append(lines, fmt.Sprintf("%s: %s", src.label, display))
 	}
 	if n := len(plan.residual); n > 0 {
 		lines = append(lines, fmt.Sprintf("residual filter: %d conjunct(s)", n))
 	}
 	return lines, nil
+}
+
+// explainScanExtras renders the physical-scan annotations of one named-table
+// source: zone-map page skipping (when sargable bounds reached a store with
+// summaries) and, for parallel-eligible full scans, the worker count and the
+// morsel partitions the pruned row space splits into.
+func (db *Database) explainScanExtras(src *srcState) string {
+	if src.store == nil {
+		return ""
+	}
+	_, scanCols := src.scanSchema()
+	out := ""
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if len(src.zoneBounds) > 0 {
+		if pruner, ok := src.store.(tablestore.Pruner); ok {
+			total, skipped := pruner.PruneStats(scanCols, src.zoneBounds)
+			out += fmt.Sprintf(", zone maps: %d/%d pages skipped", skipped, total)
+		}
+	}
+	if src.path != nil && src.path.kind != pathFull {
+		return out
+	}
+	workers := db.parWorkers()
+	snapper, ok := src.store.(tablestore.Snapshotter)
+	if workers <= 1 || !ok || src.store.RowCount() < parMinRows {
+		return out
+	}
+	snap := snapper.Snapshot()
+	defer snap.Release()
+	var parts []tablestore.Partition
+	if psnap, isPruned := snap.(tablestore.PrunedSnap); isPruned && len(src.zoneBounds) > 0 {
+		parts, _, _ = psnap.PartitionsPruned(workers*morselsPerWorker, scanCols, src.zoneBounds)
+	} else {
+		parts = snap.Partitions(workers * morselsPerWorker)
+	}
+	return out + fmt.Sprintf(", parallel: %d workers, %d partitions", workers, len(parts))
 }
 
 // explainDML renders the access path UPDATE/DELETE would use to locate

@@ -169,7 +169,24 @@ func (db *Database) parScanSource(s *srcState, cols []colDesc, scanCols []int, e
 	db.mu.RUnlock()
 	defer snap.Release()
 
-	parts := snap.Partitions(workers * morselsPerWorker)
+	// Zone-map bounds drop provably matchless page ranges before morsel
+	// distribution, so skipped pages never reach a worker. usedPrune (not a
+	// nil check) gates the fallback: an empty pruned partition list is a
+	// valid result — every page was skipped.
+	var parts []tablestore.Partition
+	usedPrune := false
+	if len(s.zoneBounds) > 0 {
+		if psnap, ok := snap.(tablestore.PrunedSnap); ok {
+			var read, skip int
+			parts, read, skip = psnap.PartitionsPruned(workers*morselsPerWorker, scanCols, s.zoneBounds)
+			db.pagesRead.Add(int64(read))
+			db.pagesSkipped.Add(int64(skip))
+			usedPrune = true
+		}
+	}
+	if !usedPrune {
+		parts = snap.Partitions(workers * morselsPerWorker)
+	}
 	if len(parts) == 0 {
 		return &relation{cols: cols}, true, nil
 	}

@@ -114,6 +114,10 @@ type srcState struct {
 	needed    []bool           // referenced columns (named tables)
 	allNeeded bool
 	path      *accessPath // chosen access path (named tables)
+
+	// zoneBounds are the sargable conjuncts in zone-map form; scans consult
+	// them against per-page summaries to drop provably matchless pages.
+	zoneBounds []tablestore.ZoneBound
 }
 
 func (s *srcState) mark(col int) {
@@ -322,6 +326,12 @@ func (db *Database) planInput(stmt *sqlparser.SelectStmt, an *selectAnalysis, en
 			ord = orderRequest(stmt, s)
 		}
 		s.path = db.chooseAccessPath(s.tbl, s.cols, s.pushed, env, ord)
+		// Zone-map bounds come from the same sarg extraction the access path
+		// uses; skipping stays valid whichever path wins, because both the
+		// full scan and index fetches re-evaluate the pushed conjuncts.
+		if !db.forceNoSkip.Load() {
+			s.zoneBounds = zoneBoundsOf(extractSargs(s.pushed, s.cols, s.tbl, env))
+		}
 	}
 	return &inputPlan{srcs: srcs, residual: residual, live: live}, nil
 }
@@ -584,6 +594,51 @@ func (db *Database) scanSourceEach(s *srcState, env *execEnv, cols []colDesc, sc
 	if s.path != nil && s.path.kind != pathFull {
 		return db.scanIndexPath(s, preds, ctx, scanCols, env, emit)
 	}
+	// Full scans with zone-map bounds walk a pruned snapshot of the store:
+	// the kept partitions cover exactly the pages a bound could match, and
+	// the pushed conjuncts still run on every surviving row, so the output
+	// equals the unpruned scan's row for row. (Still under the read lock —
+	// this is the serial path; the snapshot is only the pruning vehicle.)
+	if len(s.zoneBounds) > 0 {
+		if snapper, ok := s.store.(tablestore.Snapshotter); ok {
+			snap := snapper.Snapshot()
+			if psnap, ok := snap.(tablestore.PrunedSnap); ok {
+				defer snap.Release()
+				parts, read, skip := psnap.PartitionsPruned(1, scanCols, s.zoneBounds)
+				db.pagesRead.Add(int64(read))
+				db.pagesSkipped.Add(int64(skip))
+				stable := snap.ScanColsStable(scanCols)
+				var scanErr error
+				for _, part := range parts {
+					err := snap.ScanColsRange(part, scanCols, func(_ tablestore.RowID, row []sheet.Value) bool {
+						if scanErr = env.check(); scanErr != nil {
+							return false
+						}
+						ctx.row = row
+						keep, err := allPredicates(preds, ctx)
+						if err != nil {
+							scanErr = err
+							return false
+						}
+						if keep {
+							if scanErr = emit(row, stable); scanErr != nil {
+								return false
+							}
+						}
+						return true
+					})
+					if err == nil {
+						err = scanErr
+					}
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			snap.Release()
+		}
+	}
 	stable := s.store.ScanColsStable(scanCols)
 	var scanErr error
 	err = s.store.ScanCols(scanCols, func(_ tablestore.RowID, row []sheet.Value) bool {
@@ -619,11 +674,24 @@ func (db *Database) scanSourceEach(s *srcState, env *execEnv, cols []colDesc, sc
 func (db *Database) scanIndexPath(s *srcState, preds []boundExpr, ctx *rowCtx, fetchCols []int, env *execEnv, emit func(row []sheet.Value, stable bool) error) error {
 	table := s.tbl.Name
 	emitted := 0
+	pruner, _ := s.store.(tablestore.Pruner)
 	keep := func(id tablestore.RowID) (bool, error) {
 		if err := env.check(); err != nil {
 			return false, err
 		}
-		row, err := s.store.GetCols(id, fetchCols)
+		var row []sheet.Value
+		var err error
+		if pruner != nil && len(s.zoneBounds) > 0 {
+			// The page(s) holding the candidate may already prove it cannot
+			// match; a skipped candidate is dropped without decoding.
+			var zskip bool
+			row, zskip, err = pruner.GetColsPruned(id, fetchCols, s.zoneBounds)
+			if err == nil && zskip {
+				return true, nil
+			}
+		} else {
+			row, err = s.store.GetCols(id, fetchCols)
+		}
 		if err != nil {
 			// The candidate vanished between the index read and the fetch
 			// (no snapshot isolation at this level, as with full scans).

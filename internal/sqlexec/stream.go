@@ -295,7 +295,7 @@ func (db *Database) streamSimpleSelect(stmt *sqlparser.SelectStmt, an *selectAna
 	// a consistent point-in-time image instead of read-committed batches.
 	if src.path == nil || src.path.kind == pathFull {
 		if snapper, ok := src.store.(tablestore.Snapshotter); ok {
-			return db.streamSnapshotScan(snapper, scanCols, preds, bound, env, ctx, offset, limit, yield)
+			return db.streamSnapshotScan(snapper, scanCols, src.zoneBounds, preds, bound, env, ctx, offset, limit, yield)
 		}
 	}
 
@@ -401,14 +401,30 @@ func (db *Database) streamSimpleSelect(stmt *sqlparser.SelectStmt, an *selectAna
 // goroutine and concurrent writers proceed untouched; superseded page
 // versions drain when the snapshot releases its epoch.
 // dslint:parks(yield)
-func (db *Database) streamSnapshotScan(snapper tablestore.Snapshotter, scanCols []int, preds, bound []boundExpr, env *execEnv, ctx *rowCtx, offset, limit int, yield func([]sheet.Value) error) error {
+func (db *Database) streamSnapshotScan(snapper tablestore.Snapshotter, scanCols []int, bounds []tablestore.ZoneBound, preds, bound []boundExpr, env *execEnv, ctx *rowCtx, offset, limit int, yield func([]sheet.Value) error) error {
 	db.mu.RLock()
 	snap := snapper.Snapshot()
 	db.mu.RUnlock()
 	defer snap.Release()
+	// Zone-map bounds narrow the scan to partitions a bound could match
+	// (usedPrune, not a nil check: an all-skipped scan prunes to zero parts).
+	var parts []tablestore.Partition
+	usedPrune := false
+	if len(bounds) > 0 {
+		if psnap, ok := snap.(tablestore.PrunedSnap); ok {
+			var read, skip int
+			parts, read, skip = psnap.PartitionsPruned(1, scanCols, bounds)
+			db.pagesRead.Add(int64(read))
+			db.pagesSkipped.Add(int64(skip))
+			usedPrune = true
+		}
+	}
+	if !usedPrune {
+		parts = snap.Partitions(1)
+	}
 	skipped, emitted := 0, 0
 	var inner error
-	for _, part := range snap.Partitions(1) {
+	for _, part := range parts {
 		err := snap.ScanColsRange(part, scanCols, func(_ tablestore.RowID, row []sheet.Value) bool {
 			if inner = env.check(); inner != nil {
 				return false

@@ -154,8 +154,13 @@ func encodeTuplesPayload(ids []RowID, rows [][]sheet.Value, width int) []byte {
 	return out
 }
 
-// decodeTuples reverses encodeTuples, validating the page CRC first.
+// decodeTuples decodes either page vintage, validating the checksum first:
+// the v2 container (magic + body CRC) is tried before the legacy bare-CRC
+// framing.
 func decodeTuples(buf []byte) (ids []RowID, rows [][]sheet.Value, err error) {
+	if body, ok := unsealPageV2(buf); ok {
+		return decodeTuplesV2(body)
+	}
 	payload, err := unsealPage(buf)
 	if err != nil {
 		return nil, nil, err
@@ -201,8 +206,12 @@ func encodeColumn(vals []sheet.Value) []byte {
 	return sealPage(out)
 }
 
-// decodeColumn reverses encodeColumn, validating the page CRC first.
+// decodeColumn decodes either page vintage, validating the checksum first
+// (see decodeTuples).
 func decodeColumn(buf []byte) ([]sheet.Value, error) {
+	if body, ok := unsealPageV2(buf); ok {
+		return decodeColumnV2(body)
+	}
 	payload, err := unsealPage(buf)
 	if err != nil {
 		return nil, err

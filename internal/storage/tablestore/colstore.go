@@ -26,6 +26,7 @@ type ColStore struct {
 
 type colPages struct {
 	pages []pager.PageID
+	zones []*pageZones // parallel to pages; nil entry = unknown
 }
 
 // NewColStore creates an empty column store with the given number of columns.
@@ -72,8 +73,15 @@ func (s *ColStore) readColPageShared(col, pi int) ([]sheet.Value, error) {
 	return s.cache.getColumn(s.pool, s.cols[col].pages[pi])
 }
 
+// writeColPage is the single choke point for column-page mutations: every
+// rewrite re-encodes the page (v2 container) and replaces its zone summary.
 func (s *ColStore) writeColPage(col, pi int, vals []sheet.Value) error {
-	return s.pool.Put(s.cols[col].pages[pi], encodeColumn(vals))
+	buf, pz := encodeColumnV2(vals)
+	if err := s.pool.Put(s.cols[col].pages[pi], buf); err != nil {
+		return err
+	}
+	s.cols[col].zones = setZone(s.cols[col].zones, pi, pz)
+	return nil
 }
 
 func (s *ColStore) checkID(id RowID) error {
@@ -297,10 +305,12 @@ func (s *ColStore) AddColumn(defaultValue sheet.Value) error {
 		if err != nil {
 			return err
 		}
-		if err := s.pool.Put(pid, encodeColumn(vals)); err != nil {
+		buf, pz := encodeColumnV2(vals)
+		if err := s.pool.Put(pid, buf); err != nil {
 			return err
 		}
 		cp.pages = append(cp.pages, pid)
+		cp.zones = append(cp.zones, pz)
 	}
 	s.cols = append(s.cols, cp)
 	return nil

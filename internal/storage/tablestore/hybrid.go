@@ -40,6 +40,7 @@ type attrGroup struct {
 	width   int
 	rowsPer int // tuples per block for this group (narrow groups pack more)
 	pages   []pager.PageID
+	zones   []*pageZones // parallel to pages; nil entry = unknown
 }
 
 type colLocation struct {
@@ -154,8 +155,15 @@ func (s *HybridStore) readGroupPageShared(gi, pi int) ([]RowID, [][]sheet.Value,
 	return s.cache.getTuples(s.pool, s.groups[gi].pages[pi])
 }
 
+// writeGroupPage is the single choke point for group-page mutations: every
+// rewrite re-encodes the page (v2 container) and replaces its zone summary.
 func (s *HybridStore) writeGroupPage(gi, pi int, ids []RowID, rows [][]sheet.Value, width int) error {
-	return s.pool.Put(s.groups[gi].pages[pi], encodeTuples(ids, rows, width))
+	buf, pz := encodeTuplesV2(ids, rows, width)
+	if err := s.pool.Put(s.groups[gi].pages[pi], buf); err != nil {
+		return err
+	}
+	s.groups[gi].zones = setZone(s.groups[gi].zones, pi, pz)
+	return nil
 }
 
 // project extracts the group's attribute values from a full tuple.
@@ -514,10 +522,12 @@ func (s *HybridStore) AddColumn(defaultValue sheet.Value) error {
 		if err != nil {
 			return err
 		}
-		if err := s.pool.Put(pid, encodeTuples(ids, rows, 1)); err != nil {
+		buf, pz := encodeTuplesV2(ids, rows, 1)
+		if err := s.pool.Put(pid, buf); err != nil {
 			return err
 		}
 		g.pages = append(g.pages, pid)
+		g.zones = append(g.zones, pz)
 	}
 	s.groups = append(s.groups, g)
 	s.colMap = append(s.colMap, colLocation{group: gi, offset: 0})
@@ -539,6 +549,7 @@ func (s *HybridStore) DropColumn(col int) error {
 			s.pool.Free(pid)
 		}
 		g.pages = nil
+		g.zones = nil
 		g.width = 0
 	} else {
 		// Rewrite the group's blocks without the dropped attribute.

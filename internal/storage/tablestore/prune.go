@@ -1,0 +1,359 @@
+package tablestore
+
+import (
+	"fmt"
+
+	"github.com/dataspread/dataspread/internal/sheet"
+)
+
+// Page-level data skipping. Pruner and PrunedSnap are optional capabilities
+// — deliberately separate from Store and TableSnap, mirroring Snapshotter —
+// that the executor type-asserts; absence (a fake, a store without zone
+// maps) degrades to reading every page, never to wrong results. A skip is
+// taken only when a page's zone summary PROVES no stored value can satisfy a
+// pushed conjunct, so pruned and unpruned scans are row-for-row identical.
+
+// Pruner is the store-level skipping capability, served under the engine
+// lock like any other Store call.
+type Pruner interface {
+	// PruneStats reports how many physical pages a ScanCols over cols
+	// (nil = all columns) would touch, and how many of those the given
+	// bounds prove skippable. Used by EXPLAIN and the benchmarks.
+	PruneStats(cols []int, bounds []ZoneBound) (total, skipped int)
+	// GetColsPruned is GetCols that first consults the zone maps of the
+	// page(s) holding id: when a bound proves the row cannot match, it
+	// reports skipped=true without paging in or decoding anything.
+	GetColsPruned(id RowID, cols []int, bounds []ZoneBound) (row []sheet.Value, skipped bool, err error)
+}
+
+// PrunedSnap is the snapshot-level skipping capability: Partitions with the
+// skippable page ranges already removed, so parallel workers never see them.
+type PrunedSnap interface {
+	// PartitionsPruned is Partitions(n) minus the ranges the bounds prove
+	// empty of matches. cols (nil = all) names the columns the scan will
+	// read, for page accounting only. Returns the partitions plus the
+	// physical page counts the pruned scan will read and has skipped.
+	PartitionsPruned(n int, cols []int, bounds []ZoneBound) (parts []Partition, pagesRead, pagesSkipped int)
+}
+
+// --- row layout (page-index space) ---
+
+// rowPageSkips reports whether any bound proves page pi matchless.
+func rowPageSkips(zones []*pageZones, pi int, bounds []ZoneBound) bool {
+	if pi >= len(zones) || zones[pi] == nil {
+		return false
+	}
+	pz := zones[pi]
+	for i := range bounds {
+		b := &bounds[i]
+		if b.Col >= 0 && b.Col < len(pz.cols) && pz.cols[b.Col].Skips(*b) {
+			return true
+		}
+	}
+	return false
+}
+
+func rowKeptPages(zones []*pageZones, nPages int, bounds []ZoneBound) []Partition {
+	skip := skipIntervalsFor(nPages, 1, nPages, func(pi int) bool {
+		return rowPageSkips(zones, pi, bounds)
+	})
+	return complementParts(nPages, skip)
+}
+
+// PruneStats implements Pruner.
+func (s *RowStore) PruneStats(cols []int, bounds []ZoneBound) (total, skipped int) {
+	total = len(s.pages)
+	if len(bounds) == 0 {
+		return total, 0
+	}
+	kept := rowKeptPages(s.zones, total, bounds)
+	read := 0
+	for _, p := range kept {
+		read += p.Hi - p.Lo
+	}
+	return total, total - read
+}
+
+// GetColsPruned implements Pruner.
+func (s *RowStore) GetColsPruned(id RowID, cols []int, bounds []ZoneBound) ([]sheet.Value, bool, error) {
+	if pi, ok := s.dir[id]; ok && rowPageSkips(s.zones, pi, bounds) {
+		return nil, true, nil
+	}
+	row, err := s.GetCols(id, cols)
+	return row, false, err
+}
+
+// PartitionsPruned implements PrunedSnap. Row partitions are page indexes,
+// so kept runs translate directly.
+func (s *rowSnap) PartitionsPruned(n int, cols []int, bounds []ZoneBound) ([]Partition, int, int) {
+	kept := rowKeptPages(s.zones, len(s.pages), bounds)
+	read := 0
+	for _, p := range kept {
+		read += p.Hi - p.Lo
+	}
+	return splitRuns(kept, n), read, len(s.pages) - read
+}
+
+// --- column layout (slot space, uniform valuesPerPage granularity) ---
+
+// colChunkSkips reports whether any bound proves slot chunk ci matchless.
+func colChunkSkips(cols []colPages, ci int, bounds []ZoneBound) bool {
+	for i := range bounds {
+		b := &bounds[i]
+		if b.Col < 0 || b.Col >= len(cols) {
+			continue
+		}
+		zs := cols[b.Col].zones
+		if ci < len(zs) && zs[ci] != nil && len(zs[ci].cols) == 1 && zs[ci].cols[0].Skips(*b) {
+			return true
+		}
+	}
+	return false
+}
+
+func colKeptRuns(cols []colPages, slotCount int, bounds []ZoneBound) []Partition {
+	nChunks := (slotCount + valuesPerPage - 1) / valuesPerPage
+	skip := skipIntervalsFor(nChunks, valuesPerPage, slotCount, func(ci int) bool {
+		return colChunkSkips(cols, ci, bounds)
+	})
+	return complementParts(slotCount, skip)
+}
+
+// colPageStats converts kept slot runs into physical page counts over the
+// wanted columns.
+func colPageStats(kept []Partition, slotCount, wantCols int) (total, read int) {
+	nChunks := (slotCount + valuesPerPage - 1) / valuesPerPage
+	readChunks := overlapCount(kept, valuesPerPage, nChunks)
+	return nChunks * wantCols, readChunks * wantCols
+}
+
+// PruneStats implements Pruner.
+func (s *ColStore) PruneStats(cols []int, bounds []ZoneBound) (total, skipped int) {
+	want := len(cols)
+	if cols == nil {
+		want = len(s.cols)
+	}
+	if len(bounds) == 0 {
+		nChunks := (s.slotCount + valuesPerPage - 1) / valuesPerPage
+		return nChunks * want, 0
+	}
+	kept := colKeptRuns(s.cols, s.slotCount, bounds)
+	total, read := colPageStats(kept, s.slotCount, want)
+	return total, total - read
+}
+
+// GetColsPruned implements Pruner.
+func (s *ColStore) GetColsPruned(id RowID, cols []int, bounds []ZoneBound) ([]sheet.Value, bool, error) {
+	if id > 0 && id < s.nextID {
+		if ci := int(id-1) / valuesPerPage; colChunkSkips(s.cols, ci, bounds) {
+			return nil, true, nil
+		}
+	}
+	row, err := s.GetCols(id, cols)
+	return row, false, err
+}
+
+// PartitionsPruned implements PrunedSnap.
+func (s *colSnap) PartitionsPruned(n int, cols []int, bounds []ZoneBound) ([]Partition, int, int) {
+	want := len(cols)
+	if cols == nil {
+		want = len(s.cols)
+	}
+	kept := colKeptRuns(s.cols, s.slotCount, bounds)
+	total, read := colPageStats(kept, s.slotCount, want)
+	return splitRuns(kept, n), read, total - read
+}
+
+// --- hybrid layout (slot space, per-group granularity) ---
+
+// hybridSkipRuns unions each bound's skippable slot intervals; bounds land
+// on different groups with different rows-per-page, so intervals are
+// computed per bound and merged.
+func hybridSkipRuns(groups []attrGroup, colMap []colLocation, slotCount int, bounds []ZoneBound) []Partition {
+	var skip []Partition
+	for i := range bounds {
+		b := &bounds[i]
+		if b.Col < 0 || b.Col >= len(colMap) {
+			continue
+		}
+		loc := colMap[b.Col]
+		g := &groups[loc.group]
+		if g.width == 0 || g.rowsPer <= 0 {
+			continue
+		}
+		cur := skipIntervalsFor(len(g.zones), g.rowsPer, slotCount, func(pi int) bool {
+			pz := g.zones[pi]
+			return pz != nil && loc.offset < len(pz.cols) && pz.cols[loc.offset].Skips(*b)
+		})
+		skip = unionParts(skip, cur)
+	}
+	return skip
+}
+
+// hybridPageStats accumulates page counts over the distinct groups serving
+// the wanted columns.
+func hybridPageStats(groups []attrGroup, colMap []colLocation, kept []Partition, slotCount int, cols []int) (total, read int) {
+	wantGroups := make(map[int]bool)
+	if cols == nil {
+		for _, loc := range colMap {
+			wantGroups[loc.group] = true
+		}
+	} else {
+		for _, c := range cols {
+			if c >= 0 && c < len(colMap) {
+				wantGroups[colMap[c].group] = true
+			}
+		}
+	}
+	for gi := range wantGroups {
+		g := &groups[gi]
+		if g.width == 0 || g.rowsPer <= 0 {
+			continue
+		}
+		n := (slotCount + g.rowsPer - 1) / g.rowsPer
+		if n > len(g.pages) {
+			n = len(g.pages)
+		}
+		total += n
+		read += overlapCount(kept, g.rowsPer, n)
+	}
+	return total, read
+}
+
+// PruneStats implements Pruner.
+func (s *HybridStore) PruneStats(cols []int, bounds []ZoneBound) (total, skipped int) {
+	var kept []Partition
+	if len(bounds) == 0 {
+		kept = complementParts(s.slotCount, nil)
+	} else {
+		kept = complementParts(s.slotCount, hybridSkipRuns(s.groups, s.colMap, s.slotCount, bounds))
+	}
+	total, read := hybridPageStats(s.groups, s.colMap, kept, s.slotCount, cols)
+	return total, total - read
+}
+
+// GetColsPruned implements Pruner.
+func (s *HybridStore) GetColsPruned(id RowID, cols []int, bounds []ZoneBound) ([]sheet.Value, bool, error) {
+	if id > 0 && id < s.nextID {
+		slot := int(id - 1)
+		for i := range bounds {
+			b := &bounds[i]
+			if b.Col < 0 || b.Col >= len(s.colMap) {
+				continue
+			}
+			loc := s.colMap[b.Col]
+			g := &s.groups[loc.group]
+			if g.width == 0 || g.rowsPer <= 0 {
+				continue
+			}
+			pi := slot / g.rowsPer
+			if pi < len(g.zones) && g.zones[pi] != nil && loc.offset < len(g.zones[pi].cols) &&
+				g.zones[pi].cols[loc.offset].Skips(*b) {
+				return nil, true, nil
+			}
+		}
+	}
+	row, err := s.GetCols(id, cols)
+	return row, false, err
+}
+
+// PartitionsPruned implements PrunedSnap.
+func (s *hybridSnap) PartitionsPruned(n int, cols []int, bounds []ZoneBound) ([]Partition, int, int) {
+	kept := complementParts(s.slotCount, hybridSkipRuns(s.groups, s.colMap, s.slotCount, bounds))
+	total, read := hybridPageStats(s.groups, s.colMap, kept, s.slotCount, cols)
+	return splitRuns(kept, n), read, total - read
+}
+
+// --- zone validation (fuzz/test support) ---
+
+// ValidateZones re-decodes every summarised page and checks that its catalog
+// zone covers every stored value — the invariant that makes skipping safe.
+func (s *RowStore) ValidateZones() error {
+	for pi := range s.pages {
+		if pi >= len(s.zones) || s.zones[pi] == nil {
+			continue
+		}
+		_, rows, err := s.readPage(pi)
+		if err != nil {
+			return err
+		}
+		if err := validateTuplZones(s.zones[pi], rows, s.width, "row", pi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateZones re-decodes every summarised column page (see RowStore).
+func (s *ColStore) ValidateZones() error {
+	for c := range s.cols {
+		for pi := range s.cols[c].pages {
+			zs := s.cols[c].zones
+			if pi >= len(zs) || zs[pi] == nil {
+				continue
+			}
+			vals, err := s.readColPage(c, pi)
+			if err != nil {
+				return err
+			}
+			if len(zs[pi].cols) != 1 {
+				return fmt.Errorf("tablestore: column %d page %d zone has %d columns", c, pi, len(zs[pi].cols))
+			}
+			z := &zs[pi].cols[0]
+			for off, v := range vals {
+				if !z.covers(v) {
+					return fmt.Errorf("tablestore: column %d page %d slot %d: zone does not cover %v", c, pi, off, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateZones re-decodes every summarised group page (see RowStore).
+func (s *HybridStore) ValidateZones() error {
+	for gi := range s.groups {
+		g := &s.groups[gi]
+		for pi := range g.pages {
+			if pi >= len(g.zones) || g.zones[pi] == nil {
+				continue
+			}
+			_, rows, err := s.readGroupPage(gi, pi)
+			if err != nil {
+				return err
+			}
+			if err := validateTuplZones(g.zones[pi], rows, g.width, fmt.Sprintf("group %d", gi), pi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateTuplZones(pz *pageZones, rows [][]sheet.Value, width int, what string, pi int) error {
+	if len(pz.cols) != width {
+		return fmt.Errorf("tablestore: %s page %d zone has %d columns, want %d", what, pi, len(pz.cols), width)
+	}
+	for i, row := range rows {
+		for c := 0; c < width; c++ {
+			v := sheet.Empty()
+			if c < len(row) {
+				v = row[c]
+			}
+			if !pz.cols[c].covers(v) {
+				return fmt.Errorf("tablestore: %s page %d row %d col %d: zone does not cover %v", what, pi, i, c, v)
+			}
+		}
+	}
+	return nil
+}
+
+var (
+	_ Pruner = (*RowStore)(nil)
+	_ Pruner = (*ColStore)(nil)
+	_ Pruner = (*HybridStore)(nil)
+
+	_ PrunedSnap = (*rowSnap)(nil)
+	_ PrunedSnap = (*colSnap)(nil)
+	_ PrunedSnap = (*hybridSnap)(nil)
+)

@@ -15,6 +15,7 @@ type RowStore struct {
 	pool      *pager.BufferPool
 	width     int
 	pages     []pager.PageID
+	zones     []*pageZones  // parallel to pages; nil entry = unknown
 	dir       map[RowID]int // RowID -> index into pages
 	tailCount int
 	nextID    RowID
@@ -55,8 +56,16 @@ func (s *RowStore) readPageShared(idx int) ([]RowID, [][]sheet.Value, error) {
 	return s.cache.getTuples(s.pool, s.pages[idx])
 }
 
+// writePage is the single choke point for page mutations: every rewrite
+// re-encodes the page (v2 container) and replaces its zone summary, so the
+// catalog is exact after any insert/update/delete/schema change.
 func (s *RowStore) writePage(idx int, ids []RowID, rows [][]sheet.Value) error {
-	return s.pool.Put(s.pages[idx], encodeTuples(ids, rows, s.width))
+	buf, pz := encodeTuplesV2(ids, rows, s.width)
+	if err := s.pool.Put(s.pages[idx], buf); err != nil {
+		return err
+	}
+	s.zones = setZone(s.zones, idx, pz)
+	return nil
 }
 
 // Insert implements Store.

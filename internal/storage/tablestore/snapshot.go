@@ -111,6 +111,7 @@ type rowSnap struct {
 	cache    *decodedCache
 	width    int
 	pages    []pager.PageID
+	zones    []*pageZones
 	rowCount int
 }
 
@@ -121,6 +122,7 @@ func (s *RowStore) Snapshot() TableSnap {
 		cache:    &s.cache,
 		width:    s.width,
 		pages:    append([]pager.PageID(nil), s.pages...),
+		zones:    cloneZones(s.zones),
 		rowCount: s.rowCount,
 	}
 	return snap
@@ -192,6 +194,11 @@ func (s *ColStore) Snapshot() TableSnap {
 		deleted:   cloneDeleted(s.deleted),
 		slotCount: s.slotCount,
 		rowCount:  s.rowCount,
+	}
+	// Zone slices are NOT append-only — writeColPage replaces entries in
+	// place — so each column's zones must be copied, unlike its page ids.
+	for c := range snap.cols {
+		snap.cols[c].zones = cloneZones(snap.cols[c].zones)
 	}
 	return snap
 }
@@ -286,6 +293,11 @@ func (s *HybridStore) Snapshot() TableSnap {
 		deleted:   cloneDeleted(s.deleted),
 		slotCount: s.slotCount,
 		rowCount:  s.rowCount,
+	}
+	// Zone slices are NOT append-only — writeGroupPage replaces entries in
+	// place — so each group's zones must be copied, unlike its page ids.
+	for gi := range snap.groups {
+		snap.groups[gi].zones = cloneZones(snap.groups[gi].zones)
 	}
 	return snap
 }
@@ -436,6 +448,15 @@ func (s *hybridSnap) ScanColsRange(p Partition, cols []int, fn func(id RowID, ro
 		}
 	}
 	return nil
+}
+
+// cloneZones copies a zone pointer slice; the pointed-to pageZones are
+// immutable after construction, so sharing them is safe.
+func cloneZones(zs []*pageZones) []*pageZones {
+	if len(zs) == 0 {
+		return nil
+	}
+	return append([]*pageZones(nil), zs...)
 }
 
 // cloneDeleted copies a tombstone set; nil and empty collapse to nil so the
