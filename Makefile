@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench fuzz faultcheck verify apicheck lint
+.PHONY: all build test race vet fmt bench fuzz faultcheck verify apicheck lint servecheck
 
 all: build test
 
@@ -57,6 +57,17 @@ bench:
 # every single injection. See DESIGN.md "Fault injection & degraded mode".
 faultcheck:
 	$(GO) test ./internal/core -run 'TestSingleFaultSweep|TestTornRootSlotRecovery|TestBothRootSlotsTornRefused|TestBackgroundCheckpoint' -count=1
+
+# servecheck exercises the serving tier (cmd/dataspreadd / internal/server /
+# client) end to end under the race detector — handshake/auth, streaming,
+# mid-stream typed errors, disconnect cancellation, idle reaping, LRU
+# eviction under concurrent streams, admission rejection, graceful-shutdown
+# drain, degraded read-only over the wire — then runs a short two-tenant
+# mixed read/write smoke load through dsbench -serve.
+servecheck:
+	$(GO) test -race -count=1 ./internal/wire ./internal/server ./client
+	$(GO) run ./cmd/dsbench -serve /tmp/dsbench-servecheck.json
+	@rm -f /tmp/dsbench-servecheck.json
 
 # fuzz runs the durability fuzz suites (fixed seeds: the same trials replay
 # every run) — WAL truncation/bit-flips, checkpoint kill points, heap-file

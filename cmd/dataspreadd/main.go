@@ -1,0 +1,176 @@
+// Command dataspreadd serves dataspread workbooks to network clients: a
+// multi-tenant serving tier over the embeddable engine. Each tenant is one
+// workbook file under -data (<data>/<tenant>.ds), authenticated by a bearer
+// token from -tenants, with a bounded LRU of open workbooks, global and
+// per-tenant in-flight admission caps, idle-session reaping and per-query
+// deadlines. The wire protocol and a Go client live in package client.
+//
+// Usage:
+//
+//	dataspreadd -addr :7437 -data /var/lib/dataspread \
+//	    -tenants alice:s3cret,bob:hunter2 [-admin 127.0.0.1:7438]
+//
+// -tenants may also name a file (one tenant:token per line, #-comments) so
+// tokens need not appear on the command line. SIGINT/SIGTERM trigger a
+// graceful shutdown: the listener closes, in-flight streams finish, then
+// workbooks close; a second signal (or -drain-timeout) force-cancels.
+// -admin exposes GET /stats (the server's JSON metrics snapshot: active
+// sessions, per-tenant query counts, p50/p99 latencies, admission
+// rejections, evictions) and GET /healthz on a separate HTTP listener.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/dataspread/dataspread/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7437", "TCP listen address for the wire protocol")
+		data         = flag.String("data", "", "data root directory (one <tenant>.ds workbook per tenant; required)")
+		tenantsFlag  = flag.String("tenants", "", "tenant credentials: comma-separated tenant:token pairs, or a path to a file with one pair per line (required)")
+		adminAddr    = flag.String("admin", "", "optional HTTP listen address for /stats and /healthz")
+		maxOpen      = flag.Int("max-open", 4, "max resident tenant workbooks (LRU beyond)")
+		maxInflight  = flag.Int("max-inflight", 64, "max concurrently executing queries server-wide")
+		tenInflight  = flag.Int("tenant-inflight", 8, "max concurrently executing queries per tenant")
+		queueWait    = flag.Duration("queue-wait", time.Second, "max time a query waits for an admission slot")
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "reap sessions idle this long (0 = never)")
+		queryTimeout = flag.Duration("query-timeout", 0, "per-statement execution deadline (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget before force-cancel")
+	)
+	flag.Parse()
+	if *data == "" || *tenantsFlag == "" {
+		fmt.Fprintln(os.Stderr, "dataspreadd: -data and -tenants are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	tenants, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		die(err)
+	}
+	if err := os.MkdirAll(*data, 0o755); err != nil {
+		die(fmt.Errorf("creating data root: %w", err))
+	}
+	srv, err := server.New(server.Config{
+		DataRoot:       *data,
+		Tenants:        tenants,
+		MaxOpenDBs:     *maxOpen,
+		MaxInflight:    *maxInflight,
+		TenantInflight: *tenInflight,
+		QueueWait:      *queueWait,
+		IdleTimeout:    *idleTimeout,
+		QueryTimeout:   *queryTimeout,
+	})
+	if err != nil {
+		die(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "dataspreadd: serving %d tenants from %s on %s\n", len(tenants), *data, ln.Addr())
+
+	var admin *http.Server
+	if *adminAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(srv.Stats()); err != nil {
+				fmt.Fprintf(os.Stderr, "dataspreadd: /stats: %v\n", err)
+			}
+		})
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			if _, err := fmt.Fprintln(w, "ok"); err != nil {
+				fmt.Fprintf(os.Stderr, "dataspreadd: /healthz: %v\n", err)
+			}
+		})
+		admin = &http.Server{Addr: *adminAddr, Handler: mux}
+		go func() {
+			fmt.Fprintf(os.Stderr, "dataspreadd: admin endpoint on %s\n", *adminAddr)
+			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "dataspreadd: admin: %v\n", err)
+			}
+		}()
+	}
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "dataspreadd: %v: draining (up to %v; signal again to force)\n", sig, *drainTimeout)
+	case err := <-serveDone:
+		if err != nil {
+			die(err)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "dataspreadd: second signal: force-canceling")
+		cancel()
+	}()
+	if admin != nil {
+		if err := admin.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dataspreadd: admin shutdown: %v\n", err)
+		}
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "dataspreadd: shutdown: %v\n", err)
+	}
+	if err := <-serveDone; err != nil {
+		fmt.Fprintf(os.Stderr, "dataspreadd: serve: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "dataspreadd: bye")
+}
+
+// parseTenants reads tenant:token pairs from the flag value directly or,
+// when the value names a readable file, one pair per line with #-comments.
+func parseTenants(spec string) (map[string]string, error) {
+	var pairs []string
+	if data, err := os.ReadFile(spec); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			pairs = append(pairs, line)
+		}
+	} else {
+		pairs = strings.Split(spec, ",")
+	}
+	out := make(map[string]string, len(pairs))
+	for _, p := range pairs {
+		name, token, ok := strings.Cut(strings.TrimSpace(p), ":")
+		if !ok || name == "" || token == "" {
+			return nil, fmt.Errorf("malformed tenant credential %q (want tenant:token)", p)
+		}
+		out[name] = token
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants configured")
+	}
+	return out, nil
+}
+
+func die(err error) {
+	fmt.Fprintf(os.Stderr, "dataspreadd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dataspread/dataspread"
+	"github.com/dataspread/dataspread/client"
+	"github.com/dataspread/dataspread/internal/server"
+)
+
+// Serving-tier load benchmark (-serve FILE). Boots an in-process dataspreadd
+// on a loopback listener, then drives it closed-loop: four tenants, two
+// sessions each, every session alternating a mixed read/write statement
+// stream against its own workbook (80% selective SELECTs, 20% single-row
+// INSERT/UPDATE). Latency is measured client-side per operation class —
+// read = streamed query round-trip to the DONE frame, write = exec
+// round-trip — and reported as p50/p95/p99 per class and per tenant, along
+// with throughput and the server's own admission/eviction counters. The
+// multi-tenant point this reproduces is the serving-tier half of the
+// paper's positioning: one spreadsheet-database process serving many
+// independent workbooks with bounded resident state and per-tenant
+// isolation under concurrent load.
+
+const (
+	serveTenants        = 4
+	serveSessionsPerTen = 2
+	serveSeedRows       = 2_000
+	serveWriteEvery     = 5 // 1 write per 5 ops = 20% writes
+)
+
+type serveOpStats struct {
+	Ops      int     `json:"ops"`
+	Errors   int     `json:"errors"`
+	P50Micro float64 `json:"p50_micros"`
+	P95Micro float64 `json:"p95_micros"`
+	P99Micro float64 `json:"p99_micros"`
+	MaxMicro float64 `json:"max_micros"`
+}
+
+type serveTenantReport struct {
+	Read  serveOpStats `json:"read"`
+	Write serveOpStats `json:"write"`
+}
+
+type serveReport struct {
+	PR          int                          `json:"pr"`
+	Title       string                       `json:"title"`
+	GeneratedBy string                       `json:"generated_by"`
+	Tenants     int                          `json:"tenants"`
+	Sessions    int                          `json:"sessions"`
+	DurationSec float64                      `json:"duration_seconds"`
+	TotalOps    int                          `json:"total_ops"`
+	OpsPerSec   float64                      `json:"ops_per_sec"`
+	Read        serveOpStats                 `json:"read"`
+	Write       serveOpStats                 `json:"write"`
+	PerTenant   map[string]serveTenantReport `json:"per_tenant"`
+	ServerStats server.Stats                 `json:"server_stats"`
+}
+
+type latSample struct {
+	tenant string
+	write  bool
+	micros float64
+}
+
+func quantileMicros(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func summarize(samples []float64, errs int) serveOpStats {
+	sort.Float64s(samples)
+	st := serveOpStats{Ops: len(samples), Errors: errs}
+	if len(samples) > 0 {
+		st.P50Micro = quantileMicros(samples, 0.50)
+		st.P95Micro = quantileMicros(samples, 0.95)
+		st.P99Micro = quantileMicros(samples, 0.99)
+		st.MaxMicro = samples[len(samples)-1]
+	}
+	return st
+}
+
+func writeServeBench(path string) {
+	dataRoot, err := os.MkdirTemp("", "dsbench-serve-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := os.RemoveAll(dataRoot); err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: cleaning %s: %v\n", dataRoot, err)
+		}
+	}()
+
+	tenants := make(map[string]string, serveTenants)
+	names := make([]string, 0, serveTenants)
+	for i := 0; i < serveTenants; i++ {
+		name := fmt.Sprintf("tenant%d", i)
+		tenants[name] = fmt.Sprintf("token-%d", i)
+		names = append(names, name)
+	}
+	srv, err := server.New(server.Config{DataRoot: dataRoot, Tenants: tenants})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	// Seed each tenant's workbook over the wire.
+	ctx := context.Background()
+	for _, name := range names {
+		c, err := client.Dial(addr, client.Config{Tenant: name, Token: tenants[name]})
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := c.Exec(ctx, "CREATE TABLE events (id REAL, bucket REAL, note TEXT)"); err != nil {
+			fatal(err)
+		}
+		ins, err := c.Prepare("INSERT INTO events VALUES (:id, :bucket, :note)")
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.Begin(ctx); err != nil {
+			fatal(err)
+		}
+		for i := 0; i < serveSeedRows; i++ {
+			if _, err := ins.Exec(ctx,
+				dataspread.Named("id", float64(i)),
+				dataspread.Named("bucket", float64(i%100)),
+				dataspread.Named("note", fmt.Sprintf("seed-%d", i))); err != nil {
+				fatal(err)
+			}
+		}
+		if err := c.Commit(ctx); err != nil {
+			fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	duration := time.Duration(*scale) * 3 * time.Second
+	fmt.Fprintf(os.Stderr, "dsbench: serving-tier load, %d tenants x %d sessions, %v against %s\n",
+		serveTenants, serveSessionsPerTen, duration, addr)
+
+	var mu sync.Mutex
+	var samples []latSample
+	readErrs := map[string]int{}
+	writeErrs := map[string]int{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	timer := time.AfterFunc(duration, func() { close(stop) })
+	defer timer.Stop()
+	start := time.Now()
+	for ti, name := range names {
+		for si := 0; si < serveSessionsPerTen; si++ {
+			wg.Add(1)
+			go func(tenant string, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				c, err := client.Dial(addr, client.Config{Tenant: tenant, Token: tenants[tenant]})
+				if err != nil {
+					fatal(err)
+				}
+				defer func() {
+					if err := c.Close(); err != nil {
+						fmt.Fprintf(os.Stderr, "dsbench: close: %v\n", err)
+					}
+				}()
+				q, err := c.Prepare("SELECT COUNT(*), SUM(id) FROM events WHERE bucket = :b")
+				if err != nil {
+					fatal(err)
+				}
+				ins, err := c.Prepare("INSERT INTO events VALUES (:id, :bucket, :note)")
+				if err != nil {
+					fatal(err)
+				}
+				nextID := float64(serveSeedRows + int(seed)*1_000_000)
+				var local []latSample
+				localReadErr, localWriteErr := 0, 0
+				for n := 0; ; n++ {
+					select {
+					case <-stop:
+						mu.Lock()
+						samples = append(samples, local...)
+						readErrs[tenant] += localReadErr
+						writeErrs[tenant] += localWriteErr
+						mu.Unlock()
+						return
+					default:
+					}
+					write := n%serveWriteEvery == serveWriteEvery-1
+					t0 := time.Now()
+					if write {
+						nextID++
+						_, err = ins.Exec(ctx,
+							dataspread.Named("id", nextID),
+							dataspread.Named("bucket", float64(rng.Intn(100))),
+							dataspread.Named("note", "load"))
+					} else {
+						var rows *client.Rows
+						rows, err = q.Query(ctx, dataspread.Named("b", float64(rng.Intn(100))))
+						if err == nil {
+							for rows.Next() {
+							}
+							err = errors.Join(rows.Err(), rows.Close())
+						}
+					}
+					el := float64(time.Since(t0).Microseconds())
+					if err != nil {
+						if write {
+							localWriteErr++
+						} else {
+							localReadErr++
+						}
+						continue
+					}
+					local = append(local, latSample{tenant: tenant, write: write, micros: el})
+				}
+			}(name, int64(ti*serveSessionsPerTen+si+1))
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	stats := srv.Stats()
+	shctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		fatal(err)
+	}
+
+	var reads, writes []float64
+	perTenant := map[string]serveTenantReport{}
+	perRead := map[string][]float64{}
+	perWrite := map[string][]float64{}
+	for _, s := range samples {
+		if s.write {
+			writes = append(writes, s.micros)
+			perWrite[s.tenant] = append(perWrite[s.tenant], s.micros)
+		} else {
+			reads = append(reads, s.micros)
+			perRead[s.tenant] = append(perRead[s.tenant], s.micros)
+		}
+	}
+	totalErrs := 0
+	for _, name := range names {
+		perTenant[name] = serveTenantReport{
+			Read:  summarize(perRead[name], readErrs[name]),
+			Write: summarize(perWrite[name], writeErrs[name]),
+		}
+		totalErrs += readErrs[name] + writeErrs[name]
+	}
+	total := len(samples)
+	rep := serveReport{
+		PR:          10,
+		Title:       "dataspreadd serving tier: multi-tenant mixed read/write closed-loop load",
+		GeneratedBy: "dsbench -serve",
+		Tenants:     serveTenants,
+		Sessions:    serveTenants * serveSessionsPerTen,
+		DurationSec: elapsed.Seconds(),
+		TotalOps:    total,
+		OpsPerSec:   float64(total) / elapsed.Seconds(),
+		Read:        summarize(reads, sum(readErrs)),
+		Write:       summarize(writes, sum(writeErrs)),
+		PerTenant:   perTenant,
+		ServerStats: stats,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dsbench: %d ops (%.0f/s, %d errors) -> %s\n", total, rep.OpsPerSec, totalErrs, path)
+}
+
+func sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dsbench: %v\n", err)
+	os.Exit(1)
+}

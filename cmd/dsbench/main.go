@@ -29,12 +29,17 @@ import (
 )
 
 var (
-	scale   = flag.Int("scale", 1, "workload scale multiplier")
-	jsonOut = flag.String("json", "", "run the headline benchmark workloads and write results to this JSON file instead of printing experiments")
+	scale    = flag.Int("scale", 1, "workload scale multiplier")
+	jsonOut  = flag.String("json", "", "run the headline benchmark workloads and write results to this JSON file instead of printing experiments")
+	serveOut = flag.String("serve", "", "run the serving-tier multi-tenant load benchmark against an in-process dataspreadd and write results to this JSON file")
 )
 
 func main() {
 	flag.Parse()
+	if *serveOut != "" {
+		writeServeBench(*serveOut)
+		return
+	}
 	if *jsonOut != "" {
 		writeBenchJSON(*jsonOut)
 		return

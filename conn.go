@@ -102,8 +102,14 @@ type Stmt struct {
 // SQL returns the statement's text.
 func (s *Stmt) SQL() string { return s.p.SQL }
 
-// NumParams returns how many '?' placeholders the statement binds.
+// NumParams returns how many parameter slots the statement binds ('?'
+// placeholders, or distinct ':name' parameters).
 func (s *Stmt) NumParams() int { return s.p.NumParams() }
+
+// ParamNames returns the statement's parameter names by slot index:
+// lower-cased ':name' names for a named statement, empty strings for
+// positional '?' slots.
+func (s *Stmt) ParamNames() []string { return append([]string(nil), s.p.ParamNames()...) }
 
 // OnConn returns the same prepared statement bound to another connection.
 func (s *Stmt) OnConn(c *Conn) *Stmt { return &Stmt{conn: c, p: s.p} }
@@ -111,7 +117,7 @@ func (s *Stmt) OnConn(c *Conn) *Stmt { return &Stmt{conn: c, p: s.p} }
 // Exec executes the statement with the given arguments, materialising the
 // outcome.
 func (s *Stmt) Exec(ctx context.Context, args ...any) (Result, error) {
-	vals, err := BindValues(args)
+	vals, err := bindStmtArgs(s.p.ParamNames(), args)
 	if err != nil {
 		return Result{}, err
 	}
@@ -122,7 +128,7 @@ func (s *Stmt) Exec(ctx context.Context, args ...any) (Result, error) {
 // Query executes the statement as a streaming query. Only SELECT (and
 // EXPLAIN) statements can be streamed.
 func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
-	vals, err := BindValues(args)
+	vals, err := bindStmtArgs(s.p.ParamNames(), args)
 	if err != nil {
 		return nil, err
 	}

@@ -106,6 +106,13 @@ func (db *DB) RecoveryErrors() []error { return db.ds.RecoveryErrors() }
 // recorded checkpoint error (Checkpoint and Close do).
 func (db *DB) Health() error { return db.ds.Health() }
 
+// Degrade forces the workbook into degraded read-only mode, as if cause (or
+// a generic fencing error when nil) had poisoned it. It is an operational
+// fence — quarantine a suspect workbook while keeping reads available — and
+// the hook fault harnesses use to produce a deterministically degraded
+// instance. Degradation is permanent for this handle; reopen to clear it.
+func (db *DB) Degrade(cause error) { db.ds.Degrade(cause) }
+
 // Conn opens a new SQL connection: its own transaction state, concurrent
 // with other connections. A single Conn must not be used concurrently.
 func (db *DB) Conn() *Conn {

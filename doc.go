@@ -2,8 +2,9 @@
 // Unifying Databases and Spreadsheets" (Bendre et al., PVLDB 8(12), VLDB
 // 2015 demo): a spreadsheet engine that is a database. This package is the
 // public API; the implementation lives under internal/ (see DESIGN.md for
-// the module map), runnable examples are under examples/, and a
-// database/sql driver is in the driver subpackage.
+// the module map), runnable examples are under examples/, a
+// database/sql driver is in the driver subpackage, and a network client
+// for the dataspreadd serving tier is in the client subpackage.
 //
 // # Opening a workbook
 //
@@ -22,7 +23,10 @@
 //
 // # SQL: prepared statements, streaming rows, cancellation
 //
-// Statements use '?' placeholders. A statement is parsed and analyzed once
+// Statements bind '?' positional placeholders or ':name' named
+// parameters — pass plain values for the former and dataspread.Named
+// values (in any order) for the latter, mixing both in one call if the
+// statement does. A statement is parsed and analyzed once
 // (a shared plan cache keyed by text, invalidated by schema changes) and
 // bound per execution — including its index access paths, so a prepared
 // `WHERE id = ?` keeps the primary-key point lookup with every fresh
@@ -82,6 +86,18 @@
 // turns a sheet region into a relational table (schema inferred), and
 // ImportTable binds a table to a region with two-way sync and
 // fetch-on-demand windowing for large tables.
+//
+// # Serving over the network
+//
+// The same engine serves over TCP: cmd/dataspreadd hosts one workbook
+// per tenant behind a compact length-prefixed frame protocol (token
+// auth, prepared statements with positional and named binds, streaming
+// row batches, transactions, out-of-band cancel), with an LRU pool of
+// open workbooks, tenant-then-global admission control and graceful
+// drain. The client subpackage is the pure-Go client; errors re-attach
+// to the same sentinel taxonomy across the wire, so
+// errors.Is(err, dataspread.ErrTableNotFound) keeps working remotely
+// (DESIGN.md §Serving Tier, examples/netclient).
 //
 // # database/sql
 //

@@ -271,7 +271,9 @@ func (r result) LastInsertId() (int64, error) {
 
 func (r result) RowsAffected() (int64, error) { return r.affected, nil }
 
-// bindArgs converts database/sql arguments to engine values.
+// bindArgs converts database/sql arguments to engine values. sql.Named
+// arguments pass through as dataspread.NamedArg and bind against the
+// statement's ':name' parameters; plain arguments bind positionally.
 func bindArgs(args []driverpkg.NamedValue) ([]any, error) {
 	if len(args) == 0 {
 		return nil, nil
@@ -279,9 +281,10 @@ func bindArgs(args []driverpkg.NamedValue) ([]any, error) {
 	out := make([]any, len(args))
 	for i, a := range args {
 		if a.Name != "" {
-			return nil, fmt.Errorf("dataspread driver: named parameters are not supported (use '?')")
+			out[i] = dataspread.Named(a.Name, a.Value)
+		} else {
+			out[i] = a.Value
 		}
-		out[i] = a.Value
 	}
 	return out, nil
 }

@@ -1,0 +1,30 @@
+package driver_test
+
+import (
+	"database/sql"
+	"testing"
+
+	_ "github.com/dataspread/dataspread/driver"
+)
+
+func TestDriverNamedParameters(t *testing.T) {
+	db, err := sql.Open("dataspread", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO kv VALUES (:k, :v)",
+		sql.Named("v", "one"), sql.Named("k", 1)); err != nil {
+		t.Fatal(err)
+	}
+	var v string
+	if err := db.QueryRow("SELECT v FROM kv WHERE k = :k", sql.Named("k", 1)).Scan(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v != "one" {
+		t.Fatalf("v = %q, want %q", v, "one")
+	}
+}

@@ -55,4 +55,11 @@ var (
 	// state; reopening the workbook recovers the committed prefix and
 	// clears the condition. Health reports the original cause.
 	ErrReadOnly = dberr.ErrReadOnly
+	// ErrAuth: a network client's handshake was rejected (unknown tenant,
+	// bad token or unsupported protocol version).
+	ErrAuth = dberr.ErrAuth
+	// ErrOverloaded: admission control rejected a query — the server or
+	// tenant is at its in-flight cap and the bounded wait queue is full.
+	// The request was not executed; retry after backoff.
+	ErrOverloaded = dberr.ErrOverloaded
 )

@@ -28,6 +28,17 @@ func (ds *DataSpread) poison(cause error) {
 	}
 }
 
+// Degrade forces the workbook into degraded read-only mode as if cause had
+// poisoned it: an operational fence (quarantine a suspect workbook without
+// closing it) also used by fault harnesses that need a deterministically
+// degraded instance.
+func (ds *DataSpread) Degrade(cause error) {
+	if cause == nil {
+		cause = fmt.Errorf("core: administratively fenced: %w", dberr.ErrReadOnly)
+	}
+	ds.poison(cause)
+}
+
 // isPoisoned reports whether the workbook has degraded to read-only.
 func (ds *DataSpread) isPoisoned() bool {
 	ds.poisonMu.Lock()

@@ -78,6 +78,18 @@ var (
 	ErrValue = errors.New("invalid value for operation")
 )
 
+// Serving-tier errors.
+var (
+	// ErrAuth reports a failed network handshake: an unknown tenant, a bad
+	// token, or a protocol version the server does not speak.
+	ErrAuth = errors.New("authentication failed")
+	// ErrOverloaded reports a query rejected by admission control: the
+	// server (or the caller's tenant) is at its in-flight query cap and the
+	// bounded wait queue is full or the wait timed out. The request was not
+	// executed; retrying after backoff is safe.
+	ErrOverloaded = errors.New("server overloaded")
+)
+
 // Storage and durability errors.
 var (
 	// ErrCorrupt reports on-disk state that fails validation: bad value or

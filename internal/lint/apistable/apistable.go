@@ -33,6 +33,16 @@ var Blessed = map[string][]string{
 	},
 	// The database/sql driver wraps the root package only.
 	"driver": {},
+	// The network client shares the wire codec and error taxonomy with the
+	// serving tier; everything else goes through the root package.
+	"client": {
+		"internal/dberr",
+		"internal/wire",
+	},
+	// The daemon binary is the serving tier's entry point.
+	"cmd/dataspreadd": {
+		"internal/server",
+	},
 	// The benchmark harness measures internals directly by design.
 	"cmd/dsbench": {
 		"internal/baseline",
@@ -44,9 +54,14 @@ var Blessed = map[string][]string{
 		"internal/storage/cellstore",
 		"internal/storage/pager",
 		"internal/storage/tablestore",
+		// -serve boots an in-process dataspreadd for the load benchmark.
+		"internal/server",
 	},
 	// The linter binary drives the analysis framework.
 	"cmd/dslint": {"internal/lint"},
+	// The netclient example boots an in-process dataspreadd so it runs
+	// standalone; everything it demonstrates goes through `client`.
+	"examples/netclient": {"internal/server"},
 }
 
 // Analyzer is the apistable analysis over the repo's Blessed table.

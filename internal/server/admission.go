@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dataspread/dataspread/internal/dberr"
+)
+
+// Admission control: a global and a per-tenant cap on in-flight queries,
+// each with a bounded wait queue. A query that cannot take a slot
+// immediately waits in the queue for at most queueWait; a query arriving at
+// a full queue is rejected at once. Rejections carry dberr.ErrOverloaded so
+// clients can branch on the class and back off — the request was never
+// executed. The tenant cap is acquired before the global cap so one noisy
+// tenant saturates its own slice, not every other tenant's queue (the
+// Polynesia-style isolation argument: interactive tenants keep making
+// progress while an analytical tenant floods its own lane).
+type admission struct {
+	global    *sem
+	queueWait time.Duration
+
+	mu          sync.Mutex
+	perTenant   map[string]*sem
+	tenantCap   int
+	tenantQueue int
+}
+
+func newAdmission(globalCap, globalQueue, tenantCap, tenantQueue int, queueWait time.Duration) *admission {
+	return &admission{
+		global:      newSem(globalCap, globalQueue),
+		queueWait:   queueWait,
+		perTenant:   make(map[string]*sem),
+		tenantCap:   tenantCap,
+		tenantQueue: tenantQueue,
+	}
+}
+
+func (a *admission) tenantSem(tenant string) *sem {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.perTenant[tenant]
+	if !ok {
+		s = newSem(a.tenantCap, a.tenantQueue)
+		a.perTenant[tenant] = s
+	}
+	return s
+}
+
+// Acquire admits one query for the tenant, blocking in the bounded queues
+// for at most queueWait. It returns a release closure on success and an
+// ErrOverloaded-classified error (or the context's error) on rejection.
+func (a *admission) Acquire(ctx context.Context, tenant string) (func(), error) {
+	deadline := time.NewTimer(a.queueWait)
+	defer deadline.Stop()
+	ts := a.tenantSem(tenant)
+	if err := ts.acquire(ctx, deadline.C, "tenant"); err != nil {
+		return nil, err
+	}
+	if err := a.global.acquire(ctx, deadline.C, "server"); err != nil {
+		ts.release()
+		return nil, err
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.global.release()
+			ts.release()
+		})
+	}, nil
+}
+
+// sem is a counting semaphore with a bounded wait queue.
+type sem struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newSem(capacity, queue int) *sem {
+	return &sem{slots: make(chan struct{}, capacity), maxQueue: int64(queue)}
+}
+
+func (s *sem) acquire(ctx context.Context, deadline <-chan time.Time, scope string) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > s.maxQueue {
+		s.queued.Add(-1)
+		return fmt.Errorf("server: %s at its in-flight query cap and the wait queue is full: %w", scope, dberr.ErrOverloaded)
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-deadline:
+		return fmt.Errorf("server: %s at its in-flight query cap and the queued wait timed out: %w", scope, dberr.ErrOverloaded)
+	case <-ctx.Done():
+		return fmt.Errorf("server: admission wait canceled: %w", ctx.Err())
+	}
+}
+
+func (s *sem) release() { <-s.slots }

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server metrics: cheap enough to record on every request, rich enough for
+// tail-latency engineering. Latencies are kept per tenant and per operation
+// class (read = streamed queries, write = execs) in fixed-size rings, so
+// quantiles reflect recent traffic and memory stays bounded no matter how
+// long the server runs. Snapshots are taken on demand by the STATS wire
+// command and the /admin HTTP endpoint.
+
+// latRingSize is how many recent samples a latency ring retains per class.
+const latRingSize = 4096
+
+// opClass is a latency class.
+type opClass int
+
+const (
+	opRead opClass = iota
+	opWrite
+)
+
+type metrics struct {
+	start          time.Time
+	activeSessions atomic.Int64
+	activeQueries  atomic.Int64
+
+	mu      sync.Mutex
+	tenants map[string]*tenantMetrics
+}
+
+type tenantMetrics struct {
+	queries   uint64
+	execs     uint64
+	errors    uint64
+	rejected  uint64
+	evictions uint64
+	idleReaps uint64
+	read      latRing
+	write     latRing
+}
+
+// latRing is a fixed-size ring of recent latency samples in microseconds.
+type latRing struct {
+	buf [latRingSize]float64
+	n   int
+}
+
+func (r *latRing) record(d time.Duration) {
+	r.buf[r.n%latRingSize] = float64(d.Microseconds())
+	r.n++
+}
+
+// quantile returns the p-quantile (0..1) of the retained samples, 0 when
+// empty.
+func (r *latRing) quantile(p float64) float64 {
+	n := r.n
+	if n > latRingSize {
+		n = latRingSize
+	}
+	if n == 0 {
+		return 0
+	}
+	tmp := make([]float64, n)
+	copy(tmp, r.buf[:n])
+	sort.Float64s(tmp)
+	idx := int(p * float64(n-1))
+	return tmp[idx]
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), tenants: make(map[string]*tenantMetrics)}
+}
+
+func (m *metrics) tenant(name string) *tenantMetrics {
+	t, ok := m.tenants[name]
+	if !ok {
+		t = &tenantMetrics{}
+		m.tenants[name] = t
+	}
+	return t
+}
+
+func (m *metrics) recordOp(tenant string, class opClass, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tenant(tenant)
+	switch class {
+	case opRead:
+		t.queries++
+		t.read.record(d)
+	case opWrite:
+		t.execs++
+		t.write.record(d)
+	}
+	if failed {
+		t.errors++
+	}
+}
+
+func (m *metrics) recordRejection(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenant(tenant).rejected++
+}
+
+func (m *metrics) recordEviction(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenant(tenant).evictions++
+}
+
+func (m *metrics) recordIdleReap(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenant(tenant).idleReaps++
+}
+
+// TenantStats is one tenant's metrics snapshot.
+type TenantStats struct {
+	Queries           uint64  `json:"queries"`
+	Execs             uint64  `json:"execs"`
+	Errors            uint64  `json:"errors"`
+	AdmissionRejected uint64  `json:"admission_rejected"`
+	Evictions         uint64  `json:"evictions"`
+	IdleReaps         uint64  `json:"idle_reaps"`
+	ReadP50Micros     float64 `json:"read_p50_micros"`
+	ReadP99Micros     float64 `json:"read_p99_micros"`
+	WriteP50Micros    float64 `json:"write_p50_micros"`
+	WriteP99Micros    float64 `json:"write_p99_micros"`
+	ReadSamplesKept   int     `json:"read_samples_kept"`
+	WriteSamplesKept  int     `json:"write_samples_kept"`
+	ReadSamplesTotal  int     `json:"read_samples_total"`
+	WriteSamplesTotal int     `json:"write_samples_total"`
+}
+
+// Stats is the server's metrics snapshot.
+type Stats struct {
+	UptimeSeconds  float64                `json:"uptime_seconds"`
+	ActiveSessions int64                  `json:"active_sessions"`
+	ActiveQueries  int64                  `json:"active_queries"`
+	OpenTenants    int                    `json:"open_tenants"`
+	Tenants        map[string]TenantStats `json:"tenants"`
+}
+
+func (m *metrics) snapshot(openTenants int) Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Stats{
+		UptimeSeconds:  time.Since(m.start).Seconds(),
+		ActiveSessions: m.activeSessions.Load(),
+		ActiveQueries:  m.activeQueries.Load(),
+		OpenTenants:    openTenants,
+		Tenants:        make(map[string]TenantStats, len(m.tenants)),
+	}
+	for name, t := range m.tenants {
+		kept := func(n int) int {
+			if n > latRingSize {
+				return latRingSize
+			}
+			return n
+		}
+		out.Tenants[name] = TenantStats{
+			Queries:           t.queries,
+			Execs:             t.execs,
+			Errors:            t.errors,
+			AdmissionRejected: t.rejected,
+			Evictions:         t.evictions,
+			IdleReaps:         t.idleReaps,
+			ReadP50Micros:     t.read.quantile(0.50),
+			ReadP99Micros:     t.read.quantile(0.99),
+			WriteP50Micros:    t.write.quantile(0.50),
+			WriteP99Micros:    t.write.quantile(0.99),
+			ReadSamplesKept:   kept(t.read.n),
+			WriteSamplesKept:  kept(t.write.n),
+			ReadSamplesTotal:  t.read.n,
+			WriteSamplesTotal: t.write.n,
+		}
+	}
+	return out
+}

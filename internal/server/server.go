@@ -1,0 +1,275 @@
+// Package server implements dataspreadd: the multi-tenant network serving
+// tier over the embeddable engine. A Server listens on TCP, speaks the
+// internal/wire protocol (handshake/auth, prepare, bind+execute with
+// streaming row frames, transaction control, cancel, ping, stats) and maps
+// each connection onto one session backed by the public dataspread API —
+// per-session *dataspread.Conn for transaction state, shared prepared plans,
+// streaming *dataspread.Rows with context cancellation.
+//
+// Tenancy is workbook routing (one page file per tenant under DataRoot, an
+// LRU of open handles), admission is a global plus per-tenant in-flight cap
+// with bounded wait queues that reject with dberr.ErrOverloaded, and a
+// tenant whose workbook degrades (DB.Health) turns read-only over the wire
+// instead of taking the process down. See DESIGN.md §Serving Tier.
+//
+// dslint:errdomain
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/dataspread/dataspread"
+	"github.com/dataspread/dataspread/internal/dberr"
+)
+
+// Config configures a Server. Zero values take the documented defaults.
+type Config struct {
+	// DataRoot is the directory holding one workbook file per tenant
+	// (<root>/<tenant>.ds). Required.
+	DataRoot string
+	// Tenants maps tenant names to their bearer tokens. A connection must
+	// present the matching token for its tenant; unknown tenants are
+	// rejected. Required (an empty map admits nobody).
+	Tenants map[string]string
+	// Options configure each tenant's embedded DB.
+	Options dataspread.Options
+	// MaxOpenDBs caps resident tenant handles (default 4); the least
+	// recently used drained handle is evicted past the cap.
+	MaxOpenDBs int
+	// MaxInflight caps concurrently executing queries server-wide
+	// (default 64); MaxInflightQueue bounds the wait queue behind it
+	// (default MaxInflight).
+	MaxInflight      int
+	MaxInflightQueue int
+	// TenantInflight caps one tenant's concurrently executing queries
+	// (default 8); TenantQueue bounds the per-tenant wait queue (default
+	// TenantInflight).
+	TenantInflight int
+	TenantQueue    int
+	// QueueWait bounds how long an admitted-to-queue query waits for a
+	// slot before rejection (default 1s).
+	QueueWait time.Duration
+	// IdleTimeout reaps sessions with no traffic for this long (0 = never).
+	IdleTimeout time.Duration
+	// QueryTimeout bounds each statement's execution (0 = unbounded).
+	QueryTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxOpenDBs <= 0 {
+		c.MaxOpenDBs = 4
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.MaxInflightQueue <= 0 {
+		c.MaxInflightQueue = c.MaxInflight
+	}
+	if c.TenantInflight <= 0 {
+		c.TenantInflight = 8
+	}
+	if c.TenantQueue <= 0 {
+		c.TenantQueue = c.TenantInflight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	return c
+}
+
+// Server is one dataspreadd instance.
+type Server struct {
+	cfg     Config
+	pool    *tenantPool
+	adm     *admission
+	metrics *metrics
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	draining bool
+	closed   bool
+	// drainCh closes when Shutdown starts: idle sessions exit immediately,
+	// busy sessions exit after finishing (and fully streaming) the command
+	// in flight.
+	drainCh chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.DataRoot == "" {
+		return nil, fmt.Errorf("server: Config.DataRoot is required: %w", dberr.ErrUnsupported)
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		metrics:  newMetrics(),
+		adm:      newAdmission(cfg.MaxInflight, cfg.MaxInflightQueue, cfg.TenantInflight, cfg.TenantQueue, cfg.QueueWait),
+		sessions: make(map[*session]struct{}),
+		drainCh:  make(chan struct{}),
+	}
+	s.pool = newTenantPool(cfg.DataRoot, cfg.Options, cfg.MaxOpenDBs, func(tenant string, closeErr error) {
+		s.metrics.recordEviction(tenant)
+		_ = closeErr // surfaced through the next open's recovery, never silently lost on disk
+	})
+	return s, nil
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, classifyNetErr(err))
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown. It owns ln.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		if cerr := ln.Close(); cerr != nil {
+			return fmt.Errorf("server: already shut down; closing listener: %w", classifyNetErr(cerr))
+		}
+		return fmt.Errorf("server: already shut down: %w", dberr.ErrClosed)
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", classifyNetErr(err))
+		}
+		sess := newSession(s, conn)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			if cerr := conn.Close(); cerr != nil {
+				continue
+			}
+			continue
+		}
+		s.sessions[sess] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			sess.run()
+			s.mu.Lock()
+			delete(s.sessions, sess)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Addr returns the listening address (after Serve has installed the
+// listener), or nil.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown stops the server gracefully: the listener closes, idle sessions
+// disconnect, and busy sessions finish streaming their in-flight command
+// before disconnecting. If ctx expires first, remaining sessions are
+// force-canceled (their queries stop at the next cancellation poll) and
+// their connections closed. Tenant handles close after the drain either
+// way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	ln := s.ln
+	s.mu.Unlock()
+	var errs []error
+	if ln != nil {
+		if err := ln.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: close listener: %w", classifyNetErr(err)))
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain deadline expired: force-cancel everything still running.
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.forceClose()
+		}
+		s.mu.Unlock()
+		<-done
+		errs = append(errs, fmt.Errorf("server: graceful drain cut short: %w", ctx.Err()))
+	}
+	if err := s.pool.CloseAll(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// Stats returns the server's metrics snapshot.
+func (s *Server) Stats() Stats { return s.metrics.snapshot(s.pool.OpenCount()) }
+
+// ActiveSessions reports currently connected sessions (for tests asserting
+// goroutine hygiene).
+func (s *Server) ActiveSessions() int64 { return s.metrics.activeSessions.Load() }
+
+// ActiveQueries reports queries currently executing or streaming.
+func (s *Server) ActiveQueries() int64 { return s.metrics.activeQueries.Load() }
+
+// authenticate validates a handshake's tenant and token using a
+// constant-time token comparison.
+func (s *Server) authenticate(tenant, token string) error {
+	want, ok := s.cfg.Tenants[tenant]
+	if !ok || !constantTimeEqual(token, want) {
+		return fmt.Errorf("server: unknown tenant or bad token: %w", dberr.ErrAuth)
+	}
+	return nil
+}
+
+func constantTimeEqual(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var diff byte
+	for i := 0; i < len(a); i++ {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}
+
+// classifyNetErr wraps a network failure under dberr.ErrIO (net.ErrClosed
+// under dberr.ErrClosed) so server errors classify like engine errors.
+func classifyNetErr(err error) error {
+	if errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("%v: %w", err, dberr.ErrClosed)
+	}
+	return fmt.Errorf("%v: %w", err, dberr.ErrIO)
+}

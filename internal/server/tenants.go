@@ -1,0 +1,200 @@
+package server
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"time"
+
+	"github.com/dataspread/dataspread"
+	"github.com/dataspread/dataspread/internal/dberr"
+)
+
+// Multi-tenancy is workbook routing: every tenant owns one page file under
+// the server's data root (<root>/<tenant>.ds), and the pool keeps an LRU of
+// open *dataspread.DB handles so the number of resident workbooks stays
+// bounded no matter how many tenants exist. Opening a tenant past the cap
+// evicts the least-recently-used handle whose in-flight reference count has
+// drained to zero — eviction never interrupts a running query or an open
+// transaction (those hold references), and a tenant whose handles are all
+// busy simply lets the pool run over cap until references drain. Sessions
+// re-acquire their tenant per command and detect eviction through the
+// handle generation, transparently reopening the workbook and re-preparing
+// their statements, so an evicted tenant's next query just pays a cold open.
+
+// tenantNameRE validates tenant names: they become file names under the
+// data root, so path metacharacters are rejected outright.
+var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+
+type tenantPool struct {
+	root string
+	opts dataspread.Options
+	cap  int
+	// onEvict observes evictions (metrics); closeErr is the eviction
+	// Close's outcome.
+	onEvict func(tenant string, closeErr error)
+
+	mu      sync.Mutex
+	entries map[string]*tenantEntry
+	lru     *list.List // front = most recently used; values are *tenantEntry
+	gen     uint64
+}
+
+type tenantEntry struct {
+	name string
+	db   *dataspread.DB
+	// gen identifies this open instance; a session whose cached state was
+	// built against an older generation rebinds before using the handle.
+	gen  uint64
+	refs int
+	elem *list.Element
+}
+
+func newTenantPool(root string, opts dataspread.Options, capacity int, onEvict func(string, error)) *tenantPool {
+	return &tenantPool{
+		root:    root,
+		opts:    opts,
+		cap:     capacity,
+		onEvict: onEvict,
+		entries: make(map[string]*tenantEntry),
+		lru:     list.New(),
+	}
+}
+
+// Acquire returns the tenant's open handle, opening (and LRU-evicting) as
+// needed, with one reference held. Every Acquire must be paired with a
+// Release.
+func (p *tenantPool) Acquire(tenant string) (*tenantEntry, error) {
+	if !tenantNameRE.MatchString(tenant) {
+		return nil, fmt.Errorf("server: invalid tenant name %q: %w", tenant, dberr.ErrAuth)
+	}
+	// An eviction's Close and a re-open of the same tenant can race on the
+	// workbook's single-writer file lock; retry conflicts briefly instead
+	// of failing the query.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		e, err := p.acquireOnce(tenant)
+		if err != nil && errors.Is(err, dberr.ErrConflict) && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		return e, err
+	}
+}
+
+func (p *tenantPool) acquireOnce(tenant string) (*tenantEntry, error) {
+	p.mu.Lock()
+	if e, ok := p.entries[tenant]; ok {
+		e.refs++
+		p.lru.MoveToFront(e.elem)
+		p.mu.Unlock()
+		return e, nil
+	}
+	// Miss: pick an eviction victim while the pool is at cap. Only handles
+	// with zero in-flight references are candidates — eviction drains, it
+	// never interrupts.
+	var victim *tenantEntry
+	if len(p.entries) >= p.cap {
+		for el := p.lru.Back(); el != nil; el = el.Prev() {
+			if cand := el.Value.(*tenantEntry); cand.refs == 0 {
+				victim = cand
+				break
+			}
+		}
+		if victim != nil {
+			// Removed from the map before closing: no new reference can
+			// reach the dying handle.
+			delete(p.entries, victim.name)
+			p.lru.Remove(victim.elem)
+		}
+	}
+	p.mu.Unlock()
+	if victim != nil {
+		closeErr := victim.db.Close()
+		if p.onEvict != nil {
+			p.onEvict(victim.name, closeErr)
+		}
+	}
+	db, err := dataspread.OpenFile(filepath.Join(p.root, tenant+".ds"), p.opts)
+	if err != nil {
+		return nil, fmt.Errorf("server: open tenant %q: %w", tenant, err)
+	}
+	p.mu.Lock()
+	if e, ok := p.entries[tenant]; ok {
+		// Lost an open race; adopt the incumbent and drop ours.
+		e.refs++
+		p.lru.MoveToFront(e.elem)
+		p.mu.Unlock()
+		if cerr := db.Close(); cerr != nil && p.onEvict != nil {
+			p.onEvict(tenant, cerr)
+		}
+		return e, nil
+	}
+	p.gen++
+	e := &tenantEntry{name: tenant, db: db, gen: p.gen, refs: 1}
+	e.elem = p.lru.PushFront(e)
+	p.entries[tenant] = e
+	p.mu.Unlock()
+	return e, nil
+}
+
+// Release drops one reference. If the pool ran over cap while every handle
+// was busy, the drain that brings a handle back to zero references also
+// shrinks the pool back to cap (evicting from the LRU end).
+func (p *tenantPool) Release(e *tenantEntry) {
+	p.mu.Lock()
+	e.refs--
+	var victims []*tenantEntry
+	for len(p.entries) > p.cap {
+		var victim *tenantEntry
+		for el := p.lru.Back(); el != nil; el = el.Prev() {
+			if cand := el.Value.(*tenantEntry); cand.refs == 0 {
+				victim = cand
+				break
+			}
+		}
+		if victim == nil {
+			break
+		}
+		delete(p.entries, victim.name)
+		p.lru.Remove(victim.elem)
+		victims = append(victims, victim)
+	}
+	p.mu.Unlock()
+	for _, v := range victims {
+		closeErr := v.db.Close()
+		if p.onEvict != nil {
+			p.onEvict(v.name, closeErr)
+		}
+	}
+}
+
+// OpenCount reports how many tenant handles are resident.
+func (p *tenantPool) OpenCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// CloseAll closes every resident handle (shutdown path; sessions have
+// drained).
+func (p *tenantPool) CloseAll() error {
+	p.mu.Lock()
+	var all []*tenantEntry
+	for _, e := range p.entries {
+		all = append(all, e)
+	}
+	p.entries = make(map[string]*tenantEntry)
+	p.lru.Init()
+	p.mu.Unlock()
+	var errs []error
+	for _, e := range all {
+		if err := e.db.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: close tenant %q: %w", e.name, err))
+		}
+	}
+	return errors.Join(errs...)
+}

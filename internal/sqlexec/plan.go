@@ -30,13 +30,20 @@ type Prepared struct {
 	sel     *selectAnalysis // non-nil when stmt is a SELECT
 	epoch   uint64
 	nparams int
+	pnames  []string
 }
 
 // Statement returns the parsed statement.
 func (p *Prepared) Statement() sqlparser.Statement { return p.stmt }
 
-// NumParams returns the number of '?' placeholders the statement binds.
+// NumParams returns the number of parameter slots the statement binds ('?'
+// placeholders, or distinct ':name' parameters).
 func (p *Prepared) NumParams() int { return p.nparams }
+
+// ParamNames returns the parameter names by slot index: lower-cased ':name'
+// names for a named statement, empty strings for positional '?' slots. The
+// returned slice is shared; callers must not mutate it.
+func (p *Prepared) ParamNames() []string { return p.pnames }
 
 // selectAnalysis is the schema-independent logical plan of one SELECT:
 // everything derivable from the statement text alone, computed once and
@@ -130,7 +137,7 @@ func (db *Database) Prepare(sql string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{SQL: sql, stmt: stmt, epoch: epoch, nparams: sqlparser.NumPlaceholders(stmt)}
+	p := &Prepared{SQL: sql, stmt: stmt, epoch: epoch, nparams: sqlparser.NumPlaceholders(stmt), pnames: sqlparser.ParamNames(stmt)}
 	if sel, ok := stmt.(*sqlparser.SelectStmt); ok {
 		p.sel = analyzeSelect(sel)
 	}

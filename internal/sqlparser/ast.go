@@ -242,11 +242,15 @@ type RangeValueExpr struct {
 	Ref string
 }
 
-// Placeholder is a positional statement parameter ("?"). Index is the
-// 0-based position of the placeholder in lexical order across the statement;
-// execution binds the Index-th argument value here.
+// Placeholder is a statement parameter: positional ("?", Name empty) or
+// named (":name"). Index is the 0-based parameter slot the placeholder
+// reads; positional placeholders take the next slot in lexical order, named
+// placeholders take one slot per distinct (case-folded) name, so ":id = :id"
+// binds a single argument. A statement uses one style only — mixing '?' and
+// ':name' is a parse error.
 type Placeholder struct {
 	Index int
+	Name  string
 }
 
 // InExpr is "x [NOT] IN (e1, e2, ...)".

@@ -28,17 +28,33 @@ func AnyMutates(stmts []Statement) bool {
 	return false
 }
 
-// NumPlaceholders counts the '?' parameters of a statement (in every clause,
-// including sub-selects and EXPLAIN-wrapped statements). Execution must bind
-// exactly this many argument values.
+// NumPlaceholders counts the parameter slots of a statement (in every
+// clause, including sub-selects and EXPLAIN-wrapped statements). Execution
+// must bind exactly this many argument values. Positional '?' placeholders
+// take one slot each; repeated ':name' placeholders share a slot per
+// distinct name.
 func NumPlaceholders(stmt Statement) int {
 	n := 0
 	WalkStatementExprs(stmt, func(e Expr) {
-		if _, ok := e.(*Placeholder); ok {
-			n++
+		if p, ok := e.(*Placeholder); ok && p.Index+1 > n {
+			n = p.Index + 1
 		}
 	})
 	return n
+}
+
+// ParamNames returns the statement's parameter names by slot index: the
+// lower-cased ':name' of each slot for named statements, empty strings for
+// positional '?' statements (and an all-empty slice when the styles are
+// absent). len(ParamNames(stmt)) == NumPlaceholders(stmt).
+func ParamNames(stmt Statement) []string {
+	names := make([]string, NumPlaceholders(stmt))
+	WalkStatementExprs(stmt, func(e Expr) {
+		if p, ok := e.(*Placeholder); ok && p.Name != "" {
+			names[p.Index] = p.Name
+		}
+	})
+	return names
 }
 
 // WalkStatementExprs visits every expression node reachable from a

@@ -16,6 +16,10 @@ type Parser struct {
 	// each placeholder takes the next 0-based index in lexical order.
 	// ParseMulti resets it per top-level statement.
 	params int
+	// named maps the statement's ':name' parameters (case-folded) to their
+	// slot index; repeated names share one slot. A statement may use '?' or
+	// ':name' but not both.
+	named map[string]int
 }
 
 // Parse parses a single SQL statement. A trailing semicolon is allowed.
@@ -49,6 +53,7 @@ func ParseMulti(input string) ([]Statement, error) {
 			continue
 		}
 		p.params = 0
+		p.named = nil
 		stmt, err := p.parseStatement()
 		if err != nil {
 			return nil, err
@@ -1154,9 +1159,36 @@ func (p *Parser) parsePrimary() (Expr, error) {
 		}
 		if t.Text == "?" {
 			p.next()
+			if len(p.named) > 0 {
+				return nil, p.errorf("cannot mix '?' and ':name' parameters in one statement")
+			}
 			ph := &Placeholder{Index: p.params}
 			p.params++
 			return ph, nil
+		}
+		if t.Text == ":" {
+			// A named parameter is ':' immediately followed (no whitespace)
+			// by an identifier: ":id". The colon elsewhere (A1:B10 ranges)
+			// is consumed by the positional-reference parser, never here.
+			nameTok := p.toks[p.pos+1]
+			if (nameTok.Kind == TokIdent || nameTok.Kind == TokKeyword) && nameTok.Pos == t.Pos+1 {
+				if p.params > len(p.named) {
+					return nil, p.errorf("cannot mix '?' and ':name' parameters in one statement")
+				}
+				p.next()
+				p.next()
+				name := strings.ToLower(nameTok.Text)
+				if p.named == nil {
+					p.named = make(map[string]int)
+				}
+				idx, ok := p.named[name]
+				if !ok {
+					idx = p.params
+					p.named[name] = idx
+					p.params++
+				}
+				return &Placeholder{Index: idx, Name: name}, nil
+			}
 		}
 		return nil, p.errorf("unexpected %q in expression", t.Text)
 	case TokIdent:

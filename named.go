@@ -1,0 +1,77 @@
+package dataspread
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NamedArg binds a value to a ':name' statement parameter. Build one with
+// Named and pass it where a statement argument is expected:
+//
+//	stmt, _ := db.Prepare("SELECT title FROM movies WHERE year > :min AND year < :max")
+//	rows, err := stmt.Query(ctx, dataspread.Named("max", 2000), dataspread.Named("min", 1990))
+//
+// Named arguments bind by name, so their order does not matter, and a name
+// repeated inside the statement text binds once. An execution must either
+// use named arguments for every parameter or pass plain values positionally
+// (in slot order); mixing the two styles in one call is an error.
+type NamedArg struct {
+	// Name is the parameter name, without the ':' prefix (case-insensitive).
+	Name string
+	// Value is the argument value (any type BindValue accepts).
+	Value any
+}
+
+// Named builds a NamedArg. It is the public bind surface for ':name'
+// statement parameters.
+func Named(name string, value any) NamedArg { return NamedArg{Name: name, Value: value} }
+
+// bindStmtArgs resolves an argument list against a statement's parameter
+// slots: plain values bind positionally, NamedArg values bind by name
+// against the statement's ':name' parameters.
+func bindStmtArgs(paramNames []string, args []any) ([]Value, error) {
+	named := false
+	for _, a := range args {
+		if _, ok := a.(NamedArg); ok {
+			named = true
+			break
+		}
+	}
+	if !named {
+		return BindValues(args)
+	}
+	vals := make([]Value, len(paramNames))
+	seen := make([]bool, len(paramNames))
+	for _, a := range args {
+		na, ok := a.(NamedArg)
+		if !ok {
+			return nil, fmt.Errorf("dataspread: cannot mix named and positional arguments in one execution: %w", ErrParamCount)
+		}
+		name := strings.ToLower(na.Name)
+		idx := -1
+		for i, n := range paramNames {
+			if n != "" && n == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("dataspread: statement has no parameter %q: %w", na.Name, ErrParamCount)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("dataspread: parameter %q bound twice: %w", na.Name, ErrParamCount)
+		}
+		v, err := BindValue(na.Value)
+		if err != nil {
+			return nil, err
+		}
+		vals[idx] = v
+		seen[idx] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("dataspread: parameter %q not bound: %w", paramNames[i], ErrParamCount)
+		}
+	}
+	return vals, nil
+}

@@ -1,0 +1,84 @@
+package dataspread_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/dataspread/dataspread"
+)
+
+func TestNamedParameters(t *testing.T) {
+	db := dataspread.New(dataspread.Options{})
+	defer db.Close()
+	ctx := context.Background()
+	if _, err := db.Exec(ctx, "CREATE TABLE movies (id INT PRIMARY KEY, title TEXT, year INT)"); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare("INSERT INTO movies VALUES (:id, :title, :year)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ins.ParamNames(), []string{"id", "title", "year"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParamNames = %v, want %v", got, want)
+	}
+	for i, title := range []string{"Heat", "Casino", "Ronin"} {
+		// Named arguments bind in any order.
+		if _, err := ins.Exec(ctx,
+			dataspread.Named("year", 1995+i),
+			dataspread.Named("id", i+1),
+			dataspread.Named("title", title),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A repeated name binds one slot.
+	q, err := db.Prepare("SELECT title FROM movies WHERE year >= :y AND year <= :y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", q.NumParams())
+	}
+	rows, err := q.Query(ctx, dataspread.Named("y", 1996))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var titles []string
+	for rows.Next() {
+		var title string
+		if err := rows.Scan(&title); err != nil {
+			t.Fatal(err)
+		}
+		titles = append(titles, title)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(titles, []string{"Casino"}) {
+		t.Fatalf("titles = %v", titles)
+	}
+
+	// Positional values still bind a named statement in slot order.
+	res, err := db.Exec(ctx, "SELECT COUNT(*) FROM movies WHERE year >= :lo AND year <= :hi", 1995, 1997)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Num != 3 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+
+	// Error cases are ErrParamCount-classified.
+	for _, args := range [][]any{
+		{dataspread.Named("nope", 1)},                        // unknown name
+		{dataspread.Named("y", 1), dataspread.Named("y", 2)}, // bound twice
+		{},                            // missing
+		{dataspread.Named("y", 1), 2}, // mixed styles
+	} {
+		if _, err := q.Query(ctx, args...); !errors.Is(err, dataspread.ErrParamCount) {
+			t.Errorf("args %v: err = %v, want ErrParamCount", args, err)
+		}
+	}
+}

@@ -107,6 +107,11 @@ func GoValue(v Value) any {
 	}
 }
 
+// ScanValue stores a Value into a caller-supplied destination pointer,
+// with the same conversions as Rows.Scan. It is exported so remote result
+// sets (package client) scan identically to embedded ones.
+func ScanValue(v Value, dest any) error { return scanValue(v, dest) }
+
 // scanValue stores a Value into a caller-supplied destination pointer.
 // NULL scans as the destination's zero value (nil for *any and *Value...
 // pointees keep Value NULL semantics through IsEmpty).
